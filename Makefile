@@ -1,0 +1,26 @@
+# Convenience targets for the Scale4Edge reproduction.
+
+PYTHON ?= python
+
+.PHONY: test bench examples experiments clean
+
+test:
+	$(PYTHON) -m pytest tests/
+
+bench:
+	$(PYTHON) -m pytest benchmarks/ --benchmark-only
+
+# Run every example script (each asserts its own expected behaviour).
+examples:
+	@for ex in examples/*.py; do \
+		echo "=== $$ex ==="; \
+		$(PYTHON) $$ex || exit 1; \
+	done
+
+# Regenerate the experiment tables referenced by EXPERIMENTS.md.
+experiments: bench
+	@echo; echo "tables written to benchmarks/out/:"; ls benchmarks/out/
+
+clean:
+	rm -rf benchmarks/out .pytest_cache .benchmarks
+	find . -name __pycache__ -type d -exec rm -rf {} +

@@ -1,0 +1,27 @@
+"""Shared helpers for the experiment benchmarks.
+
+Every benchmark prints the table/series its experiment reproduces and also
+writes it to ``benchmarks/out/<experiment>.txt`` so EXPERIMENTS.md can be
+cross-checked against fresh runs.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+OUT_DIR = pathlib.Path(__file__).parent / "out"
+
+
+@pytest.fixture
+def record():
+    """Fixture: record(experiment, text) prints and persists a table."""
+
+    def _record(experiment: str, text: str) -> None:
+        banner = f"===== {experiment} ====="
+        print(f"\n{banner}\n{text}\n")
+        OUT_DIR.mkdir(exist_ok=True)
+        (OUT_DIR / f"{experiment}.txt").write_text(text + "\n")
+
+    return _record

@@ -1,0 +1,100 @@
+"""A2 (ablation) — timing-model parameters vs. WCET pessimism.
+
+Design choice called out in DESIGN.md: the VP and the static analysis share
+one timing model, which guarantees soundness by construction.  Ablation:
+sweep the model's branch penalty and divider latency and observe that the
+soundness chain holds under every parameterisation while the *pessimism*
+(bound/actual) moves with the penalty — branchy code pays for
+outcome-independent worst-casing, straight-line code does not.
+"""
+
+import pytest
+
+from repro.vp.timing import TimingModel
+from repro.wcet import analyze_program
+
+EXIT = "\n    li a7, 93\n    ecall\n"
+
+BRANCHY = """
+_start:
+    li a0, 0
+    li t0, 0
+    li t1, 64
+bl:                    # @loopbound 64
+    andi t2, t0, 1
+    beqz t2, even
+    addi a0, a0, 3
+    j next
+even:
+    addi a0, a0, 1
+next:
+    addi t0, t0, 1
+    blt t0, t1, bl
+""" + EXIT
+
+STRAIGHT = """
+_start:
+    li a0, 1
+    li t0, 7
+    mul a0, a0, t0
+    mul a0, a0, t0
+    mul a0, a0, t0
+    div a0, a0, t0
+    div a0, a0, t0
+    andi a0, a0, 127
+""" + EXIT
+
+
+def model(penalty: int, div_cost: int) -> TimingModel:
+    return TimingModel(class_costs={
+        "alu": 1, "mul": 3, "div": div_cost, "load": 2, "store": 2,
+        "branch": 1, "jump": 1, "csr": 1, "system": 1,
+    }, taken_penalty=penalty)
+
+
+SWEEP = [(0, 34), (2, 34), (5, 34), (2, 8), (2, 64)]
+
+
+def run_sweep():
+    rows = []
+    for penalty, div_cost in SWEEP:
+        timing = model(penalty, div_cost)
+        branchy = analyze_program(BRANCHY, timing=timing)
+        straight = analyze_program(STRAIGHT, timing=timing)
+        rows.append((penalty, div_cost, branchy, straight))
+    return rows
+
+
+def test_a2_timing_model_sweep(benchmark, record):
+    rows = benchmark.pedantic(run_sweep, rounds=1, iterations=1)
+
+    header = (f"{'penalty':>8} {'div':>5} "
+              f"{'branchy bound':>14} {'branchy actual':>15} {'pess':>6} "
+              f"{'straight bound':>15} {'straight actual':>16} {'pess':>6}")
+    lines = [header, "-" * len(header)]
+    for penalty, div_cost, branchy, straight in rows:
+        bp = branchy.static_bound.cycles / branchy.result.actual_cycles
+        sp = straight.static_bound.cycles / straight.result.actual_cycles
+        lines.append(
+            f"{penalty:>8} {div_cost:>5} "
+            f"{branchy.static_bound.cycles:>14} "
+            f"{branchy.result.actual_cycles:>15} {bp:>5.2f}x "
+            f"{straight.static_bound.cycles:>15} "
+            f"{straight.result.actual_cycles:>16} {sp:>5.2f}x"
+        )
+    record("A2-ablation-timing", "\n".join(lines))
+
+    for _penalty, _div, branchy, straight in rows:
+        # Soundness holds under every parameterisation.
+        assert branchy.static_bound.cycles >= branchy.result.wcet_time \
+            >= branchy.result.actual_cycles
+        assert straight.static_bound.cycles >= straight.result.wcet_time \
+            >= straight.result.actual_cycles
+    # Straight-line code: the bound is exact regardless of the penalty.
+    for _penalty, _div, _branchy, straight in rows:
+        assert straight.static_bound.cycles == straight.result.actual_cycles
+    # Branchy code: pessimism grows with the penalty.
+    pessimism = {penalty: branchy.static_bound.cycles
+                 / branchy.result.actual_cycles
+                 for penalty, div, branchy, _s in rows if div == 34}
+    assert pessimism[5] > pessimism[0]

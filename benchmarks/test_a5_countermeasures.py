@@ -1,0 +1,49 @@
+"""A5 (ablation) — software countermeasure effectiveness.
+
+The fault-analysis paper flags mutants that terminate normally with wrong
+results as the cases needing "additional hardware or software safety
+countermeasures".  This experiment closes that loop: the same transient
+register-fault pressure against an unprotected checksum kernel, a
+duplication-with-comparison (DWC) variant, and a TMR variant.
+
+Expected shape: the unprotected kernel suffers silent data corruption;
+DWC converts SDC into *detections*; TMR removes SDC by correcting (its
+corrected runs appear as benign results).
+"""
+
+import pytest
+
+from repro.faultsim.countermeasures import (
+    BENIGN,
+    CRASH,
+    DETECTED,
+    SDC,
+    evaluate_countermeasures,
+    table,
+)
+
+
+def test_a5_countermeasure_effectiveness(benchmark, record):
+    results = benchmark.pedantic(
+        lambda: evaluate_countermeasures(mutants=150, seed=1),
+        rounds=1, iterations=1)
+    record("A5-countermeasures", table(results))
+
+    unprotected = results["unprotected"]
+    dwc = results["dwc"]
+    tmr = results["tmr"]
+
+    # All variants compute the same checksum.
+    assert unprotected.golden_exit == dwc.golden_exit == tmr.golden_exit
+
+    # The unprotected kernel leaks silent corruptions.
+    assert unprotected.rate(SDC) > 0.05
+    assert unprotected.rate(DETECTED) == 0.0
+
+    # DWC turns silent corruption into detection.
+    assert dwc.rate(SDC) < unprotected.rate(SDC) / 2
+    assert dwc.rate(DETECTED) > 0.1
+
+    # TMR eliminates (corrects) silent corruption without detections.
+    assert tmr.rate(SDC) < 0.02
+    assert tmr.rate(BENIGN) > unprotected.rate(BENIGN)

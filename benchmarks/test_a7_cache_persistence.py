@@ -1,0 +1,110 @@
+"""A7 (ablation) — miss-always vs. loop-persistence cache analysis.
+
+Follow-up to A6: the miss-always abstraction makes hot loops look many
+times slower than they are.  The persistence analysis charges fitting
+loops once per entry; this experiment quantifies how much of the cache
+pessimism it recovers, and that loops a small cache cannot hold fall back
+to miss-always (the analysis never turns unsound optimism on).
+"""
+
+import pytest
+
+from repro.vp import ICacheConfig
+from repro.wcet import analyze_program
+
+EXIT = "\n    li a7, 93\n    ecall\n"
+
+HOT_LOOP = """
+_start:
+    li t0, 0
+    li t1, 200
+    li a0, 0
+hot:                   # @loopbound 200
+    add a0, a0, t0
+    xor a0, a0, t1
+    addi t0, t0, 1
+    blt t0, t1, hot
+""" + EXIT
+
+NESTED = """
+_start:
+    li s0, 0
+    li s1, 10
+no:                    # @loopbound 10
+    li t0, 0
+    li t1, 20
+ni:                    # @loopbound 20
+    add a0, a0, t0
+    addi t0, t0, 1
+    blt t0, t1, ni
+    addi s0, s0, 1
+    blt s0, s1, no
+""" + EXIT
+
+#: A loop whose body (30+ sequential ALU ops, ~128 bytes) cannot fit the
+#: tiny cache: persistence must refuse and keep miss-always.
+LONG_LOOP = ("""
+_start:
+    li t0, 0
+    li t1, 50
+    li a0, 0
+long:                  # @loopbound 50
+"""
+             + "\n".join(f"    addi a0, a0, {i % 5}" for i in range(30))
+             + """
+    addi t0, t0, 1
+    blt t0, t1, long
+""" + EXIT)
+
+BIG_CACHE = ICacheConfig(size=1024, line_size=16, ways=2, miss_penalty=10)
+TINY_CACHE = ICacheConfig(size=32, line_size=16, ways=1, miss_penalty=10)
+
+CASES = [
+    ("hot-loop/1KiB", HOT_LOOP, BIG_CACHE),
+    ("nested/1KiB", NESTED, BIG_CACHE),
+    ("long-loop/32B", LONG_LOOP, TINY_CACHE),
+]
+
+
+def run_cases():
+    rows = []
+    for name, source, cache in CASES:
+        miss_always = analyze_program(source, icache=cache)
+        persistent = analyze_program(source, icache=cache,
+                                     cache_analysis=True)
+        rows.append((name, miss_always, persistent))
+    return rows
+
+
+def test_a7_persistence_analysis(benchmark, record):
+    rows = benchmark.pedantic(run_cases, rounds=1, iterations=1)
+
+    header = (f"{'case':<16} {'actual':>8} {'miss-always':>12} "
+              f"{'persistence':>12} {'pess m-a':>9} {'pess pers':>10}")
+    lines = [header, "-" * len(header)]
+    for name, miss_always, persistent in rows:
+        actual = miss_always.result.actual_cycles
+        lines.append(
+            f"{name:<16} {actual:>8} {miss_always.static_bound.cycles:>12} "
+            f"{persistent.static_bound.cycles:>12} "
+            f"{miss_always.static_bound.cycles / actual:>8.2f}x "
+            f"{persistent.static_bound.cycles / actual:>9.2f}x"
+        )
+    record("A7-cache-persistence", "\n".join(lines))
+
+    by_name = {name: (m, p) for name, m, p in rows}
+    for name, (miss_always, persistent) in by_name.items():
+        for analysis in (miss_always, persistent):
+            assert analysis.static_bound.cycles >= analysis.result.wcet_time
+            assert analysis.result.wcet_time >= analysis.result.actual_cycles
+        assert persistent.static_bound.cycles <= \
+            miss_always.static_bound.cycles, name
+
+    # Fitting loops recover nearly all cache pessimism.
+    for name in ("hot-loop/1KiB", "nested/1KiB"):
+        _m, persistent = by_name[name]
+        assert persistent.static_bound.cycles / \
+            persistent.result.actual_cycles < 1.2
+    # A cache too small for the loop falls back to miss-always exactly.
+    miss_always, persistent = by_name["long-loop/32B"]
+    assert persistent.static_bound.cycles == miss_always.static_bound.cycles

@@ -1,0 +1,80 @@
+"""A8 (ablation) — schedulability: analytical RTA vs. simulation.
+
+The RTOS-modelling line of the ecosystem evaluates real-time properties on
+abstract task models.  This experiment sweeps task-set utilization and
+compares the analytical verdict (response-time analysis) against the
+hyperperiod simulation:
+
+* RTA is *safe*: it never accepts a set the simulation shows missing,
+* its bound dominates every observed response,
+* acceptance falls off as utilization approaches 100 % for non-harmonic
+  periods (the rate-monotonic bound in action).
+"""
+
+import random
+
+import pytest
+
+from repro.rtos import TaskSpec, analyze_taskset, total_utilization
+
+PERIOD_POOL = (20, 30, 50, 70, 110, 130)
+SETS_PER_LEVEL = 12
+LEVELS = (0.5, 0.7, 0.85, 1.0)
+
+
+def random_taskset(rng: random.Random, target_util: float):
+    periods = rng.sample(PERIOD_POOL, 3)
+    shares = [rng.random() for _ in periods]
+    scale = target_util / sum(shares)
+    tasks = []
+    for index, (period, share) in enumerate(zip(periods, shares)):
+        wcet = max(1, min(period, round(share * scale * period)))
+        tasks.append(TaskSpec(f"t{index}", period, wcet))
+    return tasks
+
+
+def run_sweep():
+    rng = random.Random(7)
+    rows = []
+    for level in LEVELS:
+        accepted = 0
+        sim_clean = 0
+        unsafe = 0
+        inconsistent = 0
+        for _ in range(SETS_PER_LEVEL):
+            tasks = random_taskset(rng, level)
+            report = analyze_taskset(tasks)
+            if report.rta.schedulable:
+                accepted += 1
+                if report.simulation.missed:
+                    unsafe += 1
+            if not report.simulation.missed:
+                sim_clean += 1
+            if not report.consistent:
+                inconsistent += 1
+        rows.append((level, accepted, sim_clean, unsafe, inconsistent))
+    return rows
+
+
+def test_a8_schedulability_sweep(benchmark, record):
+    rows = benchmark.pedantic(run_sweep, rounds=1, iterations=1)
+
+    header = (f"{'target U':>9} {'RTA accepts':>12} {'sim clean':>10} "
+              f"{'unsafe':>7} {'inconsistent':>13}   (of "
+              f"{SETS_PER_LEVEL} sets)")
+    lines = [header, "-" * len(header)]
+    for level, accepted, sim_clean, unsafe, inconsistent in rows:
+        lines.append(f"{level:>8.0%} {accepted:>12} {sim_clean:>10} "
+                     f"{unsafe:>7} {inconsistent:>13}")
+    record("A8-schedulability", "\n".join(lines))
+
+    for _level, accepted, sim_clean, unsafe, inconsistent in rows:
+        # Safety: RTA never accepts a set that misses in simulation, and
+        # its bounds always dominate the simulated responses.
+        assert unsafe == 0
+        assert inconsistent == 0
+        # RTA is conservative: it can reject sets the simulation survives.
+        assert accepted <= sim_clean
+    # Low utilization is comfortably schedulable; full load mostly is not.
+    assert rows[0][1] > rows[-1][1]
+    assert rows[0][1] >= SETS_PER_LEVEL - 2

@@ -1,0 +1,100 @@
+"""F1 — emulator performance: translation-block caching and plugin cost.
+
+Paper shape (the QEMU-based platform papers): block caching is what makes
+the emulator fast (QEMU's core trick), and instrumentation through the
+plugin API costs a bounded overhead factor — cheap enough that coverage
+and QTA analyses are practical on every run.
+"""
+
+import pytest
+
+from repro.asm import assemble
+from repro.coverage import CoveragePlugin
+from repro.isa import RV32IMC_ZICSR
+from repro.vp import Machine, MachineConfig
+
+# A compute-heavy loop: ~200k dynamic instructions.
+WORKLOAD = """
+_start:
+    li t0, 0
+    li t1, 20000
+    li a0, 0
+loop:
+    add a0, a0, t0
+    xor a1, a0, t0
+    srli a2, a1, 3
+    and a3, a2, t0
+    or a0, a0, a3
+    slli a0, a0, 1
+    srli a0, a0, 1
+    addi t0, t0, 1
+    blt t0, t1, loop
+    li a0, 0
+    li a7, 93
+    ecall
+"""
+
+
+def run_configuration(block_cache: bool, plugin: str):
+    machine = Machine(MachineConfig(isa=RV32IMC_ZICSR,
+                                    block_cache_enabled=block_cache))
+    machine.load(assemble(WORKLOAD, isa=RV32IMC_ZICSR))
+    if plugin == "coverage":
+        machine.add_plugin(CoveragePlugin())
+    elif plugin == "qta":
+        from repro.wcet import (QtaPlugin, build_cfg, preprocess,
+                                run_ait_analysis)
+        program = assemble(WORKLOAD, isa=RV32IMC_ZICSR)
+        report = run_ait_analysis(program)
+        machine.add_plugin(QtaPlugin(preprocess(report), strict=False))
+    result = machine.run(max_instructions=500_000)
+    return result
+
+
+CONFIGS = [
+    ("cache-on", True, "none"),
+    ("cache-off", False, "none"),
+    ("cache+coverage", True, "coverage"),
+    ("cache+qta", True, "qta"),
+]
+
+
+@pytest.mark.parametrize("label,cache,plugin", CONFIGS)
+def test_f1_emulation_speed(benchmark, label, cache, plugin):
+    result = benchmark.pedantic(
+        lambda: run_configuration(cache, plugin), rounds=1, iterations=1)
+    assert result.stop_reason == "exit"
+    benchmark.extra_info["instructions"] = result.instructions
+
+
+def test_f1_summary(benchmark, record):
+    import time
+
+    def measure():
+        rows = {}
+        for label, cache, plugin in CONFIGS:
+            start = time.perf_counter()
+            result = run_configuration(cache, plugin)
+            elapsed = time.perf_counter() - start
+            rows[label] = (result.instructions, elapsed,
+                           result.instructions / elapsed)
+        return rows
+
+    rows = benchmark.pedantic(measure, rounds=1, iterations=1)
+    header = f"{'configuration':<16} {'insns':>9} {'seconds':>9} {'insns/s':>12}"
+    lines = [header, "-" * len(header)]
+    for label, (insns, seconds, rate) in rows.items():
+        lines.append(f"{label:<16} {insns:>9} {seconds:>9.3f} {rate:>12,.0f}")
+    cached_rate = rows["cache-on"][2]
+    uncached_rate = rows["cache-off"][2]
+    lines.append(f"\nTB-cache speedup: {cached_rate / uncached_rate:.2f}x")
+    coverage_overhead = cached_rate / rows["cache+coverage"][2]
+    qta_overhead = cached_rate / rows["cache+qta"][2]
+    lines.append(f"coverage plugin overhead: {coverage_overhead:.2f}x")
+    lines.append(f"QTA plugin overhead: {qta_overhead:.2f}x")
+    record("F1-emulator-performance", "\n".join(lines))
+
+    # Shape: caching wins clearly; plugin overhead bounded.
+    assert cached_rate > uncached_rate * 1.5
+    assert coverage_overhead < 5.0
+    assert qta_overhead < 5.0

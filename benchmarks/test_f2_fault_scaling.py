@@ -1,0 +1,83 @@
+"""F2 — fault-campaign scalability.
+
+Paper shape (fault-analysis platform): campaign wall time grows linearly
+with the number of mutants and with workload length — the property that
+lets the platform "scale to more complex scenarios".
+"""
+
+import time
+
+import pytest
+
+from repro.faultsim import FaultCampaign, MutantBudget, generate_mutants
+from repro.isa import RV32IMC_ZICSR
+from repro.testgen import StructuredGenerator
+
+MUTANT_COUNTS = (25, 50, 100, 200)
+WORKLOAD_SIZES = (4, 8, 16)  # statements in the generated program
+
+
+def _campaign_time(program, mutants):
+    campaign = FaultCampaign(program, isa=RV32IMC_ZICSR)
+    golden = campaign.golden()
+    per_cat = max(1, mutants // 5)
+    faults = generate_mutants(
+        program, None,
+        MutantBudget(code=per_cat, gpr_transient=per_cat, gpr_stuck=per_cat,
+                     memory_transient=per_cat, memory_stuck=per_cat),
+        golden_instructions=golden.instructions, seed=1)
+    start = time.perf_counter()
+    campaign.run(faults)
+    return len(faults), time.perf_counter() - start
+
+
+def test_f2_scaling_with_mutant_count(benchmark, record):
+    program = StructuredGenerator(statements=8).generate(5).program
+
+    def sweep():
+        return [_campaign_time(program, count) for count in MUTANT_COUNTS]
+
+    series = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    header = f"{'mutants':>8} {'seconds':>9} {'mutants/s':>10}"
+    lines = [header, "-" * len(header)]
+    for count, seconds in series:
+        lines.append(f"{count:>8} {seconds:>9.3f} {count / seconds:>10.1f}")
+    record("F2-fault-scaling-mutants", "\n".join(lines))
+
+    # Linear scaling: throughput stays within a 3x band across the sweep.
+    rates = [count / seconds for count, seconds in series]
+    assert max(rates) / min(rates) < 3.0
+    # And more mutants really take more time.
+    times = [seconds for _count, seconds in series]
+    assert times[-1] > times[0]
+
+
+def test_f2_scaling_with_workload_size(benchmark, record):
+    def sweep():
+        rows = []
+        for statements in WORKLOAD_SIZES:
+            program = StructuredGenerator(
+                statements=statements).generate(5).program
+            campaign = FaultCampaign(program, isa=RV32IMC_ZICSR)
+            golden = campaign.golden()
+            faults = generate_mutants(
+                program, None,
+                MutantBudget(code=20, gpr_transient=20, gpr_stuck=10,
+                             memory_transient=0, memory_stuck=0),
+                golden_instructions=golden.instructions, seed=2)
+            start = time.perf_counter()
+            campaign.run(faults)
+            elapsed = time.perf_counter() - start
+            rows.append((statements, golden.instructions, elapsed))
+        return rows
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    header = f"{'statements':>11} {'golden insns':>13} {'seconds':>9}"
+    lines = [header, "-" * len(header)]
+    for statements, insns, seconds in rows:
+        lines.append(f"{statements:>11} {insns:>13} {seconds:>9.3f}")
+    record("F2-fault-scaling-workload", "\n".join(lines))
+
+    # Time per golden instruction stays in the same order of magnitude.
+    unit_costs = [seconds / insns for _s, insns, seconds in rows]
+    assert max(unit_costs) / min(unit_costs) < 10.0

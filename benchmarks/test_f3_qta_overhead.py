@@ -1,0 +1,88 @@
+"""F3 — QTA plugin overhead across program sizes.
+
+Paper shape (QTA tool demo): co-simulating the WCET-annotated CFG costs a
+bounded, size-independent overhead factor on top of plain emulation —
+timing-annotated simulation remains practical for whole programs.
+"""
+
+import time
+
+import pytest
+
+from repro.asm import assemble
+from repro.isa import RV32IMC_ZICSR
+from repro.vp import Machine, MachineConfig
+from repro.wcet import QtaPlugin, preprocess, run_ait_analysis
+
+EXIT = "\n    li a7, 93\n    ecall\n"
+
+
+def make_workload(iterations: int) -> str:
+    return f"""
+_start:
+    li t0, 0
+    li t1, {iterations}
+    li a0, 0
+loop:                  # @loopbound {iterations}
+    add a0, a0, t0
+    xor a1, a0, t0
+    srli a2, a1, 3
+    andi a3, a2, 255
+    add a0, a0, a3
+    addi t0, t0, 1
+    blt t0, t1, loop
+    li a0, 0
+""" + EXIT
+
+
+SIZES = (1_000, 5_000, 20_000)
+
+
+def run_pair(iterations: int):
+    source = make_workload(iterations)
+    program = assemble(source, isa=RV32IMC_ZICSR)
+
+    machine = Machine(MachineConfig(isa=RV32IMC_ZICSR))
+    machine.load(program)
+    start = time.perf_counter()
+    plain = machine.run(max_instructions=10_000_000)
+    plain_time = time.perf_counter() - start
+
+    report = run_ait_analysis(program)
+    cfg = preprocess(report)
+    machine = Machine(MachineConfig(isa=RV32IMC_ZICSR))
+    machine.load(program)
+    plugin = QtaPlugin(cfg, strict=False)
+    machine.add_plugin(plugin)
+    start = time.perf_counter()
+    instrumented = machine.run(max_instructions=10_000_000)
+    qta_time = time.perf_counter() - start
+    plugin.finalize()
+
+    assert plain.instructions == instrumented.instructions
+    return plain.instructions, plain_time, qta_time, plugin.wcet_time, \
+        instrumented.cycles
+
+
+def test_f3_qta_overhead_by_size(benchmark, record):
+    rows = benchmark.pedantic(
+        lambda: [run_pair(size) for size in SIZES], rounds=1, iterations=1)
+
+    header = (f"{'dyn insns':>10} {'plain s':>9} {'with QTA s':>11} "
+              f"{'overhead':>9} {'QTA path':>10} {'actual':>8}")
+    lines = [header, "-" * len(header)]
+    overheads = []
+    for insns, plain_time, qta_time, path, actual in rows:
+        overhead = qta_time / plain_time
+        overheads.append(overhead)
+        lines.append(
+            f"{insns:>10} {plain_time:>9.3f} {qta_time:>11.3f} "
+            f"{overhead:>8.2f}x {path:>10} {actual:>8}"
+        )
+    record("F3-qta-overhead", "\n".join(lines))
+
+    # Bounded overhead, independent of program size (within noise).
+    assert all(o < 6.0 for o in overheads)
+    # The QTA invariant still holds at every size.
+    for _insns, _pt, _qt, path, actual in rows:
+        assert path >= actual

@@ -1,0 +1,80 @@
+"""T1 — suite coverage comparison (the coverage paper's headline table).
+
+Paper shape: the architectural, unit, and Torture suites each have a
+distinct coverage trade-off; no single suite reaches full register
+coverage; the combined suite reaches 100 % GPR and FPR coverage and
+~99 % instruction-type coverage.
+"""
+
+import pytest
+
+from repro.coverage import measure_suite
+from repro.isa import RV32IMCF_ZICSR
+from repro.testgen import (
+    ArchSuiteGenerator,
+    TortureConfig,
+    TortureGenerator,
+    UnitSuiteGenerator,
+)
+
+ISA = RV32IMCF_ZICSR
+BUDGET = 200_000
+
+
+def build_suites():
+    return {
+        "architectural": ArchSuiteGenerator(ISA).generate(),
+        "unit-tests": UnitSuiteGenerator(ISA).generate(),
+        "torture": TortureGenerator(
+            ISA, TortureConfig(length=500)).generate_suite(3),
+    }
+
+
+def measure_all():
+    suites = build_suites()
+    unions = {
+        name: measure_suite(programs, isa=ISA,
+                            max_instructions=BUDGET).union
+        for name, programs in suites.items()
+    }
+    combined = unions["architectural"] | unions["unit-tests"] \
+        | unions["torture"]
+    return suites, unions, combined
+
+
+def render(suites, unions, combined) -> str:
+    header = (f"{'suite':<16} {'programs':>9} {'insn types':>12} "
+              f"{'GPR':>8} {'FPR':>8} {'CSR':>8}")
+    lines = [header, "-" * len(header)]
+    for name in suites:
+        union = unions[name]
+        lines.append(
+            f"{name:<16} {len(suites[name]):>9} "
+            f"{union.insn_coverage:>11.1%} {union.gpr_coverage:>7.1%} "
+            f"{union.fpr_coverage:>7.1%} {union.csr_coverage:>7.1%}"
+        )
+    total = sum(len(p) for p in suites.values())
+    lines.append(
+        f"{'combined':<16} {total:>9} {combined.insn_coverage:>11.1%} "
+        f"{combined.gpr_coverage:>7.1%} {combined.fpr_coverage:>7.1%} "
+        f"{combined.csr_coverage:>7.1%}"
+    )
+    return "\n".join(lines)
+
+
+def test_t1_coverage_suite_comparison(benchmark, record):
+    suites, unions, combined = benchmark.pedantic(
+        measure_all, rounds=1, iterations=1)
+    record("T1-coverage-suites", render(suites, unions, combined))
+
+    # Paper shape: individual trade-offs ...
+    assert unions["architectural"].insn_coverage == 1.0
+    assert unions["architectural"].gpr_coverage < 1.0
+    assert unions["torture"].gpr_coverage == 1.0
+    assert unions["torture"].insn_coverage < 0.95
+    assert unions["unit-tests"].insn_coverage < \
+        unions["architectural"].insn_coverage
+    # ... and the union closes the gap (paper: 100 % GPR/FPR, 98.7 % insn).
+    assert combined.gpr_coverage == 1.0
+    assert combined.fpr_coverage == 1.0
+    assert combined.insn_coverage >= 0.98

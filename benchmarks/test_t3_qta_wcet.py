@@ -1,0 +1,200 @@
+"""T3 — QTA timing-annotated simulation vs static WCET bound.
+
+Paper shape (QTA tool demo): for every benchmark program the static IPET
+bound dominates the QTA-simulated worst-case path time, which dominates
+the actually consumed cycles; pessimism stays moderate for control-flow-
+regular programs.
+"""
+
+import pytest
+
+from repro.wcet import analyze_program
+
+EXIT = "\n    li a7, 93\n    ecall\n"
+
+PROGRAMS = {
+    "fib": """
+_start:
+    li a0, 0
+    li a1, 1
+    li t0, 0
+    li t1, 24
+fib:                    # @loopbound 24
+    add t2, a0, a1
+    mv a0, a1
+    mv a1, t2
+    addi t0, t0, 1
+    blt t0, t1, fib
+""" + EXIT,
+
+    "matmul-2x2": """
+_start:
+    la s0, a
+    la s1, b
+    la s2, c
+    li s3, 0            # i
+mm_i:                   # @loopbound 2
+    li s4, 0            # j
+mm_j:                   # @loopbound 2
+    li s5, 0            # k
+    li s6, 0            # acc
+mm_k:                   # @loopbound 2
+    slli t0, s3, 3
+    slli t1, s5, 2
+    add t0, t0, t1
+    add t0, t0, s0
+    lw t2, 0(t0)        # a[i][k]
+    slli t0, s5, 3
+    slli t1, s4, 2
+    add t0, t0, t1
+    add t0, t0, s1
+    lw t3, 0(t0)        # b[k][j]
+    mul t2, t2, t3
+    add s6, s6, t2
+    addi s5, s5, 1
+    li t0, 2
+    blt s5, t0, mm_k
+    slli t0, s3, 3
+    slli t1, s4, 2
+    add t0, t0, t1
+    add t0, t0, s2
+    sw s6, 0(t0)
+    addi s4, s4, 1
+    li t0, 2
+    blt s4, t0, mm_j
+    addi s3, s3, 1
+    li t0, 2
+    blt s3, t0, mm_i
+    lw a0, 0(s2)
+""" + EXIT + """
+.data
+a: .word 1, 2, 3, 4
+b: .word 5, 6, 7, 8
+c: .zero 16
+""",
+
+    "bubble-sort": """
+_start:
+    la s0, array
+    li s1, 8
+bs_outer:               # @loopbound 8
+    li t0, 0
+    addi t1, s1, -1
+bs_inner:               # @loopbound 7
+    slli t2, t0, 2
+    add t2, t2, s0
+    lw t3, 0(t2)
+    lw t4, 4(t2)
+    ble t3, t4, bs_skip
+    sw t4, 0(t2)
+    sw t3, 4(t2)
+bs_skip:
+    addi t0, t0, 1
+    blt t0, t1, bs_inner
+    addi s1, s1, -1
+    li t0, 1
+    bgt s1, t0, bs_outer
+    la s0, array
+    lw a0, 0(s0)
+""" + EXIT + """
+.data
+array: .word 7, 3, 9, 1, 8, 2, 6, 4
+""",
+
+    "crc8": """
+_start:
+    la s0, message
+    li s1, 16
+    li a0, 0
+crc_byte:               # @loopbound 16
+    lbu t0, 0(s0)
+    xor a0, a0, t0
+    li t1, 8
+crc_bit:                # @loopbound 8
+    andi t2, a0, 0x80
+    slli a0, a0, 1
+    andi a0, a0, 0xFF
+    beqz t2, crc_next
+    xori a0, a0, 0x07
+crc_next:
+    addi t1, t1, -1
+    bnez t1, crc_bit
+    addi s0, s0, 1
+    addi s1, s1, -1
+    bnez s1, crc_byte
+""" + EXIT + """
+.data
+message: .ascii "scale4edge-DATE!"
+""",
+
+    "state-machine": """
+# A small branchy protocol state machine over an input tape.
+_start:
+    la s0, tape
+    li s1, 20
+    li s2, 0            # state
+    li a0, 0            # accepted count
+sm_step:                # @loopbound 20
+    lbu t0, 0(s0)
+    beqz s2, sm_state0
+    li t1, 1
+    beq s2, t1, sm_state1
+    # state 2: accept on 'c', reset
+    li t1, 'c'
+    bne t0, t1, sm_reset
+    addi a0, a0, 1
+sm_reset:
+    li s2, 0
+    j sm_next
+sm_state0:
+    li t1, 'a'
+    bne t0, t1, sm_next
+    li s2, 1
+    j sm_next
+sm_state1:
+    li t1, 'b'
+    beq t0, t1, sm_to2
+    li s2, 0
+    j sm_next
+sm_to2:
+    li s2, 2
+sm_next:
+    addi s0, s0, 1
+    addi s1, s1, -1
+    bnez s1, sm_step
+""" + EXIT + """
+.data
+tape: .ascii "abcabxabcaabcbabcabc"
+""",
+}
+
+
+def analyze_all():
+    return {name: analyze_program(source, name=name)
+            for name, source in PROGRAMS.items()}
+
+
+def test_t3_qta_vs_static_bound(benchmark, record):
+    analyses = benchmark.pedantic(analyze_all, rounds=1, iterations=1)
+
+    header = (f"{'program':<14} {'static bound':>13} {'QTA path':>10} "
+              f"{'actual':>8} {'bound/actual':>13} {'path/actual':>12}")
+    lines = [header, "-" * len(header)]
+    for name, analysis in analyses.items():
+        bound = analysis.static_bound.cycles
+        path = analysis.result.wcet_time
+        actual = analysis.result.actual_cycles
+        lines.append(
+            f"{name:<14} {bound:>13} {path:>10} {actual:>8} "
+            f"{bound / actual:>12.2f}x {path / actual:>11.2f}x"
+        )
+    record("T3-qta-wcet", "\n".join(lines))
+
+    for name, analysis in analyses.items():
+        bound = analysis.static_bound.cycles
+        path = analysis.result.wcet_time
+        actual = analysis.result.actual_cycles
+        # The soundness chain of the QTA flow.
+        assert bound >= path >= actual, name
+        # Pessimism should stay within a small factor for these kernels.
+        assert bound / actual < 3.0, name

@@ -1,0 +1,44 @@
+#!/usr/bin/env python3
+"""Edge demonstrator: UART door-lock controller with IO-access monitoring.
+
+The scenario from the group's security analysis: an access-control unit
+receives a PIN over a serial interface.  The non-invasive dynamic IO
+analysis observes every UART access through the VP's plugin API and flags
+accesses that do not originate from the authorized driver code — catching
+a planted backdoor that leaks the stored PIN.
+
+Run with:  python examples/access_control_demo.py
+"""
+
+from repro.core import access_control_demo
+
+
+def main() -> None:
+    print("=== legitimate firmware ===")
+    for attempt, label in [(b"1234", "correct PIN"),
+                           (b"9999", "wrong PIN"),
+                           (b"12", "truncated input")]:
+        result = access_control_demo(pin=b"1234", attempt=attempt)
+        verdict = "GRANTED" if result.extras["granted"] else "DENIED"
+        print(f"  {label:<16} -> {verdict:<8} uart={result.uart_output!r} "
+              f"violations={result.extras['violations']}")
+
+    print("\n=== firmware with a planted backdoor ===")
+    result = access_control_demo(pin=b"1234", attempt=b"1234",
+                                 with_backdoor=True)
+    print(f"  uart output: {result.uart_output!r}  "
+          f"(note the leaked PIN digits before OPEN)")
+    print()
+    print("policy view (IO-access monitor):")
+    print(result.extras["monitor_report"])
+    print()
+    print("data-flow view (taint tracking, secret = stored PIN):")
+    print(result.extras["taint_report"])
+    assert result.extras["violations"] == 2, \
+        "the monitor must flag exactly the two backdoor stores"
+    assert result.extras["leaks"] == 2, \
+        "taint tracking must see the PIN bytes reach the UART"
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,63 @@
+#!/usr/bin/env python3
+"""Cache-aware WCET analysis: miss-always vs. loop persistence.
+
+Configures an instruction cache on both the VP and the static analysis,
+then shows the three analysis levels on a hot loop:
+
+1. no cache model — tight but ignores fetch latency,
+2. miss-always   — sound with the cache, wildly pessimistic on loops,
+3. persistence   — loops that fit the cache are charged once per entry.
+
+Run with:  python examples/cache_wcet.py
+"""
+
+from repro.vp import ICacheConfig
+from repro.wcet import analyze_program
+
+PROGRAM = """
+_start:
+    li t0, 0
+    li t1, 150
+    li a0, 0
+hot:                   # @loopbound 150
+    add a0, a0, t0
+    xor a0, a0, t1
+    addi t0, t0, 1
+    blt t0, t1, hot
+    li a7, 93
+    ecall
+"""
+
+CACHE = ICacheConfig(size=1024, line_size=16, ways=2, miss_penalty=10)
+
+
+def main() -> None:
+    modes = [
+        ("no cache model", {}),
+        ("miss-always", {"icache": CACHE}),
+        ("persistence", {"icache": CACHE, "cache_analysis": True}),
+        ("persistence + edge-sensitive",
+         {"icache": CACHE, "cache_analysis": True, "edge_sensitive": True}),
+    ]
+    header = (f"{'analysis mode':<30} {'static bound':>13} {'QTA path':>10} "
+              f"{'actual':>8} {'pessimism':>10}")
+    print(header)
+    print("-" * len(header))
+    for label, kwargs in modes:
+        analysis = analyze_program(PROGRAM, name="hot-loop", **kwargs)
+        bound = analysis.static_bound.cycles
+        actual = analysis.result.actual_cycles
+        print(f"{label:<30} {bound:>13} {analysis.result.wcet_time:>10} "
+              f"{actual:>8} {bound / actual:>9.2f}x")
+        assert bound >= analysis.result.wcet_time >= actual
+
+    print(
+        "\nreading: with the cache on the VP, the sound miss-always bound "
+        "explodes on the hot loop;\nthe persistence analysis proves the "
+        "loop cannot evict its own lines and recovers the\npessimism — "
+        "charging the fill once per loop entry instead of per iteration."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,44 @@
+#!/usr/bin/env python3
+"""Software fault-tolerance countermeasures under fault pressure.
+
+Closes the loop the fault-analysis platform opens: the campaign flags
+silent-data-corruption cases; this example shows what the recommended
+countermeasures buy.  The same transient register-fault population is
+applied to an unprotected checksum kernel, a duplication-with-comparison
+(DWC) variant, and a TMR variant.
+
+Run with:  python examples/fault_tolerance.py
+"""
+
+from repro.asm import assemble
+from repro.faultsim.countermeasures import (
+    VARIANTS,
+    evaluate_countermeasures,
+    table,
+)
+from repro.isa import RV32IMC_ZICSR
+from repro.vp import Machine, MachineConfig
+
+
+def main() -> None:
+    print("hardening variants and their cost:")
+    for name, source in VARIANTS.items():
+        machine = Machine(MachineConfig(isa=RV32IMC_ZICSR))
+        machine.load(assemble(source, isa=RV32IMC_ZICSR))
+        result = machine.run(max_instructions=100_000)
+        print(f"  {name:<14} {result.instructions:>5} instructions, "
+              f"checksum {result.exit_code:#x}")
+
+    print("\nfault verdicts under 150 transient register flips each:")
+    results = evaluate_countermeasures(mutants=150, seed=1)
+    print(table(results))
+
+    print(
+        "\nreading: DWC converts silent corruption into detections; "
+        "TMR removes it entirely\n(corrected runs appear as benign — the "
+        "result matches the fault-free reference)."
+    )
+
+
+if __name__ == "__main__":
+    main()

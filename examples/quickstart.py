@@ -1,0 +1,68 @@
+#!/usr/bin/env python3
+"""Quickstart: assemble a bare-metal RISC-V program, run it on the virtual
+prototype, and inspect the results.
+
+Run with:  python examples/quickstart.py
+"""
+
+from repro.core import Ecosystem
+
+SOURCE = """
+# Print a greeting over the UART, then compute 10! and exit with
+# (10! mod 100) as the exit code.
+.equ UART, 0x10000000
+
+_start:
+    la a1, greeting
+    li t0, UART
+print:                  # @loopbound 32
+    lbu t1, 0(a1)
+    beqz t1, compute
+    sb t1, 0(t0)
+    addi a1, a1, 1
+    j print
+
+compute:
+    li a0, 1            # accumulator
+    li t0, 1            # counter
+    li t1, 10
+factorial:              # @loopbound 10
+    mul a0, a0, t0
+    addi t0, t0, 1
+    ble t0, t1, factorial
+
+    li t2, 100
+    remu a0, a0, t2
+    li a7, 93           # exit(a0)
+    ecall
+
+.data
+greeting: .asciz "hello from the Scale4Edge VP!\\n"
+"""
+
+
+def main() -> None:
+    # An ecosystem bundles one ISA configuration with every tool.
+    eco = Ecosystem.for_isa("rv32imc_zicsr")
+
+    # Assemble to a program image (labels, pseudo-instructions, sections).
+    program = eco.build(SOURCE)
+    print(f"assembled {program.total_size} bytes, "
+          f"entry {program.entry:#010x}, isa {program.isa_name}")
+
+    # Run on the full-system VP (CPU + RAM + UART + CLINT + exit device).
+    machine, result = eco.run(program)
+    print(f"UART output: {machine.uart.output!r}")
+    print(f"stop reason: {result.stop_reason}")
+    print(f"exit code:   {result.exit_code}  (10! mod 100 = 28800 mod 100)")
+    print(f"instructions: {result.instructions}, cycles: {result.cycles}")
+
+    # The translation-block engine caches decoded blocks like QEMU.
+    print(f"TB cache: {machine.cpu.tb_hits} hits, "
+          f"{machine.cpu.tb_misses} misses")
+
+    assert result.exit_code == 28800 % 100
+
+
+if __name__ == "__main__":
+    main()

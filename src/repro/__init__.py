@@ -1,0 +1,16 @@
+"""repro — a reproduction of the Scale4Edge RISC-V ecosystem.
+
+Subpackages:
+
+* :mod:`repro.isa` — RISC-V ISA model (decoder, encodings, registers, CSRs).
+* :mod:`repro.asm` — assembler and program image format.
+* :mod:`repro.vp` — virtual prototype (CPU, bus, devices, plugin API).
+* :mod:`repro.wcet` — WCET analysis and QTA co-simulation.
+* :mod:`repro.coverage` — instruction/register coverage metric.
+* :mod:`repro.faultsim` — fault-effect simulation platform.
+* :mod:`repro.testgen` — test-suite generators.
+* :mod:`repro.bmi` — bit-manipulation ISA extension and kernels.
+* :mod:`repro.core` — the ecosystem facade and demonstrators.
+"""
+
+__version__ = "1.0.0"

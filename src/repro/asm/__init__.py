@@ -1,0 +1,8 @@
+"""Assembler and program image format."""
+
+from .assembler import AsmError, Assembler, DEFAULT_TEXT_BASE, assemble
+from .listing import render_listing
+from .program import Program
+
+__all__ = ["AsmError", "Assembler", "DEFAULT_TEXT_BASE", "Program",
+           "assemble", "render_listing"]

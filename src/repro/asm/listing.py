@@ -1,0 +1,86 @@
+"""Disassembly listings — an ``objdump``-style view of program images.
+
+Renders a :class:`~repro.asm.Program` as an annotated listing: symbols as
+section headers, one line per instruction with address, raw encoding, and
+disassembly; data segments as hex dumps.  Used by the CLI's ``disasm``
+command and handy when debugging generated programs.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from ..isa.decoder import Decoder, IllegalInstructionError, IsaConfig
+from ..isa.disasm import disassemble
+from .program import Program
+
+
+def _symbols_by_address(program: Program) -> Dict[int, List[str]]:
+    table: Dict[int, List[str]] = {}
+    for name, addr in sorted(program.symbols.items()):
+        table.setdefault(addr, []).append(name)
+    return table
+
+
+def disassemble_segment(addr: int, blob: bytes, decoder: Decoder,
+                        symbols: Dict[int, List[str]]) -> List[str]:
+    """Instruction listing for one code segment."""
+    lines: List[str] = []
+    offset = 0
+    while offset < len(blob):
+        pc = addr + offset
+        for name in symbols.get(pc, ()):
+            lines.append(f"\n{pc:08x} <{name}>:")
+        low = int.from_bytes(blob[offset:offset + 2], "little")
+        if low & 0x3 == 0x3 and offset + 4 <= len(blob):
+            word = int.from_bytes(blob[offset:offset + 4], "little")
+            length = 4
+            encoding = f"{word:08x}"
+        else:
+            word = low
+            length = 2
+            encoding = f"    {word:04x}"
+        try:
+            text = disassemble(decoder.decode(word, pc), pc=pc)
+        except IllegalInstructionError:
+            text = f".word {word:#x}" if length == 4 else f".half {word:#x}"
+        lines.append(f"  {pc:08x}:  {encoding}    {text}")
+        offset += length
+    return lines
+
+
+def hexdump_segment(addr: int, blob: bytes,
+                    symbols: Dict[int, List[str]]) -> List[str]:
+    """Hex dump for a data segment, 16 bytes per row with ASCII gutter."""
+    lines: List[str] = []
+    for row_start in range(0, len(blob), 16):
+        row = blob[row_start:row_start + 16]
+        pc = addr + row_start
+        for i in range(len(row)):
+            for name in symbols.get(pc + i, ()):
+                lines.append(f"\n{pc + i:08x} <{name}>:")
+        hex_part = " ".join(f"{b:02x}" for b in row)
+        ascii_part = "".join(chr(b) if 32 <= b < 127 else "." for b in row)
+        lines.append(f"  {pc:08x}:  {hex_part:<47}  |{ascii_part}|")
+    return lines
+
+
+def render_listing(program: Program,
+                   isa: Optional[IsaConfig] = None) -> str:
+    """Full listing of ``program``: code disassembled, data hex-dumped."""
+    isa = isa or IsaConfig.from_string(program.isa_name)
+    decoder = Decoder(isa)
+    symbols = _symbols_by_address(program)
+    text_addr, _text_blob = program.text_segment
+    lines = [
+        f"program image: entry {program.entry:#010x}, isa {program.isa_name}",
+    ]
+    for addr, blob in program.segments:
+        kind = "code" if addr == text_addr else "data"
+        lines.append(f"\nsegment {addr:#010x}..{addr + len(blob):#010x} "
+                     f"({len(blob)} bytes, {kind}):")
+        if kind == "code":
+            lines.extend(disassemble_segment(addr, blob, decoder, symbols))
+        else:
+            lines.extend(hexdump_segment(addr, blob, symbols))
+    return "\n".join(lines)

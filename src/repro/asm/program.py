@@ -1,0 +1,121 @@
+"""The program image format produced by the assembler and consumed by the
+machine loader, the CFG builder, and the fault-injection mutant generator.
+
+A :class:`Program` is a small, self-describing replacement for an ELF file:
+load segments, an entry point, and a symbol table.  It deliberately stays a
+plain in-memory object with a trivial (de)serialisation, because every
+Scale4Edge tool in this repo wants cheap structural access to the code
+bytes (mutation, disassembly, CFG reconstruction).
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+
+@dataclass
+class Program:
+    """An executable image.
+
+    Attributes:
+        segments: list of ``(load_address, bytes)`` pairs, sorted by address.
+        entry: initial pc.
+        symbols: label -> address map.
+        isa_name: the ISA configuration string the program was built for.
+    """
+
+    segments: List[Tuple[int, bytes]]
+    entry: int
+    symbols: Dict[str, int] = field(default_factory=dict)
+    isa_name: str = "RV32I"
+
+    def __post_init__(self) -> None:
+        self.segments = sorted(
+            [(addr, bytes(blob)) for addr, blob in self.segments],
+            key=lambda seg: seg[0],
+        )
+        for (a_addr, a_blob), (b_addr, _) in zip(self.segments, self.segments[1:]):
+            if a_addr + len(a_blob) > b_addr:
+                raise ValueError(
+                    f"overlapping segments at {a_addr:#x} and {b_addr:#x}"
+                )
+
+    # ------------------------------------------------------------------
+
+    @property
+    def text_segment(self) -> Tuple[int, bytes]:
+        """The segment containing the entry point (the code segment)."""
+        for addr, blob in self.segments:
+            if addr <= self.entry < addr + len(blob):
+                return addr, blob
+        raise ValueError(f"entry {self.entry:#x} not inside any segment")
+
+    @property
+    def total_size(self) -> int:
+        return sum(len(blob) for _addr, blob in self.segments)
+
+    def address_of(self, symbol: str) -> int:
+        try:
+            return self.symbols[symbol]
+        except KeyError:
+            raise KeyError(f"undefined symbol {symbol!r}") from None
+
+    def byte_at(self, addr: int) -> int:
+        for base, blob in self.segments:
+            if base <= addr < base + len(blob):
+                return blob[addr - base]
+        raise ValueError(f"address {addr:#x} not inside any segment")
+
+    def with_patch(self, addr: int, patch: bytes) -> "Program":
+        """A copy with ``patch`` overwriting bytes at ``addr``.
+
+        Used by the fault-injection mutant generator to flip bits in the
+        binary without touching the original image.
+        """
+        new_segments: List[Tuple[int, bytes]] = []
+        patched = False
+        for base, blob in self.segments:
+            if base <= addr and addr + len(patch) <= base + len(blob):
+                offset = addr - base
+                mutable = bytearray(blob)
+                mutable[offset:offset + len(patch)] = patch
+                new_segments.append((base, bytes(mutable)))
+                patched = True
+            else:
+                new_segments.append((base, blob))
+        if not patched:
+            raise ValueError(f"patch at {addr:#x} not inside any segment")
+        return Program(new_segments, self.entry, dict(self.symbols), self.isa_name)
+
+    # ------------------------------------------------------------------
+    # (De)serialisation — a JSON header plus hex-encoded segment payloads.
+    # ------------------------------------------------------------------
+
+    def to_json(self) -> str:
+        return json.dumps({
+            "format": "repro-program-v1",
+            "entry": self.entry,
+            "isa": self.isa_name,
+            "symbols": self.symbols,
+            "segments": [
+                {"addr": addr, "data": blob.hex()}
+                for addr, blob in self.segments
+            ],
+        }, indent=2)
+
+    @classmethod
+    def from_json(cls, text: str) -> "Program":
+        payload = json.loads(text)
+        if payload.get("format") != "repro-program-v1":
+            raise ValueError("not a repro program image")
+        return cls(
+            segments=[
+                (seg["addr"], bytes.fromhex(seg["data"]))
+                for seg in payload["segments"]
+            ],
+            entry=payload["entry"],
+            symbols={name: addr for name, addr in payload["symbols"].items()},
+            isa_name=payload.get("isa", "RV32I"),
+        )

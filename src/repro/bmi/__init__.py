@@ -1,0 +1,35 @@
+"""Bit-manipulation instruction (BMI) extension and its evaluation.
+
+Importing this package registers the ``Zbb`` ISA module with the decoder.
+"""
+
+from .evaluate import (
+    EquivalenceError,
+    KernelComparison,
+    compare_kernel,
+    evaluate_all,
+    run_kernel,
+    table,
+)
+from .extension import (
+    BMI_SPECS,
+    MODULE_NAME,
+    RV32IMC_ZICSR_ZBB,
+    RV32IM_ZBB,
+)
+from .kernels import KERNELS, KernelPair
+
+__all__ = [
+    "BMI_SPECS",
+    "EquivalenceError",
+    "KERNELS",
+    "KernelComparison",
+    "KernelPair",
+    "MODULE_NAME",
+    "RV32IMC_ZICSR_ZBB",
+    "RV32IM_ZBB",
+    "compare_kernel",
+    "evaluate_all",
+    "run_kernel",
+    "table",
+]

@@ -1,0 +1,99 @@
+"""BMI software evaluation: run each kernel pair and compare costs.
+
+Reproduces the software-evaluation side of the PATMOS BMI paper: for each
+kernel, dynamic instruction count and cycle count with and without the
+extension, the speedup factor, and an equivalence check (identical
+checksums).  The hardware-side claim (no critical-path impact) maps to the
+timing model assigning BMI instructions the 1-cycle ALU cost.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from ..asm import assemble
+from ..isa.decoder import IsaConfig
+from ..vp.machine import Machine, MachineConfig
+from ..vp.timing import TimingModel
+from .extension import RV32IM_ZBB
+from .kernels import KERNELS, KernelPair
+
+
+@dataclass
+class KernelComparison:
+    """Measured baseline-vs-BMI numbers for one kernel."""
+
+    name: str
+    description: str
+    checksum: int
+    baseline_instructions: int
+    bmi_instructions: int
+    baseline_cycles: int
+    bmi_cycles: int
+
+    @property
+    def instruction_reduction(self) -> float:
+        return self.baseline_instructions / self.bmi_instructions
+
+    @property
+    def cycle_speedup(self) -> float:
+        return self.baseline_cycles / self.bmi_cycles
+
+
+class EquivalenceError(Exception):
+    """Baseline and BMI kernel versions disagree on the checksum."""
+
+
+def run_kernel(source: str, isa: IsaConfig,
+               timing: Optional[TimingModel] = None):
+    """Assemble and run one kernel source; returns the RunResult."""
+    machine = Machine(MachineConfig(isa=isa, timing=timing))
+    machine.load(assemble(source, isa=isa))
+    result = machine.run(max_instructions=10_000_000)
+    if result.stop_reason != "exit":
+        raise RuntimeError(f"kernel did not terminate: {result.stop_reason}")
+    return result
+
+
+def compare_kernel(kernel: KernelPair, isa: IsaConfig = RV32IM_ZBB,
+                   timing: Optional[TimingModel] = None) -> KernelComparison:
+    """Run both variants of a kernel and check checksum equivalence."""
+    baseline = run_kernel(kernel.baseline_source, isa, timing)
+    bmi = run_kernel(kernel.bmi_source, isa, timing)
+    if baseline.exit_code != bmi.exit_code:
+        raise EquivalenceError(
+            f"{kernel.name}: baseline checksum {baseline.exit_code:#x} != "
+            f"BMI checksum {bmi.exit_code:#x}"
+        )
+    return KernelComparison(
+        name=kernel.name,
+        description=kernel.description,
+        checksum=baseline.exit_code,
+        baseline_instructions=baseline.instructions,
+        bmi_instructions=bmi.instructions,
+        baseline_cycles=baseline.cycles,
+        bmi_cycles=bmi.cycles,
+    )
+
+
+def evaluate_all(isa: IsaConfig = RV32IM_ZBB,
+                 timing: Optional[TimingModel] = None
+                 ) -> List[KernelComparison]:
+    """Compare every kernel pair of :data:`~repro.bmi.kernels.KERNELS`."""
+    return [compare_kernel(kernel, isa, timing) for kernel in KERNELS]
+
+
+def table(comparisons: List[KernelComparison]) -> str:
+    """Render the PATMOS-style speedup table."""
+    header = (f"{'kernel':<15} {'insns base':>11} {'insns bmi':>10} "
+              f"{'x-insn':>7} {'cyc base':>9} {'cyc bmi':>8} {'speedup':>8}")
+    lines = [header, "-" * len(header)]
+    for row in comparisons:
+        lines.append(
+            f"{row.name:<15} {row.baseline_instructions:>11} "
+            f"{row.bmi_instructions:>10} {row.instruction_reduction:>6.2f}x "
+            f"{row.baseline_cycles:>9} {row.bmi_cycles:>8} "
+            f"{row.cycle_speedup:>7.2f}x"
+        )
+    return "\n".join(lines)

@@ -1,0 +1,348 @@
+"""Benchmark kernels with and without the BMI extension.
+
+Each kernel exists in two semantically identical versions — a baseline
+using only RV32IM instructions and a BMI version using the Zbb-style
+extension — and ends by exiting with a checksum, so equivalence is checked
+by comparing exit codes.  The kernels are the crypto/bit-twiddling
+workloads the PATMOS evaluation motivates: population counts, leading-zero
+normalisation, rotate-heavy ARX mixing, byte masking, and clamping.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+_EXIT = """
+    li t0, 0x7FFFFFFF
+    and a0, a0, t0
+    li a7, 93
+    ecall
+"""
+
+_DATA = """
+.data
+data:
+    .word 0xDEADBEEF, 0x00000000, 0xFFFFFFFF, 0x12345678
+    .word 0x80000001, 0x0F0F0F0F, 0xCAFEBABE, 0x00010000
+    .word 0x55555555, 0xAAAAAAAA, 0x7FFFFFFF, 0x80000000
+    .word 0x01020304, 0xFEDCBA98, 0x0000FFFF, 0x13579BDF
+"""
+
+# ---------------------------------------------------------------------------
+# popcount over 16 words
+# ---------------------------------------------------------------------------
+
+POPCOUNT_BASELINE = """
+# Sum of population counts over 16 words, SWAR bit-twiddling baseline.
+_start:
+    la s0, data
+    li s1, 16
+    li a0, 0
+    li s2, 0x55555555
+    li s3, 0x33333333
+    li s4, 0x0F0F0F0F
+    li s5, 0x01010101
+loop:                      # @loopbound 16
+    lw t0, 0(s0)
+    # v = v - ((v >> 1) & 0x55555555)
+    srli t1, t0, 1
+    and t1, t1, s2
+    sub t0, t0, t1
+    # v = (v & 0x33333333) + ((v >> 2) & 0x33333333)
+    and t1, t0, s3
+    srli t0, t0, 2
+    and t0, t0, s3
+    add t0, t0, t1
+    # v = (v + (v >> 4)) & 0x0F0F0F0F
+    srli t1, t0, 4
+    add t0, t0, t1
+    and t0, t0, s4
+    # count = (v * 0x01010101) >> 24
+    mul t0, t0, s5
+    srli t0, t0, 24
+    add a0, a0, t0
+    addi s0, s0, 4
+    addi s1, s1, -1
+    bnez s1, loop
+""" + _EXIT + _DATA
+
+POPCOUNT_BMI = """
+# Sum of population counts over 16 words, single-instruction cpop.
+_start:
+    la s0, data
+    li s1, 16
+    li a0, 0
+loop:                      # @loopbound 16
+    lw t0, 0(s0)
+    cpop t0, t0
+    add a0, a0, t0
+    addi s0, s0, 4
+    addi s1, s1, -1
+    bnez s1, loop
+""" + _EXIT + _DATA
+
+# ---------------------------------------------------------------------------
+# leading-zero normalisation (soft-float style)
+# ---------------------------------------------------------------------------
+
+CLZ_BASELINE = """
+# Accumulate leading-zero counts via a shift loop (soft-float normalise).
+_start:
+    la s0, data
+    li s1, 16
+    li a0, 0
+outer:                     # @loopbound 16
+    lw t0, 0(s0)
+    li t1, 0
+    beqz t0, zero_case
+count:                     # @loopbound 32
+    srli t2, t0, 31
+    bnez t2, done
+    slli t0, t0, 1
+    addi t1, t1, 1
+    j count
+zero_case:
+    li t1, 32
+done:
+    add a0, a0, t1
+    addi s0, s0, 4
+    addi s1, s1, -1
+    bnez s1, outer
+""" + _EXIT + _DATA
+
+CLZ_BMI = """
+# Accumulate leading-zero counts with clz.
+_start:
+    la s0, data
+    li s1, 16
+    li a0, 0
+loop:                      # @loopbound 16
+    lw t0, 0(s0)
+    clz t0, t0
+    add a0, a0, t0
+    addi s0, s0, 4
+    addi s1, s1, -1
+    bnez s1, loop
+""" + _EXIT + _DATA
+
+# ---------------------------------------------------------------------------
+# ARX mixing (ChaCha-style quarter-round skeleton, rotate-heavy)
+# ---------------------------------------------------------------------------
+
+ARX_BASELINE = """
+# 32 rounds of add/xor/rotate mixing; rotation via srl/sll/or.
+_start:
+    li s2, 0x61707865
+    li s3, 0x3320646E
+    li s1, 32
+    li a0, 0
+round:                     # @loopbound 32
+    add s2, s2, s3
+    xor s3, s3, s2
+    # s3 = rotl(s3, 7)
+    slli t0, s3, 7
+    srli t1, s3, 25
+    or s3, t0, t1
+    add s2, s2, s3
+    xor s3, s3, s2
+    # s3 = rotl(s3, 13)
+    slli t0, s3, 13
+    srli t1, s3, 19
+    or s3, t0, t1
+    add a0, a0, s3
+    addi s1, s1, -1
+    bnez s1, round
+""" + _EXIT
+
+ARX_BMI = """
+# 32 rounds of add/xor/rotate mixing; rotation via rol.
+_start:
+    li s2, 0x61707865
+    li s3, 0x3320646E
+    li s1, 32
+    li a0, 0
+    li s4, 7
+    li s5, 13
+round:                     # @loopbound 32
+    add s2, s2, s3
+    xor s3, s3, s2
+    rol s3, s3, s4
+    add s2, s2, s3
+    xor s3, s3, s2
+    rol s3, s3, s5
+    add a0, a0, s3
+    addi s1, s1, -1
+    bnez s1, round
+""" + _EXIT
+
+# ---------------------------------------------------------------------------
+# masked select (bitboard / cipher key mixing): andn/orn/xnor
+# ---------------------------------------------------------------------------
+
+MASKED_BASELINE = """
+# y = (a & ~m) | (b & m) style mixing over the data array.
+_start:
+    la s0, data
+    li s1, 8
+    li a0, 0
+    li s2, 0x0F0F0F0F
+loop:                      # @loopbound 8
+    lw t0, 0(s0)
+    lw t1, 4(s0)
+    # t2 = t0 & ~s2
+    xori t3, s2, -1
+    and t2, t0, t3
+    # t4 = ~(t0 ^ t1)
+    xor t4, t0, t1
+    xori t4, t4, -1
+    # t5 = t1 | ~t0
+    xori t3, t0, -1
+    or t5, t1, t3
+    add a0, a0, t2
+    add a0, a0, t4
+    add a0, a0, t5
+    addi s0, s0, 8
+    addi s1, s1, -1
+    bnez s1, loop
+""" + _EXIT + _DATA
+
+MASKED_BMI = """
+# Same mixing with andn/xnor/orn.
+_start:
+    la s0, data
+    li s1, 8
+    li a0, 0
+    li s2, 0x0F0F0F0F
+loop:                      # @loopbound 8
+    lw t0, 0(s0)
+    lw t1, 4(s0)
+    andn t2, t0, s2
+    xnor t4, t0, t1
+    orn t5, t1, t0
+    add a0, a0, t2
+    add a0, a0, t4
+    add a0, a0, t5
+    addi s0, s0, 8
+    addi s1, s1, -1
+    bnez s1, loop
+""" + _EXIT + _DATA
+
+# ---------------------------------------------------------------------------
+# clamping (saturation arithmetic): min/max
+# ---------------------------------------------------------------------------
+
+CLAMP_BASELINE = """
+# Clamp each word into [-1000, 1000] using branches.
+_start:
+    la s0, data
+    li s1, 16
+    li a0, 0
+    li s2, 1000
+    li s3, -1000
+loop:                      # @loopbound 16
+    lw t0, 0(s0)
+    blt t0, s2, no_hi
+    mv t0, s2
+no_hi:
+    bge t0, s3, no_lo
+    mv t0, s3
+no_lo:
+    add a0, a0, t0
+    addi s0, s0, 4
+    addi s1, s1, -1
+    bnez s1, loop
+""" + _EXIT + _DATA
+
+CLAMP_BMI = """
+# Clamp each word into [-1000, 1000] using min/max.
+_start:
+    la s0, data
+    li s1, 16
+    li a0, 0
+    li s2, 1000
+    li s3, -1000
+loop:                      # @loopbound 16
+    lw t0, 0(s0)
+    min t0, t0, s2
+    max t0, t0, s3
+    add a0, a0, t0
+    addi s0, s0, 4
+    addi s1, s1, -1
+    bnez s1, loop
+""" + _EXIT + _DATA
+
+# ---------------------------------------------------------------------------
+# trailing-zero scanning (de Bruijn-free bit iteration): ctz
+# ---------------------------------------------------------------------------
+
+CTZ_BASELINE = """
+# Sum the absolute positions of set bits via an LSB shift scan.
+_start:
+    la s0, data
+    li s1, 8
+    li a0, 0
+outer:                     # @loopbound 8
+    lw t0, 0(s0)
+    li t1, 0
+bits:                      # @loopbound 33
+    beqz t0, next
+    andi t2, t0, 1
+    beqz t2, skip
+    add a0, a0, t1
+skip:
+    srli t0, t0, 1
+    addi t1, t1, 1
+    j bits
+next:
+    addi s0, s0, 4
+    addi s1, s1, -1
+    bnez s1, outer
+""" + _EXIT + _DATA
+
+CTZ_BMI = """
+# Sum the positions of set bits using ctz and clear-lowest.
+_start:
+    la s0, data
+    li s1, 8
+    li a0, 0
+outer:                     # @loopbound 8
+    lw t0, 0(s0)
+bits:                      # @loopbound 33
+    beqz t0, next
+    ctz t1, t0
+    add a0, a0, t1
+    addi t2, t0, -1
+    and t0, t0, t2     # clear lowest set bit
+    j bits
+next:
+    addi s0, s0, 4
+    addi s1, s1, -1
+    bnez s1, outer
+""" + _EXIT + _DATA
+
+
+@dataclass(frozen=True)
+class KernelPair:
+    """A baseline/BMI kernel pair with identical semantics."""
+
+    name: str
+    baseline_source: str
+    bmi_source: str
+    description: str
+
+
+KERNELS: List[KernelPair] = [
+    KernelPair("popcount", POPCOUNT_BASELINE, POPCOUNT_BMI,
+               "population count over 16 words (SWAR vs cpop)"),
+    KernelPair("clz-normalise", CLZ_BASELINE, CLZ_BMI,
+               "leading-zero counting (shift loop vs clz)"),
+    KernelPair("arx-mix", ARX_BASELINE, ARX_BMI,
+               "add/xor/rotate mixing rounds (3-insn rotate vs rol)"),
+    KernelPair("masked-select", MASKED_BASELINE, MASKED_BMI,
+               "mask/combine logic (not+and/or/xor vs andn/orn/xnor)"),
+    KernelPair("clamp", CLAMP_BASELINE, CLAMP_BMI,
+               "saturation to [-1000,1000] (branches vs min/max)"),
+    KernelPair("bit-scan", CTZ_BASELINE, CTZ_BMI,
+               "set-bit position accumulation (scan loop vs ctz)"),
+]

@@ -1,0 +1,261 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands mirror the ecosystem tools:
+
+=========== ===========================================================
+``run``     assemble + run a program on the VP, print UART and result
+``disasm``  objdump-style listing of an assembled program
+``wcet``    full QTA flow: static bound, block table, co-simulation
+``coverage`` instruction/register coverage of a program
+``faults``  coverage-guided fault-injection campaign
+``mutate``  XEMU-style mutation testing of a self-checking program
+``gen``     emit a generated test program (torture/structured) to stdout
+=========== ===========================================================
+
+All commands take an assembly file (``-`` for stdin) and an optional
+``--isa`` configuration string.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from .asm import assemble
+from .asm.listing import render_listing
+from .isa.decoder import IsaConfig
+
+
+def _read_source(path: str) -> str:
+    if path == "-":
+        return sys.stdin.read()
+    with open(path, "r", encoding="utf-8") as handle:
+        return handle.read()
+
+
+def _isa(args) -> IsaConfig:
+    # Importing repro.bmi registers the Zbb module so --isa rv32im_zbb works.
+    import repro.bmi  # noqa: F401
+    return IsaConfig.from_string(args.isa)
+
+
+def cmd_run(args) -> int:
+    from .vp.machine import Machine, MachineConfig
+    from .vp.tracer import ExecutionTracer
+
+    isa = _isa(args)
+    program = assemble(_read_source(args.source), isa=isa)
+    machine = Machine(MachineConfig(isa=isa))
+    machine.load(program)
+    tracer = None
+    if args.trace:
+        tracer = machine.add_plugin(ExecutionTracer(limit=args.trace))
+    result = machine.run(max_instructions=args.max_instructions)
+    if machine.uart.output:
+        print(machine.uart.output, end="")
+        if not machine.uart.output.endswith("\n"):
+            print()
+    if tracer is not None:
+        print(f"--- last {min(args.trace, tracer.count)} instructions ---")
+        print(tracer.render(args.trace))
+    print(f"stop: {result.stop_reason}  exit: {result.exit_code}  "
+          f"instructions: {result.instructions}  cycles: {result.cycles}")
+    return result.exit_code or 0
+
+
+def cmd_disasm(args) -> int:
+    isa = _isa(args)
+    program = assemble(_read_source(args.source), isa=isa)
+    print(render_listing(program, isa=isa))
+    return 0
+
+
+def _parse_icache(spec: str):
+    from .vp.icache import ICacheConfig
+
+    parts = spec.split(":")
+    if len(parts) != 4:
+        raise ValueError(
+            "icache spec must be SIZE:LINE:WAYS:PENALTY, e.g. 1024:16:2:10"
+        )
+    size, line, ways, penalty = (int(p, 0) for p in parts)
+    return ICacheConfig(size=size, line_size=line, ways=ways,
+                        miss_penalty=penalty)
+
+
+def cmd_wcet(args) -> int:
+    from .wcet import analyze_program
+    from .wcet.report import render_full
+
+    isa = _isa(args)
+    source = _read_source(args.source)
+    icache = _parse_icache(args.icache) if args.icache else None
+    analysis = analyze_program(source, isa=isa,
+                               max_instructions=args.max_instructions,
+                               edge_sensitive=args.edge_sensitive,
+                               icache=icache,
+                               cache_analysis=args.cache_analysis)
+    print(render_full(analysis, name=args.source))
+    if args.emit_cfg:
+        print("\n--- QTA intermediate CFG ---")
+        print(analysis.wcet_cfg.to_text())
+    if args.emit_dot:
+        from .wcet import wcet_cfg_to_dot
+
+        print("\n--- Graphviz DOT ---")
+        print(wcet_cfg_to_dot(analysis.wcet_cfg, name=args.source))
+    return 0
+
+
+def cmd_coverage(args) -> int:
+    from .coverage import measure_coverage
+
+    isa = _isa(args)
+    program = assemble(_read_source(args.source), isa=isa)
+    report = measure_coverage(program, isa=isa,
+                              max_instructions=args.max_instructions)
+    print(report.to_text(args.source))
+    if args.missed:
+        print(f"missed instruction types: {report.missed_insn_types()}")
+        print(f"missed GPRs: {report.missed_gprs()}")
+    return 0
+
+
+def cmd_faults(args) -> int:
+    from .coverage import measure_coverage
+    from .faultsim import FaultCampaign, MutantBudget, generate_mutants
+
+    isa = _isa(args)
+    program = assemble(_read_source(args.source), isa=isa)
+    campaign = FaultCampaign(program, isa=isa)
+    golden = campaign.golden()
+    print(f"golden: exit {golden.exit_code}, "
+          f"{golden.instructions} instructions")
+    coverage = measure_coverage(program, isa=isa)
+    per_category = max(1, args.mutants // 5)
+    budget = MutantBudget(code=per_category, gpr_transient=per_category,
+                          gpr_stuck=per_category,
+                          memory_transient=per_category,
+                          memory_stuck=per_category)
+    faults = generate_mutants(program, coverage, budget,
+                              golden_instructions=golden.instructions,
+                              seed=args.seed)
+    result = campaign.run(faults)
+    print(result.table())
+    return 0
+
+
+def cmd_mutate(args) -> int:
+    from .faultsim.mutation_testing import run_mutation_testing
+
+    isa = _isa(args)
+    program = assemble(_read_source(args.source), isa=isa)
+    report = run_mutation_testing(program, isa=isa, sample=args.sample,
+                                  seed=args.seed)
+    print(report.table())
+    return 0
+
+
+def cmd_gen(args) -> int:
+    isa = _isa(args)
+    if args.kind == "torture":
+        from .testgen import TortureConfig, TortureGenerator
+        generator = TortureGenerator(
+            isa, TortureConfig(length=args.length, seed=args.seed))
+        print(generator.generate_source(args.seed))
+    elif args.kind == "structured":
+        from .testgen import StructuredGenerator
+        generated = StructuredGenerator(isa).generate(args.seed)
+        print(f"# expected checksum: {generated.expected_checksum:#010x}")
+        print(generated.source)
+    else:
+        from .testgen import ArchSuiteGenerator, UnitSuiteGenerator
+        generator = ArchSuiteGenerator(isa) if args.kind == "arch" \
+            else UnitSuiteGenerator(isa, seed=args.seed)
+        for name, source in generator.generate_sources():
+            print(f"### {name}")
+            print(source)
+            print()
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Scale4Edge RISC-V ecosystem tools",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    def common(p, with_budget=True):
+        p.add_argument("source", help="assembly file, or - for stdin")
+        p.add_argument("--isa", default="rv32imc_zicsr",
+                       help="ISA configuration (default: rv32imc_zicsr)")
+        if with_budget:
+            p.add_argument("--max-instructions", type=int,
+                           default=10_000_000)
+
+    p = sub.add_parser("run", help="assemble and run on the VP")
+    common(p)
+    p.add_argument("--trace", type=int, default=0, metavar="N",
+                   help="print the last N executed instructions")
+    p.set_defaults(func=cmd_run)
+
+    p = sub.add_parser("disasm", help="objdump-style listing")
+    common(p, with_budget=False)
+    p.set_defaults(func=cmd_disasm)
+
+    p = sub.add_parser("wcet", help="QTA WCET analysis + co-simulation")
+    common(p)
+    p.add_argument("--emit-cfg", action="store_true",
+                   help="also print the QTA intermediate CFG")
+    p.add_argument("--emit-dot", action="store_true",
+                   help="also print the annotated CFG as Graphviz DOT")
+    p.add_argument("--edge-sensitive", action="store_true",
+                   help="outcome-sensitive edge annotation (tighter)")
+    p.add_argument("--icache", metavar="SIZE:LINE:WAYS:PENALTY",
+                   help="model an instruction cache, e.g. 1024:16:2:10")
+    p.add_argument("--cache-analysis", action="store_true",
+                   help="loop-persistence cache analysis (needs --icache)")
+    p.set_defaults(func=cmd_wcet)
+
+    p = sub.add_parser("coverage", help="instruction/register coverage")
+    common(p)
+    p.add_argument("--missed", action="store_true",
+                   help="list uncovered instruction types and registers")
+    p.set_defaults(func=cmd_coverage)
+
+    p = sub.add_parser("faults", help="fault-injection campaign")
+    common(p, with_budget=False)
+    p.add_argument("--mutants", type=int, default=100)
+    p.add_argument("--seed", type=int, default=0)
+    p.set_defaults(func=cmd_faults)
+
+    p = sub.add_parser("mutate", help="mutation-test a self-checking binary")
+    common(p, with_budget=False)
+    p.add_argument("--sample", type=int, default=200)
+    p.add_argument("--seed", type=int, default=0)
+    p.set_defaults(func=cmd_mutate)
+
+    p = sub.add_parser("gen", help="emit generated test programs")
+    p.add_argument("kind", choices=("torture", "structured", "arch", "unit"))
+    p.add_argument("--isa", default="rv32imc_zicsr")
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--length", type=int, default=300,
+                   help="torture: number of instructions")
+    p.set_defaults(func=cmd_gen)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.func(args)
+    except Exception as exc:  # surfaced as a clean CLI error
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":
+    sys.exit(main())

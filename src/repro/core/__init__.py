@@ -1,0 +1,25 @@
+"""Ecosystem facade, demonstrators, and security analysis."""
+
+from .demonstrators import (
+    DemoResult,
+    access_control_demo,
+    crypto_demo,
+    sensor_node_demo,
+)
+from .ecosystem import Ecosystem
+from .security import AccessRecord, IoAccessMonitor, IoRegion
+from .taint import TaintEvent, TaintRegion, TaintTracker
+
+__all__ = [
+    "AccessRecord",
+    "DemoResult",
+    "Ecosystem",
+    "IoAccessMonitor",
+    "IoRegion",
+    "TaintEvent",
+    "TaintRegion",
+    "TaintTracker",
+    "access_control_demo",
+    "crypto_demo",
+    "sensor_node_demo",
+]

@@ -1,0 +1,255 @@
+"""Edge-application demonstrators.
+
+The Scale4Edge abstract announces "envisioned demonstrators, which will be
+used in their evaluation".  This module implements three edge scenarios the
+project's companion papers describe, each exercising a different slice of
+the ecosystem:
+
+* :func:`access_control_demo` — a UART door-lock controller (the MBMV 2019
+  security scenario) with non-invasive IO-access monitoring and an optional
+  backdoor whose unauthorized UART access the monitor must detect.
+* :func:`sensor_node_demo` — a timer-driven sampling node (CLINT + WFI +
+  interrupt handler) computing an exponential moving average.
+* :func:`crypto_demo` — BMI-accelerated crypto kernels with baseline
+  comparison.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+from ..asm import assemble
+from ..isa.decoder import IsaConfig, RV32IMC_ZICSR
+from ..vp.machine import Machine, MachineConfig, UART_BASE
+from .security import IoAccessMonitor, IoRegion
+from .taint import TaintRegion, TaintTracker
+
+_ACCESS_CONTROL_TEMPLATE = """
+# UART door-lock controller: read a 4-digit PIN from the UART, compare
+# against the stored code, answer OPEN/DENY and drive the lock actuator
+# on GPIO pin 0.
+.equ UART, 0x10000000
+.equ GPIO, 0x10001000
+_start:
+    la s0, pin
+    li s1, UART
+    li s2, 0           # digit index
+    li s3, 0           # mismatch flag
+read_loop:             # @loopbound 4
+    lw t0, 8(s1)       # STATUS
+    andi t0, t0, 2     # RX available?
+    beqz t0, deny
+    lw t1, 4(s1)       # RXDATA
+    add t2, s0, s2
+    lbu t3, 0(t2)
+    beq t1, t3, digit_ok
+    li s3, 1
+digit_ok:
+    addi s2, s2, 1
+    li t0, 4
+    blt s2, t0, read_loop
+    bnez s3, deny
+{backdoor}
+    la a1, open_msg
+    call print
+    li t0, GPIO
+    li t1, 1
+    sw t1, 8(t0)       # GPIO SET: energise the lock actuator
+    li a0, 0
+    j finish
+deny:
+    la a1, deny_msg
+    call print
+    li t0, GPIO
+    li t1, 1
+    sw t1, 12(t0)      # GPIO CLEAR: keep the door locked
+    li a0, 1
+finish:
+    li a7, 93
+    ecall
+
+# The one routine authorized to drive the UART transmitter.
+print:
+print_loop:            # @loopbound 6
+    lbu t0, 0(a1)
+    beqz t0, print_done
+    sb t0, 0(s1)
+    addi a1, a1, 1
+    j print_loop
+print_done:
+    ret
+
+.data
+pin: .byte {pin_bytes}
+open_msg: .asciz "OPEN\\n"
+deny_msg: .asciz "DENY\\n"
+"""
+
+_BACKDOOR = """
+    # Backdoor: leak the stored PIN over the UART, bypassing print().
+    lbu t0, 0(s0)
+    sb t0, 0(s1)
+    lbu t0, 1(s0)
+    sb t0, 0(s1)
+"""
+
+_SENSOR_NODE_TEMPLATE = """
+# Timer-driven sensor node: sample on every CLINT timer tick (woken from
+# WFI), smooth with an EMA filter, exit with the final filtered value.
+_start:
+    la t0, handler
+    csrw mtvec, t0
+    li s1, 0x02004000      # mtimecmp
+    li s2, 0x0200BFF8      # mtime
+    lw t1, 0(s2)
+    addi t1, t1, {interval}
+    sw t1, 0(s1)
+    sw zero, 4(s1)
+    li t0, 0x80            # MTIE
+    csrw mie, t0
+    csrsi mstatus, 8       # MIE
+    li s3, 0               # ema
+    li s4, 0               # sample count
+    li s5, {samples}
+sample_loop:               # @loopbound {samples}
+    wfi
+    lw t0, 0(s2)           # synthetic sensor: low mtime bits
+    andi t0, t0, 255
+    sub t1, t0, s3
+    srai t1, t1, 3
+    add s3, s3, t1         # ema += (x - ema) >> 3
+    addi s4, s4, 1
+    blt s4, s5, sample_loop
+    mv a0, s3
+    li a7, 93
+    ecall
+.align 2
+handler:
+    # Re-arm the timer one interval ahead; clears the pending interrupt.
+    lw t0, 0(s2)
+    addi t0, t0, {interval}
+    sw t0, 0(s1)
+    mret
+"""
+
+
+@dataclass
+class DemoResult:
+    """Common result envelope for all demonstrators."""
+
+    name: str
+    exit_code: int
+    uart_output: str
+    instructions: int
+    cycles: int
+    extras: Dict = field(default_factory=dict)
+
+
+def access_control_demo(
+    pin: bytes = b"1234",
+    attempt: bytes = b"1234",
+    with_backdoor: bool = False,
+    isa: IsaConfig = RV32IMC_ZICSR,
+) -> DemoResult:
+    """Run the door-lock scenario; ``extras`` reports IO-policy violations.
+
+    With ``with_backdoor=True`` the binary contains code that writes the
+    stored PIN to the UART outside the authorized ``print`` routine — the
+    access monitor must flag exactly those stores.
+    """
+    if len(pin) != 4 or len(attempt) > 4:
+        raise ValueError("PIN is 4 digits; attempt at most 4")
+    source = _ACCESS_CONTROL_TEMPLATE.format(
+        backdoor=_BACKDOOR if with_backdoor else "",
+        pin_bytes=", ".join(str(b) for b in pin),
+    )
+    program = assemble(source, isa=isa)
+    machine = Machine(MachineConfig(isa=isa))
+    machine.load(program)
+    machine.uart.push_rx(attempt)
+    monitor = IoAccessMonitor([IoRegion(
+        name="uart",
+        base=UART_BASE,
+        size=0x100,
+        allowed_code=(
+            # Reading the PIN is allowed from the input loop...
+            (program.symbols["read_loop"], program.symbols["digit_ok"]),
+            # ...and transmitting only from the print routine.
+            (program.symbols["print"], program.address_of("pin")),
+        ),
+    )])
+    machine.add_plugin(monitor)
+    # Information-flow view: the stored PIN is the secret; any byte of it
+    # flowing into the UART transmitter is exfiltration.
+    taint = TaintTracker(sinks=[TaintRegion("uart-tx", UART_BASE, 4)])
+    taint.taint_memory(program.address_of("pin"), 4)
+    machine.add_plugin(taint)
+    result = machine.run(max_instructions=100_000)
+    taint.finalize()
+    return DemoResult(
+        name="access-control",
+        exit_code=result.exit_code,
+        uart_output=machine.uart.output,
+        instructions=result.instructions,
+        cycles=result.cycles,
+        extras={
+            "granted": result.exit_code == 0,
+            "lock_open": machine.gpio.pin(0),
+            "violations": monitor.violation_count,
+            "violation_pcs": [r.pc for r in monitor.violations],
+            "monitor_report": monitor.report(),
+            "leaks": taint.leak_count,
+            "taint_report": taint.report(),
+        },
+    )
+
+
+def sensor_node_demo(
+    samples: int = 16,
+    interval: int = 100,
+    isa: IsaConfig = RV32IMC_ZICSR,
+) -> DemoResult:
+    """Run the timer-driven sampling node."""
+    if samples < 1 or interval < 10:
+        raise ValueError("need >= 1 sample and an interval of >= 10 cycles")
+    source = _SENSOR_NODE_TEMPLATE.format(samples=samples, interval=interval)
+    program = assemble(source, isa=isa)
+    machine = Machine(MachineConfig(isa=isa))
+    machine.load(program)
+    result = machine.run(max_instructions=1_000_000)
+    return DemoResult(
+        name="sensor-node",
+        exit_code=result.exit_code,
+        uart_output=machine.uart.output,
+        instructions=result.instructions,
+        cycles=result.cycles,
+        extras={
+            "samples": samples,
+            "interval": interval,
+            "filtered_value": result.exit_code,
+            # WFI fast-forwarding means cycles >= samples * interval.
+            "duty_cycles": result.cycles,
+        },
+    )
+
+
+def crypto_demo() -> DemoResult:
+    """Run the BMI crypto kernels and compare against the baseline."""
+    from ..bmi import evaluate_all, table
+
+    comparisons = evaluate_all()
+    total_base = sum(row.baseline_cycles for row in comparisons)
+    total_bmi = sum(row.bmi_cycles for row in comparisons)
+    return DemoResult(
+        name="crypto-edge",
+        exit_code=0,
+        uart_output="",
+        instructions=sum(row.bmi_instructions for row in comparisons),
+        cycles=total_bmi,
+        extras={
+            "kernels": {row.name: row.cycle_speedup for row in comparisons},
+            "overall_speedup": total_base / total_bmi,
+            "table": table(comparisons),
+        },
+    )

@@ -1,0 +1,187 @@
+"""Dynamic information-flow (taint) tracking.
+
+Complements the IO-access monitor's *policy* view with a *data-flow* view
+of the security analysis: mark secret state (e.g. the stored PIN of the
+access-control demonstrator) or untrusted input (UART RX) as tainted,
+propagate taint through register and memory data flow, and report every
+store of a tainted value into a sink region (UART TX, GPIO) — direct
+secret exfiltration or unvalidated input reaching an actuator.
+
+Scope and soundness notes:
+
+* propagation is *explicit data flow only*: ``rd`` becomes tainted iff a
+  source operand (register or loaded memory) is tainted.  Implicit flows
+  through branches (``if secret: send('1')``) are out of scope, as in
+  most dynamic taint tracking systems;
+* constants (``lui``/``auipc``/immediates-only results) clear taint;
+* taint is tracked per register and per memory byte.
+
+Implementation: the plugin observes each instruction *before* it executes
+and its memory accesses *during* execution, then applies the taint
+transfer function when the next instruction (or ``finalize``) arrives, at
+which point all of the instruction's effects are known.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Set, Tuple
+
+from ..isa.spec import Decoded
+from ..vp.plugins import Plugin
+
+
+@dataclass(frozen=True)
+class TaintRegion:
+    """A byte range acting as a taint source or sink."""
+
+    name: str
+    base: int
+    size: int
+
+    def contains(self, addr: int) -> bool:
+        return self.base <= addr < self.base + self.size
+
+
+@dataclass
+class TaintEvent:
+    """A tainted value reached a sink region."""
+
+    pc: int
+    addr: int
+    value: int
+    region: str
+
+    def describe(self) -> str:
+        return (f"pc {self.pc:#010x}: tainted value {self.value:#x} "
+                f"stored to {self.region} @ {self.addr:#010x}")
+
+
+#: Instructions whose result is a constant: executing them clears taint.
+_CONSTANT_RESULTS = frozenset({"lui", "auipc", "c.lui"})
+
+#: Instruction names that write rd from rs1/rs2 data flow.  Everything in
+#: the ALU/shift/compare/mul/div families behaves uniformly; control
+#: transfer writes a return address (a constant).
+_LINK_WRITERS = frozenset({"jal", "jalr", "c.jal", "c.jalr"})
+
+
+class TaintTracker(Plugin):
+    """Per-register / per-memory-byte dynamic taint propagation."""
+
+    name = "taint"
+
+    def __init__(
+        self,
+        sources: Optional[List[TaintRegion]] = None,
+        sinks: Optional[List[TaintRegion]] = None,
+        tainted_registers: Optional[Set[int]] = None,
+    ) -> None:
+        self.sources = list(sources or [])
+        self.sinks = list(sinks or [])
+        self.reg_taint: Set[int] = set(tainted_registers or ())
+        self.reg_taint.discard(0)
+        self.mem_taint: Set[int] = set()
+        self.events: List[TaintEvent] = []
+        self._pending: Optional[Tuple[Decoded, int]] = None
+        self._accesses: List[Tuple[int, int, int, bool]] = []
+
+    # -- external API ------------------------------------------------------
+
+    def taint_memory(self, base: int, size: int) -> None:
+        """Mark a byte range (e.g. the secret in .data) as tainted."""
+        self.mem_taint.update(range(base, base + size))
+
+    @property
+    def leak_count(self) -> int:
+        return len(self.events)
+
+    def report(self) -> str:
+        lines = [f"taint analysis: {len(self.events)} sink event(s)"]
+        for event in self.events[:10]:
+            lines.append("  " + event.describe())
+        return "\n".join(lines)
+
+    # -- plugin hooks --------------------------------------------------------
+
+    def on_insn_exec(self, cpu, decoded, pc) -> None:
+        self._commit()
+        self._pending = (decoded, pc)
+        self._accesses = []
+
+    def on_mem_access(self, cpu, addr, width, value, is_store) -> None:
+        self._accesses.append((addr, width, value, is_store))
+
+    def on_exit(self, code) -> None:
+        self._commit()
+
+    def finalize(self) -> None:
+        """Apply the last instruction's taint transfer (idempotent)."""
+        self._commit()
+
+    # -- taint transfer --------------------------------------------------------
+
+    def _loaded_taint(self) -> bool:
+        for addr, width, _value, is_store in self._accesses:
+            if is_store:
+                continue
+            for region in self.sources:
+                if region.contains(addr):
+                    return True
+            if any((addr + i) in self.mem_taint for i in range(width)):
+                return True
+        return False
+
+    def _commit(self) -> None:
+        if self._pending is None:
+            return
+        decoded, pc = self._pending
+        self._pending = None
+        spec = decoded.spec
+        name = spec.name
+
+        # Stores first: they consume the pre-instruction register state.
+        if spec.writes_mem:
+            tainted = decoded.rs2 in self.reg_taint
+            for addr, width, value, is_store in self._accesses:
+                if not is_store:
+                    continue
+                for i in range(width):
+                    if tainted:
+                        self.mem_taint.add(addr + i)
+                    else:
+                        self.mem_taint.discard(addr + i)
+                if tainted:
+                    for region in self.sinks:
+                        if region.contains(addr):
+                            self.events.append(TaintEvent(
+                                pc=pc, addr=addr, value=value,
+                                region=region.name))
+            return
+
+        if spec.reads_mem:
+            if self._loaded_taint():
+                self.reg_taint.add(decoded.rd)
+            else:
+                self.reg_taint.discard(decoded.rd)
+            self.reg_taint.discard(0)
+            return
+
+        if name in _CONSTANT_RESULTS or name in _LINK_WRITERS:
+            self.reg_taint.discard(decoded.rd)
+            return
+
+        if spec.is_branch or spec.is_system:
+            return  # no data result (implicit flows out of scope)
+
+        # Register-to-register data flow.  Decoded fields default to 0 for
+        # unused operands and x0 is never tainted, so the uniform rule is
+        # safe across formats.
+        if decoded.rd == 0:
+            return
+        tainted = (decoded.rs1 in self.reg_taint
+                   or decoded.rs2 in self.reg_taint)
+        if tainted:
+            self.reg_taint.add(decoded.rd)
+        else:
+            self.reg_taint.discard(decoded.rd)

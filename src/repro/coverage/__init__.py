@@ -1,0 +1,18 @@
+"""Instruction-type and register coverage analysis."""
+
+from .collector import (
+    CoveragePlugin,
+    SuiteCoverage,
+    measure_coverage,
+    measure_suite,
+)
+from .report import CoverageReport, empty_report
+
+__all__ = [
+    "CoveragePlugin",
+    "CoverageReport",
+    "SuiteCoverage",
+    "empty_report",
+    "measure_coverage",
+    "measure_suite",
+]

@@ -1,0 +1,175 @@
+"""The coverage metric: instruction types and register accesses.
+
+Reproduces the metric of *Register and Instruction Coverage Analysis for
+Different RISC-V ISA Modules* (MBMV 2021): for a binary (or suite of
+binaries) executed on the virtual prototype, measure
+
+* which **instruction types** of the configured ISA were executed,
+* which **GPRs**, **CSRs** and **FPRs** were accessed (read/written),
+* which data **memory addresses** were touched.
+
+Reports are value objects that union cleanly (``a | b``), so suites can be
+combined exactly as the paper combines the architectural, unit, and
+Torture-style suites.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, Iterable, List, Optional, Set, Tuple
+
+from ..isa.decoder import Decoder, IsaConfig
+
+NUM_GPRS = 32
+NUM_FPRS = 32
+
+
+@dataclass
+class CoverageReport:
+    """Coverage of one program run (or the union of several runs)."""
+
+    isa_name: str
+    #: mnemonic -> ISA module, the coverage universe
+    insn_universe: Dict[str, str]
+    csr_universe: FrozenSet[int]
+    has_fprs: bool
+
+    insn_types: Set[str] = field(default_factory=set)
+    gprs_read: Set[int] = field(default_factory=set)
+    gprs_written: Set[int] = field(default_factory=set)
+    fprs_read: Set[int] = field(default_factory=set)
+    fprs_written: Set[int] = field(default_factory=set)
+    csrs_accessed: Set[int] = field(default_factory=set)
+    mem_read_addrs: Set[int] = field(default_factory=set)
+    mem_written_addrs: Set[int] = field(default_factory=set)
+
+    # -- derived metrics -------------------------------------------------
+
+    @property
+    def gprs_accessed(self) -> Set[int]:
+        return self.gprs_read | self.gprs_written
+
+    @property
+    def fprs_accessed(self) -> Set[int]:
+        return self.fprs_read | self.fprs_written
+
+    @property
+    def insn_coverage(self) -> float:
+        """Fraction of ISA instruction types executed."""
+        if not self.insn_universe:
+            return 0.0
+        return len(self.insn_types) / len(self.insn_universe)
+
+    @property
+    def gpr_coverage(self) -> float:
+        return len(self.gprs_accessed) / NUM_GPRS
+
+    @property
+    def fpr_coverage(self) -> float:
+        if not self.has_fprs:
+            return 0.0
+        return len(self.fprs_accessed) / NUM_FPRS
+
+    @property
+    def csr_coverage(self) -> float:
+        if not self.csr_universe:
+            return 0.0
+        return len(self.csrs_accessed & self.csr_universe) / len(self.csr_universe)
+
+    def missed_insn_types(self) -> List[str]:
+        return sorted(set(self.insn_universe) - self.insn_types)
+
+    def missed_gprs(self) -> List[int]:
+        return sorted(set(range(NUM_GPRS)) - self.gprs_accessed)
+
+    def missed_fprs(self) -> List[int]:
+        if not self.has_fprs:
+            return []
+        return sorted(set(range(NUM_FPRS)) - self.fprs_accessed)
+
+    def missed_csrs(self) -> List[int]:
+        return sorted(self.csr_universe - self.csrs_accessed)
+
+    def module_breakdown(self) -> Dict[str, Tuple[int, int]]:
+        """Per ISA module: (types executed, types in universe)."""
+        totals: Dict[str, int] = {}
+        hits: Dict[str, int] = {}
+        for name, module in self.insn_universe.items():
+            totals[module] = totals.get(module, 0) + 1
+            if name in self.insn_types:
+                hits[module] = hits.get(module, 0) + 1
+        return {
+            module: (hits.get(module, 0), total)
+            for module, total in sorted(totals.items())
+        }
+
+    # -- combination -------------------------------------------------------
+
+    def union(self, other: "CoverageReport") -> "CoverageReport":
+        """Coverage of the combined suite (universes must match)."""
+        if self.insn_universe != other.insn_universe:
+            raise ValueError(
+                "cannot union coverage reports over different ISA universes "
+                f"({self.isa_name} vs {other.isa_name})"
+            )
+        merged = CoverageReport(
+            isa_name=self.isa_name,
+            insn_universe=self.insn_universe,
+            csr_universe=self.csr_universe,
+            has_fprs=self.has_fprs,
+        )
+        for attr in ("insn_types", "gprs_read", "gprs_written", "fprs_read",
+                     "fprs_written", "csrs_accessed", "mem_read_addrs",
+                     "mem_written_addrs"):
+            setattr(merged, attr, getattr(self, attr) | getattr(other, attr))
+        return merged
+
+    def __or__(self, other: "CoverageReport") -> "CoverageReport":
+        return self.union(other)
+
+    # -- rendering -----------------------------------------------------------
+
+    def summary_row(self) -> Dict[str, float]:
+        return {
+            "insn": self.insn_coverage,
+            "gpr": self.gpr_coverage,
+            "fpr": self.fpr_coverage,
+            "csr": self.csr_coverage,
+        }
+
+    def to_text(self, name: str = "program") -> str:
+        lines = [
+            f"coverage report: {name} ({self.isa_name})",
+            f"  instruction types: {len(self.insn_types)}/"
+            f"{len(self.insn_universe)} ({self.insn_coverage:.1%})",
+            f"  GPRs accessed:     {len(self.gprs_accessed)}/{NUM_GPRS} "
+            f"({self.gpr_coverage:.1%})",
+        ]
+        if self.has_fprs:
+            lines.append(
+                f"  FPRs accessed:     {len(self.fprs_accessed)}/{NUM_FPRS} "
+                f"({self.fpr_coverage:.1%})"
+            )
+        lines.append(
+            f"  CSRs accessed:     "
+            f"{len(self.csrs_accessed & self.csr_universe)}/"
+            f"{len(self.csr_universe)} ({self.csr_coverage:.1%})"
+        )
+        lines.append("  per-module instruction types:")
+        for module, (hit, total) in self.module_breakdown().items():
+            lines.append(f"    {module:<6} {hit}/{total}")
+        return "\n".join(lines)
+
+
+def empty_report(isa: IsaConfig) -> CoverageReport:
+    """A zero-coverage report with the universe of ``isa``."""
+    decoder = Decoder(isa)
+    from ..isa.csr import CsrFile
+
+    csrs = CsrFile(modules=set(isa.modules))
+    return CoverageReport(
+        isa_name=isa.name,
+        insn_universe={spec.name: spec.module for spec in decoder.specs},
+        csr_universe=frozenset(csrs.known_addresses()),
+        has_fprs="F" in isa.modules,
+    )

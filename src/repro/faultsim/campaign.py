@@ -1,0 +1,248 @@
+"""Fault-injection campaigns: golden run, mutant simulation, classification.
+
+The campaign runs the unmodified binary once (the *golden run*), then
+simulates every mutant and classifies the outcome against the golden
+reference:
+
+========== ==========================================================
+outcome    meaning
+========== ==========================================================
+masked     terminated normally with the golden result — fault benign
+sdc        terminated normally with a *wrong* result (silent data
+           corruption): the paper's "normal termination though executed
+           on a faulty hardware model", the cases flagged for further
+           countermeasure work
+trap       stopped by a hardware-detected error (unhandled trap)
+hang       exceeded the instruction budget / halted without exiting
+========== ==========================================================
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..asm import Program
+from ..isa.decoder import IsaConfig
+from ..vp.cpu import STOP_EXIT
+from ..vp.machine import Machine, MachineConfig, STOP_UNHANDLED_TRAP
+from .faults import Fault, TARGET_CODE, TRANSIENT
+from .injector import InjectionError, inject
+
+OUTCOME_MASKED = "masked"
+OUTCOME_SDC = "sdc"
+OUTCOME_TRAP = "trap"
+OUTCOME_HANG = "hang"
+
+OUTCOMES = (OUTCOME_MASKED, OUTCOME_SDC, OUTCOME_TRAP, OUTCOME_HANG)
+
+
+@dataclass
+class GoldenRun:
+    """Reference behaviour of the fault-free binary."""
+
+    exit_code: int
+    uart_output: str
+    instructions: int
+    cycles: int
+
+
+@dataclass
+class MutantResult:
+    fault: Fault
+    outcome: str
+    exit_code: Optional[int] = None
+    trap_cause: Optional[int] = None
+    instructions: int = 0
+
+
+@dataclass
+class CampaignResult:
+    golden: GoldenRun
+    results: List[MutantResult]
+    elapsed_seconds: float
+
+    @property
+    def counts(self) -> Dict[str, int]:
+        tally = {outcome: 0 for outcome in OUTCOMES}
+        for result in self.results:
+            tally[result.outcome] += 1
+        return tally
+
+    @property
+    def total(self) -> int:
+        return len(self.results)
+
+    @property
+    def mutants_per_second(self) -> float:
+        if self.elapsed_seconds == 0:
+            return float("inf")
+        return self.total / self.elapsed_seconds
+
+    @property
+    def normal_termination_fraction(self) -> float:
+        """Fraction of mutants that terminate normally (masked + sdc)."""
+        if not self.total:
+            return 0.0
+        counts = self.counts
+        return (counts[OUTCOME_MASKED] + counts[OUTCOME_SDC]) / self.total
+
+    def of_outcome(self, outcome: str) -> List[MutantResult]:
+        return [r for r in self.results if r.outcome == outcome]
+
+    def breakdown_by_target(self) -> Dict[str, Dict[str, int]]:
+        """Outcome counts per fault target (gpr/memory/code/...).
+
+        The fault-analysis papers report which hardware structures are the
+        dangerous ones; this is that table.
+        """
+        table: Dict[str, Dict[str, int]] = {}
+        for result in self.results:
+            row = table.setdefault(
+                result.fault.target,
+                {outcome: 0 for outcome in OUTCOMES},
+            )
+            row[result.outcome] += 1
+        return table
+
+    def target_table(self) -> str:
+        breakdown = self.breakdown_by_target()
+        header = f"{'target':<8}" + "".join(
+            f"{outcome:>8}" for outcome in OUTCOMES) + f"{'sdc rate':>10}"
+        lines = [header, "-" * len(header)]
+        for target in sorted(breakdown):
+            row = breakdown[target]
+            total = sum(row.values())
+            sdc_rate = row[OUTCOME_SDC] / total if total else 0.0
+            lines.append(
+                f"{target:<8}" + "".join(
+                    f"{row[outcome]:>8}" for outcome in OUTCOMES)
+                + f"{sdc_rate:>9.1%}"
+            )
+        return "\n".join(lines)
+
+    def table(self) -> str:
+        counts = self.counts
+        lines = [
+            f"{'outcome':<10} {'count':>8} {'fraction':>10}",
+            "-" * 30,
+        ]
+        for outcome in OUTCOMES:
+            fraction = counts[outcome] / self.total if self.total else 0.0
+            lines.append(f"{outcome:<10} {counts[outcome]:>8} {fraction:>9.1%}")
+        lines.append("-" * 30)
+        lines.append(f"{'total':<10} {self.total:>8}")
+        lines.append(
+            f"throughput: {self.mutants_per_second:.1f} mutants/s"
+        )
+        return "\n".join(lines)
+
+
+class FaultCampaign:
+    """Runs a fault list against one program on fresh machines."""
+
+    def __init__(
+        self,
+        program: Program,
+        isa: Optional[IsaConfig] = None,
+        budget_multiplier: int = 4,
+        min_budget: int = 10_000,
+        golden_budget: int = 10_000_000,
+        reuse_machine: bool = True,
+    ) -> None:
+        self.program = program
+        self.isa = isa or IsaConfig.from_string(program.isa_name)
+        self.budget_multiplier = budget_multiplier
+        self.min_budget = min_budget
+        self.golden_budget = golden_budget
+        # Snapshot-based machine reuse: transient and binary-patch faults
+        # leave no structural residue, so the loaded machine can be
+        # checkpoint-restored instead of rebuilt — a large speedup for
+        # big-RAM configurations.  Stuck-at faults replace register files
+        # or wrap the RAM and always get a fresh machine.
+        self.reuse_machine = reuse_machine
+        self._golden: Optional[GoldenRun] = None
+        self._shared_machine: Optional[Machine] = None
+        self._shared_snapshot = None
+
+    def _fresh_machine(self) -> Machine:
+        return Machine(MachineConfig(isa=self.isa))
+
+    def golden(self) -> GoldenRun:
+        """Run (and cache) the fault-free reference."""
+        if self._golden is None:
+            machine = self._fresh_machine()
+            machine.load(self.program)
+            result = machine.run(max_instructions=self.golden_budget)
+            if result.stop_reason != STOP_EXIT:
+                raise ValueError(
+                    "golden run did not terminate normally "
+                    f"({result.stop_reason}); campaigns need a clean binary"
+                )
+            self._golden = GoldenRun(
+                exit_code=result.exit_code,
+                uart_output=machine.uart.output,
+                instructions=result.instructions,
+                cycles=result.cycles,
+            )
+        return self._golden
+
+    @property
+    def instruction_budget(self) -> int:
+        golden = self.golden()
+        return max(self.min_budget,
+                   golden.instructions * self.budget_multiplier)
+
+    def _reusable(self, fault: Fault) -> bool:
+        return self.reuse_machine and (
+            fault.kind == TRANSIENT or fault.target == TARGET_CODE
+        )
+
+    def _machine_for(self, fault: Fault) -> Machine:
+        if not self._reusable(fault):
+            machine = self._fresh_machine()
+            machine.load(self.program)
+            return machine
+        if self._shared_machine is None:
+            self._shared_machine = self._fresh_machine()
+            self._shared_machine.load(self.program)
+            self._shared_snapshot = self._shared_machine.snapshot()
+        else:
+            self._shared_machine.restore(self._shared_snapshot)
+        return self._shared_machine
+
+    def run_one(self, fault: Fault) -> MutantResult:
+        golden = self.golden()
+        machine = self._machine_for(fault)
+        plugin = None
+        try:
+            plugin = inject(machine, fault)
+        except InjectionError:
+            # Not applicable to this binary (e.g. address out of range):
+            # architecturally invisible, classify as masked.
+            return MutantResult(fault, OUTCOME_MASKED)
+        try:
+            result = machine.run(max_instructions=self.instruction_budget)
+        finally:
+            if plugin is not None and machine is self._shared_machine:
+                machine.remove_plugin(plugin)
+        if result.stop_reason == STOP_EXIT:
+            same = (result.exit_code == golden.exit_code
+                    and machine.uart.output == golden.uart_output)
+            outcome = OUTCOME_MASKED if same else OUTCOME_SDC
+            return MutantResult(fault, outcome, exit_code=result.exit_code,
+                                instructions=result.instructions)
+        if result.stop_reason in (STOP_UNHANDLED_TRAP, "trap_livelock"):
+            return MutantResult(fault, OUTCOME_TRAP,
+                                trap_cause=result.trap_cause,
+                                instructions=result.instructions)
+        return MutantResult(fault, OUTCOME_HANG,
+                            instructions=result.instructions)
+
+    def run(self, faults: Sequence[Fault]) -> CampaignResult:
+        golden = self.golden()
+        start = time.perf_counter()
+        results = [self.run_one(fault) for fault in faults]
+        elapsed = time.perf_counter() - start
+        return CampaignResult(golden, results, elapsed)

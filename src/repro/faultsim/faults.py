@@ -1,0 +1,89 @@
+"""Fault models: where a fault sits and how it behaves.
+
+The platform supports the two fault classes of the Scale4Edge fault-effect
+analysis — *transient* bitflips (a single event upset at a chosen point in
+the execution) and *permanent* stuck-at faults — across four hardware
+targets: GPRs, CSRs, data memory, and instruction memory (the latter being
+the classic "binary mutant").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+# Fault kinds.
+TRANSIENT = "transient"        # flip the bit once, at `trigger`
+STUCK_AT_0 = "stuck_at_0"      # bit reads as 0 from the start
+STUCK_AT_1 = "stuck_at_1"      # bit reads as 1 from the start
+
+KINDS = (TRANSIENT, STUCK_AT_0, STUCK_AT_1)
+
+# Fault targets.
+TARGET_GPR = "gpr"
+TARGET_FPR = "fpr"
+TARGET_CSR = "csr"
+TARGET_MEMORY = "memory"       # data memory byte (physical address)
+TARGET_CODE = "code"           # instruction memory byte (physical address)
+
+TARGETS = (TARGET_GPR, TARGET_FPR, TARGET_CSR, TARGET_MEMORY, TARGET_CODE)
+
+
+@dataclass(frozen=True)
+class Fault:
+    """One injectable fault.
+
+    Attributes:
+        target: one of :data:`TARGETS`.
+        index: register number (gpr/fpr), CSR address (csr), or physical
+            byte address (memory/code).
+        bit: bit position — 0..31 for registers/CSRs, 0..7 for memory and
+            code bytes.
+        kind: one of :data:`KINDS`.
+        trigger: for transient faults, the dynamic instruction count after
+            which the flip is applied (0 = before the first instruction).
+            Ignored for stuck-at faults.
+    """
+
+    target: str
+    index: int
+    bit: int
+    kind: str
+    trigger: int = 0
+
+    def __post_init__(self) -> None:
+        if self.target not in TARGETS:
+            raise ValueError(f"unknown fault target {self.target!r}")
+        if self.kind not in KINDS:
+            raise ValueError(f"unknown fault kind {self.kind!r}")
+        bit_limit = 8 if self.target in (TARGET_MEMORY, TARGET_CODE) else 32
+        if not 0 <= self.bit < bit_limit:
+            raise ValueError(
+                f"bit {self.bit} out of range for target {self.target}"
+            )
+        if self.target in (TARGET_GPR, TARGET_FPR) and not 0 <= self.index < 32:
+            raise ValueError(f"register {self.index} out of range")
+        if self.trigger < 0:
+            raise ValueError("trigger must be non-negative")
+        if self.target == TARGET_CODE and self.kind == TRANSIENT:
+            raise ValueError(
+                "code faults are permanent binary mutations; "
+                "use a stuck-at kind"
+            )
+
+    @property
+    def mask(self) -> int:
+        return 1 << self.bit
+
+    def describe(self) -> str:
+        where = {
+            TARGET_GPR: f"x{self.index}",
+            TARGET_FPR: f"f{self.index}",
+            TARGET_CSR: f"csr {self.index:#x}",
+            TARGET_MEMORY: f"mem[{self.index:#010x}]",
+            TARGET_CODE: f"code[{self.index:#010x}]",
+        }[self.target]
+        if self.kind == TRANSIENT:
+            return f"transient flip of {where} bit {self.bit} @ insn {self.trigger}"
+        stuck = "1" if self.kind == STUCK_AT_1 else "0"
+        return f"{where} bit {self.bit} stuck at {stuck}"

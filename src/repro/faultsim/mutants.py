@@ -1,0 +1,135 @@
+"""Coverage-guided mutant generation.
+
+The fault space of even a small program is huge (every bit of every
+register at every cycle).  The Scale4Edge platform prunes it with the
+coverage analysis: faults are only generated for *registers the binary
+actually accesses*, *memory it actually touches*, and *code it actually
+executes* — anything else is trivially masked.  This module implements that
+pruning plus seeded sampling down to a configurable budget.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence
+
+from ..asm import Program
+from ..coverage.report import CoverageReport
+from .faults import (
+    Fault,
+    STUCK_AT_0,
+    STUCK_AT_1,
+    TARGET_CODE,
+    TARGET_CSR,
+    TARGET_GPR,
+    TARGET_MEMORY,
+    TRANSIENT,
+)
+
+
+@dataclass
+class MutantBudget:
+    """How many faults to sample per category (0 disables a category)."""
+
+    code: int = 50
+    gpr_transient: int = 50
+    gpr_stuck: int = 30
+    memory_transient: int = 20
+    memory_stuck: int = 10
+    csr_stuck: int = 0
+
+    @property
+    def total(self) -> int:
+        return (self.code + self.gpr_transient + self.gpr_stuck
+                + self.memory_transient + self.memory_stuck + self.csr_stuck)
+
+
+def enumerate_code_faults(program: Program) -> List[Fault]:
+    """Every bit of every text-segment byte, as permanent mutations."""
+    addr, blob = program.text_segment
+    faults = []
+    for offset, byte in enumerate(blob):
+        for bit in range(8):
+            # Flip the bit by sticking it at its inverted value.
+            kind = STUCK_AT_0 if byte & (1 << bit) else STUCK_AT_1
+            faults.append(Fault(TARGET_CODE, addr + offset, bit, kind))
+    return faults
+
+
+def generate_mutants(
+    program: Program,
+    coverage: Optional[CoverageReport] = None,
+    budget: Optional[MutantBudget] = None,
+    golden_instructions: int = 1000,
+    seed: int = 0,
+) -> List[Fault]:
+    """Sample a coverage-guided fault list for one program.
+
+    ``coverage`` restricts register/memory faults to accessed state (pass
+    the report from :func:`repro.coverage.measure_coverage`); without it
+    the full architectural space is sampled.  ``golden_instructions`` is
+    the fault-free run length, used as the trigger range for transients.
+    """
+    budget = budget or MutantBudget()
+    rng = random.Random(seed)
+    faults: List[Fault] = []
+
+    # Code mutants: the exhaustive list, sampled down.
+    all_code = enumerate_code_faults(program)
+    if budget.code:
+        count = min(budget.code, len(all_code))
+        faults.extend(rng.sample(all_code, count))
+
+    # Register faults.
+    if coverage is not None and coverage.gprs_accessed:
+        gprs: Sequence[int] = sorted(coverage.gprs_accessed - {0})
+    else:
+        gprs = list(range(1, 32))
+    if gprs:
+        for _ in range(budget.gpr_transient):
+            faults.append(Fault(
+                TARGET_GPR, rng.choice(gprs), rng.randrange(32), TRANSIENT,
+                trigger=rng.randrange(max(1, golden_instructions)),
+            ))
+        for _ in range(budget.gpr_stuck):
+            faults.append(Fault(
+                TARGET_GPR, rng.choice(gprs), rng.randrange(32),
+                rng.choice((STUCK_AT_0, STUCK_AT_1)),
+            ))
+
+    # Data-memory faults, restricted to the addressed memory space.
+    if coverage is not None:
+        touched = sorted(coverage.mem_read_addrs | coverage.mem_written_addrs)
+    else:
+        touched = []
+    if not touched:
+        # Fall back to the data segments of the image.
+        text_addr, _ = program.text_segment
+        touched = [
+            seg_addr + i
+            for seg_addr, blob in program.segments
+            if seg_addr != text_addr
+            for i in range(len(blob))
+        ]
+    if touched:
+        for _ in range(budget.memory_transient):
+            faults.append(Fault(
+                TARGET_MEMORY, rng.choice(touched), rng.randrange(8),
+                TRANSIENT, trigger=rng.randrange(max(1, golden_instructions)),
+            ))
+        for _ in range(budget.memory_stuck):
+            faults.append(Fault(
+                TARGET_MEMORY, rng.choice(touched), rng.randrange(8),
+                rng.choice((STUCK_AT_0, STUCK_AT_1)),
+            ))
+
+    # CSR faults, restricted to accessed CSRs.
+    if budget.csr_stuck and coverage is not None and coverage.csrs_accessed:
+        csrs = sorted(coverage.csrs_accessed)
+        for _ in range(budget.csr_stuck):
+            faults.append(Fault(
+                TARGET_CSR, rng.choice(csrs), rng.randrange(32),
+                rng.choice((STUCK_AT_0, STUCK_AT_1)),
+            ))
+    return faults

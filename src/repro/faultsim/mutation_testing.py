@@ -1,0 +1,131 @@
+"""XEMU-style binary mutation testing.
+
+Where the fault campaign asks "what does this fault do to the system?",
+mutation testing asks the dual question the group's XEMU work poses:
+"is this *test program* good enough to notice?"  A self-checking binary
+(exit code 0 = pass) is mutated bit-by-bit; every mutant is executed; a
+mutant is **killed** when the program no longer passes (nonzero exit,
+trap, or hang).  The mutation score — killed / total — measures the
+strength of the embedded checks.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence
+
+from ..asm import Program
+from ..isa.decoder import IsaConfig
+from ..vp.cpu import STOP_EXIT
+from ..vp.machine import Machine, MachineConfig
+from .faults import Fault
+from .injector import inject
+from .mutants import enumerate_code_faults
+
+KILLED_WRONG_EXIT = "wrong_exit"
+KILLED_TRAP = "trap"
+KILLED_HANG = "hang"
+SURVIVED = "survived"
+
+
+@dataclass
+class MutationOutcome:
+    fault: Fault
+    verdict: str
+    exit_code: Optional[int] = None
+
+
+@dataclass
+class MutationReport:
+    """Result of a mutation-testing run against one self-checking binary."""
+
+    outcomes: List[MutationOutcome]
+
+    @property
+    def total(self) -> int:
+        return len(self.outcomes)
+
+    @property
+    def killed(self) -> int:
+        return sum(1 for o in self.outcomes if o.verdict != SURVIVED)
+
+    @property
+    def survivors(self) -> List[MutationOutcome]:
+        return [o for o in self.outcomes if o.verdict == SURVIVED]
+
+    @property
+    def score(self) -> float:
+        """Mutation score: fraction of mutants the checks killed."""
+        if not self.outcomes:
+            return 0.0
+        return self.killed / self.total
+
+    def by_verdict(self) -> dict:
+        tally: dict = {}
+        for outcome in self.outcomes:
+            tally[outcome.verdict] = tally.get(outcome.verdict, 0) + 1
+        return tally
+
+    def table(self) -> str:
+        lines = [f"{'verdict':<12} {'count':>7}"]
+        lines.append("-" * 20)
+        for verdict, count in sorted(self.by_verdict().items()):
+            lines.append(f"{verdict:<12} {count:>7}")
+        lines.append("-" * 20)
+        lines.append(f"{'score':<12} {self.score:>6.1%}")
+        return "\n".join(lines)
+
+
+def run_mutation_testing(
+    program: Program,
+    isa: Optional[IsaConfig] = None,
+    sample: Optional[int] = 200,
+    seed: int = 0,
+    budget_multiplier: int = 4,
+    min_budget: int = 10_000,
+    expected_exit: Optional[int] = 0,
+) -> MutationReport:
+    """Mutation-test a self-checking binary.
+
+    ``sample`` caps the number of code mutants (``None`` = exhaustive,
+    eight per text byte).  ``expected_exit`` is the passing exit code
+    (default 0; pass ``None`` to accept whatever the fault-free run
+    produces, e.g. a checksum).  The fault-free binary must pass,
+    otherwise the score is meaningless.
+    """
+    isa = isa or IsaConfig.from_string(program.isa_name)
+
+    machine = Machine(MachineConfig(isa=isa))
+    machine.load(program)
+    golden = machine.run(max_instructions=10_000_000)
+    if golden.stop_reason != STOP_EXIT or (
+            expected_exit is not None and golden.exit_code != expected_exit):
+        raise ValueError(
+            "mutation testing needs a passing self-checking binary "
+            f"(got stop={golden.stop_reason}, exit={golden.exit_code})"
+        )
+    expected_exit = golden.exit_code
+    budget = max(min_budget, golden.instructions * budget_multiplier)
+
+    faults: Sequence[Fault] = enumerate_code_faults(program)
+    if sample is not None and sample < len(faults):
+        faults = random.Random(seed).sample(list(faults), sample)
+
+    outcomes: List[MutationOutcome] = []
+    for fault in faults:
+        machine = Machine(MachineConfig(isa=isa))
+        machine.load(program)
+        inject(machine, fault)
+        result = machine.run(max_instructions=budget)
+        if result.stop_reason == STOP_EXIT:
+            if result.exit_code == expected_exit:
+                verdict = SURVIVED
+            else:
+                verdict = KILLED_WRONG_EXIT
+        elif result.stop_reason in ("unhandled_trap", "trap_livelock"):
+            verdict = KILLED_TRAP
+        else:
+            verdict = KILLED_HANG
+        outcomes.append(MutationOutcome(fault, verdict, result.exit_code))
+    return MutationReport(outcomes)

@@ -1,0 +1,56 @@
+"""Disassembler: :class:`~repro.isa.spec.Decoded` back to assembly text.
+
+Output round-trips through the assembler (modulo label reconstruction:
+pc-relative offsets are printed numerically, with the resolved target as a
+comment when the instruction's pc is known).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from .csr import CSR_NAMES
+from .registers import FPR_ABI_NAMES, gpr_name
+from .spec import SYNTAX_OPERANDS, Decoded
+
+
+def _fmt_operand(d: Decoded, role: str) -> str:
+    if role == "rd":
+        return gpr_name(d.rd)
+    if role == "rs1":
+        return gpr_name(d.rs1)
+    if role == "rs2":
+        return gpr_name(d.rs2)
+    if role == "frd":
+        return FPR_ABI_NAMES[d.rd]
+    if role == "frs1":
+        return FPR_ABI_NAMES[d.rs1]
+    if role == "frs2":
+        return FPR_ABI_NAMES[d.rs2]
+    if role == "csr":
+        return CSR_NAMES.get(d.csr, f"{d.csr:#x}")
+    if role == "imm":
+        if d.spec.syntax in ("U",) or d.spec.name == "c.lui":
+            return hex((d.imm >> 12) & 0xFFFFF)
+        return str(d.imm)
+    raise ValueError(f"unknown operand role {role!r}")
+
+
+def disassemble(d: Decoded, pc: Optional[int] = None) -> str:
+    """Render one decoded instruction as assembly text."""
+    syntax = d.spec.syntax
+    roles = SYNTAX_OPERANDS[syntax]
+    if not roles:
+        return d.spec.name
+    parts = [_fmt_operand(d, role) for role in roles]
+    if syntax in ("LOAD", "STORE", "FLOAD", "FSTORE",
+                  "CLOAD", "CSTORE", "CFLOAD", "CFSTORE"):
+        text = f"{d.spec.name} {parts[0]}, {parts[1]}({parts[2]})"
+    elif syntax in ("CLSP", "CSSP", "CFLSP", "CFSSP"):
+        text = f"{d.spec.name} {parts[0]}, {parts[1]}(sp)"
+    else:
+        text = f"{d.spec.name} " + ", ".join(parts)
+    if pc is not None and (d.spec.is_branch or d.spec.name in
+                           ("jal", "c.j", "c.jal")):
+        text += f"  # -> {(pc + d.imm) & 0xFFFFFFFF:#010x}"
+    return text

@@ -1,0 +1,62 @@
+"""Mnemonic-level instruction encoding.
+
+Bridges operand roles in assembly syntax (``rd``, ``frs2``, ``csr`` ...) to
+the keyword arguments of each spec's ``encode`` callback.  This is the
+assembler's backend and is also used directly by the test generators.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from .decoder import Decoder
+from .spec import SYNTAX_OPERANDS, InstructionSpec
+
+#: Operand roles that map onto a differently named encode keyword.
+_ROLE_TO_KWARG: Dict[str, str] = {
+    "frd": "rd",
+    "frs1": "rs1",
+    "frs2": "rs2",
+}
+
+
+class EncodingError(Exception):
+    """Raised for unknown mnemonics or operand mismatches."""
+
+
+def operand_roles(spec: InstructionSpec):
+    """The ordered operand roles of a spec's assembly syntax."""
+    try:
+        return SYNTAX_OPERANDS[spec.syntax]
+    except KeyError:
+        raise EncodingError(
+            f"{spec.name}: unknown syntax class {spec.syntax!r}"
+        ) from None
+
+
+def encode(decoder: Decoder, name: str, *values: int) -> int:
+    """Encode instruction ``name`` with positional operand ``values``.
+
+    Operand order follows the assembly syntax of the instruction, e.g.
+    ``encode(dec, "addi", rd, rs1, imm)`` or ``encode(dec, "sw", rs2, imm,
+    rs1)`` (store syntax is ``sw rs2, imm(rs1)``).
+    """
+    spec = decoder.spec_by_name.get(name)
+    if spec is None:
+        raise EncodingError(
+            f"unknown mnemonic {name!r} for {decoder.config.name}"
+        )
+    if spec.encode is None:
+        raise EncodingError(f"{name} has no encoder")
+    roles = operand_roles(spec)
+    if len(values) != len(roles):
+        raise EncodingError(
+            f"{name} expects {len(roles)} operands {roles}, got {len(values)}"
+        )
+    kwargs = {}
+    for role, value in zip(roles, values):
+        kwargs[_ROLE_TO_KWARG.get(role, role)] = value
+    try:
+        return spec.encode(spec.match, **kwargs)
+    except ValueError as exc:
+        raise EncodingError(f"{name}: {exc}") from exc

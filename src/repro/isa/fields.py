@@ -1,0 +1,192 @@
+"""Bit-level field extraction and immediate decoding for RISC-V encodings.
+
+Every helper in this module operates on plain Python integers that represent
+fixed-width two's-complement machine words.  All 32-bit values are kept in the
+unsigned canonical range ``0 .. 2**32 - 1``; signedness is applied explicitly
+through :func:`sign_extend` at the points the ISA manual requires it.
+"""
+
+from __future__ import annotations
+
+XLEN = 32
+WORD_MASK = (1 << XLEN) - 1
+HALF_MASK = 0xFFFF
+BYTE_MASK = 0xFF
+
+
+def bits(value: int, hi: int, lo: int) -> int:
+    """Extract the inclusive bit range ``value[hi:lo]`` as an unsigned int."""
+    if hi < lo:
+        raise ValueError(f"invalid bit range [{hi}:{lo}]")
+    return (value >> lo) & ((1 << (hi - lo + 1)) - 1)
+
+
+def bit(value: int, pos: int) -> int:
+    """Extract the single bit ``value[pos]``."""
+    return (value >> pos) & 1
+
+
+def sign_extend(value: int, width: int) -> int:
+    """Sign-extend a ``width``-bit value to a Python int (may be negative)."""
+    sign_bit = 1 << (width - 1)
+    return (value & (sign_bit - 1)) - (value & sign_bit)
+
+
+def to_unsigned(value: int, width: int = XLEN) -> int:
+    """Normalise a possibly negative int to its unsigned ``width``-bit form."""
+    return value & ((1 << width) - 1)
+
+
+def to_signed(value: int, width: int = XLEN) -> int:
+    """Interpret an unsigned ``width``-bit value as two's complement."""
+    return sign_extend(value & ((1 << width) - 1), width)
+
+
+def fits_signed(value: int, width: int) -> bool:
+    """Return True if ``value`` is representable as a signed ``width``-bit int."""
+    lo = -(1 << (width - 1))
+    hi = (1 << (width - 1)) - 1
+    return lo <= value <= hi
+
+
+def fits_unsigned(value: int, width: int) -> bool:
+    """Return True if ``value`` is representable as an unsigned ``width``-bit int."""
+    return 0 <= value < (1 << width)
+
+
+# ---------------------------------------------------------------------------
+# Operand field positions shared by the base 32-bit instruction formats.
+# ---------------------------------------------------------------------------
+
+def rd(word: int) -> int:
+    """Destination register field (bits 11:7)."""
+    return bits(word, 11, 7)
+
+
+def rs1(word: int) -> int:
+    """First source register field (bits 19:15)."""
+    return bits(word, 19, 15)
+
+
+def rs2(word: int) -> int:
+    """Second source register field (bits 24:20)."""
+    return bits(word, 24, 20)
+
+
+def funct3(word: int) -> int:
+    """The funct3 minor opcode field (bits 14:12)."""
+    return bits(word, 14, 12)
+
+
+def funct7(word: int) -> int:
+    """The funct7 minor opcode field (bits 31:25)."""
+    return bits(word, 31, 25)
+
+
+def opcode(word: int) -> int:
+    """Major opcode field (bits 6:0)."""
+    return bits(word, 6, 0)
+
+
+# ---------------------------------------------------------------------------
+# Immediate decoding, one helper per instruction format.  Each returns the
+# *signed* immediate exactly as the ISA manual specifies.
+# ---------------------------------------------------------------------------
+
+def imm_i(word: int) -> int:
+    """I-type immediate: inst[31:20], sign-extended."""
+    return sign_extend(bits(word, 31, 20), 12)
+
+
+def imm_s(word: int) -> int:
+    """S-type immediate: inst[31:25] ++ inst[11:7], sign-extended."""
+    return sign_extend((bits(word, 31, 25) << 5) | bits(word, 11, 7), 12)
+
+
+def imm_b(word: int) -> int:
+    """B-type immediate: branch offset in multiples of two bytes."""
+    value = (
+        (bit(word, 31) << 12)
+        | (bit(word, 7) << 11)
+        | (bits(word, 30, 25) << 5)
+        | (bits(word, 11, 8) << 1)
+    )
+    return sign_extend(value, 13)
+
+
+def imm_u(word: int) -> int:
+    """U-type immediate: upper 20 bits, already shifted into position."""
+    return sign_extend(word & 0xFFFFF000, 32)
+
+
+def imm_j(word: int) -> int:
+    """J-type immediate: jump offset in multiples of two bytes."""
+    value = (
+        (bit(word, 31) << 20)
+        | (bits(word, 19, 12) << 12)
+        | (bit(word, 20) << 11)
+        | (bits(word, 30, 21) << 1)
+    )
+    return sign_extend(value, 21)
+
+
+def shamt(word: int) -> int:
+    """Shift amount for RV32 shift-immediate instructions (bits 24:20)."""
+    return bits(word, 24, 20)
+
+
+def csr_field(word: int) -> int:
+    """CSR address field of Zicsr instructions (bits 31:20)."""
+    return bits(word, 31, 20)
+
+
+# ---------------------------------------------------------------------------
+# Immediate *encoding*, the inverse of the helpers above.  Used by the
+# encoder/assembler; each validates range and alignment.
+# ---------------------------------------------------------------------------
+
+def encode_imm_i(imm: int) -> int:
+    if not fits_signed(imm, 12):
+        raise ValueError(f"I-immediate {imm} out of 12-bit signed range")
+    return (imm & 0xFFF) << 20
+
+
+def encode_imm_s(imm: int) -> int:
+    if not fits_signed(imm, 12):
+        raise ValueError(f"S-immediate {imm} out of 12-bit signed range")
+    value = imm & 0xFFF
+    return (bits(value, 11, 5) << 25) | (bits(value, 4, 0) << 7)
+
+
+def encode_imm_b(imm: int) -> int:
+    if imm % 2:
+        raise ValueError(f"branch offset {imm} is not 2-byte aligned")
+    if not fits_signed(imm, 13):
+        raise ValueError(f"B-immediate {imm} out of 13-bit signed range")
+    value = imm & 0x1FFF
+    return (
+        (bit(value, 12) << 31)
+        | (bits(value, 10, 5) << 25)
+        | (bits(value, 4, 1) << 8)
+        | (bit(value, 11) << 7)
+    )
+
+
+def encode_imm_u(imm: int) -> int:
+    if not fits_unsigned(imm, 20) and not fits_signed(imm, 20):
+        raise ValueError(f"U-immediate {imm} out of 20-bit range")
+    return (imm & 0xFFFFF) << 12
+
+
+def encode_imm_j(imm: int) -> int:
+    if imm % 2:
+        raise ValueError(f"jump offset {imm} is not 2-byte aligned")
+    if not fits_signed(imm, 21):
+        raise ValueError(f"J-immediate {imm} out of 21-bit signed range")
+    value = imm & 0x1FFFFF
+    return (
+        (bit(value, 20) << 31)
+        | (bits(value, 10, 1) << 21)
+        | (bit(value, 11) << 20)
+        | (bits(value, 19, 12) << 12)
+    )

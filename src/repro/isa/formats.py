@@ -1,0 +1,158 @@
+"""Shared decode and encode callbacks for the base 32-bit formats.
+
+Decoders are called as ``decode(spec, word)`` and return a
+:class:`~repro.isa.spec.Decoded`; encoders are called with the spec's match
+value plus keyword operands and return the raw instruction word.  The
+compressed formats have their own callbacks in :mod:`repro.isa.rv32c`
+because each RVC instruction scrambles its immediate differently.
+"""
+
+from __future__ import annotations
+
+from . import fields as f
+from .spec import Decoded
+
+
+# ---------------------------------------------------------------------------
+# Decoders
+# ---------------------------------------------------------------------------
+
+def decode_r(spec, word: int) -> Decoded:
+    return Decoded(spec, word, rd=f.rd(word), rs1=f.rs1(word), rs2=f.rs2(word))
+
+
+def decode_i(spec, word: int) -> Decoded:
+    return Decoded(spec, word, rd=f.rd(word), rs1=f.rs1(word), imm=f.imm_i(word))
+
+
+def decode_shift(spec, word: int) -> Decoded:
+    return Decoded(spec, word, rd=f.rd(word), rs1=f.rs1(word), imm=f.shamt(word))
+
+
+def decode_s(spec, word: int) -> Decoded:
+    return Decoded(spec, word, rs1=f.rs1(word), rs2=f.rs2(word), imm=f.imm_s(word))
+
+
+def decode_b(spec, word: int) -> Decoded:
+    return Decoded(spec, word, rs1=f.rs1(word), rs2=f.rs2(word), imm=f.imm_b(word))
+
+
+def decode_u(spec, word: int) -> Decoded:
+    return Decoded(spec, word, rd=f.rd(word), imm=f.imm_u(word))
+
+
+def decode_j(spec, word: int) -> Decoded:
+    return Decoded(spec, word, rd=f.rd(word), imm=f.imm_j(word))
+
+
+def decode_csr(spec, word: int) -> Decoded:
+    return Decoded(
+        spec, word, rd=f.rd(word), rs1=f.rs1(word), csr=f.csr_field(word)
+    )
+
+
+def decode_csri(spec, word: int) -> Decoded:
+    # The rs1 field carries the 5-bit zero-extended immediate.
+    return Decoded(spec, word, rd=f.rd(word), imm=f.rs1(word), csr=f.csr_field(word))
+
+
+def decode_none(spec, word: int) -> Decoded:
+    return Decoded(spec, word)
+
+
+def decode_r2(spec, word: int) -> Decoded:
+    """Unary register ops where rs2 is part of the match (clz, sext.b ...)."""
+    return Decoded(spec, word, rd=f.rd(word), rs1=f.rs1(word))
+
+
+# ---------------------------------------------------------------------------
+# Encoders
+# ---------------------------------------------------------------------------
+
+def _check_reg(value: int, role: str) -> int:
+    if not 0 <= value < 32:
+        raise ValueError(f"{role} register x{value} out of range")
+    return value
+
+
+def encode_r(match: int, rd: int = 0, rs1: int = 0, rs2: int = 0) -> int:
+    return (
+        match
+        | (_check_reg(rd, "rd") << 7)
+        | (_check_reg(rs1, "rs1") << 15)
+        | (_check_reg(rs2, "rs2") << 20)
+    )
+
+
+def encode_i(match: int, rd: int = 0, rs1: int = 0, imm: int = 0) -> int:
+    return (
+        match
+        | (_check_reg(rd, "rd") << 7)
+        | (_check_reg(rs1, "rs1") << 15)
+        | f.encode_imm_i(imm)
+    )
+
+
+def encode_shift(match: int, rd: int = 0, rs1: int = 0, imm: int = 0) -> int:
+    if not 0 <= imm < 32:
+        raise ValueError(f"shift amount {imm} out of range 0..31")
+    return (
+        match
+        | (_check_reg(rd, "rd") << 7)
+        | (_check_reg(rs1, "rs1") << 15)
+        | (imm << 20)
+    )
+
+
+def encode_s(match: int, rs1: int = 0, rs2: int = 0, imm: int = 0) -> int:
+    return (
+        match
+        | (_check_reg(rs1, "rs1") << 15)
+        | (_check_reg(rs2, "rs2") << 20)
+        | f.encode_imm_s(imm)
+    )
+
+
+def encode_b(match: int, rs1: int = 0, rs2: int = 0, imm: int = 0) -> int:
+    return (
+        match
+        | (_check_reg(rs1, "rs1") << 15)
+        | (_check_reg(rs2, "rs2") << 20)
+        | f.encode_imm_b(imm)
+    )
+
+
+def encode_u(match: int, rd: int = 0, imm: int = 0) -> int:
+    """``imm`` is the 20-bit upper-immediate value (not pre-shifted)."""
+    return match | (_check_reg(rd, "rd") << 7) | f.encode_imm_u(imm)
+
+
+def encode_j(match: int, rd: int = 0, imm: int = 0) -> int:
+    return match | (_check_reg(rd, "rd") << 7) | f.encode_imm_j(imm)
+
+
+def encode_csr(match: int, rd: int = 0, csr: int = 0, rs1: int = 0) -> int:
+    if not 0 <= csr < 4096:
+        raise ValueError(f"CSR address {csr:#x} out of range")
+    return (
+        match
+        | (_check_reg(rd, "rd") << 7)
+        | (_check_reg(rs1, "rs1") << 15)
+        | (csr << 20)
+    )
+
+
+def encode_csri(match: int, rd: int = 0, csr: int = 0, imm: int = 0) -> int:
+    if not 0 <= csr < 4096:
+        raise ValueError(f"CSR address {csr:#x} out of range")
+    if not 0 <= imm < 32:
+        raise ValueError(f"CSR immediate {imm} out of range 0..31")
+    return match | (_check_reg(rd, "rd") << 7) | (imm << 15) | (csr << 20)
+
+
+def encode_none(match: int) -> int:
+    return match
+
+
+def encode_r2(match: int, rd: int = 0, rs1: int = 0) -> int:
+    return match | (_check_reg(rd, "rd") << 7) | (_check_reg(rs1, "rs1") << 15)

@@ -1,0 +1,370 @@
+"""RV32C compressed instruction table.
+
+Every compressed instruction decodes into the operand form of its 32-bit
+expansion and reuses the base instruction's ``execute`` callback — the
+compressed spec only contributes the 16-bit length and its own mnemonic (so
+the coverage metric can distinguish ``c.addi`` from ``addi``, as the
+Scale4Edge coverage analysis does for the C module).
+
+Immediate scrambling follows the RVC chapter of the unprivileged spec; each
+format has a matched decode/encode pair, and encoders validate register
+class (x8..x15 for the three-bit fields) and immediate range/alignment.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from . import semantics as sem
+from .fields import bit, bits, fits_signed, sign_extend
+from .spec import Decoded, InstructionSpec
+
+
+def _creg(field: int) -> int:
+    """Map a 3-bit compressed register field to x8..x15."""
+    return 8 + field
+
+def _creg_field(reg: int, role: str) -> int:
+    if not 8 <= reg <= 15:
+        raise ValueError(f"{role} x{reg} not encodable in compressed form (x8..x15)")
+    return reg - 8
+
+def _reg_field(reg: int, role: str, allow_zero: bool = True) -> int:
+    if not 0 <= reg < 32:
+        raise ValueError(f"{role} register x{reg} out of range")
+    if not allow_zero and reg == 0:
+        raise ValueError(f"{role} must not be x0 for this compressed form")
+    return reg
+
+
+# --- immediate scramblers (decode side) -------------------------------------
+
+def _imm_ciw(w: int) -> int:
+    return (
+        (bits(w, 12, 11) << 4) | (bits(w, 10, 7) << 6)
+        | (bit(w, 6) << 2) | (bit(w, 5) << 3)
+    )
+
+def _imm_cl(w: int) -> int:
+    return (bits(w, 12, 10) << 3) | (bit(w, 6) << 2) | (bit(w, 5) << 6)
+
+def _imm_ci(w: int) -> int:
+    return sign_extend((bit(w, 12) << 5) | bits(w, 6, 2), 6)
+
+def _imm_clui(w: int) -> int:
+    return sign_extend((bit(w, 12) << 17) | (bits(w, 6, 2) << 12), 18)
+
+def _imm_addi16sp(w: int) -> int:
+    return sign_extend(
+        (bit(w, 12) << 9) | (bit(w, 6) << 4) | (bit(w, 5) << 6)
+        | (bits(w, 4, 3) << 7) | (bit(w, 2) << 5),
+        10,
+    )
+
+def _imm_cj(w: int) -> int:
+    return sign_extend(
+        (bit(w, 12) << 11) | (bit(w, 11) << 4) | (bits(w, 10, 9) << 8)
+        | (bit(w, 8) << 10) | (bit(w, 7) << 6) | (bit(w, 6) << 7)
+        | (bits(w, 5, 3) << 1) | (bit(w, 2) << 5),
+        12,
+    )
+
+def _imm_cb(w: int) -> int:
+    return sign_extend(
+        (bit(w, 12) << 8) | (bits(w, 11, 10) << 3) | (bits(w, 6, 5) << 6)
+        | (bits(w, 4, 3) << 1) | (bit(w, 2) << 5),
+        9,
+    )
+
+def _imm_clwsp(w: int) -> int:
+    return (bit(w, 12) << 5) | (bits(w, 6, 4) << 2) | (bits(w, 3, 2) << 6)
+
+def _imm_cswsp(w: int) -> int:
+    return (bits(w, 12, 9) << 2) | (bits(w, 8, 7) << 6)
+
+def _shamt_ci(w: int) -> int:
+    return (bit(w, 12) << 5) | bits(w, 6, 2)
+
+
+# --- immediate scramblers (encode side) -------------------------------------
+
+def _enc_imm_ciw(imm: int) -> int:
+    if not 0 < imm < 1024 or imm % 4:
+        raise ValueError(f"c.addi4spn immediate {imm} invalid (4..1020, /4)")
+    return (
+        (bits(imm, 5, 4) << 11) | (bits(imm, 9, 6) << 7)
+        | (bit(imm, 2) << 6) | (bit(imm, 3) << 5)
+    )
+
+def _enc_imm_cl(imm: int) -> int:
+    if not 0 <= imm < 128 or imm % 4:
+        raise ValueError(f"compressed load/store offset {imm} invalid (0..124, /4)")
+    return (bits(imm, 5, 3) << 10) | (bit(imm, 2) << 6) | (bit(imm, 6) << 5)
+
+def _enc_imm_ci(imm: int) -> int:
+    if not fits_signed(imm, 6):
+        raise ValueError(f"CI immediate {imm} out of 6-bit signed range")
+    imm &= 0x3F
+    return (bit(imm, 5) << 12) | (bits(imm, 4, 0) << 2)
+
+def _enc_imm_clui(imm: int) -> int:
+    # ``imm`` is the 20-bit upper-immediate value as written in assembly.
+    value = sign_extend(imm & 0xFFFFF, 20)
+    if not fits_signed(value, 6) or value == 0:
+        raise ValueError(f"c.lui immediate {imm:#x} not encodable")
+    value &= 0x3F
+    return (bit(value, 5) << 12) | (bits(value, 4, 0) << 2)
+
+def _enc_imm_addi16sp(imm: int) -> int:
+    if imm == 0 or imm % 16 or not fits_signed(imm, 10):
+        raise ValueError(f"c.addi16sp immediate {imm} invalid (±512, /16, nonzero)")
+    imm &= 0x3FF
+    return (
+        (bit(imm, 9) << 12) | (bit(imm, 4) << 6) | (bit(imm, 6) << 5)
+        | (bits(imm, 8, 7) << 3) | (bit(imm, 5) << 2)
+    )
+
+def _enc_imm_cj(imm: int) -> int:
+    if imm % 2 or not fits_signed(imm, 12):
+        raise ValueError(f"compressed jump offset {imm} invalid (±2KiB, /2)")
+    imm &= 0xFFF
+    return (
+        (bit(imm, 11) << 12) | (bit(imm, 4) << 11) | (bits(imm, 9, 8) << 9)
+        | (bit(imm, 10) << 8) | (bit(imm, 6) << 7) | (bit(imm, 7) << 6)
+        | (bits(imm, 3, 1) << 3) | (bit(imm, 5) << 2)
+    )
+
+def _enc_imm_cb(imm: int) -> int:
+    if imm % 2 or not fits_signed(imm, 9):
+        raise ValueError(f"compressed branch offset {imm} invalid (±256, /2)")
+    imm &= 0x1FF
+    return (
+        (bit(imm, 8) << 12) | (bits(imm, 4, 3) << 10) | (bits(imm, 7, 6) << 5)
+        | (bits(imm, 2, 1) << 3) | (bit(imm, 5) << 2)
+    )
+
+def _enc_imm_clwsp(imm: int) -> int:
+    if not 0 <= imm < 256 or imm % 4:
+        raise ValueError(f"c.lwsp offset {imm} invalid (0..252, /4)")
+    return (bit(imm, 5) << 12) | (bits(imm, 4, 2) << 4) | (bits(imm, 7, 6) << 2)
+
+def _enc_imm_cswsp(imm: int) -> int:
+    if not 0 <= imm < 256 or imm % 4:
+        raise ValueError(f"c.swsp offset {imm} invalid (0..252, /4)")
+    return (bits(imm, 5, 2) << 9) | (bits(imm, 7, 6) << 7)
+
+def _enc_shamt_ci(imm: int) -> int:
+    if not 0 < imm < 32:
+        raise ValueError(f"compressed shift amount {imm} invalid (1..31)")
+    return bits(imm, 4, 0) << 2
+
+
+# --- decoders ---------------------------------------------------------------
+
+def _dec_addi4spn(spec, w):
+    return Decoded(spec, w, rd=_creg(bits(w, 4, 2)), rs1=2, imm=_imm_ciw(w))
+
+def _dec_cl(spec, w):
+    return Decoded(spec, w, rd=_creg(bits(w, 4, 2)), rs1=_creg(bits(w, 9, 7)),
+                   imm=_imm_cl(w))
+
+def _dec_cs(spec, w):
+    return Decoded(spec, w, rs2=_creg(bits(w, 4, 2)), rs1=_creg(bits(w, 9, 7)),
+                   imm=_imm_cl(w))
+
+def _dec_caddi(spec, w):
+    r = bits(w, 11, 7)
+    return Decoded(spec, w, rd=r, rs1=r, imm=_imm_ci(w))
+
+def _dec_cjal(spec, w):
+    return Decoded(spec, w, rd=1, imm=_imm_cj(w))
+
+def _dec_cli(spec, w):
+    return Decoded(spec, w, rd=bits(w, 11, 7), rs1=0, imm=_imm_ci(w))
+
+def _dec_caddi16sp(spec, w):
+    return Decoded(spec, w, rd=2, rs1=2, imm=_imm_addi16sp(w))
+
+def _dec_clui(spec, w):
+    return Decoded(spec, w, rd=bits(w, 11, 7), imm=_imm_clui(w))
+
+def _dec_cshift(spec, w):
+    r = _creg(bits(w, 9, 7))
+    return Decoded(spec, w, rd=r, rs1=r, imm=_shamt_ci(w))
+
+def _dec_candi(spec, w):
+    r = _creg(bits(w, 9, 7))
+    return Decoded(spec, w, rd=r, rs1=r, imm=_imm_ci(w))
+
+def _dec_ca(spec, w):
+    r = _creg(bits(w, 9, 7))
+    return Decoded(spec, w, rd=r, rs1=r, rs2=_creg(bits(w, 4, 2)))
+
+def _dec_cj(spec, w):
+    return Decoded(spec, w, rd=0, imm=_imm_cj(w))
+
+def _dec_cb(spec, w):
+    return Decoded(spec, w, rs1=_creg(bits(w, 9, 7)), rs2=0, imm=_imm_cb(w))
+
+def _dec_cslli(spec, w):
+    r = bits(w, 11, 7)
+    return Decoded(spec, w, rd=r, rs1=r, imm=_shamt_ci(w))
+
+def _dec_clwsp(spec, w):
+    return Decoded(spec, w, rd=bits(w, 11, 7), rs1=2, imm=_imm_clwsp(w))
+
+def _dec_cswsp(spec, w):
+    return Decoded(spec, w, rs2=bits(w, 6, 2), rs1=2, imm=_imm_cswsp(w))
+
+def _dec_cjr(spec, w):
+    return Decoded(spec, w, rd=0, rs1=bits(w, 11, 7), imm=0)
+
+def _dec_cjalr(spec, w):
+    return Decoded(spec, w, rd=1, rs1=bits(w, 11, 7), imm=0)
+
+def _dec_cmv(spec, w):
+    return Decoded(spec, w, rd=bits(w, 11, 7), rs1=0, rs2=bits(w, 6, 2))
+
+def _dec_cadd(spec, w):
+    r = bits(w, 11, 7)
+    return Decoded(spec, w, rd=r, rs1=r, rs2=bits(w, 6, 2))
+
+def _dec_none(spec, w):
+    return Decoded(spec, w)
+
+
+# --- encoders ---------------------------------------------------------------
+
+def _enc_addi4spn(match, rd=0, imm=0, rs1=2):
+    return match | (_creg_field(rd, "rd") << 2) | _enc_imm_ciw(imm)
+
+def _enc_cl(match, rd=0, imm=0, rs1=0):
+    return (match | (_creg_field(rd, "rd") << 2)
+            | (_creg_field(rs1, "rs1") << 7) | _enc_imm_cl(imm))
+
+def _enc_cs(match, rs2=0, imm=0, rs1=0):
+    return (match | (_creg_field(rs2, "rs2") << 2)
+            | (_creg_field(rs1, "rs1") << 7) | _enc_imm_cl(imm))
+
+def _enc_caddi(match, rd=0, imm=0):
+    return match | (_reg_field(rd, "rd") << 7) | _enc_imm_ci(imm)
+
+def _enc_cjal(match, imm=0):
+    return match | _enc_imm_cj(imm)
+
+def _enc_cli(match, rd=0, imm=0):
+    return match | (_reg_field(rd, "rd", allow_zero=False) << 7) | _enc_imm_ci(imm)
+
+def _enc_caddi16sp(match, rd=2, imm=0):
+    if rd != 2:
+        raise ValueError("c.addi16sp destination is fixed to sp")
+    return match | _enc_imm_addi16sp(imm)
+
+def _enc_clui(match, rd=0, imm=0):
+    if rd in (0, 2):
+        raise ValueError("c.lui destination must not be x0 or sp")
+    return match | (rd << 7) | _enc_imm_clui(imm)
+
+def _enc_cshift(match, rd=0, imm=0):
+    return match | (_creg_field(rd, "rd") << 7) | _enc_shamt_ci(imm)
+
+def _enc_candi(match, rd=0, imm=0):
+    return match | (_creg_field(rd, "rd") << 7) | _enc_imm_ci(imm)
+
+def _enc_ca(match, rd=0, rs2=0):
+    return match | (_creg_field(rd, "rd") << 7) | (_creg_field(rs2, "rs2") << 2)
+
+def _enc_cj(match, imm=0):
+    return match | _enc_imm_cj(imm)
+
+def _enc_cb(match, rs1=0, imm=0):
+    return match | (_creg_field(rs1, "rs1") << 7) | _enc_imm_cb(imm)
+
+def _enc_cslli(match, rd=0, imm=0):
+    return match | (_reg_field(rd, "rd", allow_zero=False) << 7) | _enc_shamt_ci(imm)
+
+def _enc_clwsp(match, rd=0, imm=0):
+    return match | (_reg_field(rd, "rd", allow_zero=False) << 7) | _enc_imm_clwsp(imm)
+
+def _enc_cflwsp(match, rd=0, imm=0):
+    # FP destination may be f0; only the integer c.lwsp forbids x0.
+    return match | (_reg_field(rd, "frd") << 7) | _enc_imm_clwsp(imm)
+
+def _enc_cswsp(match, rs2=0, imm=0):
+    return match | (_reg_field(rs2, "rs2") << 2) | _enc_imm_cswsp(imm)
+
+def _enc_cjr(match, rs1=0):
+    return match | (_reg_field(rs1, "rs1", allow_zero=False) << 7)
+
+def _enc_cmv(match, rd=0, rs2=0):
+    return (match | (_reg_field(rd, "rd", allow_zero=False) << 7)
+            | (_reg_field(rs2, "rs2", allow_zero=False) << 2))
+
+def _enc_none(match):
+    return match
+
+
+def _c(name, match, mask, decode, execute, syntax, encode, **flags) -> InstructionSpec:
+    return InstructionSpec(
+        name=name, module="C", match=match, mask=mask, length=2,
+        decode=decode, execute=execute, syntax=syntax, encode=encode, **flags,
+    )
+
+
+RV32C_SPECS: List[InstructionSpec] = [
+    # Quadrant 0
+    _c("c.addi4spn", 0x0000, 0xE003, _dec_addi4spn, sem.exec_addi, "CI",
+       _enc_addi4spn),
+    _c("c.lw", 0x4000, 0xE003, _dec_cl, sem.exec_lw, "CLOAD", _enc_cl,
+       reads_mem=True),
+    _c("c.sw", 0xC000, 0xE003, _dec_cs, sem.exec_sw, "CSTORE", _enc_cs,
+       writes_mem=True),
+    # Quadrant 1
+    _c("c.addi", 0x0001, 0xE003, _dec_caddi, sem.exec_addi, "CI", _enc_caddi),
+    _c("c.jal", 0x2001, 0xE003, _dec_cjal, sem.exec_jal, "CJ", _enc_cjal,
+       is_jump=True),
+    _c("c.li", 0x4001, 0xE003, _dec_cli, sem.exec_addi, "CI", _enc_cli),
+    _c("c.addi16sp", 0x6101, 0xEF83, _dec_caddi16sp, sem.exec_addi, "CI",
+       _enc_caddi16sp),
+    _c("c.lui", 0x6001, 0xE003, _dec_clui, sem.exec_lui, "CI", _enc_clui),
+    _c("c.srli", 0x8001, 0xFC03, _dec_cshift, sem.exec_srli, "CI", _enc_cshift),
+    _c("c.srai", 0x8401, 0xFC03, _dec_cshift, sem.exec_srai, "CI", _enc_cshift),
+    _c("c.andi", 0x8801, 0xEC03, _dec_candi, sem.exec_andi, "CI", _enc_candi),
+    _c("c.sub", 0x8C01, 0xFC63, _dec_ca, sem.exec_sub, "CR", _enc_ca),
+    _c("c.xor", 0x8C21, 0xFC63, _dec_ca, sem.exec_xor, "CR", _enc_ca),
+    _c("c.or", 0x8C41, 0xFC63, _dec_ca, sem.exec_or, "CR", _enc_ca),
+    _c("c.and", 0x8C61, 0xFC63, _dec_ca, sem.exec_and, "CR", _enc_ca),
+    _c("c.j", 0xA001, 0xE003, _dec_cj, sem.exec_jal, "CJ", _enc_cj,
+       is_jump=True),
+    _c("c.beqz", 0xC001, 0xE003, _dec_cb, sem.exec_beq, "CBZ", _enc_cb,
+       is_branch=True),
+    _c("c.bnez", 0xE001, 0xE003, _dec_cb, sem.exec_bne, "CBZ", _enc_cb,
+       is_branch=True),
+    # Quadrant 2
+    _c("c.slli", 0x0002, 0xF003, _dec_cslli, sem.exec_slli, "CI", _enc_cslli),
+    _c("c.lwsp", 0x4002, 0xE003, _dec_clwsp, sem.exec_lw, "CLSP", _enc_clwsp,
+       reads_mem=True),
+    _c("c.jr", 0x8002, 0xF07F, _dec_cjr, sem.exec_jalr, "CR1", _enc_cjr,
+       is_jump=True),
+    _c("c.mv", 0x8002, 0xF003, _dec_cmv, sem.exec_add, "CR", _enc_cmv),
+    _c("c.ebreak", 0x9002, 0xFFFF, _dec_none, sem.exec_ebreak, "NONE",
+       _enc_none, is_system=True),
+    _c("c.jalr", 0x9002, 0xF07F, _dec_cjalr, sem.exec_jalr, "CR1", _enc_cjr,
+       is_jump=True),
+    _c("c.add", 0x9002, 0xF003, _dec_cadd, sem.exec_add, "CR", _enc_cmv),
+    _c("c.swsp", 0xC002, 0xE003, _dec_cswsp, sem.exec_sw, "CSSP", _enc_cswsp,
+       writes_mem=True),
+]
+
+# F-extension compressed loads/stores, only active when both C and F are
+# configured.
+RV32CF_SPECS: List[InstructionSpec] = [
+    _c("c.flw", 0x6000, 0xE003, _dec_cl, sem.exec_flw, "CFLOAD", _enc_cl,
+       reads_mem=True),
+    _c("c.fsw", 0xE000, 0xE003, _dec_cs, sem.exec_fsw, "CFSTORE", _enc_cs,
+       writes_mem=True),
+    _c("c.flwsp", 0x6002, 0xE003, _dec_clwsp, sem.exec_flw, "CFLSP",
+       _enc_cflwsp, reads_mem=True),
+    _c("c.fswsp", 0xE002, 0xE003, _dec_cswsp, sem.exec_fsw, "CFSSP",
+       _enc_cswsp, writes_mem=True),
+]

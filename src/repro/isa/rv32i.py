@@ -1,0 +1,173 @@
+"""Instruction tables for RV32I, M, Zicsr, and the F load/store/move subset.
+
+Each table is a list of :class:`~repro.isa.spec.InstructionSpec`; the decoder
+composes the tables selected by the ISA configuration.  Encodings follow the
+RISC-V unprivileged spec chapter 24 opcode listings.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from . import formats as fmt
+from . import semantics as sem
+from .spec import InstructionSpec
+
+# Major opcodes.
+OP_LUI = 0x37
+OP_AUIPC = 0x17
+OP_JAL = 0x6F
+OP_JALR = 0x67
+OP_BRANCH = 0x63
+OP_LOAD = 0x03
+OP_STORE = 0x23
+OP_IMM = 0x13
+OP_REG = 0x33
+OP_MISC_MEM = 0x0F
+OP_SYSTEM = 0x73
+OP_LOAD_FP = 0x07
+OP_STORE_FP = 0x27
+OP_FP = 0x53
+
+MASK_R = 0xFE00707F
+MASK_I = 0x0000707F
+MASK_FULL = 0xFFFFFFFF
+
+
+def _i(name, match, mask, decode, execute, syntax, encode, **flags) -> InstructionSpec:
+    return InstructionSpec(
+        name=name, module="I", match=match, mask=mask, length=4,
+        decode=decode, execute=execute, syntax=syntax, encode=encode, **flags,
+    )
+
+
+RV32I_SPECS: List[InstructionSpec] = [
+    _i("lui", OP_LUI, 0x7F, fmt.decode_u, sem.exec_lui, "U", fmt.encode_u),
+    _i("auipc", OP_AUIPC, 0x7F, fmt.decode_u, sem.exec_auipc, "U", fmt.encode_u),
+    _i("jal", OP_JAL, 0x7F, fmt.decode_j, sem.exec_jal, "J", fmt.encode_j,
+       is_jump=True),
+    _i("jalr", OP_JALR, MASK_I, fmt.decode_i, sem.exec_jalr, "JALR",
+       fmt.encode_i, is_jump=True),
+    _i("beq", 0x0063, MASK_I, fmt.decode_b, sem.exec_beq, "BRANCH",
+       fmt.encode_b, is_branch=True),
+    _i("bne", 0x1063, MASK_I, fmt.decode_b, sem.exec_bne, "BRANCH",
+       fmt.encode_b, is_branch=True),
+    _i("blt", 0x4063, MASK_I, fmt.decode_b, sem.exec_blt, "BRANCH",
+       fmt.encode_b, is_branch=True),
+    _i("bge", 0x5063, MASK_I, fmt.decode_b, sem.exec_bge, "BRANCH",
+       fmt.encode_b, is_branch=True),
+    _i("bltu", 0x6063, MASK_I, fmt.decode_b, sem.exec_bltu, "BRANCH",
+       fmt.encode_b, is_branch=True),
+    _i("bgeu", 0x7063, MASK_I, fmt.decode_b, sem.exec_bgeu, "BRANCH",
+       fmt.encode_b, is_branch=True),
+    _i("lb", 0x0003, MASK_I, fmt.decode_i, sem.exec_lb, "LOAD", fmt.encode_i,
+       reads_mem=True),
+    _i("lh", 0x1003, MASK_I, fmt.decode_i, sem.exec_lh, "LOAD", fmt.encode_i,
+       reads_mem=True),
+    _i("lw", 0x2003, MASK_I, fmt.decode_i, sem.exec_lw, "LOAD", fmt.encode_i,
+       reads_mem=True),
+    _i("lbu", 0x4003, MASK_I, fmt.decode_i, sem.exec_lbu, "LOAD", fmt.encode_i,
+       reads_mem=True),
+    _i("lhu", 0x5003, MASK_I, fmt.decode_i, sem.exec_lhu, "LOAD", fmt.encode_i,
+       reads_mem=True),
+    _i("sb", 0x0023, MASK_I, fmt.decode_s, sem.exec_sb, "STORE", fmt.encode_s,
+       writes_mem=True),
+    _i("sh", 0x1023, MASK_I, fmt.decode_s, sem.exec_sh, "STORE", fmt.encode_s,
+       writes_mem=True),
+    _i("sw", 0x2023, MASK_I, fmt.decode_s, sem.exec_sw, "STORE", fmt.encode_s,
+       writes_mem=True),
+    _i("addi", 0x0013, MASK_I, fmt.decode_i, sem.exec_addi, "I", fmt.encode_i),
+    _i("slti", 0x2013, MASK_I, fmt.decode_i, sem.exec_slti, "I", fmt.encode_i),
+    _i("sltiu", 0x3013, MASK_I, fmt.decode_i, sem.exec_sltiu, "I", fmt.encode_i),
+    _i("xori", 0x4013, MASK_I, fmt.decode_i, sem.exec_xori, "I", fmt.encode_i),
+    _i("ori", 0x6013, MASK_I, fmt.decode_i, sem.exec_ori, "I", fmt.encode_i),
+    _i("andi", 0x7013, MASK_I, fmt.decode_i, sem.exec_andi, "I", fmt.encode_i),
+    _i("slli", 0x00001013, MASK_R, fmt.decode_shift, sem.exec_slli, "SHIFT",
+       fmt.encode_shift),
+    _i("srli", 0x00005013, MASK_R, fmt.decode_shift, sem.exec_srli, "SHIFT",
+       fmt.encode_shift),
+    _i("srai", 0x40005013, MASK_R, fmt.decode_shift, sem.exec_srai, "SHIFT",
+       fmt.encode_shift),
+    _i("add", 0x00000033, MASK_R, fmt.decode_r, sem.exec_add, "R", fmt.encode_r),
+    _i("sub", 0x40000033, MASK_R, fmt.decode_r, sem.exec_sub, "R", fmt.encode_r),
+    _i("sll", 0x00001033, MASK_R, fmt.decode_r, sem.exec_sll, "R", fmt.encode_r),
+    _i("slt", 0x00002033, MASK_R, fmt.decode_r, sem.exec_slt, "R", fmt.encode_r),
+    _i("sltu", 0x00003033, MASK_R, fmt.decode_r, sem.exec_sltu, "R", fmt.encode_r),
+    _i("xor", 0x00004033, MASK_R, fmt.decode_r, sem.exec_xor, "R", fmt.encode_r),
+    _i("srl", 0x00005033, MASK_R, fmt.decode_r, sem.exec_srl, "R", fmt.encode_r),
+    _i("sra", 0x40005033, MASK_R, fmt.decode_r, sem.exec_sra, "R", fmt.encode_r),
+    _i("or", 0x00006033, MASK_R, fmt.decode_r, sem.exec_or, "R", fmt.encode_r),
+    _i("and", 0x00007033, MASK_R, fmt.decode_r, sem.exec_and, "R", fmt.encode_r),
+    _i("fence", 0x0000000F, MASK_I, fmt.decode_none, sem.exec_fence, "NONE",
+       fmt.encode_none, is_system=True),
+    _i("fence.i", 0x0000100F, MASK_I, fmt.decode_none, sem.exec_fence_i,
+       "NONE", fmt.encode_none, is_system=True),
+    _i("ecall", 0x00000073, MASK_FULL, fmt.decode_none, sem.exec_ecall,
+       "NONE", fmt.encode_none, is_system=True),
+    _i("ebreak", 0x00100073, MASK_FULL, fmt.decode_none, sem.exec_ebreak,
+       "NONE", fmt.encode_none, is_system=True),
+    _i("mret", 0x30200073, MASK_FULL, fmt.decode_none, sem.exec_mret, "NONE",
+       fmt.encode_none, is_system=True, is_jump=True),
+    _i("wfi", 0x10500073, MASK_FULL, fmt.decode_none, sem.exec_wfi, "NONE",
+       fmt.encode_none, is_system=True),
+]
+
+
+def _m(name, match, execute) -> InstructionSpec:
+    return InstructionSpec(
+        name=name, module="M", match=match, mask=MASK_R, length=4,
+        decode=fmt.decode_r, execute=execute, syntax="R", encode=fmt.encode_r,
+    )
+
+
+RV32M_SPECS: List[InstructionSpec] = [
+    _m("mul", 0x02000033, sem.exec_mul),
+    _m("mulh", 0x02001033, sem.exec_mulh),
+    _m("mulhsu", 0x02002033, sem.exec_mulhsu),
+    _m("mulhu", 0x02003033, sem.exec_mulhu),
+    _m("div", 0x02004033, sem.exec_div),
+    _m("divu", 0x02005033, sem.exec_divu),
+    _m("rem", 0x02006033, sem.exec_rem),
+    _m("remu", 0x02007033, sem.exec_remu),
+]
+
+
+def _csr(name, match, execute, syntax, encode) -> InstructionSpec:
+    return InstructionSpec(
+        name=name, module="Zicsr", match=match, mask=MASK_I, length=4,
+        decode=fmt.decode_csr if syntax == "CSR" else fmt.decode_csri,
+        execute=execute, syntax=syntax, encode=encode, is_system=True,
+    )
+
+
+ZICSR_SPECS: List[InstructionSpec] = [
+    _csr("csrrw", 0x1073, sem.exec_csrrw, "CSR", fmt.encode_csr),
+    _csr("csrrs", 0x2073, sem.exec_csrrs, "CSR", fmt.encode_csr),
+    _csr("csrrc", 0x3073, sem.exec_csrrc, "CSR", fmt.encode_csr),
+    _csr("csrrwi", 0x5073, sem.exec_csrrwi, "CSRI", fmt.encode_csri),
+    _csr("csrrsi", 0x6073, sem.exec_csrrsi, "CSRI", fmt.encode_csri),
+    _csr("csrrci", 0x7073, sem.exec_csrrci, "CSRI", fmt.encode_csri),
+]
+
+
+def _f(name, match, mask, decode, execute, syntax, encode, **flags) -> InstructionSpec:
+    return InstructionSpec(
+        name=name, module="F", match=match, mask=mask, length=4,
+        decode=decode, execute=execute, syntax=syntax, encode=encode, **flags,
+    )
+
+
+# F-extension subset: enough data movement for the FPR coverage metric and
+# the suites that exercise it (no FP arithmetic — see DESIGN.md).
+RV32F_SPECS: List[InstructionSpec] = [
+    _f("flw", 0x2007, MASK_I, fmt.decode_i, sem.exec_flw, "FLOAD",
+       fmt.encode_i, reads_mem=True),
+    _f("fsw", 0x2027, MASK_I, fmt.decode_s, sem.exec_fsw, "FSTORE",
+       fmt.encode_s, writes_mem=True),
+    _f("fmv.x.w", 0xE0000053, 0xFFF0707F, fmt.decode_r2, sem.exec_fmv_x_w,
+       "FMVX", fmt.encode_r2),
+    _f("fmv.w.x", 0xF0000053, 0xFFF0707F, fmt.decode_r2, sem.exec_fmv_w_x,
+       "FMVF", fmt.encode_r2),
+    _f("fsgnj.s", 0x20000053, MASK_R, fmt.decode_r, sem.exec_fsgnj_s, "FR",
+       fmt.encode_r),
+]

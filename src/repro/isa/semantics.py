@@ -1,0 +1,405 @@
+"""Instruction semantics for the base ISA and standard extensions.
+
+Every function here implements one instruction (or one family sharing an
+operation callback) against the CPU protocol defined by
+:class:`repro.vp.cpu.Cpu`:
+
+* ``cpu.regs`` / ``cpu.fregs`` / ``cpu.csrs`` — register files,
+* ``cpu.pc`` — address of the executing instruction,
+* ``cpu.next_pc`` — pre-set to the fall-through address; control-flow
+  instructions overwrite it,
+* ``cpu.load(addr, width, signed)`` / ``cpu.store(addr, width, value)``,
+* ``cpu.trap(cause, tval)`` — raises a :class:`repro.vp.trap.Trap`.
+
+Semantics follow the RISC-V unprivileged and machine-mode privileged specs;
+corner cases (division by zero, signed-overflow division, x0 hardwiring,
+CSR read/write suppression) are implemented exactly as specified.
+"""
+
+from __future__ import annotations
+
+from . import csr as csrdef
+from .fields import WORD_MASK, to_signed, to_unsigned
+from .spec import Decoded
+
+INT_MIN_32 = -(1 << 31)
+
+
+# ---------------------------------------------------------------------------
+# ALU register-register / register-immediate
+# ---------------------------------------------------------------------------
+
+def exec_add(cpu, d: Decoded) -> None:
+    cpu.regs.write(d.rd, cpu.regs.read(d.rs1) + cpu.regs.read(d.rs2))
+
+
+def exec_sub(cpu, d: Decoded) -> None:
+    cpu.regs.write(d.rd, cpu.regs.read(d.rs1) - cpu.regs.read(d.rs2))
+
+
+def exec_sll(cpu, d: Decoded) -> None:
+    cpu.regs.write(d.rd, cpu.regs.read(d.rs1) << (cpu.regs.read(d.rs2) & 31))
+
+
+def exec_slt(cpu, d: Decoded) -> None:
+    lhs = to_signed(cpu.regs.read(d.rs1))
+    rhs = to_signed(cpu.regs.read(d.rs2))
+    cpu.regs.write(d.rd, 1 if lhs < rhs else 0)
+
+
+def exec_sltu(cpu, d: Decoded) -> None:
+    cpu.regs.write(d.rd, 1 if cpu.regs.read(d.rs1) < cpu.regs.read(d.rs2) else 0)
+
+
+def exec_xor(cpu, d: Decoded) -> None:
+    cpu.regs.write(d.rd, cpu.regs.read(d.rs1) ^ cpu.regs.read(d.rs2))
+
+
+def exec_srl(cpu, d: Decoded) -> None:
+    cpu.regs.write(d.rd, cpu.regs.read(d.rs1) >> (cpu.regs.read(d.rs2) & 31))
+
+
+def exec_sra(cpu, d: Decoded) -> None:
+    shift = cpu.regs.read(d.rs2) & 31
+    cpu.regs.write(d.rd, to_signed(cpu.regs.read(d.rs1)) >> shift)
+
+
+def exec_or(cpu, d: Decoded) -> None:
+    cpu.regs.write(d.rd, cpu.regs.read(d.rs1) | cpu.regs.read(d.rs2))
+
+
+def exec_and(cpu, d: Decoded) -> None:
+    cpu.regs.write(d.rd, cpu.regs.read(d.rs1) & cpu.regs.read(d.rs2))
+
+
+def exec_addi(cpu, d: Decoded) -> None:
+    cpu.regs.write(d.rd, cpu.regs.read(d.rs1) + d.imm)
+
+
+def exec_slti(cpu, d: Decoded) -> None:
+    cpu.regs.write(d.rd, 1 if to_signed(cpu.regs.read(d.rs1)) < d.imm else 0)
+
+
+def exec_sltiu(cpu, d: Decoded) -> None:
+    cpu.regs.write(d.rd, 1 if cpu.regs.read(d.rs1) < to_unsigned(d.imm) else 0)
+
+
+def exec_xori(cpu, d: Decoded) -> None:
+    cpu.regs.write(d.rd, cpu.regs.read(d.rs1) ^ to_unsigned(d.imm))
+
+
+def exec_ori(cpu, d: Decoded) -> None:
+    cpu.regs.write(d.rd, cpu.regs.read(d.rs1) | to_unsigned(d.imm))
+
+
+def exec_andi(cpu, d: Decoded) -> None:
+    cpu.regs.write(d.rd, cpu.regs.read(d.rs1) & to_unsigned(d.imm))
+
+
+def exec_slli(cpu, d: Decoded) -> None:
+    cpu.regs.write(d.rd, cpu.regs.read(d.rs1) << d.imm)
+
+
+def exec_srli(cpu, d: Decoded) -> None:
+    cpu.regs.write(d.rd, cpu.regs.read(d.rs1) >> d.imm)
+
+
+def exec_srai(cpu, d: Decoded) -> None:
+    cpu.regs.write(d.rd, to_signed(cpu.regs.read(d.rs1)) >> d.imm)
+
+
+def exec_lui(cpu, d: Decoded) -> None:
+    cpu.regs.write(d.rd, d.imm)
+
+
+def exec_auipc(cpu, d: Decoded) -> None:
+    cpu.regs.write(d.rd, cpu.pc + d.imm)
+
+
+# ---------------------------------------------------------------------------
+# Control flow
+# ---------------------------------------------------------------------------
+
+def exec_jal(cpu, d: Decoded) -> None:
+    cpu.regs.write(d.rd, cpu.pc + d.spec.length)
+    cpu.next_pc = (cpu.pc + d.imm) & WORD_MASK
+
+
+def exec_jalr(cpu, d: Decoded) -> None:
+    target = (cpu.regs.read(d.rs1) + d.imm) & WORD_MASK & ~1
+    cpu.regs.write(d.rd, cpu.pc + d.spec.length)
+    cpu.next_pc = target
+
+
+def _branch(cpu, d: Decoded, taken: bool) -> None:
+    if taken:
+        cpu.next_pc = (cpu.pc + d.imm) & WORD_MASK
+
+
+def exec_beq(cpu, d: Decoded) -> None:
+    _branch(cpu, d, cpu.regs.read(d.rs1) == cpu.regs.read(d.rs2))
+
+
+def exec_bne(cpu, d: Decoded) -> None:
+    _branch(cpu, d, cpu.regs.read(d.rs1) != cpu.regs.read(d.rs2))
+
+
+def exec_blt(cpu, d: Decoded) -> None:
+    _branch(cpu, d, to_signed(cpu.regs.read(d.rs1)) < to_signed(cpu.regs.read(d.rs2)))
+
+
+def exec_bge(cpu, d: Decoded) -> None:
+    _branch(cpu, d, to_signed(cpu.regs.read(d.rs1)) >= to_signed(cpu.regs.read(d.rs2)))
+
+
+def exec_bltu(cpu, d: Decoded) -> None:
+    _branch(cpu, d, cpu.regs.read(d.rs1) < cpu.regs.read(d.rs2))
+
+
+def exec_bgeu(cpu, d: Decoded) -> None:
+    _branch(cpu, d, cpu.regs.read(d.rs1) >= cpu.regs.read(d.rs2))
+
+
+# ---------------------------------------------------------------------------
+# Loads and stores
+# ---------------------------------------------------------------------------
+
+def exec_lb(cpu, d: Decoded) -> None:
+    addr = (cpu.regs.read(d.rs1) + d.imm) & WORD_MASK
+    cpu.regs.write(d.rd, cpu.load(addr, 1, signed=True))
+
+
+def exec_lh(cpu, d: Decoded) -> None:
+    addr = (cpu.regs.read(d.rs1) + d.imm) & WORD_MASK
+    cpu.regs.write(d.rd, cpu.load(addr, 2, signed=True))
+
+
+def exec_lw(cpu, d: Decoded) -> None:
+    addr = (cpu.regs.read(d.rs1) + d.imm) & WORD_MASK
+    cpu.regs.write(d.rd, cpu.load(addr, 4))
+
+
+def exec_lbu(cpu, d: Decoded) -> None:
+    addr = (cpu.regs.read(d.rs1) + d.imm) & WORD_MASK
+    cpu.regs.write(d.rd, cpu.load(addr, 1))
+
+
+def exec_lhu(cpu, d: Decoded) -> None:
+    addr = (cpu.regs.read(d.rs1) + d.imm) & WORD_MASK
+    cpu.regs.write(d.rd, cpu.load(addr, 2))
+
+
+def exec_sb(cpu, d: Decoded) -> None:
+    addr = (cpu.regs.read(d.rs1) + d.imm) & WORD_MASK
+    cpu.store(addr, 1, cpu.regs.read(d.rs2))
+
+
+def exec_sh(cpu, d: Decoded) -> None:
+    addr = (cpu.regs.read(d.rs1) + d.imm) & WORD_MASK
+    cpu.store(addr, 2, cpu.regs.read(d.rs2))
+
+
+def exec_sw(cpu, d: Decoded) -> None:
+    addr = (cpu.regs.read(d.rs1) + d.imm) & WORD_MASK
+    cpu.store(addr, 4, cpu.regs.read(d.rs2))
+
+
+# ---------------------------------------------------------------------------
+# M extension
+# ---------------------------------------------------------------------------
+
+def exec_mul(cpu, d: Decoded) -> None:
+    cpu.regs.write(d.rd, cpu.regs.read(d.rs1) * cpu.regs.read(d.rs2))
+
+
+def exec_mulh(cpu, d: Decoded) -> None:
+    product = to_signed(cpu.regs.read(d.rs1)) * to_signed(cpu.regs.read(d.rs2))
+    cpu.regs.write(d.rd, product >> 32)
+
+
+def exec_mulhsu(cpu, d: Decoded) -> None:
+    product = to_signed(cpu.regs.read(d.rs1)) * cpu.regs.read(d.rs2)
+    cpu.regs.write(d.rd, product >> 32)
+
+
+def exec_mulhu(cpu, d: Decoded) -> None:
+    product = cpu.regs.read(d.rs1) * cpu.regs.read(d.rs2)
+    cpu.regs.write(d.rd, product >> 32)
+
+
+def exec_div(cpu, d: Decoded) -> None:
+    dividend = to_signed(cpu.regs.read(d.rs1))
+    divisor = to_signed(cpu.regs.read(d.rs2))
+    if divisor == 0:
+        result = -1
+    elif dividend == INT_MIN_32 and divisor == -1:
+        result = INT_MIN_32
+    else:
+        # Python's // rounds toward -inf; RISC-V divides toward zero.
+        result = abs(dividend) // abs(divisor)
+        if (dividend < 0) != (divisor < 0):
+            result = -result
+    cpu.regs.write(d.rd, result)
+
+
+def exec_divu(cpu, d: Decoded) -> None:
+    dividend = cpu.regs.read(d.rs1)
+    divisor = cpu.regs.read(d.rs2)
+    cpu.regs.write(d.rd, WORD_MASK if divisor == 0 else dividend // divisor)
+
+
+def exec_rem(cpu, d: Decoded) -> None:
+    dividend = to_signed(cpu.regs.read(d.rs1))
+    divisor = to_signed(cpu.regs.read(d.rs2))
+    if divisor == 0:
+        result = dividend
+    elif dividend == INT_MIN_32 and divisor == -1:
+        result = 0
+    else:
+        result = abs(dividend) % abs(divisor)
+        if dividend < 0:
+            result = -result
+    cpu.regs.write(d.rd, result)
+
+
+def exec_remu(cpu, d: Decoded) -> None:
+    dividend = cpu.regs.read(d.rs1)
+    divisor = cpu.regs.read(d.rs2)
+    cpu.regs.write(d.rd, dividend if divisor == 0 else dividend % divisor)
+
+
+# ---------------------------------------------------------------------------
+# System instructions
+# ---------------------------------------------------------------------------
+
+def exec_fence(cpu, d: Decoded) -> None:
+    pass  # single-hart VP with a flat memory: fences are architectural no-ops
+
+
+def exec_fence_i(cpu, d: Decoded) -> None:
+    # Self-modifying code support: drop all cached translation blocks.
+    cpu.flush_translation_cache()
+
+
+def exec_ecall(cpu, d: Decoded) -> None:
+    cpu.environment_call()
+
+
+def exec_ebreak(cpu, d: Decoded) -> None:
+    cpu.trap(csrdef.CAUSE_BREAKPOINT, cpu.pc)
+
+
+def exec_mret(cpu, d: Decoded) -> None:
+    status = cpu.csrs.raw_read(csrdef.MSTATUS)
+    mpie = bool(status & csrdef.MSTATUS_MPIE)
+    status &= ~(csrdef.MSTATUS_MIE | csrdef.MSTATUS_MPIE)
+    if mpie:
+        status |= csrdef.MSTATUS_MIE
+    status |= csrdef.MSTATUS_MPIE
+    cpu.csrs.raw_write(csrdef.MSTATUS, status)
+    cpu.next_pc = cpu.csrs.raw_read(csrdef.MEPC) & WORD_MASK & ~1
+
+
+def exec_wfi(cpu, d: Decoded) -> None:
+    cpu.wait_for_interrupt()
+
+
+# ---------------------------------------------------------------------------
+# Zicsr
+# ---------------------------------------------------------------------------
+
+def _csr_illegal(cpu, exc) -> None:
+    cpu.trap(csrdef.CAUSE_ILLEGAL_INSTRUCTION, cpu.current_word())
+
+
+def exec_csrrw(cpu, d: Decoded) -> None:
+    try:
+        old = cpu.csrs.read(d.csr) if d.rd else 0
+        cpu.csrs.write(d.csr, cpu.regs.read(d.rs1))
+    except csrdef.IllegalCsrError as exc:
+        _csr_illegal(cpu, exc)
+        return
+    cpu.regs.write(d.rd, old)
+
+
+def exec_csrrs(cpu, d: Decoded) -> None:
+    try:
+        old = cpu.csrs.read(d.csr)
+        if d.rs1:
+            cpu.csrs.write(d.csr, old | cpu.regs.read(d.rs1))
+    except csrdef.IllegalCsrError as exc:
+        _csr_illegal(cpu, exc)
+        return
+    cpu.regs.write(d.rd, old)
+
+
+def exec_csrrc(cpu, d: Decoded) -> None:
+    try:
+        old = cpu.csrs.read(d.csr)
+        if d.rs1:
+            cpu.csrs.write(d.csr, old & ~cpu.regs.read(d.rs1))
+    except csrdef.IllegalCsrError as exc:
+        _csr_illegal(cpu, exc)
+        return
+    cpu.regs.write(d.rd, old)
+
+
+def exec_csrrwi(cpu, d: Decoded) -> None:
+    try:
+        old = cpu.csrs.read(d.csr) if d.rd else 0
+        cpu.csrs.write(d.csr, d.imm)
+    except csrdef.IllegalCsrError as exc:
+        _csr_illegal(cpu, exc)
+        return
+    cpu.regs.write(d.rd, old)
+
+
+def exec_csrrsi(cpu, d: Decoded) -> None:
+    try:
+        old = cpu.csrs.read(d.csr)
+        if d.imm:
+            cpu.csrs.write(d.csr, old | d.imm)
+    except csrdef.IllegalCsrError as exc:
+        _csr_illegal(cpu, exc)
+        return
+    cpu.regs.write(d.rd, old)
+
+
+def exec_csrrci(cpu, d: Decoded) -> None:
+    try:
+        old = cpu.csrs.read(d.csr)
+        if d.imm:
+            cpu.csrs.write(d.csr, old & ~d.imm)
+    except csrdef.IllegalCsrError as exc:
+        _csr_illegal(cpu, exc)
+        return
+    cpu.regs.write(d.rd, old)
+
+
+# ---------------------------------------------------------------------------
+# F-extension subset (loads/stores/moves) — enough to give the FPR coverage
+# metric an architecturally real register file to observe.
+# ---------------------------------------------------------------------------
+
+def exec_flw(cpu, d: Decoded) -> None:
+    addr = (cpu.regs.read(d.rs1) + d.imm) & WORD_MASK
+    cpu.fregs.write(d.rd, cpu.load(addr, 4))
+
+
+def exec_fsw(cpu, d: Decoded) -> None:
+    addr = (cpu.regs.read(d.rs1) + d.imm) & WORD_MASK
+    cpu.store(addr, 4, cpu.fregs.read(d.rs2))
+
+
+def exec_fmv_x_w(cpu, d: Decoded) -> None:
+    cpu.regs.write(d.rd, cpu.fregs.read(d.rs1))
+
+
+def exec_fmv_w_x(cpu, d: Decoded) -> None:
+    cpu.fregs.write(d.rd, cpu.regs.read(d.rs1))
+
+
+def exec_fsgnj_s(cpu, d: Decoded) -> None:
+    # fsgnj.s frd, frs1, frs2 — with frs1 == frs2 this is fmv.s.
+    value = (cpu.fregs.read(d.rs1) & 0x7FFFFFFF) | (cpu.fregs.read(d.rs2) & 0x80000000)
+    cpu.fregs.write(d.rd, value)

@@ -1,0 +1,141 @@
+"""Instruction specification model.
+
+The ISA is described as a table of :class:`InstructionSpec` entries, each
+carrying a (match, mask) pair in the style of QEMU's *decodetree* input: a
+candidate word ``w`` matches a spec iff ``w & mask == match``.  The decoder
+(:mod:`repro.isa.decoder`) compiles the enabled specs into lookup tables, so
+adding an ISA module (M, C, Zicsr, the BMI extension ...) is purely additive
+— exactly the property the Scale4Edge ecosystem needed from DecodeTree to
+scale over RISC-V subset configurations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Optional, Tuple
+
+#: Assembly operand syntax classes, used by the assembler and disassembler.
+#: Keys are the ``syntax`` attribute of a spec; values list the operand roles
+#: in source order.
+SYNTAX_OPERANDS: Dict[str, Tuple[str, ...]] = {
+    "R": ("rd", "rs1", "rs2"),          # add rd, rs1, rs2
+    "I": ("rd", "rs1", "imm"),          # addi rd, rs1, imm
+    "SHIFT": ("rd", "rs1", "imm"),      # slli rd, rs1, shamt
+    "LOAD": ("rd", "imm", "rs1"),       # lw rd, imm(rs1)
+    "STORE": ("rs2", "imm", "rs1"),     # sw rs2, imm(rs1)
+    "BRANCH": ("rs1", "rs2", "imm"),    # beq rs1, rs2, offset
+    "U": ("rd", "imm"),                 # lui rd, imm
+    "J": ("rd", "imm"),                 # jal rd, offset
+    "JALR": ("rd", "rs1", "imm"),       # jalr rd, rs1, imm
+    "CSR": ("rd", "csr", "rs1"),        # csrrw rd, csr, rs1
+    "CSRI": ("rd", "csr", "imm"),       # csrrwi rd, csr, uimm
+    "NONE": (),                         # ecall, ebreak, mret, fence, wfi
+    "R2": ("rd", "rs1"),                # unary ops (clz rd, rs1; sext.b ...)
+    "FLOAD": ("frd", "imm", "rs1"),     # flw frd, imm(rs1)
+    "FSTORE": ("frs2", "imm", "rs1"),   # fsw frs2, imm(rs1)
+    "FR": ("frd", "frs1", "frs2"),      # fsgnj.s frd, frs1, frs2
+    "FR2": ("frd", "frs1"),             # fsgnj-based fmv.s
+    "FMVX": ("rd", "frs1"),             # fmv.x.w rd, frs1
+    "FMVF": ("frd", "rs1"),             # fmv.w.x frd, rs1
+    # Compressed formats.
+    "CI": ("rd", "imm"),                # c.addi rd, imm / c.slli rd, shamt
+    "CR": ("rd", "rs2"),                # c.mv rd, rs2 / c.add rd, rs2
+    "CR1": ("rs1",),                    # c.jr rs1 / c.jalr rs1
+    "CJ": ("imm",),                     # c.j offset
+    "CBZ": ("rs1", "imm"),              # c.beqz rs1, offset
+    "CLOAD": ("rd", "imm", "rs1"),      # c.lw rd, imm(rs1)
+    "CSTORE": ("rs2", "imm", "rs1"),    # c.sw rs2, imm(rs1)
+    "CLSP": ("rd", "imm"),              # c.lwsp rd, imm
+    "CSSP": ("rs2", "imm"),             # c.swsp rs2, imm
+    "CFLOAD": ("frd", "imm", "rs1"),    # c.flw frd, imm(rs1)
+    "CFSTORE": ("frs2", "imm", "rs1"),  # c.fsw frs2, imm(rs1)
+    "CFLSP": ("frd", "imm"),            # c.flwsp frd, imm
+    "CFSSP": ("frs2", "imm"),           # c.fswsp frs2, imm
+}
+
+
+@dataclass(frozen=True)
+class InstructionSpec:
+    """A single instruction's encoding, metadata, and semantics.
+
+    Attributes:
+        name: canonical mnemonic (``add``, ``c.addi``, ``csrrw`` ...).
+        module: ISA module the instruction belongs to (``I``, ``M``, ``C``,
+            ``Zicsr``, ``Zbb`` ...).  Coverage is reported per module.
+        match: required bit pattern after masking.
+        mask: which bits of the word participate in the match.
+        length: instruction length in bytes (2 for compressed, 4 otherwise).
+        decode: extracts the operand fields from the raw word; called as
+            ``decode(spec, word)`` and returns a :class:`Decoded`.
+        execute: instruction semantics, called as ``execute(cpu, decoded)``.
+        syntax: key into :data:`SYNTAX_OPERANDS` describing assembly syntax.
+        encode: builds the raw word from an operand dict (assembler backend);
+            ``None`` for instructions only produced by decoding (e.g. when
+            a compressed spec is re-encoded via its expansion).
+        reads_mem / writes_mem: static memory-effect flags for CFG analysis.
+        is_branch / is_jump / is_call / is_ret / is_system: static
+            control-flow classification used by the CFG builder and the
+            Torture-style generator.
+    """
+
+    name: str
+    module: str
+    match: int
+    mask: int
+    length: int
+    decode: Callable = field(repr=False, default=None)  # type: ignore[assignment]
+    execute: Callable = field(repr=False, default=None)  # type: ignore[assignment]
+    syntax: str = "NONE"
+    encode: Optional[Callable[..., int]] = field(repr=False, default=None)
+    reads_mem: bool = False
+    writes_mem: bool = False
+    is_branch: bool = False
+    is_jump: bool = False
+    is_system: bool = False
+
+    def matches(self, word: int) -> bool:
+        """True if ``word`` decodes to this instruction."""
+        return (word & self.mask) == self.match
+
+
+class Decoded:
+    """A decoded instruction instance: spec plus extracted operand fields.
+
+    Field meaning depends on the spec's syntax class; unused fields are 0.
+    ``imm`` is the sign-extended immediate (or unsigned where the ISA says
+    so, e.g. CSR uimm and shift amounts).
+    """
+
+    __slots__ = ("spec", "word", "rd", "rs1", "rs2", "imm", "csr")
+
+    def __init__(
+        self,
+        spec: InstructionSpec,
+        word: int,
+        rd: int = 0,
+        rs1: int = 0,
+        rs2: int = 0,
+        imm: int = 0,
+        csr: int = 0,
+    ) -> None:
+        self.spec = spec
+        self.word = word
+        self.rd = rd
+        self.rs1 = rs1
+        self.rs2 = rs2
+        self.imm = imm
+        self.csr = csr
+
+    @property
+    def name(self) -> str:
+        return self.spec.name
+
+    @property
+    def length(self) -> int:
+        return self.spec.length
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"Decoded({self.spec.name}, word={self.word:#x}, rd={self.rd}, "
+            f"rs1={self.rs1}, rs2={self.rs2}, imm={self.imm}, csr={self.csr:#x})"
+        )

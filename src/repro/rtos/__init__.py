@@ -1,0 +1,31 @@
+"""Abstract RTOS model: task sets, response-time analysis, simulation."""
+
+from .analysis import (
+    SchedulabilityReport,
+    analyze_taskset,
+    taskset_from_wcet_analyses,
+)
+from .model import (
+    RtaResult,
+    SimulationResult,
+    TaskSpec,
+    assign_priorities,
+    hyperperiod,
+    response_time_analysis,
+    simulate,
+    total_utilization,
+)
+
+__all__ = [
+    "RtaResult",
+    "SchedulabilityReport",
+    "SimulationResult",
+    "TaskSpec",
+    "analyze_taskset",
+    "assign_priorities",
+    "hyperperiod",
+    "response_time_analysis",
+    "simulate",
+    "taskset_from_wcet_analyses",
+    "total_utilization",
+]

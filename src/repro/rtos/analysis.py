@@ -1,0 +1,91 @@
+"""Schedulability reporting and QTA integration for the RTOS model."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from .model import (
+    RtaResult,
+    SimulationResult,
+    TaskSpec,
+    assign_priorities,
+    response_time_analysis,
+    simulate,
+    total_utilization,
+)
+
+
+@dataclass
+class SchedulabilityReport:
+    """RTA bounds and simulated responses side by side."""
+
+    tasks: List[TaskSpec]
+    rta: RtaResult
+    simulation: SimulationResult
+
+    @property
+    def utilization(self) -> float:
+        return total_utilization(self.tasks)
+
+    @property
+    def consistent(self) -> bool:
+        """RTA bound >= simulated max response for every bounded task."""
+        for task in self.tasks:
+            bound = self.rta.bound(task.name)
+            observed = self.simulation.max_response.get(task.name, 0)
+            if bound is not None and observed > bound:
+                return False
+        return True
+
+    def table(self) -> str:
+        ordered = assign_priorities(self.tasks)
+        header = (f"{'task':<12} {'T':>7} {'C':>7} {'D':>7} {'U':>7} "
+                  f"{'RTA bound':>10} {'sim max':>8} {'ok':>4}")
+        lines = [header, "-" * len(header)]
+        for task in ordered:
+            bound = self.rta.bound(task.name)
+            observed = self.simulation.max_response.get(task.name, 0)
+            ok = bound is not None and bound <= task.effective_deadline
+            lines.append(
+                f"{task.name:<12} {task.period:>7} {task.wcet:>7} "
+                f"{task.effective_deadline:>7} {task.utilization:>6.1%} "
+                f"{bound if bound is not None else '---':>10} "
+                f"{observed:>8} {'yes' if ok else 'NO':>4}"
+            )
+        lines.append(
+            f"total utilization {self.utilization:.1%}; "
+            f"RTA {'schedulable' if self.rta.schedulable else 'UNSCHEDULABLE'}; "
+            f"simulation misses: {len(self.simulation.deadline_misses)}"
+        )
+        return "\n".join(lines)
+
+
+def analyze_taskset(tasks: Sequence[TaskSpec],
+                    horizon: Optional[int] = None) -> SchedulabilityReport:
+    """RTA plus hyperperiod simulation for one task set."""
+    task_list = list(tasks)
+    return SchedulabilityReport(
+        tasks=task_list,
+        rta=response_time_analysis(task_list),
+        simulation=simulate(task_list, horizon=horizon),
+    )
+
+
+def taskset_from_wcet_analyses(
+    entries: Sequence[Tuple[str, "object", int]],
+) -> List[TaskSpec]:
+    """Build a task set from QTA analyses.
+
+    ``entries`` is a sequence of ``(name, QtaAnalysis, period_cycles)``;
+    each task's WCET is the analysis' static bound, so the schedulability
+    verdict inherits the soundness of the WCET chain.
+    """
+    tasks = []
+    for name, analysis, period in entries:
+        tasks.append(TaskSpec(
+            name=name,
+            period=period,
+            wcet=analysis.static_bound.cycles,
+        ))
+    return tasks

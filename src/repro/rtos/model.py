@@ -1,0 +1,236 @@
+"""Abstract real-time operating system model.
+
+The Scale4Edge authors' long-running line of work models RTOS behaviour
+abstractly (task set + scheduler) to evaluate real-time properties before
+target software exists.  This module is that abstraction in Python: a
+periodic fixed-priority preemptive task model with
+
+* **response-time analysis** (RTA) — the classic fixed-point iteration
+  giving each task's worst-case response bound, and
+* a **discrete-event scheduler simulation** over the hyperperiod, giving
+  observed response times and deadline misses.
+
+The two are designed to bracket each other: for a schedulable task set the
+RTA bound dominates every simulated response (the A8 experiment checks the
+invariant), while the synchronous release at t=0 (the *critical instant*)
+makes the simulation sharp.
+
+Task WCETs plug in from anywhere — in this ecosystem, typically from a QTA
+static bound (see ``examples/rtos_schedulability.py``).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+
+@dataclass(frozen=True)
+class TaskSpec:
+    """A periodic task: release every ``period``, run for up to ``wcet``.
+
+    ``deadline`` defaults to the period (implicit deadlines).
+    ``priority`` is optional; unset priorities are assigned rate-monotonic
+    (shorter period = higher priority).  Larger numbers = higher priority.
+    """
+
+    name: str
+    period: int
+    wcet: int
+    deadline: Optional[int] = None
+    priority: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if self.period <= 0:
+            raise ValueError(f"{self.name}: period must be positive")
+        if self.wcet <= 0:
+            raise ValueError(f"{self.name}: wcet must be positive")
+        if self.wcet > self.period:
+            raise ValueError(
+                f"{self.name}: wcet {self.wcet} exceeds period {self.period}"
+            )
+        if self.effective_deadline <= 0 or \
+                self.effective_deadline > self.period:
+            raise ValueError(
+                f"{self.name}: deadline must be in (0, period]"
+            )
+
+    @property
+    def effective_deadline(self) -> int:
+        return self.deadline if self.deadline is not None else self.period
+
+    @property
+    def utilization(self) -> float:
+        return self.wcet / self.period
+
+
+def assign_priorities(tasks: List[TaskSpec]) -> List[TaskSpec]:
+    """Fill in missing priorities rate-monotonically.
+
+    Returns new specs ordered by descending priority.  Explicit priorities
+    are kept; ties broken by name for determinism.
+    """
+    explicit = [t for t in tasks if t.priority is not None]
+    implicit = sorted((t for t in tasks if t.priority is None),
+                      key=lambda t: (t.period, t.name))
+    floor = min((t.priority for t in explicit), default=0)
+    assigned = []
+    for index, task in enumerate(implicit):
+        assigned.append(TaskSpec(
+            name=task.name, period=task.period, wcet=task.wcet,
+            deadline=task.deadline,
+            priority=floor - 1 - index,
+        ))
+    merged = explicit + assigned
+    merged.sort(key=lambda t: (-t.priority, t.name))
+    return merged
+
+
+def total_utilization(tasks: List[TaskSpec]) -> float:
+    """Sum of per-task utilizations (C_i / T_i)."""
+    return sum(t.utilization for t in tasks)
+
+
+# ---------------------------------------------------------------------------
+# Response-time analysis
+# ---------------------------------------------------------------------------
+
+@dataclass
+class RtaResult:
+    """Analytical worst-case response bounds per task."""
+
+    responses: Dict[str, Optional[int]]  # None = iteration diverged
+    schedulable: bool
+
+    def bound(self, name: str) -> Optional[int]:
+        return self.responses[name]
+
+
+def response_time_analysis(tasks: List[TaskSpec]) -> RtaResult:
+    """Classic RTA for fixed-priority preemptive scheduling.
+
+    ``R_i = C_i + sum_{j in hp(i)} ceil(R_i / T_j) * C_j`` iterated to a
+    fixed point; divergence past the deadline marks the task unschedulable.
+    """
+    ordered = assign_priorities(tasks)
+    responses: Dict[str, Optional[int]] = {}
+    schedulable = True
+    for index, task in enumerate(ordered):
+        higher = ordered[:index]
+        response = task.wcet
+        while True:
+            interference = sum(
+                math.ceil(response / other.period) * other.wcet
+                for other in higher
+            )
+            next_response = task.wcet + interference
+            if next_response == response:
+                break
+            response = next_response
+            if response > task.effective_deadline:
+                response = None
+                break
+        responses[task.name] = response
+        if response is None or response > task.effective_deadline:
+            schedulable = False
+    return RtaResult(responses=responses, schedulable=schedulable)
+
+
+# ---------------------------------------------------------------------------
+# Discrete-event simulation
+# ---------------------------------------------------------------------------
+
+@dataclass
+class SimulationResult:
+    """Observed behaviour over the simulated window."""
+
+    horizon: int
+    max_response: Dict[str, int]
+    jobs_released: Dict[str, int]
+    jobs_completed: Dict[str, int]
+    deadline_misses: List[Tuple[str, int]]  # (task, release time)
+
+    @property
+    def missed(self) -> bool:
+        return bool(self.deadline_misses)
+
+
+def hyperperiod(tasks: List[TaskSpec], cap: int = 1_000_000) -> int:
+    """LCM of the task periods, capped to keep simulations bounded."""
+    value = 1
+    for task in tasks:
+        value = value * task.period // math.gcd(value, task.period)
+        if value > cap:
+            return cap
+    return value
+
+
+def simulate(tasks: List[TaskSpec], horizon: Optional[int] = None,
+             max_misses: int = 100) -> SimulationResult:
+    """Event-driven preemptive fixed-priority simulation.
+
+    All tasks release synchronously at t=0 (the critical instant) and then
+    strictly periodically.  The default horizon is one hyperperiod.
+    """
+    ordered = assign_priorities(tasks)
+    if horizon is None:
+        horizon = hyperperiod(ordered)
+
+    # Per task state: next release time, remaining work of current job,
+    # release time of current job (for response computation).
+    next_release = {t.name: 0 for t in ordered}
+    remaining = {t.name: 0 for t in ordered}
+    release_of_job = {t.name: 0 for t in ordered}
+    pending = {t.name: False for t in ordered}
+
+    max_response = {t.name: 0 for t in ordered}
+    jobs_released = {t.name: 0 for t in ordered}
+    jobs_completed = {t.name: 0 for t in ordered}
+    misses: List[Tuple[str, int]] = []
+
+    by_priority = ordered  # already sorted descending
+    now = 0
+    while now < horizon and len(misses) < max_misses:
+        # Release jobs due now.
+        for task in by_priority:
+            while next_release[task.name] <= now:
+                if pending[task.name]:
+                    # Previous job still running at its successor's
+                    # release: definite deadline miss (implicit D <= T).
+                    misses.append((task.name, release_of_job[task.name]))
+                    pending[task.name] = False
+                    remaining[task.name] = 0
+                release_of_job[task.name] = next_release[task.name]
+                remaining[task.name] = task.wcet
+                pending[task.name] = True
+                jobs_released[task.name] += 1
+                next_release[task.name] += task.period
+        # Pick the highest-priority pending job.
+        running = next((t for t in by_priority if pending[t.name]), None)
+        upcoming = min(next_release[t.name] for t in by_priority)
+        if running is None:
+            now = min(upcoming, horizon)
+            continue
+        # Run until completion or the next release, whichever is first.
+        finish_at = now + remaining[running.name]
+        if finish_at <= upcoming:
+            now = finish_at
+            pending[running.name] = False
+            remaining[running.name] = 0
+            jobs_completed[running.name] += 1
+            response = now - release_of_job[running.name]
+            max_response[running.name] = max(
+                max_response[running.name], response)
+            if response > running.effective_deadline:
+                misses.append((running.name, release_of_job[running.name]))
+        else:
+            remaining[running.name] -= upcoming - now
+            now = upcoming
+    return SimulationResult(
+        horizon=horizon,
+        max_response=max_response,
+        jobs_released=jobs_released,
+        jobs_completed=jobs_completed,
+        deadline_misses=misses,
+    )

@@ -1,0 +1,21 @@
+"""Test-program generators: architectural, unit, Torture-style, structured.
+
+Substitutes for the external suites the Scale4Edge coverage analysis
+compares (riscv-arch-test, riscv-tests, RISC-V Torture) plus the structured
+"generated C" programs its fault campaigns consume — see DESIGN.md for the
+substitution rationale.
+"""
+
+from .archsuite import ArchSuiteGenerator
+from .codegen import GeneratedProgram, StructuredGenerator
+from .torture import TortureConfig, TortureGenerator
+from .unitsuite import UnitSuiteGenerator
+
+__all__ = [
+    "ArchSuiteGenerator",
+    "GeneratedProgram",
+    "StructuredGenerator",
+    "TortureConfig",
+    "TortureGenerator",
+    "UnitSuiteGenerator",
+]

@@ -1,0 +1,305 @@
+"""Architectural-test-style directed suite generator.
+
+Modelled on the RISC-V architectural test framework: one directed program
+per ISA functional group, systematically exercising *every instruction
+type* of the configured ISA — including the privileged/system corner
+(ecall/ebreak/mret via an installed trap handler, wfi via an armed timer).
+Like the real suite, it works from a small fixed register palette, so its
+instruction coverage is near-total while its register coverage is not —
+the first row of the suite-comparison table.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from ..asm import Program, assemble
+from ..isa.decoder import Decoder, IsaConfig, RV32IMC_ZICSR
+
+#: The restricted palette architectural tests work from.
+PALETTE = ("a0", "a1", "a2", "a3", "t0", "t1")
+
+_HANDLER = """
+# Generic trap handler: skips the trapping instruction and returns.
+# mtvec requires a 4-byte-aligned base, hence the .align.
+.align 2
+handler:
+    csrr t0, mepc
+    addi t0, t0, 4
+    csrw mepc, t0
+    mret
+"""
+
+_HANDLER_C = _HANDLER.replace("addi t0, t0, 4", "addi t0, t0, 2")
+
+
+def _prologue(with_handler: str = "") -> List[str]:
+    lines = [".text", "_start:"]
+    if with_handler:
+        lines += ["    la t0, handler", "    csrw mtvec, t0"]
+    lines += ["    li a0, 1", "    li a1, 2", "    li a2, -1"]
+    return lines
+
+
+def _epilogue() -> List[str]:
+    return ["    li a0, 0", "    li a7, 93", "    ecall"]
+
+
+class ArchSuiteGenerator:
+    """Generates the directed per-group test programs."""
+
+    def __init__(self, isa: IsaConfig = RV32IMC_ZICSR) -> None:
+        self.isa = isa
+        self.decoder = Decoder(isa)
+
+    # -- group programs ------------------------------------------------------
+
+    def _arith_program(self) -> str:
+        lines = _prologue()
+        names = [s.name for s in self.decoder.specs
+                 if s.module in ("I",) and s.syntax in ("R", "I", "SHIFT", "U")]
+        for name in sorted(names):
+            spec = self.decoder.spec_by_name[name]
+            if spec.syntax == "R":
+                lines.append(f"    {name} a3, a0, a1")
+                lines.append(f"    {name} t1, a2, a0")
+            elif spec.syntax == "I":
+                lines.append(f"    {name} a3, a0, 5")
+                lines.append(f"    {name} t1, a2, -5")
+            elif spec.syntax == "SHIFT":
+                lines.append(f"    {name} a3, a0, 3")
+                lines.append(f"    {name} t1, a2, 31")
+            elif spec.syntax == "U":
+                lines.append(f"    {name} a3, 0x12345")
+        lines += _epilogue()
+        return "\n".join(lines)
+
+    def _branch_program(self) -> str:
+        lines = _prologue()
+        branch_names = sorted(s.name for s in self.decoder.specs
+                              if s.is_branch and s.length == 4)
+        for i, name in enumerate(branch_names):
+            taken = f"bt{i}"
+            lines += [
+                f"    {name} a0, a1, {taken}",
+                "    nop",
+                f"{taken}:",
+                f"    {name} a0, a0, bd{i}",
+                "    nop",
+                f"bd{i}:",
+            ]
+        # Jumps.
+        lines += [
+            "    jal t0, j1",
+            "    nop",
+            "j1:",
+            "    la t0, j2",
+            "    jalr t1, t0, 0",
+            "    nop",
+            "j2:",
+        ]
+        lines += _epilogue()
+        return "\n".join(lines)
+
+    def _memory_program(self) -> str:
+        lines = _prologue()
+        lines.append("    la t0, data")
+        mem_names = sorted(s.name for s in self.decoder.specs
+                           if (s.reads_mem or s.writes_mem)
+                           and s.length == 4 and s.module == "I")
+        for name in mem_names:
+            spec = self.decoder.spec_by_name[name]
+            if spec.writes_mem:
+                lines.append(f"    {name} a0, 0({'t0'})")
+                lines.append(f"    {name} a1, 8(t0)")
+            else:
+                lines.append(f"    {name} a3, 0(t0)")
+                lines.append(f"    {name} t1, 8(t0)")
+        lines += _epilogue()
+        lines += [".data", "data: .word 0x80402010, 0xDEADBEEF, 0, 0"]
+        return "\n".join(lines)
+
+    _SYSTEM_HANDLER = """
+# Exception: skip the trapping instruction.  Interrupt: disarm the timer
+# and return without touching mepc (mcause bit 31 distinguishes them).
+.align 2
+handler:
+    csrr t2, mcause
+    bltz t2, handler_irq
+    csrr t2, mepc
+    addi t2, t2, 4
+    csrw mepc, t2
+    mret
+handler_irq:
+    li t2, 0x02004004
+    li t3, -1
+    sw t3, 0(t2)
+    mret
+"""
+
+    def _system_program(self) -> str:
+        lines = _prologue(with_handler=True)
+        lines += [
+            "    fence",
+            "    fence.i",
+            "    li a7, 0        # unknown syscall -> trap, handler skips",
+            "    ecall",
+            "    ebreak",
+        ]
+        if "Zicsr" in self.isa.modules:
+            lines += [
+                "    csrrw a3, mscratch, a0",
+                "    csrrs a3, mscratch, a1",
+                "    csrrc a3, mscratch, a1",
+                "    csrrwi a3, mscratch, 7",
+                "    csrrsi a3, mscratch, 1",
+                "    csrrci a3, mscratch, 1",
+                "    csrr t1, mhartid",
+                "    rdcycle a3",
+                "    rdinstret a3",
+            ]
+            # wfi with an armed timer: the handler returns after the tick.
+            lines += [
+                "    li t0, 0x0200BFF8",
+                "    lw t1, 0(t0)",
+                "    addi t1, t1, 64",
+                "    li t0, 0x02004000",
+                "    sw t1, 0(t0)",
+                "    sw zero, 4(t0)",
+                "    li t0, 0x80",
+                "    csrw mie, t0",
+                "    csrsi mstatus, 8",
+                "    wfi",
+                "    csrci mstatus, 8",
+            ]
+        lines += _epilogue()
+        lines += [self._SYSTEM_HANDLER]
+        return "\n".join(lines)
+
+    def _muldiv_program(self) -> str:
+        lines = _prologue()
+        for name in sorted(s.name for s in self.decoder.specs
+                           if s.module == "M"):
+            lines.append(f"    {name} a3, a0, a1")
+            lines.append(f"    {name} t1, a2, a0")
+            lines.append(f"    {name} a3, a0, zero  # div-by-zero corner")
+        lines += _epilogue()
+        return "\n".join(lines)
+
+    def _compressed_program(self) -> str:
+        lines = _prologue(with_handler=False)
+        lines += [
+            "    la a0, data",
+            "    c.mv s0, a0",          # compressed base pointer
+            "    c.li a1, 5",
+            "    c.addi a1, -1",
+            "    c.lui a3, 4",
+            "    c.slli a1, 2",
+            "    c.lw a2, 0(s0)",
+            "    c.sw a2, 4(s0)",
+            "    c.addi4spn a4, 16",
+            "    c.srli a2, 1",
+            "    c.srai a2, 1",
+            "    c.andi a2, 15",
+            "    c.mv a5, a1",
+            "    c.add a5, a2",
+            "    c.sub a5, a2",
+            "    c.xor a5, a2",
+            "    c.or a5, a2",
+            "    c.and a5, a2",
+            "    mv t0, sp",            # save sp, then exercise sp-forms
+            "    la t1, data",
+            "    mv sp, t1",
+            "    c.addi16sp sp, 32",
+            "    c.addi16sp sp, -32",
+            "    c.swsp a2, 8(sp)",
+            "    c.lwsp a3, 8(sp)",
+        ]
+        if "F" in self.isa.modules:
+            lines += [
+                "    c.fswsp fa0, 16(sp)",
+                "    c.flwsp fa1, 16(sp)",
+            ]
+        lines += [
+            "    mv sp, t0",
+            "    c.beqz s1, c1",
+            "    nop",
+            "c1:",
+            "    c.bnez a1, c2",
+            "    nop",
+            "c2:",
+            "    c.j c3",
+            "    nop",
+            "c3:",
+            "    c.jal c4",
+            "    nop",
+            "c4:",
+            "    la a2, c5",
+            "    c.mv ra, a2",
+            "    c.jr ra",
+            "    nop",
+            "c5:",
+            "    la ra, c6",
+            "    c.jalr ra",
+            "    nop",
+            "c6:",
+        ]
+        lines += _epilogue()
+        lines += [".data", "data: .zero 64"]
+        return "\n".join(lines)
+
+    def _float_program(self) -> str:
+        lines = _prologue()
+        lines += [
+            "    la t0, data",
+            "    flw fa0, 0(t0)",
+            "    fsw fa0, 4(t0)",
+            "    fmv.x.w a3, fa0",
+            "    fmv.w.x fa1, a0",
+            "    fsgnj.s fa2, fa0, fa1",
+            "    fmv.s fa3, fa2",
+        ]
+        if "C" in self.isa.modules:
+            lines += [
+                "    mv s0, t0",
+                "    c.flw fa4, 0(s0)",
+                "    c.fsw fa4, 8(s0)",
+            ]
+        lines += _epilogue()
+        lines += [".data", "data: .word 0x3F800000, 0, 0, 0"]
+        return "\n".join(lines)
+
+    def _ebreak_c_program(self) -> str:
+        # c.ebreak needs a handler that advances mepc by 2.
+        lines = [".text", "_start:",
+                 "    la t0, handler", "    csrw mtvec, t0",
+                 "    c.ebreak"]
+        lines += _epilogue()
+        lines += [_HANDLER_C]
+        return "\n".join(lines)
+
+    # -- public API ------------------------------------------------------------
+
+    def generate_sources(self) -> List[Tuple[str, str]]:
+        programs = [
+            ("arch-arith", self._arith_program()),
+            ("arch-branch", self._branch_program()),
+            ("arch-memory", self._memory_program()),
+        ]
+        if "M" in self.isa.modules:
+            programs.append(("arch-muldiv", self._muldiv_program()))
+        if "Zicsr" in self.isa.modules:
+            programs.append(("arch-system", self._system_program()))
+        if "C" in self.isa.modules:
+            programs.append(("arch-compressed", self._compressed_program()))
+            if "Zicsr" in self.isa.modules:
+                programs.append(("arch-cebreak", self._ebreak_c_program()))
+        if "F" in self.isa.modules:
+            programs.append(("arch-float", self._float_program()))
+        return programs
+
+    def generate(self) -> List[Tuple[str, Program]]:
+        return [
+            (name, assemble(source, isa=self.isa))
+            for name, source in self.generate_sources()
+        ]

@@ -1,0 +1,295 @@
+"""Structured random program generator ("C codegen" substitute).
+
+The Scale4Edge fault-analysis platform drives campaigns with automatically
+generated, target-compiled C programs.  Without a cross-compiler, this
+module generates the equivalent: random structured programs (an AST of
+assignments, arithmetic expressions, bounded loops, conditionals, and
+array accesses), *lowers them to RV32 assembly* with a simple register
+allocator, and — because the AST has unambiguous semantics — also
+*interprets* them in Python, so every generated binary carries an expected
+checksum.  A run that terminates with the wrong checksum is silent data
+corruption, exactly the signal the fault campaign classifies.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from ..asm import Program, assemble
+from ..isa.decoder import IsaConfig, RV32IMC_ZICSR
+
+MASK = 0xFFFFFFFF
+
+# AST node tuples:
+#   ("const", value)
+#   ("var", index)
+#   ("binop", op, left, right)          op in OPS
+#   ("assign", var_index, expr)
+#   ("if", cond_expr, then_stmts, else_stmts)
+#   ("loop", count, var_index, body_stmts)   fixed-trip-count loop
+#   ("array_store", index_expr, value_expr)
+#   ("array_load", var_index, index_expr)
+
+OPS = ("add", "sub", "and", "or", "xor", "mul", "sll", "srl")
+
+NUM_VARS = 6          # mapped to s2..s7
+ARRAY_WORDS = 64
+
+_VAR_REGS = ("s2", "s3", "s4", "s5", "s6", "s7")
+_ARRAY_BASE = "s8"
+_ACC = "s9"           # running checksum
+#: Dedicated loop-counter registers, one per nesting level, kept separate
+#: from the variable registers so body writes to the loop variable cannot
+#: derail the trip count (mirroring the interpreter, which re-seeds the
+#: variable from the iteration index each pass).
+_LOOP_COUNTERS = ("s10", "s11", "ra")
+_LOOP_LIMIT = "a6"
+
+
+@dataclass
+class GeneratedProgram:
+    """A generated program: source, binary, and golden semantics."""
+
+    name: str
+    source: str
+    program: Program
+    expected_checksum: int
+
+    @property
+    def expected_exit_code(self) -> int:
+        # Exit codes are reported as written; keep them in 31 bits to avoid
+        # any ambiguity with sign conventions of host tooling.
+        return self.expected_checksum & 0x7FFFFFFF
+
+
+class StructuredGenerator:
+    """Seeded random generator of structured checksum programs."""
+
+    def __init__(self, isa: IsaConfig = RV32IMC_ZICSR,
+                 max_depth: int = 3, statements: int = 12) -> None:
+        self.isa = isa
+        self.max_depth = max_depth
+        self.statements = statements
+        # Respect the ISA subset: no mul on configurations without M.
+        self.ops = OPS if "M" in isa.modules else \
+            tuple(op for op in OPS if op != "mul")
+
+    # -- AST generation -----------------------------------------------------
+
+    def _gen_expr(self, rng: random.Random, depth: int):
+        if depth <= 0 or rng.random() < 0.35:
+            if rng.random() < 0.5:
+                return ("const", rng.randint(-64, 64))
+            return ("var", rng.randrange(NUM_VARS))
+        op = rng.choice(self.ops)
+        return ("binop", op,
+                self._gen_expr(rng, depth - 1),
+                self._gen_expr(rng, depth - 1))
+
+    def _gen_stmt(self, rng: random.Random, depth: int):
+        roll = rng.random()
+        if roll < 0.45 or depth <= 0:
+            return ("assign", rng.randrange(NUM_VARS),
+                    self._gen_expr(rng, self.max_depth))
+        if roll < 0.60:
+            return ("if", self._gen_expr(rng, 2),
+                    [self._gen_stmt(rng, depth - 1)
+                     for _ in range(rng.randint(1, 2))],
+                    [self._gen_stmt(rng, depth - 1)
+                     for _ in range(rng.randint(0, 2))])
+        if roll < 0.78:
+            return ("loop", rng.randint(2, 8), rng.randrange(NUM_VARS),
+                    [self._gen_stmt(rng, depth - 1)
+                     for _ in range(rng.randint(1, 3))])
+        if roll < 0.9:
+            return ("array_store", self._gen_expr(rng, 1),
+                    self._gen_expr(rng, 2))
+        return ("array_load", rng.randrange(NUM_VARS),
+                self._gen_expr(rng, 1))
+
+    def generate_ast(self, seed: int) -> List:
+        rng = random.Random(seed)
+        return [self._gen_stmt(rng, 2) for _ in range(self.statements)]
+
+    # -- interpretation (golden semantics) ------------------------------------
+
+    @staticmethod
+    def _eval(expr, env: Dict) -> int:
+        kind = expr[0]
+        if kind == "const":
+            return expr[1] & MASK
+        if kind == "var":
+            return env["vars"][expr[1]]
+        _, op, left, right = expr
+        a = StructuredGenerator._eval(left, env)
+        b = StructuredGenerator._eval(right, env)
+        if op == "add":
+            return (a + b) & MASK
+        if op == "sub":
+            return (a - b) & MASK
+        if op == "and":
+            return a & b
+        if op == "or":
+            return a | b
+        if op == "xor":
+            return a ^ b
+        if op == "mul":
+            return (a * b) & MASK
+        if op == "sll":
+            return (a << (b & 31)) & MASK
+        if op == "srl":
+            return a >> (b & 31)
+        raise ValueError(f"unknown op {op}")
+
+    @classmethod
+    def _run_stmt(cls, stmt, env: Dict) -> None:
+        kind = stmt[0]
+        if kind == "assign":
+            _, var, expr = stmt
+            env["vars"][var] = cls._eval(expr, env)
+            env["acc"] = (env["acc"] + env["vars"][var]) & MASK
+        elif kind == "if":
+            _, cond, then_stmts, else_stmts = stmt
+            branch = then_stmts if cls._eval(cond, env) else else_stmts
+            for inner in branch:
+                cls._run_stmt(inner, env)
+        elif kind == "loop":
+            _, count, var, body = stmt
+            for i in range(count):
+                env["vars"][var] = i
+                for inner in body:
+                    cls._run_stmt(inner, env)
+        elif kind == "array_store":
+            _, index_expr, value_expr = stmt
+            index = cls._eval(index_expr, env) % ARRAY_WORDS
+            env["array"][index] = cls._eval(value_expr, env)
+        elif kind == "array_load":
+            _, var, index_expr = stmt
+            index = cls._eval(index_expr, env) % ARRAY_WORDS
+            env["vars"][var] = env["array"][index]
+            env["acc"] = (env["acc"] + env["vars"][var]) & MASK
+        else:
+            raise ValueError(f"unknown statement {kind}")
+
+    def interpret(self, ast: List) -> int:
+        env = {"vars": [0] * NUM_VARS, "array": [0] * ARRAY_WORDS, "acc": 0}
+        for stmt in ast:
+            self._run_stmt(stmt, env)
+        return env["acc"]
+
+    # -- lowering to assembly ------------------------------------------------
+
+    def _lower_expr(self, expr, lines: List[str], dst: str,
+                    temp_depth: int = 0) -> None:
+        kind = expr[0]
+        if kind == "const":
+            lines.append(f"    li {dst}, {expr[1]}")
+            return
+        if kind == "var":
+            lines.append(f"    mv {dst}, {_VAR_REGS[expr[1]]}")
+            return
+        _, op, left, right = expr
+        temps = ("t0", "t1", "t2", "t4", "t5", "t6", "a2", "a3", "a4", "a5")
+        if temp_depth + 1 >= len(temps):
+            raise ValueError("expression too deep for the register allocator")
+        left_reg = temps[temp_depth]
+        right_reg = temps[temp_depth + 1]
+        self._lower_expr(left, lines, left_reg, temp_depth + 1)
+        self._lower_expr(right, lines, right_reg, temp_depth + 2)
+        if op in ("sll", "srl"):
+            lines.append(f"    andi {right_reg}, {right_reg}, 31")
+        lines.append(f"    {op} {dst}, {left_reg}, {right_reg}")
+
+    def _lower_stmt(self, stmt, lines: List[str], labels: List[int]) -> None:
+        kind = stmt[0]
+        if kind == "assign":
+            _, var, expr = stmt
+            self._lower_expr(expr, lines, _VAR_REGS[var])
+            lines.append(f"    add {_ACC}, {_ACC}, {_VAR_REGS[var]}")
+        elif kind == "if":
+            _, cond, then_stmts, else_stmts = stmt
+            labels[0] += 1
+            label = labels[0]
+            self._lower_expr(cond, lines, "t0")
+            lines.append(f"    beqz t0, else{label}")
+            for inner in then_stmts:
+                self._lower_stmt(inner, lines, labels)
+            lines.append(f"    j endif{label}")
+            lines.append(f"else{label}:")
+            for inner in else_stmts:
+                self._lower_stmt(inner, lines, labels)
+            lines.append(f"endif{label}:")
+        elif kind == "loop":
+            _, count, var, body = stmt
+            labels[0] += 1
+            label = labels[0]
+            depth = self._loop_depth
+            if depth >= len(_LOOP_COUNTERS):
+                raise ValueError("loop nesting deeper than supported")
+            counter = _LOOP_COUNTERS[depth]
+            lines.append(f"    li {counter}, 0")
+            lines.append(f"loop{label}:        # @loopbound {count}")
+            lines.append(f"    mv {_VAR_REGS[var]}, {counter}")
+            self._loop_depth = depth + 1
+            for inner in body:
+                self._lower_stmt(inner, lines, labels)
+            self._loop_depth = depth
+            lines.append(f"    addi {counter}, {counter}, 1")
+            lines.append(f"    li {_LOOP_LIMIT}, {count}")
+            lines.append(f"    blt {counter}, {_LOOP_LIMIT}, loop{label}")
+        elif kind == "array_store":
+            _, index_expr, value_expr = stmt
+            self._lower_expr(index_expr, lines, "a0")
+            lines.append(f"    andi a0, a0, {ARRAY_WORDS - 1}")
+            lines.append("    slli a0, a0, 2")
+            lines.append(f"    add a0, a0, {_ARRAY_BASE}")
+            self._lower_expr(value_expr, lines, "a1")
+            lines.append("    sw a1, 0(a0)")
+        elif kind == "array_load":
+            _, var, index_expr = stmt
+            self._lower_expr(index_expr, lines, "a0")
+            lines.append(f"    andi a0, a0, {ARRAY_WORDS - 1}")
+            lines.append("    slli a0, a0, 2")
+            lines.append(f"    add a0, a0, {_ARRAY_BASE}")
+            lines.append(f"    lw {_VAR_REGS[var]}, 0(a0)")
+            lines.append(f"    add {_ACC}, {_ACC}, {_VAR_REGS[var]}")
+        else:
+            raise ValueError(f"unknown statement {kind}")
+
+    def lower(self, ast: List) -> str:
+        self._loop_depth = 0
+        lines = [".text", "_start:", f"    la {_ARRAY_BASE}, array",
+                 f"    li {_ACC}, 0"]
+        for reg in _VAR_REGS:
+            lines.append(f"    li {reg}, 0")
+        labels = [0]
+        for stmt in ast:
+            self._lower_stmt(stmt, lines, labels)
+        lines += [
+            f"    li t0, 0x7FFFFFFF",
+            f"    and a0, {_ACC}, t0",
+            "    li a7, 93",
+            "    ecall",
+            ".data",
+            f"array: .zero {ARRAY_WORDS * 4}",
+        ]
+        return "\n".join(lines) + "\n"
+
+    # -- public API --------------------------------------------------------------
+
+    def generate(self, seed: int, name: Optional[str] = None) -> GeneratedProgram:
+        ast = self.generate_ast(seed)
+        source = self.lower(ast)
+        checksum = self.interpret(ast)
+        return GeneratedProgram(
+            name=name or f"gen-{seed:04d}",
+            source=source,
+            program=assemble(source, isa=self.isa),
+            expected_checksum=checksum,
+        )
+
+    def generate_suite(self, count: int, start_seed: int = 0
+                       ) -> List[GeneratedProgram]:
+        return [self.generate(start_seed + i) for i in range(count)]

@@ -1,0 +1,331 @@
+"""riscv-tests-style self-checking unit test generator.
+
+One generated program per ISA module, each a sequence of numbered
+``TEST_RR_OP``-style cases: seed operands, execute the instruction under
+test, compare against an *independently computed* expectation (a second
+implementation of the arithmetic, deliberately separate from
+:mod:`repro.isa.semantics`), and exit with the failing test number on
+mismatch.  Passing programs exit 0.
+
+The generated programs double as fault-detection payloads: a bit flipped by
+the fault-injection campaign makes some comparison fail, turning silent
+data corruption into a nonzero exit code.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Callable, Dict, List, Optional, Tuple
+
+from ..asm import Program, assemble
+from ..isa.decoder import Decoder, IsaConfig, RV32IMC_ZICSR
+
+MASK = 0xFFFFFFFF
+
+#: Operand values exercising sign, overflow, and shift corners.
+INTERESTING = (
+    0, 1, 2, -1, -2, 5, 0x7FFFFFFF, -0x80000000, 0x55555555, -0x55555556,
+    0x0000FFFF, -0x10000, 31, 32, 2048, -2048,
+)
+
+
+def _signed(value: int) -> int:
+    value &= MASK
+    return value - (1 << 32) if value >= (1 << 31) else value
+
+
+def _div(a: int, b: int) -> int:
+    if b == 0:
+        return -1
+    if a == -(1 << 31) and b == -1:
+        return a
+    quotient = abs(a) // abs(b)
+    return -quotient if (a < 0) != (b < 0) else quotient
+
+
+def _rem(a: int, b: int) -> int:
+    if b == 0:
+        return a
+    if a == -(1 << 31) and b == -1:
+        return 0
+    remainder = abs(a) % abs(b)
+    return -remainder if a < 0 else remainder
+
+
+#: Independent reference semantics: name -> f(signed_a, signed_b) -> value.
+RR_REFERENCE: Dict[str, Callable[[int, int], int]] = {
+    "add": lambda a, b: a + b,
+    "sub": lambda a, b: a - b,
+    "sll": lambda a, b: (a & MASK) << (b & 31),
+    "slt": lambda a, b: int(a < b),
+    "sltu": lambda a, b: int((a & MASK) < (b & MASK)),
+    "xor": lambda a, b: a ^ b,
+    "srl": lambda a, b: (a & MASK) >> (b & 31),
+    "sra": lambda a, b: a >> (b & 31),
+    "or": lambda a, b: a | b,
+    "and": lambda a, b: a & b,
+    "mul": lambda a, b: a * b,
+    "mulh": lambda a, b: (a * b) >> 32,
+    "mulhu": lambda a, b: ((a & MASK) * (b & MASK)) >> 32,
+    "mulhsu": lambda a, b: (a * (b & MASK)) >> 32,
+    "div": _div,
+    "divu": lambda a, b: MASK if (b & MASK) == 0 else (a & MASK) // (b & MASK),
+    "rem": _rem,
+    "remu": lambda a, b: (a & MASK) if (b & MASK) == 0
+    else (a & MASK) % (b & MASK),
+}
+
+RI_REFERENCE: Dict[str, Callable[[int, int], int]] = {
+    "addi": lambda a, imm: a + imm,
+    "slti": lambda a, imm: int(a < imm),
+    "sltiu": lambda a, imm: int((a & MASK) < (imm & MASK)),
+    "xori": lambda a, imm: a ^ imm,
+    "ori": lambda a, imm: a | imm,
+    "andi": lambda a, imm: a & imm,
+    "slli": lambda a, imm: (a & MASK) << imm,
+    "srli": lambda a, imm: (a & MASK) >> imm,
+    "srai": lambda a, imm: a >> imm,
+}
+
+BRANCH_REFERENCE: Dict[str, Callable[[int, int], bool]] = {
+    "beq": lambda a, b: a == b,
+    "bne": lambda a, b: a != b,
+    "blt": lambda a, b: a < b,
+    "bge": lambda a, b: a >= b,
+    "bltu": lambda a, b: (a & MASK) < (b & MASK),
+    "bgeu": lambda a, b: (a & MASK) >= (b & MASK),
+}
+
+#: Compressed arithmetic with (reference, operand style).
+C_REFERENCE = {
+    "c.add": RR_REFERENCE["add"],
+    "c.sub": RR_REFERENCE["sub"],
+    "c.xor": RR_REFERENCE["xor"],
+    "c.or": RR_REFERENCE["or"],
+    "c.and": RR_REFERENCE["and"],
+}
+
+
+class UnitSuiteGenerator:
+    """Generates per-module self-checking unit test programs."""
+
+    def __init__(self, isa: IsaConfig = RV32IMC_ZICSR, seed: int = 0,
+                 cases_per_insn: int = 3) -> None:
+        self.isa = isa
+        self.decoder = Decoder(isa)
+        self.seed = seed
+        self.cases = cases_per_insn
+
+    # -- helpers -------------------------------------------------------------
+
+    def _pick_operands(self, rng: random.Random) -> Tuple[int, int]:
+        return rng.choice(INTERESTING), rng.choice(INTERESTING)
+
+    @staticmethod
+    def _prologue() -> List[str]:
+        return [".text", "_start:"]
+
+    @staticmethod
+    def _epilogue() -> List[str]:
+        return [
+            "    li a0, 0",
+            "    li a7, 93",
+            "    ecall",
+            "fail:",
+            "    mv a0, t3      # failing test number",
+            "    li a7, 93",
+            "    ecall",
+        ]
+
+    def _case_header(self, lines: List[str], number: int) -> None:
+        lines.append(f"    li t3, {number}")
+
+    def _check(self, lines: List[str], actual: str, expected: int) -> None:
+        lines.append(f"    li a5, {_signed(expected)}")
+        lines.append(f"    bne {actual}, a5, fail")
+
+    # -- per-module programs ---------------------------------------------------
+
+    def _rr_program(self, names: List[str]) -> str:
+        rng = random.Random(self.seed)
+        lines = self._prologue()
+        number = 0
+        for name in names:
+            for _ in range(self.cases):
+                number += 1
+                a, b = self._pick_operands(rng)
+                expected = RR_REFERENCE[name](_signed(a), _signed(b))
+                self._case_header(lines, number)
+                lines.append(f"    li x1, {_signed(a)}")
+                lines.append(f"    li x2, {_signed(b)}")
+                lines.append(f"    {name} a4, x1, x2")
+                self._check(lines, "a4", expected)
+            # Same-register case: rd == rs1 == rs2.
+            number += 1
+            a, _ = self._pick_operands(rng)
+            expected = RR_REFERENCE[name](_signed(a), _signed(a))
+            self._case_header(lines, number)
+            lines.append(f"    li a4, {_signed(a)}")
+            lines.append(f"    {name} a4, a4, a4")
+            self._check(lines, "a4", expected)
+        lines += self._epilogue()
+        return "\n".join(lines)
+
+    def _ri_program(self) -> str:
+        rng = random.Random(self.seed + 1)
+        lines = self._prologue()
+        number = 0
+        for name in sorted(RI_REFERENCE):
+            if name not in self.decoder.spec_by_name:
+                continue
+            for _ in range(self.cases):
+                number += 1
+                a, _ = self._pick_operands(rng)
+                if name in ("slli", "srli", "srai"):
+                    imm = rng.randint(0, 31)
+                else:
+                    imm = rng.randint(-2048, 2047)
+                expected = RI_REFERENCE[name](_signed(a), imm)
+                self._case_header(lines, number)
+                lines.append(f"    li x1, {_signed(a)}")
+                lines.append(f"    {name} a4, x1, {imm}")
+                self._check(lines, "a4", expected)
+        # lui/auipc.
+        number += 1
+        self._case_header(lines, number)
+        lines.append("    lui a4, 0xABCDE")
+        self._check(lines, "a4", 0xABCDE000)
+        lines += self._epilogue()
+        return "\n".join(lines)
+
+    def _branch_program(self) -> str:
+        rng = random.Random(self.seed + 2)
+        lines = self._prologue()
+        number = 0
+        for name in sorted(BRANCH_REFERENCE):
+            for _ in range(self.cases):
+                number += 1
+                a, b = self._pick_operands(rng)
+                taken = BRANCH_REFERENCE[name](_signed(a), _signed(b))
+                self._case_header(lines, number)
+                lines += [
+                    f"    li x1, {_signed(a)}",
+                    f"    li x2, {_signed(b)}",
+                    f"    li a4, 0",
+                    f"    {name} x1, x2, taken{number}",
+                    f"    j join{number}",
+                    f"taken{number}:",
+                    "    li a4, 1",
+                    f"join{number}:",
+                ]
+                self._check(lines, "a4", int(taken))
+        lines += self._epilogue()
+        return "\n".join(lines)
+
+    def _memory_program(self) -> str:
+        lines = self._prologue()
+        lines.append("    la x4, data")
+        cases = [
+            ("lw", 0, 0x04030201), ("lw", 4, 0xF8F7F6F5),
+            ("lh", 0, 0x0201), ("lh", 4, 0xFFFFF6F5),
+            ("lhu", 4, 0xF6F5), ("lb", 0, 0x01), ("lb", 7, -0x08 & MASK),
+            ("lbu", 7, 0xF8),
+        ]
+        number = 0
+        for name, offset, expected in cases:
+            number += 1
+            self._case_header(lines, number)
+            lines.append(f"    {name} a4, {offset}(x4)")
+            self._check(lines, "a4", expected)
+        # Store round-trips at every width.
+        for name, load, value in [("sw", "lw", 0x13572468),
+                                  ("sh", "lhu", 0xBEEF),
+                                  ("sb", "lbu", 0xA5)]:
+            number += 1
+            self._case_header(lines, number)
+            lines += [
+                f"    li x1, {value}",
+                f"    {name} x1, 16(x4)",
+                f"    {load} a4, 16(x4)",
+            ]
+            self._check(lines, "a4", value)
+        lines += self._epilogue()
+        lines += [".data", "data:",
+                  "    .word 0x04030201, 0xF8F7F6F5",
+                  "    .zero 24"]
+        return "\n".join(lines)
+
+    def _compressed_program(self) -> str:
+        rng = random.Random(self.seed + 3)
+        lines = self._prologue()
+        number = 0
+        for name, reference in sorted(C_REFERENCE.items()):
+            for _ in range(self.cases):
+                number += 1
+                a, b = self._pick_operands(rng)
+                expected = reference(_signed(a), _signed(b))
+                self._case_header(lines, number)
+                lines += [
+                    f"    li s0, {_signed(a)}",
+                    f"    li s1, {_signed(b)}",
+                    f"    {name} s0, s1",
+                ]
+                self._check(lines, "s0", expected)
+        # Immediate forms.
+        extra = [
+            ("c.addi", "s0", 7, lambda a: a + 7),
+            ("c.andi", "s0", -4, lambda a: a & -4),
+            ("c.srli", "s0", 3, lambda a: (a & MASK) >> 3),
+            ("c.srai", "s0", 3, lambda a: a >> 3),
+            ("c.slli", "s0", 3, lambda a: (a & MASK) << 3),
+        ]
+        for name, reg, imm, reference in extra:
+            number += 1
+            a, _ = self._pick_operands(rng)
+            self._case_header(lines, number)
+            lines += [
+                f"    li {reg}, {_signed(a)}",
+                f"    {name} {reg}, {imm}",
+            ]
+            self._check(lines, reg, reference(_signed(a)))
+        # c.li / c.lui / c.mv.
+        number += 1
+        self._case_header(lines, number)
+        lines += ["    c.li a4, -17"]
+        self._check(lines, "a4", -17 & MASK)
+        number += 1
+        self._case_header(lines, number)
+        lines += ["    c.lui a4, 5"]
+        self._check(lines, "a4", 5 << 12)
+        number += 1
+        self._case_header(lines, number)
+        lines += ["    li s1, 41", "    c.mv a4, s1", "    c.addi a4, 1"]
+        self._check(lines, "a4", 42)
+        lines += self._epilogue()
+        return "\n".join(lines)
+
+    # -- public API --------------------------------------------------------------
+
+    def generate_sources(self) -> List[Tuple[str, str]]:
+        rr_i = [n for n in ("add", "sub", "sll", "slt", "sltu", "xor",
+                            "srl", "sra", "or", "and")
+                if n in self.decoder.spec_by_name]
+        programs = [
+            ("unit-rr", self._rr_program(rr_i)),
+            ("unit-ri", self._ri_program()),
+            ("unit-branch", self._branch_program()),
+            ("unit-memory", self._memory_program()),
+        ]
+        if "M" in self.isa.modules:
+            rr_m = sorted(s.name for s in self.decoder.specs
+                          if s.module == "M")
+            programs.append(("unit-muldiv", self._rr_program(rr_m)))
+        if "C" in self.isa.modules:
+            programs.append(("unit-compressed", self._compressed_program()))
+        return programs
+
+    def generate(self) -> List[Tuple[str, Program]]:
+        return [
+            (name, assemble(source, isa=self.isa))
+            for name, source in self.generate_sources()
+        ]

@@ -1,0 +1,408 @@
+"""The RV32 CPU core with a QEMU-style translation-block engine.
+
+Execution proceeds block-wise: straight-line instruction sequences are
+decoded once into a :class:`TranslationBlock`, cached by start address, and
+replayed on subsequent visits — the structure (translate, cache, execute,
+chain) that makes QEMU fast, reproduced here because the Scale4Edge tools
+(QTA, coverage, fault analysis) hook exactly this structure.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional
+
+from ..isa import csr as csrdef
+from ..isa.decoder import Decoder, IllegalInstructionError
+from ..isa.fields import WORD_MASK, sign_extend
+from ..isa.registers import FPRegisterFile, RegisterFile
+from ..isa.spec import Decoded
+from .memory import SystemBus
+from .plugins import HookTable
+from .timing import TimingModel
+from .trap import BusError, MachineExit, Trap, UnhandledTrap
+
+#: Maximum instructions per translation block (like QEMU's TB size cap).
+MAX_BLOCK_INSNS = 32
+
+# Stop reasons reported by Cpu.run().
+STOP_MAX_INSNS = "max_insns"
+STOP_WFI = "wfi"
+STOP_EXIT = "exit"  # produced by Machine, not Cpu.run itself
+STOP_LIVELOCK = "trap_livelock"
+
+#: Consecutive zero-progress block steps (trap -> trap -> ...) after which
+#: the run is declared livelocked.  A healthy trap entry always retires
+#: handler instructions on the next step.
+LIVELOCK_LIMIT = 64
+
+
+class TranslationBlock:
+    """A decoded straight-line code region starting at ``start_pc``.
+
+    ``insns`` and ``pcs`` are parallel lists; the block ends at the first
+    control-flow or system instruction, at :data:`MAX_BLOCK_INSNS`, or just
+    before an undecodable word.
+    """
+
+    __slots__ = ("start_pc", "insns", "pcs", "size", "exec_count")
+
+    def __init__(self, start_pc: int, insns: List[Decoded], pcs: List[int]) -> None:
+        self.start_pc = start_pc
+        self.insns = insns
+        self.pcs = pcs
+        self.size = sum(d.spec.length for d in insns)
+        self.exec_count = 0
+
+    @property
+    def end_pc(self) -> int:
+        """First address after the block."""
+        return self.start_pc + self.size
+
+    def __len__(self) -> int:
+        return len(self.insns)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (f"TranslationBlock({self.start_pc:#010x}, {len(self.insns)} "
+                f"insns, {self.size} bytes)")
+
+
+@dataclass
+class RunResult:
+    """Outcome of a :meth:`Cpu.run` call."""
+
+    stop_reason: str
+    instructions: int
+    cycles: int
+    exit_code: Optional[int] = None
+    trap_cause: Optional[int] = None
+    trap_pc: Optional[int] = None
+
+
+class Cpu:
+    """A single RV32 hart executing from a :class:`SystemBus`.
+
+    Interesting attributes:
+
+    * ``regs`` / ``fregs`` / ``csrs`` — architectural state,
+    * ``pc`` — address of the instruction currently executing,
+    * ``next_pc`` — where control goes next (semantics overwrite to jump),
+    * ``hooks`` — the plugin hook table,
+    * ``timing`` — the cycle cost model (shared with the WCET analysis).
+
+    ``ecall_handler`` (if set) intercepts ``ecall`` before the architectural
+    trap is raised; machines use it for semihosting-style services.
+    """
+
+    def __init__(
+        self,
+        decoder: Decoder,
+        bus: SystemBus,
+        timing: Optional[TimingModel] = None,
+        trace_registers: bool = False,
+        block_cache_enabled: bool = True,
+        icache=None,
+    ) -> None:
+        self.decoder = decoder
+        self.bus = bus
+        self.timing = timing or TimingModel()
+        self.regs = RegisterFile(trace=trace_registers)
+        self.fregs = FPRegisterFile(trace=trace_registers)
+        self.csrs = csrdef.CsrFile(
+            modules=set(decoder.config.modules), trace=trace_registers
+        )
+        self.pc = 0
+        self.next_pc = 0
+        self.hooks = HookTable()
+        self.ecall_handler: Optional[Callable[["Cpu"], None]] = None
+        self.block_cache_enabled = block_cache_enabled
+        #: Optional :class:`repro.vp.icache.ICache`: fetch misses charge
+        #: extra cycles per executed block.
+        self.icache = icache
+        self._tb_cache: Dict[int, TranslationBlock] = {}
+        self._current: Optional[Decoded] = None
+        self._wfi_pending = False
+        self._wfi_wait: Callable[[], Optional[int]] = lambda: None
+        self._interrupt_poll: Callable[[], int] = lambda: 0
+        # Statistics.
+        self.tb_hits = 0
+        self.tb_misses = 0
+
+    # ------------------------------------------------------------------
+    # Configuration hooks used by Machine
+    # ------------------------------------------------------------------
+
+    def set_interrupt_poll(self, poll: Callable[[], int]) -> None:
+        """``poll()`` returns the mip bits asserted by platform devices."""
+        self._interrupt_poll = poll
+
+    def set_wfi_wait(self, wait: Callable[[], Optional[int]]) -> None:
+        """``wait()`` returns cycles to fast-forward until the next event,
+        or ``None`` when no future event can wake the hart."""
+        self._wfi_wait = wait
+
+    # ------------------------------------------------------------------
+    # State management
+    # ------------------------------------------------------------------
+
+    def reset(self, pc: int = 0) -> None:
+        self.regs.reset()
+        self.fregs.reset()
+        self.csrs = csrdef.CsrFile(
+            modules=set(self.decoder.config.modules), trace=self.regs.trace
+        )
+        self.pc = pc & WORD_MASK
+        self.next_pc = self.pc
+        self._wfi_pending = False
+        self.flush_translation_cache()
+
+    def flush_translation_cache(self) -> None:
+        """Invalidate all cached blocks (``fence.i``, code patching)."""
+        self._tb_cache.clear()
+
+    def current_word(self) -> int:
+        """Raw encoding of the instruction currently executing (for mtval)."""
+        return self._current.word if self._current is not None else 0
+
+    # ------------------------------------------------------------------
+    # Memory interface used by instruction semantics
+    # ------------------------------------------------------------------
+
+    def load(self, addr: int, width: int, signed: bool = False) -> int:
+        if addr % width:
+            raise Trap(csrdef.CAUSE_MISALIGNED_LOAD, addr)
+        try:
+            value = self.bus.load(addr, width)
+        except BusError:
+            raise Trap(csrdef.CAUSE_LOAD_ACCESS, addr) from None
+        if self.hooks.mem_access:
+            for hook in self.hooks.mem_access:
+                hook(self, addr, width, value, False)
+        if signed:
+            value = sign_extend(value, width * 8)
+        return value
+
+    def store(self, addr: int, width: int, value: int) -> None:
+        if addr % width:
+            raise Trap(csrdef.CAUSE_MISALIGNED_STORE, addr)
+        if self.hooks.mem_access:
+            for hook in self.hooks.mem_access:
+                hook(self, addr, width, value, True)
+        try:
+            self.bus.store(addr, width, value)
+        except BusError:
+            raise Trap(csrdef.CAUSE_STORE_ACCESS, addr) from None
+
+    # ------------------------------------------------------------------
+    # System interface used by instruction semantics
+    # ------------------------------------------------------------------
+
+    def environment_call(self) -> None:
+        if self.ecall_handler is not None:
+            self.ecall_handler(self)
+        else:
+            self.trap(csrdef.CAUSE_ECALL_M, 0)
+
+    def trap(self, cause: int, tval: int) -> None:
+        raise Trap(cause, tval)
+
+    def wait_for_interrupt(self) -> None:
+        self._wfi_pending = True
+
+    # ------------------------------------------------------------------
+    # Fetch and translate
+    # ------------------------------------------------------------------
+
+    def _fetch_halfword(self, addr: int) -> int:
+        try:
+            return self.bus.load(addr, 2)
+        except BusError:
+            raise Trap(csrdef.CAUSE_FETCH_ACCESS, addr) from None
+
+    def _fetch_word(self, addr: int) -> int:
+        """Fetch up to 32 bits at ``addr`` (16-bit granular, like RVC fetch)."""
+        low = self._fetch_halfword(addr)
+        if low & 0x3 != 0x3:
+            return low
+        return low | (self._fetch_halfword(addr + 2) << 16)
+
+    def _build_block(self, start_pc: int) -> TranslationBlock:
+        insns: List[Decoded] = []
+        pcs: List[int] = []
+        pc = start_pc
+        while len(insns) < MAX_BLOCK_INSNS:
+            word = self._fetch_word(pc)
+            try:
+                decoded = self.decoder.decode(word, pc)
+            except IllegalInstructionError:
+                if not insns:
+                    raise Trap(csrdef.CAUSE_ILLEGAL_INSTRUCTION, word) from None
+                break  # end block before the undecodable word
+            insns.append(decoded)
+            pcs.append(pc)
+            pc += decoded.spec.length
+            spec = decoded.spec
+            if spec.is_branch or spec.is_jump or spec.is_system:
+                break
+        block = TranslationBlock(start_pc, insns, pcs)
+        if self.hooks.block_translate:
+            for hook in self.hooks.block_translate:
+                hook(self, block)
+        return block
+
+    def _get_block(self, pc: int) -> TranslationBlock:
+        alignment = 1 if self.decoder.config.has_compressed else 3
+        if pc & alignment:
+            raise Trap(csrdef.CAUSE_MISALIGNED_FETCH, pc)
+        if not self.block_cache_enabled:
+            self.tb_misses += 1
+            return self._build_block(pc)
+        block = self._tb_cache.get(pc)
+        if block is None:
+            self.tb_misses += 1
+            block = self._build_block(pc)
+            self._tb_cache[pc] = block
+        else:
+            self.tb_hits += 1
+        return block
+
+    # ------------------------------------------------------------------
+    # Interrupts and traps
+    # ------------------------------------------------------------------
+
+    def _pending_interrupt(self) -> Optional[int]:
+        mip = self._interrupt_poll()
+        self.csrs.raw_write(csrdef.MIP, mip)
+        if not self.csrs.raw_read(csrdef.MSTATUS) & csrdef.MSTATUS_MIE:
+            return None
+        enabled = mip & self.csrs.raw_read(csrdef.MIE)
+        if not enabled:
+            return None
+        # Priority order per the privileged spec: external, software, timer.
+        if enabled & csrdef.MIE_MEIE:
+            return csrdef.CAUSE_MACHINE_EXTERNAL_INT
+        if enabled & csrdef.MIE_MSIE:
+            return csrdef.CAUSE_MACHINE_SOFTWARE_INT
+        return csrdef.CAUSE_MACHINE_TIMER_INT
+
+    def _take_trap(self, cause: int, tval: int) -> None:
+        mtvec = self.csrs.raw_read(csrdef.MTVEC)
+        if mtvec == 0 and not (cause & csrdef.INTERRUPT_BIT):
+            raise UnhandledTrap(cause, tval, self.pc)
+        if self.hooks.trap:
+            for hook in self.hooks.trap:
+                hook(self, cause, self.pc)
+        self.csrs.raw_write(csrdef.MEPC, self.pc)
+        self.csrs.raw_write(csrdef.MCAUSE, cause)
+        self.csrs.raw_write(csrdef.MTVAL, tval)
+        status = self.csrs.raw_read(csrdef.MSTATUS)
+        mie = bool(status & csrdef.MSTATUS_MIE)
+        status &= ~(csrdef.MSTATUS_MIE | csrdef.MSTATUS_MPIE)
+        if mie:
+            status |= csrdef.MSTATUS_MPIE
+        status |= csrdef.MSTATUS_MPP  # we came from (and stay in) M-mode
+        self.csrs.raw_write(csrdef.MSTATUS, status)
+        base = mtvec & ~0x3
+        if (mtvec & 0x3) == 1 and (cause & csrdef.INTERRUPT_BIT):
+            self.pc = (base + 4 * (cause & 0x3FF)) & WORD_MASK
+        else:
+            self.pc = base
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+
+    def step_block(self) -> int:
+        """Run one translation block (or take one interrupt/trap).
+
+        Returns the number of instructions retired.
+        """
+        interrupt = self._pending_interrupt()
+        if interrupt is not None:
+            self._wfi_pending = False
+            self._take_trap(interrupt, 0)
+            return 0
+        try:
+            block = self._get_block(self.pc)
+        except Trap as trap:
+            self._take_trap(trap.cause, trap.tval)
+            return 0
+        block.exec_count += 1
+        if self.hooks.block_exec:
+            for hook in self.hooks.block_exec:
+                hook(self, block)
+        timing = self.timing
+        insn_hooks = self.hooks.insn_exec
+        retired = 0
+        cycles = 0
+        if self.icache is not None:
+            cycles += self.icache.penalty_for_range(block.start_pc,
+                                                    block.end_pc)
+        pending_trap: Optional[Trap] = None
+        try:
+            for decoded, pc in zip(block.insns, block.pcs):
+                self.pc = pc
+                self._current = decoded
+                fallthrough = pc + decoded.spec.length
+                self.next_pc = fallthrough
+                if insn_hooks:
+                    for hook in insn_hooks:
+                        hook(self, decoded, pc)
+                try:
+                    decoded.spec.execute(self, decoded)
+                except Trap as trap:
+                    cycles += timing.base_cost(decoded)
+                    pending_trap = trap
+                    break
+                except MachineExit:
+                    # The exiting instruction consumed its cycles; the
+                    # finally block below flushes them before unwinding.
+                    cycles += timing.base_cost(decoded)
+                    raise
+                retired += 1
+                redirected = self.next_pc != fallthrough
+                cycles += timing.actual_cost(decoded, redirected)
+                self.pc = self.next_pc
+                if redirected:
+                    break
+        finally:
+            # Flush accounting even when MachineExit/UnhandledTrap unwinds
+            # mid-block, so RunResult counters stay exact.
+            self.csrs.instret += retired
+            self.csrs.cycle += cycles
+            self.bus.tick(cycles)
+        if pending_trap is not None:
+            self._take_trap(pending_trap.cause, pending_trap.tval)
+        return retired
+
+    def run(self, max_instructions: Optional[int] = None) -> RunResult:
+        """Execute until WFI-with-no-event or the instruction budget ends.
+
+        :class:`~repro.vp.trap.MachineExit` and
+        :class:`~repro.vp.trap.UnhandledTrap` propagate to the caller
+        (:class:`repro.vp.machine.Machine` turns them into results).
+        """
+        executed = 0
+        budget = max_instructions if max_instructions is not None else float("inf")
+        zero_steps = 0
+        while executed < budget:
+            retired = self.step_block()
+            executed += retired
+            if retired:
+                zero_steps = 0
+            else:
+                zero_steps += 1
+                if zero_steps >= LIVELOCK_LIMIT:
+                    return RunResult(STOP_LIVELOCK, executed, self.csrs.cycle,
+                                     trap_cause=self.csrs.raw_read(
+                                         csrdef.MCAUSE),
+                                     trap_pc=self.pc)
+            if self._wfi_pending:
+                self._wfi_pending = False
+                skip = self._wfi_wait()
+                if skip is None:
+                    return RunResult(STOP_WFI, executed, self.csrs.cycle)
+                if skip:
+                    self.csrs.cycle += skip
+                    self.bus.tick(skip)
+        return RunResult(STOP_MAX_INSNS, executed, self.csrs.cycle)

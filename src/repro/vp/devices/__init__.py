@@ -1,0 +1,8 @@
+"""Memory-mapped peripherals of the virtual prototype."""
+
+from .clint import Clint
+from .exitdev import ExitDevice
+from .gpio import Gpio
+from .uart import Uart
+
+__all__ = ["Clint", "ExitDevice", "Gpio", "Uart"]

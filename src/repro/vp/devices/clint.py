@@ -1,0 +1,89 @@
+"""Core-local interruptor: machine timer (mtime/mtimecmp) and software IRQ.
+
+Register map (subset of the SiFive CLINT layout, single hart):
+
+========== ========== ===========================
+offset     name       width
+========== ========== ===========================
+0x0000     MSIP       32-bit software interrupt
+0x4000     MTIMECMP   64-bit (lo at +0, hi at +4)
+0xBFF8     MTIME      64-bit (lo at +0, hi at +4)
+========== ========== ===========================
+
+``mtime`` advances with CPU cycles via :meth:`tick`.  The machine polls
+:meth:`pending_interrupts` between translation blocks and reflects the
+result into ``mip``.
+"""
+
+from __future__ import annotations
+
+from ..memory import Device
+from ..trap import BusError
+from ...isa import csr as csrdef
+
+MSIP = 0x0000
+MTIMECMP_LO = 0x4000
+MTIMECMP_HI = 0x4004
+MTIME_LO = 0xBFF8
+MTIME_HI = 0xBFFC
+
+WINDOW_SIZE = 0x10000
+
+_U32 = 0xFFFFFFFF
+_U64 = 0xFFFFFFFFFFFFFFFF
+
+
+class Clint(Device):
+    def __init__(self) -> None:
+        self.mtime = 0
+        self.mtimecmp = _U64  # no timer interrupt until armed
+        self.msip = 0
+
+    def tick(self, cycles: int) -> None:
+        self.mtime = (self.mtime + cycles) & _U64
+
+    def pending_interrupts(self) -> int:
+        """mip bits this device asserts right now."""
+        pending = 0
+        if self.msip & 1:
+            pending |= csrdef.MIE_MSIE
+        if self.mtime >= self.mtimecmp:
+            pending |= csrdef.MIE_MTIE
+        return pending
+
+    def cycles_until_timer(self) -> int:
+        """Cycles until the timer fires (0 if already pending).
+
+        Used by WFI to fast-forward simulated time instead of spinning.
+        """
+        if self.mtime >= self.mtimecmp:
+            return 0
+        return self.mtimecmp - self.mtime
+
+    def load(self, offset: int, width: int) -> int:
+        if offset == MSIP:
+            return self.msip
+        if offset == MTIMECMP_LO:
+            return self.mtimecmp & _U32
+        if offset == MTIMECMP_HI:
+            return (self.mtimecmp >> 32) & _U32
+        if offset == MTIME_LO:
+            return self.mtime & _U32
+        if offset == MTIME_HI:
+            return (self.mtime >> 32) & _U32
+        raise BusError(offset, f"CLINT load from unknown register {offset:#x}")
+
+    def store(self, offset: int, width: int, value: int) -> None:
+        value &= _U32
+        if offset == MSIP:
+            self.msip = value & 1
+        elif offset == MTIMECMP_LO:
+            self.mtimecmp = (self.mtimecmp & ~_U32) | value
+        elif offset == MTIMECMP_HI:
+            self.mtimecmp = (self.mtimecmp & _U32) | (value << 32)
+        elif offset == MTIME_LO:
+            self.mtime = (self.mtime & ~_U32) | value
+        elif offset == MTIME_HI:
+            self.mtime = (self.mtime & _U32) | (value << 32)
+        else:
+            raise BusError(offset, f"CLINT store to unknown register {offset:#x}")

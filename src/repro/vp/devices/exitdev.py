@@ -1,0 +1,33 @@
+"""Test-finisher device (HTIF ``tohost`` style).
+
+A single word register: writing ``(code << 1) | 1`` terminates simulation
+with exit code ``code``.  Writing 1 therefore means "pass".  This is how
+bare-metal test binaries signal completion — the fault-injection campaign
+classifies runs by whether and how this register gets written.
+"""
+
+from __future__ import annotations
+
+from ..memory import Device
+from ..trap import BusError, MachineExit
+
+WINDOW_SIZE = 0x8
+
+TOHOST = 0x0
+
+
+class ExitDevice(Device):
+    def __init__(self) -> None:
+        self.value = 0
+
+    def load(self, offset: int, width: int) -> int:
+        if offset == TOHOST:
+            return self.value
+        raise BusError(offset, "exit device load from unknown register")
+
+    def store(self, offset: int, width: int, value: int) -> None:
+        if offset != TOHOST:
+            raise BusError(offset, "exit device store to unknown register")
+        self.value = value
+        if value & 1:
+            raise MachineExit(value >> 1)

@@ -1,0 +1,76 @@
+"""A simple GPIO port.
+
+Register map:
+
+====== ======= ====================================================
+offset name    behaviour
+====== ======= ====================================================
+0x00   OUT     read/write: the 32 output pins
+0x04   IN      read: the 32 input pins (set by the host testbench)
+0x08   SET     write: OUT |= value (atomic set)
+0x0C   CLEAR   write: OUT &= ~value (atomic clear)
+====== ======= ====================================================
+
+Every change of the output pins is appended to :attr:`out_history`, so
+testbenches (and the access-control demonstrator's lock actuator) can
+assert on the *sequence* of pin states, not just the final one.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from ..memory import Device
+from ..trap import BusError
+
+OUT = 0x00
+IN = 0x04
+SET = 0x08
+CLEAR = 0x0C
+
+WINDOW_SIZE = 0x100
+
+_U32 = 0xFFFFFFFF
+
+
+class Gpio(Device):
+    def __init__(self) -> None:
+        self.out = 0
+        self.inputs = 0
+        self.out_history: List[int] = []
+
+    def _update_out(self, value: int) -> None:
+        value &= _U32
+        if value != self.out:
+            self.out = value
+            self.out_history.append(value)
+
+    def set_inputs(self, value: int) -> None:
+        """Host-side: drive the input pins."""
+        self.inputs = value & _U32
+
+    def pin(self, index: int) -> bool:
+        """Current state of output pin ``index``."""
+        return bool(self.out & (1 << index))
+
+    def load(self, offset: int, width: int) -> int:
+        if offset == OUT:
+            return self.out
+        if offset == IN:
+            return self.inputs
+        if offset in (SET, CLEAR):
+            return 0
+        raise BusError(offset, f"GPIO load from unknown register {offset:#x}")
+
+    def store(self, offset: int, width: int, value: int) -> None:
+        if offset == OUT:
+            self._update_out(value)
+        elif offset == SET:
+            self._update_out(self.out | value)
+        elif offset == CLEAR:
+            self._update_out(self.out & ~value)
+        elif offset == IN:
+            pass  # input pins are read-only from the target side
+        else:
+            raise BusError(offset,
+                           f"GPIO store to unknown register {offset:#x}")

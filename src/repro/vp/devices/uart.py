@@ -1,0 +1,89 @@
+"""A minimal memory-mapped UART.
+
+Register map (word-aligned, matching the access-control demonstrator from
+the Scale4Edge security analysis scenario):
+
+====== ======== =======================================================
+offset name     behaviour
+====== ======== =======================================================
+0x00   TXDATA   write: transmit low byte; read: 0 (always ready)
+0x04   RXDATA   read: next received byte, or 0xFFFFFFFF if queue empty
+0x08   STATUS   bit0 = TX ready (always 1), bit1 = RX data available
+====== ======== =======================================================
+
+Transmitted bytes accumulate in :attr:`tx_log`; the host feeds input with
+:meth:`push_rx`.  The device also keeps a full access trace when
+``trace=True`` — the non-invasive IO-access analysis of the MBMV 2019
+paper is built on observing exactly these accesses.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, List, Tuple
+
+from ..memory import Device
+from ..trap import BusError
+
+TXDATA = 0x00
+RXDATA = 0x04
+STATUS = 0x08
+IE = 0x0C  # bit0: RX interrupt enable
+
+STATUS_TX_READY = 0x1
+STATUS_RX_AVAIL = 0x2
+
+IE_RX = 0x1
+
+#: Size of the device's MMIO window in bytes.
+WINDOW_SIZE = 0x100
+
+
+class Uart(Device):
+    def __init__(self, trace: bool = False) -> None:
+        self.tx_log = bytearray()
+        self._rx_queue: Deque[int] = deque()
+        self.interrupt_enable = 0
+        self.trace = trace
+        #: (kind, offset, value) tuples, kind in {"load", "store"}.
+        self.access_log: List[Tuple[str, int, int]] = []
+
+    def interrupt_pending(self) -> bool:
+        """RX interrupt: enabled and data waiting."""
+        return bool(self.interrupt_enable & IE_RX) and bool(self._rx_queue)
+
+    def push_rx(self, data: bytes) -> None:
+        """Queue host-to-target bytes."""
+        self._rx_queue.extend(data)
+
+    @property
+    def output(self) -> str:
+        """Transmitted bytes decoded as text (errors replaced)."""
+        return self.tx_log.decode("utf-8", errors="replace")
+
+    def load(self, offset: int, width: int) -> int:
+        if offset == RXDATA:
+            value = self._rx_queue.popleft() if self._rx_queue else 0xFFFFFFFF
+        elif offset == STATUS:
+            value = STATUS_TX_READY | (STATUS_RX_AVAIL if self._rx_queue else 0)
+        elif offset == IE:
+            value = self.interrupt_enable
+        elif offset == TXDATA:
+            value = 0
+        else:
+            raise BusError(offset, f"UART load from unknown register {offset:#x}")
+        if self.trace:
+            self.access_log.append(("load", offset, value))
+        return value
+
+    def store(self, offset: int, width: int, value: int) -> None:
+        if offset == TXDATA:
+            self.tx_log.append(value & 0xFF)
+        elif offset == IE:
+            self.interrupt_enable = value & IE_RX
+        elif offset in (RXDATA, STATUS):
+            pass  # writes to read-only registers are ignored
+        else:
+            raise BusError(offset, f"UART store to unknown register {offset:#x}")
+        if self.trace:
+            self.access_log.append(("store", offset, value))

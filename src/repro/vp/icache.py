@@ -1,0 +1,98 @@
+"""Instruction-cache model.
+
+A set-associative instruction cache with LRU replacement, charged at
+translation-block granularity: before a block executes, every cache line
+it spans is looked up, and each miss costs ``miss_penalty`` cycles.
+
+The WCET side (:func:`repro.wcet.ait.run_ait_analysis` with an
+``icache`` argument) uses the *miss-always* abstraction — every execution
+of a block is assumed to miss all of its lines — which upper-bounds the
+simulated behaviour by construction, at the price of pessimism that the
+A6 experiment quantifies.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+
+@dataclass(frozen=True)
+class ICacheConfig:
+    """Geometry and timing of the instruction cache."""
+
+    size: int = 1024          # total bytes
+    line_size: int = 16       # bytes per line
+    ways: int = 2
+    miss_penalty: int = 10    # cycles per line fill
+
+    def __post_init__(self) -> None:
+        for name in ("size", "line_size", "ways", "miss_penalty"):
+            value = getattr(self, name)
+            if value <= 0:
+                raise ValueError(f"{name} must be positive, got {value}")
+        if self.line_size & (self.line_size - 1):
+            raise ValueError("line_size must be a power of two")
+        if self.size % (self.line_size * self.ways):
+            raise ValueError("size must be a multiple of line_size * ways")
+
+    @property
+    def num_sets(self) -> int:
+        return self.size // (self.line_size * self.ways)
+
+    def lines_spanned(self, start: int, end: int) -> int:
+        """Number of cache lines the byte range [start, end) touches."""
+        if end <= start:
+            return 0
+        first = start // self.line_size
+        last = (end - 1) // self.line_size
+        return last - first + 1
+
+
+class ICache:
+    """The dynamic cache state: LRU sets of line tags."""
+
+    def __init__(self, config: ICacheConfig) -> None:
+        self.config = config
+        self._sets: List[List[int]] = [[] for _ in range(config.num_sets)]
+        self.hits = 0
+        self.misses = 0
+
+    def reset(self) -> None:
+        self._sets = [[] for _ in range(self.config.num_sets)]
+        self.hits = 0
+        self.misses = 0
+
+    def access_line(self, line: int) -> bool:
+        """Look up line number ``line``; returns True on hit."""
+        index = line % self.config.num_sets
+        entries = self._sets[index]
+        if line in entries:
+            entries.remove(line)
+            entries.append(line)  # most-recently-used position
+            self.hits += 1
+            return True
+        self.misses += 1
+        entries.append(line)
+        if len(entries) > self.config.ways:
+            entries.pop(0)  # evict LRU
+        return False
+
+    def penalty_for_range(self, start: int, end: int) -> int:
+        """Total miss penalty for fetching the byte range [start, end)."""
+        if end <= start:
+            return 0
+        penalty = 0
+        line_size = self.config.line_size
+        for line in range(start // line_size, (end - 1) // line_size + 1):
+            if not self.access_line(line):
+                penalty += self.config.miss_penalty
+        return penalty
+
+    @property
+    def accesses(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        return self.hits / self.accesses if self.accesses else 0.0

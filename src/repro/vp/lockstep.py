@@ -1,0 +1,130 @@
+"""Lockstep differential execution of two machines.
+
+Runs the same program on two differently configured machines (e.g. block
+cache on vs. off, or two ISA-compatible timing models) and compares the
+architectural state after every executed instruction.  Divergence is
+reported with the instruction index, pc, and the differing state — the
+software analogue of the dual-core lockstep operation of safety MCUs, and
+the tool this repo uses to prove that the translation-block cache is
+behaviour-preserving.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+from ..asm import Program
+from .machine import Machine
+from .plugins import Plugin
+from .trap import MachineExit, UnhandledTrap
+
+
+class LockstepDivergence(Exception):
+    """The two machines disagreed on architectural state."""
+
+    def __init__(self, index: int, pc: int, detail: str) -> None:
+        super().__init__(
+            f"divergence at instruction {index}, pc {pc:#010x}: {detail}"
+        )
+        self.index = index
+        self.pc = pc
+        self.detail = detail
+
+
+@dataclass
+class LockstepResult:
+    """Outcome of a lockstep comparison run."""
+
+    instructions: int
+    diverged: bool = False
+    divergence: Optional[LockstepDivergence] = None
+    primary_exit: Optional[int] = None
+    secondary_exit: Optional[int] = None
+
+
+class _StepRecorder(Plugin):
+    """Captures (pc, registers) before every instruction."""
+
+    def __init__(self) -> None:
+        self.steps: List[Tuple[int, Tuple[int, ...]]] = []
+
+    def on_insn_exec(self, cpu, decoded, pc) -> None:
+        self.steps.append((pc, cpu.regs.snapshot()))
+
+
+def _run_with_recorder(machine: Machine, program: Program,
+                       max_instructions: int):
+    machine.load(program)
+    recorder = _StepRecorder()
+    machine.add_plugin(recorder)
+    result = machine.run(max_instructions=max_instructions)
+    machine.remove_plugin(recorder)
+    return recorder.steps, result
+
+
+def run_lockstep(
+    primary: Machine,
+    secondary: Machine,
+    program: Program,
+    max_instructions: int = 1_000_000,
+    raise_on_divergence: bool = True,
+) -> LockstepResult:
+    """Run ``program`` on both machines and compare per-instruction state.
+
+    Machines must share the ISA configuration.  Returns a
+    :class:`LockstepResult`; raises :class:`LockstepDivergence` on mismatch
+    unless ``raise_on_divergence`` is False.
+    """
+    if primary.config.isa != secondary.config.isa:
+        raise ValueError("lockstep machines must share an ISA configuration")
+    primary_steps, primary_result = _run_with_recorder(
+        primary, program, max_instructions)
+    secondary_steps, secondary_result = _run_with_recorder(
+        secondary, program, max_instructions)
+
+    result = LockstepResult(
+        instructions=min(len(primary_steps), len(secondary_steps)),
+        primary_exit=primary_result.exit_code,
+        secondary_exit=secondary_result.exit_code,
+    )
+    divergence = _compare(primary_steps, secondary_steps,
+                          primary_result.exit_code,
+                          secondary_result.exit_code)
+    if divergence is not None:
+        result.diverged = True
+        result.divergence = divergence
+        if raise_on_divergence:
+            raise divergence
+    return result
+
+
+def _compare(primary_steps, secondary_steps, primary_exit, secondary_exit
+             ) -> Optional[LockstepDivergence]:
+    for index, ((pc_a, regs_a), (pc_b, regs_b)) in enumerate(
+            zip(primary_steps, secondary_steps)):
+        if pc_a != pc_b:
+            return LockstepDivergence(
+                index, pc_a,
+                f"control flow differs (secondary at {pc_b:#010x})")
+        if regs_a != regs_b:
+            diffs = [
+                f"x{i}: {a:#x} vs {b:#x}"
+                for i, (a, b) in enumerate(zip(regs_a, regs_b)) if a != b
+            ]
+            return LockstepDivergence(index, pc_a,
+                                      "registers differ: " + "; ".join(diffs))
+    if len(primary_steps) != len(secondary_steps):
+        longer = max(len(primary_steps), len(secondary_steps))
+        short = min(len(primary_steps), len(secondary_steps))
+        pc = (primary_steps if len(primary_steps) > short
+              else secondary_steps)[short][0]
+        return LockstepDivergence(
+            short, pc,
+            f"instruction counts differ ({len(primary_steps)} vs "
+            f"{len(secondary_steps)})")
+    if primary_exit != secondary_exit:
+        return LockstepDivergence(
+            len(primary_steps), 0,
+            f"exit codes differ ({primary_exit} vs {secondary_exit})")
+    return None

@@ -1,0 +1,280 @@
+"""The full-system virtual prototype: CPU + bus + peripherals.
+
+Default memory map (a typical small RISC-V edge platform):
+
+=============== ============ =====================================
+base            size         device
+=============== ============ =====================================
+``0x0010_0000`` 8            test finisher (``tohost``-style exit)
+``0x0200_0000`` 64 KiB       CLINT (msip, mtime, mtimecmp)
+``0x1000_0000`` 256 B        UART
+``0x8000_0000`` configurable RAM
+=============== ============ =====================================
+
+A :class:`Machine` is the top-level object users interact with: load a
+program, register plugins, call :meth:`run`, inspect the result and the
+UART output.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+from ..isa import csr as csrdef
+from ..isa.decoder import Decoder, IsaConfig, RV32IMC_ZICSR
+from .cpu import Cpu, RunResult, STOP_EXIT
+from .devices.clint import Clint, WINDOW_SIZE as CLINT_SIZE
+from .devices.exitdev import ExitDevice, WINDOW_SIZE as EXIT_SIZE
+from .devices.gpio import Gpio, WINDOW_SIZE as GPIO_SIZE
+from .devices.uart import Uart, WINDOW_SIZE as UART_SIZE
+from .icache import ICache, ICacheConfig
+from .memory import Ram, SystemBus
+from .plugins import Plugin
+from .timing import TimingModel
+from .trap import MachineExit, UnhandledTrap
+
+RAM_BASE = 0x8000_0000
+UART_BASE = 0x1000_0000
+GPIO_BASE = 0x1000_1000
+CLINT_BASE = 0x0200_0000
+EXIT_BASE = 0x0010_0000
+
+DEFAULT_RAM_SIZE = 4 * 1024 * 1024
+
+STOP_UNHANDLED_TRAP = "unhandled_trap"
+
+# Linux-flavoured syscall numbers honoured by the semihosting ecall handler.
+SYSCALL_WRITE = 64
+SYSCALL_EXIT = 93
+
+
+@dataclass
+class MachineSnapshot:
+    """A complete machine checkpoint (see :meth:`Machine.snapshot`)."""
+
+    pc: int
+    entry: int
+    regs: tuple
+    fregs: tuple
+    csrs: dict
+    ram: bytes
+    clint: tuple
+    uart: tuple
+    gpio: tuple
+    exit_value: int
+
+
+@dataclass
+class MachineConfig:
+    """Construction parameters for a :class:`Machine`."""
+
+    isa: IsaConfig = field(default_factory=lambda: RV32IMC_ZICSR)
+    ram_size: int = DEFAULT_RAM_SIZE
+    timing: Optional[TimingModel] = None
+    trace_registers: bool = False
+    block_cache_enabled: bool = True
+    semihosting: bool = True  # handle exit/write ecalls in the machine
+    icache: Optional["ICacheConfig"] = None  # fetch-cache model, off by default
+
+
+class Machine:
+    """A single-hart RV32 platform.
+
+    Example::
+
+        machine = Machine()
+        machine.load(program)
+        result = machine.run(max_instructions=1_000_000)
+        print(result.exit_code, machine.uart.output)
+    """
+
+    def __init__(self, config: Optional[MachineConfig] = None) -> None:
+        self.config = config or MachineConfig()
+        self.decoder = Decoder(self.config.isa)
+        self.bus = SystemBus()
+        self.ram = Ram(self.config.ram_size)
+        self.uart = Uart()
+        self.gpio = Gpio()
+        self.clint = Clint()
+        self.exit_device = ExitDevice()
+        self.bus.attach(RAM_BASE, self.config.ram_size, self.ram)
+        self.bus.attach(UART_BASE, UART_SIZE, self.uart)
+        self.bus.attach(GPIO_BASE, GPIO_SIZE, self.gpio)
+        self.bus.attach(CLINT_BASE, CLINT_SIZE, self.clint)
+        self.bus.attach(EXIT_BASE, EXIT_SIZE, self.exit_device)
+        self.cpu = Cpu(
+            self.decoder,
+            self.bus,
+            timing=self.config.timing,
+            trace_registers=self.config.trace_registers,
+            block_cache_enabled=self.config.block_cache_enabled,
+            icache=ICache(self.config.icache) if self.config.icache else None,
+        )
+        self.cpu.set_interrupt_poll(self._poll_interrupts)
+        self.cpu.set_wfi_wait(self._wfi_wait)
+        self.cpu.csrs._time_source = lambda: self.clint.mtime
+        self.cpu.csrs._mip_source = self._poll_interrupts
+        if self.config.semihosting:
+            self.cpu.ecall_handler = self._handle_ecall
+        self.entry = RAM_BASE
+
+    # ------------------------------------------------------------------
+    # Program loading
+    # ------------------------------------------------------------------
+
+    def load(self, program) -> None:
+        """Load a program image.
+
+        ``program`` must expose ``segments`` (iterable of ``(addr, bytes)``)
+        and ``entry`` — :class:`repro.asm.Program` does.  The CPU is reset
+        to the entry point with the stack pointer at the top of RAM.
+        """
+        for addr, blob in program.segments:
+            offset = addr - RAM_BASE
+            self.ram.write_bytes(offset, blob)
+        self.entry = program.entry
+        self.reset()
+
+    def load_blob(self, blob: bytes, addr: int = RAM_BASE,
+                  entry: Optional[int] = None) -> None:
+        """Load raw machine code at ``addr`` (defaults to start of RAM)."""
+        self.ram.write_bytes(addr - RAM_BASE, blob)
+        self.entry = entry if entry is not None else addr
+        self.reset()
+
+    def reset(self) -> None:
+        """Reset CPU state to the program entry, sp at top of RAM."""
+        self.cpu.reset(self.entry)
+        if self.cpu.icache is not None:
+            self.cpu.icache.reset()
+        self.cpu.csrs._time_source = lambda: self.clint.mtime
+        self.cpu.csrs._mip_source = self._poll_interrupts
+        self.cpu.regs.raw_write(2, RAM_BASE + self.config.ram_size - 16)
+
+    # ------------------------------------------------------------------
+    # Checkpointing
+    # ------------------------------------------------------------------
+
+    def snapshot(self) -> "MachineSnapshot":
+        """Checkpoint the complete machine state (CPU, RAM, devices)."""
+        return MachineSnapshot(
+            pc=self.cpu.pc,
+            entry=self.entry,
+            regs=self.cpu.regs.snapshot(),
+            fregs=self.cpu.fregs.snapshot(),
+            csrs=self.cpu.csrs.snapshot(),
+            ram=bytes(self.ram.data),
+            clint=(self.clint.mtime, self.clint.mtimecmp, self.clint.msip),
+            uart=(bytes(self.uart.tx_log), tuple(self.uart._rx_queue),
+                  self.uart.interrupt_enable),
+            gpio=(self.gpio.out, self.gpio.inputs),
+            exit_value=self.exit_device.value,
+        )
+
+    def restore(self, snapshot: "MachineSnapshot") -> None:
+        """Restore a checkpoint taken on *this machine configuration*.
+
+        The translation cache is flushed (RAM contents may differ).
+        Register-file *objects* are kept — a snapshot/restore pair cannot
+        undo structural changes such as injected stuck-at wrappers.
+        """
+        self.entry = snapshot.entry
+        self.cpu.pc = snapshot.pc
+        self.cpu.next_pc = snapshot.pc
+        self.cpu.regs.restore(snapshot.regs)
+        self.cpu.regs.clear_trace()
+        self.cpu.fregs.restore(snapshot.fregs)
+        self.cpu.fregs.clear_trace()
+        self.cpu.csrs.restore(snapshot.csrs)
+        self.cpu.csrs.clear_trace()
+        self.ram.data[:] = snapshot.ram
+        self.clint.mtime, self.clint.mtimecmp, self.clint.msip = \
+            snapshot.clint
+        tx_log, rx_queue, interrupt_enable = snapshot.uart
+        self.uart.tx_log = bytearray(tx_log)
+        self.uart._rx_queue.clear()
+        self.uart._rx_queue.extend(rx_queue)
+        self.uart.interrupt_enable = interrupt_enable
+        self.gpio.out, self.gpio.inputs = snapshot.gpio
+        self.gpio.out_history.clear()
+        self.exit_device.value = snapshot.exit_value
+        if self.cpu.icache is not None:
+            # Cache contents are not checkpointed; restart cold, which is
+            # exact for snapshots taken right after load().
+            self.cpu.icache.reset()
+        self.cpu.flush_translation_cache()
+
+    # ------------------------------------------------------------------
+    # Plugins
+    # ------------------------------------------------------------------
+
+    def add_plugin(self, plugin: Plugin) -> Plugin:
+        self.cpu.hooks.register(plugin)
+        plugin.on_attach(self)
+        # Blocks translated before registration would miss the translate
+        # hook; flush so the plugin sees every block.
+        self.cpu.flush_translation_cache()
+        return plugin
+
+    def remove_plugin(self, plugin: Plugin) -> None:
+        self.cpu.hooks.unregister(plugin)
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+
+    def run(self, max_instructions: Optional[int] = None) -> RunResult:
+        """Run until exit, unhandled trap, WFI-halt, or the budget ends."""
+        try:
+            result = self.cpu.run(max_instructions)
+        except MachineExit as exit_event:
+            result = RunResult(
+                STOP_EXIT,
+                self.cpu.csrs.instret,
+                self.cpu.csrs.cycle,
+                exit_code=exit_event.code,
+            )
+        except UnhandledTrap as trap:
+            result = RunResult(
+                STOP_UNHANDLED_TRAP,
+                self.cpu.csrs.instret,
+                self.cpu.csrs.cycle,
+                trap_cause=trap.cause,
+                trap_pc=trap.pc,
+            )
+        if self.cpu.hooks.exit:
+            for hook in self.cpu.hooks.exit:
+                hook(result.exit_code if result.exit_code is not None else -1)
+        return result
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+
+    def _poll_interrupts(self) -> int:
+        pending = self.clint.pending_interrupts()
+        if self.uart.interrupt_pending():
+            pending |= csrdef.MIE_MEIE  # UART drives the external line
+        return pending
+
+    def _wfi_wait(self) -> Optional[int]:
+        if self.uart.interrupt_pending():
+            return 0
+        if self.clint.mtimecmp == 0xFFFFFFFFFFFFFFFF and not self.clint.msip:
+            return None  # nothing armed: sleeping forever
+        return self.clint.cycles_until_timer()
+
+    def _handle_ecall(self, cpu: Cpu) -> None:
+        number = cpu.regs.raw_read(17)  # a7
+        if number == SYSCALL_EXIT:
+            raise MachineExit(cpu.regs.raw_read(10))
+        if number == SYSCALL_WRITE:
+            # write(fd=a0, buf=a1, len=a2) -> UART, returns length in a0.
+            buf = cpu.regs.raw_read(11)
+            length = cpu.regs.raw_read(12)
+            for i in range(length):
+                self.uart.store(0, 1, cpu.load(buf + i, 1))
+            cpu.regs.raw_write(10, length)
+            return
+        cpu.trap(csrdef.CAUSE_ECALL_M, 0)

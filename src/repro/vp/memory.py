@@ -1,0 +1,131 @@
+"""Physical memory and the system bus.
+
+The bus dispatches physical addresses to devices.  Every device implements
+the small :class:`Device` protocol (``load``/``store`` on offsets within its
+window).  :class:`Ram` is the ordinary byte-addressable memory; MMIO
+peripherals live in :mod:`repro.vp.devices`.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from .trap import BusError
+
+_WIDTH_MASKS = {1: 0xFF, 2: 0xFFFF, 4: 0xFFFFFFFF}
+
+
+class Device:
+    """Protocol for bus targets.  Offsets are relative to the mapping base."""
+
+    def load(self, offset: int, width: int) -> int:
+        raise NotImplementedError
+
+    def store(self, offset: int, width: int, value: int) -> None:
+        raise NotImplementedError
+
+    def tick(self, cycles: int) -> None:
+        """Advance device-local time; default is stateless."""
+
+
+class Ram(Device):
+    """Flat little-endian RAM backed by a bytearray."""
+
+    def __init__(self, size: int) -> None:
+        if size <= 0 or size % 4:
+            raise ValueError(f"RAM size must be a positive multiple of 4, got {size}")
+        self.size = size
+        self.data = bytearray(size)
+
+    def load(self, offset: int, width: int) -> int:
+        if offset < 0 or offset + width > self.size:
+            raise BusError(offset, f"RAM load beyond size {self.size:#x}")
+        return int.from_bytes(self.data[offset:offset + width], "little")
+
+    def store(self, offset: int, width: int, value: int) -> None:
+        if offset < 0 or offset + width > self.size:
+            raise BusError(offset, f"RAM store beyond size {self.size:#x}")
+        self.data[offset:offset + width] = (value & _WIDTH_MASKS[width]).to_bytes(
+            width, "little"
+        )
+
+    def write_bytes(self, offset: int, blob: bytes) -> None:
+        """Bulk image load (program loader, fault injection patches)."""
+        if offset < 0 or offset + len(blob) > self.size:
+            raise BusError(offset, "RAM image beyond size")
+        self.data[offset:offset + len(blob)] = blob
+
+    def read_bytes(self, offset: int, length: int) -> bytes:
+        if offset < 0 or offset + length > self.size:
+            raise BusError(offset, "RAM read beyond size")
+        return bytes(self.data[offset:offset + length])
+
+    def fill(self, value: int = 0) -> None:
+        self.data = bytearray([value & 0xFF]) * 0  # placate linters
+        self.data = bytearray([value & 0xFF] * self.size)
+
+
+class SystemBus:
+    """Maps address windows to devices and routes aligned accesses.
+
+    Alignment is checked by the CPU (which knows whether to raise a
+    misaligned-load or misaligned-store trap); the bus only validates
+    mapping and range.
+    """
+
+    def __init__(self) -> None:
+        self._regions: List[Tuple[int, int, Device]] = []
+
+    def attach(self, base: int, size: int, device: Device) -> None:
+        """Map ``device`` at ``[base, base+size)``.  Overlaps are rejected."""
+        end = base + size
+        for other_base, other_size, other in self._regions:
+            if base < other_base + other_size and other_base < end:
+                raise ValueError(
+                    f"mapping {base:#x}..{end:#x} overlaps existing "
+                    f"{other_base:#x}..{other_base + other_size:#x}"
+                )
+        self._regions.append((base, size, device))
+        self._regions.sort(key=lambda region: region[0])
+
+    def replace(self, base: int, device: Device) -> Device:
+        """Swap the device mapped at exactly ``base``; returns the old one.
+
+        Used by the fault injector to interpose fault wrappers around RAM
+        without rebuilding the machine.
+        """
+        for i, (region_base, size, old) in enumerate(self._regions):
+            if region_base == base:
+                self._regions[i] = (region_base, size, device)
+                return old
+        raise ValueError(f"no device mapped at {base:#x}")
+
+    def device_at(self, addr: int) -> Tuple[int, Device]:
+        """Resolve (base, device) for ``addr``; raises BusError if unmapped."""
+        for base, size, device in self._regions:
+            if base <= addr < base + size:
+                return base, device
+        raise BusError(addr)
+
+    def load(self, addr: int, width: int) -> int:
+        base, device = self.device_at(addr)
+        return device.load(addr - base, width)
+
+    def store(self, addr: int, width: int, value: int) -> None:
+        base, device = self.device_at(addr)
+        device.store(addr - base, width, value)
+
+    def tick(self, cycles: int) -> None:
+        for _base, _size, device in self._regions:
+            device.tick(cycles)
+
+    @property
+    def regions(self) -> List[Tuple[int, int, Device]]:
+        return list(self._regions)
+
+    def ram(self) -> Optional["Ram"]:
+        """The first mapped RAM device, if any (convenience for loaders)."""
+        for _base, _size, device in self._regions:
+            if isinstance(device, Ram):
+                return device
+        return None

@@ -1,0 +1,112 @@
+"""Version-independent plugin API for the virtual prototype.
+
+This mirrors the role of QEMU's TCG plugin interface (the API the QEMU
+Timing Analyzer is built on): tools observe translation and execution
+without touching the emulator core, by overriding any subset of the hook
+methods below.  Unimplemented hooks cost nothing — the CPU collects only
+the callbacks a plugin actually overrides.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, List
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for annotations
+    from ..isa.spec import Decoded
+    from .cpu import Cpu, TranslationBlock
+
+
+class Plugin:
+    """Base class for VP instrumentation plugins.
+
+    Hooks (override any subset):
+
+    * ``on_attach(machine)`` — plugin registered with a machine.
+    * ``on_block_translate(cpu, block)`` — a translation block was built
+      (once per block until the cache is flushed).
+    * ``on_block_exec(cpu, block)`` — a block is about to execute.
+    * ``on_insn_exec(cpu, decoded, pc)`` — an instruction is about to
+      execute.
+    * ``on_mem_access(cpu, addr, width, value, is_store)`` — a data access
+      completed (loads report the loaded value).
+    * ``on_trap(cpu, cause, pc)`` — a trap is being taken.
+    * ``on_exit(code)`` — the machine terminated.
+    """
+
+    name = "plugin"
+
+    def on_attach(self, machine) -> None:
+        """Called when the plugin is registered."""
+
+    def on_block_translate(self, cpu: "Cpu", block: "TranslationBlock") -> None:
+        pass
+
+    def on_block_exec(self, cpu: "Cpu", block: "TranslationBlock") -> None:
+        pass
+
+    def on_insn_exec(self, cpu: "Cpu", decoded: "Decoded", pc: int) -> None:
+        pass
+
+    def on_mem_access(self, cpu: "Cpu", addr: int, width: int, value: int,
+                      is_store: bool) -> None:
+        pass
+
+    def on_trap(self, cpu: "Cpu", cause: int, pc: int) -> None:
+        pass
+
+    def on_exit(self, code: int) -> None:
+        pass
+
+
+def _overridden(plugin: Plugin, hook: str) -> bool:
+    return getattr(type(plugin), hook) is not getattr(Plugin, hook)
+
+
+class HookTable:
+    """Callback lists compiled from a set of plugins.
+
+    The CPU consults the per-hook lists directly; empty lists make the
+    corresponding fast path branch-free in practice.
+    """
+
+    def __init__(self) -> None:
+        self.plugins: List[Plugin] = []
+        self.block_translate = []
+        self.block_exec = []
+        self.insn_exec = []
+        self.mem_access = []
+        self.trap = []
+        self.exit = []
+
+    def register(self, plugin: Plugin) -> None:
+        self.plugins.append(plugin)
+        if _overridden(plugin, "on_block_translate"):
+            self.block_translate.append(plugin.on_block_translate)
+        if _overridden(plugin, "on_block_exec"):
+            self.block_exec.append(plugin.on_block_exec)
+        if _overridden(plugin, "on_insn_exec"):
+            self.insn_exec.append(plugin.on_insn_exec)
+        if _overridden(plugin, "on_mem_access"):
+            self.mem_access.append(plugin.on_mem_access)
+        if _overridden(plugin, "on_trap"):
+            self.trap.append(plugin.on_trap)
+        if _overridden(plugin, "on_exit"):
+            self.exit.append(plugin.on_exit)
+
+    def unregister(self, plugin: Plugin) -> None:
+        if plugin not in self.plugins:
+            raise ValueError(f"plugin {plugin.name!r} is not registered")
+        self.plugins.remove(plugin)
+        for attr in ("block_translate", "block_exec", "insn_exec",
+                     "mem_access", "trap", "exit"):
+            hooks = getattr(self, attr)
+            bound = getattr(plugin, {
+                "block_translate": "on_block_translate",
+                "block_exec": "on_block_exec",
+                "insn_exec": "on_insn_exec",
+                "mem_access": "on_mem_access",
+                "trap": "on_trap",
+                "exit": "on_exit",
+            }[attr])
+            if bound in hooks:
+                hooks.remove(bound)

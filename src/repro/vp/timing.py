@@ -1,0 +1,116 @@
+"""Micro-architectural timing model shared by the VP and the WCET analysis.
+
+The model assigns each instruction a base cost by operation class plus a
+taken-penalty for redirecting control flow, approximating a simple in-order
+edge core (single-issue, no cache modelling — memory latencies are folded
+into the load/store class costs).
+
+The same object answers two questions:
+
+* :meth:`actual_cost` — cycles consumed by a dynamic instance (the VP's
+  cycle counter), where branch outcome is known, and
+* :meth:`worst_cost` — an upper bound independent of outcome (the static
+  WCET analysis).
+
+Because ``worst_cost(d) >= actual_cost(d, taken)`` holds for every
+instruction by construction, any WCET bound computed from ``worst_cost``
+dominates every observed run on the same VP — the central invariant the QTA
+experiments check.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict
+
+from ..isa.spec import Decoded, InstructionSpec
+
+#: Operation classes the model distinguishes.
+CLASS_ALU = "alu"
+CLASS_MUL = "mul"
+CLASS_DIV = "div"
+CLASS_LOAD = "load"
+CLASS_STORE = "store"
+CLASS_BRANCH = "branch"
+CLASS_JUMP = "jump"
+CLASS_CSR = "csr"
+CLASS_SYSTEM = "system"
+
+_DIV_NAMES = frozenset({"div", "divu", "rem", "remu"})
+_MUL_NAMES = frozenset({"mul", "mulh", "mulhsu", "mulhu"})
+
+
+def classify(spec: InstructionSpec) -> str:
+    """Map an instruction spec to its timing class."""
+    if spec.is_branch:
+        return CLASS_BRANCH
+    if spec.is_jump:
+        return CLASS_JUMP
+    if spec.reads_mem:
+        return CLASS_LOAD
+    if spec.writes_mem:
+        return CLASS_STORE
+    if spec.name in _DIV_NAMES:
+        return CLASS_DIV
+    if spec.name in _MUL_NAMES:
+        return CLASS_MUL
+    if spec.module == "Zicsr":
+        return CLASS_CSR
+    if spec.is_system:
+        return CLASS_SYSTEM
+    return CLASS_ALU
+
+
+@dataclass
+class TimingModel:
+    """Per-class cycle costs plus the taken-redirect penalty.
+
+    The defaults model a small in-order pipeline: single-cycle ALU,
+    early-out 3-cycle multiplier, 34-cycle iterative divider, 2-cycle
+    memory, and a 2-cycle refetch penalty on taken control transfers.
+    """
+
+    class_costs: Dict[str, int] = field(default_factory=lambda: {
+        CLASS_ALU: 1,
+        CLASS_MUL: 3,
+        CLASS_DIV: 34,
+        CLASS_LOAD: 2,
+        CLASS_STORE: 2,
+        CLASS_BRANCH: 1,
+        CLASS_JUMP: 1,
+        CLASS_CSR: 1,
+        CLASS_SYSTEM: 1,
+    })
+    taken_penalty: int = 2
+
+    def __post_init__(self) -> None:
+        for name, cost in self.class_costs.items():
+            if cost < 1:
+                raise ValueError(f"class {name!r} cost must be >= 1, got {cost}")
+        if self.taken_penalty < 0:
+            raise ValueError("taken penalty must be non-negative")
+        # Per-spec cache: specs are interned per table so id() is stable.
+        self._base_cache: Dict[int, int] = {}
+
+    def base_cost(self, d: Decoded) -> int:
+        """Cost excluding any control-transfer penalty."""
+        key = id(d.spec)
+        cached = self._base_cache.get(key)
+        if cached is None:
+            cached = self.class_costs[classify(d.spec)]
+            self._base_cache[key] = cached
+        return cached
+
+    def actual_cost(self, d: Decoded, redirected: bool) -> int:
+        """Cycles for a dynamic instance; ``redirected`` = pc was changed."""
+        cost = self.base_cost(d)
+        if redirected:
+            cost += self.taken_penalty
+        return cost
+
+    def worst_cost(self, d: Decoded) -> int:
+        """Outcome-independent upper bound on :meth:`actual_cost`."""
+        cost = self.base_cost(d)
+        if d.spec.is_branch or d.spec.is_jump:
+            cost += self.taken_penalty
+        return cost

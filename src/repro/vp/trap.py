@@ -1,0 +1,79 @@
+"""Trap and machine-exit control flow for the virtual prototype."""
+
+from __future__ import annotations
+
+from ..isa import csr as csrdef
+
+
+class Trap(Exception):
+    """A synchronous exception or interrupt being taken.
+
+    Raised by instruction semantics / the bus and caught by the CPU's
+    execution loop, which performs the machine-mode trap entry.
+    """
+
+    def __init__(self, cause: int, tval: int = 0) -> None:
+        super().__init__(f"trap cause={cause:#x} tval={tval:#x}")
+        self.cause = cause
+        self.tval = tval
+
+    @property
+    def is_interrupt(self) -> bool:
+        return bool(self.cause & csrdef.INTERRUPT_BIT)
+
+
+class MachineExit(Exception):
+    """The simulated program terminated (exit device write or exit ecall)."""
+
+    def __init__(self, code: int) -> None:
+        super().__init__(f"machine exit with code {code}")
+        self.code = code
+
+
+class UnhandledTrap(Exception):
+    """A trap occurred with no handler installed (``mtvec`` still 0).
+
+    Bare-metal programs that never set up a trap vector cannot meaningfully
+    re-enter at address 0; the CPU stops the run instead and reports the
+    original cause, which the fault-injection classifier records as a
+    hardware-detected failure.
+    """
+
+    def __init__(self, cause: int, tval: int, pc: int) -> None:
+        super().__init__(
+            f"unhandled trap at pc={pc:#010x}: {cause_name(cause)} "
+            f"(tval={tval:#x})"
+        )
+        self.cause = cause
+        self.tval = tval
+        self.pc = pc
+
+
+class BusError(Exception):
+    """An access to an unmapped or out-of-range physical address."""
+
+    def __init__(self, addr: int, message: str = "") -> None:
+        super().__init__(message or f"bus error at {addr:#010x}")
+        self.addr = addr
+
+
+#: Human-readable names for mcause values, for reports and debugging.
+CAUSE_NAMES = {
+    csrdef.CAUSE_MISALIGNED_FETCH: "instruction address misaligned",
+    csrdef.CAUSE_FETCH_ACCESS: "instruction access fault",
+    csrdef.CAUSE_ILLEGAL_INSTRUCTION: "illegal instruction",
+    csrdef.CAUSE_BREAKPOINT: "breakpoint",
+    csrdef.CAUSE_MISALIGNED_LOAD: "load address misaligned",
+    csrdef.CAUSE_LOAD_ACCESS: "load access fault",
+    csrdef.CAUSE_MISALIGNED_STORE: "store address misaligned",
+    csrdef.CAUSE_STORE_ACCESS: "store access fault",
+    csrdef.CAUSE_ECALL_M: "environment call from M-mode",
+    csrdef.CAUSE_MACHINE_SOFTWARE_INT: "machine software interrupt",
+    csrdef.CAUSE_MACHINE_TIMER_INT: "machine timer interrupt",
+    csrdef.CAUSE_MACHINE_EXTERNAL_INT: "machine external interrupt",
+}
+
+
+def cause_name(cause: int) -> str:
+    """Name for an mcause value (falls back to hex)."""
+    return CAUSE_NAMES.get(cause, f"cause {cause:#x}")

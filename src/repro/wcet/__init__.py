@@ -1,0 +1,76 @@
+"""WCET analysis and QTA co-simulation.
+
+The pipeline mirrors the QEMU Timing Analyzer tool demo:
+
+1. :func:`build_cfg` — reconstruct the control-flow graph from the binary.
+2. :func:`run_ait_analysis` — static per-block timing (the synthetic aiT
+   substitute) producing an :class:`AitReport`.
+3. :func:`preprocess` (``ait2qta``) — the WCET-annotated CFG
+   (:class:`WcetCfg`).
+4. :func:`compute_wcet_bound` — the static IPET bound.
+5. :class:`QtaPlugin` / :func:`analyze_program` — co-simulation of binary
+   and annotated CFG on the virtual prototype.
+"""
+
+from .ait import AitBlock, AitEdge, AitReport, run_ait_analysis
+from .ait2qta import WcetCfg, WcetNode, preprocess
+from .bounds import AnnotationError, loop_bounds_from_source
+from .cacheanalysis import CacheClassification, PersistentLoop, classify
+from .dot import cfg_to_dot, wcet_cfg_to_dot
+from .cfg import (
+    BasicBlock,
+    Cfg,
+    CfgBuilder,
+    CfgError,
+    KIND_BRANCH,
+    KIND_CALL,
+    KIND_EXIT,
+    KIND_FALLTHROUGH,
+    KIND_INDIRECT,
+    KIND_JUMP,
+    KIND_RET,
+    build_cfg,
+)
+from .ipet import WcetBound, WcetError, compute_wcet_bound
+from .qta import QtaAnalysis, QtaError, QtaPlugin, QtaResult, analyze_program
+from .report import render_block_table, render_full, render_summary
+
+__all__ = [
+    "AitBlock",
+    "AitEdge",
+    "AitReport",
+    "AnnotationError",
+    "BasicBlock",
+    "CacheClassification",
+    "Cfg",
+    "PersistentLoop",
+    "classify",
+    "CfgBuilder",
+    "CfgError",
+    "KIND_BRANCH",
+    "KIND_CALL",
+    "KIND_EXIT",
+    "KIND_FALLTHROUGH",
+    "KIND_INDIRECT",
+    "KIND_JUMP",
+    "KIND_RET",
+    "QtaAnalysis",
+    "QtaError",
+    "QtaPlugin",
+    "QtaResult",
+    "WcetBound",
+    "WcetCfg",
+    "WcetError",
+    "WcetNode",
+    "analyze_program",
+    "build_cfg",
+    "cfg_to_dot",
+    "wcet_cfg_to_dot",
+    "compute_wcet_bound",
+    "loop_bounds_from_source",
+    "preprocess",
+    "render_block_table",
+    "render_full",
+    "render_summary",
+    "run_ait_analysis",
+]

@@ -1,0 +1,302 @@
+"""Synthetic aiT-style WCET reports.
+
+The real QTA flow starts from an aiT (AbsInt) analysis report for the
+binary.  aiT is proprietary, so this module implements the closest
+open substitute (see DESIGN.md): a static per-block timing analysis over
+the reconstructed CFG using the VP's own :class:`~repro.vp.timing.TimingModel`,
+emitted in an aiT-like XML report.  The ``ait2qta`` preprocessor
+(:mod:`repro.wcet.ait2qta`) consumes only this report — exactly as the real
+preprocessor consumes only aiT's output — so the downstream pipeline is
+format-faithful.
+"""
+
+from __future__ import annotations
+
+import xml.etree.ElementTree as ET
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from ..asm import Program
+from ..vp.timing import TimingModel
+from .cfg import Cfg, build_cfg
+
+
+@dataclass
+class AitBlock:
+    """One analyzed basic block with its worst-case cycle count."""
+
+    block_id: int
+    start: int
+    end: int
+    wcet: int
+    insn_count: int
+    kind: str
+
+
+@dataclass
+class AitEdge:
+    """Worst-case time to run from entering ``src`` until reaching ``dst``.
+
+    ``kind`` distinguishes ordinary control flow ("cf") from interprocedural
+    "call" and "return" edges, which the IPET solver constrains pairwise
+    instead of treating as loops.
+    """
+
+    src: int
+    dst: int
+    time: int
+    kind: str = "cf"
+
+
+@dataclass
+class AitCallRecord:
+    """One call site: which rets may return to which site.
+
+    Used by IPET to couple return-edge flow to call-edge flow
+    (``sum of f(ret -> return_site) <= f(call -> callee)``).
+    """
+
+    call_block: int
+    callee: int
+    return_site: int
+    ret_blocks: List[int] = field(default_factory=list)
+
+
+@dataclass
+class AitReport:
+    """The analysis result: blocks, timed edges, loop bounds, metadata."""
+
+    program_name: str
+    isa_name: str
+    entry_block: int
+    blocks: List[AitBlock] = field(default_factory=list)
+    edges: List[AitEdge] = field(default_factory=list)
+    #: block_id of a loop header -> max iterations per loop entry
+    loop_bounds: Dict[int, int] = field(default_factory=dict)
+    call_records: List[AitCallRecord] = field(default_factory=list)
+
+    def block_by_id(self, block_id: int) -> AitBlock:
+        for block in self.blocks:
+            if block.block_id == block_id:
+                return block
+        raise KeyError(f"no aiT block with id {block_id}")
+
+    def block_by_start(self, addr: int) -> AitBlock:
+        for block in self.blocks:
+            if block.start == addr:
+                return block
+        raise KeyError(f"no aiT block starting at {addr:#x}")
+
+    # -- XML (de)serialisation ------------------------------------------
+
+    def to_xml(self) -> str:
+        root = ET.Element("ait_report", {
+            "program": self.program_name,
+            "isa": self.isa_name,
+            "entry": str(self.entry_block),
+        })
+        blocks_el = ET.SubElement(root, "blocks")
+        for block in self.blocks:
+            ET.SubElement(blocks_el, "block", {
+                "id": str(block.block_id),
+                "start": f"{block.start:#x}",
+                "end": f"{block.end:#x}",
+                "wcet": str(block.wcet),
+                "instructions": str(block.insn_count),
+                "kind": block.kind,
+            })
+        edges_el = ET.SubElement(root, "edges")
+        for edge in self.edges:
+            ET.SubElement(edges_el, "edge", {
+                "src": str(edge.src),
+                "dst": str(edge.dst),
+                "time": str(edge.time),
+                "kind": edge.kind,
+            })
+        calls_el = ET.SubElement(root, "calls")
+        for record in self.call_records:
+            ET.SubElement(calls_el, "call", {
+                "block": str(record.call_block),
+                "callee": str(record.callee),
+                "return_site": str(record.return_site),
+                "rets": ",".join(str(r) for r in record.ret_blocks),
+            })
+        bounds_el = ET.SubElement(root, "loop_bounds")
+        for block_id, bound in sorted(self.loop_bounds.items()):
+            ET.SubElement(bounds_el, "loop", {
+                "header": str(block_id),
+                "max_iterations": str(bound),
+            })
+        ET.indent(root)
+        return ET.tostring(root, encoding="unicode")
+
+    @classmethod
+    def from_xml(cls, text: str) -> "AitReport":
+        root = ET.fromstring(text)
+        if root.tag != "ait_report":
+            raise ValueError("not an aiT report")
+        report = cls(
+            program_name=root.attrib["program"],
+            isa_name=root.attrib["isa"],
+            entry_block=int(root.attrib["entry"]),
+        )
+        for el in root.find("blocks") or ():
+            report.blocks.append(AitBlock(
+                block_id=int(el.attrib["id"]),
+                start=int(el.attrib["start"], 0),
+                end=int(el.attrib["end"], 0),
+                wcet=int(el.attrib["wcet"]),
+                insn_count=int(el.attrib["instructions"]),
+                kind=el.attrib["kind"],
+            ))
+        for el in root.find("edges") or ():
+            report.edges.append(AitEdge(
+                src=int(el.attrib["src"]),
+                dst=int(el.attrib["dst"]),
+                time=int(el.attrib["time"]),
+                kind=el.attrib.get("kind", "cf"),
+            ))
+        calls = root.find("calls")
+        if calls is not None:
+            for el in calls:
+                rets = el.attrib.get("rets", "")
+                report.call_records.append(AitCallRecord(
+                    call_block=int(el.attrib["block"]),
+                    callee=int(el.attrib["callee"]),
+                    return_site=int(el.attrib["return_site"]),
+                    ret_blocks=[int(r) for r in rets.split(",") if r],
+                ))
+        bounds = root.find("loop_bounds")
+        if bounds is not None:
+            for el in bounds:
+                report.loop_bounds[int(el.attrib["header"])] = \
+                    int(el.attrib["max_iterations"])
+        return report
+
+
+def run_ait_analysis(
+    program: Program,
+    loop_bounds: Optional[Dict[int, int]] = None,
+    timing: Optional[TimingModel] = None,
+    name: str = "program",
+    cfg: Optional[Cfg] = None,
+    edge_sensitive: bool = False,
+    icache=None,
+    cache_analysis: bool = False,
+) -> AitReport:
+    """Statically analyze ``program`` and produce a synthetic aiT report.
+
+    ``loop_bounds`` maps loop-header *addresses* to maximum iteration
+    counts per loop entry (aiT gets these from annotations; so do we —
+    see :func:`repro.wcet.bounds.loop_bounds_from_source`).
+
+    With ``edge_sensitive=True`` the analysis exploits the "current
+    execution context" part of the QTA edge semantics: a conditional
+    branch's *fall-through* edge is not charged the taken-redirect
+    penalty, which tightens both the QTA path time and the IPET bound on
+    branchy code while remaining a sound per-edge upper bound.
+
+    ``icache`` (an :class:`~repro.vp.icache.ICacheConfig`) enables the
+    miss-always fetch abstraction: every execution of a block is charged a
+    full miss for each cache line the block spans — a sound upper bound on
+    any dynamic cache state, matching a VP configured with the same cache.
+    With ``cache_analysis=True`` the loop-persistence analysis
+    (:mod:`repro.wcet.cacheanalysis`) instead charges fitting loops once
+    per loop *entry*, dramatically tightening hot loops while remaining
+    sound.
+    """
+    timing = timing or TimingModel()
+    cfg = cfg or build_cfg(program)
+    loop_bounds = loop_bounds or {}
+
+    block_ids: Dict[int, int] = {}
+    for index, start in enumerate(sorted(cfg.blocks)):
+        block_ids[start] = index
+
+    report = AitReport(
+        program_name=name,
+        isa_name=program.isa_name,
+        entry_block=block_ids[cfg.entry],
+    )
+    cache_classes = None
+    if icache is not None and cache_analysis:
+        from .cacheanalysis import classify
+        cache_classes = classify(cfg, icache)
+
+    block_wcet: Dict[int, int] = {}
+    for start in sorted(cfg.blocks):
+        block = cfg.blocks[start]
+        wcet = sum(timing.worst_cost(d) for d in block.insns)
+        if cache_classes is not None:
+            wcet += cache_classes.block_fetch_cost(start, block.start,
+                                                   block.end)
+        elif icache is not None:
+            # Miss-always: every line the block spans costs a full fill.
+            wcet += icache.lines_spanned(block.start, block.end) \
+                * icache.miss_penalty
+        block_wcet[start] = wcet
+        report.blocks.append(AitBlock(
+            block_id=block_ids[start],
+            start=block.start,
+            end=block.end,
+            wcet=wcet,
+            insn_count=len(block),
+            kind=block.kind,
+        ))
+    from .cfg import KIND_CALL, KIND_RET
+
+    ret_blocks_of_function: Dict[int, List[int]] = {}
+    for fentry, members in cfg.functions.items():
+        ret_blocks_of_function[fentry] = [
+            addr for addr in members
+            if addr in cfg.blocks and cfg.blocks[addr].kind == KIND_RET
+        ]
+    from .cfg import KIND_BRANCH
+
+    for src, dst in cfg.edges:
+        # QTA edge semantics: worst-case time to run from the source block's
+        # entry until control reaches the target block.
+        src_block = cfg.blocks[src]
+        if src_block.kind == KIND_CALL and dst == src_block.call_target:
+            kind = "call"
+        elif src_block.kind == KIND_RET:
+            kind = "return"
+        else:
+            kind = "cf"
+        time = block_wcet[src]
+        if edge_sensitive and src_block.kind == KIND_BRANCH:
+            terminator = src_block.terminator
+            taken_target = (src_block.pcs[-1] + terminator.imm) & 0xFFFFFFFF
+            if dst != taken_target:
+                # Fall-through edge: the branch did not redirect, so the
+                # taken penalty cannot have been paid on this edge.
+                time = (block_wcet[src] - timing.worst_cost(terminator)
+                        + timing.base_cost(terminator))
+        if cache_classes is not None:
+            # Persistent-loop fills are charged on the entry edges.
+            time += cache_classes.edge_fetch_cost(src, dst)
+        report.edges.append(AitEdge(
+            src=block_ids[src],
+            dst=block_ids[dst],
+            time=time,
+            kind=kind,
+        ))
+    for src in sorted(cfg.blocks):
+        block = cfg.blocks[src]
+        if block.kind != KIND_CALL or block.call_target is None \
+                or block.return_site is None:
+            continue
+        rets = ret_blocks_of_function.get(block.call_target, [])
+        report.call_records.append(AitCallRecord(
+            call_block=block_ids[src],
+            callee=block_ids[block.call_target],
+            return_site=block_ids[block.return_site],
+            ret_blocks=sorted(block_ids[r] for r in rets),
+        ))
+    for addr, bound in loop_bounds.items():
+        if addr not in block_ids:
+            raise ValueError(
+                f"loop bound given for {addr:#x}, which is not a block start"
+            )
+        report.loop_bounds[block_ids[addr]] = bound
+    return report

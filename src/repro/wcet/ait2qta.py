@@ -1,0 +1,177 @@
+"""The ``ait2qta`` preprocessor and the QTA intermediate CFG format.
+
+The tool-demo flow: *"In the preprocessing of the aiT report a
+WCET-annotated control-flow graph is produced.  Nodes in the CFG correspond
+to the aiT blocks and the edges to the worst-case time consumption to run
+the program from the source to the target block in the current execution
+context."*  This module is that preprocessor plus the line-oriented
+intermediate format (the "Kontrollflusszwischenformat") that QEMU/QTA — here
+:class:`repro.wcet.qta.QtaPlugin` — loads alongside the binary.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from .ait import AitCallRecord, AitReport
+
+
+@dataclass
+class WcetNode:
+    """A node of the WCET-annotated CFG (one aiT block)."""
+
+    node_id: int
+    start: int
+    end: int
+    wcet: int
+    kind: str = "fallthrough"
+
+    def contains(self, addr: int) -> bool:
+        return self.start <= addr < self.end
+
+
+@dataclass
+class WcetCfg:
+    """The WCET-annotated CFG consumed by the QTA plugin."""
+
+    entry: int  # node id
+    nodes: Dict[int, WcetNode] = field(default_factory=dict)
+    #: (src id, dst id) -> worst-case transition time
+    edges: Dict[Tuple[int, int], int] = field(default_factory=dict)
+    #: (src id, dst id) -> "cf" | "call" | "return"
+    edge_kinds: Dict[Tuple[int, int], str] = field(default_factory=dict)
+    #: loop-header node id -> max iterations per entry
+    loop_bounds: Dict[int, int] = field(default_factory=dict)
+    call_records: List[AitCallRecord] = field(default_factory=list)
+    name: str = "program"
+
+    def edge_kind(self, edge: Tuple[int, int]) -> str:
+        return self.edge_kinds.get(edge, "cf")
+
+    def node_at(self, addr: int) -> Optional[WcetNode]:
+        for node in self.nodes.values():
+            if node.contains(addr):
+                return node
+        return None
+
+    @property
+    def node_by_start(self) -> Dict[int, int]:
+        return {node.start: node.node_id for node in self.nodes.values()}
+
+    def successors(self, node_id: int) -> List[int]:
+        return [dst for (src, dst) in self.edges if src == node_id]
+
+    def total_wcet_of_path(self, node_ids: List[int]) -> int:
+        """Worst-case time of a concrete node path (QTA accumulation rule).
+
+        Each edge contributes its annotated transition time; the final node
+        contributes its own WCET (execution must still leave it).
+        """
+        if not node_ids:
+            return 0
+        total = 0
+        for src, dst in zip(node_ids, node_ids[1:]):
+            try:
+                total += self.edges[(src, dst)]
+            except KeyError:
+                raise KeyError(
+                    f"path uses edge {src}->{dst} absent from the WCET CFG"
+                ) from None
+        return total + self.nodes[node_ids[-1]].wcet
+
+    # ------------------------------------------------------------------
+    # The line-oriented intermediate format:
+    #
+    #   qta-cfg v1 <name>
+    #   entry <node id>
+    #   node <id> <start hex> <end hex> <wcet> <kind>
+    #   edge <src> <dst> <time>
+    #   loop <header id> <max iterations>
+    # ------------------------------------------------------------------
+
+    def to_text(self) -> str:
+        lines = [f"qta-cfg v1 {self.name}", f"entry {self.entry}"]
+        for node_id in sorted(self.nodes):
+            node = self.nodes[node_id]
+            lines.append(
+                f"node {node.node_id} {node.start:#x} {node.end:#x} "
+                f"{node.wcet} {node.kind}"
+            )
+        for (src, dst), time in sorted(self.edges.items()):
+            kind = self.edge_kind((src, dst))
+            lines.append(f"edge {src} {dst} {time} {kind}")
+        for header, bound in sorted(self.loop_bounds.items()):
+            lines.append(f"loop {header} {bound}")
+        for record in self.call_records:
+            rets = ",".join(str(r) for r in record.ret_blocks) or "-"
+            lines.append(
+                f"call {record.call_block} {record.callee} "
+                f"{record.return_site} {rets}"
+            )
+        return "\n".join(lines) + "\n"
+
+    @classmethod
+    def from_text(cls, text: str) -> "WcetCfg":
+        lines = [line.strip() for line in text.splitlines() if line.strip()]
+        if not lines or not lines[0].startswith("qta-cfg v1"):
+            raise ValueError("not a QTA intermediate CFG")
+        cfg = cls(entry=0, name=lines[0].split(None, 2)[2]
+                  if len(lines[0].split(None, 2)) > 2 else "program")
+        for line in lines[1:]:
+            parts = line.split()
+            if parts[0] == "entry":
+                cfg.entry = int(parts[1])
+            elif parts[0] == "node":
+                node = WcetNode(
+                    node_id=int(parts[1]),
+                    start=int(parts[2], 0),
+                    end=int(parts[3], 0),
+                    wcet=int(parts[4]),
+                    kind=parts[5] if len(parts) > 5 else "fallthrough",
+                )
+                cfg.nodes[node.node_id] = node
+            elif parts[0] == "edge":
+                key = (int(parts[1]), int(parts[2]))
+                cfg.edges[key] = int(parts[3])
+                if len(parts) > 4:
+                    cfg.edge_kinds[key] = parts[4]
+            elif parts[0] == "loop":
+                cfg.loop_bounds[int(parts[1])] = int(parts[2])
+            elif parts[0] == "call":
+                rets = [] if parts[4] == "-" else \
+                    [int(r) for r in parts[4].split(",")]
+                cfg.call_records.append(AitCallRecord(
+                    call_block=int(parts[1]),
+                    callee=int(parts[2]),
+                    return_site=int(parts[3]),
+                    ret_blocks=rets,
+                ))
+            else:
+                raise ValueError(f"unknown record {parts[0]!r}")
+        if cfg.entry not in cfg.nodes:
+            raise ValueError("entry node missing from CFG")
+        return cfg
+
+
+def preprocess(report: AitReport) -> WcetCfg:
+    """``ait2qta``: turn an aiT report into the WCET-annotated CFG."""
+    cfg = WcetCfg(entry=report.entry_block, name=report.program_name)
+    for block in report.blocks:
+        cfg.nodes[block.block_id] = WcetNode(
+            node_id=block.block_id,
+            start=block.start,
+            end=block.end,
+            wcet=block.wcet,
+            kind=block.kind,
+        )
+    for edge in report.edges:
+        if edge.src not in cfg.nodes or edge.dst not in cfg.nodes:
+            raise ValueError(
+                f"aiT edge {edge.src}->{edge.dst} references unknown blocks"
+            )
+        cfg.edges[(edge.src, edge.dst)] = edge.time
+        cfg.edge_kinds[(edge.src, edge.dst)] = edge.kind
+    cfg.loop_bounds = dict(report.loop_bounds)
+    cfg.call_records = list(report.call_records)
+    return cfg

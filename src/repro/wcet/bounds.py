@@ -1,0 +1,66 @@
+"""Loop-bound annotations.
+
+aiT reads flow facts from annotation files; the equivalent here is a
+source-level annotation comment next to the loop label::
+
+    loop:                 # @loopbound 100
+        addi t0, t0, 1
+        blt t0, t1, loop
+
+The bound states the maximum number of times the *header block* (the block
+the label starts) executes per entry into the loop.  Annotations are
+extracted from the assembly text and resolved to addresses through the
+assembled program's symbol table.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Dict
+
+from ..asm import Program
+
+_ANNOTATION_RE = re.compile(
+    r"^\s*([A-Za-z_.$][\w.$]*):.*#\s*@loopbound\s+(\d+)\s*$"
+)
+_STANDALONE_RE = re.compile(
+    r"^\s*#\s*@loopbound\s+([A-Za-z_.$][\w.$]*)\s+(\d+)\s*$"
+)
+
+
+class AnnotationError(Exception):
+    """An annotation references an unknown label or is malformed."""
+
+
+def loop_bounds_from_source(source: str, program: Program) -> Dict[int, int]:
+    """Extract ``@loopbound`` annotations and resolve them to addresses.
+
+    Two forms are recognised::
+
+        label:  ...        # @loopbound N     (attached to the label line)
+        # @loopbound label N                  (standalone)
+
+    Returns a mapping from loop-header address to iteration bound, ready
+    for :func:`repro.wcet.ait.run_ait_analysis`.
+    """
+    bounds: Dict[int, int] = {}
+    for line_no, line in enumerate(source.splitlines(), start=1):
+        attached = _ANNOTATION_RE.match(line)
+        if attached:
+            label, bound = attached.group(1), int(attached.group(2))
+        else:
+            standalone = _STANDALONE_RE.match(line)
+            if not standalone:
+                continue
+            label, bound = standalone.group(1), int(standalone.group(2))
+        if bound < 1:
+            raise AnnotationError(
+                f"line {line_no}: loop bound must be >= 1, got {bound}"
+            )
+        if label not in program.symbols:
+            raise AnnotationError(
+                f"line {line_no}: @loopbound references unknown label "
+                f"{label!r}"
+            )
+        bounds[program.symbols[label]] = bound
+    return bounds

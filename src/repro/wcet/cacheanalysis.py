@@ -1,0 +1,186 @@
+"""Static instruction-cache persistence analysis.
+
+The miss-always abstraction (every block execution misses every line it
+spans) is sound but brutally pessimistic for hot loops — experiment A6
+measures pessimism growing linearly with the miss penalty.  This module
+implements the classic tightening: **loop persistence**.  For a natural
+loop whose instruction lines all fit in the cache (per set, at most
+``ways`` lines), no line of the loop can be evicted while execution stays
+inside it; each line therefore misses at most once per *loop entry*, not
+once per iteration.
+
+The analysis:
+
+1. find natural loops on the ordinary-control-flow subgraph of the CFG
+   (call/return edges excluded; loops containing calls are disqualified —
+   the callee's fetches could evict loop lines),
+2. per loop, collect the cache lines its blocks span and check the per-set
+   fit criterion,
+3. assign every block to its innermost persistent loop (if any).
+
+Integration with the WCET pipeline (:func:`repro.wcet.ait.run_ait_analysis`
+with ``cache_analysis=True``): blocks inside a persistent loop carry *no*
+per-execution fetch cost; instead the loop's full fill cost is charged on
+every edge *entering* the loop from outside.  Soundness: between two loop
+entries anything may have been evicted (the entry recharges everything),
+and within one entry the fit criterion rules out eviction, so actual
+misses per entry never exceed the charged fill.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, List, Optional, Set, Tuple
+
+from ..vp.icache import ICacheConfig
+from .cfg import Cfg, KIND_CALL, KIND_RET
+
+
+@dataclass
+class PersistentLoop:
+    """A loop whose instruction lines are never evicted while inside."""
+
+    header: int                      # block start address
+    body: FrozenSet[int]             # block start addresses
+    lines: FrozenSet[int]            # cache line numbers
+    fill_cost: int                   # cycles to fault in every line once
+    entry_edges: Tuple[Tuple[int, int], ...]  # (src, dst) from outside
+
+
+@dataclass
+class CacheClassification:
+    """Result of the persistence analysis for one program + cache."""
+
+    icache: ICacheConfig
+    loops: List[PersistentLoop] = field(default_factory=list)
+    #: block start -> innermost persistent loop (index into ``loops``)
+    block_loop: Dict[int, int] = field(default_factory=dict)
+
+    def block_fetch_cost(self, block_start: int, start: int, end: int) -> int:
+        """Per-execution fetch cost of a block under the classification."""
+        if block_start in self.block_loop:
+            return 0  # charged at the loop entry instead
+        return self.icache.lines_spanned(start, end) * self.icache.miss_penalty
+
+    def edge_fetch_cost(self, src: int, dst: int) -> int:
+        """Extra fetch cost charged on edge (src, dst): loop fills."""
+        extra = 0
+        for loop in self.loops:
+            if (src, dst) in loop.entry_edges:
+                extra += loop.fill_cost
+        return extra
+
+
+def _cf_edges(cfg: Cfg) -> List[Tuple[int, int]]:
+    edges = []
+    for block in cfg.blocks.values():
+        if block.kind in (KIND_CALL, KIND_RET):
+            continue
+        for succ in block.successors:
+            edges.append((block.start, succ))
+    return edges
+
+
+def _dominators(cfg: Cfg, edges: List[Tuple[int, int]]) -> Dict[int, Set[int]]:
+    nodes = set(cfg.blocks)
+    preds: Dict[int, List[int]] = {n: [] for n in nodes}
+    for src, dst in edges:
+        if dst in preds:
+            preds[dst].append(src)
+    dom: Dict[int, Set[int]] = {n: set(nodes) for n in nodes}
+    dom[cfg.entry] = {cfg.entry}
+    changed = True
+    while changed:
+        changed = False
+        for node in nodes:
+            if node == cfg.entry:
+                continue
+            pred_doms = [dom[p] for p in preds[node]]
+            new = (set.intersection(*pred_doms) if pred_doms else set()) \
+                | {node}
+            if new != dom[node]:
+                dom[node] = new
+                changed = True
+    return dom
+
+
+def _natural_loop(header: int, tail: int,
+                  preds: Dict[int, List[int]]) -> Set[int]:
+    """Blocks of the natural loop of back edge (tail -> header)."""
+    body = {header, tail}
+    stack = [tail]
+    while stack:
+        node = stack.pop()
+        if node == header:
+            continue
+        for pred in preds.get(node, ()):
+            if pred not in body:
+                body.add(pred)
+                stack.append(pred)
+    return body
+
+
+def _loop_lines(cfg: Cfg, body: Set[int], icache: ICacheConfig) -> Set[int]:
+    lines: Set[int] = set()
+    for addr in body:
+        block = cfg.blocks[addr]
+        first = block.start // icache.line_size
+        last = (block.end - 1) // icache.line_size
+        lines.update(range(first, last + 1))
+    return lines
+
+
+def _fits(lines: Set[int], icache: ICacheConfig) -> bool:
+    per_set: Dict[int, int] = {}
+    for line in lines:
+        index = line % icache.num_sets
+        per_set[index] = per_set.get(index, 0) + 1
+        if per_set[index] > icache.ways:
+            return False
+    return True
+
+
+def classify(cfg: Cfg, icache: ICacheConfig) -> CacheClassification:
+    """Run the persistence analysis for ``cfg`` under ``icache``."""
+    edges = _cf_edges(cfg)
+    preds: Dict[int, List[int]] = {}
+    for src, dst in edges:
+        preds.setdefault(dst, []).append(src)
+    dom = _dominators(cfg, edges)
+    back = [(src, dst) for src, dst in edges if dst in dom.get(src, set())]
+
+    # Merge natural loops sharing a header.
+    bodies: Dict[int, Set[int]] = {}
+    for tail, header in back:
+        body = _natural_loop(header, tail, preds)
+        bodies.setdefault(header, set()).update(body)
+
+    classification = CacheClassification(icache=icache)
+    for header, body in sorted(bodies.items(), key=lambda kv: len(kv[1])):
+        # Disqualify loops that leave ordinary control flow: callee code
+        # could evict loop lines.
+        if any(cfg.blocks[addr].kind in (KIND_CALL, KIND_RET)
+               for addr in body):
+            continue
+        lines = _loop_lines(cfg, body, icache)
+        if not _fits(lines, icache):
+            continue
+        entry_edges = tuple(
+            (src, dst) for src, dst in cfg.edges
+            if dst == header and src not in body
+        )
+        if not entry_edges:
+            continue  # unreachable or entry-header loop; keep miss-always
+        loop_index = len(classification.loops)
+        classification.loops.append(PersistentLoop(
+            header=header,
+            body=frozenset(body),
+            lines=frozenset(lines),
+            fill_cost=len(lines) * icache.miss_penalty,
+            entry_edges=entry_edges,
+        ))
+        # Innermost wins: bodies are processed smallest-first, so only
+        # blocks not yet claimed are assigned.
+        for addr in body:
+            classification.block_loop.setdefault(addr, loop_index)
+    return classification

@@ -1,0 +1,356 @@
+"""Control-flow graph reconstruction from program binaries.
+
+The CFG builder performs recursive-traversal disassembly from the entry
+point, splits code at *leaders* (branch targets, post-terminator addresses),
+and classifies every block terminator.  Calls (``jal``/``jalr`` writing a
+link register) are handled interprocedurally: each function (the program
+entry plus every call target) is partitioned intraprocedurally, and a
+``ret`` block's successors are the return sites of all calls into its
+function — a sound overapproximation for context-insensitive analysis.
+
+The result is the substrate for both the synthetic aiT analysis
+(:mod:`repro.wcet.ait`) and the IPET bound (:mod:`repro.wcet.ipet`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Set, Tuple
+
+from ..asm import Program
+from ..isa import Decoded, Decoder, IllegalInstructionError, IsaConfig
+
+# Terminator kinds.
+KIND_BRANCH = "branch"          # conditional: taken target + fallthrough
+KIND_JUMP = "jump"              # unconditional direct jump
+KIND_CALL = "call"              # jal/jalr with a link register
+KIND_RET = "ret"                # jalr zero, ra, 0
+KIND_INDIRECT = "indirect"      # computed jump we cannot resolve
+KIND_EXIT = "exit"              # ecall/ebreak/wfi: leaves the program
+KIND_FALLTHROUGH = "fallthrough"
+
+LINK_REGS = (1, 5)  # ra and t5 per the RISC-V calling convention
+
+
+class CfgError(Exception):
+    """Raised when a binary cannot be turned into an analyzable CFG."""
+
+
+@dataclass
+class BasicBlock:
+    """A maximal straight-line instruction sequence."""
+
+    start: int
+    insns: List[Decoded] = field(default_factory=list)
+    pcs: List[int] = field(default_factory=list)
+    kind: str = KIND_FALLTHROUGH
+    #: Interprocedural successors: calls go to the callee entry, rets to
+    #: every return site of the function's callers.
+    successors: List[int] = field(default_factory=list)
+    #: For KIND_CALL: the callee entry (None for indirect calls).
+    call_target: Optional[int] = None
+    #: For KIND_CALL: where execution resumes after the callee returns.
+    return_site: Optional[int] = None
+
+    @property
+    def end(self) -> int:
+        """First address after the block."""
+        return self.pcs[-1] + self.insns[-1].spec.length
+
+    @property
+    def terminator(self) -> Decoded:
+        return self.insns[-1]
+
+    def __len__(self) -> int:
+        return len(self.insns)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (f"BasicBlock({self.start:#x}..{self.end:#x}, {self.kind}, "
+                f"succ={[hex(s) for s in self.successors]})")
+
+
+@dataclass
+class Cfg:
+    """A whole-program CFG with function partitioning."""
+
+    entry: int
+    blocks: Dict[int, BasicBlock]
+    #: function entry address -> set of block start addresses
+    functions: Dict[int, Set[int]]
+    symbols: Dict[str, int] = field(default_factory=dict)
+
+    def block_at(self, addr: int) -> BasicBlock:
+        try:
+            return self.blocks[addr]
+        except KeyError:
+            raise CfgError(f"no basic block starts at {addr:#x}") from None
+
+    def block_containing(self, addr: int) -> BasicBlock:
+        for block in self.blocks.values():
+            if block.start <= addr < block.end:
+                return block
+        raise CfgError(f"address {addr:#x} not in any block")
+
+    @property
+    def edges(self) -> List[Tuple[int, int]]:
+        out = []
+        for block in self.blocks.values():
+            for succ in block.successors:
+                out.append((block.start, succ))
+        return out
+
+    def successors_of(self, addr: int) -> List[int]:
+        return list(self.block_at(addr).successors)
+
+    def predecessors_of(self, addr: int) -> List[int]:
+        return [b.start for b in self.blocks.values() if addr in b.successors]
+
+    def function_of(self, block_addr: int) -> Optional[int]:
+        for entry, members in self.functions.items():
+            if block_addr in members:
+                return entry
+        return None
+
+    def back_edges(self) -> List[Tuple[int, int]]:
+        """Edges (u, v) where v dominates u — natural-loop back edges.
+
+        Uses a simple iterative dominator computation over the whole graph
+        (call/return edges included), which is what the loop-bound
+        constraints in IPET key on.
+        """
+        dominators = self._dominators()
+        return [
+            (u, v) for u, v in self.edges
+            if v in dominators.get(u, set())
+        ]
+
+    def _dominators(self) -> Dict[int, Set[int]]:
+        nodes = set(self.blocks)
+        preds: Dict[int, List[int]] = {n: [] for n in nodes}
+        for u, v in self.edges:
+            if v in preds:
+                preds[v].append(u)
+        dom: Dict[int, Set[int]] = {n: set(nodes) for n in nodes}
+        dom[self.entry] = {self.entry}
+        changed = True
+        while changed:
+            changed = False
+            for node in nodes:
+                if node == self.entry:
+                    continue
+                pred_doms = [dom[p] for p in preds[node]]
+                new = set.intersection(*pred_doms) if pred_doms else set()
+                new = new | {node}
+                if new != dom[node]:
+                    dom[node] = new
+                    changed = True
+        return dom
+
+
+def _is_ret(d: Decoded) -> bool:
+    return (d.spec.name in ("jalr", "c.jr") and d.rd == 0
+            and d.rs1 == 1 and d.imm == 0)
+
+
+def _classify(d: Decoded) -> str:
+    spec = d.spec
+    if spec.is_branch:
+        return KIND_BRANCH
+    if spec.name in ("jal", "c.jal", "c.j"):
+        return KIND_CALL if d.rd in LINK_REGS else KIND_JUMP
+    if spec.name in ("jalr", "c.jr", "c.jalr"):
+        if _is_ret(d):
+            return KIND_RET
+        if d.rd in LINK_REGS:
+            return KIND_CALL
+        return KIND_INDIRECT
+    if spec.name in ("ecall", "ebreak", "c.ebreak", "wfi"):
+        return KIND_EXIT
+    if spec.name == "mret":
+        return KIND_INDIRECT
+    return KIND_FALLTHROUGH
+
+
+class CfgBuilder:
+    """Builds a :class:`Cfg` from a :class:`~repro.asm.Program`."""
+
+    def __init__(self, program: Program, isa: Optional[IsaConfig] = None) -> None:
+        self.program = program
+        isa = isa or IsaConfig.from_string(program.isa_name)
+        self.decoder = Decoder(isa)
+        addr, blob = program.text_segment
+        self._text_base = addr
+        self._text = blob
+
+    # -- instruction fetch over the image ------------------------------
+
+    def _decode_at(self, pc: int) -> Decoded:
+        offset = pc - self._text_base
+        if offset < 0 or offset + 2 > len(self._text):
+            raise CfgError(f"pc {pc:#x} outside text segment")
+        low = int.from_bytes(self._text[offset:offset + 2], "little")
+        word = low
+        if low & 0x3 == 0x3:
+            if offset + 4 > len(self._text):
+                raise CfgError(f"truncated instruction at {pc:#x}")
+            word = int.from_bytes(self._text[offset:offset + 4], "little")
+        try:
+            return self.decoder.decode(word, pc)
+        except IllegalInstructionError as exc:
+            raise CfgError(str(exc)) from None
+
+    # -- main build ------------------------------------------------------
+
+    def build(self) -> Cfg:
+        entry = self.program.entry
+        insns = self._discover(entry)
+        leaders = self._find_leaders(entry, insns)
+        blocks = self._partition(insns, leaders)
+        self._link(blocks)
+        functions = self._partition_functions(entry, blocks)
+        self._resolve_returns(blocks, functions)
+        return Cfg(entry=entry, blocks=blocks, functions=functions,
+                   symbols=dict(self.program.symbols))
+
+    def _discover(self, entry: int) -> Dict[int, Decoded]:
+        """Reachable instructions via recursive traversal."""
+        insns: Dict[int, Decoded] = {}
+        worklist = [entry]
+        ret_sites_needed: List[int] = []
+        while worklist:
+            pc = worklist.pop()
+            while pc not in insns:
+                decoded = self._decode_at(pc)
+                insns[pc] = decoded
+                kind = _classify(decoded)
+                if kind == KIND_BRANCH:
+                    worklist.append((pc + decoded.imm) & 0xFFFFFFFF)
+                    pc += decoded.spec.length
+                elif kind == KIND_JUMP:
+                    pc = (pc + decoded.imm) & 0xFFFFFFFF
+                elif kind == KIND_CALL:
+                    if decoded.spec.name in ("jal", "c.jal"):
+                        worklist.append((pc + decoded.imm) & 0xFFFFFFFF)
+                    pc += decoded.spec.length  # return site
+                elif kind in (KIND_RET, KIND_INDIRECT, KIND_EXIT):
+                    break
+                else:
+                    pc += decoded.spec.length
+        return insns
+
+    def _find_leaders(self, entry: int, insns: Dict[int, Decoded]) -> Set[int]:
+        leaders = {entry}
+        for pc, decoded in insns.items():
+            kind = _classify(decoded)
+            after = pc + decoded.spec.length
+            if kind == KIND_BRANCH:
+                leaders.add((pc + decoded.imm) & 0xFFFFFFFF)
+                leaders.add(after)
+            elif kind == KIND_JUMP:
+                leaders.add((pc + decoded.imm) & 0xFFFFFFFF)
+                if after in insns:
+                    leaders.add(after)
+            elif kind == KIND_CALL:
+                if decoded.spec.name in ("jal", "c.jal"):
+                    leaders.add((pc + decoded.imm) & 0xFFFFFFFF)
+                leaders.add(after)  # return site
+            elif kind in (KIND_RET, KIND_INDIRECT, KIND_EXIT):
+                if after in insns:
+                    leaders.add(after)
+        return {pc for pc in leaders if pc in insns}
+
+    def _partition(self, insns: Dict[int, Decoded],
+                   leaders: Set[int]) -> Dict[int, BasicBlock]:
+        blocks: Dict[int, BasicBlock] = {}
+        for leader in sorted(leaders):
+            block = BasicBlock(start=leader)
+            pc = leader
+            while pc in insns:
+                decoded = insns[pc]
+                block.insns.append(decoded)
+                block.pcs.append(pc)
+                kind = _classify(decoded)
+                next_pc = pc + decoded.spec.length
+                if kind != KIND_FALLTHROUGH:
+                    block.kind = kind
+                    break
+                if next_pc in leaders:
+                    block.kind = KIND_FALLTHROUGH
+                    break
+                pc = next_pc
+            blocks[leader] = block
+        return blocks
+
+    def _link(self, blocks: Dict[int, BasicBlock]) -> None:
+        for block in blocks.values():
+            term = block.terminator
+            term_pc = block.pcs[-1]
+            after = term_pc + term.spec.length
+            kind = block.kind
+            if kind == KIND_BRANCH:
+                target = (term_pc + term.imm) & 0xFFFFFFFF
+                block.successors = [target, after]
+            elif kind == KIND_JUMP:
+                block.successors = [(term_pc + term.imm) & 0xFFFFFFFF]
+            elif kind == KIND_CALL:
+                if term.spec.name in ("jal", "c.jal"):
+                    block.call_target = (term_pc + term.imm) & 0xFFFFFFFF
+                block.return_site = after if after in blocks else None
+                # Interprocedural edge: control flows into the callee; the
+                # return site is reached through the callee's ret blocks.
+                if block.call_target is not None:
+                    block.successors = [block.call_target]
+            elif kind == KIND_FALLTHROUGH:
+                if after in blocks:
+                    block.successors = [after]
+            # ret successors resolved later; indirect/exit have none.
+
+    def _partition_functions(self, entry: int,
+                             blocks: Dict[int, BasicBlock]) -> Dict[int, Set[int]]:
+        func_entries = {entry}
+        for block in blocks.values():
+            if block.kind == KIND_CALL and block.call_target is not None:
+                func_entries.add(block.call_target)
+        functions: Dict[int, Set[int]] = {}
+        for fentry in func_entries:
+            members: Set[int] = set()
+            stack = [fentry]
+            while stack:
+                addr = stack.pop()
+                if addr in members or addr not in blocks:
+                    continue
+                members.add(addr)
+                block = blocks[addr]
+                # Intraprocedural view: a call continues at its return
+                # site (never inside the callee); a ret ends the function.
+                if block.kind == KIND_CALL:
+                    if block.return_site is not None:
+                        stack.append(block.return_site)
+                elif block.kind != KIND_RET:
+                    stack.extend(block.successors)
+            functions[fentry] = members
+        return functions
+
+    def _resolve_returns(self, blocks: Dict[int, BasicBlock],
+                         functions: Dict[int, Set[int]]) -> None:
+        # Return sites per callee function.
+        return_sites: Dict[int, List[int]] = {}
+        for block in blocks.values():
+            if block.kind == KIND_CALL and block.call_target is not None \
+                    and block.return_site is not None:
+                return_sites.setdefault(
+                    block.call_target, []).append(block.return_site)
+        for block in blocks.values():
+            if block.kind != KIND_RET:
+                continue
+            func = None
+            for fentry, members in functions.items():
+                if block.start in members:
+                    func = fentry
+                    break
+            block.successors = sorted(set(return_sites.get(func, [])))
+
+
+def build_cfg(program: Program, isa: Optional[IsaConfig] = None) -> Cfg:
+    """Build the control-flow graph of ``program``."""
+    return CfgBuilder(program, isa).build()

@@ -1,0 +1,97 @@
+"""Graphviz DOT export of control-flow graphs.
+
+Renders either a plain :class:`~repro.wcet.cfg.Cfg` (with disassembly in
+the node bodies) or a WCET-annotated :class:`~repro.wcet.ait2qta.WcetCfg`
+(with per-node WCETs and per-edge transition times), ready for
+``dot -Tsvg``.  Available from the CLI via ``repro wcet --emit-dot``.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from ..isa.disasm import disassemble
+from .ait2qta import WcetCfg
+from .cfg import Cfg
+
+_KIND_COLORS = {
+    "branch": "lightblue",
+    "jump": "lightyellow",
+    "call": "lightgreen",
+    "ret": "lightpink",
+    "exit": "lightgray",
+    "indirect": "orange",
+    "fallthrough": "white",
+    "cf": "white",
+}
+
+
+def _escape(text: str) -> str:
+    return text.replace("\\", "\\\\").replace('"', '\\"')
+
+
+def cfg_to_dot(cfg: Cfg, max_insns_per_node: int = 8,
+               name: str = "cfg") -> str:
+    """DOT text for a reconstructed CFG with disassembled node bodies."""
+    symbols_by_addr: Dict[int, str] = {}
+    for sym, addr in cfg.symbols.items():
+        symbols_by_addr.setdefault(addr, sym)
+    lines = [f'digraph "{_escape(name)}" {{',
+             '  node [shape=box, fontname="monospace", fontsize=9];']
+    for start in sorted(cfg.blocks):
+        block = cfg.blocks[start]
+        rows = []
+        label = symbols_by_addr.get(start)
+        if label:
+            rows.append(f"<{label}>")
+        rows.append(f"{block.start:#010x}..{block.end:#010x} [{block.kind}]")
+        for pc, decoded in list(zip(block.pcs, block.insns))[
+                :max_insns_per_node]:
+            rows.append(f"{pc:#x}: {disassemble(decoded)}")
+        if len(block.insns) > max_insns_per_node:
+            rows.append(f"... (+{len(block.insns) - max_insns_per_node})")
+        color = _KIND_COLORS.get(block.kind, "white")
+        lines.append(
+            f'  n{start:x} [label="{_escape(chr(10).join(rows))}", '
+            f'style=filled, fillcolor={color}];'
+        )
+    for src, dst in cfg.edges:
+        style = ""
+        src_block = cfg.blocks[src]
+        if src_block.kind == "call" and dst == src_block.call_target:
+            style = ' [style=dashed, color=darkgreen]'
+        elif src_block.kind == "ret":
+            style = ' [style=dashed, color=purple]'
+        lines.append(f"  n{src:x} -> n{dst:x}{style};")
+    lines.append("}")
+    return "\n".join(lines)
+
+
+def wcet_cfg_to_dot(cfg: WcetCfg, name: Optional[str] = None) -> str:
+    """DOT text for a WCET-annotated CFG (nodes show WCETs, edges times)."""
+    lines = [f'digraph "{_escape(name or cfg.name)}" {{',
+             '  node [shape=box, fontname="monospace", fontsize=9];']
+    for node_id in sorted(cfg.nodes):
+        node = cfg.nodes[node_id]
+        rows = [f"node {node_id} [{node.kind}]",
+                f"{node.start:#010x}..{node.end:#010x}",
+                f"wcet = {node.wcet}"]
+        if node_id in cfg.loop_bounds:
+            rows.append(f"loop bound = {cfg.loop_bounds[node_id]}")
+        color = "khaki" if node_id in cfg.loop_bounds else \
+            _KIND_COLORS.get(node.kind, "white")
+        shape = ", peripheries=2" if node_id == cfg.entry else ""
+        lines.append(
+            f'  n{node_id} [label="{_escape(chr(10).join(rows))}", '
+            f'style=filled, fillcolor={color}{shape}];'
+        )
+    for (src, dst), time in sorted(cfg.edges.items()):
+        kind = cfg.edge_kind((src, dst))
+        style = ""
+        if kind == "call":
+            style = ", style=dashed, color=darkgreen"
+        elif kind == "return":
+            style = ", style=dashed, color=purple"
+        lines.append(f'  n{src} -> n{dst} [label="{time}"{style}];')
+    lines.append("}")
+    return "\n".join(lines)

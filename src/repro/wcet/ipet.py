@@ -1,0 +1,267 @@
+"""Static WCET bound via implicit path enumeration (IPET).
+
+The classic formulation: maximise the sum of block WCETs weighted by block
+execution counts, subject to flow conservation and loop-bound constraints.
+Acyclic graphs are solved exactly with a topological longest-path pass;
+cyclic graphs use the LP relaxation via :func:`scipy.optimize.linprog`.
+The LP optimum dominates the ILP optimum, so the reported bound remains a
+*sound* (if occasionally slightly pessimistic) WCET estimate.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set, Tuple
+
+from .ait2qta import WcetCfg
+
+
+class WcetError(Exception):
+    """Raised when no finite WCET bound exists (e.g. unbounded loop)."""
+
+
+@dataclass
+class WcetBound:
+    """The computed bound plus the witnessing block execution counts."""
+
+    cycles: int
+    block_counts: Dict[int, float] = field(default_factory=dict)
+    method: str = "ipet-lp"
+
+    def __int__(self) -> int:
+        return self.cycles
+
+
+def _virtual_edges(cfg: WcetCfg):
+    """All edges plus a virtual source edge and sink edges for exits."""
+    edges: List[Tuple[Optional[int], Optional[int]]] = [(None, cfg.entry)]
+    exits = [
+        node_id for node_id in cfg.nodes
+        if not cfg.successors(node_id)
+    ]
+    if not exits:
+        raise WcetError("CFG has no exit node: the program never terminates")
+    edges.extend(cfg.edges.keys())
+    edges.extend((node_id, None) for node_id in exits)
+    return edges
+
+
+def _back_edges(cfg: WcetCfg) -> Set[Tuple[int, int]]:
+    """Ordinary-control-flow edges whose destination dominates their source.
+
+    Call and return edges are excluded: cycles through the call graph are
+    handled by the per-call coupling constraints, not by loop bounds.
+    """
+    nodes = set(cfg.nodes)
+    cf_edges = [e for e in cfg.edges if cfg.edge_kind(e) == "cf"]
+    preds: Dict[int, List[int]] = {n: [] for n in nodes}
+    for src, dst in cfg.edges:
+        preds[dst].append(src)
+    dom: Dict[int, Set[int]] = {n: set(nodes) for n in nodes}
+    dom[cfg.entry] = {cfg.entry}
+    changed = True
+    while changed:
+        changed = False
+        for node in nodes:
+            if node == cfg.entry:
+                continue
+            pred_doms = [dom[p] for p in preds[node]]
+            new = (set.intersection(*pred_doms) if pred_doms else set()) | {node}
+            if new != dom[node]:
+                dom[node] = new
+                changed = True
+    return {(src, dst) for src, dst in cf_edges if dst in dom[src]}
+
+
+def _longest_path_dag(cfg: WcetCfg) -> WcetBound:
+    """Exact longest path for acyclic CFGs (no LP needed)."""
+    order: List[int] = []
+    visiting: Set[int] = set()
+    visited: Set[int] = set()
+
+    def visit(node: int) -> None:
+        if node in visited:
+            return
+        if node in visiting:
+            raise WcetError("internal: cycle reached DAG solver")
+        visiting.add(node)
+        for succ in cfg.successors(node):
+            visit(succ)
+        visiting.discard(node)
+        visited.add(node)
+        order.append(node)
+
+    visit(cfg.entry)
+    best: Dict[int, int] = {}
+    best_succ: Dict[int, Optional[int]] = {}
+    for node in order:  # reverse-topological
+        succs = cfg.successors(node)
+        if not succs:
+            # QTA accumulation: the final node contributes its own WCET.
+            best[node] = cfg.nodes[node].wcet
+            best_succ[node] = None
+        else:
+            # Inner nodes contribute through their outgoing edge times
+            # (which may be outcome-sensitive, see run_ait_analysis).
+            choice = max(succs,
+                         key=lambda s: cfg.edges[(node, s)] + best[s])
+            best[node] = cfg.edges[(node, choice)] + best[choice]
+            best_succ[node] = choice
+    counts: Dict[int, float] = {n: 0.0 for n in cfg.nodes}
+    node: Optional[int] = cfg.entry
+    while node is not None:
+        counts[node] = 1.0
+        node = best_succ[node]
+    return WcetBound(best[cfg.entry], counts, method="dag-longest-path")
+
+
+def compute_wcet_bound(cfg: WcetCfg) -> WcetBound:
+    """Compute the IPET WCET bound for a WCET-annotated CFG.
+
+    Raises :class:`WcetError` when a loop has no bound annotation or the
+    program cannot terminate.  Unbounded recursion surfaces as LP
+    unboundedness (real executions are always feasible points of the LP,
+    so any finite optimum remains a sound bound).
+    """
+    back = _back_edges(cfg)
+    has_interproc = any(kind != "cf" for kind in cfg.edge_kinds.values())
+    if not back and not has_interproc:
+        if _has_cycle(cfg):
+            raise WcetError(
+                "irreducible cycle without a dominating header; "
+                "cannot bound without annotations"
+            )
+        return _longest_path_dag(cfg)
+    headers = {dst for _src, dst in back}
+    unbounded = headers - set(cfg.loop_bounds)
+    if unbounded:
+        names = ", ".join(f"node {h} @ {cfg.nodes[h].start:#x}"
+                          for h in sorted(unbounded))
+        raise WcetError(f"loop headers without bound annotations: {names}")
+    return _solve_lp(cfg, back)
+
+
+def _has_cycle(cfg: WcetCfg) -> bool:
+    color: Dict[int, int] = {}
+
+    def dfs(node: int) -> bool:
+        color[node] = 1
+        for succ in cfg.successors(node):
+            state = color.get(succ, 0)
+            if state == 1:
+                return True
+            if state == 0 and dfs(succ):
+                return True
+        color[node] = 2
+        return False
+
+    return dfs(cfg.entry)
+
+
+def _solve_lp(cfg: WcetCfg, back: Set[Tuple[int, int]]) -> WcetBound:
+    try:
+        import numpy as np
+        from scipy.optimize import linprog
+    except ImportError as exc:  # pragma: no cover - scipy is a hard dep here
+        raise WcetError(f"IPET LP solver needs scipy/numpy: {exc}") from exc
+
+    edges = _virtual_edges(cfg)
+    index = {edge: i for i, edge in enumerate(edges)}
+    n_vars = len(edges)
+    in_edges: Dict[int, List[int]] = {n: [] for n in cfg.nodes}
+    out_edges: Dict[int, List[int]] = {n: [] for n in cfg.nodes}
+    for edge, i in index.items():
+        src, dst = edge
+        if dst is not None:
+            in_edges[dst].append(i)
+        if src is not None:
+            out_edges[src].append(i)
+
+    # Equality: flow conservation per node, plus unit source flow.
+    rows_eq = []
+    rhs_eq = []
+    for node in cfg.nodes:
+        row = np.zeros(n_vars)
+        for i in in_edges[node]:
+            row[i] += 1.0
+        for i in out_edges[node]:
+            row[i] -= 1.0
+        rows_eq.append(row)
+        rhs_eq.append(0.0)
+    source_row = np.zeros(n_vars)
+    source_row[index[(None, cfg.entry)]] = 1.0
+    rows_eq.append(source_row)
+    rhs_eq.append(1.0)
+
+    # Inequality: per bounded header, back-in flow <= (B-1) * non-back-in.
+    rows_ub = []
+    rhs_ub = []
+    # Call/return coupling: each call site's returns cannot outnumber its
+    # calls — sum of f(ret -> return_site) <= f(call -> callee).  This is
+    # what keeps call-graph "cycles" from being treated as free loops.
+    for record in cfg.call_records:
+        call_edge = (record.call_block, record.callee)
+        if call_edge not in index:
+            continue
+        row = np.zeros(n_vars)
+        row[index[call_edge]] -= 1.0
+        present = False
+        for ret in record.ret_blocks:
+            ret_edge = (ret, record.return_site)
+            if ret_edge in index:
+                row[index[ret_edge]] += 1.0
+                present = True
+        if present:
+            rows_ub.append(row)
+            rhs_ub.append(0.0)
+    for header, bound in cfg.loop_bounds.items():
+        if bound < 1:
+            raise WcetError(f"loop bound for node {header} must be >= 1")
+        row = np.zeros(n_vars)
+        for edge, i in index.items():
+            src, dst = edge
+            if dst != header:
+                continue
+            if (src, dst) in back:
+                row[i] += 1.0
+            else:
+                row[i] -= float(bound - 1)
+        rows_ub.append(row)
+        rhs_ub.append(0.0)
+
+    # Objective: maximise the QTA path-time accumulation — edge times on
+    # every real edge plus the final node's own WCET (carried by the
+    # virtual sink edge).  With uniform edge times (= source-node WCET)
+    # this is exactly the classic node-count formulation.
+    cost = np.zeros(n_vars)
+    for edge, i in index.items():
+        src, dst = edge
+        if src is None:
+            continue  # virtual entry edge costs nothing
+        if dst is None:
+            cost[i] += float(cfg.nodes[src].wcet)  # exit node's own time
+        else:
+            cost[i] += float(cfg.edges[edge])
+
+    result = linprog(
+        c=-cost,
+        A_eq=np.vstack(rows_eq),
+        b_eq=np.array(rhs_eq),
+        A_ub=np.vstack(rows_ub) if rows_ub else None,
+        b_ub=np.array(rhs_ub) if rows_ub else None,
+        bounds=(0, None),
+        method="highs",
+    )
+    if result.status == 3:
+        raise WcetError("IPET problem unbounded: a loop lacks an effective bound")
+    if not result.success:
+        raise WcetError(f"IPET LP failed: {result.message}")
+    counts = {
+        node: float(sum(result.x[i] for i in in_edges[node]))
+        for node in cfg.nodes
+    }
+    # Round up: LP arithmetic may sit epsilon under the true integral
+    # optimum, and a WCET bound must never round down.
+    import math
+    cycles = int(math.ceil(-result.fun - 1e-6))
+    return WcetBound(cycles, counts, method="ipet-lp")

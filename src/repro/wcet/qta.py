@@ -1,0 +1,174 @@
+"""The QEMU Timing Analyzer (QTA) plugin: co-simulation of a binary with
+its WCET-annotated control-flow graph.
+
+The plugin observes execution through the VP's version-independent plugin
+API (the stand-in for QEMU's TCG plugin interface), tracks which annotated
+CFG node the program is in, and accumulates the worst-case time along the
+*actually executed* path.  This yields, per run:
+
+* ``wcet_time`` — the simulated worst-case time of the executed path,
+* per-node execution counts and the node path itself.
+
+Invariants (checked by the test suite and the T3 benchmark):
+
+``static IPET bound  >=  QTA path time  >=  actual VP cycles``
+
+for trap-free programs, because every node's annotated WCET upper-bounds
+its actual cost on the same timing model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from ..asm import Program
+from ..vp.machine import Machine, MachineConfig
+from ..vp.plugins import Plugin
+from ..vp.timing import TimingModel
+from .ait import run_ait_analysis
+from .ait2qta import WcetCfg, preprocess
+from .bounds import loop_bounds_from_source
+from .cfg import build_cfg
+from .ipet import WcetBound, compute_wcet_bound
+
+
+class QtaError(Exception):
+    """Execution left the annotated CFG (e.g. a trap or unmapped code)."""
+
+
+@dataclass
+class QtaResult:
+    """Outcome of one timing-annotated simulation."""
+
+    wcet_time: int              # worst-case time of the executed path
+    actual_cycles: int          # cycles the VP actually consumed
+    instructions: int
+    node_path_length: int
+    node_counts: Dict[int, int] = field(default_factory=dict)
+
+    @property
+    def pessimism(self) -> float:
+        """wcet_time / actual_cycles — how conservative the annotation is."""
+        if self.actual_cycles == 0:
+            return 1.0
+        return self.wcet_time / self.actual_cycles
+
+
+class QtaPlugin(Plugin):
+    """Accumulates WCET-annotated time along the executed node path."""
+
+    name = "qta"
+
+    def __init__(self, wcet_cfg: WcetCfg, strict: bool = True,
+                 record_path: bool = False) -> None:
+        self.cfg = wcet_cfg
+        self.strict = strict
+        self.record_path = record_path
+        self._starts = wcet_cfg.node_by_start
+        self.current_node: Optional[int] = None
+        self.wcet_time = 0
+        self.node_counts: Dict[int, int] = {}
+        self.path: List[int] = []
+        self.path_length = 0
+        self._finalized = False
+
+    def reset(self) -> None:
+        self.current_node = None
+        self.wcet_time = 0
+        self.node_counts = {}
+        self.path = []
+        self.path_length = 0
+        self._finalized = False
+
+    def on_insn_exec(self, cpu, decoded, pc) -> None:
+        node_id = self._starts.get(pc)
+        if node_id is None:
+            return
+        if self.current_node is not None:
+            edge = (self.current_node, node_id)
+            time = self.cfg.edges.get(edge)
+            if time is None:
+                if self.strict:
+                    raise QtaError(
+                        f"executed transition node {self.current_node} -> "
+                        f"{node_id} is not in the WCET-annotated CFG"
+                    )
+                time = self.cfg.nodes[self.current_node].wcet
+            self.wcet_time += time
+        self.current_node = node_id
+        self.node_counts[node_id] = self.node_counts.get(node_id, 0) + 1
+        self.path_length += 1
+        if self.record_path:
+            self.path.append(node_id)
+
+    def finalize(self) -> int:
+        """Charge the final node's WCET and return the total path time."""
+        if not self._finalized and self.current_node is not None:
+            self.wcet_time += self.cfg.nodes[self.current_node].wcet
+            self._finalized = True
+        return self.wcet_time
+
+
+@dataclass
+class QtaAnalysis:
+    """End-to-end QTA flow for one program (see :func:`analyze_program`)."""
+
+    program: Program
+    wcet_cfg: WcetCfg
+    static_bound: WcetBound
+    result: QtaResult
+
+
+def analyze_program(
+    source_or_program,
+    loop_bounds: Optional[Dict[int, int]] = None,
+    isa=None,
+    timing: Optional[TimingModel] = None,
+    max_instructions: int = 10_000_000,
+    name: str = "program",
+    edge_sensitive: bool = False,
+    icache=None,
+    cache_analysis: bool = False,
+) -> QtaAnalysis:
+    """Run the complete QTA tool-demo flow on one program.
+
+    1. assemble (if given source) and extract ``@loopbound`` annotations,
+    2. static analysis -> synthetic aiT report,
+    3. ``ait2qta`` preprocessing -> WCET-annotated CFG,
+    4. IPET static WCET bound,
+    5. co-simulate binary + annotated CFG on the VP with the QTA plugin.
+    """
+    from ..asm import assemble
+    from ..isa.decoder import RV32IMC_ZICSR
+
+    isa = isa or RV32IMC_ZICSR
+    timing = timing or TimingModel()
+    if isinstance(source_or_program, str):
+        program = assemble(source_or_program, isa=isa)
+        bounds = dict(loop_bounds_from_source(source_or_program, program))
+        bounds.update(loop_bounds or {})
+    else:
+        program = source_or_program
+        bounds = dict(loop_bounds or {})
+
+    report = run_ait_analysis(program, loop_bounds=bounds, timing=timing,
+                              name=name, edge_sensitive=edge_sensitive,
+                              icache=icache, cache_analysis=cache_analysis)
+    wcet_cfg = preprocess(report)
+    static_bound = compute_wcet_bound(wcet_cfg)
+
+    machine = Machine(MachineConfig(isa=isa, timing=timing, icache=icache))
+    machine.load(program)
+    plugin = QtaPlugin(wcet_cfg)
+    machine.add_plugin(plugin)
+    run = machine.run(max_instructions=max_instructions)
+    wcet_time = plugin.finalize()
+    result = QtaResult(
+        wcet_time=wcet_time,
+        actual_cycles=run.cycles,
+        instructions=run.instructions,
+        node_path_length=plugin.path_length,
+        node_counts=dict(plugin.node_counts),
+    )
+    return QtaAnalysis(program, wcet_cfg, static_bound, result)

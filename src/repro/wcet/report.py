@@ -1,0 +1,65 @@
+"""Human-readable rendering of WCET analyses.
+
+Formats a :class:`~repro.wcet.qta.QtaAnalysis` the way the tool demo
+presents its results: the per-block table (address range, WCET, static
+execution-count witness vs. observed count, contribution to the bound)
+followed by the bound/path/actual summary.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from .qta import QtaAnalysis
+
+
+def render_block_table(analysis: QtaAnalysis) -> str:
+    """Per-block breakdown of where the WCET bound comes from."""
+    cfg = analysis.wcet_cfg
+    counts = analysis.static_bound.block_counts
+    observed = analysis.result.node_counts
+    header = (f"{'node':>5} {'address range':<24} {'wcet':>6} "
+              f"{'bound count':>12} {'observed':>9} {'contribution':>13}")
+    lines = [header, "-" * len(header)]
+    total = 0.0
+    for node_id in sorted(cfg.nodes):
+        node = cfg.nodes[node_id]
+        bound_count = counts.get(node_id, 0.0)
+        contribution = node.wcet * bound_count
+        total += contribution
+        marker = " *" if node_id in cfg.loop_bounds else ""
+        lines.append(
+            f"{node_id:>5} {node.start:#010x}..{node.end:#010x}{'':<2} "
+            f"{node.wcet:>6} {bound_count:>12.1f} "
+            f"{observed.get(node_id, 0):>9} {contribution:>13.1f}{marker}"
+        )
+    lines.append("-" * len(header))
+    lines.append(f"{'':>5} {'(* = annotated loop header)':<24} "
+                 f"{'':>6} {'':>12} {'total':>9} {total:>13.1f}")
+    return "\n".join(lines)
+
+
+def render_summary(analysis: QtaAnalysis, name: str = "program") -> str:
+    """One-paragraph summary: bound, path time, actual cycles, pessimism."""
+    bound = analysis.static_bound
+    result = analysis.result
+    lines = [
+        f"WCET analysis: {name}",
+        f"  static bound ({bound.method}): {bound.cycles} cycles",
+        f"  QTA path time:                {result.wcet_time} cycles",
+        f"  actual cycles:                {result.actual_cycles}",
+        f"  instructions executed:        {result.instructions}",
+        f"  pessimism (path/actual):      {result.pessimism:.2f}x",
+    ]
+    if result.actual_cycles:
+        lines.append(
+            f"  pessimism (bound/actual):     "
+            f"{bound.cycles / result.actual_cycles:.2f}x"
+        )
+    return "\n".join(lines)
+
+
+def render_full(analysis: QtaAnalysis, name: str = "program") -> str:
+    """Summary plus the per-block breakdown table."""
+    return render_summary(analysis, name) + "\n\n" + \
+        render_block_table(analysis)

@@ -1,0 +1,68 @@
+"""Disassembly-listing tests."""
+
+import pytest
+
+from repro.asm import assemble, render_listing
+from repro.isa import RV32IMC_ZICSR
+
+SOURCE = """
+_start:
+    li a0, 5
+    call helper
+    li a7, 93
+    ecall
+helper:
+    addi a0, a0, 1
+    ret
+.data
+message: .asciz "Hi!"
+numbers: .word 0x11223344
+"""
+
+
+@pytest.fixture
+def listing():
+    return render_listing(assemble(SOURCE, isa=RV32IMC_ZICSR))
+
+
+class TestListing:
+    def test_header_mentions_entry_and_isa(self, listing):
+        assert "entry 0x80000000" in listing
+        assert "RV32IMC_Zicsr" in listing
+
+    def test_symbols_rendered_as_labels(self, listing):
+        assert "<_start>:" in listing
+        assert "<helper>:" in listing
+        assert "<message>:" in listing
+
+    def test_code_disassembled(self, listing):
+        assert "addi a0, zero, 5" in listing
+        assert "jalr zero, ra, 0" in listing  # ret
+
+    def test_addresses_and_encodings_present(self, listing):
+        assert "80000000:" in listing
+        assert "00500513" in listing  # li a0, 5
+
+    def test_data_hexdump_with_ascii_gutter(self, listing):
+        assert "|Hi!" in listing
+        assert "44 33 22 11" in listing
+
+    def test_segment_boundaries_reported(self, listing):
+        assert "code):" in listing
+        assert "data):" in listing
+
+    def test_compressed_instructions_listed(self):
+        listing = render_listing(assemble(
+            "_start:\n    c.addi a0, 1\n    li a7, 93\n    ecall",
+            isa=RV32IMC_ZICSR))
+        assert "c.addi a0, 1" in listing
+
+    def test_undecodable_words_fall_back_to_directives(self):
+        listing = render_listing(assemble(
+            "_start:\n    nop\n    .word 0xFFFFFFFF", isa=RV32IMC_ZICSR))
+        assert ".word 0xffffffff" in listing
+
+    def test_branch_targets_annotated(self):
+        listing = render_listing(assemble(
+            "_start:\nloop:\n    j loop", isa=RV32IMC_ZICSR))
+        assert "-> 0x80000000" in listing

@@ -1,0 +1,85 @@
+"""Program image tests: segments, symbols, patching, serialisation."""
+
+import pytest
+
+from repro.asm import Program
+
+
+def make_program():
+    return Program(
+        segments=[(0x8000_0000, b"\x13\x00\x00\x00"), (0x8000_0100, b"\x01\x02")],
+        entry=0x8000_0000,
+        symbols={"_start": 0x8000_0000, "data": 0x8000_0100},
+        isa_name="RV32IMC",
+    )
+
+
+class TestStructure:
+    def test_segments_sorted(self):
+        prog = Program(
+            segments=[(0x200, b"b"), (0x100, b"a")], entry=0x100,
+        )
+        assert [addr for addr, _ in prog.segments] == [0x100, 0x200]
+
+    def test_overlap_rejected(self):
+        with pytest.raises(ValueError, match="overlap"):
+            Program(segments=[(0x100, b"abcd"), (0x102, b"x")], entry=0x100)
+
+    def test_adjacent_segments_allowed(self):
+        Program(segments=[(0x100, b"ab"), (0x102, b"cd")], entry=0x100)
+
+    def test_text_segment_contains_entry(self):
+        prog = make_program()
+        assert prog.text_segment[0] == 0x8000_0000
+
+    def test_text_segment_missing_entry_raises(self):
+        prog = Program(segments=[(0x100, b"ab")], entry=0x500)
+        with pytest.raises(ValueError):
+            _ = prog.text_segment
+
+    def test_total_size(self):
+        assert make_program().total_size == 6
+
+    def test_address_of(self):
+        assert make_program().address_of("data") == 0x8000_0100
+        with pytest.raises(KeyError):
+            make_program().address_of("nope")
+
+    def test_byte_at(self):
+        prog = make_program()
+        assert prog.byte_at(0x8000_0101) == 0x02
+        with pytest.raises(ValueError):
+            prog.byte_at(0x9000_0000)
+
+
+class TestPatching:
+    def test_patch_replaces_bytes(self):
+        patched = make_program().with_patch(0x8000_0001, b"\xFF")
+        assert patched.byte_at(0x8000_0001) == 0xFF
+
+    def test_patch_leaves_original_untouched(self):
+        original = make_program()
+        original.with_patch(0x8000_0001, b"\xFF")
+        assert original.byte_at(0x8000_0001) == 0x00
+
+    def test_patch_outside_segments_raises(self):
+        with pytest.raises(ValueError):
+            make_program().with_patch(0x9000_0000, b"\x00")
+
+    def test_patch_straddling_segment_end_raises(self):
+        with pytest.raises(ValueError):
+            make_program().with_patch(0x8000_0003, b"\x00\x00")
+
+
+class TestSerialisation:
+    def test_json_roundtrip(self):
+        prog = make_program()
+        clone = Program.from_json(prog.to_json())
+        assert clone.segments == prog.segments
+        assert clone.entry == prog.entry
+        assert clone.symbols == prog.symbols
+        assert clone.isa_name == prog.isa_name
+
+    def test_from_json_rejects_foreign_payload(self):
+        with pytest.raises(ValueError):
+            Program.from_json('{"format": "elf"}')

@@ -1,0 +1,168 @@
+"""BMI extension tests: encodings, semantics, kernels, evaluation."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.bmi import (
+    BMI_SPECS,
+    KERNELS,
+    RV32IM_ZBB,
+    RV32IMC_ZICSR_ZBB,
+    compare_kernel,
+    evaluate_all,
+    table,
+)
+from repro.isa import (
+    Decoder,
+    IllegalInstructionError,
+    IsaConfig,
+    RV32IM,
+    encode,
+)
+
+from ..conftest import exec_one
+
+NEG1 = 0xFFFFFFFF
+DEC = Decoder(RV32IM_ZBB)
+
+
+def bmi(name, ops, regs):
+    machine = exec_one(name, *ops, isa=RV32IM_ZBB, regs=regs)
+    return machine.cpu.regs.raw_read(ops[0])
+
+
+class TestRegistration:
+    def test_module_registered(self):
+        from repro.isa import available_modules
+        assert "Zbb" in available_modules()
+
+    def test_exactly_ten_instructions(self):
+        assert len(BMI_SPECS) == 10
+
+    def test_gated_behind_module(self):
+        word = encode(DEC, "cpop", 3, 1)
+        with pytest.raises(IllegalInstructionError):
+            Decoder(RV32IM).decode(word)
+        assert Decoder(RV32IM_ZBB).decode(word).spec.name == "cpop"
+
+    def test_zbb_encodings_match_ratified_spec(self):
+        # Golden words from binutils with -march=rv32im_zbb.
+        golden = {
+            "andn": 0x40B57533,   # andn a0, a0, a1
+            "orn": 0x40B56533,    # orn a0, a0, a1
+            "xnor": 0x40B54533,   # xnor a0, a0, a1
+            "clz": 0x60051513,    # clz a0, a0
+            "ctz": 0x60151513,    # ctz a0, a0
+            "cpop": 0x60251513,   # cpop a0, a0
+            "min": 0x0AB54533,    # min a0, a0, a1
+            "max": 0x0AB56533,    # max a0, a0, a1
+            "rol": 0x60B51533,    # rol a0, a0, a1
+            "ror": 0x60B55533,    # ror a0, a0, a1
+        }
+        for name, word in golden.items():
+            decoded = DEC.decode(word)
+            assert decoded.spec.name == name, (name, hex(word))
+
+
+class TestSemantics:
+    def test_andn(self):
+        assert bmi("andn", (3, 1, 2), {1: 0xFF, 2: 0x0F}) == 0xF0
+
+    def test_orn(self):
+        assert bmi("orn", (3, 1, 2), {1: 0, 2: NEG1}) == 0
+
+    def test_orn_all(self):
+        assert bmi("orn", (3, 1, 2), {1: 0, 2: 0}) == NEG1
+
+    def test_xnor(self):
+        assert bmi("xnor", (3, 1, 2), {1: 0xF0F0F0F0, 2: 0xF0F0F0F0}) == NEG1
+
+    def test_clz(self):
+        assert bmi("clz", (3, 1), {1: 1}) == 31
+        assert bmi("clz", (3, 1), {1: 0x80000000}) == 0
+        assert bmi("clz", (3, 1), {1: 0}) == 32
+
+    def test_ctz(self):
+        assert bmi("ctz", (3, 1), {1: 0x80000000}) == 31
+        assert bmi("ctz", (3, 1), {1: 1}) == 0
+        assert bmi("ctz", (3, 1), {1: 0}) == 32
+
+    def test_cpop(self):
+        assert bmi("cpop", (3, 1), {1: 0}) == 0
+        assert bmi("cpop", (3, 1), {1: NEG1}) == 32
+        assert bmi("cpop", (3, 1), {1: 0x55555555}) == 16
+
+    def test_min_signed(self):
+        assert bmi("min", (3, 1, 2), {1: NEG1, 2: 1}) == NEG1  # -1 < 1
+
+    def test_max_signed(self):
+        assert bmi("max", (3, 1, 2), {1: NEG1, 2: 1}) == 1
+
+    def test_rol(self):
+        assert bmi("rol", (3, 1, 2), {1: 0x80000001, 2: 1}) == 0x00000003
+
+    def test_ror(self):
+        assert bmi("ror", (3, 1, 2), {1: 0x80000001, 2: 1}) == 0xC0000000
+
+    def test_rotate_by_zero_identity(self):
+        assert bmi("rol", (3, 1, 2), {1: 0x1234, 2: 0}) == 0x1234
+        assert bmi("ror", (3, 1, 2), {1: 0x1234, 2: 32}) == 0x1234
+
+    @given(st.integers(min_value=0, max_value=NEG1),
+           st.integers(min_value=0, max_value=31))
+    def test_rol_ror_inverse(self, value, shift):
+        rotated = bmi("rol", (3, 1, 2), {1: value, 2: shift})
+        back = bmi("ror", (3, 1, 2), {1: rotated, 2: shift})
+        assert back == value
+
+    @given(st.integers(min_value=0, max_value=NEG1))
+    def test_clz_ctz_cpop_relations(self, value):
+        clz = bmi("clz", (3, 1), {1: value})
+        ctz = bmi("ctz", (3, 1), {1: value})
+        cpop = bmi("cpop", (3, 1), {1: value})
+        assert cpop == bin(value).count("1")
+        if value:
+            assert clz + ctz <= 31 or cpop == 1
+        else:
+            assert clz == ctz == 32 and cpop == 0
+
+
+class TestKernels:
+    def test_six_kernel_pairs(self):
+        assert len(KERNELS) == 6
+
+    @pytest.mark.parametrize("kernel", KERNELS, ids=lambda k: k.name)
+    def test_baseline_and_bmi_agree(self, kernel):
+        comparison = compare_kernel(kernel)
+        assert comparison.checksum == comparison.checksum  # ran both
+
+    @pytest.mark.parametrize("kernel", KERNELS, ids=lambda k: k.name)
+    def test_bmi_never_slower(self, kernel):
+        comparison = compare_kernel(kernel)
+        assert comparison.bmi_instructions <= comparison.baseline_instructions
+        assert comparison.bmi_cycles <= comparison.baseline_cycles
+
+    def test_popcount_has_largest_class_of_speedup(self):
+        rows = {row.name: row for row in evaluate_all()}
+        # cpop/clz replace long software loops: biggest wins, > 2x.
+        assert rows["popcount"].cycle_speedup > 2.0
+        assert rows["clz-normalise"].cycle_speedup > 2.0
+        # logic-op fusions are modest, > 1x.
+        assert 1.0 < rows["masked-select"].cycle_speedup < 2.0
+
+    def test_table_renders_every_kernel(self):
+        rows = evaluate_all()
+        text = table(rows)
+        for kernel in KERNELS:
+            assert kernel.name in text
+
+
+class TestConfigInterop:
+    def test_bmi_composes_with_compressed(self):
+        decoder = Decoder(RV32IMC_ZICSR_ZBB)
+        assert "cpop" in decoder.spec_by_name
+        assert "c.addi" in decoder.spec_by_name
+
+    def test_isa_string_parsing(self):
+        config = IsaConfig.from_string("rv32im_zbb")
+        assert "Zbb" in config.modules

@@ -1,0 +1,50 @@
+"""Shared fixtures and helpers for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.asm import assemble
+from repro.isa import Decoder, IsaConfig, RV32IMC_ZICSR, encode
+from repro.vp import Machine, MachineConfig, RAM_BASE
+
+
+def run_asm(source: str, isa: IsaConfig = RV32IMC_ZICSR,
+            max_instructions: int = 1_000_000, **machine_kwargs):
+    """Assemble, load, and run a program; returns (machine, result)."""
+    program = assemble(source, isa=isa)
+    machine = Machine(MachineConfig(isa=isa, **machine_kwargs))
+    machine.load(program)
+    result = machine.run(max_instructions=max_instructions)
+    return machine, result
+
+
+def exec_insns(insn_words, isa: IsaConfig = RV32IMC_ZICSR, regs=None,
+               max_instructions: int = 100):
+    """Execute raw pre-encoded instructions starting at RAM base.
+
+    ``regs`` pre-seeds the register file.  Returns the machine after the
+    run (the program is terminated with an exit ecall appended by caller
+    or simply hits the budget).
+    """
+    machine = Machine(MachineConfig(isa=isa))
+    blob = b"".join(
+        w.to_bytes(2 if (w & 3) != 3 else 4, "little") for w in insn_words
+    )
+    machine.load_blob(blob)
+    for num, value in (regs or {}).items():
+        machine.cpu.regs.raw_write(num, value)
+    machine.run(max_instructions=max_instructions)
+    return machine
+
+
+def exec_one(name: str, *ops, isa: IsaConfig = RV32IMC_ZICSR, regs=None):
+    """Encode and execute a single instruction; returns the machine."""
+    decoder = Decoder(isa)
+    word = encode(decoder, name, *ops)
+    return exec_insns([word], isa=isa, regs=regs, max_instructions=1)
+
+
+@pytest.fixture
+def machine():
+    return Machine()

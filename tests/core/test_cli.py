@@ -1,0 +1,190 @@
+"""CLI tests, driven through main(argv) with captured stdout."""
+
+import pytest
+
+from repro.cli import main
+
+LOOP = """
+_start:
+    li a0, 0
+    li t0, 1
+loop:              # @loopbound 10
+    add a0, a0, t0
+    addi t0, t0, 1
+    li t1, 11
+    blt t0, t1, loop
+    li a7, 93
+    ecall
+"""
+
+SELF_CHECKING = """
+_start:
+    li a1, 6
+    li a2, 7
+    mul a0, a1, a2
+    li a3, 42
+    bne a0, a3, fail
+    li a0, 0
+    li a7, 93
+    ecall
+fail:
+    li a0, 1
+    li a7, 93
+    ecall
+"""
+
+
+@pytest.fixture
+def program_file(tmp_path):
+    path = tmp_path / "prog.s"
+    path.write_text(LOOP)
+    return str(path)
+
+
+@pytest.fixture
+def checked_file(tmp_path):
+    path = tmp_path / "checked.s"
+    path.write_text(SELF_CHECKING)
+    return str(path)
+
+
+class TestRunCommand:
+    def test_run_reports_result(self, program_file, capsys):
+        code = main(["run", program_file])
+        out = capsys.readouterr().out
+        assert code == 55  # guest exit code propagated
+        assert "stop: exit" in out
+        assert "exit: 55" in out
+
+    def test_run_with_trace(self, program_file, capsys):
+        main(["run", program_file, "--trace", "5"])
+        out = capsys.readouterr().out
+        assert "last 5 instructions" in out
+        assert "ecall" in out
+
+    def test_run_prints_uart(self, tmp_path, capsys):
+        path = tmp_path / "uart.s"
+        path.write_text("""
+        _start:
+            li t0, 0x10000000
+            li t1, 'Y'
+            sb t1, 0(t0)
+            li a0, 0
+            li a7, 93
+            ecall
+        """)
+        assert main(["run", str(path)]) == 0
+        assert "Y" in capsys.readouterr().out
+
+    def test_custom_isa(self, tmp_path, capsys):
+        path = tmp_path / "bmi.s"
+        path.write_text("""
+        _start:
+            li a1, 0xFF
+            cpop a0, a1
+            li a7, 93
+            ecall
+        """)
+        code = main(["run", str(path), "--isa", "rv32im_zbb"])
+        assert code == 8
+
+    def test_bad_isa_for_source_is_clean_error(self, tmp_path, capsys):
+        path = tmp_path / "bad.s"
+        path.write_text("_start: cpop a0, a1")
+        assert main(["run", str(path), "--isa", "rv32i"]) == 2
+        assert "error:" in capsys.readouterr().err
+
+
+class TestAnalysisCommands:
+    def test_disasm(self, program_file, capsys):
+        assert main(["disasm", program_file]) == 0
+        out = capsys.readouterr().out
+        assert "<_start>:" in out
+        assert "blt" in out
+
+    def test_wcet(self, program_file, capsys):
+        assert main(["wcet", program_file]) == 0
+        out = capsys.readouterr().out
+        assert "static bound" in out
+        assert "annotated loop header" in out
+
+    def test_wcet_emit_cfg(self, program_file, capsys):
+        assert main(["wcet", program_file, "--emit-cfg"]) == 0
+        assert "qta-cfg v1" in capsys.readouterr().out
+
+    def test_coverage(self, program_file, capsys):
+        assert main(["coverage", program_file, "--missed"]) == 0
+        out = capsys.readouterr().out
+        assert "instruction types" in out
+        assert "missed GPRs" in out
+
+    def test_faults(self, checked_file, capsys):
+        assert main(["faults", checked_file, "--mutants", "25"]) == 0
+        out = capsys.readouterr().out
+        assert "golden: exit 0" in out
+        assert "mutants/s" in out
+
+    def test_mutate(self, checked_file, capsys):
+        assert main(["mutate", checked_file, "--sample", "30"]) == 0
+        assert "score" in capsys.readouterr().out
+
+
+class TestGenCommand:
+    def test_gen_torture_assembles(self, capsys):
+        assert main(["gen", "torture", "--seed", "5", "--length", "50"]) == 0
+        source = capsys.readouterr().out
+        from repro.asm import assemble
+        from repro.isa import RV32IMC_ZICSR
+        assemble(source, isa=RV32IMC_ZICSR)
+
+    def test_gen_structured_has_checksum_header(self, capsys):
+        assert main(["gen", "structured", "--seed", "2"]) == 0
+        out = capsys.readouterr().out
+        assert out.startswith("# expected checksum:")
+
+
+class TestErrors:
+    def test_missing_file(self, capsys):
+        assert main(["run", "/nonexistent/path.s"]) == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_assembler_error_reported(self, tmp_path, capsys):
+        path = tmp_path / "bad.s"
+        path.write_text("_start: frobnicate a0")
+        assert main(["disasm", str(path)]) == 2
+        assert "unknown mnemonic" in capsys.readouterr().err
+
+
+class TestWcetFlags:
+    def test_icache_flag(self, program_file, capsys):
+        from repro.cli import main as cli_main
+        assert cli_main(["wcet", program_file,
+                         "--icache", "1024:16:2:10"]) == 0
+        out = capsys.readouterr().out
+        assert "static bound" in out
+
+    def test_icache_with_persistence(self, program_file, capsys):
+        from repro.cli import main as cli_main
+        assert cli_main(["wcet", program_file, "--icache", "1024:16:2:10",
+                         "--cache-analysis"]) == 0
+
+    def test_edge_sensitive_flag_tightens_or_equals(self, program_file,
+                                                    capsys):
+        from repro.cli import main as cli_main
+        assert cli_main(["wcet", program_file, "--edge-sensitive"]) == 0
+
+    def test_bad_icache_spec(self, program_file, capsys):
+        from repro.cli import main as cli_main
+        assert cli_main(["wcet", program_file, "--icache", "10:2"]) == 2
+        assert "SIZE:LINE:WAYS:PENALTY" in capsys.readouterr().err
+
+    def test_gen_arch_suite(self, capsys):
+        from repro.cli import main as cli_main
+        assert cli_main(["gen", "arch"]) == 0
+        out = capsys.readouterr().out
+        assert "### arch-arith" in out
+
+    def test_gen_unit_suite(self, capsys):
+        from repro.cli import main as cli_main
+        assert cli_main(["gen", "unit", "--seed", "1"]) == 0
+        assert "### unit-rr" in capsys.readouterr().out

@@ -1,0 +1,233 @@
+"""Dynamic taint-tracking tests."""
+
+import pytest
+
+from repro.asm import assemble
+from repro.core import TaintRegion, TaintTracker
+from repro.isa import RV32IMC_ZICSR
+from repro.vp import Machine, MachineConfig, RAM_BASE, UART_BASE
+
+EXIT = "\n    li a7, 93\n    ecall\n"
+
+SECRET_DATA = "\n.data\nsecret: .word 0xDEADBEEF\npublic: .word 0x42\n"
+
+
+def run_tainted(source, sinks=None, sources=None, taint_symbols=("secret",),
+                taint_size=4):
+    program = assemble(source + SECRET_DATA, isa=RV32IMC_ZICSR)
+    machine = Machine(MachineConfig(isa=RV32IMC_ZICSR))
+    machine.load(program)
+    tracker = TaintTracker(
+        sources=sources or [],
+        sinks=sinks or [TaintRegion("uart-tx", UART_BASE, 4)],
+    )
+    for symbol in taint_symbols:
+        tracker.taint_memory(program.address_of(symbol), taint_size)
+    machine.add_plugin(tracker)
+    machine.run(max_instructions=100_000)
+    tracker.finalize()
+    return tracker, machine
+
+
+class TestDirectFlow:
+    def test_secret_store_to_sink_detected(self):
+        tracker, _ = run_tainted("""
+        _start:
+            la t0, secret
+            lw t1, 0(t0)
+            li t2, 0x10000000
+            sb t1, 0(t2)
+        """ + EXIT)
+        assert tracker.leak_count == 1
+        assert tracker.events[0].region == "uart-tx"
+
+    def test_public_store_not_flagged(self):
+        tracker, _ = run_tainted("""
+        _start:
+            la t0, public
+            lw t1, 0(t0)
+            li t2, 0x10000000
+            sb t1, 0(t2)
+        """ + EXIT)
+        assert tracker.leak_count == 0
+
+    def test_constant_store_not_flagged(self):
+        tracker, _ = run_tainted("""
+        _start:
+            li t1, 'A'
+            li t2, 0x10000000
+            sb t1, 0(t2)
+        """ + EXIT)
+        assert tracker.leak_count == 0
+
+
+class TestPropagation:
+    def test_arithmetic_propagates(self):
+        tracker, _ = run_tainted("""
+        _start:
+            la t0, secret
+            lw t1, 0(t0)
+            addi t3, t1, 1      # derived from secret
+            xor t4, t3, t3      # still derived (both operands tainted)
+            li t2, 0x10000000
+            sb t4, 0(t2)
+        """ + EXIT)
+        assert tracker.leak_count == 1
+
+    def test_overwrite_with_constant_clears(self):
+        tracker, _ = run_tainted("""
+        _start:
+            la t0, secret
+            lw t1, 0(t0)
+            li t1, 7            # constant kills the taint
+            li t2, 0x10000000
+            sb t1, 0(t2)
+        """ + EXIT)
+        assert tracker.leak_count == 0
+
+    def test_lui_clears(self):
+        tracker, _ = run_tainted("""
+        _start:
+            la t0, secret
+            lw t1, 0(t0)
+            lui t1, 5
+            li t2, 0x10000000
+            sb t1, 0(t2)
+        """ + EXIT)
+        assert tracker.leak_count == 0
+
+    def test_taint_through_memory_roundtrip(self):
+        tracker, _ = run_tainted("""
+        _start:
+            la t0, secret
+            lw t1, 0(t0)
+            la t3, scratch
+            sw t1, 0(t3)        # park the secret in RAM
+            li t1, 0
+            lw t4, 0(t3)        # reload it
+            li t2, 0x10000000
+            sb t4, 0(t2)
+        """ + EXIT + "\n.data\nscratch: .word 0")
+        assert tracker.leak_count == 1
+
+    def test_store_of_clean_value_untaints_memory(self):
+        tracker, _ = run_tainted("""
+        _start:
+            la t0, secret
+            lw t1, 0(t0)
+            la t3, scratch
+            sw t1, 0(t3)
+            sw zero, 0(t3)      # clean overwrite
+            lw t4, 0(t3)
+            li t2, 0x10000000
+            sb t4, 0(t2)
+        """ + EXIT + "\n.data\nscratch: .word 0")
+        assert tracker.leak_count == 0
+
+    def test_branch_does_not_propagate_implicit_flow(self):
+        # Documented scope limit: comparing the secret and acting on the
+        # outcome is an implicit flow the tracker does not follow.
+        tracker, _ = run_tainted("""
+        _start:
+            la t0, secret
+            lw t1, 0(t0)
+            li t4, 0
+            beqz t1, skip
+            li t4, 1
+        skip:
+            li t2, 0x10000000
+            sb t4, 0(t2)
+        """ + EXIT)
+        assert tracker.leak_count == 0
+
+    def test_x0_never_tainted(self):
+        tracker, _ = run_tainted("""
+        _start:
+            la t0, secret
+            lw zero, 0(t0)      # write to x0 discards taint with the value
+            li t2, 0x10000000
+            sb zero, 0(t2)
+        """ + EXIT)
+        assert tracker.leak_count == 0
+
+
+class TestSources:
+    def test_uart_rx_as_source(self):
+        program = assemble("""
+        _start:
+            li t0, 0x10000000
+            lw t1, 4(t0)        # RXDATA (untrusted input)
+            li t3, 0x10001000
+            sw t1, 0(t3)        # straight to the GPIO actuator
+        """ + EXIT, isa=RV32IMC_ZICSR)
+        machine = Machine(MachineConfig(isa=RV32IMC_ZICSR))
+        machine.load(program)
+        machine.uart.push_rx(b"\x01")
+        tracker = TaintTracker(
+            sources=[TaintRegion("uart-rx", UART_BASE + 4, 4)],
+            sinks=[TaintRegion("gpio", 0x10001000, 16)],
+        )
+        machine.add_plugin(tracker)
+        machine.run(max_instructions=1000)
+        tracker.finalize()
+        assert tracker.leak_count == 1
+        assert tracker.events[0].region == "gpio"
+
+    def test_pre_tainted_register(self):
+        program = assemble("""
+        _start:
+            li t2, 0x10000000
+            sb a0, 0(t2)
+        """ + EXIT, isa=RV32IMC_ZICSR)
+        machine = Machine(MachineConfig(isa=RV32IMC_ZICSR))
+        machine.load(program)
+        tracker = TaintTracker(
+            sinks=[TaintRegion("uart-tx", UART_BASE, 4)],
+            tainted_registers={10},
+        )
+        machine.add_plugin(tracker)
+        machine.run(max_instructions=1000)
+        tracker.finalize()
+        assert tracker.leak_count == 1
+
+
+class TestReporting:
+    def test_report_text(self):
+        tracker, _ = run_tainted("""
+        _start:
+            la t0, secret
+            lw t1, 0(t0)
+            li t2, 0x10000000
+            sb t1, 0(t2)
+        """ + EXIT)
+        text = tracker.report()
+        assert "1 sink event" in text
+        assert "uart-tx" in text
+
+    def test_finalize_idempotent(self):
+        tracker, _ = run_tainted("""
+        _start:
+            la t0, secret
+            lw t1, 0(t0)
+            li t2, 0x10000000
+            sb t1, 0(t2)
+        """ + EXIT)
+        count = tracker.leak_count
+        tracker.finalize()
+        tracker.finalize()
+        assert tracker.leak_count == count
+
+
+class TestDemoIntegration:
+    def test_clean_firmware_no_leaks(self):
+        from repro.core import access_control_demo
+
+        result = access_control_demo(attempt=b"1234")
+        assert result.extras["leaks"] == 0
+
+    def test_backdoor_leaks_detected_by_taint(self):
+        from repro.core import access_control_demo
+
+        result = access_control_demo(with_backdoor=True)
+        assert result.extras["leaks"] == 2
+        assert "uart-tx" in result.extras["taint_report"]

@@ -1,0 +1,213 @@
+"""Mutant generation and campaign classification tests."""
+
+import pytest
+
+from repro.asm import assemble
+from repro.coverage import measure_coverage
+from repro.faultsim import (
+    Fault,
+    FaultCampaign,
+    MutantBudget,
+    OUTCOME_HANG,
+    OUTCOME_MASKED,
+    OUTCOME_SDC,
+    OUTCOME_TRAP,
+    STUCK_AT_1,
+    TARGET_CODE,
+    TARGET_GPR,
+    TRANSIENT,
+    enumerate_code_faults,
+    generate_mutants,
+)
+from repro.isa import RV32IMC_ZICSR
+from repro.vp import RAM_BASE
+
+EXIT = "\n    li a7, 93\n    ecall\n"
+
+CHECKED_PROGRAM = """
+# Computes 6*7 and self-checks the result.
+_start:
+    li a1, 6
+    li a2, 7
+    mul a0, a1, a2
+    li a3, 42
+    beq a0, a3, good
+    li a0, 1
+    j out
+good:
+    li a0, 0
+out:
+""" + EXIT
+
+
+def make_campaign(source=CHECKED_PROGRAM):
+    return FaultCampaign(assemble(source, isa=RV32IMC_ZICSR),
+                         isa=RV32IMC_ZICSR)
+
+
+class TestGolden:
+    def test_golden_cached(self):
+        campaign = make_campaign()
+        assert campaign.golden() is campaign.golden()
+        assert campaign.golden().exit_code == 0
+
+    def test_golden_must_terminate(self):
+        campaign = FaultCampaign(
+            assemble("_start: j _start", isa=RV32IMC_ZICSR),
+            isa=RV32IMC_ZICSR, min_budget=1000, golden_budget=5000)
+        with pytest.raises(ValueError, match="did not terminate"):
+            campaign.golden()
+
+    def test_budget_scales_with_golden(self):
+        campaign = make_campaign()
+        golden = campaign.golden()
+        assert campaign.instruction_budget >= golden.instructions * 4
+        assert campaign.instruction_budget >= campaign.min_budget
+
+
+class TestClassification:
+    def test_masked_fault(self):
+        campaign = make_campaign()
+        # Flip an unused register: behaviour unchanged.
+        result = campaign.run_one(Fault(TARGET_GPR, 25, 3, STUCK_AT_1))
+        assert result.outcome == OUTCOME_MASKED
+
+    def test_sdc_fault(self):
+        # A program whose exit code directly exposes the corrupted value
+        # (no self-check): stuck bit in a0 => wrong exit code.
+        campaign = make_campaign("_start:\n    li a0, 0" + EXIT)
+        result = campaign.run_one(Fault(TARGET_GPR, 10, 5, STUCK_AT_1))
+        assert result.outcome == OUTCOME_SDC
+        assert result.exit_code == 32
+
+    def test_self_check_converts_sdc_to_detected_exit(self):
+        campaign = make_campaign()
+        # Corrupt the multiply result: the self-check routes to exit 1 —
+        # still "sdc" from the platform's perspective (wrong result).
+        result = campaign.run_one(
+            Fault(TARGET_GPR, 10, 4, STUCK_AT_1))
+        assert result.outcome in (OUTCOME_SDC, OUTCOME_MASKED)
+
+    def test_trap_fault(self):
+        # Stuck bit in the upper byte of an address register: loads fault.
+        campaign = make_campaign("""
+        _start:
+            la t0, value
+            lw a0, 0(t0)
+        """ + EXIT + "\n.data\nvalue: .word 5")
+        result = campaign.run_one(Fault(TARGET_GPR, 5, 30, STUCK_AT_1))
+        assert result.outcome == OUTCOME_TRAP
+
+    def test_hang_fault(self):
+        # Break the loop counter of a countdown: never terminates.
+        campaign = FaultCampaign(assemble("""
+        _start:
+            li t0, 5
+        loop:
+            addi t0, t0, -1
+            bnez t0, loop
+            li a0, 0
+        """ + EXIT, isa=RV32IMC_ZICSR), isa=RV32IMC_ZICSR, min_budget=2000)
+        result = campaign.run_one(Fault(TARGET_GPR, 5, 20, STUCK_AT_1))
+        assert result.outcome == OUTCOME_HANG
+
+    def test_uart_difference_is_sdc(self):
+        campaign = make_campaign("""
+        _start:
+            li t0, 0x10000000
+            li t1, 'A'
+            add t1, t1, a1     # a1 == 0 normally
+            sb t1, 0(t0)
+            li a0, 0
+        """ + EXIT)
+        result = campaign.run_one(Fault(TARGET_GPR, 11, 0, STUCK_AT_1))
+        assert result.outcome == OUTCOME_SDC
+        assert result.exit_code == 0  # exit code same; UART differs
+
+
+class TestCampaignRun:
+    def test_run_counts_sum(self):
+        campaign = make_campaign()
+        faults = [Fault(TARGET_GPR, reg, bit, STUCK_AT_1)
+                  for reg in (10, 11, 25) for bit in (0, 5)]
+        result = campaign.run(faults)
+        assert result.total == 6
+        assert sum(result.counts.values()) == 6
+        assert result.elapsed_seconds > 0
+        assert result.mutants_per_second > 0
+
+    def test_of_outcome_filter(self):
+        campaign = make_campaign()
+        result = campaign.run([Fault(TARGET_GPR, 25, 1, STUCK_AT_1)])
+        assert len(result.of_outcome(OUTCOME_MASKED)) == 1
+        assert result.of_outcome(OUTCOME_TRAP) == []
+
+    def test_table_renders(self):
+        campaign = make_campaign()
+        result = campaign.run([Fault(TARGET_GPR, 25, 1, STUCK_AT_1)])
+        text = result.table()
+        assert "masked" in text and "mutants/s" in text
+
+    def test_normal_termination_fraction(self):
+        campaign = make_campaign()
+        result = campaign.run([Fault(TARGET_GPR, 25, 1, STUCK_AT_1)])
+        assert result.normal_termination_fraction == 1.0
+
+
+class TestMutantGeneration:
+    def test_enumerate_code_faults_covers_every_bit(self):
+        program = assemble("_start: nop" + EXIT, isa=RV32IMC_ZICSR)
+        faults = enumerate_code_faults(program)
+        _addr, blob = program.text_segment
+        assert len(faults) == len(blob) * 8
+        assert all(f.target == TARGET_CODE for f in faults)
+
+    def test_code_fault_kind_inverts_existing_bit(self):
+        program = assemble("_start: nop" + EXIT, isa=RV32IMC_ZICSR)
+        faults = enumerate_code_faults(program)
+        for fault in faults:
+            byte = program.byte_at(fault.index)
+            has_bit = bool(byte & fault.mask)
+            assert (fault.kind == "stuck_at_0") == has_bit
+
+    def test_generation_respects_budget(self):
+        program = assemble(CHECKED_PROGRAM, isa=RV32IMC_ZICSR)
+        budget = MutantBudget(code=10, gpr_transient=5, gpr_stuck=3,
+                              memory_transient=0, memory_stuck=0)
+        faults = generate_mutants(program, None, budget,
+                                  golden_instructions=50, seed=1)
+        assert len(faults) == 18
+
+    def test_generation_deterministic_per_seed(self):
+        program = assemble(CHECKED_PROGRAM, isa=RV32IMC_ZICSR)
+        a = generate_mutants(program, None, MutantBudget(), 50, seed=5)
+        b = generate_mutants(program, None, MutantBudget(), 50, seed=5)
+        assert a == b
+        c = generate_mutants(program, None, MutantBudget(), 50, seed=6)
+        assert a != c
+
+    def test_coverage_guidance_restricts_registers(self):
+        program = assemble(CHECKED_PROGRAM, isa=RV32IMC_ZICSR)
+        coverage = measure_coverage(program, isa=RV32IMC_ZICSR)
+        budget = MutantBudget(code=0, gpr_transient=50, gpr_stuck=20,
+                              memory_transient=0, memory_stuck=0)
+        faults = generate_mutants(program, coverage, budget, 50, seed=2)
+        accessed = coverage.gprs_accessed - {0}
+        assert all(f.index in accessed for f in faults
+                   if f.target == TARGET_GPR)
+
+    def test_transient_triggers_within_golden_run(self):
+        program = assemble(CHECKED_PROGRAM, isa=RV32IMC_ZICSR)
+        faults = generate_mutants(
+            program, None,
+            MutantBudget(code=0, gpr_transient=30, gpr_stuck=0,
+                         memory_transient=0, memory_stuck=0),
+            golden_instructions=40, seed=3)
+        assert all(f.trigger < 40 for f in faults if f.kind == TRANSIENT)
+
+    def test_csr_budget_needs_coverage(self):
+        program = assemble(CHECKED_PROGRAM, isa=RV32IMC_ZICSR)
+        budget = MutantBudget(code=0, gpr_transient=0, gpr_stuck=0,
+                              memory_transient=0, memory_stuck=0,
+                              csr_stuck=5)
+        assert generate_mutants(program, None, budget, 50) == []

@@ -1,0 +1,98 @@
+"""XEMU-style mutation-testing tests."""
+
+import pytest
+
+from repro.asm import assemble
+from repro.faultsim import SURVIVED, run_mutation_testing
+from repro.isa import RV32IMC_ZICSR
+from repro.testgen import UnitSuiteGenerator
+
+# A self-checking binary with a strong check on its only computation.
+CHECKED = """
+_start:
+    li a1, 6
+    li a2, 7
+    mul a0, a1, a2
+    li a3, 42
+    bne a0, a3, fail
+    li a0, 0
+    li a7, 93
+    ecall
+fail:
+    li a0, 1
+    li a7, 93
+    ecall
+"""
+
+# The same computation with no check at all: exit is always 0.
+UNCHECKED = """
+_start:
+    li a1, 6
+    li a2, 7
+    mul a5, a1, a2
+    li a0, 0
+    li a7, 93
+    ecall
+"""
+
+
+class TestMutationTesting:
+    def test_report_accounts_for_every_mutant(self):
+        program = assemble(CHECKED, isa=RV32IMC_ZICSR)
+        report = run_mutation_testing(program, isa=RV32IMC_ZICSR,
+                                      sample=60, seed=1)
+        assert report.total == 60
+        assert report.killed + len(report.survivors) == 60
+        assert sum(report.by_verdict().values()) == 60
+
+    def test_checked_program_scores_higher_than_unchecked(self):
+        # Exhaustive (not sampled) to avoid sampling-noise ties.
+        checked = run_mutation_testing(
+            assemble(CHECKED, isa=RV32IMC_ZICSR), isa=RV32IMC_ZICSR,
+            sample=None)
+        unchecked = run_mutation_testing(
+            assemble(UNCHECKED, isa=RV32IMC_ZICSR), isa=RV32IMC_ZICSR,
+            sample=None)
+        assert checked.score > unchecked.score
+
+    def test_exhaustive_mode(self):
+        program = assemble(UNCHECKED, isa=RV32IMC_ZICSR)
+        report = run_mutation_testing(program, isa=RV32IMC_ZICSR,
+                                      sample=None)
+        _addr, blob = program.text_segment
+        assert report.total == len(blob) * 8
+
+    def test_rejects_failing_binary(self):
+        program = assemble("_start:\n    li a0, 1\n    li a7, 93\n    ecall",
+                           isa=RV32IMC_ZICSR)
+        with pytest.raises(ValueError, match="passing self-checking"):
+            run_mutation_testing(program, isa=RV32IMC_ZICSR)
+
+    def test_rejects_nonterminating_binary(self):
+        program = assemble("_start: j _start", isa=RV32IMC_ZICSR)
+        with pytest.raises(ValueError, match="passing self-checking"):
+            run_mutation_testing(program, isa=RV32IMC_ZICSR,
+                                 min_budget=1000)
+
+    def test_deterministic_sampling(self):
+        program = assemble(CHECKED, isa=RV32IMC_ZICSR)
+        a = run_mutation_testing(program, isa=RV32IMC_ZICSR, sample=30,
+                                 seed=3)
+        b = run_mutation_testing(program, isa=RV32IMC_ZICSR, sample=30,
+                                 seed=3)
+        assert [o.fault for o in a.outcomes] == [o.fault for o in b.outcomes]
+        assert [o.verdict for o in a.outcomes] == \
+            [o.verdict for o in b.outcomes]
+
+    def test_table_renders(self):
+        program = assemble(CHECKED, isa=RV32IMC_ZICSR)
+        report = run_mutation_testing(program, isa=RV32IMC_ZICSR, sample=20)
+        text = report.table()
+        assert "score" in text
+
+    def test_unit_suite_program_has_high_mutation_score(self):
+        """Generated unit tests are dense with checks -> strong suite."""
+        _name, program = UnitSuiteGenerator(RV32IMC_ZICSR).generate()[0]
+        report = run_mutation_testing(program, isa=RV32IMC_ZICSR,
+                                      sample=60, seed=4)
+        assert report.score > 0.5

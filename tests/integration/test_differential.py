@@ -1,0 +1,62 @@
+"""Differential and property tests using the generators as oracles."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.isa import RV32IMC_ZICSR
+from repro.testgen import StructuredGenerator
+from repro.vp import Machine, MachineConfig, run_lockstep
+
+
+class TestStructuredDifferential:
+    """The Python interpreter and the VP must agree for any seed."""
+
+    @given(st.integers(min_value=0, max_value=10_000))
+    @settings(max_examples=20, deadline=None)
+    def test_interpreter_vs_vp(self, seed):
+        generated = StructuredGenerator(statements=6).generate(seed)
+        machine = Machine(MachineConfig(isa=RV32IMC_ZICSR))
+        machine.load(generated.program)
+        result = machine.run(max_instructions=2_000_000)
+        assert result.stop_reason == "exit"
+        assert result.exit_code == generated.expected_exit_code
+
+    @given(st.integers(min_value=0, max_value=10_000))
+    @settings(max_examples=10, deadline=None)
+    def test_cache_configurations_agree(self, seed):
+        """TB cache on/off are lockstep-identical on generated programs."""
+        generated = StructuredGenerator(statements=4).generate(seed)
+        primary = Machine(MachineConfig(isa=RV32IMC_ZICSR))
+        secondary = Machine(MachineConfig(isa=RV32IMC_ZICSR,
+                                          block_cache_enabled=False))
+        result = run_lockstep(primary, secondary, generated.program,
+                              max_instructions=2_000_000)
+        assert not result.diverged
+
+    @given(st.integers(min_value=0, max_value=10_000))
+    @settings(max_examples=10, deadline=None)
+    def test_icache_does_not_change_results(self, seed):
+        """The fetch cache affects cycles, never architectural results."""
+        from repro.vp import ICacheConfig
+
+        generated = StructuredGenerator(statements=4).generate(seed)
+        plain = Machine(MachineConfig(isa=RV32IMC_ZICSR))
+        plain.load(generated.program)
+        cached = Machine(MachineConfig(
+            isa=RV32IMC_ZICSR, icache=ICacheConfig(miss_penalty=7)))
+        cached.load(generated.program)
+        a = plain.run(max_instructions=2_000_000)
+        b = cached.run(max_instructions=2_000_000)
+        assert a.exit_code == b.exit_code
+        assert a.instructions == b.instructions
+        assert b.cycles >= a.cycles
+
+    @given(st.integers(min_value=0, max_value=5_000))
+    @settings(max_examples=8, deadline=None)
+    def test_wcet_invariant_on_generated_programs(self, seed):
+        from repro.wcet import analyze_program
+
+        generated = StructuredGenerator(statements=5).generate(seed)
+        analysis = analyze_program(generated.source, name=generated.name)
+        assert analysis.static_bound.cycles >= analysis.result.wcet_time
+        assert analysis.result.wcet_time >= analysis.result.actual_cycles

@@ -1,0 +1,180 @@
+"""Cross-module integration tests: the full tool pipelines end to end."""
+
+import pytest
+
+from repro.asm import assemble
+from repro.core import Ecosystem
+from repro.coverage import measure_coverage
+from repro.faultsim import FaultCampaign, MutantBudget, generate_mutants
+from repro.isa import RV32IMC_ZICSR
+from repro.testgen import StructuredGenerator, TortureConfig, TortureGenerator
+from repro.vp import Machine, MachineConfig
+from repro.wcet import (
+    AitReport,
+    WcetCfg,
+    analyze_program,
+    compute_wcet_bound,
+    preprocess,
+    run_ait_analysis,
+)
+
+EXIT = "\n    li a7, 93\n    ecall\n"
+
+BUBBLE_SORT = """
+# Bubble sort over an 8-word array, then checksum.
+_start:
+    la s0, array
+    li s1, 8
+outer:                     # @loopbound 8
+    li t0, 0               # i
+    addi t1, s1, -1
+inner:                     # @loopbound 7
+    slli t2, t0, 2
+    add t2, t2, s0
+    lw t3, 0(t2)
+    lw t4, 4(t2)
+    ble t3, t4, no_swap
+    sw t4, 0(t2)
+    sw t3, 4(t2)
+no_swap:
+    addi t0, t0, 1
+    blt t0, t1, inner
+    addi s1, s1, -1
+    li t0, 1
+    bgt s1, t0, outer
+    # checksum: sum of elements * index
+    la s0, array
+    li t0, 0
+    li a0, 0
+    li t1, 8
+check:                     # @loopbound 8
+    slli t2, t0, 2
+    add t2, t2, s0
+    lw t3, 0(t2)
+    mul t3, t3, t0
+    add a0, a0, t3
+    addi t0, t0, 1
+    blt t0, t1, check
+""" + EXIT + """
+.data
+array: .word 7, 3, 9, 1, 8, 2, 6, 4
+"""
+
+
+class TestQtaPipelineOnRealWorkloads:
+    def test_bubble_sort_invariant(self):
+        analysis = analyze_program(BUBBLE_SORT, name="bubble-sort")
+        assert analysis.static_bound.cycles >= analysis.result.wcet_time
+        assert analysis.result.wcet_time >= analysis.result.actual_cycles
+        # Sorted checksum: sorted array [1,2,3,4,6,7,8,9] dot [0..7] = 226.
+        machine = Machine(MachineConfig(isa=RV32IMC_ZICSR))
+        machine.load(analysis.program)
+        result = machine.run()
+        assert result.exit_code == sum(
+            v * i for i, v in enumerate(sorted([7, 3, 9, 1, 8, 2, 6, 4])))
+
+    def test_report_serialisation_roundtrip_through_files(self, tmp_path):
+        program = assemble(BUBBLE_SORT, isa=RV32IMC_ZICSR)
+        from repro.wcet import loop_bounds_from_source
+        bounds = loop_bounds_from_source(BUBBLE_SORT, program)
+        report = run_ait_analysis(program, loop_bounds=bounds)
+        xml_path = tmp_path / "report.xml"
+        xml_path.write_text(report.to_xml())
+        loaded = AitReport.from_xml(xml_path.read_text())
+        cfg = preprocess(loaded)
+        cfg_path = tmp_path / "program.qta"
+        cfg_path.write_text(cfg.to_text())
+        reloaded = WcetCfg.from_text(cfg_path.read_text())
+        bound_direct = compute_wcet_bound(preprocess(report))
+        bound_file = compute_wcet_bound(reloaded)
+        assert bound_direct.cycles == bound_file.cycles
+
+    def test_structured_programs_through_qta(self):
+        generator = StructuredGenerator()
+        for seed in (0, 1, 2):
+            generated = generator.generate(seed)
+            analysis = analyze_program(generated.source,
+                                       name=generated.name)
+            assert analysis.static_bound.cycles >= \
+                analysis.result.actual_cycles
+
+
+class TestCoverageGuidedFaultPipeline:
+    def test_full_flow_on_generated_program(self):
+        generated = StructuredGenerator().generate(11)
+        coverage = measure_coverage(generated.program, isa=RV32IMC_ZICSR)
+        campaign = FaultCampaign(generated.program, isa=RV32IMC_ZICSR)
+        golden = campaign.golden()
+        assert golden.exit_code == generated.expected_exit_code
+        faults = generate_mutants(
+            generated.program, coverage,
+            MutantBudget(code=15, gpr_transient=15, gpr_stuck=5,
+                         memory_transient=5, memory_stuck=2),
+            golden_instructions=golden.instructions, seed=0)
+        result = campaign.run(faults)
+        assert result.total == 42
+        # Some faults must land (the program uses its registers heavily).
+        assert result.counts["masked"] < result.total
+
+    def test_self_checking_unit_tests_catch_injected_faults(self):
+        """Unit-suite programs turn corruptions into nonzero exit codes."""
+        from repro.faultsim import Fault, STUCK_AT_1, TARGET_GPR
+        from repro.testgen import UnitSuiteGenerator
+        name, program = UnitSuiteGenerator(RV32IMC_ZICSR).generate()[0]
+        campaign = FaultCampaign(program, isa=RV32IMC_ZICSR)
+        # x1 is a test-operand register: sticking a bit must trip a check.
+        result = campaign.run_one(Fault(TARGET_GPR, 1, 30, STUCK_AT_1))
+        assert result.outcome in ("sdc", "trap")
+
+
+class TestEcosystemScenario:
+    """The 'evaluation of edge applications' story in one test."""
+
+    def test_build_analyze_verify_inject(self):
+        eco = Ecosystem()
+        source = """
+        _start:
+            li a0, 0
+            li t0, 0
+            li t1, 12
+        accumulate:          # @loopbound 12
+            add a0, a0, t0
+            addi t0, t0, 1
+            blt t0, t1, accumulate
+        """ + EXIT
+        program = eco.build(source)
+        _machine, run = eco.run(program)
+        assert run.exit_code == 66
+        wcet = eco.analyze_wcet(source)
+        assert wcet.static_bound.cycles >= run.cycles
+        coverage = eco.measure_coverage(program)
+        assert coverage.insn_coverage > 0
+        campaign = eco.fault_campaign(
+            program,
+            budget=MutantBudget(code=10, gpr_transient=10, gpr_stuck=5,
+                                memory_transient=0, memory_stuck=0))
+        assert campaign.total == 25
+
+    def test_torture_programs_have_analyzable_cfgs(self):
+        from repro.wcet import build_cfg
+        generator = TortureGenerator(RV32IMC_ZICSR,
+                                     TortureConfig(length=150, seed=4))
+        program = generator.generate()
+        cfg = build_cfg(program)
+        assert cfg.entry in cfg.blocks
+        total = sum(len(b) for b in cfg.blocks.values())
+        assert total > 100
+
+    def test_coverage_guides_fault_space_reduction(self):
+        """Coverage-guided campaigns sample a smaller, denser space."""
+        source = "_start:\n    li a0, 1\n    add a0, a0, a0" + EXIT
+        program = assemble(source, isa=RV32IMC_ZICSR)
+        coverage = measure_coverage(program, isa=RV32IMC_ZICSR)
+        budget = MutantBudget(code=0, gpr_transient=100, gpr_stuck=0,
+                              memory_transient=0, memory_stuck=0)
+        guided = generate_mutants(program, coverage, budget, 10, seed=1)
+        unguided = generate_mutants(program, None, budget, 10, seed=1)
+        guided_regs = {f.index for f in guided}
+        unguided_regs = {f.index for f in unguided}
+        assert guided_regs <= coverage.gprs_accessed
+        assert len(guided_regs) < len(unguided_regs)

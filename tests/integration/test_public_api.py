@@ -1,0 +1,62 @@
+"""Public-API sanity: every exported name resolves and is documented."""
+
+import importlib
+import inspect
+
+import pytest
+
+PACKAGES = [
+    "repro.isa",
+    "repro.asm",
+    "repro.vp",
+    "repro.vp.devices",
+    "repro.wcet",
+    "repro.coverage",
+    "repro.faultsim",
+    "repro.testgen",
+    "repro.bmi",
+    "repro.rtos",
+    "repro.core",
+]
+
+
+@pytest.mark.parametrize("package_name", PACKAGES)
+def test_all_exports_resolve(package_name):
+    package = importlib.import_module(package_name)
+    exported = getattr(package, "__all__", None)
+    assert exported, f"{package_name} must define __all__"
+    for name in exported:
+        assert hasattr(package, name), f"{package_name}.{name} missing"
+
+
+@pytest.mark.parametrize("package_name", PACKAGES)
+def test_all_unique(package_name):
+    package = importlib.import_module(package_name)
+    exported = list(package.__all__)
+    assert len(exported) == len(set(exported))
+
+
+@pytest.mark.parametrize("package_name", PACKAGES)
+def test_public_classes_and_functions_documented(package_name):
+    package = importlib.import_module(package_name)
+    undocumented = []
+    for name in package.__all__:
+        obj = getattr(package, name)
+        if inspect.isclass(obj) or inspect.isfunction(obj):
+            if not inspect.getdoc(obj):
+                undocumented.append(name)
+    assert not undocumented, (
+        f"{package_name}: missing docstrings on {undocumented}"
+    )
+
+
+@pytest.mark.parametrize("package_name", PACKAGES + [
+    "repro", "repro.cli",
+    "repro.isa.fields", "repro.isa.semantics", "repro.isa.decoder",
+    "repro.vp.cpu", "repro.vp.machine", "repro.vp.timing",
+    "repro.wcet.ipet", "repro.wcet.cacheanalysis",
+    "repro.faultsim.campaign", "repro.rtos.model",
+])
+def test_module_docstrings(package_name):
+    module = importlib.import_module(package_name)
+    assert module.__doc__ and module.__doc__.strip(), package_name

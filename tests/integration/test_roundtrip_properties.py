@@ -1,0 +1,148 @@
+"""Property and fuzz tests spanning decoder, assembler, and disassembler."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.asm import assemble
+from repro.isa import (
+    Decoder,
+    IllegalInstructionError,
+    RV32IMCF_ZICSR,
+    disassemble,
+)
+from repro.testgen import TortureConfig, TortureGenerator
+
+DEC = Decoder(RV32IMCF_ZICSR)
+
+
+class TestDecoderFuzz:
+    """The decoder must be total: Decoded or IllegalInstructionError."""
+
+    @given(st.integers(min_value=0, max_value=0xFFFF))
+    @settings(max_examples=500, deadline=None)
+    def test_halfword_decode_never_crashes(self, word):
+        try:
+            decoded = DEC.decode(word)
+        except IllegalInstructionError:
+            return
+        assert decoded.spec.length in (2, 4)
+        if word & 0x3 != 0x3:
+            assert decoded.spec.length == 2
+
+    @given(st.integers(min_value=0, max_value=0xFFFFFFFF))
+    @settings(max_examples=500, deadline=None)
+    def test_word_decode_never_crashes(self, word):
+        try:
+            decoded = DEC.decode(word)
+        except IllegalInstructionError:
+            return
+        # A 32-bit encoding must have low bits 11; otherwise only the low
+        # halfword participated.
+        if word & 0x3 == 0x3:
+            assert decoded.spec.length == 4
+        assert decoded.spec.matches(decoded.word & decoded.spec.mask
+                                    | decoded.spec.match)
+
+    @given(st.integers(min_value=0, max_value=0xFFFFFFFF))
+    @settings(max_examples=300, deadline=None)
+    def test_decode_is_deterministic(self, word):
+        try:
+            first = DEC.decode(word)
+        except IllegalInstructionError:
+            with pytest.raises(IllegalInstructionError):
+                DEC.decode(word)
+            return
+        assert DEC.decode(word) is first  # cached, hence identical
+
+
+def _decoded_instructions(program):
+    addr, blob = program.text_segment
+    offset = 0
+    while offset < len(blob):
+        low = int.from_bytes(blob[offset:offset + 2], "little")
+        if low & 0x3 == 0x3:
+            word = int.from_bytes(blob[offset:offset + 4], "little")
+        else:
+            word = low
+        decoded = DEC.decode(word)
+        yield addr + offset, decoded
+        offset += decoded.spec.length
+
+
+class TestAsmDisasmRoundtrip:
+    """assemble(disassemble(insn)) must reproduce the exact encoding."""
+
+    @pytest.mark.parametrize("seed", range(6))
+    def test_torture_program_roundtrip(self, seed):
+        generator = TortureGenerator(RV32IMCF_ZICSR,
+                                     TortureConfig(length=150, seed=seed))
+        program = generator.generate()
+        mismatches = []
+        for pc, decoded in _decoded_instructions(program):
+            text = disassemble(decoded)
+            # Strip trailing branch-target comments if present.
+            text = text.split("#")[0].strip()
+            try:
+                reassembled = assemble("_start: " + text,
+                                       isa=RV32IMCF_ZICSR)
+            except Exception as exc:  # pragma: no cover - diagnostic path
+                mismatches.append((pc, text, f"assemble failed: {exc}"))
+                continue
+            _addr, blob = reassembled.text_segment
+            word = int.from_bytes(blob[:decoded.spec.length], "little")
+            if word != decoded.word & ((1 << (8 * decoded.spec.length)) - 1):
+                mismatches.append((pc, text, f"{word:#x} != {decoded.word:#x}"))
+        assert not mismatches, mismatches[:5]
+
+    def test_handwritten_corner_encodings_roundtrip(self):
+        sources = [
+            "lui t0, 0xFFFFF",
+            "auipc s1, 0x80000",
+            "addi a0, a1, -2048",
+            "sw t6, 2047(sp)",
+            "lw t6, -2048(sp)",
+            "jal ra, 0",
+            "beq zero, zero, -4096",
+            "csrrwi a0, mstatus, 31",
+            "c.lui a5, 0x1f",
+            "c.lui a5, 0xfffe0",
+            "c.addi4spn a0, 1020",
+            "c.lwsp t6, 252(sp)",
+            "c.j -2048",
+            "srai t0, t1, 31",
+        ]
+        for text in sources:
+            program = assemble("_start: " + text, isa=RV32IMCF_ZICSR)
+            _addr, blob = program.text_segment
+            low = int.from_bytes(blob[:2], "little")
+            length = 4 if low & 0x3 == 0x3 else 2
+            word = int.from_bytes(blob[:length], "little")
+            decoded = DEC.decode(word)
+            rendered = disassemble(decoded).split("#")[0].strip()
+            again = assemble("_start: " + rendered, isa=RV32IMCF_ZICSR)
+            _addr2, blob2 = again.text_segment
+            assert blob2[:length] == blob[:length], (text, rendered)
+
+
+class TestExecutionDeterminism:
+    """Identical machines produce bit-identical runs."""
+
+    @pytest.mark.parametrize("seed", range(3))
+    def test_torture_replay_equality(self, seed):
+        from repro.vp import Machine, MachineConfig
+        from repro.isa import RV32IMC_ZICSR
+
+        generator = TortureGenerator(RV32IMC_ZICSR,
+                                     TortureConfig(length=200, seed=seed))
+        program = generator.generate()
+        snapshots = []
+        for _run in range(2):
+            machine = Machine(MachineConfig(isa=RV32IMC_ZICSR))
+            machine.load(program)
+            result = machine.run(max_instructions=100_000)
+            snapshots.append((
+                result.stop_reason, result.exit_code, result.instructions,
+                result.cycles, machine.cpu.regs.snapshot(),
+                bytes(machine.ram.data[:4096]),
+            ))
+        assert snapshots[0] == snapshots[1]

@@ -1,0 +1,235 @@
+"""Decoder and IsaConfig tests, including golden encodings cross-checked
+against binutils output."""
+
+import pytest
+
+from repro.isa import (
+    Decoder,
+    IllegalInstructionError,
+    IsaConfig,
+    RV32I,
+    RV32IM,
+    RV32IMC,
+    RV32IMC_ZICSR,
+    RV32IMCF_ZICSR,
+)
+
+# (word, expected mnemonic) pairs produced with GNU as / objdump.
+GOLDEN = [
+    (0x02A00093, "addi"),    # addi ra, zero, 42
+    (0x00208033, "add"),     # add zero, ra, sp
+    (0x40208033, "sub"),
+    (0x0000A103, "lw"),      # lw sp, 0(ra)
+    (0x00112023, "sw"),      # sw ra, 0(sp)
+    (0x00000663, "beq"),
+    (0x0000006F, "jal"),
+    (0x00008067, "jalr"),    # ret
+    (0x123450B7, "lui"),
+    (0x12345097, "auipc"),
+    (0x00000073, "ecall"),
+    (0x00100073, "ebreak"),
+    (0x30200073, "mret"),
+    (0x10500073, "wfi"),
+    (0x0000100F, "fence.i"),
+    (0x0000000F, "fence"),
+    (0x02208033, "mul"),
+    (0x0220C033, "div"),
+    (0x34011073, "csrrw"),   # csrw mscratch, sp
+    (0x34002573, "csrrs"),   # csrr a0, mscratch
+    (0x00101013, "slli"),
+    (0x40105013, "srai"),
+]
+
+GOLDEN_COMPRESSED = [
+    (0x1575, "c.addi"),      # c.addi a0, -3
+    (0x4501, "c.li"),        # c.li a0, 0
+    (0x8082, "c.jr"),        # ret
+    (0x9002, "c.ebreak"),
+    (0x852E, "c.mv"),        # c.mv a0, a1
+    (0x952E, "c.add"),       # c.add a0, a1
+    (0x4108, "c.lw"),        # c.lw a0, 0(a0)
+    (0xC108, "c.sw"),
+    (0xA001, "c.j"),         # c.j .
+    (0x2001, "c.jal"),
+    (0xC101, "c.beqz"),
+    (0xE101, "c.bnez"),
+    (0x0505, "c.addi"),      # c.addi a0, 1
+    (0x050A, "c.slli"),      # c.slli a0, 2
+    (0x8105, "c.srli"),      # c.srli s0, 1
+    (0x8505, "c.srai"),
+    (0x8905, "c.andi"),
+    (0x8C09, "c.sub"),
+    (0x8C29, "c.xor"),
+    (0x8C49, "c.or"),
+    (0x8C69, "c.and"),
+    (0x4502, "c.lwsp"),      # c.lwsp a0, 0(sp)
+    (0xC02A, "c.swsp"),      # c.swsp a0, 0(sp)
+    (0x6505, "c.lui"),       # c.lui a0, 1
+    (0x6141, "c.addi16sp"),  # c.addi16sp sp, 16
+    (0x0528, "c.addi4spn"),  # c.addi4spn a0, sp, 136
+]
+
+
+class TestGoldenDecodes:
+    @pytest.mark.parametrize("word,name", GOLDEN)
+    def test_base_encodings(self, word, name):
+        dec = Decoder(RV32IMC_ZICSR)
+        assert dec.decode(word).spec.name == name
+
+    @pytest.mark.parametrize("word,name", GOLDEN_COMPRESSED)
+    def test_compressed_encodings(self, word, name):
+        dec = Decoder(RV32IMC_ZICSR)
+        assert dec.decode(word).spec.name == name
+
+
+class TestModuleGating:
+    def test_mul_illegal_without_m(self):
+        dec = Decoder(RV32I)
+        with pytest.raises(IllegalInstructionError):
+            dec.decode(0x02208033)
+
+    def test_mul_legal_with_m(self):
+        assert Decoder(RV32IM).decode(0x02208033).spec.name == "mul"
+
+    def test_compressed_illegal_without_c(self):
+        dec = Decoder(RV32IM)
+        with pytest.raises(IllegalInstructionError):
+            dec.decode(0x1575)
+
+    def test_csr_illegal_without_zicsr(self):
+        dec = Decoder(RV32IMC)
+        with pytest.raises(IllegalInstructionError):
+            dec.decode(0x34011073)
+
+    def test_flw_only_with_f(self):
+        with pytest.raises(IllegalInstructionError):
+            Decoder(RV32IMC_ZICSR).decode(0x0041A107)
+        assert Decoder(RV32IMCF_ZICSR).decode(0x0041A107).spec.name == "flw"
+
+    def test_compressed_fp_needs_both_c_and_f(self):
+        # c.flw is only registered when C and F are both present.
+        assert "c.flw" in Decoder(RV32IMCF_ZICSR).spec_by_name
+        assert "c.flw" not in Decoder(RV32IMC_ZICSR).spec_by_name
+        assert "c.flw" not in Decoder(IsaConfig({"I", "F"})).spec_by_name
+
+
+class TestIllegalWords:
+    def test_all_zero_word_is_illegal(self):
+        with pytest.raises(IllegalInstructionError):
+            Decoder(RV32IMC).decode(0x0000)
+
+    def test_all_ones_is_illegal(self):
+        with pytest.raises(IllegalInstructionError):
+            Decoder(RV32IMC).decode(0xFFFFFFFF)
+
+    def test_addi4spn_zero_imm_is_illegal(self):
+        # funct3=000 op=00 with nzuimm == 0 but nonzero rd bits.
+        with pytest.raises(IllegalInstructionError):
+            Decoder(RV32IMC).decode(0x0004)
+
+    def test_error_carries_word_and_pc(self):
+        try:
+            Decoder(RV32I).decode(0xFFFFFFFF, pc=0x100)
+        except IllegalInstructionError as exc:
+            assert exc.word == 0xFFFFFFFF
+            assert exc.pc == 0x100
+        else:
+            pytest.fail("expected IllegalInstructionError")
+
+    def test_try_decode_returns_none(self):
+        assert Decoder(RV32I).try_decode(0xFFFFFFFF) is None
+
+
+class TestOverlapResolution:
+    """c.jr / c.mv / c.jalr / c.add / c.ebreak share match bits."""
+
+    def test_cjr_beats_cmv_when_rs2_zero(self):
+        assert Decoder(RV32IMC).decode(0x8082).spec.name == "c.jr"
+
+    def test_cebreak_beats_cjalr_and_cadd(self):
+        assert Decoder(RV32IMC).decode(0x9002).spec.name == "c.ebreak"
+
+    def test_cjalr_beats_cadd_when_rs2_zero(self):
+        assert Decoder(RV32IMC).decode(0x9082).spec.name == "c.jalr"
+
+    def test_caddi16sp_beats_clui_for_rd_sp(self):
+        assert Decoder(RV32IMC).decode(0x6141).spec.name == "c.addi16sp"
+
+
+class TestDecodeCache:
+    def test_cache_returns_same_object(self):
+        dec = Decoder(RV32IMC)
+        first = dec.decode(0x02A00093)
+        assert dec.decode(0x02A00093) is first
+
+    def test_clear_cache(self):
+        dec = Decoder(RV32IMC)
+        first = dec.decode(0x02A00093)
+        dec.clear_cache()
+        assert dec.decode(0x02A00093) is not first
+
+    def test_compressed_cache_keyed_on_halfword(self):
+        dec = Decoder(RV32IMC)
+        # The upper 16 bits of a fetched word must not affect the result.
+        assert dec.decode(0xFFFF1575).spec.name == "c.addi"
+        assert dec.decode(0x00001575) is dec.decode(0xFFFF1575)
+
+
+class TestIsaConfig:
+    def test_requires_base_module(self):
+        with pytest.raises(ValueError):
+            IsaConfig({"M"})
+
+    def test_rejects_unknown_module(self):
+        with pytest.raises(ValueError):
+            IsaConfig({"I", "X"})
+
+    def test_from_string_basic(self):
+        assert IsaConfig.from_string("rv32imc").modules == {"I", "M", "C"}
+
+    def test_from_string_with_z_extensions(self):
+        cfg = IsaConfig.from_string("RV32IMC_Zicsr")
+        assert "Zicsr" in cfg.modules
+
+    def test_from_string_g_expansion(self):
+        cfg = IsaConfig.from_string("rv32g")
+        assert {"I", "M", "Zicsr"} <= cfg.modules
+
+    def test_name_is_canonical(self):
+        assert IsaConfig({"I", "C", "M"}).name == "RV32IMC"
+        assert "Zicsr" in RV32IMC_ZICSR.name
+
+    def test_equality_and_hash(self):
+        assert IsaConfig({"I", "M"}) == IsaConfig({"M", "I"})
+        assert hash(IsaConfig({"I", "M"})) == hash(IsaConfig({"I", "M"}))
+
+    def test_contains(self):
+        assert "M" in RV32IM
+        assert "C" not in RV32IM
+
+
+class TestSpecTables:
+    def test_no_duplicate_mnemonics(self):
+        dec = Decoder(RV32IMCF_ZICSR)
+        assert len(dec.spec_by_name) == len(dec.specs)
+
+    def test_match_bits_within_mask(self):
+        for spec in Decoder(RV32IMCF_ZICSR).specs:
+            assert spec.match & ~spec.mask == 0, spec.name
+
+    def test_32bit_specs_have_low_bits_11(self):
+        for spec in Decoder(RV32IMCF_ZICSR).specs:
+            if spec.length == 4:
+                assert spec.match & 0x3 == 0x3, spec.name
+            else:
+                assert spec.match & 0x3 != 0x3, spec.name
+
+    def test_every_spec_decodes_its_own_match(self):
+        # Each spec's match word must decode to *some* spec (possibly a more
+        # specific overlapping one), never raise.
+        dec = Decoder(RV32IMCF_ZICSR)
+        for spec in dec.specs:
+            if spec.name == "c.addi4spn":
+                continue  # bare match has nzuimm == 0 -> defined illegal
+            decoded = dec.decode(spec.match)
+            assert decoded.spec.mask >= spec.mask or decoded.spec is spec

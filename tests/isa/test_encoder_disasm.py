@@ -1,0 +1,194 @@
+"""Encoder/disassembler tests, including a property-based round-trip over
+every instruction of the full configuration."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.isa import (
+    Decoder,
+    EncodingError,
+    RV32IMCF_ZICSR,
+    disassemble,
+    encode,
+)
+from repro.isa.encoder import operand_roles
+
+DEC = Decoder(RV32IMCF_ZICSR)
+
+# Strategies producing encodable operand values per role and instruction.
+_PRIME_REGS = st.integers(min_value=8, max_value=15)
+_ANY_REG = st.integers(min_value=0, max_value=31)
+_NONZERO_REG = st.integers(min_value=1, max_value=31)
+
+
+def _imm_strategy(name):
+    """A guaranteed-encodable immediate strategy for instruction ``name``."""
+    if name in ("slli", "srli", "srai"):
+        return st.integers(min_value=0, max_value=31)
+    if name in ("c.slli", "c.srli", "c.srai"):
+        return st.integers(min_value=1, max_value=31)
+    if name in ("lui", "auipc"):
+        return st.integers(min_value=0, max_value=(1 << 20) - 1)
+    if name == "jal":
+        return st.integers(min_value=-(1 << 19), max_value=(1 << 19) - 1) \
+            .map(lambda v: v * 2)
+    if name.startswith("b"):  # branches
+        return st.integers(min_value=-(1 << 11), max_value=(1 << 11) - 1) \
+            .map(lambda v: v * 2)
+    if name in ("c.j", "c.jal"):
+        return st.integers(min_value=-(1 << 10), max_value=(1 << 10) - 1) \
+            .map(lambda v: v * 2)
+    if name in ("c.beqz", "c.bnez"):
+        return st.integers(min_value=-(1 << 7), max_value=(1 << 7) - 1) \
+            .map(lambda v: v * 2)
+    if name in ("c.addi", "c.li", "c.andi"):
+        return st.integers(min_value=-32, max_value=31)
+    if name == "c.lui":
+        return st.sampled_from([1, 2, 31, 0xFFFFF, 0xFFFE1])
+    if name == "c.addi16sp":
+        return st.integers(min_value=-32, max_value=31) \
+            .filter(lambda v: v).map(lambda v: v * 16)
+    if name == "c.addi4spn":
+        return st.integers(min_value=1, max_value=255).map(lambda v: v * 4)
+    if name in ("c.lw", "c.sw", "c.flw", "c.fsw"):
+        return st.integers(min_value=0, max_value=31).map(lambda v: v * 4)
+    if name in ("c.lwsp", "c.swsp", "c.flwsp", "c.fswsp"):
+        return st.integers(min_value=0, max_value=63).map(lambda v: v * 4)
+    if name.startswith("csr") and name.endswith("i"):
+        return st.integers(min_value=0, max_value=31)
+    return st.integers(min_value=-2048, max_value=2047)  # generic 12-bit
+
+
+def _reg_strategy(name, role):
+    if name.startswith("c."):
+        if name in ("c.mv", "c.add") and role in ("rd", "rs2"):
+            return _NONZERO_REG
+        if name in ("c.jr", "c.jalr") and role == "rs1":
+            return _NONZERO_REG
+        if name in ("c.li", "c.slli") and role == "rd":
+            return _NONZERO_REG
+        if name == "c.lui" and role == "rd":
+            return _ANY_REG.filter(lambda r: r not in (0, 2))
+        if name == "c.addi16sp":
+            return st.just(2)
+        if name in ("c.lwsp",) and role == "rd":
+            return _NONZERO_REG
+        if name in ("c.swsp", "c.flwsp", "c.fswsp") and role in ("rs2", "frs2",
+                                                                 "frd"):
+            return _ANY_REG
+        if name == "c.addi" and role == "rd":
+            return _ANY_REG
+        return _PRIME_REGS
+    return _ANY_REG
+
+
+def operand_strategies(spec):
+    strategies = []
+    for role in operand_roles(spec):
+        if role == "imm":
+            strategies.append(_imm_strategy(spec.name))
+        elif role == "csr":
+            strategies.append(st.sampled_from([0x300, 0x305, 0x340, 0x341]))
+        else:
+            strategies.append(_reg_strategy(spec.name, role))
+    return strategies
+
+
+ROUNDTRIP_SPECS = [s for s in DEC.specs if s.encode is not None]
+
+
+@pytest.mark.parametrize("spec", ROUNDTRIP_SPECS, ids=lambda s: s.name)
+@settings(max_examples=25, deadline=None)
+@given(data=st.data())
+def test_encode_decode_roundtrip(spec, data):
+    """decode(encode(ops)) must reproduce the mnemonic and operands."""
+    values = [data.draw(strat) for strat in operand_strategies(spec)]
+    word = encode(DEC, spec.name, *values)
+    decoded = DEC.decode(word)
+    assert decoded.spec.name == spec.name
+    # Verify operand fields survive.
+    roles = operand_roles(spec)
+    for role, value in zip(roles, values):
+        if role in ("rd", "frd"):
+            assert decoded.rd == value
+        elif role in ("rs1",):
+            assert decoded.rs1 == value
+        elif role in ("rs2", "frs2"):
+            assert decoded.rs2 == value
+        elif role == "csr":
+            assert decoded.csr == value
+        elif role == "imm":
+            if spec.name in ("lui", "auipc"):
+                assert (decoded.imm >> 12) & 0xFFFFF == value
+            elif spec.name == "c.lui":
+                assert (decoded.imm >> 12) & 0xFFFFF == value & 0xFFFFF
+            else:
+                assert decoded.imm == value, (spec.name, value, decoded.imm)
+
+
+class TestEncodeErrors:
+    def test_unknown_mnemonic(self):
+        with pytest.raises(EncodingError):
+            encode(DEC, "frobnicate", 1, 2, 3)
+
+    def test_wrong_operand_count(self):
+        with pytest.raises(EncodingError):
+            encode(DEC, "add", 1, 2)
+
+    def test_out_of_range_immediate(self):
+        with pytest.raises(EncodingError):
+            encode(DEC, "addi", 1, 0, 5000)
+
+    def test_out_of_range_register(self):
+        with pytest.raises(EncodingError):
+            encode(DEC, "add", 32, 0, 0)
+
+    def test_compressed_register_class_enforced(self):
+        with pytest.raises(EncodingError):
+            encode(DEC, "c.lw", 3, 0, 8)  # rd=x3 not in x8..x15
+
+    def test_misaligned_branch_offset(self):
+        with pytest.raises(EncodingError):
+            encode(DEC, "beq", 1, 2, 3)
+
+    def test_c_lui_zero_not_encodable(self):
+        with pytest.raises(EncodingError):
+            encode(DEC, "c.lui", 5, 0)
+
+
+class TestDisassembler:
+    def test_r_type(self):
+        assert disassemble(DEC.decode(0x00208033)) == "add zero, ra, sp"
+
+    def test_load_store_syntax(self):
+        assert disassemble(DEC.decode(encode(DEC, "lw", 10, 8, 2))) == \
+            "lw a0, 8(sp)"
+        assert disassemble(DEC.decode(encode(DEC, "sw", 10, -4, 2))) == \
+            "sw a0, -4(sp)"
+
+    def test_upper_immediate_rendered_in_hex(self):
+        assert disassemble(DEC.decode(0x123450B7)) == "lui ra, 0x12345"
+
+    def test_csr_by_name(self):
+        text = disassemble(DEC.decode(encode(DEC, "csrrw", 1, 0x340, 2)))
+        assert text == "csrrw ra, mscratch, sp"
+
+    def test_unknown_csr_in_hex(self):
+        text = disassemble(DEC.decode(encode(DEC, "csrrw", 1, 0x7C0, 2)))
+        assert "0x7c0" in text
+
+    def test_no_operand_instruction(self):
+        assert disassemble(DEC.decode(0x00000073)) == "ecall"
+
+    def test_branch_with_pc_shows_target(self):
+        word = encode(DEC, "beq", 1, 2, -16)
+        text = disassemble(DEC.decode(word), pc=0x80000010)
+        assert "0x80000000" in text
+
+    def test_compressed_sp_loads(self):
+        text = disassemble(DEC.decode(encode(DEC, "c.lwsp", 10, 16)))
+        assert text == "c.lwsp a0, 16(sp)"
+
+    def test_fp_registers_named(self):
+        text = disassemble(DEC.decode(encode(DEC, "flw", 2, 4, 3)))
+        assert text == "flw ft2, 4(gp)"

@@ -1,0 +1,109 @@
+"""Unit and property tests for bit-field helpers and immediate codecs."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.isa import fields as f
+
+
+class TestBits:
+    def test_bits_extracts_inclusive_range(self):
+        assert f.bits(0b1101100, 5, 2) == 0b1011
+
+    def test_bits_full_word(self):
+        assert f.bits(0xFFFFFFFF, 31, 0) == 0xFFFFFFFF
+
+    def test_bits_rejects_inverted_range(self):
+        with pytest.raises(ValueError):
+            f.bits(0, 3, 5)
+
+    def test_bit_single(self):
+        assert f.bit(0b100, 2) == 1
+        assert f.bit(0b100, 1) == 0
+
+
+class TestSignExtension:
+    def test_positive_unchanged(self):
+        assert f.sign_extend(0x7FF, 12) == 0x7FF
+
+    def test_negative_extended(self):
+        assert f.sign_extend(0x800, 12) == -2048
+        assert f.sign_extend(0xFFF, 12) == -1
+
+    def test_to_signed_roundtrip(self):
+        assert f.to_signed(0xFFFFFFFF) == -1
+        assert f.to_unsigned(-1) == 0xFFFFFFFF
+
+    @given(st.integers(min_value=-(2**31), max_value=2**31 - 1))
+    def test_signed_unsigned_roundtrip(self, value):
+        assert f.to_signed(f.to_unsigned(value)) == value
+
+    @given(st.integers(min_value=0, max_value=2**32 - 1))
+    def test_unsigned_signed_roundtrip(self, value):
+        assert f.to_unsigned(f.to_signed(value)) == value
+
+    def test_fits_signed_bounds(self):
+        assert f.fits_signed(2047, 12)
+        assert f.fits_signed(-2048, 12)
+        assert not f.fits_signed(2048, 12)
+        assert not f.fits_signed(-2049, 12)
+
+    def test_fits_unsigned_bounds(self):
+        assert f.fits_unsigned(0, 5)
+        assert f.fits_unsigned(31, 5)
+        assert not f.fits_unsigned(32, 5)
+        assert not f.fits_unsigned(-1, 5)
+
+
+class TestImmediateCodecs:
+    """Each encode_imm_X must be the exact inverse of imm_X."""
+
+    @given(st.integers(min_value=-2048, max_value=2047))
+    def test_imm_i_roundtrip(self, imm):
+        assert f.imm_i(f.encode_imm_i(imm)) == imm
+
+    @given(st.integers(min_value=-2048, max_value=2047))
+    def test_imm_s_roundtrip(self, imm):
+        assert f.imm_s(f.encode_imm_s(imm)) == imm
+
+    @given(st.integers(min_value=-2048, max_value=2047).map(lambda v: v * 2))
+    def test_imm_b_roundtrip(self, imm):
+        assert f.imm_b(f.encode_imm_b(imm)) == imm
+
+    @given(st.integers(min_value=0, max_value=(1 << 20) - 1))
+    def test_imm_u_roundtrip(self, imm):
+        decoded = f.imm_u(f.encode_imm_u(imm))
+        assert (decoded >> 12) & 0xFFFFF == imm
+
+    @given(st.integers(min_value=-(1 << 19), max_value=(1 << 19) - 1)
+           .map(lambda v: v * 2))
+    def test_imm_j_roundtrip(self, imm):
+        assert f.imm_j(f.encode_imm_j(imm)) == imm
+
+    def test_imm_i_range_errors(self):
+        with pytest.raises(ValueError):
+            f.encode_imm_i(2048)
+        with pytest.raises(ValueError):
+            f.encode_imm_i(-2049)
+
+    def test_branch_alignment_enforced(self):
+        with pytest.raises(ValueError):
+            f.encode_imm_b(3)
+
+    def test_jump_alignment_enforced(self):
+        with pytest.raises(ValueError):
+            f.encode_imm_j(1)
+
+    def test_branch_encoding_bit_positions(self):
+        # offset -16: imm[12|10:5] -> bits 31|30:25, imm[4:1|11] -> 11:8|7
+        word = f.encode_imm_b(-16)
+        assert f.imm_b(word) == -16
+        assert word & 0x80000000  # sign bit lands in bit 31
+
+    def test_imm_fields_dont_touch_opcode_bits(self):
+        for encoder, imm in [
+            (f.encode_imm_i, -1), (f.encode_imm_s, -1),
+            (f.encode_imm_b, -2), (f.encode_imm_u, 0xFFFFF),
+            (f.encode_imm_j, -2),
+        ]:
+            assert encoder(imm) & 0x7F == 0

@@ -1,0 +1,218 @@
+"""Instruction-semantics unit tests, executed on the real VP.
+
+Each test encodes a single instruction, seeds registers, runs one block,
+and checks the architectural result — including the ISA's corner cases
+(division by zero, signed overflow, shift masking, x0 discards).
+"""
+
+import pytest
+
+from repro.vp import RAM_BASE
+
+from ..conftest import exec_insns, exec_one
+
+NEG1 = 0xFFFFFFFF
+INT_MIN = 0x80000000
+
+
+def check(name, ops, regs, reg, expected, **kw):
+    machine = exec_one(name, *ops, regs=regs, **kw)
+    assert machine.cpu.regs.raw_read(reg) == expected, (
+        f"{name} {ops}: x{reg} = {machine.cpu.regs.raw_read(reg):#x}, "
+        f"expected {expected:#x}"
+    )
+
+
+class TestArithmetic:
+    def test_add(self):
+        check("add", (3, 1, 2), {1: 5, 2: 7}, 3, 12)
+
+    def test_add_wraps(self):
+        check("add", (3, 1, 2), {1: NEG1, 2: 1}, 3, 0)
+
+    def test_sub(self):
+        check("sub", (3, 1, 2), {1: 5, 2: 7}, 3, NEG1 - 1)
+
+    def test_addi_negative(self):
+        check("addi", (3, 1, -5), {1: 3}, 3, NEG1 - 1)
+
+    def test_writes_to_x0_discarded(self):
+        check("add", (0, 1, 2), {1: 5, 2: 7}, 0, 0)
+
+    def test_lui(self):
+        check("lui", (5, 0xFFFFF), {}, 5, 0xFFFFF000)
+
+    def test_auipc(self):
+        machine = exec_one("auipc", 5, 1)
+        assert machine.cpu.regs.raw_read(5) == RAM_BASE + 0x1000
+
+
+class TestLogic:
+    def test_and_or_xor(self):
+        check("and", (3, 1, 2), {1: 0b1100, 2: 0b1010}, 3, 0b1000)
+        check("or", (3, 1, 2), {1: 0b1100, 2: 0b1010}, 3, 0b1110)
+        check("xor", (3, 1, 2), {1: 0b1100, 2: 0b1010}, 3, 0b0110)
+
+    def test_andi_sign_extends_immediate(self):
+        check("andi", (3, 1, -1), {1: 0xDEADBEEF}, 3, 0xDEADBEEF)
+
+    def test_xori_not_idiom(self):
+        check("xori", (3, 1, -1), {1: 0x0F0F0F0F}, 3, 0xF0F0F0F0)
+
+    def test_ori(self):
+        check("ori", (3, 1, 0xFF), {1: 0xF00}, 3, 0xFFF)
+
+
+class TestShifts:
+    def test_sll_masks_shift_amount(self):
+        check("sll", (3, 1, 2), {1: 1, 2: 33}, 3, 2)
+
+    def test_srl_logical(self):
+        check("srl", (3, 1, 2), {1: INT_MIN, 2: 31}, 3, 1)
+
+    def test_sra_arithmetic(self):
+        check("sra", (3, 1, 2), {1: INT_MIN, 2: 31}, 3, NEG1)
+
+    def test_slli(self):
+        check("slli", (3, 1, 4), {1: 0x10}, 3, 0x100)
+
+    def test_srli_vs_srai_on_negative(self):
+        check("srli", (3, 1, 1), {1: 0x80000000}, 3, 0x40000000)
+        check("srai", (3, 1, 1), {1: 0x80000000}, 3, 0xC0000000)
+
+
+class TestComparisons:
+    def test_slt_signed(self):
+        check("slt", (3, 1, 2), {1: NEG1, 2: 1}, 3, 1)  # -1 < 1
+
+    def test_sltu_unsigned(self):
+        check("sltu", (3, 1, 2), {1: NEG1, 2: 1}, 3, 0)  # 0xFFFFFFFF > 1
+
+    def test_slti(self):
+        check("slti", (3, 1, 0), {1: NEG1}, 3, 1)
+
+    def test_sltiu_sign_extended_then_unsigned(self):
+        # imm -1 compares as 0xFFFFFFFF: only 0xFFFFFFFF is not below it.
+        check("sltiu", (3, 1, -1), {1: 5}, 3, 1)
+        check("sltiu", (3, 1, -1), {1: NEG1}, 3, 0)
+
+    def test_sltu_zero_rs1_snez_idiom(self):
+        check("sltu", (3, 0, 2), {2: 42}, 3, 1)
+        check("sltu", (3, 0, 2), {2: 0}, 3, 0)
+
+
+class TestMultiplyDivide:
+    def test_mul_low(self):
+        check("mul", (3, 1, 2), {1: 7, 2: 6}, 3, 42)
+
+    def test_mul_wraps(self):
+        check("mul", (3, 1, 2), {1: 0x10000, 2: 0x10000}, 3, 0)
+
+    def test_mulh_signed_signed(self):
+        check("mulh", (3, 1, 2), {1: NEG1, 2: NEG1}, 3, 0)  # 1 >> 32
+
+    def test_mulh_large(self):
+        check("mulh", (3, 1, 2), {1: INT_MIN, 2: INT_MIN}, 3, 0x40000000)
+
+    def test_mulhu_unsigned(self):
+        check("mulhu", (3, 1, 2), {1: NEG1, 2: NEG1}, 3, 0xFFFFFFFE)
+
+    def test_mulhsu_mixed(self):
+        check("mulhsu", (3, 1, 2), {1: NEG1, 2: NEG1}, 3, NEG1)
+
+    def test_div_signed(self):
+        check("div", (3, 1, 2), {1: (-7) & NEG1, 2: 2}, 3, (-3) & NEG1)
+
+    def test_div_rounds_toward_zero(self):
+        check("div", (3, 1, 2), {1: (-7) & NEG1, 2: 2}, 3, (-3) & NEG1)
+        check("div", (3, 1, 2), {1: 7, 2: (-2) & NEG1}, 3, (-3) & NEG1)
+
+    def test_div_by_zero_returns_minus_one(self):
+        check("div", (3, 1, 2), {1: 42, 2: 0}, 3, NEG1)
+
+    def test_div_overflow(self):
+        check("div", (3, 1, 2), {1: INT_MIN, 2: NEG1}, 3, INT_MIN)
+
+    def test_divu_by_zero_returns_all_ones(self):
+        check("divu", (3, 1, 2), {1: 42, 2: 0}, 3, NEG1)
+
+    def test_rem_sign_follows_dividend(self):
+        check("rem", (3, 1, 2), {1: (-7) & NEG1, 2: 2}, 3, NEG1)  # -1
+        check("rem", (3, 1, 2), {1: 7, 2: (-2) & NEG1}, 3, 1)
+
+    def test_rem_by_zero_returns_dividend(self):
+        check("rem", (3, 1, 2), {1: 42, 2: 0}, 3, 42)
+
+    def test_rem_overflow_returns_zero(self):
+        check("rem", (3, 1, 2), {1: INT_MIN, 2: NEG1}, 3, 0)
+
+    def test_remu(self):
+        check("remu", (3, 1, 2), {1: 7, 2: 4}, 3, 3)
+        check("remu", (3, 1, 2), {1: 7, 2: 0}, 3, 7)
+
+
+class TestLoadsStores:
+    def test_store_load_word(self):
+        machine = exec_insns([
+            0x02A00093,              # addi ra, zero, 42
+            0x00112223,              # sw ra, 4(sp)
+            0x00412103,              # lw sp, 4(sp)
+        ], regs={}, max_instructions=10)
+        # sp was seeded by reset; after the round-trip sp holds 42.
+        assert machine.cpu.regs.raw_read(2) == 42
+
+    def test_lb_sign_extends(self):
+        machine, = [exec_insns([
+            0x08000093,              # addi ra, zero, 128
+            0x001102A3,              # sb ra, 5(sp)
+            0x00510183,              # lb gp, 5(sp)
+        ], max_instructions=10)]
+        assert machine.cpu.regs.raw_read(3) == 0xFFFFFF80
+
+    def test_lbu_zero_extends(self):
+        machine = exec_insns([
+            0x08000093,              # addi ra, zero, 128
+            0x001102A3,              # sb ra, 5(sp)
+            0x00514183,              # lbu gp, 5(sp)
+        ], max_instructions=10)
+        assert machine.cpu.regs.raw_read(3) == 0x80
+
+    def test_lh_sign_extends_lhu_does_not(self):
+        from repro.isa import Decoder, RV32IMC_ZICSR, encode
+        dec = Decoder(RV32IMC_ZICSR)
+        machine = exec_insns(
+            [encode(dec, "lh", 3, 0x100, 1),    # lh gp, 0x100(ra)
+             encode(dec, "lhu", 4, 0x100, 1)],  # lhu tp, 0x100(ra)
+            regs={1: RAM_BASE}, max_instructions=5)
+        machine.ram.write_bytes(0x100, (0x8001).to_bytes(2, "little"))
+        machine.cpu.reset(RAM_BASE)
+        machine.cpu.regs.raw_write(1, RAM_BASE)
+        machine.run(max_instructions=5)
+        assert machine.cpu.regs.raw_read(3) == 0xFFFF8001
+        assert machine.cpu.regs.raw_read(4) == 0x8001
+
+
+class TestFloatSubset:
+    def test_fmv_roundtrip(self):
+        from repro.isa import RV32IMCF_ZICSR, Decoder, encode
+        dec = Decoder(RV32IMCF_ZICSR)
+        words = [
+            encode(dec, "fmv.w.x", 3, 1),
+            encode(dec, "fmv.x.w", 5, 3),
+        ]
+        machine = exec_insns(words, isa=RV32IMCF_ZICSR,
+                             regs={1: 0x3F800000}, max_instructions=5)
+        assert machine.cpu.fregs.read(3) == 0x3F800000
+        assert machine.cpu.regs.raw_read(5) == 0x3F800000
+
+    def test_fsgnj_as_fmv(self):
+        from repro.isa import RV32IMCF_ZICSR, Decoder, encode
+        dec = Decoder(RV32IMCF_ZICSR)
+        words = [
+            encode(dec, "fmv.w.x", 1, 1),
+            encode(dec, "fsgnj.s", 2, 1, 1),
+            encode(dec, "fmv.x.w", 5, 2),
+        ]
+        machine = exec_insns(words, isa=RV32IMCF_ZICSR,
+                             regs={1: 0xC0490FDB}, max_instructions=5)
+        assert machine.cpu.regs.raw_read(5) == 0xC0490FDB

@@ -1,0 +1,195 @@
+"""Abstract RTOS model tests: RTA, simulation, and their bracketing."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.rtos import (
+    TaskSpec,
+    analyze_taskset,
+    assign_priorities,
+    hyperperiod,
+    response_time_analysis,
+    simulate,
+    total_utilization,
+)
+
+
+class TestTaskSpec:
+    def test_valid(self):
+        task = TaskSpec("t", period=100, wcet=10)
+        assert task.effective_deadline == 100
+        assert task.utilization == 0.1
+
+    def test_explicit_deadline(self):
+        assert TaskSpec("t", 100, 10, deadline=50).effective_deadline == 50
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            TaskSpec("t", 0, 1)
+        with pytest.raises(ValueError):
+            TaskSpec("t", 10, 0)
+        with pytest.raises(ValueError):
+            TaskSpec("t", 10, 11)
+        with pytest.raises(ValueError):
+            TaskSpec("t", 10, 5, deadline=20)
+
+
+class TestPriorities:
+    def test_rate_monotonic_by_default(self):
+        ordered = assign_priorities([
+            TaskSpec("slow", 1000, 10),
+            TaskSpec("fast", 10, 1),
+            TaskSpec("mid", 100, 5),
+        ])
+        assert [t.name for t in ordered] == ["fast", "mid", "slow"]
+
+    def test_explicit_priorities_respected(self):
+        ordered = assign_priorities([
+            TaskSpec("low", 10, 1, priority=1),
+            TaskSpec("high", 1000, 10, priority=5),
+        ])
+        assert [t.name for t in ordered] == ["high", "low"]
+
+    def test_deterministic_tie_break(self):
+        a = assign_priorities([TaskSpec("b", 10, 1), TaskSpec("a", 10, 1)])
+        assert [t.name for t in a] == ["a", "b"]
+
+
+class TestRta:
+    def test_single_task(self):
+        result = response_time_analysis([TaskSpec("t", 100, 30)])
+        assert result.bound("t") == 30
+        assert result.schedulable
+
+    def test_classic_example(self):
+        # Liu & Layland style: R2 = C2 + ceil(R2/T1)*C1.
+        result = response_time_analysis([
+            TaskSpec("hi", 50, 20),
+            TaskSpec("lo", 100, 35),
+        ])
+        assert result.bound("hi") == 20
+        # R = 35 + ceil(R/50)*20 -> 55 -> 35+2*20=75 -> 75 stable.
+        assert result.bound("lo") == 75
+        assert result.schedulable
+
+    def test_unschedulable_diverges(self):
+        result = response_time_analysis([
+            TaskSpec("hi", 10, 6),
+            TaskSpec("lo", 15, 9),
+        ])
+        assert result.bound("lo") is None
+        assert not result.schedulable
+
+    def test_full_utilization_harmonic_schedulable(self):
+        # Harmonic periods schedule up to 100% utilization under RM.
+        result = response_time_analysis([
+            TaskSpec("a", 10, 5),
+            TaskSpec("b", 20, 10),
+        ])
+        assert result.schedulable
+        assert result.bound("b") == 20
+
+
+class TestSimulation:
+    def test_idle_gaps_skipped(self):
+        result = simulate([TaskSpec("t", 100, 5)], horizon=1000)
+        assert result.jobs_completed["t"] == 10
+        assert result.max_response["t"] == 5
+
+    def test_preemption(self):
+        result = simulate([
+            TaskSpec("hi", 50, 20),
+            TaskSpec("lo", 100, 35),
+        ], horizon=100)
+        # lo runs in the gaps: 20..50 (30 units) then 70..75.
+        assert result.max_response["lo"] == 75
+        assert not result.missed
+
+    def test_miss_detected(self):
+        result = simulate([
+            TaskSpec("hi", 10, 6),
+            TaskSpec("lo", 15, 9),
+        ], horizon=60)
+        assert result.missed
+        assert any(name == "lo" for name, _t in result.deadline_misses)
+
+    def test_hyperperiod(self):
+        tasks = [TaskSpec("a", 6, 1), TaskSpec("b", 8, 1)]
+        assert hyperperiod(tasks) == 24
+
+    def test_hyperperiod_capped(self):
+        tasks = [TaskSpec("a", 99991, 1), TaskSpec("b", 99989, 1)]
+        assert hyperperiod(tasks, cap=10_000) == 10_000
+
+    def test_every_released_job_accounted(self):
+        tasks = [TaskSpec("a", 10, 2), TaskSpec("b", 25, 5)]
+        result = simulate(tasks)
+        for task in tasks:
+            assert result.jobs_released[task.name] >= \
+                result.jobs_completed[task.name]
+
+
+class TestBracketing:
+    """RTA bound must dominate the simulated critical-instant response."""
+
+    @pytest.mark.parametrize("tasks", [
+        [TaskSpec("a", 100, 20), TaskSpec("b", 250, 60),
+         TaskSpec("c", 1000, 150)],
+        [TaskSpec("a", 10, 5), TaskSpec("b", 20, 10)],
+        [TaskSpec("a", 7, 2), TaskSpec("b", 11, 3), TaskSpec("c", 13, 3)],
+    ])
+    def test_rta_dominates_simulation(self, tasks):
+        report = analyze_taskset(tasks)
+        assert report.consistent
+        if report.rta.schedulable:
+            assert not report.simulation.missed
+
+    @given(st.lists(
+        st.tuples(st.integers(min_value=5, max_value=50),
+                  st.integers(min_value=1, max_value=10)),
+        min_size=1, max_size=4,
+    ))
+    @settings(max_examples=60, deadline=None)
+    def test_property_rta_vs_simulation(self, raw):
+        tasks = []
+        for index, (period, wcet) in enumerate(raw):
+            tasks.append(TaskSpec(f"t{index}", period,
+                                  min(wcet, period)))
+        if total_utilization(tasks) > 1.0:
+            return  # overloaded sets may legitimately diverge/miss
+        report = analyze_taskset(tasks)
+        assert report.consistent
+        if report.rta.schedulable:
+            assert not report.simulation.missed
+
+
+class TestReport:
+    def test_table_contents(self):
+        report = analyze_taskset([
+            TaskSpec("ctrl", 100, 20), TaskSpec("log", 1000, 100),
+        ])
+        text = report.table()
+        assert "ctrl" in text and "log" in text
+        assert "schedulable" in text
+
+    def test_wcet_integration(self):
+        from repro.rtos import taskset_from_wcet_analyses
+        from repro.wcet import analyze_program
+
+        source = """
+        _start:
+            li t0, 0
+            li t1, 5
+        w:                 # @loopbound 5
+            addi t0, t0, 1
+            blt t0, t1, w
+            li a7, 93
+            ecall
+        """
+        analysis = analyze_program(source)
+        tasks = taskset_from_wcet_analyses([
+            ("kernel", analysis, analysis.static_bound.cycles * 4),
+        ])
+        assert tasks[0].wcet == analysis.static_bound.cycles
+        report = analyze_taskset(tasks)
+        assert report.rta.schedulable

@@ -1,0 +1,194 @@
+"""Tests for the four test-program generators."""
+
+import pytest
+
+from repro.coverage import measure_coverage, measure_suite
+from repro.isa import RV32IM, RV32IMC_ZICSR, RV32IMCF_ZICSR
+from repro.testgen import (
+    ArchSuiteGenerator,
+    StructuredGenerator,
+    TortureConfig,
+    TortureGenerator,
+    UnitSuiteGenerator,
+)
+from repro.vp import Machine, MachineConfig
+
+
+def run_clean(program, isa, budget=200_000):
+    machine = Machine(MachineConfig(isa=isa))
+    machine.load(program)
+    result = machine.run(max_instructions=budget)
+    return result
+
+
+class TestArchSuite:
+    def test_all_programs_exit_zero(self):
+        for name, program in ArchSuiteGenerator(RV32IMC_ZICSR).generate():
+            result = run_clean(program, RV32IMC_ZICSR)
+            assert result.stop_reason == "exit", name
+            assert result.exit_code == 0, name
+
+    def test_full_instruction_coverage(self):
+        suite = ArchSuiteGenerator(RV32IMCF_ZICSR).generate()
+        union = measure_suite(suite, isa=RV32IMCF_ZICSR,
+                              max_instructions=50_000).union
+        assert union.missed_insn_types() == []
+        assert union.insn_coverage == 1.0
+
+    def test_restricted_register_palette(self):
+        suite = ArchSuiteGenerator(RV32IMC_ZICSR).generate()
+        union = measure_suite(suite, isa=RV32IMC_ZICSR,
+                              max_instructions=50_000).union
+        # By design the directed tests never reach full GPR coverage.
+        assert union.gpr_coverage < 0.8
+
+    def test_module_gating(self):
+        names = [name for name, _ in ArchSuiteGenerator(RV32IM).generate()]
+        assert "arch-compressed" not in names
+        assert "arch-system" not in names
+        assert "arch-muldiv" in names
+
+
+class TestUnitSuite:
+    def test_all_programs_self_check_green(self):
+        for name, program in UnitSuiteGenerator(RV32IMC_ZICSR).generate():
+            result = run_clean(program, RV32IMC_ZICSR)
+            assert result.stop_reason == "exit", name
+            assert result.exit_code == 0, f"{name} failed case {result.exit_code}"
+
+    def test_deterministic_per_seed(self):
+        a = UnitSuiteGenerator(RV32IMC_ZICSR, seed=3).generate_sources()
+        b = UnitSuiteGenerator(RV32IMC_ZICSR, seed=3).generate_sources()
+        assert a == b
+
+    def test_different_seed_changes_cases(self):
+        a = UnitSuiteGenerator(RV32IMC_ZICSR, seed=3).generate_sources()
+        b = UnitSuiteGenerator(RV32IMC_ZICSR, seed=4).generate_sources()
+        assert a != b
+
+    def test_case_count_scales(self):
+        small = UnitSuiteGenerator(RV32IMC_ZICSR, cases_per_insn=1)
+        large = UnitSuiteGenerator(RV32IMC_ZICSR, cases_per_insn=5)
+        assert len(large.generate_sources()[0][1]) > \
+            len(small.generate_sources()[0][1])
+
+    def test_failure_exits_with_case_number(self):
+        # Sabotage: corrupt a known-good case via fault injection on the
+        # comparison register -- instead simply check the fail path exists
+        # by assembling a program that fails its first check.
+        from repro.asm import assemble
+        source = "\n".join([
+            ".text", "_start:",
+            "    li t3, 1",
+            "    li a4, 5",
+            "    li a5, 6",
+            "    bne a4, a5, fail",
+            "    li a0, 0", "    li a7, 93", "    ecall",
+            "fail:", "    mv a0, t3", "    li a7, 93", "    ecall",
+        ])
+        result = run_clean(assemble(source, isa=RV32IMC_ZICSR),
+                           RV32IMC_ZICSR)
+        assert result.exit_code == 1
+
+
+class TestTorture:
+    def test_programs_terminate_cleanly(self):
+        generator = TortureGenerator(RV32IMC_ZICSR,
+                                     TortureConfig(length=200))
+        for seed in range(5):
+            result = run_clean(generator.generate(seed), RV32IMC_ZICSR)
+            assert result.stop_reason == "exit", seed
+            assert result.exit_code == 0, seed
+
+    def test_deterministic_per_seed(self):
+        generator = TortureGenerator(RV32IMC_ZICSR)
+        assert generator.generate_source(7) == generator.generate_source(7)
+        assert generator.generate_source(7) != generator.generate_source(8)
+
+    def test_full_gpr_coverage_single_program(self):
+        generator = TortureGenerator(RV32IMC_ZICSR,
+                                     TortureConfig(length=500, seed=0))
+        report = measure_coverage(generator.generate(), isa=RV32IMC_ZICSR,
+                                  max_instructions=100_000)
+        assert report.gpr_coverage == 1.0
+
+    def test_never_emits_unsafe_instructions(self):
+        generator = TortureGenerator(RV32IMC_ZICSR,
+                                     TortureConfig(length=300, seed=2))
+        source = generator.generate_source()
+        body = source.split("_start:")[1].rsplit("li a7", 1)[0]
+        for unsafe in ("ebreak", "wfi", "mret", "jalr", "jr "):
+            assert unsafe not in body, unsafe
+
+    def test_suite_generation_names_and_seeds(self):
+        generator = TortureGenerator(RV32IMC_ZICSR,
+                                     TortureConfig(length=50))
+        suite = generator.generate_suite(3, start_seed=10)
+        assert [name for name, _ in suite] == \
+            ["torture-010", "torture-011", "torture-012"]
+
+    def test_fpr_coverage_with_f(self):
+        generator = TortureGenerator(
+            RV32IMCF_ZICSR, TortureConfig(length=600, seed=1,
+                                          fp_probability=0.3))
+        report = measure_coverage(generator.generate(), isa=RV32IMCF_ZICSR,
+                                  max_instructions=100_000)
+        assert report.fpr_coverage > 0.5
+
+
+class TestStructuredGenerator:
+    @pytest.mark.parametrize("seed", range(8))
+    def test_checksum_matches_interpreter(self, seed):
+        generated = StructuredGenerator().generate(seed)
+        result = run_clean(generated.program, RV32IMC_ZICSR,
+                           budget=1_000_000)
+        assert result.stop_reason == "exit"
+        assert result.exit_code == generated.expected_exit_code
+
+    def test_deterministic(self):
+        a = StructuredGenerator().generate(3)
+        b = StructuredGenerator().generate(3)
+        assert a.source == b.source
+        assert a.expected_checksum == b.expected_checksum
+
+    def test_loop_bound_annotations_present(self):
+        # Generated loops carry @loopbound annotations for the WCET flow.
+        for seed in range(20):
+            source = StructuredGenerator().generate(seed).source
+            if "loop" in source:
+                assert "@loopbound" in source
+                return
+        pytest.skip("no seed produced a loop (unexpected)")
+
+    def test_suite_generation(self):
+        suite = StructuredGenerator().generate_suite(4, start_seed=2)
+        assert len(suite) == 4
+        assert suite[0].name == "gen-0002"
+
+    def test_interpreter_masks_to_32_bits(self):
+        generator = StructuredGenerator()
+        ast = [("assign", 0, ("binop", "mul",
+                              ("const", 0x10000), ("const", 0x10000)))]
+        assert generator.interpret(ast) == 0
+
+
+class TestSuiteComposition:
+    """The T1 experiment shape at unit-test scale."""
+
+    def test_no_single_suite_is_complete_but_union_is(self):
+        isa = RV32IMC_ZICSR
+        arch = measure_suite(ArchSuiteGenerator(isa).generate(), isa=isa,
+                             max_instructions=50_000).union
+        torture_gen = TortureGenerator(isa, TortureConfig(length=400))
+        torture = measure_suite(torture_gen.generate_suite(2), isa=isa,
+                                max_instructions=100_000).union
+        unit = measure_suite(UnitSuiteGenerator(isa).generate(), isa=isa,
+                             max_instructions=50_000).union
+        # Individual tradeoffs.
+        assert arch.gpr_coverage < 1.0          # narrow palette
+        assert torture.insn_coverage < 1.0      # misses system insns
+        assert unit.insn_coverage < arch.insn_coverage
+        # The union closes the register gap.
+        combined = arch | torture | unit
+        assert combined.gpr_coverage == 1.0
+        assert combined.insn_coverage >= 0.98

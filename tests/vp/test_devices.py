@@ -1,0 +1,142 @@
+"""Peripheral device tests: UART, CLINT, exit device."""
+
+import pytest
+
+from repro.isa import csr as csrdef
+from repro.vp import BusError, MachineExit
+from repro.vp.devices import Clint, ExitDevice, Uart
+from repro.vp.devices.uart import RXDATA, STATUS, STATUS_RX_AVAIL, STATUS_TX_READY, TXDATA
+from repro.vp.devices import clint as clint_regs
+
+
+class TestUart:
+    def test_tx_accumulates(self):
+        uart = Uart()
+        for ch in b"hi":
+            uart.store(TXDATA, 1, ch)
+        assert uart.output == "hi"
+        assert uart.tx_log == b"hi"
+
+    def test_tx_masks_to_byte(self):
+        uart = Uart()
+        uart.store(TXDATA, 4, 0x141)
+        assert uart.tx_log == b"\x41"
+
+    def test_rx_queue(self):
+        uart = Uart()
+        uart.push_rx(b"ab")
+        assert uart.load(RXDATA, 4) == ord("a")
+        assert uart.load(RXDATA, 4) == ord("b")
+        assert uart.load(RXDATA, 4) == 0xFFFFFFFF  # empty
+
+    def test_status_bits(self):
+        uart = Uart()
+        assert uart.load(STATUS, 4) == STATUS_TX_READY
+        uart.push_rx(b"x")
+        assert uart.load(STATUS, 4) == STATUS_TX_READY | STATUS_RX_AVAIL
+
+    def test_unknown_register_raises(self):
+        with pytest.raises(BusError):
+            Uart().load(0x40, 4)
+        with pytest.raises(BusError):
+            Uart().store(0x40, 4, 0)
+
+    def test_writes_to_readonly_ignored(self):
+        uart = Uart()
+        uart.store(STATUS, 4, 0xFF)
+        assert uart.load(STATUS, 4) == STATUS_TX_READY
+
+    def test_access_trace(self):
+        uart = Uart(trace=True)
+        uart.store(TXDATA, 1, 0x41)
+        uart.load(STATUS, 4)
+        assert uart.access_log[0] == ("store", TXDATA, 0x41)
+        assert uart.access_log[1][0] == "load"
+
+    def test_trace_disabled_by_default(self):
+        uart = Uart()
+        uart.store(TXDATA, 1, 0x41)
+        assert not uart.access_log
+
+
+class TestClint:
+    def test_mtime_advances_with_tick(self):
+        clint = Clint()
+        clint.tick(10)
+        clint.tick(5)
+        assert clint.mtime == 15
+
+    def test_timer_pending_when_expired(self):
+        clint = Clint()
+        clint.mtimecmp = 10
+        clint.tick(9)
+        assert clint.pending_interrupts() == 0
+        clint.tick(1)
+        assert clint.pending_interrupts() & csrdef.MIE_MTIE
+
+    def test_software_interrupt(self):
+        clint = Clint()
+        clint.store(clint_regs.MSIP, 4, 1)
+        assert clint.pending_interrupts() & csrdef.MIE_MSIE
+        clint.store(clint_regs.MSIP, 4, 0)
+        assert clint.pending_interrupts() == 0
+
+    def test_msip_only_bit0(self):
+        clint = Clint()
+        clint.store(clint_regs.MSIP, 4, 0xFE)
+        assert clint.load(clint_regs.MSIP, 4) == 0
+
+    def test_mtimecmp_64bit_access(self):
+        clint = Clint()
+        clint.store(clint_regs.MTIMECMP_LO, 4, 0x1234)
+        clint.store(clint_regs.MTIMECMP_HI, 4, 0x1)
+        assert clint.mtimecmp == 0x1_0000_1234
+        assert clint.load(clint_regs.MTIMECMP_LO, 4) == 0x1234
+        assert clint.load(clint_regs.MTIMECMP_HI, 4) == 1
+
+    def test_mtime_readable_and_writable(self):
+        clint = Clint()
+        clint.store(clint_regs.MTIME_LO, 4, 100)
+        assert clint.load(clint_regs.MTIME_LO, 4) == 100
+        clint.store(clint_regs.MTIME_HI, 4, 2)
+        assert clint.mtime == (2 << 32) | 100
+
+    def test_cycles_until_timer(self):
+        clint = Clint()
+        clint.mtimecmp = 50
+        clint.tick(20)
+        assert clint.cycles_until_timer() == 30
+        clint.tick(40)
+        assert clint.cycles_until_timer() == 0
+
+    def test_no_interrupt_by_default(self):
+        # mtimecmp resets to the maximum: a fresh CLINT never fires.
+        clint = Clint()
+        clint.tick(1_000_000)
+        assert clint.pending_interrupts() == 0
+
+    def test_unknown_register_raises(self):
+        with pytest.raises(BusError):
+            Clint().load(0x8, 4)
+
+
+class TestExitDevice:
+    def test_odd_write_exits(self):
+        dev = ExitDevice()
+        with pytest.raises(MachineExit) as info:
+            dev.store(0, 4, (42 << 1) | 1)
+        assert info.value.code == 42
+
+    def test_pass_code(self):
+        with pytest.raises(MachineExit) as info:
+            ExitDevice().store(0, 4, 1)
+        assert info.value.code == 0
+
+    def test_even_write_does_not_exit(self):
+        dev = ExitDevice()
+        dev.store(0, 4, 4)
+        assert dev.load(0, 4) == 4
+
+    def test_bad_offset(self):
+        with pytest.raises(BusError):
+            ExitDevice().store(4, 4, 1)

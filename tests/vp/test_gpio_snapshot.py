@@ -1,0 +1,206 @@
+"""Tests for the GPIO device, UART interrupts, and machine checkpointing."""
+
+import pytest
+
+from repro.asm import assemble
+from repro.isa import RV32IMC_ZICSR
+from repro.isa import csr as csrdef
+from repro.vp import BusError, Machine, MachineConfig
+from repro.vp.devices.gpio import Gpio
+
+EXIT = "\n    li a7, 93\n    ecall\n"
+
+
+class TestGpioDevice:
+    def test_out_readback(self):
+        gpio = Gpio()
+        gpio.store(0x00, 4, 0xA5)
+        assert gpio.load(0x00, 4) == 0xA5
+
+    def test_set_and_clear(self):
+        gpio = Gpio()
+        gpio.store(0x08, 4, 0b1010)   # SET
+        gpio.store(0x08, 4, 0b0001)
+        assert gpio.out == 0b1011
+        gpio.store(0x0C, 4, 0b0010)   # CLEAR
+        assert gpio.out == 0b1001
+
+    def test_history_records_changes_only(self):
+        gpio = Gpio()
+        gpio.store(0x00, 4, 1)
+        gpio.store(0x00, 4, 1)  # no change
+        gpio.store(0x00, 4, 3)
+        assert gpio.out_history == [1, 3]
+
+    def test_inputs_from_host(self):
+        gpio = Gpio()
+        gpio.set_inputs(0x42)
+        assert gpio.load(0x04, 4) == 0x42
+        gpio.store(0x04, 4, 0xFF)  # target writes ignored
+        assert gpio.inputs == 0x42
+
+    def test_pin_helper(self):
+        gpio = Gpio()
+        gpio.store(0x00, 4, 0b100)
+        assert gpio.pin(2) and not gpio.pin(0)
+
+    def test_unknown_register(self):
+        with pytest.raises(BusError):
+            Gpio().load(0x40, 4)
+
+    def test_mapped_on_machine(self):
+        machine = Machine()
+        program = assemble("""
+        _start:
+            li t0, 0x10001000
+            li t1, 5
+            sw t1, 0(t0)
+        """ + EXIT, isa=RV32IMC_ZICSR)
+        machine.load(program)
+        machine.run(max_instructions=100)
+        assert machine.gpio.out == 5
+
+
+class TestUartInterrupt:
+    PROGRAM = """
+    _start:
+        la t0, handler
+        csrw mtvec, t0
+        li t0, 0x10000000
+        li t1, 1
+        sw t1, 12(t0)      # UART IE: RX interrupt enable
+        li t0, 0x800       # MEIE
+        csrw mie, t0
+        csrsi mstatus, 8
+        wfi
+        j fail
+    fail:
+        li a0, 1
+        li a7, 93
+        ecall
+    .align 2
+    handler:
+        li t0, 0x10000000
+        lw a0, 4(t0)       # read RXDATA (clears the pending condition)
+        li a7, 93
+        ecall
+    """
+
+    def test_rx_interrupt_wakes_wfi(self):
+        machine = Machine()
+        machine.load(assemble(self.PROGRAM, isa=RV32IMC_ZICSR))
+        machine.uart.push_rx(b"K")
+        result = machine.run(max_instructions=10_000)
+        assert result.stop_reason == "exit"
+        assert result.exit_code == ord("K")
+
+    def test_no_interrupt_without_enable(self):
+        source = self.PROGRAM.replace("sw t1, 12(t0)", "nop")
+        machine = Machine()
+        machine.load(assemble(source, isa=RV32IMC_ZICSR))
+        machine.uart.push_rx(b"K")
+        result = machine.run(max_instructions=10_000)
+        # WFI sleeps forever: no enabled source can fire.
+        assert result.stop_reason == "wfi"
+
+    def test_interrupt_pending_logic(self):
+        from repro.vp.devices.uart import Uart, IE
+
+        uart = Uart()
+        assert not uart.interrupt_pending()
+        uart.store(IE, 4, 1)
+        assert not uart.interrupt_pending()  # no data yet
+        uart.push_rx(b"x")
+        assert uart.interrupt_pending()
+        uart.load(4, 4)  # drain RXDATA
+        assert not uart.interrupt_pending()
+
+    def test_external_interrupt_cause(self):
+        machine = Machine()
+        machine.load(assemble(self.PROGRAM.replace(
+            "lw a0, 4(t0)       # read RXDATA (clears the pending condition)",
+            "csrr a0, mcause\n        lw t1, 4(t0)"),
+            isa=RV32IMC_ZICSR))
+        machine.uart.push_rx(b"Z")
+        result = machine.run(max_instructions=10_000)
+        assert result.exit_code == csrdef.CAUSE_MACHINE_EXTERNAL_INT
+
+
+class TestMachineSnapshot:
+    PROGRAM = """
+    _start:
+        li t0, 0x10001000
+        li t1, 7
+        sw t1, 0(t0)       # GPIO out = 7
+        la t2, counter
+        lw t3, 0(t2)
+        addi t3, t3, 1
+        sw t3, 0(t2)
+        mv a0, t3
+    """ + EXIT + "\n.data\ncounter: .word 0"
+
+    def test_restore_replays_identically(self):
+        machine = Machine()
+        machine.load(assemble(self.PROGRAM, isa=RV32IMC_ZICSR))
+        snap = machine.snapshot()
+        first = machine.run(max_instructions=1000)
+        machine.restore(snap)
+        second = machine.run(max_instructions=1000)
+        # Without restore the counter in .data would increment to 2.
+        assert first.exit_code == second.exit_code == 1
+
+    def test_restore_resets_devices(self):
+        machine = Machine()
+        machine.load(assemble(self.PROGRAM, isa=RV32IMC_ZICSR))
+        snap = machine.snapshot()
+        machine.run(max_instructions=1000)
+        assert machine.gpio.out == 7
+        machine.restore(snap)
+        assert machine.gpio.out == 0
+        assert machine.uart.output == ""
+
+    def test_restore_resets_counters(self):
+        machine = Machine()
+        machine.load(assemble(self.PROGRAM, isa=RV32IMC_ZICSR))
+        snap = machine.snapshot()
+        machine.run(max_instructions=1000)
+        machine.restore(snap)
+        assert machine.cpu.csrs.instret == 0
+        assert machine.cpu.csrs.cycle == 0
+        assert machine.cpu.pc == machine.entry
+
+    def test_restore_undoes_code_patches(self):
+        machine = Machine()
+        machine.load(assemble("_start:\n    li a0, 1" + EXIT,
+                              isa=RV32IMC_ZICSR))
+        snap = machine.snapshot()
+        original = machine.ram.load(0, 4)
+        machine.ram.store(0, 4, original ^ 0x100)
+        machine.cpu.flush_translation_cache()
+        machine.restore(snap)
+        assert machine.ram.load(0, 4) == original
+        result = machine.run(max_instructions=100)
+        assert result.exit_code == 1
+
+
+class TestCampaignMachineReuse:
+    def test_reused_and_fresh_campaigns_agree(self):
+        from repro.faultsim import (FaultCampaign, MutantBudget,
+                                    generate_mutants)
+        from repro.testgen import StructuredGenerator
+
+        program = StructuredGenerator(statements=5).generate(21).program
+        budget = MutantBudget(code=20, gpr_transient=20, gpr_stuck=10,
+                              memory_transient=10, memory_stuck=5)
+        verdicts = {}
+        for reuse in (True, False):
+            campaign = FaultCampaign(program, isa=RV32IMC_ZICSR,
+                                     reuse_machine=reuse)
+            golden = campaign.golden()
+            faults = generate_mutants(
+                program, None, budget,
+                golden_instructions=golden.instructions, seed=9)
+            result = campaign.run(faults)
+            verdicts[reuse] = [(r.fault, r.outcome, r.exit_code)
+                               for r in result.results]
+        assert verdicts[True] == verdicts[False]

@@ -1,0 +1,116 @@
+"""RAM and system bus tests."""
+
+import pytest
+
+from repro.vp import BusError, Ram, SystemBus
+from repro.vp.memory import Device
+
+
+class TestRam:
+    def test_little_endian_word(self):
+        ram = Ram(64)
+        ram.store(0, 4, 0x11223344)
+        assert ram.load(0, 1) == 0x44
+        assert ram.load(3, 1) == 0x11
+        assert ram.load(0, 4) == 0x11223344
+
+    def test_store_masks_value(self):
+        ram = Ram(64)
+        ram.store(0, 1, 0x1FF)
+        assert ram.load(0, 1) == 0xFF
+
+    def test_out_of_range_raises(self):
+        ram = Ram(64)
+        with pytest.raises(BusError):
+            ram.load(64, 1)
+        with pytest.raises(BusError):
+            ram.store(62, 4, 0)
+        with pytest.raises(BusError):
+            ram.load(-1, 1)
+
+    def test_bulk_write_read(self):
+        ram = Ram(64)
+        ram.write_bytes(8, b"hello")
+        assert ram.read_bytes(8, 5) == b"hello"
+
+    def test_bulk_out_of_range(self):
+        ram = Ram(16)
+        with pytest.raises(BusError):
+            ram.write_bytes(14, b"abcd")
+
+    def test_invalid_size_rejected(self):
+        with pytest.raises(ValueError):
+            Ram(0)
+        with pytest.raises(ValueError):
+            Ram(13)
+
+    def test_fill(self):
+        ram = Ram(8)
+        ram.fill(0xAB)
+        assert ram.load(5, 1) == 0xAB
+
+
+class _Recorder(Device):
+    def __init__(self):
+        self.loads = []
+        self.stores = []
+        self.ticks = 0
+
+    def load(self, offset, width):
+        self.loads.append((offset, width))
+        return 7
+
+    def store(self, offset, width, value):
+        self.stores.append((offset, width, value))
+
+    def tick(self, cycles):
+        self.ticks += cycles
+
+
+class TestSystemBus:
+    def test_dispatch_by_region(self):
+        bus = SystemBus()
+        dev = _Recorder()
+        bus.attach(0x1000, 0x100, dev)
+        assert bus.load(0x1004, 4) == 7
+        assert dev.loads == [(4, 4)]
+        bus.store(0x10FF, 1, 9)
+        assert dev.stores == [(0xFF, 1, 9)]
+
+    def test_unmapped_raises(self):
+        bus = SystemBus()
+        with pytest.raises(BusError):
+            bus.load(0x2000, 4)
+
+    def test_overlap_rejected(self):
+        bus = SystemBus()
+        bus.attach(0x1000, 0x100, _Recorder())
+        with pytest.raises(ValueError, match="overlap"):
+            bus.attach(0x10FF, 0x10, _Recorder())
+
+    def test_adjacent_regions_allowed(self):
+        bus = SystemBus()
+        bus.attach(0x1000, 0x100, _Recorder())
+        bus.attach(0x1100, 0x100, _Recorder())
+
+    def test_tick_broadcast(self):
+        bus = SystemBus()
+        a, b = _Recorder(), _Recorder()
+        bus.attach(0x0, 0x10, a)
+        bus.attach(0x10, 0x10, b)
+        bus.tick(5)
+        assert a.ticks == b.ticks == 5
+
+    def test_ram_helper_finds_ram(self):
+        bus = SystemBus()
+        bus.attach(0x0, 0x10, _Recorder())
+        assert bus.ram() is None
+        ram = Ram(64)
+        bus.attach(0x100, 64, ram)
+        assert bus.ram() is ram
+
+    def test_regions_property_is_copy(self):
+        bus = SystemBus()
+        bus.attach(0x0, 0x10, _Recorder())
+        bus.regions.clear()
+        assert len(bus.regions) == 1

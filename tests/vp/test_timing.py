@@ -1,0 +1,111 @@
+"""Timing model tests, including the WCET-soundness invariant."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.isa import Decoder, RV32IMCF_ZICSR
+from repro.vp.timing import (
+    CLASS_ALU,
+    CLASS_BRANCH,
+    CLASS_DIV,
+    CLASS_JUMP,
+    CLASS_LOAD,
+    CLASS_MUL,
+    CLASS_STORE,
+    TimingModel,
+    classify,
+)
+
+DEC = Decoder(RV32IMCF_ZICSR)
+
+
+def decoded(name, word=None):
+    spec = DEC.spec_by_name[name]
+    return DEC.decode(word if word is not None else _sample_word(spec))
+
+
+def _sample_word(spec):
+    # A decodable representative: the match with safe operand bits.
+    if spec.name == "c.addi4spn":
+        return spec.match | (1 << 6)  # nonzero nzuimm
+    return spec.match
+
+
+class TestClassification:
+    @pytest.mark.parametrize("name,expected", [
+        ("add", CLASS_ALU), ("addi", CLASS_ALU), ("lui", CLASS_ALU),
+        ("mul", CLASS_MUL), ("mulhu", CLASS_MUL),
+        ("div", CLASS_DIV), ("remu", CLASS_DIV),
+        ("lw", CLASS_LOAD), ("lbu", CLASS_LOAD), ("c.lw", CLASS_LOAD),
+        ("sw", CLASS_STORE), ("c.swsp", CLASS_STORE),
+        ("beq", CLASS_BRANCH), ("c.beqz", CLASS_BRANCH),
+        ("jal", CLASS_JUMP), ("jalr", CLASS_JUMP), ("c.j", CLASS_JUMP),
+        ("mret", CLASS_JUMP),
+    ])
+    def test_classes(self, name, expected):
+        assert classify(DEC.spec_by_name[name]) == expected
+
+    def test_every_spec_classifiable(self):
+        model = TimingModel()
+        for spec in DEC.specs:
+            assert model.class_costs[classify(spec)] >= 1
+
+
+class TestCosts:
+    def test_defaults(self):
+        model = TimingModel()
+        assert model.base_cost(decoded("add")) == 1
+        assert model.base_cost(decoded("div")) == 34
+        assert model.base_cost(decoded("lw")) == 2
+
+    def test_taken_penalty_applied(self):
+        model = TimingModel()
+        branch = decoded("beq")
+        assert model.actual_cost(branch, redirected=True) == \
+            model.base_cost(branch) + 2
+        assert model.actual_cost(branch, redirected=False) == \
+            model.base_cost(branch)
+
+    def test_worst_cost_includes_penalty_for_control_flow(self):
+        model = TimingModel()
+        assert model.worst_cost(decoded("beq")) == 3
+        assert model.worst_cost(decoded("jal")) == 3
+        assert model.worst_cost(decoded("add")) == 1
+
+    def test_invalid_costs_rejected(self):
+        with pytest.raises(ValueError):
+            TimingModel(class_costs={CLASS_ALU: 0})
+        with pytest.raises(ValueError):
+            TimingModel(taken_penalty=-1)
+
+    def test_cost_cache_consistency(self):
+        model = TimingModel()
+        d = decoded("mul")
+        assert model.base_cost(d) == model.base_cost(d)
+
+
+class TestSoundnessInvariant:
+    """worst_cost must dominate actual_cost for every instruction."""
+
+    @pytest.mark.parametrize("spec", DEC.specs, ids=lambda s: s.name)
+    def test_worst_dominates_actual(self, spec):
+        model = TimingModel()
+        # Overlapping encodings may decode the sample word to a more
+        # specific spec (e.g. c.jalr's match is c.ebreak); judge by what
+        # actually decoded.
+        d = DEC.decode(_sample_word(spec))
+        for redirected in (False, True):
+            if redirected and not (d.spec.is_branch or d.spec.is_jump):
+                continue  # only control flow redirects architecturally
+            assert model.worst_cost(d) >= model.actual_cost(d, redirected)
+
+    @given(st.integers(min_value=1, max_value=20),
+           st.integers(min_value=0, max_value=10))
+    def test_holds_for_arbitrary_models(self, alu_cost, penalty):
+        model = TimingModel(class_costs={
+            CLASS_ALU: alu_cost, "mul": 3, "div": 34, "load": 2,
+            "store": 2, "branch": 1, "jump": 1, "csr": 1, "system": 1,
+        }, taken_penalty=penalty)
+        branch = decoded("beq")
+        assert model.worst_cost(branch) >= model.actual_cost(branch, True)
+        assert model.worst_cost(branch) >= model.actual_cost(branch, False)

@@ -1,0 +1,193 @@
+"""Tests for the synthetic aiT analysis, report format, and ait2qta."""
+
+import pytest
+
+from repro.asm import assemble
+from repro.vp.timing import TimingModel
+from repro.wcet import (
+    AitReport,
+    WcetCfg,
+    loop_bounds_from_source,
+    preprocess,
+    run_ait_analysis,
+)
+from repro.wcet.bounds import AnnotationError
+
+LOOP_SOURCE = """
+_start:
+    li a0, 0
+    li t0, 0
+    li a1, 10
+loop:                 # @loopbound 10
+    add a0, a0, t0
+    addi t0, t0, 1
+    blt t0, a1, loop
+    li a7, 93
+    ecall
+"""
+
+
+def make_report(source=LOOP_SOURCE):
+    program = assemble(source)
+    bounds = loop_bounds_from_source(source, program)
+    return run_ait_analysis(program, loop_bounds=bounds), program
+
+
+class TestAnalysis:
+    def test_blocks_cover_all_reachable_code(self):
+        report, program = make_report()
+        total_insns = sum(b.insn_count for b in report.blocks)
+        assert total_insns == 8  # li,li,li | add,addi,blt | li,ecall
+
+    def test_block_wcet_is_sum_of_worst_costs(self):
+        report, _ = make_report("_start: li a0, 1\nli a7, 93\necall")
+        (block,) = report.blocks
+        # 2x alu (1) + ecall (system, 1) = 3 with the default model.
+        assert block.wcet == 3
+
+    def test_branch_block_includes_taken_penalty(self):
+        report, program = make_report()
+        loop_block = report.block_by_start(program.symbols["loop"])
+        timing = TimingModel()
+        # add + addi + blt(+penalty) = 1 + 1 + 1 + 2 = 5
+        assert loop_block.wcet == 5
+
+    def test_edges_carry_source_block_wcet(self):
+        report, _ = make_report()
+        by_id = {b.block_id: b for b in report.blocks}
+        for edge in report.edges:
+            assert edge.time == by_id[edge.src].wcet
+
+    def test_loop_bounds_recorded_by_block_id(self):
+        report, program = make_report()
+        header = report.block_by_start(program.symbols["loop"])
+        assert report.loop_bounds == {header.block_id: 10}
+
+    def test_unknown_bound_address_rejected(self):
+        program = assemble(LOOP_SOURCE)
+        with pytest.raises(ValueError, match="not a block start"):
+            run_ait_analysis(program, loop_bounds={0x1234: 5})
+
+    def test_custom_timing_model_scales_wcet(self):
+        program = assemble("_start: li a0, 1\nli a7, 93\necall")
+        slow = TimingModel(class_costs={
+            "alu": 10, "mul": 30, "div": 340, "load": 20, "store": 20,
+            "branch": 10, "jump": 10, "csr": 10, "system": 10,
+        }, taken_penalty=20)
+        report = run_ait_analysis(program, timing=slow)
+        assert report.blocks[0].wcet == 30
+
+
+class TestXmlRoundtrip:
+    def test_roundtrip_preserves_everything(self):
+        report, _ = make_report()
+        clone = AitReport.from_xml(report.to_xml())
+        assert clone.program_name == report.program_name
+        assert clone.entry_block == report.entry_block
+        assert [(b.block_id, b.start, b.end, b.wcet, b.insn_count, b.kind)
+                for b in clone.blocks] == \
+               [(b.block_id, b.start, b.end, b.wcet, b.insn_count, b.kind)
+                for b in report.blocks]
+        assert [(e.src, e.dst, e.time) for e in clone.edges] == \
+               [(e.src, e.dst, e.time) for e in report.edges]
+        assert clone.loop_bounds == report.loop_bounds
+
+    def test_from_xml_rejects_foreign_document(self):
+        with pytest.raises(ValueError):
+            AitReport.from_xml("<other/>")
+
+    def test_block_lookup_helpers(self):
+        report, program = make_report()
+        block = report.block_by_start(program.symbols["loop"])
+        assert report.block_by_id(block.block_id) is block
+        with pytest.raises(KeyError):
+            report.block_by_id(999)
+        with pytest.raises(KeyError):
+            report.block_by_start(0x1)
+
+
+class TestAit2Qta:
+    def test_preprocess_builds_matching_graph(self):
+        report, _ = make_report()
+        cfg = preprocess(report)
+        assert len(cfg.nodes) == len(report.blocks)
+        assert len(cfg.edges) == len(report.edges)
+        assert cfg.loop_bounds == report.loop_bounds
+        assert cfg.entry == report.entry_block
+
+    def test_preprocess_rejects_dangling_edges(self):
+        report, _ = make_report()
+        report.edges[0].dst = 999
+        with pytest.raises(ValueError, match="unknown blocks"):
+            preprocess(report)
+
+    def test_text_format_roundtrip(self):
+        report, _ = make_report()
+        cfg = preprocess(report)
+        clone = WcetCfg.from_text(cfg.to_text())
+        assert clone.entry == cfg.entry
+        assert clone.edges == cfg.edges
+        assert clone.loop_bounds == cfg.loop_bounds
+        assert {n.node_id: (n.start, n.end, n.wcet)
+                for n in clone.nodes.values()} == \
+               {n.node_id: (n.start, n.end, n.wcet)
+                for n in cfg.nodes.values()}
+
+    def test_text_format_rejects_garbage(self):
+        with pytest.raises(ValueError):
+            WcetCfg.from_text("hello world")
+
+    def test_text_format_requires_entry_node(self):
+        with pytest.raises(ValueError, match="entry"):
+            WcetCfg.from_text("qta-cfg v1 x\nentry 5\nnode 0 0x0 0x4 1 exit")
+
+    def test_node_at(self):
+        report, program = make_report()
+        cfg = preprocess(report)
+        node = cfg.node_at(program.symbols["loop"])
+        assert node is not None and node.start == program.symbols["loop"]
+        assert cfg.node_at(0x0) is None
+
+    def test_path_time_accumulation(self):
+        report, _ = make_report()
+        cfg = preprocess(report)
+        entry = cfg.entry
+        succ = cfg.successors(entry)[0]
+        time = cfg.total_wcet_of_path([entry, succ])
+        assert time == cfg.edges[(entry, succ)] + cfg.nodes[succ].wcet
+
+    def test_path_time_rejects_unknown_edge(self):
+        report, _ = make_report()
+        cfg = preprocess(report)
+        with pytest.raises(KeyError, match="absent"):
+            cfg.total_wcet_of_path([cfg.entry, cfg.entry])
+
+
+class TestAnnotations:
+    def test_attached_form(self):
+        program = assemble(LOOP_SOURCE)
+        bounds = loop_bounds_from_source(LOOP_SOURCE, program)
+        assert bounds == {program.symbols["loop"]: 10}
+
+    def test_standalone_form(self):
+        source = "# @loopbound loop 7\n" + LOOP_SOURCE.replace(
+            "# @loopbound 10", "")
+        program = assemble(source)
+        bounds = loop_bounds_from_source(source, program)
+        assert bounds == {program.symbols["loop"]: 7}
+
+    def test_unknown_label_rejected(self):
+        source = "# @loopbound nowhere 5\n_start: ecall"
+        program = assemble(source)
+        with pytest.raises(AnnotationError, match="unknown label"):
+            loop_bounds_from_source(source, program)
+
+    def test_zero_bound_rejected(self):
+        source = "loop: ecall  # @loopbound 0"
+        program = assemble(source)
+        with pytest.raises(AnnotationError, match=">= 1"):
+            loop_bounds_from_source(source, program)
+
+    def test_no_annotations_empty(self):
+        source = "_start: ecall"
+        assert loop_bounds_from_source(source, assemble(source)) == {}

@@ -1,0 +1,163 @@
+"""Persistence-based static cache analysis tests."""
+
+import pytest
+
+from repro.asm import assemble
+from repro.isa import RV32IMC_ZICSR
+from repro.vp import ICacheConfig
+from repro.wcet import analyze_program, build_cfg, classify
+
+EXIT = "\n    li a7, 93\n    ecall\n"
+
+HOT_LOOP = """
+_start:
+    li t0, 0
+    li t1, 100
+    li a0, 0
+hot:                   # @loopbound 100
+    add a0, a0, t0
+    addi t0, t0, 1
+    blt t0, t1, hot
+""" + EXIT
+
+LOOP_WITH_CALL = """
+_start:
+    li t0, 0
+    li t1, 10
+cl:                    # @loopbound 10
+    call helper
+    addi t0, t0, 1
+    blt t0, t1, cl
+""" + EXIT + """
+helper:
+    addi a0, a0, 1
+    ret
+"""
+
+NESTED = """
+_start:
+    li s0, 0
+    li s1, 4
+no:                    # @loopbound 4
+    li t0, 0
+    li t1, 8
+ni:                    # @loopbound 8
+    addi t0, t0, 1
+    blt t0, t1, ni
+    addi s0, s0, 1
+    blt s0, s1, no
+""" + EXIT
+
+
+def classify_source(source, icache=None):
+    program = assemble(source, isa=RV32IMC_ZICSR)
+    cfg = build_cfg(program)
+    return classify(cfg, icache or ICacheConfig()), program, cfg
+
+
+class TestClassification:
+    def test_hot_loop_is_persistent(self):
+        classification, program, _ = classify_source(HOT_LOOP)
+        assert len(classification.loops) == 1
+        loop = classification.loops[0]
+        assert loop.header == program.symbols["hot"]
+        assert loop.fill_cost > 0
+        assert program.symbols["hot"] in classification.block_loop
+
+    def test_straight_line_has_no_loops(self):
+        classification, _, _ = classify_source("_start: nop\nnop" + EXIT)
+        assert classification.loops == []
+        assert classification.block_loop == {}
+
+    def test_loop_with_call_disqualified(self):
+        classification, _, _ = classify_source(LOOP_WITH_CALL)
+        assert classification.loops == []
+
+    def test_nested_loops_both_detected(self):
+        classification, program, _ = classify_source(NESTED)
+        headers = {loop.header for loop in classification.loops}
+        assert program.symbols["no"] in headers
+        assert program.symbols["ni"] in headers
+
+    def test_inner_blocks_assigned_to_inner_loop(self):
+        classification, program, _ = classify_source(NESTED)
+        by_header = {loop.header: i
+                     for i, loop in enumerate(classification.loops)}
+        inner = program.symbols["ni"]
+        assert classification.block_loop[inner] == by_header[inner]
+
+    def test_too_small_cache_disqualifies(self):
+        # A cache with a single 16-byte line cannot hold the loop.
+        tiny = ICacheConfig(size=16, line_size=16, ways=1, miss_penalty=10)
+        classification, _, _ = classify_source(HOT_LOOP, tiny)
+        assert classification.loops == []
+
+    def test_entry_edges_originate_outside_body(self):
+        classification, _, _ = classify_source(HOT_LOOP)
+        loop = classification.loops[0]
+        for src, dst in loop.entry_edges:
+            assert dst == loop.header
+            assert src not in loop.body
+
+
+class TestCostModel:
+    def test_persistent_block_costs_nothing_per_execution(self):
+        classification, program, cfg = classify_source(HOT_LOOP)
+        header = program.symbols["hot"]
+        block = cfg.blocks[header]
+        assert classification.block_fetch_cost(
+            header, block.start, block.end) == 0
+
+    def test_non_loop_block_keeps_miss_always(self):
+        classification, _, cfg = classify_source(HOT_LOOP)
+        entry_block = cfg.blocks[cfg.entry]
+        cost = classification.block_fetch_cost(
+            cfg.entry, entry_block.start, entry_block.end)
+        assert cost == classification.icache.lines_spanned(
+            entry_block.start, entry_block.end) \
+            * classification.icache.miss_penalty
+
+    def test_edge_cost_only_on_entry_edges(self):
+        classification, program, cfg = classify_source(HOT_LOOP)
+        loop = classification.loops[0]
+        src, dst = loop.entry_edges[0]
+        assert classification.edge_fetch_cost(src, dst) == loop.fill_cost
+        # The back edge is free.
+        header = program.symbols["hot"]
+        assert classification.edge_fetch_cost(header, header) == 0
+
+
+class TestEndToEndTightening:
+    ICACHE = ICacheConfig(miss_penalty=10)
+
+    def analyze(self, source, **kw):
+        return analyze_program(source, icache=self.ICACHE, **kw)
+
+    @pytest.mark.parametrize("source", [HOT_LOOP, NESTED])
+    def test_soundness_with_persistence(self, source):
+        analysis = self.analyze(source, cache_analysis=True)
+        assert analysis.static_bound.cycles >= analysis.result.wcet_time
+        assert analysis.result.wcet_time >= analysis.result.actual_cycles
+
+    def test_persistence_tightens_hot_loop(self):
+        miss_always = self.analyze(HOT_LOOP)
+        persistent = self.analyze(HOT_LOOP, cache_analysis=True)
+        assert persistent.static_bound.cycles < \
+            miss_always.static_bound.cycles
+        # The tightened bound approaches the simulated cost.
+        pessimism = persistent.static_bound.cycles / \
+            persistent.result.actual_cycles
+        assert pessimism < 1.15
+
+    def test_call_loop_falls_back_to_miss_always(self):
+        miss_always = self.analyze(LOOP_WITH_CALL)
+        analyzed = self.analyze(LOOP_WITH_CALL, cache_analysis=True)
+        assert analyzed.static_bound.cycles == miss_always.static_bound.cycles
+
+    def test_persistence_composes_with_edge_sensitivity(self):
+        both = self.analyze(HOT_LOOP, cache_analysis=True,
+                            edge_sensitive=True)
+        persistent = self.analyze(HOT_LOOP, cache_analysis=True)
+        assert both.static_bound.cycles <= persistent.static_bound.cycles
+        assert both.static_bound.cycles >= both.result.wcet_time \
+            >= both.result.actual_cycles

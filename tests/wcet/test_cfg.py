@@ -1,0 +1,222 @@
+"""CFG reconstruction tests."""
+
+import pytest
+
+from repro.asm import assemble
+from repro.wcet import (
+    CfgError,
+    KIND_BRANCH,
+    KIND_CALL,
+    KIND_EXIT,
+    KIND_JUMP,
+    KIND_RET,
+    build_cfg,
+)
+
+BASE = 0x8000_0000
+
+
+def cfg_of(source, **kw):
+    program = assemble(source, **kw)
+    return build_cfg(program), program
+
+
+class TestStraightLine:
+    def test_single_block(self):
+        cfg, _ = cfg_of("""
+        _start:
+            li a0, 1
+            li a7, 93
+            ecall
+        """)
+        assert len(cfg.blocks) == 1
+        block = cfg.blocks[BASE]
+        assert block.kind == KIND_EXIT
+        assert block.successors == []
+
+    def test_block_instruction_listing(self):
+        cfg, _ = cfg_of("_start: nop\nnop\necall")
+        block = cfg.blocks[BASE]
+        assert [d.spec.name for d in block.insns] == ["addi", "addi", "ecall"]
+        assert block.pcs == [BASE, BASE + 4, BASE + 8]
+        assert block.end == BASE + 12
+
+
+class TestBranches:
+    SOURCE = """
+    _start:
+        li a0, 0
+        beqz a0, then
+        li a1, 1
+        j join
+    then:
+        li a1, 2
+    join:
+        li a7, 93
+        ecall
+    """
+
+    def test_diamond_shape(self):
+        cfg, prog = cfg_of(self.SOURCE)
+        entry = cfg.blocks[cfg.entry]
+        assert entry.kind == KIND_BRANCH
+        assert len(entry.successors) == 2
+        then_addr = prog.symbols["then"]
+        join_addr = prog.symbols["join"]
+        assert set(entry.successors) == {then_addr, prog.symbols["then"] - 8}
+        assert cfg.blocks[then_addr].successors == [join_addr]
+
+    def test_branch_successor_order_taken_first(self):
+        cfg, prog = cfg_of(self.SOURCE)
+        assert cfg.blocks[cfg.entry].successors[0] == prog.symbols["then"]
+
+    def test_loop_back_edge(self):
+        cfg, prog = cfg_of("""
+        _start:
+            li t0, 0
+        loop:
+            addi t0, t0, 1
+            blt t0, a0, loop
+            ecall
+        """)
+        loop_addr = prog.symbols["loop"]
+        assert (loop_addr, loop_addr) in cfg.back_edges()
+
+    def test_predecessors(self):
+        cfg, prog = cfg_of(self.SOURCE)
+        join = prog.symbols["join"]
+        preds = cfg.predecessors_of(join)
+        assert len(preds) == 2
+
+
+class TestJumpsAndLabels:
+    def test_jump_target_becomes_leader(self):
+        cfg, prog = cfg_of("""
+        _start:
+            j skip
+            nop
+        skip:
+            ecall
+        """)
+        assert prog.symbols["skip"] in cfg.blocks
+        entry = cfg.blocks[cfg.entry]
+        assert entry.kind == KIND_JUMP
+        assert entry.successors == [prog.symbols["skip"]]
+
+    def test_unreachable_code_excluded(self):
+        cfg, prog = cfg_of("""
+        _start:
+            j skip
+        dead:
+            li a0, 1
+            nop
+        skip:
+            ecall
+        """)
+        assert prog.symbols["dead"] not in cfg.blocks
+
+    def test_fallthrough_block_split_at_target(self):
+        cfg, prog = cfg_of("""
+        _start:
+            nop
+        target:
+            nop
+            beqz a0, target
+            ecall
+        """)
+        # `target` is a branch destination mid straight-line code: the code
+        # must be split there.
+        assert prog.symbols["target"] in cfg.blocks
+        assert cfg.blocks[cfg.entry].end == prog.symbols["target"]
+
+
+class TestCalls:
+    SOURCE = """
+    _start:
+        call func
+        call func
+        li a7, 93
+        ecall
+    func:
+        addi a0, a0, 1
+        ret
+    """
+
+    def test_call_block_kind_and_target(self):
+        cfg, prog = cfg_of(self.SOURCE)
+        entry = cfg.blocks[cfg.entry]
+        assert entry.kind == KIND_CALL
+        assert entry.call_target == prog.symbols["func"]
+
+    def test_call_edge_goes_to_callee_return_site_recorded(self):
+        cfg, prog = cfg_of(self.SOURCE)
+        entry = cfg.blocks[cfg.entry]
+        assert entry.successors == [prog.symbols["func"]]
+        assert entry.return_site == cfg.entry + 4
+
+    def test_ret_successors_are_all_return_sites(self):
+        cfg, prog = cfg_of(self.SOURCE)
+        func = cfg.blocks[prog.symbols["func"]]
+        assert func.kind == KIND_RET
+        assert set(func.successors) == {cfg.entry + 4, cfg.entry + 8}
+
+    def test_function_partitioning(self):
+        cfg, prog = cfg_of(self.SOURCE)
+        assert set(cfg.functions) == {cfg.entry, prog.symbols["func"]}
+        assert prog.symbols["func"] in cfg.functions[prog.symbols["func"]]
+        assert prog.symbols["func"] not in cfg.functions[cfg.entry]
+
+    def test_function_of(self):
+        cfg, prog = cfg_of(self.SOURCE)
+        assert cfg.function_of(prog.symbols["func"]) == prog.symbols["func"]
+
+
+class TestErrors:
+    def test_indirect_jump_marked(self):
+        cfg, _ = cfg_of("""
+        _start:
+            la t0, _start
+            jr t0
+        """)
+        blocks = list(cfg.blocks.values())
+        assert any(b.kind == "indirect" for b in blocks)
+
+    def test_running_into_illegal_word_fails(self):
+        with pytest.raises(CfgError):
+            cfg_of("_start: nop\n.word 0xFFFFFFFF")
+
+    def test_block_at_unknown_address(self):
+        cfg, _ = cfg_of("_start: ecall")
+        with pytest.raises(CfgError):
+            cfg.block_at(0x1234)
+
+    def test_block_containing(self):
+        cfg, _ = cfg_of("_start: nop\nnop\necall")
+        assert cfg.block_containing(BASE + 4).start == BASE
+        with pytest.raises(CfgError):
+            cfg.block_containing(0x0)
+
+
+class TestCompressed:
+    def test_compressed_instruction_boundaries(self):
+        cfg, prog = cfg_of("""
+        _start:
+            c.li a0, 1
+            c.addi a0, 2
+            li a7, 93
+            ecall
+        """)
+        block = cfg.blocks[cfg.entry]
+        assert block.pcs[1] - block.pcs[0] == 2
+
+    def test_compressed_branch(self):
+        cfg, prog = cfg_of("""
+        _start:
+            c.li a0, 0
+        loop:
+            c.addi a0, 1
+            c.bnez a0, loop
+            ecall
+        """)
+        loop = prog.symbols["loop"]
+        assert loop in cfg.blocks[loop].successors

@@ -1,0 +1,104 @@
+"""DOT export tests."""
+
+import pytest
+
+from repro.asm import assemble
+from repro.isa import RV32IMC_ZICSR
+from repro.wcet import (
+    analyze_program,
+    build_cfg,
+    cfg_to_dot,
+    wcet_cfg_to_dot,
+)
+
+SOURCE = """
+_start:
+    li a0, 0
+    call helper
+    beqz a0, done
+loop:              # @loopbound 5
+    addi a0, a0, -1
+    bnez a0, loop
+done:
+    li a7, 93
+    ecall
+helper:
+    li a0, 5
+    ret
+"""
+
+
+@pytest.fixture(scope="module")
+def program():
+    return assemble(SOURCE, isa=RV32IMC_ZICSR)
+
+
+class TestCfgDot:
+    def test_valid_digraph_structure(self, program):
+        dot = cfg_to_dot(build_cfg(program), name="demo")
+        assert dot.startswith('digraph "demo" {')
+        assert dot.rstrip().endswith("}")
+        assert dot.count("{") == dot.count("}")
+
+    def test_every_block_and_edge_present(self, program):
+        cfg = build_cfg(program)
+        dot = cfg_to_dot(cfg)
+        for start in cfg.blocks:
+            assert f"n{start:x} [" in dot
+        for src, dst in cfg.edges:
+            assert f"n{src:x} -> n{dst:x}" in dot
+
+    def test_symbols_in_labels(self, program):
+        dot = cfg_to_dot(build_cfg(program))
+        assert "<_start>" in dot
+        assert "<helper>" in dot
+
+    def test_disassembly_in_node_bodies(self, program):
+        dot = cfg_to_dot(build_cfg(program))
+        assert "addi" in dot
+
+    def test_call_edges_styled(self, program):
+        dot = cfg_to_dot(build_cfg(program))
+        assert "darkgreen" in dot  # call edge
+        assert "purple" in dot     # return edge
+
+    def test_node_truncation(self, program):
+        dot = cfg_to_dot(build_cfg(program), max_insns_per_node=1)
+        assert "(+", dot
+
+    def test_quotes_escaped(self, program):
+        dot = cfg_to_dot(build_cfg(program), name='we "quote" things')
+        assert 'digraph "we \\"quote\\" things"' in dot
+
+
+class TestWcetDot:
+    @pytest.fixture(scope="class")
+    def analysis(self):
+        return analyze_program(SOURCE, name="dot-test")
+
+    def test_nodes_show_wcet(self, analysis):
+        dot = wcet_cfg_to_dot(analysis.wcet_cfg)
+        assert "wcet =" in dot
+
+    def test_edges_labeled_with_times(self, analysis):
+        dot = wcet_cfg_to_dot(analysis.wcet_cfg)
+        for (src, dst), time in analysis.wcet_cfg.edges.items():
+            assert f'n{src} -> n{dst} [label="{time}"' in dot
+
+    def test_loop_bound_annotated(self, analysis):
+        dot = wcet_cfg_to_dot(analysis.wcet_cfg)
+        assert "loop bound = 5" in dot
+
+    def test_entry_double_bordered(self, analysis):
+        dot = wcet_cfg_to_dot(analysis.wcet_cfg)
+        assert "peripheries=2" in dot
+
+    def test_cli_emit_dot(self, tmp_path, capsys):
+        from repro.cli import main
+
+        path = tmp_path / "p.s"
+        path.write_text(SOURCE)
+        assert main(["wcet", str(path), "--emit-dot"]) == 0
+        out = capsys.readouterr().out
+        assert "Graphviz DOT" in out
+        assert "digraph" in out

@@ -1,0 +1,240 @@
+"""IPET bound and QTA co-simulation tests, including the soundness
+invariant static bound >= QTA path time >= actual cycles."""
+
+import pytest
+
+from repro.wcet import (
+    QtaError,
+    QtaPlugin,
+    WcetCfg,
+    WcetError,
+    WcetNode,
+    analyze_program,
+    compute_wcet_bound,
+)
+
+EXIT = """
+    li a7, 93
+    ecall
+"""
+
+LOOP = """
+_start:
+    li a0, 0
+    li t0, 0
+    li a1, 10
+loop:                 # @loopbound 10
+    add a0, a0, t0
+    addi t0, t0, 1
+    blt t0, a1, loop
+""" + EXIT
+
+NESTED = """
+_start:
+    li a0, 0
+    li t0, 0
+outer:                # @loopbound 5
+    li t1, 0
+inner:                # @loopbound 4
+    addi a0, a0, 1
+    addi t1, t1, 1
+    li t2, 4
+    blt t1, t2, inner
+    addi t0, t0, 1
+    li t2, 5
+    blt t0, t2, outer
+""" + EXIT
+
+DIAMOND = """
+_start:
+    li a0, 1
+    beqz a0, cheap
+    li t0, 100
+    li t1, 3
+    div t2, t0, t1
+    j join
+cheap:
+    nop
+join:
+""" + EXIT
+
+
+def hand_cfg(node_costs, edges, entry=0, loop_bounds=None):
+    cfg = WcetCfg(entry=entry)
+    addr = 0x1000
+    for node_id, cost in node_costs.items():
+        cfg.nodes[node_id] = WcetNode(node_id, addr, addr + 4, cost)
+        addr += 4
+    cfg.edges = dict(edges)
+    cfg.loop_bounds = dict(loop_bounds or {})
+    return cfg
+
+
+class TestIpetOnHandGraphs:
+    def test_straight_line(self):
+        cfg = hand_cfg({0: 5, 1: 7}, {(0, 1): 5})
+        bound = compute_wcet_bound(cfg)
+        assert bound.cycles == 12
+        assert bound.method == "dag-longest-path"
+
+    def test_diamond_takes_max_arm(self):
+        cfg = hand_cfg(
+            {0: 1, 1: 10, 2: 2, 3: 1},
+            {(0, 1): 1, (0, 2): 1, (1, 3): 10, (2, 3): 2},
+        )
+        assert compute_wcet_bound(cfg).cycles == 1 + 10 + 1
+
+    def test_self_loop_with_bound(self):
+        cfg = hand_cfg(
+            {0: 1, 1: 5, 2: 1},
+            {(0, 1): 1, (1, 1): 5, (1, 2): 5},
+            loop_bounds={1: 10},
+        )
+        bound = compute_wcet_bound(cfg)
+        assert bound.cycles == 1 + 10 * 5 + 1
+        assert bound.method == "ipet-lp"
+        assert bound.block_counts[1] == pytest.approx(10.0)
+
+    def test_unbounded_loop_rejected(self):
+        cfg = hand_cfg(
+            {0: 1, 1: 5, 2: 1},
+            {(0, 1): 1, (1, 1): 5, (1, 2): 5},
+        )
+        with pytest.raises(WcetError, match="without bound"):
+            compute_wcet_bound(cfg)
+
+    def test_bound_of_one_means_single_iteration(self):
+        cfg = hand_cfg(
+            {0: 1, 1: 5, 2: 1},
+            {(0, 1): 1, (1, 1): 5, (1, 2): 5},
+            loop_bounds={1: 1},
+        )
+        assert compute_wcet_bound(cfg).cycles == 7
+
+    def test_no_exit_node_rejected(self):
+        cfg = hand_cfg({0: 1, 1: 1}, {(0, 1): 1, (1, 0): 1},
+                       loop_bounds={0: 3})
+        with pytest.raises(WcetError, match="no exit"):
+            compute_wcet_bound(cfg)
+
+    def test_invalid_bound_rejected(self):
+        cfg = hand_cfg(
+            {0: 1, 1: 5, 2: 1},
+            {(0, 1): 1, (1, 1): 5, (1, 2): 5},
+            loop_bounds={1: 0},
+        )
+        with pytest.raises(WcetError):
+            compute_wcet_bound(cfg)
+
+
+class TestEndToEnd:
+    @pytest.mark.parametrize("source,name", [
+        (LOOP, "loop"), (NESTED, "nested"), (DIAMOND, "diamond"),
+    ])
+    def test_soundness_invariant(self, source, name):
+        analysis = analyze_program(source, name=name)
+        assert analysis.static_bound.cycles >= analysis.result.wcet_time
+        assert analysis.result.wcet_time >= analysis.result.actual_cycles
+
+    def test_loop_static_bound_exact_for_straight_loop(self):
+        analysis = analyze_program(LOOP)
+        # Path: entry(3) + 10 * loop(5) + exit(2) = 55.
+        assert analysis.static_bound.cycles == 55
+        assert analysis.result.wcet_time == 55
+
+    def test_nested_loop_counts(self):
+        analysis = analyze_program(NESTED)
+        # inner body runs 5*4 = 20 times.
+        inner_node = analysis.wcet_cfg.node_by_start[
+            analysis.program.symbols["inner"]]
+        assert analysis.result.node_counts[inner_node] == 20
+
+    def test_diamond_static_covers_expensive_arm(self):
+        analysis = analyze_program(DIAMOND)
+        # Execution takes the expensive arm; the bound must still dominate.
+        assert analysis.static_bound.cycles >= analysis.result.actual_cycles
+        assert analysis.result.pessimism >= 1.0
+
+    def test_diamond_bound_dominates_untaken_path_too(self):
+        taken = analyze_program(DIAMOND)
+        not_taken = analyze_program(DIAMOND.replace("li a0, 1", "li a0, 0"))
+        assert taken.static_bound.cycles == not_taken.static_bound.cycles
+        assert not_taken.result.wcet_time <= taken.static_bound.cycles
+
+    def test_call_and_return(self):
+        analysis = analyze_program("""
+        _start:
+            li a0, 3
+            call double
+            call double
+        """ + EXIT + """
+        double:
+            slli a0, a0, 1
+            ret
+        """)
+        assert analysis.static_bound.cycles >= analysis.result.wcet_time
+        assert analysis.result.wcet_time >= analysis.result.actual_cycles
+
+    def test_pessimism_reported(self):
+        analysis = analyze_program(LOOP)
+        assert 1.0 <= analysis.result.pessimism < 2.0
+
+
+class TestQtaPlugin:
+    def test_strict_mode_rejects_off_cfg_transitions(self):
+        cfg = hand_cfg({0: 1}, {})
+        plugin = QtaPlugin(cfg, strict=True)
+        plugin._starts = {0x1000: 0}
+
+        class FakeCpu:
+            pass
+
+        plugin.on_insn_exec(FakeCpu(), None, 0x1000)
+        with pytest.raises(QtaError):
+            plugin.on_insn_exec(FakeCpu(), None, 0x1000)  # 0->0 not an edge
+
+    def test_non_strict_mode_charges_source_wcet(self):
+        cfg = hand_cfg({0: 7}, {})
+        plugin = QtaPlugin(cfg, strict=False)
+        plugin._starts = {0x1000: 0}
+        plugin.on_insn_exec(None, None, 0x1000)
+        plugin.on_insn_exec(None, None, 0x1000)
+        assert plugin.wcet_time == 7
+
+    def test_finalize_idempotent(self):
+        cfg = hand_cfg({0: 7}, {})
+        plugin = QtaPlugin(cfg)
+        plugin._starts = {0x1000: 0}
+        plugin.on_insn_exec(None, None, 0x1000)
+        assert plugin.finalize() == 7
+        assert plugin.finalize() == 7
+
+    def test_reset(self):
+        cfg = hand_cfg({0: 7}, {})
+        plugin = QtaPlugin(cfg, record_path=True)
+        plugin._starts = {0x1000: 0}
+        plugin.on_insn_exec(None, None, 0x1000)
+        plugin.reset()
+        assert plugin.wcet_time == 0
+        assert plugin.path == []
+        assert plugin.current_node is None
+
+    def test_path_recording(self):
+        analysis_src = LOOP
+        from repro.asm import assemble
+        from repro.vp import Machine
+        from repro.wcet import (loop_bounds_from_source, preprocess,
+                                run_ait_analysis)
+        program = assemble(analysis_src)
+        report = run_ait_analysis(
+            program, loop_bounds_from_source(analysis_src, program))
+        cfg = preprocess(report)
+        machine = Machine()
+        machine.load(program)
+        plugin = QtaPlugin(cfg, record_path=True)
+        machine.add_plugin(plugin)
+        machine.run(max_instructions=100_000)
+        assert plugin.path[0] == cfg.entry
+        assert len(plugin.path) == plugin.path_length
+        assert plugin.path.count(cfg.node_by_start[
+            program.symbols["loop"]]) == 10

@@ -1,0 +1,67 @@
+"""WCET report rendering tests."""
+
+import pytest
+
+from repro.wcet import analyze_program, render_block_table, render_full, \
+    render_summary
+
+SOURCE = """
+_start:
+    li t0, 0
+    li t1, 6
+loop:              # @loopbound 6
+    addi t0, t0, 1
+    blt t0, t1, loop
+    li a7, 93
+    ecall
+"""
+
+
+@pytest.fixture(scope="module")
+def analysis():
+    return analyze_program(SOURCE, name="report-test")
+
+
+class TestSummary:
+    def test_summary_contains_all_figures(self, analysis):
+        text = render_summary(analysis, name="demo")
+        assert "demo" in text
+        assert str(analysis.static_bound.cycles) in text
+        assert str(analysis.result.wcet_time) in text
+        assert str(analysis.result.actual_cycles) in text
+        assert "pessimism" in text
+
+    def test_summary_names_the_method(self, analysis):
+        assert analysis.static_bound.method in render_summary(analysis)
+
+
+class TestBlockTable:
+    def test_every_node_has_a_row(self, analysis):
+        table = render_block_table(analysis)
+        for node_id in analysis.wcet_cfg.nodes:
+            assert f"\n{node_id:>5} " in "\n" + table
+
+    def test_loop_headers_marked(self, analysis):
+        table = render_block_table(analysis)
+        assert "*" in table
+        assert "annotated loop header" in table
+
+    def test_contributions_sum_to_bound(self, analysis):
+        # The witness counts weighted by node wcet equal the LP objective.
+        cfg = analysis.wcet_cfg
+        counts = analysis.static_bound.block_counts
+        total = sum(cfg.nodes[n].wcet * counts.get(n, 0.0)
+                    for n in cfg.nodes)
+        assert round(total) == analysis.static_bound.cycles
+
+    def test_observed_counts_reported(self, analysis):
+        table = render_block_table(analysis)
+        # The loop body executed 6 times.
+        assert " 6 " in table or "        6" in table
+
+
+class TestFullReport:
+    def test_full_combines_both(self, analysis):
+        text = render_full(analysis, name="full")
+        assert "WCET analysis: full" in text
+        assert "address range" in text
