@@ -1,6 +1,11 @@
 # Convenience targets for the Scale4Edge reproduction.
+#
+# PYTHONPATH is pointed at src/ so every target works from a clean
+# checkout without an editable install (matching the tier-1 verify
+# command in ROADMAP.md).
 
 PYTHON ?= python
+export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
 .PHONY: test bench examples experiments clean
 

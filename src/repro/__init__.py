@@ -11,6 +11,8 @@ Subpackages:
 * :mod:`repro.testgen` — test-suite generators.
 * :mod:`repro.bmi` — bit-manipulation ISA extension and kernels.
 * :mod:`repro.core` — the ecosystem facade and demonstrators.
+* :mod:`repro.telemetry` — metrics registry, structured event log, and
+  Chrome-trace export (off by default, free when off).
 """
 
 __version__ = "1.0.0"

@@ -10,10 +10,15 @@ Commands mirror the ecosystem tools:
 ``faults``  coverage-guided fault-injection campaign
 ``mutate``  XEMU-style mutation testing of a self-checking program
 ``gen``     emit a generated test program (torture/structured) to stdout
+``stats``   re-render a saved telemetry event log (JSONL)
 =========== ===========================================================
 
 All commands take an assembly file (``-`` for stdin) and an optional
-``--isa`` configuration string.
+``--isa`` configuration string.  Every command additionally accepts the
+telemetry flags ``--stats`` (print a metrics summary afterwards),
+``--events-out FILE.jsonl`` (save the structured event log), and
+``--trace-out FILE.json`` (export a Chrome trace loadable in
+``chrome://tracing`` / Perfetto).
 """
 
 from __future__ import annotations
@@ -41,6 +46,7 @@ def _isa(args) -> IsaConfig:
 
 
 def cmd_run(args) -> int:
+    from .telemetry import current_telemetry
     from .vp.machine import Machine, MachineConfig
     from .vp.tracer import ExecutionTracer
 
@@ -48,6 +54,8 @@ def cmd_run(args) -> int:
     program = assemble(_read_source(args.source), isa=isa)
     machine = Machine(MachineConfig(isa=isa))
     machine.load(program)
+    if current_telemetry().enabled:
+        machine.attach_telemetry()
     tracer = None
     if args.trace:
         tracer = machine.add_plugin(ExecutionTracer(limit=args.trace))
@@ -125,6 +133,7 @@ def cmd_coverage(args) -> int:
 def cmd_faults(args) -> int:
     from .coverage import measure_coverage
     from .faultsim import FaultCampaign, MutantBudget, generate_mutants
+    from .telemetry import current_telemetry
 
     isa = _isa(args)
     program = assemble(_read_source(args.source), isa=isa)
@@ -141,7 +150,17 @@ def cmd_faults(args) -> int:
     faults = generate_mutants(program, coverage, budget,
                               golden_instructions=golden.instructions,
                               seed=args.seed)
-    result = campaign.run(faults)
+    on_progress = None
+    if current_telemetry().enabled:
+        def on_progress(progress):
+            eta = progress.get("eta_seconds")
+            eta_text = f"{eta:.0f}s" if eta is not None else "?"
+            print(f"\r  {progress['done']}/{progress['total']} mutants  "
+                  f"{progress['mutants_per_second']:.1f}/s  ETA {eta_text} ",
+                  end="", file=sys.stderr, flush=True)
+    result = campaign.run(faults, on_progress=on_progress)
+    if on_progress is not None:
+        print(file=sys.stderr)
     print(result.table())
     return 0
 
@@ -154,6 +173,14 @@ def cmd_mutate(args) -> int:
     report = run_mutation_testing(program, isa=isa, sample=args.sample,
                                   seed=args.seed)
     print(report.table())
+    return 0
+
+
+def cmd_stats(args) -> int:
+    from .telemetry import EventLog, render_report
+
+    log = EventLog.load_jsonl(args.events)
+    print(render_report(log.events))
     return 0
 
 
@@ -187,6 +214,16 @@ def build_parser() -> argparse.ArgumentParser:
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
+    def telemetry_flags(p):
+        group = p.add_argument_group("telemetry")
+        group.add_argument("--stats", action="store_true",
+                           help="print a metrics summary after the command")
+        group.add_argument("--events-out", metavar="FILE.jsonl",
+                           help="save the structured event log as JSONL")
+        group.add_argument("--trace-out", metavar="FILE.json",
+                           help="export a Chrome trace "
+                                "(chrome://tracing / Perfetto)")
+
     def common(p, with_budget=True):
         p.add_argument("source", help="assembly file, or - for stdin")
         p.add_argument("--isa", default="rv32imc_zicsr",
@@ -194,6 +231,7 @@ def build_parser() -> argparse.ArgumentParser:
         if with_budget:
             p.add_argument("--max-instructions", type=int,
                            default=10_000_000)
+        telemetry_flags(p)
 
     p = sub.add_parser("run", help="assemble and run on the VP")
     common(p)
@@ -243,18 +281,60 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--seed", type=int, default=0)
     p.add_argument("--length", type=int, default=300,
                    help="torture: number of instructions")
+    telemetry_flags(p)
     p.set_defaults(func=cmd_gen)
+
+    p = sub.add_parser("stats",
+                       help="re-render a saved telemetry event log")
+    p.add_argument("events",
+                   help="JSONL event log written by --events-out")
+    p.set_defaults(func=cmd_stats, _no_telemetry_flags=True)
     return parser
 
 
 def main(argv: Optional[List[str]] = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
-    try:
-        return args.func(args)
-    except Exception as exc:  # surfaced as a clean CLI error
-        print(f"error: {exc}", file=sys.stderr)
-        return 2
+    wants_telemetry = (getattr(args, "stats", False)
+                       or getattr(args, "events_out", None)
+                       or getattr(args, "trace_out", None))
+    if not wants_telemetry:
+        try:
+            return args.func(args)
+        except Exception as exc:  # surfaced as a clean CLI error
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+
+    from .telemetry import (export_chrome_trace, render_report,
+                            telemetry_session)
+
+    with telemetry_session() as session:
+        try:
+            code = args.func(args)
+        except Exception as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        # Snapshot metrics into the event stream first so a saved JSONL
+        # log is self-contained for `repro stats`.
+        session.snapshot_metrics()
+        if args.stats:
+            print("\n=== telemetry ===")
+            print(render_report(session.events.events,
+                                session.metrics.to_dict()))
+        try:
+            if args.events_out:
+                session.events.save_jsonl(args.events_out)
+                print(f"event log written to {args.events_out}",
+                      file=sys.stderr)
+            if args.trace_out:
+                export_chrome_trace(session.events.events, args.trace_out)
+                print(f"Chrome trace written to {args.trace_out} "
+                      "(load in chrome://tracing or ui.perfetto.dev)",
+                      file=sys.stderr)
+        except OSError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+    return code
 
 
 if __name__ == "__main__":

@@ -13,6 +13,7 @@ from typing import Iterable, List, Optional, Sequence, Tuple
 
 from ..asm import Program
 from ..isa.decoder import IsaConfig, RV32IMC_ZICSR
+from ..telemetry.session import resolve as _resolve_telemetry
 from ..vp.machine import Machine, MachineConfig
 from ..vp.plugins import Plugin
 from .report import CoverageReport, empty_report
@@ -42,12 +43,18 @@ def measure_coverage(
     isa: Optional[IsaConfig] = None,
     max_instructions: int = 1_000_000,
     machine: Optional[Machine] = None,
+    telemetry=None,
 ) -> CoverageReport:
     """Run ``program`` on the VP and return its coverage report.
 
     A pre-configured ``machine`` may be supplied (it must have register
-    tracing enabled); otherwise one is created from ``isa``.
+    tracing enabled); otherwise one is created from ``isa``.  When the
+    resolved ``telemetry`` session is enabled, the collection cost is
+    recorded under ``coverage.collector.*`` and a ``coverage.collected``
+    event is emitted.
     """
+    telemetry = _resolve_telemetry(telemetry)
+    metrics = telemetry.metrics.namespace("coverage.collector")
     isa = isa or (machine.config.isa if machine else
                   IsaConfig.from_string(program.isa_name))
     if machine is None:
@@ -60,10 +67,16 @@ def measure_coverage(
     machine.cpu.csrs.clear_trace()
     plugin = CoveragePlugin()
     machine.add_plugin(plugin)
+    run_result = None
     try:
-        machine.run(max_instructions=max_instructions)
+        with metrics.timer("run_seconds"), \
+                telemetry.events.span("coverage.collected", isa=isa.name):
+            run_result = machine.run(max_instructions=max_instructions)
     finally:
         machine.remove_plugin(plugin)
+        metrics.counter("runs").inc()
+        if run_result is not None:
+            metrics.counter("instructions").inc(run_result.instructions)
     report = empty_report(isa)
     report.insn_types = set(plugin.insn_types)
     report.gprs_read = set(machine.cpu.regs.reads)

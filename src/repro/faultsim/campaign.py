@@ -19,12 +19,14 @@ hang       exceeded the instruction budget / halted without exiting
 
 from __future__ import annotations
 
+import json
 import time
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from dataclasses import asdict, dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from ..asm import Program
 from ..isa.decoder import IsaConfig
+from ..telemetry.session import resolve as _resolve_telemetry
 from ..vp.cpu import STOP_EXIT
 from ..vp.machine import Machine, MachineConfig, STOP_UNHANDLED_TRAP
 from .faults import Fault, TARGET_CODE, TRANSIENT
@@ -138,9 +140,58 @@ class CampaignResult:
         )
         return "\n".join(lines)
 
+    # -- serialization (consumed by the telemetry event-log exporter) --
+
+    def to_dict(self) -> Dict:
+        return {
+            "golden": asdict(self.golden),
+            "elapsed_seconds": self.elapsed_seconds,
+            "results": [
+                {
+                    "fault": asdict(result.fault),
+                    "outcome": result.outcome,
+                    "exit_code": result.exit_code,
+                    "trap_cause": result.trap_cause,
+                    "instructions": result.instructions,
+                }
+                for result in self.results
+            ],
+        }
+
+    def to_json(self, indent: Optional[int] = None) -> str:
+        return json.dumps(self.to_dict(), indent=indent, sort_keys=True)
+
+    @classmethod
+    def from_dict(cls, data: Dict) -> "CampaignResult":
+        return cls(
+            golden=GoldenRun(**data["golden"]),
+            results=[
+                MutantResult(
+                    fault=Fault(**entry["fault"]),
+                    outcome=entry["outcome"],
+                    exit_code=entry.get("exit_code"),
+                    trap_cause=entry.get("trap_cause"),
+                    instructions=entry.get("instructions", 0),
+                )
+                for entry in data["results"]
+            ],
+            elapsed_seconds=data["elapsed_seconds"],
+        )
+
+    @classmethod
+    def from_json(cls, text: str) -> "CampaignResult":
+        return cls.from_dict(json.loads(text))
+
 
 class FaultCampaign:
-    """Runs a fault list against one program on fresh machines."""
+    """Runs a fault list against one program on fresh machines.
+
+    ``telemetry`` (see :mod:`repro.telemetry`) defaults to the
+    process-wide session — disabled unless the caller or the CLI enabled
+    one, in which case :meth:`run` emits per-mutant events, periodic
+    progress records, and a campaign summary, and maintains the
+    ``faultsim.campaign.*`` metrics.
+    """
 
     def __init__(
         self,
@@ -150,12 +201,14 @@ class FaultCampaign:
         min_budget: int = 10_000,
         golden_budget: int = 10_000_000,
         reuse_machine: bool = True,
+        telemetry=None,
     ) -> None:
         self.program = program
         self.isa = isa or IsaConfig.from_string(program.isa_name)
         self.budget_multiplier = budget_multiplier
         self.min_budget = min_budget
         self.golden_budget = golden_budget
+        self._telemetry_arg = telemetry
         # Snapshot-based machine reuse: transient and binary-patch faults
         # leave no structural residue, so the loaded machine can be
         # checkpoint-restored instead of rebuilt — a large speedup for
@@ -240,9 +293,93 @@ class FaultCampaign:
         return MutantResult(fault, OUTCOME_HANG,
                             instructions=result.instructions)
 
-    def run(self, faults: Sequence[Fault]) -> CampaignResult:
+    @property
+    def telemetry(self):
+        """The resolved telemetry session for this campaign."""
+        return _resolve_telemetry(self._telemetry_arg)
+
+    @staticmethod
+    def _progress(done: int, total: int, elapsed: float) -> Dict:
+        rate = done / elapsed if elapsed > 0 else 0.0
+        remaining = total - done
+        return {
+            "done": done,
+            "total": total,
+            "elapsed_seconds": round(elapsed, 3),
+            "mutants_per_second": round(rate, 2),
+            "eta_seconds": round(remaining / rate, 1) if rate else None,
+        }
+
+    def run(
+        self,
+        faults: Sequence[Fault],
+        on_progress: Optional[Callable[[Dict], None]] = None,
+        progress_interval: float = 1.0,
+    ) -> CampaignResult:
+        """Classify every fault; returns the aggregated result.
+
+        ``on_progress`` (if given) is called with a progress dict
+        (``done``/``total``/``mutants_per_second``/``eta_seconds``) at
+        most every ``progress_interval`` seconds and once at the end;
+        the same records land in the telemetry event log when enabled.
+        """
+        telemetry = self.telemetry
+        events = telemetry.events
         golden = self.golden()
+        total = len(faults)
+        track = telemetry.enabled or on_progress is not None
+        metrics = telemetry.metrics.namespace("faultsim.campaign")
+        done_counter = metrics.counter("mutants_done")
+        mutant_timer = metrics.timer("mutant_seconds")
+        outcome_counters = {
+            outcome: metrics.counter(f"outcome.{outcome}")
+            for outcome in OUTCOMES
+        }
+        if telemetry.enabled:
+            events.emit("campaign.started", total=total,
+                        golden_instructions=golden.instructions,
+                        instruction_budget=self.instruction_budget)
         start = time.perf_counter()
-        results = [self.run_one(fault) for fault in faults]
+        last_report = start
+        results: List[MutantResult] = []
+        for index, fault in enumerate(faults):
+            with mutant_timer:
+                result = self.run_one(fault)
+            results.append(result)
+            done_counter.inc()
+            outcome_counters[result.outcome].inc()
+            if not track:
+                continue
+            if telemetry.enabled:
+                events.emit("mutant.classified", index=index,
+                            fault=fault.describe(), target=fault.target,
+                            kind=fault.kind, outcome=result.outcome,
+                            instructions=result.instructions)
+            now = time.perf_counter()
+            if now - last_report >= progress_interval:
+                progress = self._progress(index + 1, total, now - start)
+                if telemetry.enabled:
+                    events.emit("campaign.progress", **progress)
+                if on_progress is not None:
+                    on_progress(progress)
+                last_report = now
         elapsed = time.perf_counter() - start
-        return CampaignResult(golden, results, elapsed)
+        campaign_result = CampaignResult(golden, results, elapsed)
+        if track:
+            final = self._progress(total, total, elapsed)
+            if on_progress is not None:
+                on_progress(final)
+            if telemetry.enabled:
+                metrics.gauge("mutants_per_second").set(
+                    campaign_result.mutants_per_second)
+                events.emit(
+                    "campaign.finished",
+                    total=total,
+                    counts=campaign_result.counts,
+                    elapsed_seconds=round(elapsed, 3),
+                    mutants_per_second=round(
+                        campaign_result.mutants_per_second, 2),
+                    normal_termination_fraction=round(
+                        campaign_result.normal_termination_fraction, 4),
+                )
+        return campaign_result

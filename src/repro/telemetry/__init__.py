@@ -1,0 +1,76 @@
+"""Unified telemetry: metrics registry, event log, Chrome-trace export.
+
+The observability layer shared by every execution engine in the
+reproduction — the VP, fault campaigns, QTA co-simulation, and the
+coverage collector.  Three pieces:
+
+* :mod:`repro.telemetry.metrics` — counters, gauges, fixed-bucket
+  histograms, and context-manager timers in a hierarchically named
+  registry (``vp.cpu.insns_retired``, ``faultsim.campaign.mutants_done``),
+* :mod:`repro.telemetry.events` — a structured event log of typed JSONL
+  records with monotonic timestamps,
+* :mod:`repro.telemetry.chrome_trace` — an exporter to Chrome
+  trace-event format (``chrome://tracing`` / Perfetto).
+
+Telemetry is **off by default** and free when off: the null session's
+instruments are shared no-op singletons, and instrumented hot paths gate
+on ``telemetry.enabled``.  Enable per call (pass a :class:`Telemetry`) or
+process-wide (:func:`set_telemetry` / the CLI's ``--stats`` flag).
+"""
+
+from .chrome_trace import export_chrome_trace, to_chrome_trace
+from .events import EventLog, NullEventLog, NULL_EVENT_LOG
+from .metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    NullMetricsRegistry,
+    NULL_REGISTRY,
+    Timer,
+)
+from .plugin import TelemetryPlugin
+from .render import (
+    render_campaigns,
+    render_event_counts,
+    render_metrics,
+    render_report,
+    render_runs,
+)
+from .session import (
+    NULL_TELEMETRY,
+    NullTelemetry,
+    Telemetry,
+    current_telemetry,
+    resolve,
+    set_telemetry,
+    telemetry_session,
+)
+
+__all__ = [
+    "Counter",
+    "EventLog",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "NULL_EVENT_LOG",
+    "NULL_REGISTRY",
+    "NULL_TELEMETRY",
+    "NullEventLog",
+    "NullMetricsRegistry",
+    "NullTelemetry",
+    "Telemetry",
+    "TelemetryPlugin",
+    "Timer",
+    "current_telemetry",
+    "export_chrome_trace",
+    "render_campaigns",
+    "render_event_counts",
+    "render_metrics",
+    "render_report",
+    "render_runs",
+    "resolve",
+    "set_telemetry",
+    "telemetry_session",
+    "to_chrome_trace",
+]

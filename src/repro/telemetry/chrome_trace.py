@@ -1,0 +1,106 @@
+"""Export an event log to Chrome trace-event format.
+
+The output is the JSON *array* flavour of the trace-event spec, loadable
+by ``chrome://tracing`` and Perfetto (ui.perfetto.dev).  Mapping:
+
+* events with ``dur_us`` -> complete slices (``ph: "X"``),
+* ``*.progress`` events with a ``done`` field -> counter samples
+  (``ph: "C"``) so campaign progress renders as a ramp,
+* everything else -> instant events (``ph: "i"``).
+
+Tracks: the event type's first dotted component becomes the thread name
+(one lane per subsystem: ``run``, ``campaign``, ``mutant``, ``qta``, ...)
+via trace metadata records.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, Iterable, List
+
+__all__ = ["to_chrome_trace", "export_chrome_trace"]
+
+#: Synthetic process id for the whole session (one VP process).
+TRACE_PID = 1
+
+_RESERVED = {"type", "ts_us", "dur_us"}
+
+
+def _lane(event_type: str) -> str:
+    return event_type.split(".", 1)[0]
+
+
+def _args(event: Dict) -> Dict:
+    return {k: v for k, v in event.items() if k not in _RESERVED}
+
+
+def to_chrome_trace(events: Iterable[Dict],
+                    process_name: str = "repro") -> List[Dict]:
+    """Convert event-log records into a list of Chrome trace events."""
+    lanes: Dict[str, int] = {}
+    trace: List[Dict] = [{
+        "name": "process_name",
+        "ph": "M",
+        "pid": TRACE_PID,
+        "tid": 0,
+        "ts": 0,
+        "args": {"name": process_name},
+    }]
+
+    def tid_for(lane: str) -> int:
+        tid = lanes.get(lane)
+        if tid is None:
+            tid = len(lanes) + 1
+            lanes[lane] = tid
+            trace.append({
+                "name": "thread_name",
+                "ph": "M",
+                "pid": TRACE_PID,
+                "tid": tid,
+                "ts": 0,
+                "args": {"name": lane},
+            })
+        return tid
+
+    for event in events:
+        event_type = event.get("type", "event")
+        ts = event.get("ts_us", 0)
+        tid = tid_for(_lane(event_type))
+        if "dur_us" in event:
+            trace.append({
+                "name": event_type,
+                "ph": "X",
+                "ts": ts,
+                "dur": event["dur_us"],
+                "pid": TRACE_PID,
+                "tid": tid,
+                "args": _args(event),
+            })
+        elif event_type.endswith(".progress") and "done" in event:
+            trace.append({
+                "name": event_type,
+                "ph": "C",
+                "ts": ts,
+                "pid": TRACE_PID,
+                "tid": tid,
+                "args": {"done": event["done"]},
+            })
+        else:
+            trace.append({
+                "name": event_type,
+                "ph": "i",
+                "ts": ts,
+                "pid": TRACE_PID,
+                "tid": tid,
+                "s": "t",  # thread-scoped instant
+                "args": _args(event),
+            })
+    return trace
+
+
+def export_chrome_trace(events: Iterable[Dict], path: str,
+                        process_name: str = "repro") -> None:
+    """Write the Chrome-trace JSON array for ``events`` to ``path``."""
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(to_chrome_trace(events, process_name=process_name),
+                  handle, indent=1)

@@ -1,0 +1,163 @@
+"""Structured event log: typed records with monotonic timestamps.
+
+Every record is a flat JSON-serializable dict with at least:
+
+* ``type`` — dotted event type (``run.started``, ``mutant.classified``),
+* ``ts_us`` — microseconds since the log was opened (monotonic clock),
+
+plus arbitrary type-specific fields.  Duration events (``span``) carry a
+``dur_us`` field; the Chrome-trace exporter turns those into complete
+("X") slices.  Logs serialize to JSON Lines so long campaigns can be
+streamed to disk and re-rendered later (``python -m repro stats``).
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from typing import Callable, Dict, Iterable, Iterator, List, Optional
+
+__all__ = ["EventLog", "NullEventLog", "NULL_EVENT_LOG"]
+
+
+class _Span:
+    """Context manager emitting one duration event on exit."""
+
+    __slots__ = ("_log", "_type", "_fields", "_start")
+
+    def __init__(self, log: "EventLog", event_type: str, fields: dict) -> None:
+        self._log = log
+        self._type = event_type
+        self._fields = fields
+        self._start = None
+
+    def __enter__(self) -> "_Span":
+        self._start = self._log._now_us()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        end = self._log._now_us()
+        self._log._append({
+            "type": self._type,
+            "ts_us": self._start,
+            "dur_us": end - self._start,
+            **self._fields,
+        })
+
+
+class EventLog:
+    """An append-only in-memory event log with JSONL import/export."""
+
+    enabled = True
+
+    def __init__(self, clock: Callable[[], float] = time.monotonic) -> None:
+        self._clock = clock
+        self._t0 = clock()
+        self.events: List[Dict] = []
+
+    # -- recording -----------------------------------------------------
+
+    def _now_us(self) -> int:
+        return int((self._clock() - self._t0) * 1_000_000)
+
+    def _append(self, record: Dict) -> Dict:
+        self.events.append(record)
+        return record
+
+    def emit(self, event_type: str, **fields) -> Dict:
+        """Append an instantaneous event and return the record."""
+        return self._append({"type": event_type, "ts_us": self._now_us(),
+                             **fields})
+
+    def span(self, event_type: str, **fields) -> _Span:
+        """Context manager: records ``event_type`` with start + duration."""
+        return _Span(self, event_type, fields)
+
+    # -- querying ------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def __iter__(self) -> Iterator[Dict]:
+        return iter(self.events)
+
+    def of_type(self, event_type: str) -> List[Dict]:
+        return [e for e in self.events if e.get("type") == event_type]
+
+    def last(self, event_type: str) -> Optional[Dict]:
+        for event in reversed(self.events):
+            if event.get("type") == event_type:
+                return event
+        return None
+
+    # -- serialization -------------------------------------------------
+
+    def to_jsonl(self) -> str:
+        return "\n".join(json.dumps(e, sort_keys=True) for e in self.events)
+
+    def save_jsonl(self, path: str) -> None:
+        with open(path, "w", encoding="utf-8") as handle:
+            for event in self.events:
+                handle.write(json.dumps(event, sort_keys=True))
+                handle.write("\n")
+
+    @staticmethod
+    def parse_jsonl(lines: Iterable[str]) -> List[Dict]:
+        records = []
+        for line in lines:
+            line = line.strip()
+            if line:
+                records.append(json.loads(line))
+        return records
+
+    @classmethod
+    def load_jsonl(cls, path: str) -> "EventLog":
+        log = cls()
+        with open(path, "r", encoding="utf-8") as handle:
+            log.events = cls.parse_jsonl(handle)
+        return log
+
+
+class _NullSpan:
+    __slots__ = ()
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, exc_type, exc, tb):
+        return None
+
+
+_NULL_SPAN = _NullSpan()
+
+
+class NullEventLog:
+    """Disabled event log: emits vanish, spans are free."""
+
+    enabled = False
+    events: List[Dict] = []
+
+    def emit(self, event_type: str, **fields) -> None:
+        return None
+
+    def span(self, event_type: str, **fields) -> _NullSpan:
+        return _NULL_SPAN
+
+    def __len__(self) -> int:
+        return 0
+
+    def __iter__(self) -> Iterator[Dict]:
+        return iter(())
+
+    def of_type(self, event_type: str) -> List[Dict]:
+        return []
+
+    def last(self, event_type: str) -> None:
+        return None
+
+    def to_jsonl(self) -> str:
+        return ""
+
+
+#: Shared disabled event log.
+NULL_EVENT_LOG = NullEventLog()

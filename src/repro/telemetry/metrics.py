@@ -1,0 +1,413 @@
+"""Metrics primitives: counters, gauges, histograms, timers, registry.
+
+The registry is hierarchical by dotted name (``vp.cpu.insns_retired``,
+``faultsim.campaign.mutants_done``) and hands out *memoized* instrument
+objects: asking twice for the same name returns the same counter, so
+instrumented code can look instruments up at attach time and update plain
+attributes on the hot path.
+
+Every instrument has a no-op twin (:class:`NullCounter`, ...) returned by
+:class:`NullMetricsRegistry` — the shared singletons make disabled
+telemetry free: call sites keep calling ``inc()``/``observe()`` on objects
+whose methods do nothing, and hot loops can skip even that by testing
+``registry.enabled`` once up front.
+
+No third-party dependencies; histograms use fixed bucket upper bounds.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "Timer",
+    "MetricsRegistry",
+    "NullMetricsRegistry",
+    "NULL_REGISTRY",
+    "DEFAULT_TIME_BUCKETS",
+]
+
+#: Default histogram buckets for durations in seconds (1 us .. 100 s).
+DEFAULT_TIME_BUCKETS: Tuple[float, ...] = (
+    1e-6, 1e-5, 1e-4, 1e-3, 1e-2, 1e-1, 1.0, 10.0, 100.0,
+)
+
+#: Default buckets for generic magnitudes (memory widths, block sizes, ...).
+DEFAULT_VALUE_BUCKETS: Tuple[float, ...] = (
+    1, 2, 4, 8, 16, 32, 64, 128, 256, 1024, 4096, 65536,
+)
+
+
+class Counter:
+    """A monotonically increasing count."""
+
+    __slots__ = ("name", "value")
+
+    kind = "counter"
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value = 0
+
+    def inc(self, amount: int = 1) -> None:
+        self.value += amount
+
+    def snapshot(self) -> dict:
+        return {"kind": self.kind, "value": self.value}
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"Counter({self.name}={self.value})"
+
+
+class Gauge:
+    """A value that can go up and down (last-write-wins)."""
+
+    __slots__ = ("name", "value")
+
+    kind = "gauge"
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = value
+
+    def add(self, amount: float) -> None:
+        self.value += amount
+
+    def snapshot(self) -> dict:
+        return {"kind": self.kind, "value": self.value}
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"Gauge({self.name}={self.value})"
+
+
+class Histogram:
+    """Fixed-bucket histogram with count/sum/min/max.
+
+    ``buckets`` are inclusive upper bounds; observations above the last
+    bound land in the implicit overflow bucket.
+    """
+
+    __slots__ = ("name", "buckets", "bucket_counts", "count", "sum",
+                 "min", "max")
+
+    kind = "histogram"
+
+    def __init__(self, name: str,
+                 buckets: Sequence[float] = DEFAULT_VALUE_BUCKETS) -> None:
+        self.name = name
+        self.buckets: Tuple[float, ...] = tuple(sorted(buckets))
+        self.bucket_counts: List[int] = [0] * (len(self.buckets) + 1)
+        self.count = 0
+        self.sum = 0.0
+        self.min: Optional[float] = None
+        self.max: Optional[float] = None
+
+    def observe(self, value: float) -> None:
+        self.count += 1
+        self.sum += value
+        if self.min is None or value < self.min:
+            self.min = value
+        if self.max is None or value > self.max:
+            self.max = value
+        for i, bound in enumerate(self.buckets):
+            if value <= bound:
+                self.bucket_counts[i] += 1
+                return
+        self.bucket_counts[-1] += 1
+
+    @property
+    def mean(self) -> float:
+        return self.sum / self.count if self.count else 0.0
+
+    def snapshot(self) -> dict:
+        return {
+            "kind": self.kind,
+            "count": self.count,
+            "sum": self.sum,
+            "min": self.min,
+            "max": self.max,
+            "mean": self.mean,
+            "buckets": {
+                (f"le_{bound:g}" if i < len(self.buckets) else "inf"): n
+                for i, (bound, n) in enumerate(
+                    zip(self.buckets + (float("inf"),), self.bucket_counts))
+            },
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"Histogram({self.name}, n={self.count}, mean={self.mean:g})"
+
+
+class Timer:
+    """Context-manager stopwatch feeding a duration histogram.
+
+    ::
+
+        with registry.timer("faultsim.campaign.mutant_seconds"):
+            run_one(fault)
+    """
+
+    __slots__ = ("name", "histogram", "_clock", "_start")
+
+    kind = "timer"
+
+    def __init__(self, name: str,
+                 buckets: Sequence[float] = DEFAULT_TIME_BUCKETS,
+                 clock=time.perf_counter) -> None:
+        self.name = name
+        self.histogram = Histogram(name, buckets=buckets)
+        self._clock = clock
+        self._start: Optional[float] = None
+
+    def __enter__(self) -> "Timer":
+        self._start = self._clock()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        elapsed = self._clock() - self._start
+        self._start = None
+        self.histogram.observe(elapsed)
+
+    def observe(self, seconds: float) -> None:
+        """Record an externally measured duration."""
+        self.histogram.observe(seconds)
+
+    @property
+    def count(self) -> int:
+        return self.histogram.count
+
+    @property
+    def total_seconds(self) -> float:
+        return self.histogram.sum
+
+    def snapshot(self) -> dict:
+        snap = self.histogram.snapshot()
+        snap["kind"] = self.kind
+        return snap
+
+
+class MetricsRegistry:
+    """Memoizing, hierarchically named instrument store.
+
+    ``namespace(prefix)`` returns a view whose instrument names are
+    automatically prefixed — subsystems take a namespaced view and stay
+    oblivious to where they sit in the global tree.
+    """
+
+    enabled = True
+
+    def __init__(self) -> None:
+        self._instruments: Dict[str, object] = {}
+
+    # -- instrument constructors --------------------------------------
+
+    def _get(self, name: str, kind: str, factory):
+        instrument = self._instruments.get(name)
+        if instrument is None:
+            instrument = factory()
+            self._instruments[name] = instrument
+            return instrument
+        if instrument.kind != kind:
+            raise TypeError(
+                f"metric {name!r} already registered as {instrument.kind}, "
+                f"requested {kind}"
+            )
+        return instrument
+
+    def counter(self, name: str) -> Counter:
+        return self._get(name, "counter", lambda: Counter(name))
+
+    def gauge(self, name: str) -> Gauge:
+        return self._get(name, "gauge", lambda: Gauge(name))
+
+    def histogram(self, name: str,
+                  buckets: Sequence[float] = DEFAULT_VALUE_BUCKETS
+                  ) -> Histogram:
+        return self._get(name, "histogram",
+                         lambda: Histogram(name, buckets=buckets))
+
+    def timer(self, name: str,
+              buckets: Sequence[float] = DEFAULT_TIME_BUCKETS) -> Timer:
+        return self._get(name, "timer",
+                         lambda: Timer(name, buckets=buckets))
+
+    def namespace(self, prefix: str) -> "NamespacedRegistry":
+        return NamespacedRegistry(self, prefix)
+
+    # -- introspection -------------------------------------------------
+
+    def __iter__(self) -> Iterator[Tuple[str, object]]:
+        return iter(sorted(self._instruments.items()))
+
+    def __len__(self) -> int:
+        return len(self._instruments)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._instruments
+
+    def get(self, name: str):
+        return self._instruments.get(name)
+
+    def to_dict(self) -> Dict[str, dict]:
+        """Snapshot of every instrument, keyed by full dotted name."""
+        return {name: instrument.snapshot()
+                for name, instrument in self}
+
+
+class NamespacedRegistry:
+    """A prefixing view onto a :class:`MetricsRegistry`."""
+
+    __slots__ = ("_parent", "_prefix")
+
+    enabled = True
+
+    def __init__(self, parent, prefix: str) -> None:
+        self._parent = parent
+        self._prefix = prefix.rstrip(".")
+
+    def _full(self, name: str) -> str:
+        return f"{self._prefix}.{name}"
+
+    def counter(self, name: str) -> Counter:
+        return self._parent.counter(self._full(name))
+
+    def gauge(self, name: str) -> Gauge:
+        return self._parent.gauge(self._full(name))
+
+    def histogram(self, name: str, **kwargs) -> Histogram:
+        return self._parent.histogram(self._full(name), **kwargs)
+
+    def timer(self, name: str, **kwargs) -> Timer:
+        return self._parent.timer(self._full(name), **kwargs)
+
+    def namespace(self, prefix: str) -> "NamespacedRegistry":
+        return NamespacedRegistry(self._parent, self._full(prefix))
+
+
+class _NullContext:
+    """Context manager that does nothing (shared by null instruments)."""
+
+    __slots__ = ()
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, exc_type, exc, tb):
+        return None
+
+
+class NullCounter(_NullContext):
+    __slots__ = ()
+    kind = "counter"
+    name = "null"
+    value = 0
+
+    def inc(self, amount: int = 1) -> None:
+        pass
+
+    def snapshot(self) -> dict:
+        return {"kind": self.kind, "value": 0}
+
+
+class NullGauge(_NullContext):
+    __slots__ = ()
+    kind = "gauge"
+    name = "null"
+    value = 0.0
+
+    def set(self, value: float) -> None:
+        pass
+
+    def add(self, amount: float) -> None:
+        pass
+
+    def snapshot(self) -> dict:
+        return {"kind": self.kind, "value": 0.0}
+
+
+class NullHistogram(_NullContext):
+    __slots__ = ()
+    kind = "histogram"
+    name = "null"
+    count = 0
+    sum = 0.0
+    min = None
+    max = None
+    mean = 0.0
+
+    def observe(self, value: float) -> None:
+        pass
+
+    def snapshot(self) -> dict:
+        return {"kind": self.kind, "count": 0}
+
+
+class NullTimer(_NullContext):
+    __slots__ = ()
+    kind = "timer"
+    name = "null"
+    count = 0
+    total_seconds = 0.0
+
+    def observe(self, seconds: float) -> None:
+        pass
+
+    def snapshot(self) -> dict:
+        return {"kind": self.kind, "count": 0}
+
+
+_NULL_COUNTER = NullCounter()
+_NULL_GAUGE = NullGauge()
+_NULL_HISTOGRAM = NullHistogram()
+_NULL_TIMER = NullTimer()
+
+
+class NullMetricsRegistry:
+    """The disabled registry: every lookup returns a shared no-op object.
+
+    ``enabled`` is ``False`` so hot loops can skip instrumentation with a
+    single attribute test; everything else is allocation-free.
+    """
+
+    enabled = False
+
+    def counter(self, name: str) -> NullCounter:
+        return _NULL_COUNTER
+
+    def gauge(self, name: str) -> NullGauge:
+        return _NULL_GAUGE
+
+    def histogram(self, name: str, **kwargs) -> NullHistogram:
+        return _NULL_HISTOGRAM
+
+    def timer(self, name: str, **kwargs) -> NullTimer:
+        return _NULL_TIMER
+
+    def namespace(self, prefix: str) -> "NullMetricsRegistry":
+        return self
+
+    def __iter__(self):
+        return iter(())
+
+    def __len__(self) -> int:
+        return 0
+
+    def __contains__(self, name: str) -> bool:
+        return False
+
+    def get(self, name: str):
+        return None
+
+    def to_dict(self) -> Dict[str, dict]:
+        return {}
+
+
+#: Shared disabled registry — safe to hand to any instrumented code.
+NULL_REGISTRY = NullMetricsRegistry()

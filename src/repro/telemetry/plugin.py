@@ -1,0 +1,133 @@
+"""VP instrumentation plugin feeding the telemetry layer.
+
+Built on the version-independent plugin API (``repro.vp.plugins``), the
+same interface QTA and the coverage collector use — telemetry is just
+another observer and costs nothing when not attached.  Collects:
+
+* retired instructions, cycles, wall time, and MIPS,
+* translation-cache behaviour (hits, misses, flushes, hit rate,
+  blocks translated/executed),
+* trap and interrupt counts (split by the mcause interrupt bit),
+* memory-access counts and an access-width histogram.
+
+All instruments live under the ``vp.`` namespace of the session's
+metrics registry; a ``vp.run`` summary event is emitted on machine exit.
+"""
+
+from __future__ import annotations
+
+import time
+
+from ..isa.csr import INTERRUPT_BIT
+from ..vp.plugins import Plugin
+from .session import resolve
+
+__all__ = ["TelemetryPlugin"]
+
+
+class TelemetryPlugin(Plugin):
+    """Collects emulator throughput and cache statistics into telemetry."""
+
+    name = "telemetry"
+
+    def __init__(self, telemetry=None) -> None:
+        self.telemetry = resolve(telemetry)
+        metrics = self.telemetry.metrics.namespace("vp")
+        self._blocks_translated = metrics.counter("tb.translated")
+        self._blocks_executed = metrics.counter("tb.executed")
+        self._flushes = metrics.counter("tb.flushes")
+        self._traps = metrics.counter("cpu.traps")
+        self._interrupts = metrics.counter("cpu.interrupts")
+        self._loads = metrics.counter("mem.loads")
+        self._stores = metrics.counter("mem.stores")
+        self._width_histogram = metrics.histogram(
+            "mem.access_width", buckets=(1, 2, 4, 8))
+        self._metrics = metrics
+        self._machine = None
+        self._cpu = None
+        self._start_wall = None
+        self._start_instret = 0
+        self._start_cycles = 0
+        self._start_tb_hits = 0
+        self._start_tb_misses = 0
+        self._finished = False
+
+    # -- hook implementations ------------------------------------------
+
+    def on_attach(self, machine) -> None:
+        self._machine = machine
+        self._cpu = machine.cpu
+        self._start_wall = time.perf_counter()
+        self._start_instret = machine.cpu.csrs.instret
+        self._start_cycles = machine.cpu.csrs.cycle
+        self._start_tb_hits = machine.cpu.tb_hits
+        self._start_tb_misses = machine.cpu.tb_misses
+        self._finished = False
+
+    def on_block_translate(self, cpu, block) -> None:
+        self._blocks_translated.inc()
+
+    def on_block_exec(self, cpu, block) -> None:
+        self._blocks_executed.inc()
+
+    def on_mem_access(self, cpu, addr, width, value, is_store) -> None:
+        (self._stores if is_store else self._loads).inc()
+        self._width_histogram.observe(width)
+
+    def on_trap(self, cpu, cause, pc) -> None:
+        if cause & INTERRUPT_BIT:
+            self._interrupts.inc()
+        else:
+            self._traps.inc()
+
+    def on_tb_flush(self, cpu) -> None:
+        self._flushes.inc()
+
+    def on_exit(self, code) -> None:
+        self.finish(exit_code=code)
+
+    # -- summary --------------------------------------------------------
+
+    def finish(self, exit_code=None) -> dict:
+        """Fold final CPU counters into metrics; emit a ``vp.run`` event.
+
+        Called automatically when a machine run ends (every stop reason
+        fires the exit hooks); idempotent until the plugin is re-attached.
+        """
+        cpu = self._cpu
+        if cpu is None or self._finished:
+            return {}
+        self._finished = True
+        wall = time.perf_counter() - (self._start_wall or time.perf_counter())
+        instructions = cpu.csrs.instret - self._start_instret
+        cycles = cpu.csrs.cycle - self._start_cycles
+        mips = instructions / wall / 1e6 if wall > 0 else 0.0
+        metrics = self._metrics
+        metrics.counter("cpu.insns_retired").inc(instructions)
+        metrics.counter("cpu.cycles").inc(cycles)
+        metrics.gauge("cpu.mips").set(mips)
+        tb_hits = cpu.tb_hits - self._start_tb_hits
+        tb_misses = cpu.tb_misses - self._start_tb_misses
+        metrics.counter("tb.hits").inc(tb_hits)
+        metrics.counter("tb.misses").inc(tb_misses)
+        lookups = tb_hits + tb_misses
+        hit_rate = tb_hits / lookups if lookups else 0.0
+        metrics.gauge("tb.hit_rate").set(hit_rate)
+        summary = {
+            "instructions": instructions,
+            "cycles": cycles,
+            "wall_seconds": round(wall, 6),
+            "mips": round(mips, 3),
+            "tb_hits": tb_hits,
+            "tb_misses": tb_misses,
+            "tb_hit_rate": round(hit_rate, 4),
+            "tb_flushes": getattr(cpu, "tb_flushes", 0),
+            "traps": self._traps.value,
+            "interrupts": self._interrupts.value,
+            "loads": self._loads.value,
+            "stores": self._stores.value,
+        }
+        if exit_code is not None:
+            summary["exit_code"] = exit_code
+        self.telemetry.events.emit("vp.run", **summary)
+        return summary

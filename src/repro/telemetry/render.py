@@ -1,0 +1,135 @@
+"""Render telemetry into the summary tables the CLI prints.
+
+Works from plain data (an event list + a metrics snapshot dict), so the
+same renderer serves both a live session (``--stats``) and a saved JSONL
+event log (``python -m repro stats events.jsonl``) — logs embed a
+``metrics.snapshot`` event precisely so they can be re-rendered offline.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional
+
+__all__ = [
+    "render_metrics",
+    "render_event_counts",
+    "render_campaigns",
+    "render_runs",
+    "render_report",
+]
+
+
+def _format_value(value) -> str:
+    if isinstance(value, bool):
+        return str(value)
+    if isinstance(value, int):
+        return f"{value:,}"
+    if isinstance(value, float):
+        return f"{value:,.3f}"
+    return str(value)
+
+
+def render_metrics(snapshot: Dict[str, dict]) -> str:
+    """Table of every instrument in a metrics snapshot."""
+    if not snapshot:
+        return "(no metrics recorded)"
+    header = f"{'metric':<40} {'kind':<10} {'value':>16}"
+    lines = [header, "-" * len(header)]
+    for name in sorted(snapshot):
+        entry = snapshot[name]
+        kind = entry.get("kind", "?")
+        if kind in ("histogram", "timer"):
+            value = (f"n={entry.get('count', 0)} "
+                     f"mean={entry.get('mean', 0.0):.6g}")
+            lines.append(f"{name:<40} {kind:<10} {value:>16}")
+        else:
+            lines.append(f"{name:<40} {kind:<10} "
+                         f"{_format_value(entry.get('value', 0)):>16}")
+    return "\n".join(lines)
+
+
+def render_event_counts(events: Iterable[Dict]) -> str:
+    """Events grouped by type with counts and the time span covered."""
+    counts: Dict[str, int] = {}
+    first_ts = last_ts = None
+    for event in events:
+        counts[event.get("type", "?")] = counts.get(event.get("type", "?"), 0) + 1
+        ts = event.get("ts_us")
+        if ts is not None:
+            first_ts = ts if first_ts is None else min(first_ts, ts)
+            end = ts + event.get("dur_us", 0)
+            last_ts = end if last_ts is None else max(last_ts, end)
+    if not counts:
+        return "(no events recorded)"
+    header = f"{'event type':<32} {'count':>8}"
+    lines = [header, "-" * len(header)]
+    for event_type in sorted(counts):
+        lines.append(f"{event_type:<32} {counts[event_type]:>8}")
+    if first_ts is not None and last_ts is not None:
+        lines.append("-" * len(header))
+        lines.append(f"{'span':<32} {(last_ts - first_ts) / 1e6:>7.3f}s")
+    return "\n".join(lines)
+
+
+def render_runs(events: Iterable[Dict]) -> Optional[str]:
+    """One line per ``vp.run`` summary event (None when there are none)."""
+    runs = [e for e in events if e.get("type") == "vp.run"]
+    if not runs:
+        return None
+    header = (f"{'run':>4} {'insns':>12} {'cycles':>12} {'MIPS':>8} "
+              f"{'tb hit rate':>12} {'traps':>6}")
+    lines = [header, "-" * len(header)]
+    for i, run in enumerate(runs):
+        lines.append(
+            f"{i:>4} {run.get('instructions', 0):>12,} "
+            f"{run.get('cycles', 0):>12,} {run.get('mips', 0.0):>8.2f} "
+            f"{run.get('tb_hit_rate', 0.0):>11.1%} {run.get('traps', 0):>6}"
+        )
+    return "\n".join(lines)
+
+
+def render_campaigns(events: Iterable[Dict]) -> Optional[str]:
+    """Summary of each ``campaign.finished`` event (None when none)."""
+    finished = [e for e in events if e.get("type") == "campaign.finished"]
+    if not finished:
+        return None
+    blocks: List[str] = []
+    for event in finished:
+        counts = event.get("counts", {})
+        total = event.get("total", sum(counts.values()))
+        lines = [
+            f"campaign: {total} mutants in "
+            f"{event.get('elapsed_seconds', 0.0):.3f}s "
+            f"({event.get('mutants_per_second', 0.0):.1f} mutants/s)",
+        ]
+        for outcome in sorted(counts):
+            fraction = counts[outcome] / total if total else 0.0
+            lines.append(f"  {outcome:<10} {counts[outcome]:>8} {fraction:>9.1%}")
+        blocks.append("\n".join(lines))
+    return "\n\n".join(blocks)
+
+
+def _latest_metrics_snapshot(events: Iterable[Dict]) -> Dict[str, dict]:
+    snapshot: Dict[str, dict] = {}
+    for event in events:
+        if event.get("type") == "metrics.snapshot":
+            snapshot = event.get("metrics", {})
+    return snapshot
+
+
+def render_report(events: Iterable[Dict],
+                  metrics: Optional[Dict[str, dict]] = None) -> str:
+    """The full ``--stats`` report: runs, campaigns, metrics, event counts."""
+    events = list(events)
+    if metrics is None:
+        metrics = _latest_metrics_snapshot(events)
+    sections = []
+    runs = render_runs(events)
+    if runs:
+        sections.append("--- VP runs ---\n" + runs)
+    campaigns = render_campaigns(events)
+    if campaigns:
+        sections.append("--- fault campaigns ---\n" + campaigns)
+    sections.append("--- metrics ---\n" + render_metrics(metrics))
+    sections.append("--- events ---\n" + render_event_counts(events))
+    return "\n\n".join(sections)

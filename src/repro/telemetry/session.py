@@ -1,0 +1,96 @@
+"""The telemetry session: one metrics registry + one event log.
+
+Library code never constructs telemetry itself; it takes an optional
+``telemetry`` argument and resolves ``None`` through
+:func:`current_telemetry`, which defaults to the shared disabled session.
+The CLI (``--stats`` / ``--trace-out`` / ``--events-out``) installs an
+enabled session for the duration of a command.
+
+Disabled telemetry is designed to be unmeasurable: the null session's
+registry and event log are allocation-free no-ops, and hot loops gate on
+``telemetry.enabled`` (a plain class attribute) before doing any work.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+
+from .events import EventLog, NULL_EVENT_LOG
+from .metrics import MetricsRegistry, NULL_REGISTRY
+
+__all__ = [
+    "Telemetry",
+    "NullTelemetry",
+    "NULL_TELEMETRY",
+    "current_telemetry",
+    "set_telemetry",
+    "telemetry_session",
+    "resolve",
+]
+
+
+class Telemetry:
+    """An enabled telemetry session."""
+
+    enabled = True
+
+    def __init__(self, metrics: MetricsRegistry = None,
+                 events: EventLog = None) -> None:
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self.events = events if events is not None else EventLog()
+
+    def snapshot_metrics(self) -> dict:
+        """Emit (and return) a ``metrics.snapshot`` event of all metrics.
+
+        Embedding the snapshot in the event stream makes a saved JSONL log
+        self-contained: ``python -m repro stats`` re-renders the metrics
+        table without the original process.
+        """
+        snap = self.metrics.to_dict()
+        self.events.emit("metrics.snapshot", metrics=snap)
+        return snap
+
+
+class NullTelemetry:
+    """The disabled session (shared singleton :data:`NULL_TELEMETRY`)."""
+
+    enabled = False
+    metrics = NULL_REGISTRY
+    events = NULL_EVENT_LOG
+
+    def snapshot_metrics(self) -> dict:
+        return {}
+
+
+#: Shared disabled session — the default for every library entry point.
+NULL_TELEMETRY = NullTelemetry()
+
+_current = NULL_TELEMETRY
+
+
+def current_telemetry():
+    """The session installed for this process (default: disabled)."""
+    return _current
+
+
+def set_telemetry(telemetry) -> None:
+    """Install ``telemetry`` as the process-wide session (None disables)."""
+    global _current
+    _current = telemetry if telemetry is not None else NULL_TELEMETRY
+
+
+def resolve(telemetry):
+    """Resolve an optional ``telemetry`` argument to a usable session."""
+    return telemetry if telemetry is not None else _current
+
+
+@contextmanager
+def telemetry_session(telemetry=None):
+    """Temporarily install a session (creates an enabled one by default)."""
+    session = telemetry if telemetry is not None else Telemetry()
+    previous = current_telemetry()
+    set_telemetry(session)
+    try:
+        yield session
+    finally:
+        set_telemetry(previous)

@@ -127,6 +127,7 @@ class Cpu:
         # Statistics.
         self.tb_hits = 0
         self.tb_misses = 0
+        self.tb_flushes = 0
 
     # ------------------------------------------------------------------
     # Configuration hooks used by Machine
@@ -159,6 +160,10 @@ class Cpu:
     def flush_translation_cache(self) -> None:
         """Invalidate all cached blocks (``fence.i``, code patching)."""
         self._tb_cache.clear()
+        self.tb_flushes += 1
+        if self.hooks.tb_flush:
+            for hook in self.hooks.tb_flush:
+                hook(self)
 
     def current_word(self) -> int:
         """Raw encoding of the instruction currently executing (for mtval)."""

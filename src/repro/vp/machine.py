@@ -118,6 +118,11 @@ class Machine:
         if self.config.semihosting:
             self.cpu.ecall_handler = self._handle_ecall
         self.entry = RAM_BASE
+        #: Optional telemetry session (see :mod:`repro.telemetry`): when
+        #: set, :meth:`run` brackets execution with ``run.started`` /
+        #: ``run.finished`` events.  ``None`` (the default) costs one
+        #: attribute test per run() call.
+        self.telemetry = None
 
     # ------------------------------------------------------------------
     # Program loading
@@ -224,8 +229,30 @@ class Machine:
     # Execution
     # ------------------------------------------------------------------
 
+    def attach_telemetry(self, telemetry=None) -> "Plugin":
+        """Enable telemetry on this machine.
+
+        Registers a :class:`repro.telemetry.TelemetryPlugin` bound to
+        ``telemetry`` (default: the process-wide session) and arranges for
+        run lifecycle events.  Returns the plugin so callers can
+        ``finish()`` runs that stop without a guest exit.
+        """
+        from ..telemetry import TelemetryPlugin
+        from ..telemetry.session import resolve
+
+        self.telemetry = resolve(telemetry)
+        return self.add_plugin(TelemetryPlugin(self.telemetry))
+
     def run(self, max_instructions: Optional[int] = None) -> RunResult:
         """Run until exit, unhandled trap, WFI-halt, or the budget ends."""
+        telemetry = self.telemetry
+        if telemetry is not None and telemetry.enabled:
+            telemetry.events.emit(
+                "run.started",
+                entry=self.entry,
+                isa=self.config.isa.name,
+                max_instructions=max_instructions,
+            )
         try:
             result = self.cpu.run(max_instructions)
         except MachineExit as exit_event:
@@ -246,6 +273,14 @@ class Machine:
         if self.cpu.hooks.exit:
             for hook in self.cpu.hooks.exit:
                 hook(result.exit_code if result.exit_code is not None else -1)
+        if telemetry is not None and telemetry.enabled:
+            telemetry.events.emit(
+                "run.finished",
+                stop_reason=result.stop_reason,
+                exit_code=result.exit_code,
+                instructions=result.instructions,
+                cycles=result.cycles,
+            )
         return result
 
     # ------------------------------------------------------------------

@@ -30,6 +30,8 @@ class Plugin:
     * ``on_mem_access(cpu, addr, width, value, is_store)`` — a data access
       completed (loads report the loaded value).
     * ``on_trap(cpu, cause, pc)`` — a trap is being taken.
+    * ``on_tb_flush(cpu)`` — the translation cache was invalidated
+      (``fence.i``, code patching, reset).
     * ``on_exit(code)`` — the machine terminated.
     """
 
@@ -54,6 +56,9 @@ class Plugin:
     def on_trap(self, cpu: "Cpu", cause: int, pc: int) -> None:
         pass
 
+    def on_tb_flush(self, cpu: "Cpu") -> None:
+        pass
+
     def on_exit(self, code: int) -> None:
         pass
 
@@ -76,6 +81,7 @@ class HookTable:
         self.insn_exec = []
         self.mem_access = []
         self.trap = []
+        self.tb_flush = []
         self.exit = []
 
     def register(self, plugin: Plugin) -> None:
@@ -90,6 +96,8 @@ class HookTable:
             self.mem_access.append(plugin.on_mem_access)
         if _overridden(plugin, "on_trap"):
             self.trap.append(plugin.on_trap)
+        if _overridden(plugin, "on_tb_flush"):
+            self.tb_flush.append(plugin.on_tb_flush)
         if _overridden(plugin, "on_exit"):
             self.exit.append(plugin.on_exit)
 
@@ -98,7 +106,7 @@ class HookTable:
             raise ValueError(f"plugin {plugin.name!r} is not registered")
         self.plugins.remove(plugin)
         for attr in ("block_translate", "block_exec", "insn_exec",
-                     "mem_access", "trap", "exit"):
+                     "mem_access", "trap", "tb_flush", "exit"):
             hooks = getattr(self, attr)
             bound = getattr(plugin, {
                 "block_translate": "on_block_translate",
@@ -106,6 +114,7 @@ class HookTable:
                 "insn_exec": "on_insn_exec",
                 "mem_access": "on_mem_access",
                 "trap": "on_trap",
+                "tb_flush": "on_tb_flush",
                 "exit": "on_exit",
             }[attr])
             if bound in hooks:

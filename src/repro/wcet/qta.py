@@ -23,6 +23,7 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
 from ..asm import Program
+from ..telemetry.session import resolve as _resolve_telemetry
 from ..vp.machine import Machine, MachineConfig
 from ..vp.plugins import Plugin
 from ..vp.timing import TimingModel
@@ -130,6 +131,7 @@ def analyze_program(
     edge_sensitive: bool = False,
     icache=None,
     cache_analysis: bool = False,
+    telemetry=None,
 ) -> QtaAnalysis:
     """Run the complete QTA tool-demo flow on one program.
 
@@ -138,10 +140,19 @@ def analyze_program(
     3. ``ait2qta`` preprocessing -> WCET-annotated CFG,
     4. IPET static WCET bound,
     5. co-simulate binary + annotated CFG on the VP with the QTA plugin.
+
+    When the resolved ``telemetry`` session is enabled, the flow records
+    per-phase timers under ``wcet.qta.*``, runs the binary once more
+    *without* the plugin to measure co-simulation overhead, and emits a
+    ``qta.cosim`` summary event.
     """
+    import time as _time
+
     from ..asm import assemble
     from ..isa.decoder import RV32IMC_ZICSR
 
+    telemetry = _resolve_telemetry(telemetry)
+    metrics = telemetry.metrics.namespace("wcet.qta")
     isa = isa or RV32IMC_ZICSR
     timing = timing or TimingModel()
     if isinstance(source_or_program, str):
@@ -152,17 +163,24 @@ def analyze_program(
         program = source_or_program
         bounds = dict(loop_bounds or {})
 
-    report = run_ait_analysis(program, loop_bounds=bounds, timing=timing,
-                              name=name, edge_sensitive=edge_sensitive,
-                              icache=icache, cache_analysis=cache_analysis)
-    wcet_cfg = preprocess(report)
-    static_bound = compute_wcet_bound(wcet_cfg)
+    with metrics.timer("static_seconds"), \
+            telemetry.events.span("qta.static_analysis", name=name):
+        report = run_ait_analysis(program, loop_bounds=bounds, timing=timing,
+                                  name=name, edge_sensitive=edge_sensitive,
+                                  icache=icache,
+                                  cache_analysis=cache_analysis)
+        wcet_cfg = preprocess(report)
+        static_bound = compute_wcet_bound(wcet_cfg)
 
     machine = Machine(MachineConfig(isa=isa, timing=timing, icache=icache))
     machine.load(program)
     plugin = QtaPlugin(wcet_cfg)
     machine.add_plugin(plugin)
-    run = machine.run(max_instructions=max_instructions)
+    cosim_start = _time.perf_counter()
+    with telemetry.events.span("qta.cosim", name=name):
+        run = machine.run(max_instructions=max_instructions)
+    cosim_seconds = _time.perf_counter() - cosim_start
+    metrics.timer("cosim_seconds").observe(cosim_seconds)
     wcet_time = plugin.finalize()
     result = QtaResult(
         wcet_time=wcet_time,
@@ -171,4 +189,30 @@ def analyze_program(
         node_path_length=plugin.path_length,
         node_counts=dict(plugin.node_counts),
     )
+    if telemetry.enabled:
+        # Co-simulation overhead vs. a plain run of the same binary on a
+        # fresh machine — the QTA papers' "plugin cost" number.  Only
+        # measured when telemetry is on; a plain run is not free.
+        plain_machine = Machine(
+            MachineConfig(isa=isa, timing=timing, icache=icache))
+        plain_machine.load(program)
+        plain_start = _time.perf_counter()
+        plain_machine.run(max_instructions=max_instructions)
+        plain_seconds = _time.perf_counter() - plain_start
+        metrics.timer("plain_seconds").observe(plain_seconds)
+        overhead = cosim_seconds / plain_seconds if plain_seconds > 0 else 0.0
+        metrics.gauge("cosim_overhead").set(overhead)
+        metrics.gauge("pessimism").set(result.pessimism)
+        telemetry.events.emit(
+            "qta.summary",
+            name=name,
+            static_bound=static_bound.cycles,
+            wcet_time=wcet_time,
+            actual_cycles=run.cycles,
+            instructions=run.instructions,
+            pessimism=round(result.pessimism, 4),
+            cosim_seconds=round(cosim_seconds, 6),
+            plain_seconds=round(plain_seconds, 6),
+            cosim_overhead=round(overhead, 3),
+        )
     return QtaAnalysis(program, wcet_cfg, static_bound, result)

@@ -5,6 +5,7 @@ import pytest
 from repro.asm import assemble
 from repro.coverage import measure_coverage
 from repro.faultsim import (
+    CampaignResult,
     Fault,
     FaultCampaign,
     MutantBudget,
@@ -152,6 +153,31 @@ class TestCampaignRun:
         campaign = make_campaign()
         result = campaign.run([Fault(TARGET_GPR, 25, 1, STUCK_AT_1)])
         assert result.normal_termination_fraction == 1.0
+
+
+class TestSerialization:
+    def test_json_round_trip(self):
+        campaign = make_campaign()
+        faults = [Fault(TARGET_GPR, reg, bit, STUCK_AT_1)
+                  for reg in (10, 25) for bit in (0, 4)]
+        faults.append(Fault(TARGET_GPR, 10, 3, TRANSIENT, trigger=2))
+        result = campaign.run(faults)
+        restored = CampaignResult.from_json(result.to_json())
+        assert restored.golden == result.golden
+        assert restored.results == result.results
+        assert restored.elapsed_seconds == result.elapsed_seconds
+        assert restored.counts == result.counts
+        assert restored.table() == result.table()
+
+    def test_to_json_is_plain_json(self):
+        import json
+        campaign = make_campaign()
+        result = campaign.run([Fault(TARGET_GPR, 25, 1, STUCK_AT_1)])
+        data = json.loads(result.to_json(indent=2))
+        assert data["golden"]["exit_code"] == 0
+        (entry,) = data["results"]
+        assert entry["fault"]["target"] == "gpr"
+        assert entry["outcome"] in ("masked", "sdc", "trap", "hang")
 
 
 class TestMutantGeneration:

@@ -1,0 +1,63 @@
+"""Chrome trace-event export: structure required by chrome://tracing."""
+
+import json
+
+from repro.telemetry import EventLog, export_chrome_trace, to_chrome_trace
+
+
+def sample_events():
+    log = EventLog()
+    log.emit("run.started", isa="rv32imc")
+    log.events.append({"type": "qta.cosim", "ts_us": 10, "dur_us": 500,
+                       "name_field": "prog"})
+    log.emit("campaign.progress", done=5, total=10)
+    log.emit("campaign.finished", total=10)
+    return log.events
+
+
+class TestStructure:
+    def test_every_event_has_required_keys(self):
+        trace = to_chrome_trace(sample_events())
+        assert isinstance(trace, list) and trace
+        for event in trace:
+            assert {"ph", "ts", "name", "pid"} <= set(event)
+
+    def test_duration_events_become_complete_slices(self):
+        trace = to_chrome_trace(sample_events())
+        slices = [e for e in trace if e["ph"] == "X"]
+        assert len(slices) == 1
+        assert slices[0]["name"] == "qta.cosim"
+        assert slices[0]["dur"] == 500
+        assert slices[0]["ts"] == 10
+
+    def test_progress_events_become_counters(self):
+        trace = to_chrome_trace(sample_events())
+        counters = [e for e in trace if e["ph"] == "C"]
+        assert len(counters) == 1
+        assert counters[0]["args"] == {"done": 5}
+
+    def test_other_events_become_instants(self):
+        trace = to_chrome_trace(sample_events())
+        instants = [e for e in trace if e["ph"] == "i"]
+        assert {e["name"] for e in instants} == {"run.started",
+                                                 "campaign.finished"}
+
+    def test_lane_metadata_per_subsystem(self):
+        trace = to_chrome_trace(sample_events())
+        thread_names = {e["args"]["name"] for e in trace
+                        if e["ph"] == "M" and e["name"] == "thread_name"}
+        assert thread_names == {"run", "qta", "campaign"}
+        # Each lane gets a distinct tid.
+        tids = [e["tid"] for e in trace
+                if e["ph"] == "M" and e["name"] == "thread_name"]
+        assert len(tids) == len(set(tids))
+
+
+class TestExport:
+    def test_file_is_loadable_json_array(self, tmp_path):
+        path = str(tmp_path / "trace.json")
+        export_chrome_trace(sample_events(), path)
+        with open(path) as handle:
+            trace = json.load(handle)
+        assert isinstance(trace, list)
+        assert any(e["ph"] == "X" for e in trace)

@@ -1,0 +1,84 @@
+"""Event log: typed records, monotonic timestamps, JSONL round-trip."""
+
+from repro.telemetry import EventLog, NULL_EVENT_LOG
+
+
+def make_log_with_clock():
+    """An EventLog driven by a fake clock we can advance."""
+    state = {"now": 100.0}
+    log = EventLog(clock=lambda: state["now"])
+    return log, state
+
+
+class TestEmit:
+    def test_records_type_and_fields(self):
+        log = EventLog()
+        record = log.emit("run.started", entry=0x80000000, isa="rv32i")
+        assert record["type"] == "run.started"
+        assert record["entry"] == 0x80000000
+        assert log.events == [record]
+
+    def test_timestamps_are_monotonic_offsets(self):
+        log, state = make_log_with_clock()
+        log.emit("a")
+        state["now"] += 0.5
+        log.emit("b")
+        ts = [e["ts_us"] for e in log.events]
+        assert ts == [0, 500_000]
+
+    def test_span_records_duration(self):
+        log, state = make_log_with_clock()
+        with log.span("qta.cosim", name="prog"):
+            state["now"] += 0.25
+        (event,) = log.events
+        assert event["type"] == "qta.cosim"
+        assert event["ts_us"] == 0
+        assert event["dur_us"] == 250_000
+        assert event["name"] == "prog"
+
+
+class TestQuerying:
+    def test_of_type_and_last(self):
+        log = EventLog()
+        log.emit("mutant.classified", outcome="sdc")
+        log.emit("campaign.progress", done=1)
+        log.emit("mutant.classified", outcome="masked")
+        assert len(log.of_type("mutant.classified")) == 2
+        assert log.last("mutant.classified")["outcome"] == "masked"
+        assert log.last("missing") is None
+        assert len(log) == 3
+
+
+class TestJsonl:
+    def test_round_trip_through_file(self, tmp_path):
+        log = EventLog()
+        log.emit("run.started", isa="rv32imc")
+        log.emit("run.finished", exit_code=0, instructions=42)
+        path = str(tmp_path / "events.jsonl")
+        log.save_jsonl(path)
+        loaded = EventLog.load_jsonl(path)
+        assert loaded.events == log.events
+
+    def test_to_jsonl_one_record_per_line(self):
+        log = EventLog()
+        log.emit("a")
+        log.emit("b")
+        lines = log.to_jsonl().splitlines()
+        assert len(lines) == 2
+        assert all(line.startswith("{") for line in lines)
+
+    def test_parse_skips_blank_lines(self):
+        records = EventLog.parse_jsonl(['{"type": "a", "ts_us": 0}', "", "  "])
+        assert records == [{"type": "a", "ts_us": 0}]
+
+
+class TestNullEventLog:
+    def test_emit_and_span_are_noops(self):
+        assert NULL_EVENT_LOG.enabled is False
+        assert NULL_EVENT_LOG.emit("anything", x=1) is None
+        with NULL_EVENT_LOG.span("anything"):
+            pass
+        assert len(NULL_EVENT_LOG) == 0
+        assert NULL_EVENT_LOG.of_type("anything") == []
+        assert NULL_EVENT_LOG.last("anything") is None
+        assert NULL_EVENT_LOG.to_jsonl() == ""

@@ -1,0 +1,179 @@
+"""Cross-layer telemetry: campaigns, QTA, coverage, and the CLI."""
+
+import json
+
+import pytest
+
+from repro.asm import assemble
+from repro.coverage import measure_coverage
+from repro.faultsim import Fault, FaultCampaign, STUCK_AT_1, TARGET_GPR
+from repro.isa import RV32IMC_ZICSR
+from repro.telemetry import Telemetry
+from repro.wcet import analyze_program
+
+CHECKED = """
+_start:
+    li a1, 6
+    li a2, 7
+    mul a0, a1, a2
+    li a3, 42
+    bne a0, a3, fail
+    li a0, 0
+    li a7, 93
+    ecall
+fail:
+    li a0, 1
+    li a7, 93
+    ecall
+"""
+
+LOOP = """
+_start:
+    li a0, 0
+    li t0, 1
+loop:              # @loopbound 10
+    add a0, a0, t0
+    addi t0, t0, 1
+    li t1, 11
+    blt t0, t1, loop
+    li a7, 93
+    ecall
+"""
+
+FAULTS = [Fault(TARGET_GPR, reg, bit, STUCK_AT_1)
+          for reg in (10, 11, 25) for bit in (0, 5)]
+
+
+class TestCampaignTelemetry:
+    def test_events_and_metrics(self):
+        telemetry = Telemetry()
+        campaign = FaultCampaign(assemble(CHECKED, isa=RV32IMC_ZICSR),
+                                 isa=RV32IMC_ZICSR, telemetry=telemetry)
+        result = campaign.run(FAULTS)
+        events = telemetry.events
+        assert len(events.of_type("campaign.started")) == 1
+        assert len(events.of_type("mutant.classified")) == len(FAULTS)
+        finished = events.last("campaign.finished")
+        assert finished["total"] == len(FAULTS)
+        assert finished["counts"] == result.counts
+        assert finished["mutants_per_second"] > 0
+        metrics = telemetry.metrics
+        assert metrics.counter(
+            "faultsim.campaign.mutants_done").value == len(FAULTS)
+        outcome_total = sum(
+            metrics.counter(f"faultsim.campaign.outcome.{o}").value
+            for o in ("masked", "sdc", "trap", "hang"))
+        assert outcome_total == len(FAULTS)
+        assert metrics.timer(
+            "faultsim.campaign.mutant_seconds").count == len(FAULTS)
+
+    def test_progress_callback_without_telemetry(self):
+        seen = []
+        campaign = FaultCampaign(assemble(CHECKED, isa=RV32IMC_ZICSR),
+                                 isa=RV32IMC_ZICSR)
+        campaign.run(FAULTS, on_progress=seen.append,
+                     progress_interval=0.0)
+        assert seen  # at least the final report
+        final = seen[-1]
+        assert final["done"] == final["total"] == len(FAULTS)
+        assert final["mutants_per_second"] > 0
+
+    def test_disabled_telemetry_emits_nothing(self):
+        campaign = FaultCampaign(assemble(CHECKED, isa=RV32IMC_ZICSR),
+                                 isa=RV32IMC_ZICSR)
+        assert campaign.telemetry.enabled is False
+        campaign.run(FAULTS)
+        assert len(campaign.telemetry.events) == 0
+
+
+class TestQtaTelemetry:
+    def test_cosim_overhead_recorded(self):
+        telemetry = Telemetry()
+        analysis = analyze_program(LOOP, isa=RV32IMC_ZICSR,
+                                   telemetry=telemetry)
+        summary = telemetry.events.last("qta.summary")
+        assert summary is not None
+        assert summary["static_bound"] == analysis.static_bound.cycles
+        assert summary["wcet_time"] == analysis.result.wcet_time
+        assert summary["cosim_overhead"] > 0
+        metrics = telemetry.metrics
+        assert metrics.timer("wcet.qta.cosim_seconds").count == 1
+        assert metrics.timer("wcet.qta.plain_seconds").count == 1
+        assert metrics.gauge("wcet.qta.pessimism").value >= 1.0
+
+    def test_disabled_telemetry_skips_plain_run(self):
+        # No qta events, no metrics — and still a correct analysis.
+        analysis = analyze_program(LOOP, isa=RV32IMC_ZICSR)
+        assert analysis.result.wcet_time > 0
+
+
+class TestCoverageTelemetry:
+    def test_collection_cost_recorded(self):
+        telemetry = Telemetry()
+        program = assemble(LOOP, isa=RV32IMC_ZICSR)
+        measure_coverage(program, isa=RV32IMC_ZICSR, telemetry=telemetry)
+        metrics = telemetry.metrics
+        assert metrics.counter("coverage.collector.runs").value == 1
+        assert metrics.counter("coverage.collector.instructions").value > 0
+        assert metrics.timer("coverage.collector.run_seconds").count == 1
+        (event,) = telemetry.events.of_type("coverage.collected")
+        assert event["dur_us"] >= 0
+
+
+class TestCli:
+    @pytest.fixture
+    def checked_file(self, tmp_path):
+        path = tmp_path / "checked.s"
+        path.write_text(CHECKED)
+        return str(path)
+
+    def test_faults_stats_prints_summary(self, checked_file, capsys):
+        from repro.cli import main
+        assert main(["faults", checked_file, "--mutants", "20",
+                     "--stats"]) == 0
+        out = capsys.readouterr().out
+        assert "=== telemetry ===" in out
+        assert "mutants/s" in out
+        assert "faultsim.campaign.outcome.sdc" in out
+        assert "faultsim.campaign.mutants_done" in out
+        assert "campaign.finished" in out
+
+    def test_faults_trace_out_is_perfetto_loadable(self, checked_file,
+                                                   tmp_path, capsys):
+        from repro.cli import main
+        trace_path = str(tmp_path / "trace.json")
+        assert main(["faults", checked_file, "--mutants", "10",
+                     "--trace-out", trace_path]) == 0
+        with open(trace_path) as handle:
+            trace = json.load(handle)
+        assert isinstance(trace, list) and trace
+        for event in trace:
+            assert {"ph", "ts", "name", "pid"} <= set(event)
+        assert any(e["name"] == "mutant.classified" for e in trace)
+
+    def test_events_out_then_stats_subcommand(self, checked_file, tmp_path,
+                                              capsys):
+        from repro.cli import main
+        events_path = str(tmp_path / "events.jsonl")
+        assert main(["faults", checked_file, "--mutants", "10",
+                     "--events-out", events_path]) == 0
+        capsys.readouterr()
+        assert main(["stats", events_path]) == 0
+        out = capsys.readouterr().out
+        assert "fault campaigns" in out
+        assert "mutants/s" in out
+        assert "faultsim.campaign.mutants_done" in out
+
+    def test_run_stats_reports_vp_metrics(self, checked_file, capsys):
+        from repro.cli import main
+        main(["run", checked_file, "--stats"])
+        out = capsys.readouterr().out
+        assert "vp.cpu.insns_retired" in out
+        assert "VP runs" in out
+
+    def test_telemetry_disabled_without_flags(self, checked_file, capsys):
+        from repro.cli import main
+        from repro.telemetry import current_telemetry
+        assert main(["faults", checked_file, "--mutants", "5"]) == 0
+        assert current_telemetry().enabled is False
+        assert "=== telemetry ===" not in capsys.readouterr().out

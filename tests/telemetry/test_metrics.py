@@ -1,0 +1,124 @@
+"""Metrics registry: instruments, namespacing, null implementations."""
+
+import pytest
+
+from repro.telemetry import (
+    MetricsRegistry,
+    NULL_REGISTRY,
+)
+from repro.telemetry.metrics import Histogram, Timer
+
+
+class TestCounter:
+    def test_starts_at_zero_and_increments(self):
+        registry = MetricsRegistry()
+        counter = registry.counter("vp.cpu.insns_retired")
+        assert counter.value == 0
+        counter.inc()
+        counter.inc(41)
+        assert counter.value == 42
+
+    def test_memoized_by_name(self):
+        registry = MetricsRegistry()
+        assert registry.counter("a.b") is registry.counter("a.b")
+
+    def test_kind_conflict_raises(self):
+        registry = MetricsRegistry()
+        registry.counter("x")
+        with pytest.raises(TypeError, match="already registered"):
+            registry.gauge("x")
+
+
+class TestGauge:
+    def test_set_and_add(self):
+        registry = MetricsRegistry()
+        gauge = registry.gauge("vp.cpu.mips")
+        gauge.set(12.5)
+        assert gauge.value == 12.5
+        gauge.add(-2.5)
+        assert gauge.value == 10.0
+
+
+class TestHistogram:
+    def test_bucket_assignment(self):
+        histogram = Histogram("h", buckets=(1, 10, 100))
+        for value in (0.5, 1, 5, 50, 500):
+            histogram.observe(value)
+        # <=1: 0.5 and 1; <=10: 5; <=100: 50; overflow: 500
+        assert histogram.bucket_counts == [2, 1, 1, 1]
+        assert histogram.count == 5
+        assert histogram.min == 0.5
+        assert histogram.max == 500
+        assert histogram.mean == pytest.approx(556.5 / 5)
+
+    def test_snapshot_shape(self):
+        histogram = Histogram("h", buckets=(1, 2))
+        histogram.observe(1.5)
+        snap = histogram.snapshot()
+        assert snap["kind"] == "histogram"
+        assert snap["count"] == 1
+        assert snap["buckets"]["le_2"] == 1
+        assert snap["buckets"]["inf"] == 0
+
+    def test_empty_mean_is_zero(self):
+        assert Histogram("h").mean == 0.0
+
+
+class TestTimer:
+    def test_context_manager_records_duration(self):
+        registry = MetricsRegistry()
+        timer = registry.timer("qta.cosim_seconds")
+        with timer:
+            pass
+        assert timer.count == 1
+        assert timer.total_seconds >= 0.0
+
+    def test_observe_external_duration(self):
+        timer = Timer("t")
+        timer.observe(1.5)
+        assert timer.count == 1
+        assert timer.total_seconds == 1.5
+
+
+class TestNamespacing:
+    def test_namespace_prefixes_names(self):
+        registry = MetricsRegistry()
+        vp = registry.namespace("vp")
+        cpu = vp.namespace("cpu")
+        cpu.counter("insns_retired").inc(7)
+        assert registry.counter("vp.cpu.insns_retired").value == 7
+        assert "vp.cpu.insns_retired" in registry
+
+    def test_to_dict_uses_full_names(self):
+        registry = MetricsRegistry()
+        registry.namespace("faultsim.campaign").counter("mutants_done").inc()
+        snap = registry.to_dict()
+        assert snap == {"faultsim.campaign.mutants_done":
+                        {"kind": "counter", "value": 1}}
+
+    def test_iteration_sorted(self):
+        registry = MetricsRegistry()
+        registry.counter("b")
+        registry.counter("a")
+        assert [name for name, _ in registry] == ["a", "b"]
+
+
+class TestNullRegistry:
+    def test_disabled_flag(self):
+        assert NULL_REGISTRY.enabled is False
+        assert MetricsRegistry().enabled is True
+
+    def test_instruments_are_shared_noops(self):
+        counter = NULL_REGISTRY.counter("anything")
+        assert counter is NULL_REGISTRY.counter("something.else")
+        counter.inc(1000)
+        assert counter.value == 0
+        NULL_REGISTRY.gauge("g").set(5)
+        NULL_REGISTRY.histogram("h").observe(5)
+        with NULL_REGISTRY.timer("t"):
+            pass
+        assert NULL_REGISTRY.to_dict() == {}
+        assert len(NULL_REGISTRY) == 0
+
+    def test_namespace_returns_self(self):
+        assert NULL_REGISTRY.namespace("vp.cpu") is NULL_REGISTRY

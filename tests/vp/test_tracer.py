@@ -1,0 +1,85 @@
+"""ExecutionTracer ring-buffer semantics and rendering."""
+
+from repro.asm import assemble
+from repro.isa import RV32IMC_ZICSR
+from repro.vp import ExecutionTracer, Machine, MachineConfig, TraceEntry
+
+# Retires well over 20 dynamic instructions (10 iterations x 4 + pro/epilog).
+LOOP = """
+_start:
+    li a0, 0
+    li t0, 1
+loop:
+    add a0, a0, t0
+    addi t0, t0, 1
+    li t1, 11
+    blt t0, t1, loop
+    li a7, 93
+    ecall
+"""
+
+
+def run_traced(limit):
+    machine = Machine(MachineConfig(isa=RV32IMC_ZICSR))
+    machine.load(assemble(LOOP, isa=RV32IMC_ZICSR))
+    tracer = machine.add_plugin(ExecutionTracer(limit=limit))
+    result = machine.run(max_instructions=10_000)
+    return tracer, result
+
+
+class TestRingBuffer:
+    def test_limit_evicts_but_count_keeps_total(self):
+        tracer, result = run_traced(limit=5)
+        assert len(tracer.entries) == 5
+        # on_insn_exec fires before execution, so the exiting ecall is
+        # traced but never retired: total observed = retired + 1.
+        assert tracer.count == result.instructions + 1
+        assert tracer.count > 5
+        # The retained entries are the most recent ones, in order.
+        indices = [entry.index for entry in tracer.entries]
+        assert indices == list(range(tracer.count - 5, tracer.count))
+
+    def test_unlimited_keeps_full_trace(self):
+        tracer, result = run_traced(limit=None)
+        assert len(tracer.entries) == tracer.count == \
+            result.instructions + 1
+        assert [e.index for e in tracer.entries] == \
+            list(range(tracer.count))
+
+    def test_tail_returns_last_n(self):
+        tracer, _ = run_traced(limit=None)
+        tail = tracer.tail(3)
+        assert len(tail) == 3
+        assert tail[-1].text.startswith("ecall")
+        assert [e.index for e in tail] == \
+            [tracer.count - 3, tracer.count - 2, tracer.count - 1]
+
+    def test_tail_larger_than_buffer(self):
+        tracer, _ = run_traced(limit=4)
+        assert len(tracer.tail(100)) == 4
+
+    def test_clear_resets_entries_and_count(self):
+        tracer, _ = run_traced(limit=5)
+        tracer.clear()
+        assert len(tracer.entries) == 0
+        assert tracer.count == 0
+
+
+class TestRendering:
+    def test_entry_str_format(self):
+        entry = TraceEntry(index=7, pc=0x80000004, word=0x00100093,
+                           text="addi ra, zero, 1")
+        text = str(entry)
+        assert "7" in text
+        assert "0x80000004" in text
+        assert "00100093" in text
+        assert text.endswith("addi ra, zero, 1")
+
+    def test_render_joins_tail_lines(self):
+        tracer, _ = run_traced(limit=None)
+        rendered = tracer.render(2)
+        lines = rendered.splitlines()
+        assert len(lines) == 2
+        assert "ecall" in lines[-1]
+        # Every line carries a pc in hex.
+        assert all("0x8000" in line for line in lines)
