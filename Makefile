@@ -7,13 +7,22 @@
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: test bench examples experiments clean
+.PHONY: test bench bench-report bench-smoke examples experiments clean
 
 test:
 	$(PYTHON) -m pytest tests/
 
 bench:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only
+
+# Headline performance numbers (MIPS, mutants/s, QTA overhead) written
+# to BENCH_emulator.json at the repo root.
+bench-report:
+	$(PYTHON) benchmarks/bench_report.py
+
+# Fast subset of the report for CI smoke runs.
+bench-smoke:
+	$(PYTHON) benchmarks/bench_report.py --smoke
 
 # Run every example script (each asserts its own expected behaviour).
 examples:

@@ -1,0 +1,227 @@
+"""Emulator performance report: MIPS, campaign throughput, QTA overhead.
+
+Writes ``BENCH_emulator.json`` (repo root by default) with the headline
+numbers the performance work is judged by:
+
+* ``mips`` — interpreter speed on the F1 compute workload (cache on,
+  no plugins), plus the speedup over the recorded pre-specialization
+  baseline;
+* ``campaign`` — fault-campaign throughput (mutants/s) sequential and
+  with a worker pool, plus the parallel speedup;
+* ``qta_overhead_factor`` — slowdown when the QTA timing plugin rides
+  along, which must stay a small bounded factor.
+
+Usage::
+
+    python benchmarks/bench_report.py            # full report
+    python benchmarks/bench_report.py --smoke    # fast subset (CI)
+    make bench-report
+
+Numbers are machine-dependent; the JSON carries the host's cpu count so
+parallel results can be read in context (a 1-core container shows no
+pool speedup by construction).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import multiprocessing
+import pathlib
+import platform
+import sys
+import time
+
+sys.path.insert(0, str(pathlib.Path(__file__).resolve().parent.parent / "src"))
+
+from repro.asm import assemble  # noqa: E402
+from repro.coverage import measure_coverage  # noqa: E402
+from repro.faultsim import FaultCampaign, MutantBudget, generate_mutants  # noqa: E402
+from repro.isa import RV32IMC_ZICSR  # noqa: E402
+from repro.vp import Machine, MachineConfig  # noqa: E402
+
+#: Interpreter speed on this workload before the hot-path specialization
+#: work (fused op tuples, fast-path step selection, block chaining),
+#: measured on the reference container.  Machine-dependent — the recorded
+#: speedup is only meaningful relative to the same host, but the factor
+#: transfers roughly across similar CPUs.
+BASELINE_INSNS_PER_SECOND = 1_047_855
+
+# The F1 compute loop (~200k dynamic instructions per run).
+WORKLOAD = """
+_start:
+    li t0, 0
+    li t1, {iters}
+    li a0, 0
+loop:
+    add a0, a0, t0
+    xor a1, a0, t0
+    srli a2, a1, 3
+    and a3, a2, t0
+    or a0, a0, a3
+    slli a0, a0, 1
+    srli a0, a0, 1
+    addi t0, t0, 1
+    blt t0, t1, loop
+    li a0, 0
+    li a7, 93
+    ecall
+"""
+
+CAMPAIGN_PROGRAM = """
+_start:
+    li a1, 6
+    li a2, 7
+    mul a0, a1, a2
+    la t0, scratch
+    sw a0, 0(t0)
+    lw a4, 0(t0)
+    li t1, 0
+    li t2, 200
+loop:
+    addi t1, t1, 1
+    blt t1, t2, loop
+    li a3, 42
+    beq a4, a3, good
+    li a0, 1
+    j out
+good:
+    li a0, 0
+out:
+    li a7, 93
+    ecall
+.data
+scratch: .word 0
+"""
+
+
+def measure_mips(iters: int, repeats: int):
+    """Best-of-N interpreter speed (cache on, no plugins)."""
+    program = assemble(WORKLOAD.format(iters=iters), isa=RV32IMC_ZICSR)
+    best = 0.0
+    insns = 0
+    for _ in range(repeats):
+        machine = Machine(MachineConfig(isa=RV32IMC_ZICSR))
+        machine.load(program)
+        start = time.perf_counter()
+        result = machine.run(max_instructions=50_000_000)
+        elapsed = time.perf_counter() - start
+        assert result.stop_reason == "exit", result.stop_reason
+        insns = result.instructions
+        best = max(best, result.instructions / elapsed)
+    return best, insns
+
+
+def measure_qta_overhead(iters: int):
+    """Slowdown factor of the QTA timing plugin on the same workload."""
+    from repro.wcet import QtaPlugin, preprocess, run_ait_analysis
+
+    program = assemble(WORKLOAD.format(iters=iters), isa=RV32IMC_ZICSR)
+
+    def run(with_qta: bool) -> float:
+        machine = Machine(MachineConfig(isa=RV32IMC_ZICSR))
+        machine.load(program)
+        if with_qta:
+            report = run_ait_analysis(program)
+            machine.add_plugin(QtaPlugin(preprocess(report), strict=False))
+        start = time.perf_counter()
+        result = machine.run(max_instructions=50_000_000)
+        elapsed = time.perf_counter() - start
+        assert result.stop_reason == "exit", result.stop_reason
+        return result.instructions / elapsed
+
+    plain = run(with_qta=False)
+    with_plugin = run(with_qta=True)
+    return plain / with_plugin
+
+
+def campaign_faults(campaign: FaultCampaign, mutants: int):
+    golden = campaign.golden()
+    coverage = measure_coverage(campaign.program, isa=RV32IMC_ZICSR)
+    per = max(1, mutants // 5)
+    budget = MutantBudget(code=per, gpr_transient=per, gpr_stuck=per,
+                          memory_transient=per, memory_stuck=per)
+    return generate_mutants(campaign.program, coverage, budget,
+                            golden_instructions=golden.instructions,
+                            seed=0)
+
+
+def measure_campaign(mutants: int, jobs: int):
+    """Sequential vs pooled campaign throughput over the same mutants."""
+    program = assemble(CAMPAIGN_PROGRAM, isa=RV32IMC_ZICSR)
+
+    def run(n_jobs: int):
+        campaign = FaultCampaign(program, isa=RV32IMC_ZICSR)
+        faults = campaign_faults(campaign, mutants)
+        start = time.perf_counter()
+        result = campaign.run(faults, jobs=n_jobs)
+        elapsed = time.perf_counter() - start
+        return result, elapsed
+
+    sequential, seq_elapsed = run(1)
+    parallel, par_elapsed = run(jobs)
+    assert [r.outcome for r in parallel.results] == \
+        [r.outcome for r in sequential.results], \
+        "parallel campaign diverged from sequential classification"
+    return {
+        "mutants": sequential.total,
+        "sequential_mutants_per_second": round(
+            sequential.total / seq_elapsed, 2),
+        "parallel_jobs": jobs,
+        "parallel_mutants_per_second": round(
+            parallel.total / par_elapsed, 2),
+        "parallel_speedup": round(seq_elapsed / par_elapsed, 3),
+        "outcome_counts": sequential.counts,
+    }
+
+
+def build_report(smoke: bool) -> dict:
+    iters = 2_000 if smoke else 20_000
+    repeats = 1 if smoke else 3
+    mutants = 30 if smoke else 200
+    jobs = 2 if smoke else 4
+
+    rate, insns = measure_mips(iters, repeats)
+    report = {
+        "workload": "f1-compute-loop",
+        "mode": "smoke" if smoke else "full",
+        "host": {
+            "python": platform.python_version(),
+            "machine": platform.machine(),
+            "cpu_count": multiprocessing.cpu_count(),
+        },
+        "emulator": {
+            "instructions": insns,
+            "insns_per_second": round(rate, 0),
+            "mips": round(rate / 1e6, 3),
+            "baseline_insns_per_second": BASELINE_INSNS_PER_SECOND,
+            "speedup_vs_baseline": round(rate / BASELINE_INSNS_PER_SECOND, 3),
+        },
+        "qta_overhead_factor": round(measure_qta_overhead(iters), 3),
+        "campaign": measure_campaign(mutants, jobs),
+    }
+    return report
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        description="emulator + campaign performance report")
+    parser.add_argument("--smoke", action="store_true",
+                        help="fast subset (smaller workload, fewer mutants)")
+    parser.add_argument(
+        "--out",
+        default=str(pathlib.Path(__file__).resolve().parent.parent
+                    / "BENCH_emulator.json"),
+        help="output path (default: repo-root BENCH_emulator.json)")
+    args = parser.parse_args(argv)
+
+    report = build_report(smoke=args.smoke)
+    text = json.dumps(report, indent=2, sort_keys=True)
+    pathlib.Path(args.out).write_text(text + "\n")
+    print(text)
+    print(f"\nwritten: {args.out}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,80 @@
+"""F4 — parallel fault-campaign scaling.
+
+Paper shape (fault-analysis platform): campaigns are embarrassingly
+parallel after the golden run, so wall time should drop near-linearly
+with worker count — the property that makes large mutant populations
+practical.  The engine must pay for that speed with nothing: the pooled
+result is required to match the sequential ordering and classification
+exactly.
+
+On single-core hosts (this container) the wall-time assertion is
+skipped — pool overhead with no parallel hardware can only slow the
+campaign down — but the determinism check always runs.
+"""
+
+import multiprocessing
+import time
+
+import pytest
+
+from repro.faultsim import FaultCampaign, MutantBudget, generate_mutants
+from repro.isa import RV32IMC_ZICSR
+from repro.testgen import StructuredGenerator
+
+JOB_COUNTS = (1, 2, 4)
+MUTANTS = 200
+
+
+def _build():
+    program = StructuredGenerator(statements=8).generate(9).program
+    campaign = FaultCampaign(program, isa=RV32IMC_ZICSR)
+    golden = campaign.golden()
+    per_cat = MUTANTS // 5
+    faults = generate_mutants(
+        program, None,
+        MutantBudget(code=per_cat, gpr_transient=per_cat, gpr_stuck=per_cat,
+                     memory_transient=per_cat, memory_stuck=per_cat),
+        golden_instructions=golden.instructions, seed=4)
+    return program, faults
+
+
+def test_f4_parallel_scaling(benchmark, record):
+    program, faults = _build()
+
+    def sweep():
+        rows = []
+        for jobs in JOB_COUNTS:
+            campaign = FaultCampaign(program, isa=RV32IMC_ZICSR)
+            start = time.perf_counter()
+            result = campaign.run(faults, jobs=jobs)
+            elapsed = time.perf_counter() - start
+            rows.append((jobs, elapsed, result))
+        return rows
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    cores = multiprocessing.cpu_count()
+    baseline = rows[0]
+    header = f"{'jobs':>5} {'seconds':>9} {'mutants/s':>10} {'speedup':>8}"
+    lines = [header, "-" * len(header)]
+    for jobs, elapsed, result in rows:
+        lines.append(
+            f"{jobs:>5} {elapsed:>9.3f} {len(faults) / elapsed:>10.1f} "
+            f"{baseline[1] / elapsed:>7.2f}x")
+    lines.append(f"\nhost cores: {cores}")
+    record("F4-campaign-parallel", "\n".join(lines))
+
+    # Determinism: every worker count reproduces the sequential run.
+    reference = [(r.outcome, r.exit_code, r.trap_cause)
+                 for r in baseline[2].results]
+    for jobs, _elapsed, result in rows[1:]:
+        assert [(r.outcome, r.exit_code, r.trap_cause)
+                for r in result.results] == reference, \
+            f"jobs={jobs} diverged from the sequential classification"
+
+    if cores < 2:
+        pytest.skip("single-core host: no parallel speedup to measure")
+    # jobs=4 must cut wall time to <=0.6x of jobs=1 on multicore hosts.
+    four = dict((jobs, elapsed) for jobs, elapsed, _ in rows)[4]
+    assert four <= 0.6 * baseline[1], (
+        f"jobs=4 took {four:.3f}s vs sequential {baseline[1]:.3f}s "
+        f"({four / baseline[1]:.2f}x, expected <=0.6x)")

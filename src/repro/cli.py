@@ -158,7 +158,7 @@ def cmd_faults(args) -> int:
             print(f"\r  {progress['done']}/{progress['total']} mutants  "
                   f"{progress['mutants_per_second']:.1f}/s  ETA {eta_text} ",
                   end="", file=sys.stderr, flush=True)
-    result = campaign.run(faults, on_progress=on_progress)
+    result = campaign.run(faults, on_progress=on_progress, jobs=args.jobs)
     if on_progress is not None:
         print(file=sys.stderr)
     print(result.table())
@@ -263,10 +263,14 @@ def build_parser() -> argparse.ArgumentParser:
                    help="list uncovered instruction types and registers")
     p.set_defaults(func=cmd_coverage)
 
-    p = sub.add_parser("faults", help="fault-injection campaign")
+    p = sub.add_parser("faults", aliases=["fault"],
+                       help="fault-injection campaign")
     common(p, with_budget=False)
     p.add_argument("--mutants", type=int, default=100)
     p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--jobs", type=int, default=1, metavar="N",
+                   help="mutant worker processes (1 = in-process; "
+                        "falls back to 1 if workers cannot spawn)")
     p.set_defaults(func=cmd_faults)
 
     p = sub.add_parser("mutate", help="mutation-test a self-checking binary")

@@ -78,8 +78,10 @@ class CampaignResult:
 
     @property
     def mutants_per_second(self) -> float:
-        if self.elapsed_seconds == 0:
-            return float("inf")
+        # 0.0 (not inf) for instantaneous campaigns: inf breaks JSON
+        # serialisation of derived reports and reads as nonsense anyway.
+        if self.elapsed_seconds <= 0:
+            return 0.0
         return self.total / self.elapsed_seconds
 
     @property
@@ -315,14 +317,29 @@ class FaultCampaign:
         faults: Sequence[Fault],
         on_progress: Optional[Callable[[Dict], None]] = None,
         progress_interval: float = 1.0,
+        jobs: int = 1,
+        chunk_size: Optional[int] = None,
     ) -> CampaignResult:
         """Classify every fault; returns the aggregated result.
+
+        ``jobs`` > 1 fans the fault list out to a multiprocessing worker
+        pool (see :mod:`repro.faultsim.parallel`); the result ordering
+        and classification are identical to the sequential run, and the
+        engine falls back to in-process execution (with a warning) when
+        workers cannot be spawned.  ``chunk_size`` overrides the
+        work-stealing chunk granularity.
 
         ``on_progress`` (if given) is called with a progress dict
         (``done``/``total``/``mutants_per_second``/``eta_seconds``) at
         most every ``progress_interval`` seconds and once at the end;
         the same records land in the telemetry event log when enabled.
         """
+        if jobs > 1:
+            from .parallel import run_parallel
+            return run_parallel(self, faults, jobs=jobs,
+                                chunk_size=chunk_size,
+                                on_progress=on_progress,
+                                progress_interval=progress_interval)
         telemetry = self.telemetry
         events = telemetry.events
         golden = self.golden()

@@ -37,15 +37,26 @@ STOP_LIVELOCK = "trap_livelock"
 LIVELOCK_LIMIT = 64
 
 
+#: Unconditional pc-relative jumps whose target is a translate-time
+#: constant — the only redirecting instructions a block can chain through.
+_DIRECT_JUMPS = frozenset({"jal", "c.jal", "c.j"})
+
+
 class TranslationBlock:
     """A decoded straight-line code region starting at ``start_pc``.
 
     ``insns`` and ``pcs`` are parallel lists; the block ends at the first
     control-flow or system instruction, at :data:`MAX_BLOCK_INSNS`, or just
     before an undecodable word.
+
+    :meth:`finalize` precomputes the per-instruction execution data the hot
+    loop needs (``ops``), the instruction-cache lines the block spans, and
+    the statically known successor address (``chain_pc``) used for direct
+    block chaining.
     """
 
-    __slots__ = ("start_pc", "insns", "pcs", "size", "exec_count")
+    __slots__ = ("start_pc", "insns", "pcs", "size", "exec_count",
+                 "ops", "next", "chain_pc", "icache_lines")
 
     def __init__(self, start_pc: int, insns: List[Decoded], pcs: List[int]) -> None:
         self.start_pc = start_pc
@@ -53,6 +64,40 @@ class TranslationBlock:
         self.pcs = pcs
         self.size = sum(d.spec.length for d in insns)
         self.exec_count = 0
+        #: Fused ``(decoded, execute, pc, fallthrough, base_cost,
+        #: taken_cost)`` tuples — everything the execute loop needs without
+        #: calling back into the timing model, chasing ``decoded.spec``
+        #: attributes, or recomputing ``pc + length``.
+        self.ops: List[tuple] = []
+        #: Chained successor block (same-cache only), or ``None``.
+        self.next: Optional["TranslationBlock"] = None
+        #: Statically known successor pc: the fallthrough address for blocks
+        #: that end without control flow, the jump target for blocks ending
+        #: in a direct jump, ``None`` for branches/system/indirect ends.
+        self.chain_pc: Optional[int] = None
+        #: Cache-line numbers the block spans (empty without an icache).
+        self.icache_lines: tuple = ()
+
+    def finalize(self, timing, icache=None) -> None:
+        """Precompute hot-loop data against ``timing`` (and ``icache``)."""
+        penalty = timing.taken_penalty
+        ops = []
+        for decoded, pc in zip(self.insns, self.pcs):
+            base = timing.base_cost(decoded)
+            ops.append((decoded, decoded.spec.execute, pc,
+                        pc + decoded.spec.length, base, base + penalty))
+        self.ops = ops
+        if icache is not None:
+            line_size = icache.config.line_size
+            self.icache_lines = tuple(
+                range(self.start_pc // line_size,
+                      (self.end_pc - 1) // line_size + 1))
+        last = self.insns[-1]
+        spec = last.spec
+        if spec.is_jump and spec.name in _DIRECT_JUMPS:
+            self.chain_pc = (self.pcs[-1] + last.imm) & WORD_MASK
+        elif not (spec.is_branch or spec.is_jump or spec.is_system):
+            self.chain_pc = self.end_pc
 
     @property
     def end_pc(self) -> int:
@@ -102,6 +147,7 @@ class Cpu:
         trace_registers: bool = False,
         block_cache_enabled: bool = True,
         icache=None,
+        max_blocks: Optional[int] = None,
     ) -> None:
         self.decoder = decoder
         self.bus = bus
@@ -119,7 +165,16 @@ class Cpu:
         #: Optional :class:`repro.vp.icache.ICache`: fetch misses charge
         #: extra cycles per executed block.
         self.icache = icache
+        #: Cached-block cap: on reaching it the cache is flushed wholesale
+        #: (cheap clear-on-full eviction).  ``None`` means unbounded.
+        if max_blocks is not None and max_blocks < 1:
+            raise ValueError(f"max_blocks must be >= 1, got {max_blocks}")
+        self.max_blocks = max_blocks
+        self._fetch_align_mask = 1 if decoder.config.has_compressed else 3
         self._tb_cache: Dict[int, TranslationBlock] = {}
+        #: Block that just completed with a statically known successor —
+        #: the chain source for the next step's block lookup.
+        self._chain_from: Optional[TranslationBlock] = None
         self._current: Optional[Decoded] = None
         self._wfi_pending = False
         self._wfi_wait: Callable[[], Optional[int]] = lambda: None
@@ -160,6 +215,7 @@ class Cpu:
     def flush_translation_cache(self) -> None:
         """Invalidate all cached blocks (``fence.i``, code patching)."""
         self._tb_cache.clear()
+        self._chain_from = None
         self.tb_flushes += 1
         if self.hooks.tb_flush:
             for hook in self.hooks.tb_flush:
@@ -250,25 +306,49 @@ class Cpu:
             if spec.is_branch or spec.is_jump or spec.is_system:
                 break
         block = TranslationBlock(start_pc, insns, pcs)
+        block.finalize(self.timing, self.icache)
         if self.hooks.block_translate:
             for hook in self.hooks.block_translate:
                 hook(self, block)
         return block
 
     def _get_block(self, pc: int) -> TranslationBlock:
-        alignment = 1 if self.decoder.config.has_compressed else 3
-        if pc & alignment:
+        if pc & self._fetch_align_mask:
             raise Trap(csrdef.CAUSE_MISALIGNED_FETCH, pc)
         if not self.block_cache_enabled:
             self.tb_misses += 1
             return self._build_block(pc)
         block = self._tb_cache.get(pc)
         if block is None:
+            if (self.max_blocks is not None
+                    and len(self._tb_cache) >= self.max_blocks):
+                self.flush_translation_cache()
             self.tb_misses += 1
             block = self._build_block(pc)
             self._tb_cache[pc] = block
         else:
             self.tb_hits += 1
+        return block
+
+    def _next_block(self) -> TranslationBlock:
+        """The block at ``self.pc``, taking the chain link when valid.
+
+        A chained transition (the previous block's statically known
+        successor) skips the ``_tb_cache`` dict lookup entirely; it still
+        counts as a ``tb_hits`` event so cache statistics stay meaningful.
+        """
+        pc = self.pc
+        prev = self._chain_from
+        self._chain_from = None
+        if prev is not None:
+            nxt = prev.next
+            if nxt is not None and nxt.start_pc == pc:
+                self.tb_hits += 1
+                return nxt
+        block = self._get_block(pc)
+        if (prev is not None and prev.chain_pc == pc
+                and self.block_cache_enabled):
+            prev.next = block
         return block
 
     # ------------------------------------------------------------------
@@ -278,6 +358,8 @@ class Cpu:
     def _pending_interrupt(self) -> Optional[int]:
         mip = self._interrupt_poll()
         self.csrs.raw_write(csrdef.MIP, mip)
+        if not mip:  # nothing asserted: skip the mstatus/mie reads
+            return None
         if not self.csrs.raw_read(csrdef.MSTATUS) & csrdef.MSTATUS_MIE:
             return None
         enabled = mip & self.csrs.raw_read(csrdef.MIE)
@@ -320,7 +402,9 @@ class Cpu:
     def step_block(self) -> int:
         """Run one translation block (or take one interrupt/trap).
 
-        Returns the number of instructions retired.
+        Returns the number of instructions retired.  This is the general
+        path (instruction hooks honoured); :meth:`run` switches to
+        :meth:`_step_block_fast` while no instruction hooks are attached.
         """
         interrupt = self._pending_interrupt()
         if interrupt is not None:
@@ -328,7 +412,7 @@ class Cpu:
             self._take_trap(interrupt, 0)
             return 0
         try:
-            block = self._get_block(self.pc)
+            block = self._next_block()
         except Trap as trap:
             self._take_trap(trap.cause, trap.tval)
             return 0
@@ -336,40 +420,39 @@ class Cpu:
         if self.hooks.block_exec:
             for hook in self.hooks.block_exec:
                 hook(self, block)
-        timing = self.timing
         insn_hooks = self.hooks.insn_exec
         retired = 0
         cycles = 0
         if self.icache is not None:
-            cycles += self.icache.penalty_for_range(block.start_pc,
-                                                    block.end_pc)
+            cycles += self.icache.penalty_for_lines(block.icache_lines)
         pending_trap: Optional[Trap] = None
         try:
-            for decoded, pc in zip(block.insns, block.pcs):
+            for decoded, execute, pc, fallthrough, base_cost, taken_cost \
+                    in block.ops:
                 self.pc = pc
                 self._current = decoded
-                fallthrough = pc + decoded.spec.length
                 self.next_pc = fallthrough
                 if insn_hooks:
                     for hook in insn_hooks:
                         hook(self, decoded, pc)
                 try:
-                    decoded.spec.execute(self, decoded)
+                    execute(self, decoded)
                 except Trap as trap:
-                    cycles += timing.base_cost(decoded)
+                    cycles += base_cost
                     pending_trap = trap
                     break
                 except MachineExit:
                     # The exiting instruction consumed its cycles; the
                     # finally block below flushes them before unwinding.
-                    cycles += timing.base_cost(decoded)
+                    cycles += base_cost
                     raise
                 retired += 1
-                redirected = self.next_pc != fallthrough
-                cycles += timing.actual_cost(decoded, redirected)
-                self.pc = self.next_pc
-                if redirected:
+                next_pc = self.next_pc
+                self.pc = next_pc
+                if next_pc != fallthrough:
+                    cycles += taken_cost
                     break
+                cycles += base_cost
         finally:
             # Flush accounting even when MachineExit/UnhandledTrap unwinds
             # mid-block, so RunResult counters stay exact.
@@ -378,7 +461,74 @@ class Cpu:
             self.bus.tick(cycles)
         if pending_trap is not None:
             self._take_trap(pending_trap.cause, pending_trap.tval)
+        elif self.block_cache_enabled and block.chain_pc == self.pc:
+            self._chain_from = block
         return retired
+
+    def _step_block_fast(self) -> int:
+        """:meth:`step_block` specialized for the no-instruction-hook case.
+
+        Identical architectural behaviour; the per-instruction hook test
+        and list iteration are gone, which is where an interpreted VP
+        spends its inner loop (GVSoC's lesson).  Selected once per
+        :meth:`run` and re-selected when the hook table changes.
+        """
+        interrupt = self._pending_interrupt()
+        if interrupt is not None:
+            self._wfi_pending = False
+            self._take_trap(interrupt, 0)
+            return 0
+        try:
+            block = self._next_block()
+        except Trap as trap:
+            self._take_trap(trap.cause, trap.tval)
+            return 0
+        block.exec_count += 1
+        if self.hooks.block_exec:
+            for hook in self.hooks.block_exec:
+                hook(self, block)
+        retired = 0
+        cycles = 0
+        icache = self.icache
+        if icache is not None:
+            cycles += icache.penalty_for_lines(block.icache_lines)
+        pending_trap: Optional[Trap] = None
+        try:
+            for decoded, execute, pc, fallthrough, base_cost, taken_cost \
+                    in block.ops:
+                self.pc = pc
+                self._current = decoded
+                self.next_pc = fallthrough
+                try:
+                    execute(self, decoded)
+                except Trap as trap:
+                    cycles += base_cost
+                    pending_trap = trap
+                    break
+                except MachineExit:
+                    cycles += base_cost
+                    raise
+                retired += 1
+                next_pc = self.next_pc
+                self.pc = next_pc
+                if next_pc != fallthrough:
+                    cycles += taken_cost
+                    break
+                cycles += base_cost
+        finally:
+            csrs = self.csrs
+            csrs.instret += retired
+            csrs.cycle += cycles
+            self.bus.tick(cycles)
+        if pending_trap is not None:
+            self._take_trap(pending_trap.cause, pending_trap.tval)
+        elif self.block_cache_enabled and block.chain_pc == self.pc:
+            self._chain_from = block
+        return retired
+
+    def _select_step(self):
+        """Pick the per-block step variant for the current hook table."""
+        return self.step_block if self.hooks.insn_exec else self._step_block_fast
 
     def run(self, max_instructions: Optional[int] = None) -> RunResult:
         """Execute until WFI-with-no-event or the instruction budget ends.
@@ -390,8 +540,14 @@ class Cpu:
         executed = 0
         budget = max_instructions if max_instructions is not None else float("inf")
         zero_steps = 0
+        hooks = self.hooks
+        hook_version = hooks.version
+        step = self._select_step()
         while executed < budget:
-            retired = self.step_block()
+            if hooks.version != hook_version:  # plugin added/removed mid-run
+                hook_version = hooks.version
+                step = self._select_step()
+            retired = step()
             executed += retired
             if retired:
                 zero_steps = 0

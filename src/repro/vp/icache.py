@@ -82,11 +82,25 @@ class ICache:
         """Total miss penalty for fetching the byte range [start, end)."""
         if end <= start:
             return 0
-        penalty = 0
         line_size = self.config.line_size
-        for line in range(start // line_size, (end - 1) // line_size + 1):
-            if not self.access_line(line):
-                penalty += self.config.miss_penalty
+        return self.penalty_for_lines(
+            range(start // line_size, (end - 1) // line_size + 1))
+
+    def penalty_for_lines(self, lines) -> int:
+        """Miss penalty for a precomputed line-number sequence.
+
+        Translation blocks precompute their spanned lines once
+        (:meth:`repro.vp.cpu.TranslationBlock.finalize`), so the per-block
+        hot path skips the address arithmetic of :meth:`penalty_for_range`.
+        The lookups themselves stay dynamic — the penalty depends on LRU
+        state and cannot be cached.
+        """
+        penalty = 0
+        miss_penalty = self.config.miss_penalty
+        access_line = self.access_line
+        for line in lines:
+            if not access_line(line):
+                penalty += miss_penalty
         return penalty
 
     @property

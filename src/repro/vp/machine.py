@@ -74,6 +74,11 @@ class MachineConfig:
     timing: Optional[TimingModel] = None
     trace_registers: bool = False
     block_cache_enabled: bool = True
+    #: Translation-cache block cap: when the cache holds this many blocks
+    #: the next miss flushes it wholesale (clear-on-full eviction), so
+    #: long-running campaigns cannot grow it without limit.  ``None``
+    #: disables the cap.
+    tb_cache_max_blocks: Optional[int] = 4096
     semihosting: bool = True  # handle exit/write ecalls in the machine
     icache: Optional["ICacheConfig"] = None  # fetch-cache model, off by default
 
@@ -110,6 +115,7 @@ class Machine:
             trace_registers=self.config.trace_registers,
             block_cache_enabled=self.config.block_cache_enabled,
             icache=ICache(self.config.icache) if self.config.icache else None,
+            max_blocks=self.config.tb_cache_max_blocks,
         )
         self.cpu.set_interrupt_poll(self._poll_interrupts)
         self.cpu.set_wfi_wait(self._wfi_wait)

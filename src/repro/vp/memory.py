@@ -75,6 +75,15 @@ class SystemBus:
 
     def __init__(self) -> None:
         self._regions: List[Tuple[int, int, Device]] = []
+        #: Devices that actually override :meth:`Device.tick` — the bus
+        #: skips the no-op base implementations on the per-block tick.
+        self._tickable: List[Device] = []
+
+    def _rebuild_tickable(self) -> None:
+        self._tickable = [
+            device for _base, _size, device in self._regions
+            if type(device).tick is not Device.tick
+        ]
 
     def attach(self, base: int, size: int, device: Device) -> None:
         """Map ``device`` at ``[base, base+size)``.  Overlaps are rejected."""
@@ -87,6 +96,7 @@ class SystemBus:
                 )
         self._regions.append((base, size, device))
         self._regions.sort(key=lambda region: region[0])
+        self._rebuild_tickable()
 
     def replace(self, base: int, device: Device) -> Device:
         """Swap the device mapped at exactly ``base``; returns the old one.
@@ -97,6 +107,7 @@ class SystemBus:
         for i, (region_base, size, old) in enumerate(self._regions):
             if region_base == base:
                 self._regions[i] = (region_base, size, device)
+                self._rebuild_tickable()
                 return old
         raise ValueError(f"no device mapped at {base:#x}")
 
@@ -116,7 +127,7 @@ class SystemBus:
         device.store(addr - base, width, value)
 
     def tick(self, cycles: int) -> None:
-        for _base, _size, device in self._regions:
+        for device in self._tickable:
             device.tick(cycles)
 
     @property

@@ -83,9 +83,13 @@ class HookTable:
         self.trap = []
         self.tb_flush = []
         self.exit = []
+        #: Bumped on every register/unregister so the CPU run loop can
+        #: re-select its specialized step variant when hooks change.
+        self.version = 0
 
     def register(self, plugin: Plugin) -> None:
         self.plugins.append(plugin)
+        self.version += 1
         if _overridden(plugin, "on_block_translate"):
             self.block_translate.append(plugin.on_block_translate)
         if _overridden(plugin, "on_block_exec"):
@@ -105,6 +109,7 @@ class HookTable:
         if plugin not in self.plugins:
             raise ValueError(f"plugin {plugin.name!r} is not registered")
         self.plugins.remove(plugin)
+        self.version += 1
         for attr in ("block_translate", "block_exec", "insn_exec",
                      "mem_access", "trap", "tb_flush", "exit"):
             hooks = getattr(self, attr)

@@ -2,6 +2,7 @@
 
 import pytest
 
+from repro.asm import assemble
 from repro.isa import RV32IM, RV32IMC_ZICSR
 from repro.isa import csr as csrdef
 from repro.vp import (
@@ -140,6 +141,62 @@ class TestTranslationBlocks:
         machine, _ = run_asm(source)
         for block in machine.cpu._tb_cache.values():
             assert len(block) <= 32
+
+    def test_cache_cap_evicts_by_clearing(self):
+        # 100 nops split into >3 blocks; a 2-block cap forces clear-on-full
+        # eviction, so the cache never exceeds the cap but the program
+        # still runs to completion.
+        source = "_start:\n" + "nop\n" * 100 + EXIT
+        machine, result = run_asm(source, tb_cache_max_blocks=2)
+        assert result.stop_reason == "exit"
+        assert len(machine.cpu._tb_cache) <= 2
+        assert machine.cpu.tb_flushes >= 1
+
+    def test_cache_cap_fires_flush_hooks(self):
+        flushes = []
+
+        class FlushSpy(Plugin):
+            def on_tb_flush(self, cpu):
+                flushes.append(len(cpu._tb_cache))
+
+        source = "_start:\n" + "nop\n" * 100 + EXIT
+        program = assemble(source, isa=RV32IMC_ZICSR)
+        machine = Machine(MachineConfig(isa=RV32IMC_ZICSR,
+                                        tb_cache_max_blocks=1))
+        machine.add_plugin(FlushSpy())
+        machine.load(program)
+        machine.run(max_instructions=1_000)
+        assert flushes, "eviction must fire tb_flush hooks"
+
+    def test_cache_cap_default_and_validation(self):
+        assert MachineConfig().tb_cache_max_blocks == 4096
+        with pytest.raises(ValueError, match="max_blocks"):
+            run_asm("_start: nop" + EXIT, tb_cache_max_blocks=0)
+
+    def test_uncapped_cache_unbounded(self):
+        source = "_start:\n" + "nop\n" * 100 + EXIT
+        machine, _ = run_asm(source, tb_cache_max_blocks=None)
+        assert machine.cpu.max_blocks is None
+        assert len(machine.cpu._tb_cache) >= 3
+
+    def test_direct_jump_blocks_chain(self):
+        # A loop whose body is split by an unconditional jump exercises
+        # block chaining; results must match plain cached execution.
+        source = """
+        _start:
+            li a0, 0
+            li t0, 0
+        loop:
+            addi t0, t0, 1
+            j body
+        body:
+            add a0, a0, t0
+            li t1, 20
+            blt t0, t1, loop
+        """ + EXIT
+        machine, result = run_asm(source)
+        assert result.exit_code == sum(range(1, 21))
+        assert machine.cpu.tb_hits > 20
 
 
 class TestTraps:
