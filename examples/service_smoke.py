@@ -1,0 +1,116 @@
+#!/usr/bin/env python3
+"""End-to-end smoke test for the batch simulation service.
+
+Starts ``repro serve`` as a real subprocess, submits a fault-injection
+campaign over HTTP, polls it to completion, and asserts that the
+classification counts are byte-identical to running the same campaign
+directly through :class:`repro.faultsim.FaultCampaign`.  Used by CI
+(service-smoke job) and runnable by hand:
+
+    python examples/service_smoke.py
+
+Exits 0 on success, non-zero on any mismatch or timeout.  The whole run
+is bounded by HARD_TIMEOUT so a wedged server cannot hang CI.
+"""
+
+import json
+import os
+import subprocess
+import sys
+import time
+import urllib.error
+import urllib.request
+
+HARD_TIMEOUT = 180.0          # seconds for the entire smoke run
+PORT = int(os.environ.get("SMOKE_PORT", "18972"))
+MUTANTS = 30
+SEED = 7
+WORKLOAD_SEED = 21
+
+
+def direct_counts(source):
+    """Reference classification: the library path, no service involved."""
+    from repro.asm import assemble
+    from repro.faultsim import FaultCampaign, default_campaign_mutants
+    from repro.isa import RV32IMC_ZICSR
+
+    program = assemble(source, isa=RV32IMC_ZICSR)
+    campaign = FaultCampaign(program, isa=RV32IMC_ZICSR)
+    golden = campaign.golden()
+    faults = default_campaign_mutants(
+        program, isa=RV32IMC_ZICSR, mutants=MUTANTS, seed=SEED,
+        golden_instructions=golden.instructions)
+    result = campaign.run(faults)
+    data = result.to_dict()
+    data.pop("elapsed_seconds")
+    return result.counts, json.dumps(data, sort_keys=True)
+
+
+def wait_for_health(client, deadline):
+    while time.monotonic() < deadline:
+        try:
+            if client.health()["status"] == "ok":
+                return True
+        except (urllib.error.URLError, OSError):
+            time.sleep(0.2)
+    return False
+
+
+def main():
+    sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
+    from repro.serve.client import ServiceClient
+    from repro.testgen import StructuredGenerator
+
+    deadline = time.monotonic() + HARD_TIMEOUT
+    source = StructuredGenerator(statements=5).generate(WORKLOAD_SEED).source
+    expected_counts, expected_json = direct_counts(source)
+    print(f"direct run: {expected_counts}")
+
+    env = dict(os.environ, PYTHONPATH=os.path.join(
+        os.path.dirname(__file__), "..", "src"))
+    server = subprocess.Popen(
+        [sys.executable, "-m", "repro", "serve",
+         "--port", str(PORT), "--workers", "2"],
+        env=env, stdout=subprocess.DEVNULL, stderr=subprocess.DEVNULL)
+    client = ServiceClient(f"http://127.0.0.1:{PORT}", timeout=10)
+    try:
+        if not wait_for_health(client, deadline):
+            raise SystemExit("server never became healthy")
+
+        job = client.submit(
+            "fault_campaign",
+            {"source": source, "mutants": MUTANTS, "seed": SEED})
+        print(f"submitted job {job['id']}")
+
+        remaining = deadline - time.monotonic()
+        done = client.wait(job["id"], timeout=max(1.0, remaining),
+                           poll_interval=0.5)
+        if done["state"] != "succeeded":
+            raise SystemExit(f"job finished in state {done['state']}: "
+                             f"{done.get('error')}")
+
+        counts = done["result"]["counts"]
+        print(f"service run: {counts}")
+        if counts != expected_counts:
+            raise SystemExit(
+                f"classification mismatch: {counts} != {expected_counts}")
+
+        campaign = dict(done["result"]["campaign"])
+        campaign.pop("elapsed_seconds")
+        if json.dumps(campaign, sort_keys=True) != expected_json:
+            raise SystemExit("campaign result not byte-identical to direct run")
+
+        client.shutdown(drain=True)
+        server.wait(timeout=max(1.0, deadline - time.monotonic()))
+        print("smoke test passed: service result byte-identical to direct run")
+    finally:
+        if server.poll() is None:
+            server.terminate()
+            try:
+                server.wait(timeout=10)
+            except subprocess.TimeoutExpired:
+                server.kill()
+
+
+if __name__ == "__main__":
+    main()

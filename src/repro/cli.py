@@ -11,6 +11,8 @@ Commands mirror the ecosystem tools:
 ``mutate``  XEMU-style mutation testing of a self-checking program
 ``gen``     emit a generated test program (torture/structured) to stdout
 ``stats``   re-render a saved telemetry event log (JSONL)
+``serve``   run the batch simulation service (HTTP/JSON job API)
+``submit``  submit a job to a running batch service
 =========== ===========================================================
 
 All commands take an assembly file (``-`` for stdin) and an optional
@@ -131,8 +133,7 @@ def cmd_coverage(args) -> int:
 
 
 def cmd_faults(args) -> int:
-    from .coverage import measure_coverage
-    from .faultsim import FaultCampaign, MutantBudget, generate_mutants
+    from .faultsim import FaultCampaign, default_campaign_mutants
     from .telemetry import current_telemetry
 
     isa = _isa(args)
@@ -141,15 +142,9 @@ def cmd_faults(args) -> int:
     golden = campaign.golden()
     print(f"golden: exit {golden.exit_code}, "
           f"{golden.instructions} instructions")
-    coverage = measure_coverage(program, isa=isa)
-    per_category = max(1, args.mutants // 5)
-    budget = MutantBudget(code=per_category, gpr_transient=per_category,
-                          gpr_stuck=per_category,
-                          memory_transient=per_category,
-                          memory_stuck=per_category)
-    faults = generate_mutants(program, coverage, budget,
-                              golden_instructions=golden.instructions,
-                              seed=args.seed)
+    faults = default_campaign_mutants(
+        program, isa=isa, mutants=args.mutants, seed=args.seed,
+        golden_instructions=golden.instructions)
     on_progress = None
     if current_telemetry().enabled:
         def on_progress(progress):
@@ -174,6 +169,49 @@ def cmd_mutate(args) -> int:
                                   seed=args.seed)
     print(report.table())
     return 0
+
+
+def cmd_serve(args) -> int:
+    from .serve import BatchService
+    from .serve.api import ServiceServer
+
+    service = BatchService(workers=args.workers,
+                           queue_limit=args.queue_limit,
+                           mode=args.mode)
+    service.start()
+    server = ServiceServer(service, host=args.host, port=args.port,
+                           quiet=not args.verbose)
+    print(f"repro batch service listening on {server.url} "
+          f"({service.workers} {service.mode} workers, "
+          f"queue limit {service.queue.limit})", file=sys.stderr)
+    server.serve_forever()
+    return 0
+
+
+def cmd_submit(args) -> int:
+    import json
+
+    from .serve.client import BackpressureError, ServiceClient
+
+    payload = {"source": _read_source(args.source), "isa": args.isa}
+    if args.kind == "fault_campaign":
+        payload.update(mutants=args.mutants, seed=args.seed, jobs=args.jobs)
+    client = ServiceClient(args.url)
+    try:
+        job = client.submit(args.kind, payload, priority=args.priority,
+                            timeout_seconds=args.timeout,
+                            max_retries=args.max_retries)
+    except BackpressureError as exc:
+        print(f"rejected: {exc.message}", file=sys.stderr)
+        return 3
+    print(f"submitted {job['id']} ({job['kind']})", file=sys.stderr)
+    if not args.wait:
+        print(json.dumps(job, indent=2, sort_keys=True))
+        return 0
+    done = client.wait(job["id"], timeout=args.wait_timeout,
+                       poll_interval=args.poll_interval)
+    print(json.dumps(done, indent=2, sort_keys=True))
+    return 0 if done["state"] == "succeeded" else 1
 
 
 def cmd_stats(args) -> int:
@@ -269,8 +307,9 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--mutants", type=int, default=100)
     p.add_argument("--seed", type=int, default=0)
     p.add_argument("--jobs", type=int, default=1, metavar="N",
-                   help="mutant worker processes (1 = in-process; "
-                        "falls back to 1 if workers cannot spawn)")
+                   help="mutant worker processes (1 = in-process, "
+                        "0 = auto-detect CPUs; falls back to 1 if "
+                        "workers cannot spawn)")
     p.set_defaults(func=cmd_faults)
 
     p = sub.add_parser("mutate", help="mutation-test a self-checking binary")
@@ -287,6 +326,47 @@ def build_parser() -> argparse.ArgumentParser:
                    help="torture: number of instructions")
     telemetry_flags(p)
     p.set_defaults(func=cmd_gen)
+
+    p = sub.add_parser("serve", help="run the batch simulation service")
+    p.add_argument("--host", default="127.0.0.1")
+    p.add_argument("--port", type=int, default=8972)
+    p.add_argument("--workers", type=int, default=0, metavar="N",
+                   help="worker count (0 = auto-detect CPUs)")
+    p.add_argument("--queue-limit", type=int, default=64, metavar="N",
+                   help="admission queue capacity (full queue -> HTTP 429)")
+    p.add_argument("--mode", choices=("thread", "process"),
+                   default="thread",
+                   help="worker pool backing (process = spawn-safe "
+                        "multiprocessing pool)")
+    p.add_argument("--verbose", action="store_true",
+                   help="log every HTTP request to stderr")
+    telemetry_flags(p)
+    p.set_defaults(func=cmd_serve)
+
+    p = sub.add_parser("submit",
+                       help="submit a job to a running batch service")
+    p.add_argument("source", help="assembly file, or - for stdin")
+    p.add_argument("--url", default="http://127.0.0.1:8972",
+                   help="service base URL")
+    p.add_argument("--kind", default="vp_run",
+                   choices=("vp_run", "fault_campaign", "coverage", "wcet"))
+    p.add_argument("--isa", default="rv32imc_zicsr")
+    p.add_argument("--mutants", type=int, default=100,
+                   help="fault_campaign: mutant count")
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--jobs", type=int, default=1, metavar="N",
+                   help="fault_campaign: in-job worker processes "
+                        "(0 = auto-detect CPUs)")
+    p.add_argument("--priority", type=int, default=0,
+                   help="larger dispatches sooner")
+    p.add_argument("--timeout", type=float, default=None, metavar="SECONDS",
+                   help="cooperative run timeout")
+    p.add_argument("--max-retries", type=int, default=0)
+    p.add_argument("--wait", action="store_true",
+                   help="poll until the job resolves and print the result")
+    p.add_argument("--wait-timeout", type=float, default=600.0)
+    p.add_argument("--poll-interval", type=float, default=0.5)
+    p.set_defaults(func=cmd_submit, _no_telemetry_flags=True)
 
     p = sub.add_parser("stats",
                        help="re-render a saved telemetry event log")

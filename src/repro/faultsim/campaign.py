@@ -326,14 +326,20 @@ class FaultCampaign:
         pool (see :mod:`repro.faultsim.parallel`); the result ordering
         and classification are identical to the sequential run, and the
         engine falls back to in-process execution (with a warning) when
-        workers cannot be spawned.  ``chunk_size`` overrides the
-        work-stealing chunk granularity.
+        workers cannot be spawned.  ``jobs=0`` auto-detects
+        ``os.cpu_count()``; ``chunk_size`` overrides the work-stealing
+        chunk granularity.
 
         ``on_progress`` (if given) is called with a progress dict
         (``done``/``total``/``mutants_per_second``/``eta_seconds``) at
         most every ``progress_interval`` seconds and once at the end;
         the same records land in the telemetry event log when enabled.
         """
+        if jobs < 0:
+            raise ValueError(f"jobs must be >= 0, got {jobs}")
+        if jobs == 0:
+            import os
+            jobs = os.cpu_count() or 1
         if jobs > 1:
             from .parallel import run_parallel
             return run_parallel(self, faults, jobs=jobs,

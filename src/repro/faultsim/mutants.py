@@ -133,3 +133,28 @@ def generate_mutants(
                 rng.choice((STUCK_AT_0, STUCK_AT_1)),
             ))
     return faults
+
+
+def default_campaign_mutants(
+    program: Program,
+    isa=None,
+    mutants: int = 100,
+    seed: int = 0,
+    golden_instructions: int = 1000,
+) -> List[Fault]:
+    """The standard coverage-guided mutant mix used by ``repro faults``
+    and the batch service's ``fault_campaign`` job kind: a coverage run
+    guides the sampling, and the mutant budget is split evenly over the
+    five fault categories.  Sharing this one code path is what makes a
+    service-executed campaign byte-identical to the CLI's."""
+    from ..coverage import measure_coverage
+
+    coverage = measure_coverage(program, isa=isa)
+    per_category = max(1, mutants // 5)
+    budget = MutantBudget(code=per_category, gpr_transient=per_category,
+                          gpr_stuck=per_category,
+                          memory_transient=per_category,
+                          memory_stuck=per_category)
+    return generate_mutants(program, coverage, budget,
+                            golden_instructions=golden_instructions,
+                            seed=seed)

@@ -1,0 +1,250 @@
+"""Stdlib HTTP/JSON front end for the batch service.
+
+Endpoints (all JSON; no third-party dependencies)::
+
+    GET  /v1/health            liveness + queue/worker stats
+    GET  /v1/stats             service stats + telemetry metrics snapshot
+    GET  /v1/kinds             registered job kinds
+    POST /v1/jobs              submit a job  -> 202 (429 when queue full)
+    GET  /v1/jobs              list job statuses (?state= filter)
+    GET  /v1/jobs/<id>         one job's status
+    GET  /v1/jobs/<id>/result  the result     -> 409 until resolved
+    POST /v1/jobs/<id>/cancel  cooperative cancel
+    POST /v1/shutdown          graceful shutdown (body: {"drain": bool})
+
+Backpressure is surfaced exactly as web services do it: a full admission
+queue answers **429 Too Many Requests** with a ``Retry-After`` hint, and
+a draining service answers **503**.  The server itself is a
+``ThreadingHTTPServer`` — handlers only touch the thread-safe service
+object, the real work happens on the service's worker pool.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Optional, Tuple
+
+from .executors import ExecutorError, job_kinds
+from .jobs import JobSpec
+from .queue import QueueFull
+from .service import BatchService, ServiceClosed
+
+__all__ = ["ServiceServer", "make_handler"]
+
+MAX_BODY_BYTES = 8 * 1024 * 1024  # plenty for assembly sources
+
+
+def make_handler(service: BatchService, quiet: bool = True,
+                 on_shutdown=None):
+    """Build the request-handler class bound to ``service``.
+
+    ``on_shutdown`` (if given) runs after a ``POST /v1/shutdown``
+    finished draining the service — the server uses it to stop the HTTP
+    loop so a foreground ``repro serve`` process exits cleanly.
+    """
+
+    class Handler(BaseHTTPRequestHandler):
+        protocol_version = "HTTP/1.1"
+        server_version = "repro-serve/1.0"
+
+        # -- plumbing ---------------------------------------------------
+
+        def log_message(self, format, *args):  # noqa: A002
+            if not quiet:
+                super().log_message(format, *args)
+
+        def _send_json(self, status: int, body: dict,
+                       headers: Optional[dict] = None) -> None:
+            blob = json.dumps(body, sort_keys=True).encode("utf-8")
+            self.send_response(status)
+            self.send_header("Content-Type", "application/json")
+            self.send_header("Content-Length", str(len(blob)))
+            for name, value in (headers or {}).items():
+                self.send_header(name, value)
+            self.end_headers()
+            self.wfile.write(blob)
+
+        def _error(self, status: int, message: str,
+                   headers: Optional[dict] = None) -> None:
+            self._send_json(status, {"error": message}, headers)
+
+        def _read_body(self) -> dict:
+            length = int(self.headers.get("Content-Length") or 0)
+            if length > MAX_BODY_BYTES:
+                raise ValueError(f"request body exceeds {MAX_BODY_BYTES} "
+                                 "bytes")
+            if length == 0:
+                return {}
+            blob = self.rfile.read(length)
+            try:
+                body = json.loads(blob)
+            except json.JSONDecodeError as exc:
+                raise ValueError(f"invalid JSON body: {exc}") from exc
+            if not isinstance(body, dict):
+                raise ValueError("request body must be a JSON object")
+            return body
+
+        def _route(self) -> Tuple[str, ...]:
+            path = self.path.split("?", 1)[0].strip("/")
+            return tuple(part for part in path.split("/") if part)
+
+        def _query(self) -> dict:
+            if "?" not in self.path:
+                return {}
+            from urllib.parse import parse_qs
+
+            raw = parse_qs(self.path.split("?", 1)[1])
+            return {key: values[-1] for key, values in raw.items()}
+
+        # -- GET --------------------------------------------------------
+
+        def do_GET(self) -> None:  # noqa: N802 — http.server API
+            route = self._route()
+            if route == ("v1", "health"):
+                stats = service.stats()
+                status = "ok" if stats["accepting"] else "draining"
+                return self._send_json(200, {"status": status, **stats})
+            if route == ("v1", "stats"):
+                return self._send_json(200, {
+                    "service": service.stats(),
+                    "metrics": service.telemetry.metrics.to_dict(),
+                })
+            if route == ("v1", "kinds"):
+                return self._send_json(200, {"kinds": job_kinds()})
+            if route == ("v1", "jobs"):
+                state = self._query().get("state")
+                jobs = [job.to_dict() for job in
+                        list(service.jobs.values())
+                        if state is None or job.state == state]
+                return self._send_json(200, {"jobs": jobs,
+                                             "total": len(jobs)})
+            if len(route) == 3 and route[:2] == ("v1", "jobs"):
+                job = service.get_job(route[2])
+                if job is None:
+                    return self._error(404, f"no such job: {route[2]}")
+                return self._send_json(200, job.to_dict())
+            if len(route) == 4 and route[:2] == ("v1", "jobs") \
+                    and route[3] == "result":
+                job = service.get_job(route[2])
+                if job is None:
+                    return self._error(404, f"no such job: {route[2]}")
+                if not job.done:
+                    return self._error(
+                        409, f"job {job.id} is {job.state}; result not "
+                        "available yet", {"Retry-After": "1"})
+                return self._send_json(200, job.to_dict(with_result=True))
+            return self._error(404, f"unknown endpoint: {self.path}")
+
+        # -- POST -------------------------------------------------------
+
+        def do_POST(self) -> None:  # noqa: N802 — http.server API
+            route = self._route()
+            try:
+                body = self._read_body()
+            except ValueError as exc:
+                return self._error(400, str(exc))
+            if route == ("v1", "jobs"):
+                return self._submit(body)
+            if len(route) == 4 and route[:2] == ("v1", "jobs") \
+                    and route[3] == "cancel":
+                job = service.get_job(route[2])
+                if job is None:
+                    return self._error(404, f"no such job: {route[2]}")
+                changed = service.cancel(job.id)
+                return self._send_json(200, {"id": job.id,
+                                             "cancelled": changed,
+                                             "state": job.state})
+            if route == ("v1", "shutdown"):
+                drain = bool(body.get("drain", True))
+
+                def stop():
+                    service.shutdown(drain=drain)
+                    if on_shutdown is not None:
+                        on_shutdown()
+
+                threading.Thread(target=stop, daemon=True).start()
+                return self._send_json(202, {"status": "shutting down",
+                                             "drain": drain})
+            return self._error(404, f"unknown endpoint: {self.path}")
+
+        def _submit(self, body: dict) -> None:
+            try:
+                spec = JobSpec.from_dict(body)
+                job = service.submit(spec)
+            except QueueFull as exc:
+                return self._error(429, str(exc), {"Retry-After": "1"})
+            except ServiceClosed as exc:
+                return self._error(503, str(exc))
+            except (ExecutorError, ValueError, TypeError) as exc:
+                return self._error(400, str(exc))
+            return self._send_json(202, job.to_dict())
+
+    return Handler
+
+
+class ServiceServer:
+    """The HTTP server + its service, ready to run in the background.
+
+    ::
+
+        server = ServiceServer(service, port=0)   # 0 = ephemeral port
+        server.start()
+        ...  # submit via repro.serve.client.ServiceClient(server.url)
+        server.close()                            # drains by default
+    """
+
+    def __init__(self, service: BatchService, host: str = "127.0.0.1",
+                 port: int = 8972, quiet: bool = True) -> None:
+        self.service = service
+        self.httpd = ThreadingHTTPServer(
+            (host, port),
+            make_handler(service, quiet=quiet,
+                         on_shutdown=lambda: self.httpd.shutdown()))
+        self.httpd.daemon_threads = True
+        self._thread: Optional[threading.Thread] = None
+
+    @property
+    def host(self) -> str:
+        return self.httpd.server_address[0]
+
+    @property
+    def port(self) -> int:
+        return self.httpd.server_address[1]
+
+    @property
+    def url(self) -> str:
+        return f"http://{self.host}:{self.port}"
+
+    def start(self) -> "ServiceServer":
+        self._thread = threading.Thread(target=self.httpd.serve_forever,
+                                        name="serve-http", daemon=True)
+        self._thread.start()
+        return self
+
+    def serve_forever(self) -> None:
+        """Run in the foreground (the ``repro serve`` entry point)."""
+        try:
+            self.httpd.serve_forever()
+        except KeyboardInterrupt:  # pragma: no cover - interactive
+            pass
+        finally:
+            self.close()
+
+    def close(self, drain: bool = True) -> None:
+        """Stop accepting requests, then shut the service down."""
+        self.httpd.shutdown()
+        self.httpd.server_close()
+        self.service.shutdown(drain=drain)
+        if self._thread is not None:
+            self._thread.join(timeout=5)
+            self._thread = None
+
+    def __enter__(self) -> "ServiceServer":
+        if self._thread is None:
+            self.start()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()

@@ -1,0 +1,142 @@
+"""Thin stdlib client for the batch-service HTTP API.
+
+Used by ``python -m repro submit`` and by tests; only
+:mod:`urllib.request`, no third-party dependencies::
+
+    client = ServiceClient("http://127.0.0.1:8972")
+    job = client.submit("fault_campaign", {"source": src, "mutants": 50})
+    done = client.wait(job["id"], timeout=120)
+    print(done["result"]["counts"])
+
+HTTP error responses become typed exceptions: a 429 raises
+:class:`BackpressureError` (retry later), everything else a
+:class:`ServiceError` carrying the status code and the server's
+``error`` message.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+import urllib.error
+import urllib.request
+from typing import Any, Dict, Optional
+
+__all__ = ["BackpressureError", "ServiceClient", "ServiceError"]
+
+
+class ServiceError(Exception):
+    """A non-2xx response from the service."""
+
+    def __init__(self, status: int, message: str) -> None:
+        super().__init__(f"HTTP {status}: {message}")
+        self.status = status
+        self.message = message
+
+
+class BackpressureError(ServiceError):
+    """HTTP 429 — the admission queue is full; retry after a delay."""
+
+
+class ServiceClient:
+    """A small synchronous client for one service endpoint."""
+
+    def __init__(self, base_url: str, timeout: float = 30.0) -> None:
+        self.base_url = base_url.rstrip("/")
+        self.timeout = timeout
+
+    # -- transport ------------------------------------------------------
+
+    def _request(self, method: str, path: str,
+                 body: Optional[Dict[str, Any]] = None) -> Dict[str, Any]:
+        url = f"{self.base_url}{path}"
+        data = None
+        headers = {"Accept": "application/json"}
+        if body is not None:
+            data = json.dumps(body).encode("utf-8")
+            headers["Content-Type"] = "application/json"
+        request = urllib.request.Request(url, data=data, headers=headers,
+                                         method=method)
+        try:
+            with urllib.request.urlopen(request,
+                                        timeout=self.timeout) as response:
+                return json.loads(response.read() or b"{}")
+        except urllib.error.HTTPError as exc:
+            try:
+                message = json.loads(exc.read() or b"{}").get(
+                    "error", exc.reason)
+            except (json.JSONDecodeError, ValueError):
+                message = str(exc.reason)
+            if exc.code == 429:
+                raise BackpressureError(exc.code, message) from None
+            raise ServiceError(exc.code, message) from None
+
+    # -- API surface ----------------------------------------------------
+
+    def health(self) -> Dict[str, Any]:
+        return self._request("GET", "/v1/health")
+
+    def stats(self) -> Dict[str, Any]:
+        return self._request("GET", "/v1/stats")
+
+    def kinds(self) -> list:
+        return self._request("GET", "/v1/kinds")["kinds"]
+
+    def submit(self, kind: str, payload: Dict[str, Any],
+               priority: int = 0,
+               deadline_seconds: Optional[float] = None,
+               timeout_seconds: Optional[float] = None,
+               max_retries: int = 0) -> Dict[str, Any]:
+        """Submit one job; returns its status view (with the ``id``)."""
+        body: Dict[str, Any] = {"kind": kind, "payload": payload,
+                                "priority": priority,
+                                "max_retries": max_retries}
+        if deadline_seconds is not None:
+            body["deadline_seconds"] = deadline_seconds
+        if timeout_seconds is not None:
+            body["timeout_seconds"] = timeout_seconds
+        return self._request("POST", "/v1/jobs", body)
+
+    def status(self, job_id: str) -> Dict[str, Any]:
+        return self._request("GET", f"/v1/jobs/{job_id}")
+
+    def list_jobs(self, state: Optional[str] = None) -> list:
+        path = "/v1/jobs" + (f"?state={state}" if state else "")
+        return self._request("GET", path)["jobs"]
+
+    def result(self, job_id: str) -> Dict[str, Any]:
+        """The resolved job including ``result``; 409 while running."""
+        return self._request("GET", f"/v1/jobs/{job_id}/result")
+
+    def cancel(self, job_id: str) -> Dict[str, Any]:
+        return self._request("POST", f"/v1/jobs/{job_id}/cancel", {})
+
+    def shutdown(self, drain: bool = True) -> Dict[str, Any]:
+        return self._request("POST", "/v1/shutdown", {"drain": drain})
+
+    # -- convenience ----------------------------------------------------
+
+    def wait(self, job_id: str, timeout: float = 300.0,
+             poll_interval: float = 0.2) -> Dict[str, Any]:
+        """Poll until the job resolves; returns the result view.
+
+        Raises :class:`TimeoutError` if the job is still unresolved when
+        ``timeout`` elapses (the job itself keeps running).
+        """
+        deadline = time.monotonic() + timeout
+        while True:
+            try:
+                return self.result(job_id)
+            except ServiceError as exc:
+                if exc.status != 409:
+                    raise
+            if time.monotonic() >= deadline:
+                raise TimeoutError(
+                    f"job {job_id} unresolved after {timeout}s")
+            time.sleep(poll_interval)
+
+    def submit_and_wait(self, kind: str, payload: Dict[str, Any],
+                        timeout: float = 300.0,
+                        **submit_kwargs) -> Dict[str, Any]:
+        job = self.submit(kind, payload, **submit_kwargs)
+        return self.wait(job["id"], timeout=timeout)

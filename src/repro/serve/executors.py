@@ -1,0 +1,219 @@
+"""Job-kind registry: JSON payloads onto the library entry points.
+
+Each executor is a plain function ``(payload: dict, ctx: JobContext) ->
+dict`` — JSON in, JSON out — so jobs can cross the HTTP boundary and be
+shipped to spawn-started worker processes unchanged.  Executors call
+``ctx.check()`` at natural yield points to honour cooperative
+cancellation and run timeouts; all simulation work is additionally
+bounded by instruction budgets.
+
+Built-in kinds:
+
+================ =====================================================
+``vp_run``       assemble + run on the VP (UART output, stop reason)
+``fault_campaign`` coverage-guided mutant campaign, the CLI's default
+                 mutant mix; results byte-identical to a direct
+                 :meth:`FaultCampaign.run`
+``coverage``     instruction/register coverage of one program
+``wcet``         full QTA flow: static bound + co-simulation
+================ =====================================================
+
+Third-party code registers new kinds with :func:`register_executor`.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, List, Optional
+
+from .jobs import JobContext, null_context
+
+__all__ = [
+    "ExecutorError",
+    "execute_job",
+    "job_kinds",
+    "register_executor",
+]
+
+
+class ExecutorError(Exception):
+    """A job payload the executor cannot act on (bad request, not a bug)."""
+
+
+_EXECUTORS: Dict[str, Callable[[Dict[str, Any], JobContext],
+                               Dict[str, Any]]] = {}
+
+
+def register_executor(kind: str):
+    """Decorator: register ``fn`` as the executor for ``kind``."""
+    def decorator(fn):
+        _EXECUTORS[kind] = fn
+        return fn
+    return decorator
+
+
+def job_kinds() -> List[str]:
+    """The registered job kinds, sorted."""
+    return sorted(_EXECUTORS)
+
+
+def execute_job(kind: str, payload: Dict[str, Any],
+                ctx: Optional[JobContext] = None) -> Dict[str, Any]:
+    """Execute one job synchronously and return its JSON result.
+
+    This is the single entry point used by worker threads, worker
+    processes, and tests — the service never executes work any other
+    way, which is what makes service results identical to direct calls.
+    """
+    executor = _EXECUTORS.get(kind)
+    if executor is None:
+        raise ExecutorError(
+            f"unknown job kind {kind!r}; known kinds: {job_kinds()}")
+    return executor(payload, ctx if ctx is not None else null_context())
+
+
+# ----------------------------------------------------------------------
+# Payload helpers
+# ----------------------------------------------------------------------
+
+def _isa_for(payload: Dict[str, Any]):
+    import repro.bmi  # noqa: F401 — register optional ISA modules (Zbb)
+    from ..isa.decoder import IsaConfig
+
+    return IsaConfig.from_string(payload.get("isa", "rv32imc_zicsr"))
+
+
+def _program_for(payload: Dict[str, Any], isa):
+    from ..asm import assemble
+
+    source = payload.get("source")
+    if not isinstance(source, str) or not source.strip():
+        raise ExecutorError("payload needs a non-empty 'source' string")
+    try:
+        return assemble(source, isa=isa)
+    except Exception as exc:
+        raise ExecutorError(f"assembly failed: {exc}") from exc
+
+
+def _int_field(payload: Dict[str, Any], name: str, default: int,
+               minimum: int = 0) -> int:
+    value = payload.get(name, default)
+    if not isinstance(value, int) or isinstance(value, bool) \
+            or value < minimum:
+        raise ExecutorError(f"payload field {name!r} must be an integer "
+                            f">= {minimum}")
+    return value
+
+
+# ----------------------------------------------------------------------
+# Built-in executors
+# ----------------------------------------------------------------------
+
+@register_executor("vp_run")
+def run_vp_job(payload: Dict[str, Any], ctx: JobContext) -> Dict[str, Any]:
+    """Assemble and run one program on the VP."""
+    from ..vp.machine import Machine, MachineConfig
+
+    isa = _isa_for(payload)
+    program = _program_for(payload, isa)
+    budget = _int_field(payload, "max_instructions", 10_000_000, minimum=1)
+    ctx.check()
+    machine = Machine(MachineConfig(isa=isa))
+    machine.load(program)
+    result = machine.run(max_instructions=budget)
+    return {
+        "stop_reason": result.stop_reason,
+        "exit_code": result.exit_code,
+        "trap_cause": result.trap_cause,
+        "instructions": result.instructions,
+        "cycles": result.cycles,
+        "uart_output": machine.uart.output,
+    }
+
+
+@register_executor("fault_campaign")
+def run_fault_campaign_job(payload: Dict[str, Any],
+                           ctx: JobContext) -> Dict[str, Any]:
+    """Coverage-guided fault campaign; the full classified result rides
+    along under ``campaign`` (``CampaignResult.to_dict()``)."""
+    from ..faultsim import FaultCampaign, default_campaign_mutants
+
+    isa = _isa_for(payload)
+    program = _program_for(payload, isa)
+    mutants = _int_field(payload, "mutants", 100, minimum=1)
+    seed = _int_field(payload, "seed", 0)
+    # jobs=1 keeps a service job single-process (the pool provides the
+    # concurrency); jobs=0 auto-detects CPUs, jobs>1 pins a count.
+    jobs = _int_field(payload, "jobs", 1, minimum=0)
+    campaign = FaultCampaign(program, isa=isa)
+    golden = campaign.golden()
+    faults = default_campaign_mutants(
+        program, isa=isa, mutants=mutants, seed=seed,
+        golden_instructions=golden.instructions)
+    ctx.check()
+
+    def on_progress(progress):
+        ctx.check()
+
+    result = campaign.run(faults, jobs=jobs, on_progress=on_progress,
+                          progress_interval=0.2)
+    return {
+        "golden": {
+            "exit_code": golden.exit_code,
+            "instructions": golden.instructions,
+            "cycles": golden.cycles,
+        },
+        "mutants": result.total,
+        "counts": result.counts,
+        "normal_termination_fraction": result.normal_termination_fraction,
+        "elapsed_seconds": round(result.elapsed_seconds, 6),
+        "campaign": result.to_dict(),
+    }
+
+
+@register_executor("coverage")
+def run_coverage_job(payload: Dict[str, Any],
+                     ctx: JobContext) -> Dict[str, Any]:
+    """Instruction-type and register coverage of one program."""
+    from ..coverage import measure_coverage
+
+    isa = _isa_for(payload)
+    program = _program_for(payload, isa)
+    budget = _int_field(payload, "max_instructions", 1_000_000, minimum=1)
+    ctx.check()
+    report = measure_coverage(program, isa=isa, max_instructions=budget)
+    return {
+        "isa": report.isa_name,
+        "insn_coverage": round(report.insn_coverage, 6),
+        "gpr_coverage": round(report.gpr_coverage, 6),
+        "insn_types_executed": len(report.insn_types),
+        "insn_universe": len(report.insn_universe),
+        "missed_insn_types": sorted(report.missed_insn_types()),
+    }
+
+
+@register_executor("wcet")
+def run_wcet_job(payload: Dict[str, Any], ctx: JobContext) -> Dict[str, Any]:
+    """Full QTA flow: static IPET bound + timing-annotated co-simulation."""
+    from ..wcet import analyze_program
+
+    isa = _isa_for(payload)
+    source = payload.get("source")
+    if not isinstance(source, str) or not source.strip():
+        raise ExecutorError("payload needs a non-empty 'source' string")
+    budget = _int_field(payload, "max_instructions", 10_000_000, minimum=1)
+    edge_sensitive = bool(payload.get("edge_sensitive", False))
+    ctx.check()
+    try:
+        analysis = analyze_program(source, isa=isa, max_instructions=budget,
+                                   edge_sensitive=edge_sensitive)
+    except Exception as exc:
+        raise ExecutorError(f"WCET analysis failed: {exc}") from exc
+    result = analysis.result
+    return {
+        "static_bound_cycles": analysis.static_bound.cycles,
+        "method": analysis.static_bound.method,
+        "wcet_time": result.wcet_time,
+        "actual_cycles": result.actual_cycles,
+        "instructions": result.instructions,
+        "pessimism": round(result.pessimism, 6),
+    }

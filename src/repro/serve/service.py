@@ -1,0 +1,390 @@
+"""The batch service core: scheduler + persistent worker pool.
+
+:class:`BatchService` owns the three moving parts:
+
+* the **admission queue** (:class:`~repro.serve.queue.AdmissionQueue`) —
+  bounded, priority-ordered, rejecting when full;
+* the **scheduler thread** — pops the best queued job whenever a worker
+  slot is free, resolves queue-deadline expiry, and hands the job to the
+  pool (so a late-arriving high-priority job overtakes queued bulk work
+  right up to the moment of dispatch);
+* the **worker pool** — persistent worker threads that execute jobs via
+  :func:`repro.serve.executors.execute_job`.  With ``mode="process"``
+  each execution is proxied to a long-lived ``multiprocessing`` pool
+  whose workers are seeded spawn-safely (plain JSON payloads, an
+  initializer that registers optional ISA modules) exactly like the
+  fault-campaign engine in :mod:`repro.faultsim.parallel`.
+
+Telemetry lands in the shared registry under ``serve.*``: queue-depth /
+running gauges, submitted/rejected/completed counters, queue-wait and
+job-duration histograms, and per-job ``job`` spans that export to Chrome
+trace.  :meth:`BatchService.shutdown` drains by default: admission stops,
+queued and in-flight jobs complete, then the workers exit.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Any, Dict, List, Optional
+from queue import SimpleQueue
+
+from ..telemetry.session import resolve as _resolve_telemetry
+from .executors import ExecutorError, _EXECUTORS, execute_job
+from .jobs import (FINAL_STATES, Job, JobCancelled, JobContext, JobSpec,
+                   JobTimeout, STATES, STATE_PENDING, STATE_RUNNING)
+from .queue import AdmissionQueue, QueueClosed, QueueFull
+
+__all__ = ["BatchService", "ServiceClosed", "resolve_workers"]
+
+
+class ServiceClosed(Exception):
+    """Submission rejected: the service is shutting down."""
+
+
+def resolve_workers(workers: Optional[int]) -> int:
+    """Resolve a worker-count flag: ``0``/``None`` auto-detects CPUs."""
+    import os
+
+    if workers is None or workers == 0:
+        return os.cpu_count() or 1
+    if workers < 0:
+        raise ValueError(f"workers must be >= 0, got {workers}")
+    return workers
+
+
+def _pool_init() -> None:
+    """Process-pool initializer — the same spawn-safe seeding as
+    :func:`repro.faultsim.parallel._worker_init`."""
+    import repro.bmi  # noqa: F401 — register optional ISA modules (Zbb)
+
+
+class BatchService:
+    """A long-lived scheduler + worker pool over the simulation workloads.
+
+    ::
+
+        service = BatchService(workers=8, queue_limit=64)
+        service.start()
+        job = service.submit(JobSpec(kind="vp_run", payload={...}))
+        job.wait()
+        service.shutdown()          # drains queued + in-flight jobs
+    """
+
+    def __init__(self, workers: Optional[int] = None, queue_limit: int = 64,
+                 mode: str = "thread", telemetry=None) -> None:
+        if mode not in ("thread", "process"):
+            raise ValueError(f"mode must be 'thread' or 'process', got {mode!r}")
+        self.workers = resolve_workers(workers)
+        self.mode = mode
+        self.queue = AdmissionQueue(queue_limit)
+        self.jobs: Dict[str, Job] = {}
+        # A service is long-lived and observable by design: when the
+        # ambient session is disabled, run on a private enabled session
+        # so /v1/stats and queue gauges are always live.  An explicit
+        # or CLI-installed session (``repro serve --stats``) is reused,
+        # which is what routes service runs into ``repro stats`` and
+        # Chrome-trace export.
+        resolved = _resolve_telemetry(telemetry)
+        if not resolved.enabled:
+            from ..telemetry import Telemetry
+            resolved = Telemetry()
+        self.telemetry = resolved
+        self._metrics = self.telemetry.metrics.namespace("serve")
+        self._lock = threading.Lock()
+        self._accepting = False
+        self._started = False
+        self._stopped = False
+        self._running = 0
+        self._feed: SimpleQueue = SimpleQueue()
+        self._slots = threading.Semaphore(self.workers)
+        self._threads: List[threading.Thread] = []
+        self._scheduler: Optional[threading.Thread] = None
+        self._pool = None
+        self._idle = threading.Condition(self._lock)
+
+    # -- lifecycle ------------------------------------------------------
+
+    def start(self) -> "BatchService":
+        if self._started:
+            raise RuntimeError("service already started")
+        self._started = True
+        self._accepting = True
+        if self.mode == "process":
+            self._pool = self._start_pool()
+        self._metrics.gauge("workers").set(self.workers)
+        if self.telemetry.enabled:
+            self.telemetry.events.emit(
+                "serve.started", workers=self.workers, mode=self.mode,
+                queue_limit=self.queue.limit)
+        for index in range(self.workers):
+            thread = threading.Thread(target=self._worker_loop,
+                                      args=(f"worker-{index}",),
+                                      name=f"serve-worker-{index}",
+                                      daemon=True)
+            thread.start()
+            self._threads.append(thread)
+        self._scheduler = threading.Thread(target=self._scheduler_loop,
+                                           name="serve-scheduler",
+                                           daemon=True)
+        self._scheduler.start()
+        return self
+
+    def _start_pool(self):
+        import multiprocessing
+
+        if "fork" in multiprocessing.get_all_start_methods():
+            ctx = multiprocessing.get_context("fork")
+        else:
+            ctx = multiprocessing.get_context()
+        return ctx.Pool(processes=self.workers, initializer=_pool_init)
+
+    def __enter__(self) -> "BatchService":
+        if not self._started:
+            self.start()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.shutdown()
+
+    def shutdown(self, drain: bool = True,
+                 timeout: Optional[float] = None) -> None:
+        """Stop the service.
+
+        ``drain=True`` (the default) stops admission, lets every queued
+        job dispatch and every in-flight job finish, then retires the
+        workers.  ``drain=False`` cancels queued jobs immediately and
+        waits only for the in-flight ones.  ``timeout`` bounds the total
+        wait per joined thread.
+        """
+        with self._lock:
+            if self._stopped:
+                return
+            self._stopped = True
+            self._accepting = False
+        if not drain:
+            for job in self.queue.drain():
+                job.mark_cancelled("service shutdown")
+                self._job_finished(job)
+        # Closing the queue stops get() from blocking but still hands out
+        # whatever is queued — the scheduler keeps dispatching until the
+        # backlog is empty, then retires the workers with sentinels.
+        self.queue.close()
+        if self._scheduler is not None:
+            self._scheduler.join(timeout)
+        for thread in self._threads:
+            thread.join(timeout)
+        if self._pool is not None:
+            self._pool.close()
+            self._pool.join()
+            self._pool = None
+        if self.telemetry.enabled:
+            self.telemetry.events.emit("serve.stopped",
+                                       drained=drain,
+                                       jobs_total=len(self.jobs))
+
+    def join(self, timeout: Optional[float] = None) -> bool:
+        """Block until no job is queued or running; True when idle."""
+        deadline = None if timeout is None else time.monotonic() + timeout
+        with self._idle:
+            while any(not job.done for job in list(self.jobs.values())):
+                remaining = 0.2
+                if deadline is not None:
+                    remaining = min(0.2, deadline - time.monotonic())
+                    if remaining <= 0:
+                        return False
+                self._idle.wait(remaining)
+        return True
+
+    # -- submission / inspection ----------------------------------------
+
+    def submit(self, spec: JobSpec) -> Job:
+        """Admit one job; raises :class:`QueueFull` under backpressure,
+        :class:`ServiceClosed` after shutdown began, and
+        :class:`~repro.serve.executors.ExecutorError` for unknown kinds."""
+        if not self._started:
+            raise RuntimeError("service not started")
+        spec.validate()
+        if spec.kind not in _EXECUTORS:
+            raise ExecutorError(
+                f"unknown job kind {spec.kind!r}; known kinds: "
+                f"{sorted(_EXECUTORS)}")
+        job = Job(spec)
+        with self._lock:
+            if not self._accepting:
+                raise ServiceClosed("service is shutting down")
+            try:
+                self.queue.put(job)
+            except QueueFull:
+                self._metrics.counter("rejected").inc()
+                if self.telemetry.enabled:
+                    self.telemetry.events.emit(
+                        "job.rejected", kind=spec.kind,
+                        queue_depth=self.queue.limit)
+                raise
+            except QueueClosed:
+                raise ServiceClosed("service is shutting down") from None
+            self.jobs[job.id] = job
+        self._metrics.counter("submitted").inc()
+        self._metrics.gauge("queue_depth").set(self.queue.depth())
+        if self.telemetry.enabled:
+            self.telemetry.events.emit("job.submitted", id=job.id,
+                                       kind=spec.kind,
+                                       priority=spec.priority)
+        return job
+
+    def get_job(self, job_id: str) -> Optional[Job]:
+        return self.jobs.get(job_id)
+
+    def cancel(self, job_id: str) -> bool:
+        """Cancel a job; running jobs stop at their next checkpoint."""
+        job = self.jobs.get(job_id)
+        if job is None:
+            return False
+        changed = job.cancel()
+        if changed and job.done:
+            self._job_finished(job)
+        return changed
+
+    def stats(self) -> Dict[str, Any]:
+        tally = {state: 0 for state in STATES}
+        for job in list(self.jobs.values()):
+            tally[job.state] += 1
+        return {
+            "workers": self.workers,
+            "mode": self.mode,
+            "accepting": self._accepting,
+            "queue_depth": self.queue.depth(),
+            "queue_limit": self.queue.limit,
+            "running": self._running,
+            "jobs": tally,
+        }
+
+    # -- scheduler ------------------------------------------------------
+
+    def _scheduler_loop(self) -> None:
+        dispatch_timer = self._metrics.timer("queue_wait_seconds")
+        while True:
+            # Claim a worker slot *first* so the job popped next is the
+            # best choice at the moment a worker is actually free.
+            self._slots.acquire()
+            job = self.queue.get(timeout=None)
+            if job is None:  # closed and drained: retire the workers
+                self._slots.release()
+                for _ in self._threads:
+                    self._feed.put(None)
+                return
+            if job.deadline_expired():
+                job.mark_timeout("deadline expired before dispatch")
+                self._job_finished(job)
+                self._slots.release()
+                continue
+            wait = time.monotonic() - job.submitted_at
+            dispatch_timer.observe(wait)
+            self._metrics.gauge("queue_depth").set(self.queue.depth())
+            if self.telemetry.enabled:
+                self.telemetry.events.emit(
+                    "job.dispatched", id=job.id, kind=job.spec.kind,
+                    queue_seconds=round(wait, 6))
+            self._feed.put(job)
+
+    # -- workers --------------------------------------------------------
+
+    def _worker_loop(self, name: str) -> None:
+        while True:
+            job = self._feed.get()
+            if job is None:
+                return
+            try:
+                self._execute(job, name)
+            finally:
+                self._slots.release()
+
+    def _execute(self, job: Job, worker: str) -> None:
+        if not job.mark_running(worker):
+            # Resolved (cancelled) between dispatch and pickup.
+            self._job_finished(job)
+            return
+        with self._lock:
+            self._running += 1
+        self._metrics.gauge("running").set(self._running)
+        ctx = JobContext(job)
+        job_timer = self._metrics.timer("job_seconds")
+        started = time.monotonic()
+        span = self.telemetry.events.span(
+            "job", id=job.id, kind=job.spec.kind, worker=worker,
+            attempt=job.attempts)
+        retried = False
+        try:
+            with span:
+                if self.mode == "process":
+                    result = self._execute_remote(job, ctx)
+                else:
+                    result = execute_job(job.spec.kind, job.spec.payload, ctx)
+        except JobCancelled:
+            job.mark_cancelled("cancelled while running")
+        except JobTimeout:
+            job.mark_timeout(
+                f"run timeout after {job.spec.timeout_seconds}s")
+        except ExecutorError as exc:
+            # Deterministic payload problem: retrying cannot help.
+            job.mark_failed(str(exc))
+        except Exception as exc:  # noqa: BLE001 — worker must survive
+            error = f"attempt {job.attempts} failed: {exc!r}"
+            if job.mark_retrying(error):
+                retried = True
+                self._metrics.counter("retries").inc()
+                if self.telemetry.enabled:
+                    self.telemetry.events.emit("job.retrying", id=job.id,
+                                               attempt=job.attempts,
+                                               error=str(exc))
+                try:
+                    self.queue.put(job)
+                except (QueueFull, QueueClosed) as requeue_exc:
+                    retried = False
+                    job.mark_failed(f"{error}; requeue failed: "
+                                    f"{requeue_exc}")
+            else:
+                job.mark_failed(error)
+        else:
+            job.mark_succeeded(result)
+        finally:
+            job_timer.observe(time.monotonic() - started)
+            with self._lock:
+                self._running -= 1
+            self._metrics.gauge("running").set(self._running)
+            if not retried:
+                self._job_finished(job)
+            with self._idle:
+                self._idle.notify_all()
+
+    def _execute_remote(self, job: Job, ctx: JobContext) -> Dict[str, Any]:
+        """Proxy one execution to the persistent process pool.
+
+        The parent polls so cooperative cancel/timeout still resolve the
+        job promptly; the worker process finishes its (budget-bounded)
+        task in the background and stays warm for the next job.
+        """
+        from multiprocessing import TimeoutError as PoolTimeout
+
+        handle = self._pool.apply_async(
+            execute_job, (job.spec.kind, job.spec.payload))
+        while True:
+            try:
+                return handle.get(timeout=0.1)
+            except PoolTimeout:
+                ctx.check()
+
+    def _job_finished(self, job: Job) -> None:
+        if not job.finalize_once():
+            return
+        self._metrics.counter(f"completed.{job.state}").inc()
+        if self.telemetry.enabled:
+            record = {"id": job.id, "kind": job.spec.kind,
+                      "state": job.state, "attempts": job.attempts}
+            run_seconds = job.run_seconds()
+            if run_seconds is not None:
+                record["run_seconds"] = round(run_seconds, 6)
+            if job.error:
+                record["error"] = job.error
+            self.telemetry.events.emit("job.finished", **record)

@@ -51,7 +51,26 @@ SYSCALL_EXIT = 93
 
 @dataclass
 class MachineSnapshot:
-    """A complete machine checkpoint (see :meth:`Machine.snapshot`)."""
+    """A complete machine checkpoint (see :meth:`Machine.snapshot`).
+
+    Captured: CPU architectural state (pc, GPRs, FPRs, CSRs), the whole
+    RAM image, and every device's guest-visible state — CLINT timer
+    registers, UART TX log / RX queue / interrupt enable, GPIO pins
+    *including* :attr:`~repro.vp.devices.gpio.Gpio.out_history`, and the
+    exit device's value.
+
+    Intentionally excluded (reconstructed or deliberately reset on
+    :meth:`Machine.restore`):
+
+    * the translation-block cache and icache *contents* — pure caches,
+      flushed/cold-reset on restore and rebuilt on demand;
+    * registered plugins and their internal state — structural, not
+      architectural;
+    * register/CSR access-trace sets and the UART ``access_log`` —
+      measurement state owned by the coverage/analysis tooling;
+    * structural fault-injection wrappers (stuck-at register files,
+      wrapped RAM) — a snapshot cannot undo object replacement.
+    """
 
     pc: int
     entry: int
@@ -179,7 +198,8 @@ class Machine:
             clint=(self.clint.mtime, self.clint.mtimecmp, self.clint.msip),
             uart=(bytes(self.uart.tx_log), tuple(self.uart._rx_queue),
                   self.uart.interrupt_enable),
-            gpio=(self.gpio.out, self.gpio.inputs),
+            gpio=(self.gpio.out, self.gpio.inputs,
+                  tuple(self.gpio.out_history)),
             exit_value=self.exit_device.value,
         )
 
@@ -188,7 +208,9 @@ class Machine:
 
         The translation cache is flushed (RAM contents may differ).
         Register-file *objects* are kept — a snapshot/restore pair cannot
-        undo structural changes such as injected stuck-at wrappers.
+        undo structural changes such as injected stuck-at wrappers.  See
+        :class:`MachineSnapshot` for exactly what is captured and what
+        is intentionally excluded.
         """
         self.entry = snapshot.entry
         self.cpu.pc = snapshot.pc
@@ -207,8 +229,8 @@ class Machine:
         self.uart._rx_queue.clear()
         self.uart._rx_queue.extend(rx_queue)
         self.uart.interrupt_enable = interrupt_enable
-        self.gpio.out, self.gpio.inputs = snapshot.gpio
-        self.gpio.out_history.clear()
+        self.gpio.out, self.gpio.inputs, out_history = snapshot.gpio
+        self.gpio.out_history[:] = out_history
         self.exit_device.value = snapshot.exit_value
         if self.cpu.icache is not None:
             # Cache contents are not checkpointed; restart cold, which is

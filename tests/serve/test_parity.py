@@ -1,0 +1,99 @@
+"""Service-vs-direct parity: a job through the service must produce
+byte-identical results to the direct library call."""
+
+import json
+
+import pytest
+
+from repro.asm import assemble
+from repro.faultsim import FaultCampaign, default_campaign_mutants
+from repro.isa import RV32IMC_ZICSR
+from repro.serve import BatchService, JobSpec
+from repro.serve.executors import execute_job
+from repro.testgen import StructuredGenerator
+
+MUTANTS = 40
+SEED = 11
+
+
+@pytest.fixture(scope="module")
+def workload():
+    generated = StructuredGenerator(statements=5).generate(33)
+    return generated.source
+
+
+def direct_campaign_json(source: str) -> str:
+    """The reference: a plain FaultCampaign.run over the default mix."""
+    program = assemble(source, isa=RV32IMC_ZICSR)
+    campaign = FaultCampaign(program, isa=RV32IMC_ZICSR)
+    golden = campaign.golden()
+    faults = default_campaign_mutants(
+        program, isa=RV32IMC_ZICSR, mutants=MUTANTS, seed=SEED,
+        golden_instructions=golden.instructions)
+    result = campaign.run(faults)
+    data = result.to_dict()
+    data.pop("elapsed_seconds")  # wall-clock, never comparable
+    return json.dumps(data, sort_keys=True)
+
+
+def service_campaign_dict(source: str, **service_kwargs) -> dict:
+    service = BatchService(**{"workers": 2, "queue_limit": 8,
+                              **service_kwargs}).start()
+    try:
+        job = service.submit(JobSpec(
+            kind="fault_campaign",
+            payload={"source": source, "mutants": MUTANTS, "seed": SEED}))
+        assert job.wait(120), f"job stuck in {job.state}"
+        assert job.state == "succeeded", job.error
+        return job.result
+    finally:
+        service.shutdown()
+
+
+class TestCampaignParity:
+    def test_service_result_byte_identical_to_direct(self, workload):
+        expected = direct_campaign_json(workload)
+        result = service_campaign_dict(workload)
+        campaign = dict(result["campaign"])
+        campaign.pop("elapsed_seconds")
+        assert json.dumps(campaign, sort_keys=True) == expected
+
+    def test_service_result_survives_json_round_trip(self, workload):
+        from repro.faultsim import CampaignResult
+
+        result = service_campaign_dict(workload)
+        restored = CampaignResult.from_json(json.dumps(result["campaign"]))
+        assert restored.total == MUTANTS
+        assert restored.counts == result["counts"]
+
+    def test_process_pool_matches_thread_pool(self, workload):
+        expected = direct_campaign_json(workload)
+        result = service_campaign_dict(workload, workers=2, mode="process")
+        campaign = dict(result["campaign"])
+        campaign.pop("elapsed_seconds")
+        assert json.dumps(campaign, sort_keys=True) == expected
+
+
+class TestVpRunParity:
+    def test_vp_run_matches_direct_machine(self):
+        from repro.vp import Machine, MachineConfig
+
+        source = """
+        _start:
+            li t0, 0x10000000
+            li t1, 72
+            sw t1, 0(t0)
+            li a0, 9
+            li a7, 93
+            ecall
+        """
+        program = assemble(source, isa=RV32IMC_ZICSR)
+        machine = Machine(MachineConfig(isa=RV32IMC_ZICSR))
+        machine.load(program)
+        direct = machine.run(max_instructions=1000)
+
+        result = execute_job("vp_run", {"source": source})
+        assert result["exit_code"] == direct.exit_code
+        assert result["instructions"] == direct.instructions
+        assert result["cycles"] == direct.cycles
+        assert result["uart_output"] == machine.uart.output

@@ -1,0 +1,107 @@
+"""Admission queue: ordering, backpressure, close semantics."""
+
+import pytest
+
+from repro.serve import AdmissionQueue, Job, JobSpec, QueueClosed, QueueFull
+
+
+def job(priority=0, deadline=None, kind="vp_run"):
+    return Job(JobSpec(kind=kind, priority=priority,
+                       deadline_seconds=deadline))
+
+
+class TestOrdering:
+    def test_priority_order(self):
+        q = AdmissionQueue(limit=8)
+        low, high, mid = job(0), job(9), job(5)
+        for item in (low, high, mid):
+            q.put(item)
+        assert [q.get(0.1) for _ in range(3)] == [high, mid, low]
+
+    def test_fifo_within_priority(self):
+        q = AdmissionQueue(limit=8)
+        jobs = [job(priority=1) for _ in range(4)]
+        for item in jobs:
+            q.put(item)
+        assert [q.get(0.1) for _ in range(4)] == jobs
+
+    def test_earliest_deadline_first_within_priority(self):
+        q = AdmissionQueue(limit=8)
+        relaxed, urgent, none = job(deadline=60), job(deadline=1), job()
+        for item in (relaxed, none, urgent):
+            q.put(item)
+        assert [q.get(0.1) for _ in range(3)] == [urgent, relaxed, none]
+
+    def test_priority_beats_deadline(self):
+        q = AdmissionQueue(limit=8)
+        urgent_low = job(priority=0, deadline=1)
+        relaxed_high = job(priority=5, deadline=600)
+        q.put(urgent_low)
+        q.put(relaxed_high)
+        assert q.get(0.1) is relaxed_high
+
+
+class TestBackpressure:
+    def test_full_queue_rejects(self):
+        q = AdmissionQueue(limit=2)
+        q.put(job())
+        q.put(job())
+        with pytest.raises(QueueFull):
+            q.put(job())
+
+    def test_rejection_frees_nothing(self):
+        q = AdmissionQueue(limit=1)
+        first = job()
+        q.put(first)
+        with pytest.raises(QueueFull):
+            q.put(job())
+        assert q.get(0.1) is first
+
+    def test_depth_ignores_resolved_jobs(self):
+        q = AdmissionQueue(limit=4)
+        cancelled = job()
+        q.put(cancelled)
+        q.put(job())
+        cancelled.cancel()
+        assert q.depth() == 1
+
+    def test_get_skips_resolved_jobs(self):
+        q = AdmissionQueue(limit=4)
+        cancelled, live = job(), job()
+        q.put(cancelled)
+        q.put(live)
+        cancelled.cancel()
+        assert q.get(0.1) is live
+        assert q.get(0.05) is None
+
+    def test_limit_validation(self):
+        with pytest.raises(ValueError):
+            AdmissionQueue(limit=0)
+
+
+class TestClose:
+    def test_put_after_close_raises(self):
+        q = AdmissionQueue(limit=2)
+        q.close()
+        with pytest.raises(QueueClosed):
+            q.put(job())
+
+    def test_close_still_hands_out_backlog(self):
+        q = AdmissionQueue(limit=2)
+        queued = job()
+        q.put(queued)
+        q.close()
+        assert q.get(0.1) is queued
+        assert q.get(0.1) is None  # drained + closed
+
+    def test_get_timeout_returns_none(self):
+        q = AdmissionQueue(limit=2)
+        assert q.get(timeout=0.05) is None
+
+    def test_drain_empties_queue(self):
+        q = AdmissionQueue(limit=4)
+        jobs = [job() for _ in range(3)]
+        for item in jobs:
+            q.put(item)
+        assert set(q.drain()) == set(jobs)
+        assert q.depth() == 0

@@ -72,6 +72,60 @@ class TestJsonl:
         assert records == [{"type": "a", "ts_us": 0}]
 
 
+class TestInterleavedSpans:
+    """Spans append on *exit*, so nested/overlapping spans interleave with
+    instantaneous events — the saved JSONL must reproduce that exactly
+    (the Chrome-trace exporter and `repro stats` both rely on it)."""
+
+    def build_interleaved_log(self):
+        log, state = make_log_with_clock()
+        log.emit("job.submitted", id="job-1")
+        outer = log.span("job", id="job-1", worker="worker-0")
+        outer.__enter__()
+        state["now"] += 0.125
+        with log.span("campaign.golden", id="job-1"):
+            state["now"] += 0.25
+        log.emit("campaign.progress", done=10)
+        state["now"] += 0.125
+        with log.span("campaign.mutants", id="job-1"):
+            state["now"] += 0.5
+        outer.__exit__(None, None, None)
+        log.emit("job.finished", id="job-1")
+        return log
+
+    def test_exit_order_and_durations(self):
+        log = self.build_interleaved_log()
+        types = [e["type"] for e in log.events]
+        assert types == ["job.submitted", "campaign.golden",
+                         "campaign.progress", "campaign.mutants",
+                         "job", "job.finished"]
+        spans = {e["type"]: e for e in log.events if "dur_us" in e}
+        assert spans["campaign.golden"]["dur_us"] == 250_000
+        assert spans["campaign.mutants"]["dur_us"] == 500_000
+        # The outer span covers the whole interleaved stretch.
+        assert spans["job"]["ts_us"] == 0
+        assert spans["job"]["dur_us"] == 1_000_000
+
+    def test_save_load_preserves_interleaving(self, tmp_path):
+        log = self.build_interleaved_log()
+        path = str(tmp_path / "interleaved.jsonl")
+        log.save_jsonl(path)
+        loaded = EventLog.load_jsonl(path)
+        assert loaded.events == log.events
+        # Duration events survive as spans after the round trip.
+        reloaded_spans = [e for e in loaded.events if "dur_us" in e]
+        assert len(reloaded_spans) == 3
+
+    def test_chrome_trace_accepts_interleaved_spans(self, tmp_path):
+        from repro.telemetry import to_chrome_trace
+
+        log = self.build_interleaved_log()
+        trace = to_chrome_trace(log.events)
+        events = trace["traceEvents"] if isinstance(trace, dict) else trace
+        complete = [e for e in events if e.get("ph") == "X"]
+        assert len(complete) == 3
+
+
 class TestNullEventLog:
     def test_emit_and_span_are_noops(self):
         assert NULL_EVENT_LOG.enabled is False

@@ -1,0 +1,131 @@
+"""MachineSnapshot round-trip coverage across every device.
+
+The campaign engine leans on snapshot/restore for machine reuse, and the
+batch service amplifies how often that path runs — these tests pin down
+that a mid-execution checkpoint captures and restores CLINT, UART, GPIO
+(including ``out_history``), and the exit device exactly.
+"""
+
+from repro.asm import assemble
+from repro.isa import RV32IMC_ZICSR
+from repro.vp import Machine, MachineConfig
+
+EXIT = "\n    li a7, 93\n    ecall\n"
+
+# Touches every device before exiting: UART TX, GPIO (three distinct pin
+# states), CLINT mtimecmp, and a non-terminating exit-device store.
+ALL_DEVICES = """
+_start:
+    li t0, 0x10000000      # UART
+    li t1, 65
+    sw t1, 0(t0)           # print 'A'
+    li t0, 0x10001000      # GPIO
+    li t1, 1
+    sw t1, 0(t0)
+    li t1, 3
+    sw t1, 0(t0)
+    li t1, 2
+    sw t1, 0x0C(t0)        # CLEAR bit 1 -> out = 1 again
+    li t0, 0x02004000      # CLINT mtimecmp
+    li t1, 1234
+    sw t1, 0(t0)
+    li t0, 0x00100000      # exit device: even value does not terminate
+    li t1, 4
+    sw t1, 0(t0)
+    li a0, 0
+""" + EXIT
+
+
+def device_state(machine):
+    return {
+        "clint": (machine.clint.mtime, machine.clint.mtimecmp,
+                  machine.clint.msip),
+        "uart": (bytes(machine.uart.tx_log), list(machine.uart._rx_queue),
+                 machine.uart.interrupt_enable),
+        "gpio": (machine.gpio.out, machine.gpio.inputs,
+                 list(machine.gpio.out_history)),
+        "exit": machine.exit_device.value,
+        "pc": machine.cpu.pc,
+        "regs": machine.cpu.regs.snapshot(),
+    }
+
+
+class TestSnapshotRoundTrip:
+    def test_mid_run_snapshot_restores_all_devices(self):
+        machine = Machine(MachineConfig(isa=RV32IMC_ZICSR))
+        machine.load(assemble(ALL_DEVICES, isa=RV32IMC_ZICSR))
+        machine.uart.push_rx(b"xy")       # host-side RX state
+        machine.gpio.set_inputs(0x5A)
+        machine.run(max_instructions=14)  # stop mid-program
+        snap = machine.snapshot()
+        before = device_state(machine)
+
+        machine.run(max_instructions=10_000)  # run to completion, mutate
+        assert device_state(machine) != before
+
+        machine.restore(snap)
+        assert device_state(machine) == before
+
+    def test_gpio_out_history_round_trips(self):
+        machine = Machine(MachineConfig(isa=RV32IMC_ZICSR))
+        machine.load(assemble(ALL_DEVICES, isa=RV32IMC_ZICSR))
+        machine.run(max_instructions=10_000)
+        assert machine.gpio.out_history == [1, 3, 1]
+        snap = machine.snapshot()
+
+        machine.gpio.store(0x00, 4, 7)  # grow the history past the snap
+        assert machine.gpio.out_history == [1, 3, 1, 7]
+
+        machine.restore(snap)
+        assert machine.gpio.out_history == [1, 3, 1]
+
+    def test_restore_then_rerun_is_deterministic(self):
+        machine = Machine(MachineConfig(isa=RV32IMC_ZICSR))
+        machine.load(assemble(ALL_DEVICES, isa=RV32IMC_ZICSR))
+        snap = machine.snapshot()
+        first = machine.run(max_instructions=10_000)
+        first_state = device_state(machine)
+
+        machine.restore(snap)
+        second = machine.run(max_instructions=10_000)
+        assert second.exit_code == first.exit_code
+        assert second.instructions == first.instructions
+        assert device_state(machine) == first_state
+
+    def test_clint_timer_state_round_trips(self):
+        machine = Machine(MachineConfig(isa=RV32IMC_ZICSR))
+        machine.load(assemble("_start:\n    li a0, 0" + EXIT,
+                              isa=RV32IMC_ZICSR))
+        machine.clint.mtime = 999
+        machine.clint.mtimecmp = 0x1_0000_0001
+        machine.clint.msip = 1
+        snap = machine.snapshot()
+        machine.run(max_instructions=100)
+        machine.clint.msip = 0
+        machine.restore(snap)
+        assert machine.clint.mtime == 999
+        assert machine.clint.mtimecmp == 0x1_0000_0001
+        assert machine.clint.msip == 1
+
+    def test_uart_rx_queue_round_trips(self):
+        machine = Machine(MachineConfig(isa=RV32IMC_ZICSR))
+        machine.load(assemble("_start:\n    li a0, 0" + EXIT,
+                              isa=RV32IMC_ZICSR))
+        machine.uart.push_rx(b"queued")
+        machine.uart.interrupt_enable = 1
+        snap = machine.snapshot()
+        machine.uart.load(0x04, 4)  # drain one RX byte
+        machine.uart.interrupt_enable = 0
+        machine.restore(snap)
+        assert bytes(machine.uart._rx_queue) == b"queued"
+        assert machine.uart.interrupt_enable == 1
+
+    def test_exit_device_value_round_trips(self):
+        machine = Machine(MachineConfig(isa=RV32IMC_ZICSR))
+        machine.load(assemble("_start:\n    li a0, 0" + EXIT,
+                              isa=RV32IMC_ZICSR))
+        machine.exit_device.value = 4  # even: latched but not terminating
+        snap = machine.snapshot()
+        machine.exit_device.value = 8
+        machine.restore(snap)
+        assert machine.exit_device.value == 4
