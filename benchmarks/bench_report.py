@@ -8,6 +8,10 @@ numbers the performance work is judged by:
   baseline;
 * ``campaign`` — fault-campaign throughput (mutants/s) sequential and
   with a worker pool, plus the parallel speedup;
+* ``campaign_checkpoint`` — throughput of a transient-heavy campaign
+  (the F2 workload) with and without the warm-checkpoint engine, plus
+  ``campaign_checkpoint_speedup`` — classification is asserted
+  byte-identical before the speedup is recorded;
 * ``qta_overhead_factor`` — slowdown when the QTA timing plugin rides
   along, which must stay a small bounded factor.
 
@@ -94,6 +98,28 @@ out:
 scratch: .word 0
 """
 
+# The F2 transient-heavy workload: a long arithmetic loop whose golden
+# run is large enough that run-to-trigger prefixes dominate mutant cost
+# — exactly what warm checkpoints amortize.
+CHECKPOINT_PROGRAM = """
+_start:
+    li a0, 0
+    li s0, 0
+    li s1, {iters}
+outer:
+    addi t0, s0, 17
+    xor t1, t0, a0
+    slli t2, t1, 2
+    srli t3, t2, 1
+    add a0, a0, t3
+    andi a0, a0, 2047
+    addi s0, s0, 1
+    blt s0, s1, outer
+    andi a0, a0, 0xFF
+    li a7, 93
+    ecall
+"""
+
 
 def measure_mips(iters: int, repeats: int):
     """Best-of-N interpreter speed (cache on, no plugins)."""
@@ -159,6 +185,20 @@ def measure_campaign(mutants: int, jobs: int):
         return result, elapsed
 
     sequential, seq_elapsed = run(1)
+    if multiprocessing.cpu_count() == 1:
+        # A 1-core host cannot show a pool speedup by construction;
+        # recording a sub-1.0 "speedup" would just be misleading.
+        return {
+            "mutants": sequential.total,
+            "sequential_mutants_per_second": round(
+                sequential.total / seq_elapsed, 2),
+            "parallel_jobs": jobs,
+            "parallel_mutants_per_second": None,
+            "parallel_speedup": None,
+            "note": "single-CPU host: pool measurement skipped "
+                    "(no parallel speedup is observable by construction)",
+            "outcome_counts": sequential.counts,
+        }
     parallel, par_elapsed = run(jobs)
     assert [r.outcome for r in parallel.results] == \
         [r.outcome for r in sequential.results], \
@@ -172,6 +212,50 @@ def measure_campaign(mutants: int, jobs: int):
             parallel.total / par_elapsed, 2),
         "parallel_speedup": round(seq_elapsed / par_elapsed, 3),
         "outcome_counts": sequential.counts,
+    }
+
+
+def measure_checkpoint_campaign(mutants: int, iters: int):
+    """Transient-heavy campaign with vs without the checkpoint engine.
+
+    Both runs classify the same mutants; their results (with wall time
+    zeroed) must serialize byte-identically before the speedup counts.
+    """
+    program = assemble(CHECKPOINT_PROGRAM.format(iters=iters),
+                       isa=RV32IMC_ZICSR)
+    budget = MutantBudget(code=0, gpr_transient=mutants, gpr_stuck=0,
+                          memory_transient=0, memory_stuck=0)
+
+    def run(checkpoints: bool):
+        campaign = FaultCampaign(program, isa=RV32IMC_ZICSR,
+                                 checkpoints=checkpoints)
+        golden = campaign.golden()
+        faults = generate_mutants(program, budget=budget,
+                                  golden_instructions=golden.instructions,
+                                  seed=1)
+        start = time.perf_counter()
+        result = campaign.run(faults)
+        elapsed = time.perf_counter() - start
+        return campaign, result, elapsed
+
+    _, baseline, base_elapsed = run(False)
+    accelerated_campaign, accelerated, ckpt_elapsed = run(True)
+    baseline.elapsed_seconds = 0.0
+    accelerated.elapsed_seconds = 0.0
+    assert accelerated.to_json() == baseline.to_json(), \
+        "checkpointed campaign diverged from baseline classification"
+    return {
+        "mutants": baseline.total,
+        "golden_instructions":
+            accelerated_campaign.golden().instructions,
+        "baseline_mutants_per_second": round(
+            baseline.total / base_elapsed, 2),
+        "checkpoint_mutants_per_second": round(
+            accelerated.total / ckpt_elapsed, 2),
+        "campaign_checkpoint_speedup": round(
+            base_elapsed / ckpt_elapsed, 3),
+        "checkpoint_stats": accelerated_campaign.checkpoint_stats(),
+        "outcome_counts": baseline.counts,
     }
 
 
@@ -199,6 +283,9 @@ def build_report(smoke: bool) -> dict:
         },
         "qta_overhead_factor": round(measure_qta_overhead(iters), 3),
         "campaign": measure_campaign(mutants, jobs),
+        "campaign_checkpoint": measure_checkpoint_campaign(
+            mutants=20 if smoke else 60,
+            iters=800 if smoke else 4_000),
     }
     return report
 

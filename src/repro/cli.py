@@ -138,7 +138,9 @@ def cmd_faults(args) -> int:
 
     isa = _isa(args)
     program = assemble(_read_source(args.source), isa=isa)
-    campaign = FaultCampaign(program, isa=isa)
+    campaign = FaultCampaign(program, isa=isa,
+                             checkpoints=not args.no_checkpoints,
+                             digest_interval=args.digest_interval)
     golden = campaign.golden()
     print(f"golden: exit {golden.exit_code}, "
           f"{golden.instructions} instructions")
@@ -195,7 +197,10 @@ def cmd_submit(args) -> int:
 
     payload = {"source": _read_source(args.source), "isa": args.isa}
     if args.kind == "fault_campaign":
-        payload.update(mutants=args.mutants, seed=args.seed, jobs=args.jobs)
+        payload.update(mutants=args.mutants, seed=args.seed, jobs=args.jobs,
+                       checkpoints=not args.no_checkpoints)
+        if args.digest_interval is not None:
+            payload["digest_interval"] = args.digest_interval
     client = ServiceClient(args.url)
     try:
         job = client.submit(args.kind, payload, priority=args.priority,
@@ -310,6 +315,14 @@ def build_parser() -> argparse.ArgumentParser:
                    help="mutant worker processes (1 = in-process, "
                         "0 = auto-detect CPUs; falls back to 1 if "
                         "workers cannot spawn)")
+    p.add_argument("--no-checkpoints", action="store_true",
+                   help="disable warm-checkpoint acceleration for "
+                        "transient mutants (classification is identical "
+                        "either way)")
+    p.add_argument("--digest-interval", type=int, default=None, metavar="K",
+                   help="golden-trace digest spacing in instructions for "
+                        "early mutant classification (default: "
+                        "golden_instructions/256, floor 64)")
     p.set_defaults(func=cmd_faults)
 
     p = sub.add_parser("mutate", help="mutation-test a self-checking binary")
@@ -357,6 +370,10 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--jobs", type=int, default=1, metavar="N",
                    help="fault_campaign: in-job worker processes "
                         "(0 = auto-detect CPUs)")
+    p.add_argument("--no-checkpoints", action="store_true",
+                   help="fault_campaign: disable checkpoint acceleration")
+    p.add_argument("--digest-interval", type=int, default=None, metavar="K",
+                   help="fault_campaign: golden digest spacing")
     p.add_argument("--priority", type=int, default=0,
                    help="larger dispatches sooner")
     p.add_argument("--timeout", type=float, default=None, metavar="SECONDS",

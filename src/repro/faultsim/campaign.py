@@ -29,6 +29,7 @@ from ..isa.decoder import IsaConfig
 from ..telemetry.session import resolve as _resolve_telemetry
 from ..vp.cpu import STOP_EXIT
 from ..vp.machine import Machine, MachineConfig, STOP_UNHANDLED_TRAP
+from .checkpoint import CheckpointEngine
 from .faults import Fault, TARGET_CODE, TRANSIENT
 from .injector import InjectionError, inject
 
@@ -203,6 +204,8 @@ class FaultCampaign:
         min_budget: int = 10_000,
         golden_budget: int = 10_000_000,
         reuse_machine: bool = True,
+        checkpoints: bool = True,
+        digest_interval: Optional[int] = None,
         telemetry=None,
     ) -> None:
         self.program = program
@@ -217,9 +220,18 @@ class FaultCampaign:
         # big-RAM configurations.  Stuck-at faults replace register files
         # or wrap the RAM and always get a fresh machine.
         self.reuse_machine = reuse_machine
+        # Checkpoint engine (see :mod:`repro.faultsim.checkpoint`):
+        # transient mutants start from a warm snapshot at their trigger
+        # point instead of replaying the fault-free prefix, and exit
+        # early once they provably re-converge with the golden timeline.
+        # Classifications are byte-identical either way.
+        self.checkpoints = checkpoints
+        self.digest_interval = digest_interval
         self._golden: Optional[GoldenRun] = None
         self._shared_machine: Optional[Machine] = None
         self._shared_snapshot = None
+        self._engine: Optional[CheckpointEngine] = None
+        self._engine_stats_pushed: Dict[str, int] = {}
 
     def _fresh_machine(self) -> Machine:
         return Machine(MachineConfig(isa=self.isa))
@@ -254,34 +266,64 @@ class FaultCampaign:
             fault.kind == TRANSIENT or fault.target == TARGET_CODE
         )
 
+    @property
+    def _checkpoints_active(self) -> bool:
+        # Checkpointing is a refinement of machine reuse: with reuse off,
+        # every mutant gets a fresh machine and there is nothing to warm.
+        return self.checkpoints and self.reuse_machine
+
+    def _ensure_engine(self) -> CheckpointEngine:
+        if self._engine is None:
+            golden = self.golden()
+            machine = self._fresh_machine()
+            machine.load(self.program)
+            self._engine = CheckpointEngine(
+                machine,
+                golden_exit_code=golden.exit_code,
+                golden_instructions=golden.instructions,
+                digest_interval=self.digest_interval,
+            )
+            # The engine machine doubles as the campaign's shared machine
+            # (code faults restore its base snapshot and patch in place).
+            self._shared_machine = machine
+            self._shared_snapshot = self._engine.base_snapshot
+        return self._engine
+
+    def prepare_checkpoints(self, triggers: Sequence[int]) -> None:
+        """Pre-build warm checkpoints at the given transient triggers.
+
+        Called once per campaign (and once per parallel worker) so that
+        every mutant restore is an exact hit; harmless no-op when
+        checkpointing is inactive.
+        """
+        if not self._checkpoints_active or not triggers:
+            return
+        engine = self._ensure_engine()
+        engine.prepare(triggers, self.instruction_budget)
+
     def _machine_for(self, fault: Fault) -> Machine:
         if not self._reusable(fault):
             machine = self._fresh_machine()
             machine.load(self.program)
             return machine
         if self._shared_machine is None:
-            self._shared_machine = self._fresh_machine()
-            self._shared_machine.load(self.program)
-            self._shared_snapshot = self._shared_machine.snapshot()
-        else:
-            self._shared_machine.restore(self._shared_snapshot)
+            if self._checkpoints_active:
+                self._ensure_engine()
+            else:
+                self._shared_machine = self._fresh_machine()
+                self._shared_machine.load(self.program)
+                self._shared_snapshot = self._shared_machine.snapshot()
+                return self._shared_machine
+        if self._engine is not None:
+            # The caller is about to mutate the shared machine outside
+            # the engine's control; its position bookkeeping is now void.
+            self._engine.invalidate_position()
+        self._shared_machine.restore(self._shared_snapshot)
         return self._shared_machine
 
-    def run_one(self, fault: Fault) -> MutantResult:
+    def _classify(self, fault: Fault, result, machine: Machine
+                  ) -> MutantResult:
         golden = self.golden()
-        machine = self._machine_for(fault)
-        plugin = None
-        try:
-            plugin = inject(machine, fault)
-        except InjectionError:
-            # Not applicable to this binary (e.g. address out of range):
-            # architecturally invisible, classify as masked.
-            return MutantResult(fault, OUTCOME_MASKED)
-        try:
-            result = machine.run(max_instructions=self.instruction_budget)
-        finally:
-            if plugin is not None and machine is self._shared_machine:
-                machine.remove_plugin(plugin)
         if result.stop_reason == STOP_EXIT:
             same = (result.exit_code == golden.exit_code
                     and machine.uart.output == golden.uart_output)
@@ -295,10 +337,59 @@ class FaultCampaign:
         return MutantResult(fault, OUTCOME_HANG,
                             instructions=result.instructions)
 
+    def run_one(self, fault: Fault) -> MutantResult:
+        golden = self.golden()
+        if fault.kind == TRANSIENT and self._checkpoints_active:
+            engine = self._ensure_engine()
+            result, early = engine.run_transient(
+                fault, self.instruction_budget)
+            if early:
+                # The mutant provably re-converged with (or never left)
+                # the golden timeline: its result is the golden result.
+                return MutantResult(fault, OUTCOME_MASKED,
+                                    exit_code=golden.exit_code,
+                                    instructions=golden.instructions)
+            return self._classify(fault, result, engine.machine)
+        machine = self._machine_for(fault)
+        plugin = None
+        try:
+            plugin = inject(machine, fault)
+        except InjectionError:
+            # Not applicable to this binary (e.g. address out of range):
+            # architecturally invisible, classify as masked.
+            return MutantResult(fault, OUTCOME_MASKED)
+        try:
+            result = machine.run(max_instructions=self.instruction_budget)
+        finally:
+            if plugin is not None and machine is self._shared_machine:
+                machine.remove_plugin(plugin)
+        return self._classify(fault, result, machine)
+
     @property
     def telemetry(self):
         """The resolved telemetry session for this campaign."""
         return _resolve_telemetry(self._telemetry_arg)
+
+    def checkpoint_stats(self) -> Dict[str, int]:
+        """Cumulative ``faultsim.checkpoint.*`` counters (zeros when the
+        engine never ran)."""
+        if self._engine is None:
+            return {key: 0 for key in CheckpointEngine.STAT_KEYS}
+        return dict(self._engine.stats)
+
+    def push_checkpoint_stats(self, telemetry) -> None:
+        """Fold the engine's counters into the telemetry registry.
+
+        Pushes only the delta since the last push, so repeated ``run()``
+        calls on one campaign don't double-count.
+        """
+        stats = self.checkpoint_stats()
+        namespace = telemetry.metrics.namespace("faultsim.checkpoint")
+        for key, value in stats.items():
+            delta = value - self._engine_stats_pushed.get(key, 0)
+            if delta:
+                namespace.counter(key).inc(delta)
+        self._engine_stats_pushed = stats
 
     @staticmethod
     def _progress(done: int, total: int, elapsed: float) -> Dict:
@@ -350,6 +441,11 @@ class FaultCampaign:
         events = telemetry.events
         golden = self.golden()
         total = len(faults)
+        # Build every warm checkpoint in one monotonic golden sweep before
+        # classifying, so each transient mutant restores an exact hit no
+        # matter what order the fault list arrives in.
+        self.prepare_checkpoints(
+            [fault.trigger for fault in faults if fault.kind == TRANSIENT])
         track = telemetry.enabled or on_progress is not None
         metrics = telemetry.metrics.namespace("faultsim.campaign")
         done_counter = metrics.counter("mutants_done")
@@ -388,6 +484,8 @@ class FaultCampaign:
                 last_report = now
         elapsed = time.perf_counter() - start
         campaign_result = CampaignResult(golden, results, elapsed)
+        if telemetry.enabled:
+            self.push_checkpoint_stats(telemetry)
         if track:
             final = self._progress(total, total, elapsed)
             if on_progress is not None:

@@ -1,0 +1,373 @@
+"""Checkpoint engine for transient-fault campaigns.
+
+Three cooperating mechanisms make per-mutant cost proportional to the
+*divergent suffix* of the program instead of its whole length:
+
+1. **Trigger-sorted warm checkpoints.**  One golden machine is
+   fast-forwarded monotonically through the sorted fault trigger points
+   (never restarting from reset); a snapshot is taken at each point, and
+   every transient mutant starts from its trigger's snapshot with the bit
+   flip applied immediately — the fault-free prefix ``[0, trigger)`` is
+   executed once per campaign, not once per mutant.
+
+2. **Dirty-page delta snapshots.**  Checkpoints along the golden timeline
+   are RAM deltas chained to their predecessor (see
+   :meth:`repro.vp.machine.Machine.snapshot`), and restores rewrite only
+   the pages that can differ — O(pages touched), not O(RAM).
+
+3. **Golden-trace early classification.**  During the golden pass the
+   engine records a full architectural digest every ``digest_interval``
+   executed-instruction attempts (pc, GPRs, FPRs, CSRs including
+   cycle/instret, device state, and a hash of every page written since
+   reset).  A mutant that re-converges with the golden timeline at a
+   digest point is classified ``masked`` on the spot: the remainder of
+   its execution is deterministic and identical to the golden run, so
+   its final result *is* the golden result.
+
+Equivalence contract: classifications are byte-identical to full-replay
+runs.  Attempt counting mirrors
+:class:`~repro.faultsim.injector.TransientInjectorPlugin` exactly (one
+count per ``on_insn_exec`` invocation, i.e. per attempted instruction);
+the digest compares complete architectural state plus every page either
+timeline has written, so a match implies the mutant's future equals the
+golden future; and resumed runs account instructions/cycles exactly like
+uninterrupted ones (:meth:`Machine.run` with ``resume=True``).  The
+engine refuses machines with an icache — its per-block fetch penalties
+depend on translation-block partitioning, which a mid-block resume point
+perturbs.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from bisect import bisect_right
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, List, Optional, Sequence, Tuple
+
+from ..vp.cpu import RunResult, STOP_EXIT, StopRun
+from ..vp.machine import Machine, MachineSnapshot
+from ..vp.plugins import Plugin
+from .faults import Fault, TRANSIENT
+from .injector import apply_transient_flip
+
+#: Stop recording memory digests once the cumulative written-page set
+#: exceeds this many pages: hashing becomes a per-digest cost comparable
+#: to just running the instructions, and early exits stop paying off.
+DIGEST_PAGE_LIMIT = 1024
+
+
+@dataclass
+class Checkpoint:
+    """Warm golden-timeline state at one trigger point.
+
+    ``dirty_cum`` is the set of RAM pages written at least once between
+    reset and this point — the only pages whose contents can differ from
+    the load image, and therefore the only pages a state digest needs to
+    hash.
+    """
+
+    trigger: int
+    snapshot: MachineSnapshot
+    dirty_cum: FrozenSet[int]
+
+
+class _GoldenTracer(Plugin):
+    """Counts instruction attempts on the golden machine, stops the run
+    exactly at a requested attempt, and records periodic state digests."""
+
+    name = "checkpoint-golden-tracer"
+
+    def __init__(self, engine: "CheckpointEngine") -> None:
+        self._engine = engine
+        self.count = 0
+        self.stop_at: Optional[int] = None
+
+    def on_insn_exec(self, cpu, decoded, pc) -> None:
+        n = self.count
+        if n == self.stop_at:
+            # Stop *before* this instruction executes; on resume the hook
+            # fires again for the same instruction and counting proceeds.
+            raise StopRun
+        engine = self._engine
+        interval = engine.digest_interval
+        if (engine._digests_enabled and n % interval == 0
+                and n > engine._digest_watermark):
+            engine._record_digest(n)
+        self.count = n + 1
+
+
+class _DigestWatcher(Plugin):
+    """Compares mutant state against golden digests at the same attempt
+    counts; a match means the mutant has re-converged — stop and classify
+    masked."""
+
+    name = "checkpoint-digest-watcher"
+
+    def __init__(self, engine: "CheckpointEngine", start: int,
+                 cum_base: FrozenSet[int]) -> None:
+        self._engine = engine
+        self.count = start
+        self._cum_base = cum_base
+        interval = engine.digest_interval
+        self._next_check = (start // interval + 1) * interval
+        self.matched = False
+
+    def on_insn_exec(self, cpu, decoded, pc) -> None:
+        n = self.count
+        if n == self._next_check:
+            engine = self._engine
+            self._next_check = n + engine.digest_interval
+            expected = engine._digests.get(n)
+            if expected is not None:
+                cum = self._cum_base | engine.machine.ram.dirty_pages()
+                if engine._state_tuple(tuple(sorted(cum))) == expected:
+                    self.matched = True
+                    raise StopRun
+        self.count = n + 1
+
+
+class CheckpointEngine:
+    """Owns the golden machine, its checkpoint chain, and the digests.
+
+    ``stats`` (keys in :data:`STAT_KEYS`) feed the
+    ``faultsim.checkpoint.*`` telemetry counters.
+
+    Build it with a freshly loaded machine, call :meth:`prepare` with the
+    campaign's distinct transient triggers, then :meth:`run_transient`
+    per fault.  The machine is shared — between mutant runs its state is
+    whatever the last run left behind, and every positioning restores a
+    stored checkpoint (cheap: delta-chain restore).
+    """
+
+    STAT_KEYS = ("snapshots", "restores", "pages_copied",
+                 "instructions_skipped", "early_exits")
+
+    def __init__(self, machine: Machine, golden_exit_code: int,
+                 golden_instructions: int,
+                 digest_interval: Optional[int] = None) -> None:
+        if machine.cpu.icache is not None:
+            raise ValueError(
+                "checkpointing is incompatible with an icache model: "
+                "fetch penalties depend on translation-block partitioning, "
+                "which a mid-block resume point changes"
+            )
+        self.machine = machine
+        self.golden_exit_code = golden_exit_code
+        self.golden_instructions = golden_instructions
+        if digest_interval is None:
+            digest_interval = max(64, golden_instructions // 256)
+        if digest_interval < 1:
+            raise ValueError(
+                f"digest_interval must be >= 1, got {digest_interval}")
+        self.digest_interval = digest_interval
+        self._tracer = _GoldenTracer(self)
+        self._checkpoints: Dict[int, Checkpoint] = {}
+        self._sorted_triggers: List[int] = []
+        self._digests: Dict[int, tuple] = {}
+        self._digests_enabled = True
+        self._digest_watermark = -1
+        #: Attempt count the machine currently sits at on the *golden*
+        #: timeline, or None when the state is mutant-polluted.
+        self._positioned: Optional[int] = None
+        self._golden_complete = False
+        #: Total attempts in the full golden run (valid once complete).
+        self.total_attempts: Optional[int] = None
+        self.stats = {key: 0 for key in self.STAT_KEYS}
+        self._dirty_cum_base: FrozenSet[int] = frozenset()
+        # Root of the chain: full snapshot of the freshly loaded machine.
+        base = machine.snapshot()
+        self._store(Checkpoint(0, base, frozenset()))
+        self.base_snapshot = base
+        self._positioned = 0
+
+    def invalidate_position(self) -> None:
+        """Forget where the machine sits: callers that mutate the shared
+        machine outside the engine (e.g. code-fault patches) must call
+        this so the next positioning restores instead of trusting state."""
+        self._positioned = None
+
+    # -- golden-side machinery -----------------------------------------
+
+    def _store(self, checkpoint: Checkpoint) -> None:
+        self._checkpoints[checkpoint.trigger] = checkpoint
+        i = bisect_right(self._sorted_triggers, checkpoint.trigger)
+        self._sorted_triggers.insert(i, checkpoint.trigger)
+        self.stats["snapshots"] += 1
+        if checkpoint.snapshot.ram_pages is not None:
+            self.stats["pages_copied"] += len(checkpoint.snapshot.ram_pages)
+
+    def _record_digest(self, attempt: int) -> None:
+        cum = self._dirty_cum_base | self.machine.ram.dirty_pages()
+        if len(cum) > DIGEST_PAGE_LIMIT:
+            self._digests_enabled = False
+            return
+        self._digests[attempt] = self._state_tuple(tuple(sorted(cum)))
+        self._digest_watermark = attempt
+
+    def _state_tuple(self, cum_sorted: Tuple[int, ...]) -> tuple:
+        """Complete architectural state, with memory reduced to a hash of
+        the pages either timeline has written (all other pages still hold
+        the load image in both, by construction)."""
+        machine = self.machine
+        cpu = machine.cpu
+        csrs = cpu.csrs
+        digest = hashlib.blake2b(digest_size=16)
+        page_bytes = machine.ram.page_bytes
+        for index in cum_sorted:
+            digest.update(page_bytes(index))
+        return (
+            cpu.pc,
+            cpu.regs.snapshot(),
+            cpu.fregs.snapshot(),
+            tuple(sorted(csrs._regs.items())),
+            csrs.cycle,
+            csrs.instret,
+            (machine.clint.mtime, machine.clint.mtimecmp, machine.clint.msip),
+            (bytes(machine.uart.tx_log), tuple(machine.uart._rx_queue),
+             machine.uart.interrupt_enable),
+            (machine.gpio.out, machine.gpio.inputs,
+             tuple(machine.gpio.out_history)),
+            machine.exit_device.value,
+            cum_sorted,
+            digest.digest(),
+        )
+
+    def _nearest_at_or_below(self, trigger: int) -> Checkpoint:
+        i = bisect_right(self._sorted_triggers, trigger) - 1
+        return self._checkpoints[self._sorted_triggers[i]]
+
+    def _forward_to(self, target: Optional[int], budget: int) -> RunResult:
+        """Advance the golden machine (tracer attached) to attempt
+        ``target``, or to program exit when ``target`` is None."""
+        self._tracer.stop_at = target
+        machine = self.machine
+        machine.add_plugin(self._tracer)
+        try:
+            return machine.run(max_instructions=budget, resume=True)
+        finally:
+            machine.remove_plugin(self._tracer)
+            self._tracer.stop_at = None
+
+    def _position(self, trigger: int, budget: int
+                  ) -> Tuple[FrozenSet[int], int]:
+        """Put the machine at golden attempt ``trigger``.
+
+        Returns ``(cumulative written-page set, instructions executed to
+        get there)`` — zero when a stored checkpoint restored warm.
+        Stores a checkpoint at new triggers so duplicates restore warm.
+        """
+        checkpoint = self._checkpoints.get(trigger)
+        if checkpoint is not None:
+            if self._positioned != trigger:
+                self.stats["pages_copied"] += \
+                    self.machine.restore(checkpoint.snapshot)
+                self.stats["restores"] += 1
+                self._tracer.count = trigger
+                self._positioned = trigger
+            return checkpoint.dirty_cum, 0
+        ancestor = self._nearest_at_or_below(trigger)
+        if self._positioned != ancestor.trigger:
+            self.stats["pages_copied"] += \
+                self.machine.restore(ancestor.snapshot)
+            self.stats["restores"] += 1
+            self._tracer.count = ancestor.trigger
+        self._dirty_cum_base = ancestor.dirty_cum
+        instret_before = self.machine.cpu.csrs.instret
+        result = self._forward_to(trigger, budget)
+        forwarded = self.machine.cpu.csrs.instret - instret_before
+        if result.stop_reason == STOP_EXIT:
+            # Golden exited before the trigger: the whole run is now
+            # digest-covered and the trigger is unreachable.
+            self._finish_golden()
+            self._positioned = None
+            return frozenset(), forwarded
+        cum = frozenset(ancestor.dirty_cum
+                        | self.machine.ram.dirty_pages())
+        snap = self.machine.snapshot(parent=ancestor.snapshot)
+        self._store(Checkpoint(trigger, snap, cum))
+        self._positioned = trigger
+        return cum, forwarded
+
+    def _finish_golden(self) -> None:
+        self.total_attempts = self._tracer.count
+        self._golden_complete = True
+
+    def prepare(self, triggers: Sequence[int], budget: int) -> None:
+        """Sweep the golden machine once through ``triggers`` (sorted),
+        snapshotting each, then on to program exit recording digests.
+
+        Incremental: later calls with new triggers restore the nearest
+        stored checkpoint at or below each and fast-forward the gap; the
+        digest watermark keeps already-recorded ranges hash-free.
+        """
+        for trigger in sorted(set(triggers)):
+            if trigger == 0 or trigger in self._checkpoints:
+                continue
+            if (self._golden_complete
+                    and trigger >= self.total_attempts):
+                continue
+            self._position(trigger, budget)
+        if not self._golden_complete:
+            # Tail: run the golden timeline to exit so digests cover the
+            # whole program (needed for early classification anywhere).
+            if self._positioned is None:
+                last = self._checkpoints[self._sorted_triggers[-1]]
+                self.stats["pages_copied"] += \
+                    self.machine.restore(last.snapshot)
+                self.stats["restores"] += 1
+                self._tracer.count = last.trigger
+                self._dirty_cum_base = last.dirty_cum
+            else:
+                current = self._checkpoints[self._positioned]
+                self._dirty_cum_base = current.dirty_cum
+            result = self._forward_to(None, budget)
+            if result.stop_reason != STOP_EXIT:
+                raise ValueError(
+                    "golden replay did not terminate normally "
+                    f"({result.stop_reason})"
+                )
+            self._finish_golden()
+            self._positioned = None
+
+    # -- mutant-side machinery -----------------------------------------
+
+    def run_transient(self, fault: Fault, budget: int
+                      ) -> Tuple[Optional[RunResult], bool]:
+        """Simulate one transient mutant from its trigger's checkpoint.
+
+        Returns ``(run_result, early)``.  ``early`` means the mutant
+        re-converged with the golden timeline (or its trigger lies beyond
+        program exit): the caller classifies it masked with the golden
+        exit code and instruction count, no further simulation needed.
+        """
+        if fault.kind != TRANSIENT:
+            raise ValueError("checkpoint engine only runs transient faults")
+        trigger = fault.trigger
+        if not self._checkpoints or not self._golden_complete:
+            self.prepare([trigger], budget)
+        if self._golden_complete and trigger >= self.total_attempts:
+            # The flip would fire after the program exited: it never
+            # fires, so the mutant *is* the golden run.
+            self.stats["early_exits"] += 1
+            self.stats["instructions_skipped"] += self.golden_instructions
+            return None, True
+        cum_base, forwarded = self._position(trigger, budget)
+        machine = self.machine
+        # Prefix instructions this mutant did NOT re-execute thanks to the
+        # warm start (minus any fast-forward gap just filled).
+        self.stats["instructions_skipped"] += max(
+            0, machine.cpu.csrs.instret - forwarded)
+        self._positioned = None  # the flip pollutes the golden timeline
+        apply_transient_flip(machine.cpu, fault)
+        watcher = _DigestWatcher(self, trigger, cum_base)
+        machine.add_plugin(watcher)
+        try:
+            result = machine.run(max_instructions=budget, resume=True)
+        finally:
+            machine.remove_plugin(watcher)
+        if watcher.matched:
+            self.stats["early_exits"] += 1
+            self.stats["instructions_skipped"] += max(
+                0, self.golden_instructions - machine.cpu.csrs.instret)
+            return None, True
+        return result, False

@@ -126,6 +126,34 @@ class StuckRamWrapper(Device):
         return getattr(self.inner, name)
 
 
+def apply_transient_flip(cpu, fault: Fault) -> None:
+    """Flip the fault's target bit in ``cpu``'s architectural state *now*.
+
+    Shared by :class:`TransientInjectorPlugin` (which fires it after its
+    countdown) and the checkpoint engine (which restores a warm snapshot
+    at the trigger point and applies the flip immediately) — one
+    implementation, so both paths produce identical mutants.
+    """
+    if fault.target == TARGET_GPR:
+        cpu.regs.raw_write(fault.index,
+                           cpu.regs.raw_read(fault.index) ^ fault.mask)
+    elif fault.target == TARGET_FPR:
+        cpu.fregs.write(fault.index,
+                        cpu.fregs.read(fault.index) ^ fault.mask)
+    elif fault.target == TARGET_CSR:
+        cpu.csrs.raw_write(fault.index,
+                           cpu.csrs.raw_read(fault.index) ^ fault.mask)
+    elif fault.target == TARGET_MEMORY:
+        offset = fault.index - RAM_BASE
+        ram = cpu.bus.ram()
+        byte = ram.load(offset, 1)
+        ram.store(offset, 1, byte ^ fault.mask)
+    else:
+        raise InjectionError(
+            f"transient fault target {fault.target} unsupported"
+        )
+
+
 class TransientInjectorPlugin(Plugin):
     """Flips the target bit once, after ``trigger`` retired instructions."""
 
@@ -145,25 +173,7 @@ class TransientInjectorPlugin(Plugin):
             self._remaining -= 1
             return
         self.fired = True
-        fault = self.fault
-        if fault.target == TARGET_GPR:
-            cpu.regs.raw_write(fault.index,
-                               cpu.regs.raw_read(fault.index) ^ fault.mask)
-        elif fault.target == TARGET_FPR:
-            cpu.fregs.write(fault.index,
-                            cpu.fregs.read(fault.index) ^ fault.mask)
-        elif fault.target == TARGET_CSR:
-            cpu.csrs.raw_write(fault.index,
-                               cpu.csrs.raw_read(fault.index) ^ fault.mask)
-        elif fault.target == TARGET_MEMORY:
-            offset = fault.index - RAM_BASE
-            ram = cpu.bus.ram()
-            byte = ram.load(offset, 1)
-            ram.store(offset, 1, byte ^ fault.mask)
-        else:
-            raise InjectionError(
-                f"transient fault target {fault.target} unsupported"
-            )
+        apply_transient_flip(cpu, self.fault)
 
 
 def inject(machine: Machine, fault: Fault) -> Optional[Plugin]:

@@ -11,7 +11,13 @@ simulation is independent — so this module fans the fault list out to a
   queue** — idle workers steal the next chunk, so stragglers (hang
   mutants burning their full instruction budget) don't serialize the
   campaign;
-* every chunk returns with its **original start index**, so the merged
+* when checkpointing is active the work list is **trigger-sorted** so
+  each chunk covers a contiguous band of checkpoint triggers (mutants
+  sharing a trigger land together, warm restores stay local), the spec
+  carries the campaign's distinct triggers so every worker builds its
+  checkpoint chain in one golden sweep at init, and each chunk reports
+  the worker's ``faultsim.checkpoint.*`` counter deltas for the merge;
+* every chunk returns with its **original fault indices**, so the merged
   ``CampaignResult.results`` ordering is byte-identical to a sequential
   run;
 * per-worker throughput (mutants/s, outcome counts) is merged into the
@@ -55,9 +61,21 @@ class CampaignSpec:
     golden_budget: int
     reuse_machine: bool
     golden: "GoldenRun"
+    checkpoints: bool = True
+    digest_interval: Optional[int] = None
+    #: Sorted distinct transient triggers — each worker pre-builds its
+    #: checkpoint chain for these in one golden sweep at init.
+    checkpoint_triggers: Tuple[int, ...] = ()
 
 
-def _spec_for(campaign) -> CampaignSpec:
+def _spec_for(campaign, faults: Sequence = ()) -> CampaignSpec:
+    from .faults import TRANSIENT
+
+    triggers: Tuple[int, ...] = ()
+    if campaign._checkpoints_active:
+        triggers = tuple(sorted({
+            fault.trigger for fault in faults if fault.kind == TRANSIENT
+        }))
     return CampaignSpec(
         program=campaign.program,
         isa_name=campaign.isa.name,
@@ -66,6 +84,9 @@ def _spec_for(campaign) -> CampaignSpec:
         golden_budget=campaign.golden_budget,
         reuse_machine=campaign.reuse_machine,
         golden=campaign.golden(),
+        checkpoints=campaign.checkpoints,
+        digest_interval=campaign.digest_interval,
+        checkpoint_triggers=triggers,
     )
 
 
@@ -83,25 +104,35 @@ def _worker_init(spec: CampaignSpec) -> None:
         min_budget=spec.min_budget,
         golden_budget=spec.golden_budget,
         reuse_machine=spec.reuse_machine,
+        checkpoints=spec.checkpoints,
+        digest_interval=spec.digest_interval,
     )
     # Reuse the parent's golden reference: workers never re-run it.
     campaign._golden = spec.golden
+    # One golden sweep builds every checkpoint this worker will need;
+    # chunk arrival order then only ever triggers warm restores.
+    campaign.prepare_checkpoints(spec.checkpoint_triggers)
     _WORKER_CAMPAIGN = campaign
 
 
-def _run_chunk(job: Tuple[int, Sequence]) -> Tuple[int, List, float, int]:
+def _run_chunk(
+    job: Tuple[Tuple[int, ...], Sequence],
+) -> Tuple[Tuple[int, ...], List, float, int, Dict[str, int]]:
     """Classify one chunk of faults.
 
-    Returns ``(start_index, results, busy_seconds, worker_pid)`` — the
-    start index re-orders the merged results, the pid attributes the
-    chunk to its worker for the merged telemetry.
+    Returns ``(indices, results, busy_seconds, worker_pid, ckpt_stats)``
+    — the original fault indices re-order the merged results, the pid
+    attributes the chunk to its worker for the merged telemetry, and the
+    checkpoint stats are this worker's *cumulative* counters (the parent
+    diffs consecutive reports per pid).
     """
     import os
 
-    start_index, faults = job
+    indices, faults = job
     started = time.perf_counter()
     results = [_WORKER_CAMPAIGN.run_one(fault) for fault in faults]
-    return start_index, results, time.perf_counter() - started, os.getpid()
+    return (indices, results, time.perf_counter() - started, os.getpid(),
+            _WORKER_CAMPAIGN.checkpoint_stats())
 
 
 def default_chunk_size(total: int, jobs: int) -> int:
@@ -154,7 +185,7 @@ def run_parallel(
         return campaign.run(faults, on_progress=on_progress,
                             progress_interval=progress_interval)
 
-    spec = _spec_for(campaign)
+    spec = _spec_for(campaign, faults)
     try:
         pool = _make_pool(jobs, spec)
     except (OSError, ImportError, ValueError, RuntimeError) as exc:
@@ -170,8 +201,27 @@ def run_parallel(
     metrics = telemetry.metrics.namespace("faultsim.campaign")
     track = telemetry.enabled or on_progress is not None
     size = chunk_size or default_chunk_size(total, jobs)
-    chunks = [(start, faults[start:start + size])
-              for start in range(0, total, size)]
+    if spec.checkpoint_triggers:
+        # Trigger-sorted dispatch: each chunk covers a contiguous band of
+        # checkpoint triggers, so a worker's restores stay near the
+        # snapshots it just touched.  Non-transients keep their relative
+        # order at the front.
+        from .faults import TRANSIENT
+
+        def _dispatch_key(pair):
+            index, fault = pair
+            if fault.kind == TRANSIENT:
+                return (1, fault.trigger, index)
+            return (0, 0, index)
+
+        work = sorted(enumerate(faults), key=_dispatch_key)
+    else:
+        work = list(enumerate(faults))
+    chunks = [
+        (tuple(index for index, _ in work[start:start + size]),
+         [fault for _, fault in work[start:start + size]])
+        for start in range(0, total, size)
+    ]
     if telemetry.enabled:
         events.emit("campaign.started", total=total,
                     golden_instructions=golden.instructions,
@@ -187,14 +237,26 @@ def run_parallel(
     }
     ordered: List = [None] * total
     worker_stats: Dict[int, Dict] = {}
+    # Per-pid last-seen cumulative checkpoint counters: chunk reports are
+    # cumulative, so the first delta also captures the worker-init
+    # checkpoint build.
+    ckpt_seen: Dict[int, Dict[str, int]] = {}
+    ckpt_totals: Dict[str, int] = {}
     start = time.perf_counter()
     last_report = start
     done = 0
     try:
-        for start_index, results, busy_seconds, pid in pool.imap_unordered(
-                _run_chunk, chunks):
-            ordered[start_index:start_index + len(results)] = results
+        for indices, results, busy_seconds, pid, ckpt_stats in \
+                pool.imap_unordered(_run_chunk, chunks):
+            for index, mutant in zip(indices, results):
+                ordered[index] = mutant
             done += len(results)
+            previous = ckpt_seen.get(pid, {})
+            for key, value in ckpt_stats.items():
+                delta = value - previous.get(key, 0)
+                if delta:
+                    ckpt_totals[key] = ckpt_totals.get(key, 0) + delta
+            ckpt_seen[pid] = ckpt_stats
             done_counter.inc(len(results))
             chunk_timer.observe(busy_seconds)
             stats = worker_stats.setdefault(
@@ -237,6 +299,10 @@ def run_parallel(
                         busy_seconds=round(stats["seconds"], 3),
                         mutants_per_second=round(rate, 2),
                         outcomes=stats["outcomes"])
+        if ckpt_totals:
+            ckpt_metrics = telemetry.metrics.namespace("faultsim.checkpoint")
+            for key, value in sorted(ckpt_totals.items()):
+                ckpt_metrics.counter(key).inc(value)
     if track:
         final = campaign._progress(total, total, elapsed)
         if on_progress is not None:

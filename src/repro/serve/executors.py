@@ -144,7 +144,12 @@ def run_fault_campaign_job(payload: Dict[str, Any],
     # jobs=1 keeps a service job single-process (the pool provides the
     # concurrency); jobs=0 auto-detects CPUs, jobs>1 pins a count.
     jobs = _int_field(payload, "jobs", 1, minimum=0)
-    campaign = FaultCampaign(program, isa=isa)
+    checkpoints = bool(payload.get("checkpoints", True))
+    digest_interval = payload.get("digest_interval")
+    if digest_interval is not None:
+        digest_interval = _int_field(payload, "digest_interval", 0, minimum=1)
+    campaign = FaultCampaign(program, isa=isa, checkpoints=checkpoints,
+                             digest_interval=digest_interval)
     golden = campaign.golden()
     faults = default_campaign_mutants(
         program, isa=isa, mutants=mutants, seed=seed,

@@ -6,7 +6,9 @@ from .cpu import (
     RunResult,
     STOP_EXIT,
     STOP_MAX_INSNS,
+    STOP_REQUESTED,
     STOP_WFI,
+    StopRun,
     TranslationBlock,
 )
 from .machine import (
@@ -63,8 +65,10 @@ __all__ = [
     "RunResult",
     "STOP_EXIT",
     "STOP_MAX_INSNS",
+    "STOP_REQUESTED",
     "STOP_UNHANDLED_TRAP",
     "STOP_WFI",
+    "StopRun",
     "SystemBus",
     "TimingModel",
     "Trap",

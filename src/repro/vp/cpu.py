@@ -30,6 +30,19 @@ STOP_MAX_INSNS = "max_insns"
 STOP_WFI = "wfi"
 STOP_EXIT = "exit"  # produced by Machine, not Cpu.run itself
 STOP_LIVELOCK = "trap_livelock"
+STOP_REQUESTED = "stop_requested"
+
+
+class StopRun(Exception):
+    """Raised by a plugin hook to stop :meth:`Cpu.run` at an exact point.
+
+    Unlike the ``max_instructions`` budget (which is checked at block
+    boundaries and can overshoot by up to a block), raising this from an
+    ``on_insn_exec`` hook halts *before* the current instruction executes,
+    with the pc parked on it and all retired-instruction/cycle accounting
+    for the partial block already flushed.  The checkpoint engine uses it
+    to fast-forward a golden machine to a fault trigger point exactly.
+    """
 
 #: Consecutive zero-progress block steps (trap -> trap -> ...) after which
 #: the run is declared livelocked.  A healthy trap entry always retires
@@ -543,27 +556,36 @@ class Cpu:
         hooks = self.hooks
         hook_version = hooks.version
         step = self._select_step()
-        while executed < budget:
-            if hooks.version != hook_version:  # plugin added/removed mid-run
-                hook_version = hooks.version
-                step = self._select_step()
-            retired = step()
-            executed += retired
-            if retired:
-                zero_steps = 0
-            else:
-                zero_steps += 1
-                if zero_steps >= LIVELOCK_LIMIT:
-                    return RunResult(STOP_LIVELOCK, executed, self.csrs.cycle,
-                                     trap_cause=self.csrs.raw_read(
-                                         csrdef.MCAUSE),
-                                     trap_pc=self.pc)
-            if self._wfi_pending:
-                self._wfi_pending = False
-                skip = self._wfi_wait()
-                if skip is None:
-                    return RunResult(STOP_WFI, executed, self.csrs.cycle)
-                if skip:
-                    self.csrs.cycle += skip
-                    self.bus.tick(skip)
+        start_instret = self.csrs.instret
+        try:
+            while executed < budget:
+                if hooks.version != hook_version:  # plugin added/removed mid-run
+                    hook_version = hooks.version
+                    step = self._select_step()
+                retired = step()
+                executed += retired
+                if retired:
+                    zero_steps = 0
+                else:
+                    zero_steps += 1
+                    if zero_steps >= LIVELOCK_LIMIT:
+                        return RunResult(STOP_LIVELOCK, executed,
+                                         self.csrs.cycle,
+                                         trap_cause=self.csrs.raw_read(
+                                             csrdef.MCAUSE),
+                                         trap_pc=self.pc)
+                if self._wfi_pending:
+                    self._wfi_pending = False
+                    skip = self._wfi_wait()
+                    if skip is None:
+                        return RunResult(STOP_WFI, executed, self.csrs.cycle)
+                    if skip:
+                        self.csrs.cycle += skip
+                        self.bus.tick(skip)
+        except StopRun:
+            # The hook stopped mid-block; step_block's finally already
+            # flushed the partial block's accounting to the CSRs, so the
+            # retired count is the instret delta rather than `executed`.
+            return RunResult(STOP_REQUESTED, self.csrs.instret - start_instret,
+                             self.csrs.cycle)
         return RunResult(STOP_MAX_INSNS, executed, self.csrs.cycle)

@@ -23,7 +23,7 @@ from typing import List, Optional, Tuple
 
 from ..isa import csr as csrdef
 from ..isa.decoder import Decoder, IsaConfig, RV32IMC_ZICSR
-from .cpu import Cpu, RunResult, STOP_EXIT
+from .cpu import Cpu, RunResult, STOP_EXIT, STOP_MAX_INSNS
 from .devices.clint import Clint, WINDOW_SIZE as CLINT_SIZE
 from .devices.exitdev import ExitDevice, WINDOW_SIZE as EXIT_SIZE
 from .devices.gpio import Gpio, WINDOW_SIZE as GPIO_SIZE
@@ -53,11 +53,19 @@ SYSCALL_EXIT = 93
 class MachineSnapshot:
     """A complete machine checkpoint (see :meth:`Machine.snapshot`).
 
-    Captured: CPU architectural state (pc, GPRs, FPRs, CSRs), the whole
-    RAM image, and every device's guest-visible state — CLINT timer
+    Captured: CPU architectural state (pc, GPRs, FPRs, CSRs), the RAM
+    image, and every device's guest-visible state — CLINT timer
     registers, UART TX log / RX queue / interrupt enable, GPIO pins
     *including* :attr:`~repro.vp.devices.gpio.Gpio.out_history`, and the
     exit device's value.
+
+    RAM is stored either as a **full image** (``ram`` set, ``parent``
+    ``None``) or as a **delta**: only the pages dirtied since ``parent``
+    was taken (``ram_pages`` maps page index -> page bytes).  Deltas form
+    a chain back to a full-image root; :meth:`page_bytes` resolves one
+    page through the chain and :meth:`materialize_ram` rebuilds the whole
+    image.  The checkpoint engine uses delta chains so that snapshotting
+    every fault trigger point costs O(pages written), not O(RAM).
 
     Intentionally excluded (reconstructed or deliberately reset on
     :meth:`Machine.restore`):
@@ -77,11 +85,44 @@ class MachineSnapshot:
     regs: tuple
     fregs: tuple
     csrs: dict
-    ram: bytes
+    ram: Optional[bytes]
     clint: tuple
     uart: tuple
     gpio: tuple
     exit_value: int
+    #: Delta-chain fields (full-image snapshots: all at their defaults).
+    ram_pages: Optional[dict] = None
+    parent: Optional["MachineSnapshot"] = None
+    page_size: int = 0
+    depth: int = 0
+
+    def page_bytes(self, index: int) -> bytes:
+        """Contents of RAM page ``index`` in this snapshot's state,
+        resolved through the delta chain."""
+        node = self
+        while node.ram is None:
+            blob = node.ram_pages.get(index)
+            if blob is not None:
+                return blob
+            node = node.parent
+        start = index * node.page_size
+        return node.ram[start:start + node.page_size]
+
+    def materialize_ram(self) -> bytes:
+        """The full RAM image for this snapshot (chain flattened)."""
+        if self.ram is not None:
+            return self.ram
+        chain = []
+        node = self
+        while node.ram is None:
+            chain.append(node)
+            node = node.parent
+        image = bytearray(node.ram)
+        size = node.page_size
+        for delta in reversed(chain):  # root-most delta first
+            for index, blob in delta.ram_pages.items():
+                image[index * size:index * size + size] = blob
+        return bytes(image)
 
 
 @dataclass
@@ -148,6 +189,12 @@ class Machine:
         #: ``run.finished`` events.  ``None`` (the default) costs one
         #: attribute test per run() call.
         self.telemetry = None
+        #: The snapshot whose RAM state current memory *extends*: RAM ==
+        #: that snapshot's image + the pages in ``ram.dirty_pages()``.
+        #: Maintained by :meth:`snapshot`/:meth:`restore`; the invariant
+        #: survives arbitrary execution because every RAM write path marks
+        #: its pages dirty.  ``None`` until the first snapshot.
+        self._ram_epoch: Optional[MachineSnapshot] = None
 
     # ------------------------------------------------------------------
     # Program loading
@@ -186,31 +233,93 @@ class Machine:
     # Checkpointing
     # ------------------------------------------------------------------
 
-    def snapshot(self) -> "MachineSnapshot":
-        """Checkpoint the complete machine state (CPU, RAM, devices)."""
-        return MachineSnapshot(
+    def snapshot(self, parent: Optional["MachineSnapshot"] = None
+                 ) -> "MachineSnapshot":
+        """Checkpoint the complete machine state (CPU, RAM, devices).
+
+        With ``parent`` set to the machine's current RAM epoch (the last
+        snapshot taken or restored on this machine), RAM is captured as a
+        **delta**: only the pages dirtied since then, chained to
+        ``parent``.  Otherwise a full image is captured.  Either way the
+        new snapshot becomes the machine's RAM epoch.
+        """
+        if parent is not None and parent is self._ram_epoch:
+            ram = None
+            ram_pages = {index: self.ram.page_bytes(index)
+                         for index in sorted(self.ram.dirty_pages())}
+            depth = parent.depth + 1
+        else:
+            ram = bytes(self.ram.data)
+            ram_pages = None
+            parent = None
+            depth = 0
+        snap = MachineSnapshot(
             pc=self.cpu.pc,
             entry=self.entry,
             regs=self.cpu.regs.snapshot(),
             fregs=self.cpu.fregs.snapshot(),
             csrs=self.cpu.csrs.snapshot(),
-            ram=bytes(self.ram.data),
+            ram=ram,
             clint=(self.clint.mtime, self.clint.mtimecmp, self.clint.msip),
             uart=(bytes(self.uart.tx_log), tuple(self.uart._rx_queue),
                   self.uart.interrupt_enable),
             gpio=(self.gpio.out, self.gpio.inputs,
                   tuple(self.gpio.out_history)),
             exit_value=self.exit_device.value,
+            ram_pages=ram_pages,
+            parent=parent,
+            page_size=self.ram.page_size,
+            depth=depth,
         )
+        self._ram_epoch = snap
+        self.ram.clear_dirty()
+        return snap
 
-    def restore(self, snapshot: "MachineSnapshot") -> None:
+    def _restore_ram(self, snapshot: "MachineSnapshot") -> int:
+        """Rewrite RAM to ``snapshot``'s state; returns pages copied.
+
+        When the machine's current RAM provably extends a snapshot on the
+        same delta chain (the epoch invariant), only the pages that can
+        differ are rewritten: the machine's dirty set plus every page
+        recorded on the chain segments between the epoch, the target, and
+        their lowest common ancestor.  Anything else falls back to a full
+        image copy.
+        """
+        epoch = self._ram_epoch
+        if (epoch is not None
+                and snapshot.page_size == self.ram.page_size):
+            pages = self.ram.dirty_pages()
+            a, b = epoch, snapshot
+            while a is not None and b is not None and a is not b:
+                if a.depth >= b.depth:
+                    if a.ram_pages:
+                        pages.update(a.ram_pages)
+                    a = a.parent
+                else:
+                    if b.ram_pages:
+                        pages.update(b.ram_pages)
+                    b = b.parent
+            if a is b and a is not None:  # common ancestor found
+                for index in pages:
+                    self.ram.write_page(index, snapshot.page_bytes(index))
+                self._ram_epoch = snapshot
+                self.ram.clear_dirty()
+                return len(pages)
+        self.ram.load_image(snapshot.materialize_ram())
+        self._ram_epoch = snapshot
+        self.ram.clear_dirty()
+        return self.ram.page_count
+
+    def restore(self, snapshot: "MachineSnapshot") -> int:
         """Restore a checkpoint taken on *this machine configuration*.
 
         The translation cache is flushed (RAM contents may differ).
         Register-file *objects* are kept — a snapshot/restore pair cannot
         undo structural changes such as injected stuck-at wrappers.  See
         :class:`MachineSnapshot` for exactly what is captured and what
-        is intentionally excluded.
+        is intentionally excluded.  Returns the number of RAM pages
+        rewritten (O(dirty) when the snapshot shares a delta chain with
+        the machine's last checkpoint).
         """
         self.entry = snapshot.entry
         self.cpu.pc = snapshot.pc
@@ -221,7 +330,7 @@ class Machine:
         self.cpu.fregs.clear_trace()
         self.cpu.csrs.restore(snapshot.csrs)
         self.cpu.csrs.clear_trace()
-        self.ram.data[:] = snapshot.ram
+        pages_copied = self._restore_ram(snapshot)
         self.clint.mtime, self.clint.mtimecmp, self.clint.msip = \
             snapshot.clint
         tx_log, rx_queue, interrupt_enable = snapshot.uart
@@ -237,6 +346,7 @@ class Machine:
             # exact for snapshots taken right after load().
             self.cpu.icache.reset()
         self.cpu.flush_translation_cache()
+        return pages_copied
 
     # ------------------------------------------------------------------
     # Plugins
@@ -271,8 +381,22 @@ class Machine:
         self.telemetry = resolve(telemetry)
         return self.add_plugin(TelemetryPlugin(self.telemetry))
 
-    def run(self, max_instructions: Optional[int] = None) -> RunResult:
-        """Run until exit, unhandled trap, WFI-halt, or the budget ends."""
+    def run(self, max_instructions: Optional[int] = None,
+            resume: bool = False) -> RunResult:
+        """Run until exit, unhandled trap, WFI-halt, or the budget ends.
+
+        With ``resume=True`` the call continues a run that was previously
+        interrupted (e.g. after restoring a mid-execution checkpoint):
+        ``max_instructions`` then bounds the *total* instructions since
+        reset, and the result's ``instructions`` reports that total — so
+        a resumed run is accounted exactly like one uninterrupted run.
+        """
+        prefix = self.cpu.csrs.instret if resume else 0
+        remaining = max_instructions
+        if resume and max_instructions is not None:
+            remaining = max_instructions - prefix
+            if remaining <= 0:  # checkpoint already past the budget
+                return RunResult(STOP_MAX_INSNS, prefix, self.cpu.csrs.cycle)
         telemetry = self.telemetry
         if telemetry is not None and telemetry.enabled:
             telemetry.events.emit(
@@ -282,7 +406,11 @@ class Machine:
                 max_instructions=max_instructions,
             )
         try:
-            result = self.cpu.run(max_instructions)
+            result = self.cpu.run(remaining)
+            # Exception paths report csrs.instret, which already counts
+            # from reset; only the normal return needs the prefix added.
+            if prefix:
+                result.instructions += prefix
         except MachineExit as exit_event:
             result = RunResult(
                 STOP_EXIT,

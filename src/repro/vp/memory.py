@@ -4,15 +4,27 @@ The bus dispatches physical addresses to devices.  Every device implements
 the small :class:`Device` protocol (``load``/``store`` on offsets within its
 window).  :class:`Ram` is the ordinary byte-addressable memory; MMIO
 peripherals live in :mod:`repro.vp.devices`.
+
+:class:`Ram` additionally tracks *dirty pages* — the page-granular set of
+regions written since the last :meth:`Ram.clear_dirty`.  The machine
+checkpoint engine (:meth:`repro.vp.machine.Machine.snapshot`) uses this to
+build delta snapshots and O(dirty) restores instead of copying the whole
+RAM image per checkpoint.
 """
 
 from __future__ import annotations
 
-from typing import List, Optional, Tuple
+from bisect import bisect_right
+from typing import Dict, List, Optional, Set, Tuple
 
 from .trap import BusError
 
 _WIDTH_MASKS = {1: 0xFF, 2: 0xFFFF, 4: 0xFFFFFFFF}
+
+#: Default dirty-tracking page size in bytes.  Small enough that short
+#: campaign programs dirty a handful of pages, large enough that the
+#: tracking set stays tiny for memory-heavy workloads.
+DEFAULT_PAGE_SIZE = 256
 
 
 class Device:
@@ -29,13 +41,66 @@ class Device:
 
 
 class Ram(Device):
-    """Flat little-endian RAM backed by a bytearray."""
+    """Flat little-endian RAM backed by a bytearray, with dirty-page
+    tracking for delta checkpoints.
 
-    def __init__(self, size: int) -> None:
+    Every mutating entry point (:meth:`store`, :meth:`write_bytes`,
+    :meth:`fill`) records the touched page indices in the dirty set;
+    :meth:`dirty_pages` / :meth:`clear_dirty` let checkpoint code copy
+    only what changed since the last snapshot or restore.  The restore
+    helpers :meth:`write_page` / :meth:`load_image` intentionally bypass
+    dirty marking — they re-establish a known-clean state and the caller
+    clears the set afterwards.
+    """
+
+    def __init__(self, size: int, page_size: int = DEFAULT_PAGE_SIZE) -> None:
         if size <= 0 or size % 4:
             raise ValueError(f"RAM size must be a positive multiple of 4, got {size}")
+        if page_size < 4 or page_size & (page_size - 1):
+            raise ValueError(f"page size must be a power of two >= 4, got {page_size}")
+        # Shrink the page to fit small RAMs (size is a multiple of 4, so
+        # this always terminates at a valid power of two).
+        while size % page_size:
+            page_size >>= 1
         self.size = size
+        self.page_size = page_size
+        self._page_shift = page_size.bit_length() - 1
         self.data = bytearray(size)
+        self._dirty: Set[int] = set()
+
+    # -- dirty-page tracking -------------------------------------------
+
+    @property
+    def page_count(self) -> int:
+        return self.size >> self._page_shift
+
+    def dirty_pages(self) -> Set[int]:
+        """Pages written since the last :meth:`clear_dirty` (a copy)."""
+        return set(self._dirty)
+
+    def clear_dirty(self) -> None:
+        self._dirty.clear()
+
+    def page_bytes(self, index: int) -> bytes:
+        """Current contents of page ``index``."""
+        start = index << self._page_shift
+        return bytes(self.data[start:start + self.page_size])
+
+    def write_page(self, index: int, blob: bytes) -> None:
+        """Overwrite page ``index`` *without* marking it dirty.
+
+        Checkpoint-restore only: the caller is re-establishing a known
+        state and resets the dirty set itself.
+        """
+        start = index << self._page_shift
+        self.data[start:start + self.page_size] = blob
+
+    def load_image(self, blob: bytes) -> None:
+        """Replace the whole RAM image *without* marking pages dirty
+        (checkpoint-restore helper, see :meth:`write_page`)."""
+        self.data[:] = blob
+
+    # -- device protocol -----------------------------------------------
 
     def load(self, offset: int, width: int) -> int:
         if offset < 0 or offset + width > self.size:
@@ -48,12 +113,22 @@ class Ram(Device):
         self.data[offset:offset + width] = (value & _WIDTH_MASKS[width]).to_bytes(
             width, "little"
         )
+        shift = self._page_shift
+        first = offset >> shift
+        self._dirty.add(first)
+        last = (offset + width - 1) >> shift
+        if last != first:  # unaligned store straddling a page boundary
+            self._dirty.add(last)
 
     def write_bytes(self, offset: int, blob: bytes) -> None:
         """Bulk image load (program loader, fault injection patches)."""
         if offset < 0 or offset + len(blob) > self.size:
             raise BusError(offset, "RAM image beyond size")
         self.data[offset:offset + len(blob)] = blob
+        if blob:
+            shift = self._page_shift
+            self._dirty.update(range(offset >> shift,
+                                     ((offset + len(blob) - 1) >> shift) + 1))
 
     def read_bytes(self, offset: int, length: int) -> bytes:
         if offset < 0 or offset + length > self.size:
@@ -61,8 +136,8 @@ class Ram(Device):
         return bytes(self.data[offset:offset + length])
 
     def fill(self, value: int = 0) -> None:
-        self.data = bytearray([value & 0xFF]) * 0  # placate linters
         self.data = bytearray([value & 0xFF] * self.size)
+        self._dirty.update(range(self.page_count))
 
 
 class SystemBus:
@@ -75,6 +150,9 @@ class SystemBus:
 
     def __init__(self) -> None:
         self._regions: List[Tuple[int, int, Device]] = []
+        #: Sorted region base addresses, parallel to ``_regions`` — the
+        #: bisect key for :meth:`device_at`.
+        self._bases: List[int] = []
         #: Devices that actually override :meth:`Device.tick` — the bus
         #: skips the no-op base implementations on the per-block tick.
         self._tickable: List[Device] = []
@@ -96,6 +174,7 @@ class SystemBus:
                 )
         self._regions.append((base, size, device))
         self._regions.sort(key=lambda region: region[0])
+        self._bases = [region_base for region_base, _size, _dev in self._regions]
         self._rebuild_tickable()
 
     def replace(self, base: int, device: Device) -> Device:
@@ -112,9 +191,16 @@ class SystemBus:
         raise ValueError(f"no device mapped at {base:#x}")
 
     def device_at(self, addr: int) -> Tuple[int, Device]:
-        """Resolve (base, device) for ``addr``; raises BusError if unmapped."""
-        for base, size, device in self._regions:
-            if base <= addr < base + size:
+        """Resolve (base, device) for ``addr``; raises BusError if unmapped.
+
+        Regions are disjoint and ``_bases`` is sorted, so the rightmost
+        base <= addr is the only candidate — one bisect instead of a
+        linear scan on every non-RAM-fast-path access.
+        """
+        i = bisect_right(self._bases, addr) - 1
+        if i >= 0:
+            base, size, device = self._regions[i]
+            if addr - base < size:
                 return base, device
         raise BusError(addr)
 

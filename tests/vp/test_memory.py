@@ -114,3 +114,93 @@ class TestSystemBus:
         bus.attach(0x0, 0x10, _Recorder())
         bus.regions.clear()
         assert len(bus.regions) == 1
+
+
+class TestDirtyPages:
+    def test_fresh_ram_is_clean(self):
+        assert Ram(4096).dirty_pages() == set()
+
+    def test_store_marks_containing_page(self):
+        ram = Ram(4096, page_size=256)
+        ram.store(300, 4, 0xDEADBEEF)
+        assert ram.dirty_pages() == {1}
+
+    def test_straddling_store_marks_both_pages(self):
+        ram = Ram(4096, page_size=256)
+        ram.store(255, 2, 0xABCD)
+        assert ram.dirty_pages() == {0, 1}
+
+    def test_write_bytes_marks_range(self):
+        ram = Ram(4096, page_size=256)
+        ram.write_bytes(200, bytes(200))
+        assert ram.dirty_pages() == {0, 1}
+
+    def test_fill_marks_every_page(self):
+        ram = Ram(1024, page_size=256)
+        ram.fill(0xAA)
+        assert ram.dirty_pages() == {0, 1, 2, 3}
+        assert ram.load(512, 1) == 0xAA
+
+    def test_clear_dirty(self):
+        ram = Ram(4096, page_size=256)
+        ram.store(0, 4, 1)
+        ram.clear_dirty()
+        assert ram.dirty_pages() == set()
+
+    def test_dirty_pages_returns_copy(self):
+        ram = Ram(4096, page_size=256)
+        ram.store(0, 4, 1)
+        ram.dirty_pages().clear()
+        assert ram.dirty_pages() == {0}
+
+    def test_page_size_shrinks_for_tiny_ram(self):
+        # Ram(8) cannot hold a 256-byte page; the page size degrades to
+        # keep size a whole number of pages.
+        ram = Ram(8)
+        assert ram.size % ram.page_size == 0
+        assert ram.page_count * ram.page_size == ram.size
+        ram.store(0, 4, 0x1234)
+        assert 0 in ram.dirty_pages()
+
+    def test_page_bytes_and_write_page(self):
+        ram = Ram(1024, page_size=256)
+        ram.store(256, 4, 0x11223344)
+        blob = ram.page_bytes(1)
+        assert len(blob) == 256
+        assert blob[:4] == (0x11223344).to_bytes(4, "little")
+        ram.clear_dirty()
+        ram.write_page(1, bytes(256))
+        assert ram.load(256, 4) == 0
+        # write_page is a restore primitive: it must not mark dirty.
+        assert ram.dirty_pages() == set()
+
+    def test_load_does_not_mark_dirty(self):
+        ram = Ram(4096, page_size=256)
+        ram.load(100, 4)
+        ram.read_bytes(0, 64)
+        assert ram.dirty_pages() == set()
+
+
+class TestBisectDispatch:
+    def test_many_regions_dispatch_correctly(self):
+        bus = SystemBus()
+        devices = []
+        for i in range(16):
+            dev = _Recorder()
+            devices.append(dev)
+            bus.attach(0x1000 * (i + 1), 0x100, dev)
+        for i in (0, 7, 15):
+            bus.store(0x1000 * (i + 1) + 4, 1, i)
+            assert devices[i].stores == [(4, 1, i)]
+        with pytest.raises(BusError):
+            bus.load(0x1000 * 17, 1)
+
+    def test_replace_keeps_dispatch(self):
+        bus = SystemBus()
+        old, new = _Recorder(), _Recorder()
+        bus.attach(0x1000, 0x100, old)
+        bus.attach(0x2000, 0x100, _Recorder())
+        bus.replace(0x1000, new)
+        bus.store(0x1010, 1, 3)
+        assert new.stores == [(0x10, 1, 3)]
+        assert old.stores == []

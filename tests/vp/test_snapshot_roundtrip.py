@@ -129,3 +129,92 @@ class TestSnapshotRoundTrip:
         machine.exit_device.value = 8
         machine.restore(snap)
         assert machine.exit_device.value == 4
+
+
+class TestDeltaSnapshots:
+    """Dirty-page delta chains: snapshot(parent=...) stores only pages
+    written since the parent, and restore walks the chain in O(dirty)."""
+
+    def make_machine(self):
+        machine = Machine(MachineConfig(isa=RV32IMC_ZICSR))
+        machine.load(assemble(ALL_DEVICES, isa=RV32IMC_ZICSR))
+        return machine
+
+    def test_child_snapshot_stores_only_dirty_pages(self):
+        machine = self.make_machine()
+        base = machine.snapshot()
+        assert base.ram is not None          # root is a full image
+        machine.run(max_instructions=4)
+        machine.ram.store(0x2000, 4, 0xCAFE)
+        child = machine.snapshot(parent=base)
+        assert child.ram is None             # delta node
+        assert child.parent is base
+        assert child.ram_pages is not None
+        assert 0 < len(child.ram_pages) < machine.ram.page_count
+
+    def test_page_bytes_walks_the_chain(self):
+        machine = self.make_machine()
+        base = machine.snapshot()
+        machine.ram.store(0x2000, 4, 0x11223344)
+        child = machine.snapshot(parent=base)
+        page = 0x2000 // machine.ram.page_size
+        assert child.page_bytes(page)[:4] == \
+            (0x11223344).to_bytes(4, "little")
+        # An untouched page resolves through to the root image.
+        other = machine.ram.page_count - 1
+        assert child.page_bytes(other) == base.page_bytes(other)
+
+    def test_materialize_ram_equals_machine_ram(self):
+        machine = self.make_machine()
+        base = machine.snapshot()
+        machine.ram.store(0x2000, 4, 0xAB)
+        mid = machine.snapshot(parent=base)
+        machine.ram.store(0x3000, 4, 0xCD)
+        tip = machine.snapshot(parent=mid)
+        assert tip.materialize_ram() == bytes(machine.ram.data)
+
+    def test_delta_restore_round_trips(self):
+        machine = self.make_machine()
+        base = machine.snapshot()
+        machine.run(max_instructions=8)
+        mid_state = device_state(machine)
+        mid_ram = bytes(machine.ram.data)
+        mid = machine.snapshot(parent=base)
+        machine.run()                        # run to exit, state diverges
+        pages = machine.restore(mid)
+        assert pages >= 0
+        assert device_state(machine) == mid_state
+        assert bytes(machine.ram.data) == mid_ram
+
+    def test_restore_copies_only_divergent_pages(self):
+        machine = self.make_machine()
+        base = machine.snapshot()
+        machine.ram.store(0x2000, 4, 1)
+        tip = machine.snapshot(parent=base)
+        machine.ram.store(0x4000, 4, 2)      # one page diverges
+        pages = machine.restore(tip)
+        assert pages < machine.ram.page_count   # not a full rewrite
+        assert machine.ram.load(0x4000, 4) == 0
+        assert machine.ram.load(0x2000, 4) == 1
+
+    def test_foreign_snapshot_falls_back_to_full_restore(self):
+        machine = self.make_machine()
+        machine.ram.store(0x2000, 4, 7)
+        donor = self.make_machine()
+        donor.ram.store(0x3000, 4, 9)
+        snap = donor.snapshot()
+        machine.restore(snap)                # no shared epoch: full path
+        assert bytes(machine.ram.data) == bytes(donor.ram.data)
+
+    def test_restore_then_rerun_matches_direct_run(self):
+        direct = self.make_machine()
+        direct_result = direct.run()
+        machine = self.make_machine()
+        base = machine.snapshot()
+        machine.run(max_instructions=6)
+        machine.snapshot(parent=base)        # advance the epoch
+        machine.restore(base)
+        result = machine.run()
+        assert result.stop_reason == direct_result.stop_reason
+        assert result.instructions == direct_result.instructions
+        assert device_state(machine) == device_state(direct)
