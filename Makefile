@@ -7,7 +7,7 @@
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: test bench bench-report bench-smoke examples experiments clean
+.PHONY: test bench bench-report bench-smoke fuzz-smoke examples experiments clean
 
 test:
 	$(PYTHON) -m pytest tests/
@@ -23,6 +23,10 @@ bench-report:
 # Fast subset of the report for CI smoke runs.
 bench-smoke:
 	$(PYTHON) benchmarks/bench_report.py --smoke
+
+# Bounded fuzzing smoke: coverage growth + triage parse + determinism.
+fuzz-smoke:
+	$(PYTHON) examples/fuzz_smoke.py
 
 # Run every example script (each asserts its own expected behaviour).
 examples:

@@ -12,6 +12,10 @@ numbers the performance work is judged by:
   (the F2 workload) with and without the warm-checkpoint engine, plus
   ``campaign_checkpoint_speedup`` — classification is asserted
   byte-identical before the speedup is recorded;
+* ``fuzz_campaign`` — coverage-guided fuzzing throughput (execs/s) plus
+  the coverage the session reached from the trivial seed, sequential and
+  with a worker pool — corpus signatures are asserted identical before
+  the parallel number is recorded;
 * ``qta_overhead_factor`` — slowdown when the QTA timing plugin rides
   along, which must stay a small bounded factor.
 
@@ -259,6 +263,52 @@ def measure_checkpoint_campaign(mutants: int, iters: int):
     }
 
 
+def measure_fuzz_campaign(iterations: int, jobs: int):
+    """Fuzzing throughput and coverage growth, sequential vs pooled.
+
+    The parallel run must reproduce the sequential corpus exactly (same
+    master seed ⇒ same signatures, by design) — asserted before its
+    throughput is recorded.
+    """
+    from repro.fuzz import FuzzConfig, FuzzEngine, trivial_seed
+
+    def run(n_jobs: int):
+        engine = FuzzEngine(RV32IMC_ZICSR, FuzzConfig(
+            iterations=iterations, seed=0, jobs=n_jobs, minimize_evals=8))
+        result = engine.run(trivial_seed(RV32IMC_ZICSR))
+        return result
+
+    sequential = run(1)
+    seed_elements = len(next(iter(sequential.signatures)))
+    entry = {
+        "iterations": sequential.iterations,
+        "executions": sequential.executions,
+        "sequential_execs_per_second": round(
+            sequential.execs_per_second, 2),
+        "corpus_size": sequential.corpus_size,
+        "coverage_elements": sequential.coverage_elements,
+        "seed_coverage_elements": seed_elements,
+        "insn_coverage": round(sequential.insn_coverage, 4),
+        "distinct_findings": len(sequential.triage),
+        "parallel_jobs": jobs,
+        "parallel_execs_per_second": None,
+        "parallel_speedup": None,
+    }
+    if multiprocessing.cpu_count() == 1:
+        entry["note"] = ("single-CPU host: pool measurement skipped "
+                         "(no parallel speedup is observable by "
+                         "construction)")
+        return entry
+    parallel = run(jobs)
+    assert parallel.signature_digests() == sequential.signature_digests(), \
+        "parallel fuzzing diverged from the sequential corpus"
+    entry["parallel_execs_per_second"] = round(
+        parallel.execs_per_second, 2)
+    entry["parallel_speedup"] = round(
+        sequential.elapsed_seconds / parallel.elapsed_seconds, 3)
+    return entry
+
+
 def build_report(smoke: bool) -> dict:
     iters = 2_000 if smoke else 20_000
     repeats = 1 if smoke else 3
@@ -286,6 +336,8 @@ def build_report(smoke: bool) -> dict:
         "campaign_checkpoint": measure_checkpoint_campaign(
             mutants=20 if smoke else 60,
             iters=800 if smoke else 4_000),
+        "fuzz_campaign": measure_fuzz_campaign(
+            iterations=300 if smoke else 3_000, jobs=jobs),
     }
     return report
 

@@ -8,6 +8,7 @@ Commands mirror the ecosystem tools:
 ``wcet``    full QTA flow: static bound, block table, co-simulation
 ``coverage`` instruction/register coverage of a program
 ``faults``  coverage-guided fault-injection campaign
+``fuzz``    coverage-guided fuzzing of the VP (testgen suites as seeds)
 ``mutate``  XEMU-style mutation testing of a self-checking program
 ``gen``     emit a generated test program (torture/structured) to stdout
 ``stats``   re-render a saved telemetry event log (JSONL)
@@ -173,6 +174,49 @@ def cmd_mutate(args) -> int:
     return 0
 
 
+def cmd_fuzz(args) -> int:
+    import json
+
+    from .fuzz import FuzzConfig, FuzzEngine, suite_seeds, trivial_seed
+    from .telemetry import current_telemetry
+
+    isa = _isa(args)
+    config = FuzzConfig(
+        iterations=args.iterations,
+        seed=args.seed,
+        jobs=args.jobs,
+        batch_size=args.batch_size,
+        max_instructions=args.max_instructions,
+        minimize=not args.no_minimize,
+        lockstep=args.lockstep,
+        time_budget=args.time_budget,
+    )
+    engine = FuzzEngine(isa, config)
+    if args.seeds == "trivial":
+        seeds = trivial_seed(isa)
+    else:
+        seeds = suite_seeds(isa, seed=args.seed)
+    on_progress = None
+    if current_telemetry().enabled:
+        def on_progress(progress):
+            print(f"\r  {progress['execs']}/{progress['total']} mutants  "
+                  f"corpus {progress['corpus_size']}  "
+                  f"coverage {progress['coverage_elements']}  "
+                  f"findings {progress['findings']}  "
+                  f"{progress['execs_per_second']:.0f} execs/s ",
+                  end="", file=sys.stderr, flush=True)
+    result = engine.run(seeds, on_progress=on_progress)
+    if on_progress is not None:
+        print(file=sys.stderr)
+    if args.json:
+        print(json.dumps(result.to_dict(), indent=2, sort_keys=True))
+    else:
+        print(result.summary())
+        print()
+        print(result.triage.table())
+    return 0
+
+
 def cmd_serve(args) -> int:
     from .serve import BatchService
     from .serve.api import ServiceServer
@@ -195,7 +239,14 @@ def cmd_submit(args) -> int:
 
     from .serve.client import BackpressureError, ServiceClient
 
-    payload = {"source": _read_source(args.source), "isa": args.isa}
+    if args.kind == "fuzz":
+        # Fuzz jobs need no source program: the seed corpus is generated
+        # service-side from the testgen suites (or a trivial seed).
+        payload = {"isa": args.isa, "iterations": args.iterations,
+                   "seed": args.seed, "jobs": args.jobs,
+                   "seeds": args.fuzz_seeds}
+    else:
+        payload = {"source": _read_source(args.source), "isa": args.isa}
     if args.kind == "fault_campaign":
         payload.update(mutants=args.mutants, seed=args.seed, jobs=args.jobs,
                        checkpoints=not args.no_checkpoints)
@@ -310,7 +361,9 @@ def build_parser() -> argparse.ArgumentParser:
                        help="fault-injection campaign")
     common(p, with_budget=False)
     p.add_argument("--mutants", type=int, default=100)
-    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--seed", type=int, default=0,
+                   help="campaign PRNG seed; the same seed always draws "
+                        "the same fault list")
     p.add_argument("--jobs", type=int, default=1, metavar="N",
                    help="mutant worker processes (1 = in-process, "
                         "0 = auto-detect CPUs; falls back to 1 if "
@@ -331,10 +384,46 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--seed", type=int, default=0)
     p.set_defaults(func=cmd_mutate)
 
+    p = sub.add_parser("fuzz", help="coverage-guided fuzzing of the VP")
+    p.add_argument("--isa", default="rv32imc_zicsr",
+                   help="ISA configuration (default: rv32imc_zicsr)")
+    p.add_argument("--iterations", "-n", type=int, default=2000,
+                   metavar="N", help="mutant executions to run")
+    p.add_argument("--seed", type=int, default=0,
+                   help="master PRNG seed; iteration-bounded runs with the "
+                        "same seed produce identical corpora for any --jobs")
+    p.add_argument("--jobs", type=int, default=1, metavar="N",
+                   help="evaluation worker processes (1 = in-process, "
+                        "0 = auto-detect CPUs; results are identical "
+                        "regardless of job count)")
+    p.add_argument("--seeds", choices=("suites", "trivial"),
+                   default="suites",
+                   help="seed corpus: the three testgen suites, or a "
+                        "single trivial instruction (default: suites)")
+    p.add_argument("--batch-size", type=int, default=32, metavar="N",
+                   help="mutants drawn per scheduling round")
+    p.add_argument("--max-instructions", type=int, default=5000,
+                   help="per-execution budget; exhaustion triages as hang")
+    p.add_argument("--no-minimize", action="store_true",
+                   help="skip corpus input minimization")
+    p.add_argument("--lockstep", action="store_true",
+                   help="cross-check corpus adds with the lockstep "
+                        "differential oracle (cache on vs off)")
+    p.add_argument("--time-budget", type=float, default=None,
+                   metavar="SECONDS",
+                   help="wall-clock stop; trades the --jobs reproducibility "
+                        "guarantee for bounded runtime")
+    p.add_argument("--json", action="store_true",
+                   help="print the full machine-readable result")
+    telemetry_flags(p)
+    p.set_defaults(func=cmd_fuzz)
+
     p = sub.add_parser("gen", help="emit generated test programs")
     p.add_argument("kind", choices=("torture", "structured", "arch", "unit"))
     p.add_argument("--isa", default="rv32imc_zicsr")
-    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--seed", type=int, default=0,
+                   help="generator PRNG seed; the same seed emits a "
+                        "byte-identical program")
     p.add_argument("--length", type=int, default=300,
                    help="torture: number of instructions")
     telemetry_flags(p)
@@ -362,11 +451,17 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--url", default="http://127.0.0.1:8972",
                    help="service base URL")
     p.add_argument("--kind", default="vp_run",
-                   choices=("vp_run", "fault_campaign", "coverage", "wcet"))
+                   choices=("vp_run", "fault_campaign", "coverage", "wcet",
+                            "fuzz"))
     p.add_argument("--isa", default="rv32imc_zicsr")
     p.add_argument("--mutants", type=int, default=100,
                    help="fault_campaign: mutant count")
     p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--iterations", type=int, default=2000, metavar="N",
+                   help="fuzz: mutant executions (source arg is ignored; "
+                        "pass -)")
+    p.add_argument("--fuzz-seeds", choices=("suites", "trivial"),
+                   default="suites", help="fuzz: seed corpus kind")
     p.add_argument("--jobs", type=int, default=1, metavar="N",
                    help="fault_campaign: in-job worker processes "
                         "(0 = auto-detect CPUs)")

@@ -3,6 +3,7 @@
 from .collector import (
     CoveragePlugin,
     SuiteCoverage,
+    coverage_signature,
     measure_coverage,
     measure_suite,
 )
@@ -12,6 +13,7 @@ __all__ = [
     "CoveragePlugin",
     "CoverageReport",
     "SuiteCoverage",
+    "coverage_signature",
     "empty_report",
     "measure_coverage",
     "measure_suite",

@@ -19,6 +19,34 @@ from ..vp.plugins import Plugin
 from .report import CoverageReport, empty_report
 
 
+def coverage_signature(report: CoverageReport,
+                       tb_edges: Iterable[int] = ()) -> frozenset:
+    """A stable, hashable signature of *what* a run covered.
+
+    The signature is a frozenset of tagged tuples — ``("insn", name)`` for
+    every executed instruction type, ``("gpr", n)`` / ``("fpr", n)`` /
+    ``("csr", addr)`` for every accessed register, and ``("edge", e)`` for
+    every translation-block edge id in ``tb_edges`` (see
+    :mod:`repro.fuzz.feedback`).  Two runs with the same signature covered
+    the same instruction types, registers, and control-flow edges, so the
+    signature is the unit of deduplication shared by the coverage-guided
+    fuzzer's corpus and any future coverage dedup.  Set semantics make it
+    order-independent and therefore stable across runs and processes.
+    """
+    elements = set()
+    for name in report.insn_types:
+        elements.add(("insn", name))
+    for reg in report.gprs_accessed:
+        elements.add(("gpr", reg))
+    for reg in report.fprs_accessed:
+        elements.add(("fpr", reg))
+    for csr in report.csrs_accessed:
+        elements.add(("csr", csr))
+    for edge in tb_edges:
+        elements.add(("edge", edge))
+    return frozenset(elements)
+
+
 class CoveragePlugin(Plugin):
     """Records executed instruction types and touched memory addresses."""
 

@@ -24,6 +24,21 @@ NUM_GPRS = 32
 NUM_FPRS = 32
 
 
+def _ratio(hit: int, total: int) -> float:
+    """``hit / total`` with an empty universe reporting 0.0, not a crash.
+
+    Coverage denominators can legitimately be zero: an ISA configuration
+    with an empty instruction or CSR universe, a register class that does
+    not exist (no FPRs), or a run that executed zero instructions against
+    a degenerate universe.  Every percentage in this module goes through
+    this helper so such reports render as 0.0 % instead of raising
+    ``ZeroDivisionError``.
+    """
+    if total <= 0:
+        return 0.0
+    return hit / total
+
+
 @dataclass
 class CoverageReport:
     """Coverage of one program run (or the union of several runs)."""
@@ -56,25 +71,22 @@ class CoverageReport:
     @property
     def insn_coverage(self) -> float:
         """Fraction of ISA instruction types executed."""
-        if not self.insn_universe:
-            return 0.0
-        return len(self.insn_types) / len(self.insn_universe)
+        return _ratio(len(self.insn_types), len(self.insn_universe))
 
     @property
     def gpr_coverage(self) -> float:
-        return len(self.gprs_accessed) / NUM_GPRS
+        return _ratio(len(self.gprs_accessed), NUM_GPRS)
 
     @property
     def fpr_coverage(self) -> float:
         if not self.has_fprs:
             return 0.0
-        return len(self.fprs_accessed) / NUM_FPRS
+        return _ratio(len(self.fprs_accessed), NUM_FPRS)
 
     @property
     def csr_coverage(self) -> float:
-        if not self.csr_universe:
-            return 0.0
-        return len(self.csrs_accessed & self.csr_universe) / len(self.csr_universe)
+        return _ratio(len(self.csrs_accessed & self.csr_universe),
+                      len(self.csr_universe))
 
     def missed_insn_types(self) -> List[str]:
         return sorted(set(self.insn_universe) - self.insn_types)

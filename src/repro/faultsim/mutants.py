@@ -146,7 +146,12 @@ def default_campaign_mutants(
     and the batch service's ``fault_campaign`` job kind: a coverage run
     guides the sampling, and the mutant budget is split evenly over the
     five fault categories.  Sharing this one code path is what makes a
-    service-executed campaign byte-identical to the CLI's."""
+    service-executed campaign byte-identical to the CLI's.
+
+    ``seed`` carries the toolchain-wide determinism contract (the same
+    one behind ``repro gen torture --seed`` and ``repro fuzz --seed``):
+    the same seed over the same program always draws the same fault
+    list, so campaigns are replayable from their parameters alone."""
     from ..coverage import measure_coverage
 
     coverage = measure_coverage(program, isa=isa)

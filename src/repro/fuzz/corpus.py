@@ -1,0 +1,92 @@
+"""The fuzzing corpus: coverage-deduplicated inputs + energy scheduling.
+
+A corpus entry is an instruction-word tuple plus the coverage signature
+it produced (see :func:`repro.coverage.coverage_signature`).  Two inputs
+with the same signature are redundant by definition of the metric, so
+the corpus keys on signatures.  The scheduler implements an AFL-style
+**energy (power) schedule**: entries whose signatures contain elements
+few other entries reach are picked more often, steering mutation energy
+toward rare coverage.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, List, Optional, Sequence, Tuple
+
+from .feedback import FeedbackMap
+
+
+@dataclass
+class CorpusEntry:
+    """One deduplicated, (optionally) minimized input."""
+
+    words: Tuple[int, ...]
+    signature: FrozenSet[tuple]
+    #: Elements globally unseen when this entry was admitted.
+    new_elements: FrozenSet[tuple]
+    instructions: int
+    #: Execution index at admission (0 for seeds) — the coverage-over-time
+    #: x-axis.
+    found_at: int
+    name: str = ""
+
+
+class Corpus:
+    """Signature-keyed input store with energy-weighted scheduling."""
+
+    def __init__(self, feedback: FeedbackMap) -> None:
+        self.feedback = feedback
+        self.entries: List[CorpusEntry] = []
+        self._by_signature: Dict[FrozenSet[tuple], int] = {}
+        self._weights: List[float] = []
+        self._weights_version = -1
+
+    def __len__(self) -> int:
+        return len(self.entries)
+
+    def __iter__(self):
+        return iter(self.entries)
+
+    def add(self, entry: CorpusEntry) -> bool:
+        """Admit ``entry`` unless an input with its signature exists."""
+        if entry.signature in self._by_signature:
+            return False
+        self._by_signature[entry.signature] = len(self.entries)
+        self.entries.append(entry)
+        self.feedback.count_corpus_entry(entry.signature)
+        return True
+
+    def signatures(self) -> List[FrozenSet[tuple]]:
+        """All entry signatures, in admission order."""
+        return [entry.signature for entry in self.entries]
+
+    def donor_words(self) -> List[Tuple[int, ...]]:
+        """Word lists usable as splice donors, in admission order."""
+        return [entry.words for entry in self.entries]
+
+    # -- energy schedule ---------------------------------------------------
+
+    def _energy(self, entry: CorpusEntry) -> float:
+        # Rarity-driven: an entry reaching elements no other entry reaches
+        # gets proportionally more fuzzing energy; a mild length penalty
+        # favors short inputs (cheaper executions, cleaner mutants).
+        rarity = self.feedback.rarity(entry.signature)
+        return rarity / (1.0 + 0.01 * len(entry.words))
+
+    def _refresh_weights(self) -> None:
+        if self._weights_version == self.feedback.version \
+                and len(self._weights) == len(self.entries):
+            return
+        self._weights = [self._energy(entry) for entry in self.entries]
+        self._weights_version = self.feedback.version
+
+    def schedule(self, rng: random.Random) -> CorpusEntry:
+        """Pick the next entry to mutate, weighted by energy."""
+        if not self.entries:
+            raise ValueError("cannot schedule from an empty corpus")
+        self._refresh_weights()
+        index = rng.choices(range(len(self.entries)),
+                            weights=self._weights)[0]
+        return self.entries[index]

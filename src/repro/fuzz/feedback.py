@@ -1,0 +1,138 @@
+"""Coverage feedback for the fuzzer: the signal that guides mutation.
+
+The feedback map combines the coverage metric this repo already measures
+(instruction types, GPR/FPR/CSR accesses — see :mod:`repro.coverage`)
+with a **translation-block edge bitmap** collected by a VP plugin, the
+same non-intrusive observation channel QTA and the coverage collector
+use.  Edges capture *control-flow novelty* that the per-run register and
+instruction-type sets cannot: two runs touching the same registers via a
+different branch structure produce different edge sets.
+
+Everything is expressed in terms of the stable
+:func:`repro.coverage.coverage_signature` frozenset, so the fuzzer's
+notion of "covered" is byte-for-byte the coverage metric's notion.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Optional, Set
+
+from ..vp.plugins import Plugin
+
+#: Size of the hashed edge space.  Like AFL's 64 KiB bitmap, hashing
+#: (src, dst) block pairs into a fixed space bounds signature size on
+#: programs with huge dynamic CFGs while keeping collisions rare for the
+#: small programs the fuzzer grows.
+EDGE_MAP_SIZE = 1 << 16
+
+
+def edge_id(src_pc: int, dst_pc: int) -> int:
+    """Deterministic hash of a translation-block edge into the edge map.
+
+    Uses only the two block start pcs (no process-specific state), so the
+    id is stable across runs, processes, and platforms.
+    """
+    return (((src_pc >> 1) * 33) ^ (dst_pc >> 1)) & (EDGE_MAP_SIZE - 1)
+
+
+class TBEdgePlugin(Plugin):
+    """Records executed translation-block edges as hashed edge ids.
+
+    Plugs into ``on_block_exec`` — the hook fires for every block the CPU
+    dispatches, including direct-chained successors, so the edge set is
+    the complete dynamic block-level CFG of the run.
+    """
+
+    name = "fuzz-tb-edges"
+
+    def __init__(self) -> None:
+        self.edges: Set[int] = set()
+        self._prev: Optional[int] = None
+
+    def on_block_exec(self, cpu, block) -> None:
+        pc = block.start_pc
+        if self._prev is not None:
+            self.edges.add(edge_id(self._prev, pc))
+        self._prev = pc
+
+    def reset(self) -> None:
+        """Clear state between program evaluations."""
+        self.edges.clear()
+        self._prev = None
+
+
+class InsnTypePlugin(Plugin):
+    """Records executed instruction types (mnemonic set only).
+
+    A leaner sibling of :class:`repro.coverage.CoveragePlugin`: the fuzzer
+    does not need per-byte memory access sets, and skipping the
+    ``on_mem_access`` hook keeps the per-execution cost down.
+    """
+
+    name = "fuzz-insn-types"
+
+    def __init__(self) -> None:
+        self.insn_types: Set[str] = set()
+
+    def on_insn_exec(self, cpu, decoded, pc) -> None:
+        self.insn_types.add(decoded.spec.name)
+
+    def reset(self) -> None:
+        self.insn_types.clear()
+
+
+class FeedbackMap:
+    """The global, monotonically growing set of covered signature elements.
+
+    ``observe`` folds one execution's signature in and returns the
+    elements never seen before — the AFL "new coverage" predicate.  The
+    map also tracks, per element, how many corpus entries contain it
+    (maintained by the corpus), which the energy schedule turns into a
+    rarity weight.
+    """
+
+    def __init__(self) -> None:
+        self.seen: Set[tuple] = set()
+        #: element -> number of corpus entries whose signature contains it.
+        self.corpus_freq: Dict[tuple, int] = {}
+        #: Bumped whenever ``seen`` or ``corpus_freq`` changes, so energy
+        #: caches know when to recompute.
+        self.version = 0
+
+    def observe(self, signature: FrozenSet[tuple]) -> FrozenSet[tuple]:
+        """Fold ``signature`` in; returns the globally new elements."""
+        new = signature - self.seen
+        if new:
+            self.seen |= new
+            self.version += 1
+        return frozenset(new)
+
+    def count_corpus_entry(self, signature: FrozenSet[tuple]) -> None:
+        """Register one corpus entry's signature in the frequency table."""
+        freq = self.corpus_freq
+        for element in signature:
+            freq[element] = freq.get(element, 0) + 1
+        self.version += 1
+
+    def rarity(self, signature: FrozenSet[tuple]) -> float:
+        """Energy weight of a signature: rare elements count for more.
+
+        Iterates in sorted order so the floating-point sum is identical
+        across processes regardless of set iteration order (hash
+        randomization must not perturb scheduling decisions).
+        """
+        freq = self.corpus_freq
+        total = 0.0
+        for element in sorted(signature):
+            total += 1.0 / freq.get(element, 1)
+        return total
+
+    def counts_by_tag(self) -> Dict[str, int]:
+        """Covered element counts per tag (``insn``/``gpr``/``csr``/...)."""
+        counts: Dict[str, int] = {}
+        for tag, _value in self.seen:
+            counts[tag] = counts.get(tag, 0) + 1
+        return dict(sorted(counts.items()))
+
+    def __len__(self) -> int:
+        return len(self.seen)

@@ -1,0 +1,284 @@
+"""ISA-aware mutation operators over instruction-word lists.
+
+Unlike a byte-level fuzzer, every operator here goes through the
+:mod:`repro.isa` decoder/encoder pair: operands are extracted from the
+decoded instruction, perturbed, and **re-encoded**, so mutated inputs
+are always streams of architecturally valid instructions (modulo the
+runtime behaviour the fuzzer is hunting — wild branches, traps, hangs).
+Operators:
+
+* ``operand``  — swap one register operand for another
+* ``imm``      — nudge an immediate (±1/±4, sign flip, zero, random)
+* ``insert``   — insert a freshly generated random-but-valid instruction
+* ``delete``   — delete a small slice
+* ``duplicate``— duplicate a small slice
+* ``splice``   — graft a slice of a donor corpus entry in
+* ``shuffle``  — shuffle basic blocks (split at control flow)
+
+All randomness flows through the caller's ``random.Random``, so a seeded
+engine run replays the exact same mutation sequence.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Optional, Sequence, Tuple
+
+from ..isa.csr import CsrFile
+from ..isa.decoder import Decoder, IsaConfig
+from ..isa.encoder import EncodingError, encode, operand_roles
+
+#: Mnemonics never *generated* by the insert operator: they either
+#: terminate the run trivially (ecall/ebreak would dominate triage with
+#: one uninteresting trap class) or stop the clock (wfi).  They can still
+#: reach the fuzzer through seed programs and survive splices.
+_NO_GENERATE = frozenset({"ecall", "ebreak", "c.ebreak", "wfi", "mret"})
+
+#: Operand role -> Decoded attribute holding its value.
+_ROLE_FIELDS = {
+    "rd": "rd", "frd": "rd",
+    "rs1": "rs1", "frs1": "rs1",
+    "rs2": "rs2", "frs2": "rs2",
+    "imm": "imm", "csr": "csr",
+}
+
+_REGISTER_ROLES = ("rd", "frd", "rs1", "frs1", "rs2", "frs2")
+
+#: Hard cap on input length, so splice/duplicate cannot grow inputs
+#: without bound over a long campaign.
+MAX_BODY_WORDS = 256
+
+#: (operator name, weight) — weights picked so structural operators
+#: (insert/splice) dominate early coverage growth while cheap operand
+#: tweaks keep refining existing paths.
+_OPERATORS = (
+    ("operand", 4),
+    ("imm", 4),
+    ("insert", 5),
+    ("delete", 2),
+    ("duplicate", 1),
+    ("splice", 3),
+    ("shuffle", 1),
+)
+
+
+class IsaMutator:
+    """Seeded, ISA-aware mutation of instruction-word tuples."""
+
+    def __init__(self, isa: IsaConfig,
+                 max_body_words: int = MAX_BODY_WORDS) -> None:
+        self.isa = isa
+        self.decoder = Decoder(isa)
+        self.max_body_words = max_body_words
+        self._encodable = sorted(
+            (spec for spec in self.decoder.specs
+             if spec.encode is not None and spec.name not in _NO_GENERATE),
+            key=lambda spec: spec.name,
+        )
+        self._csrs: Tuple[int, ...] = tuple(sorted(
+            CsrFile(modules=set(isa.modules)).known_addresses()))
+
+    # -- helpers -----------------------------------------------------------
+
+    def _operands(self, decoded) -> List[int]:
+        return [getattr(decoded, _ROLE_FIELDS[role])
+                for role in operand_roles(decoded.spec)]
+
+    def _reencode(self, name: str, values: Sequence[int]) -> Optional[int]:
+        try:
+            return encode(self.decoder, name, *values)
+        except EncodingError:
+            return None
+
+    def _random_operand(self, role: str, rng: random.Random) -> int:
+        if role in _REGISTER_ROLES:
+            return rng.randrange(32)
+        if role == "csr":
+            return rng.choice(self._csrs) if self._csrs else 0x340
+        # Immediate: mix small signed values, aligned offsets, and shift
+        # amounts; encoders reject out-of-range values and the caller
+        # retries, so over-sampling is harmless.
+        kind = rng.randrange(4)
+        if kind == 0:
+            return rng.randint(-32, 31)
+        if kind == 1:
+            return rng.randrange(0, 128, 4)
+        if kind == 2:
+            return rng.choice((-2, -4, -8, -16, 2, 4, 8, 16))
+        return rng.randint(-2048, 2047)
+
+    def random_instruction(self, rng: random.Random,
+                           attempts: int = 16) -> Optional[int]:
+        """One freshly encoded random instruction, or ``None``.
+
+        Compressed forms constrain registers and immediates; rather than
+        teaching this module every constraint, invalid operand draws are
+        rejected by the encoder and simply retried.
+        """
+        for _ in range(attempts):
+            spec = rng.choice(self._encodable)
+            values = [self._random_operand(role, rng)
+                      for role in operand_roles(spec)]
+            word = self._reencode(spec.name, values)
+            if word is not None:
+                return word
+        return None
+
+    def _decodable_indices(self, words: Sequence[int],
+                           need_role: Optional[str] = None) -> List[int]:
+        indices = []
+        for index, word in enumerate(words):
+            decoded = self.decoder.try_decode(word)
+            if decoded is None or decoded.spec.encode is None:
+                continue
+            roles = operand_roles(decoded.spec)
+            if need_role == "reg":
+                if not any(r in _REGISTER_ROLES for r in roles):
+                    continue
+            elif need_role is not None and need_role not in roles:
+                continue
+            indices.append(index)
+        return indices
+
+    # -- operators ---------------------------------------------------------
+
+    def _op_operand(self, words: List[int], rng: random.Random,
+                    donors) -> bool:
+        indices = self._decodable_indices(words, need_role="reg")
+        if not indices:
+            return False
+        index = rng.choice(indices)
+        decoded = self.decoder.try_decode(words[index])
+        roles = operand_roles(decoded.spec)
+        values = self._operands(decoded)
+        reg_slots = [i for i, role in enumerate(roles)
+                     if role in _REGISTER_ROLES]
+        slot = rng.choice(reg_slots)
+        for _ in range(8):
+            candidate = list(values)
+            candidate[slot] = rng.randrange(32)
+            word = self._reencode(decoded.spec.name, candidate)
+            if word is not None and word != words[index]:
+                words[index] = word
+                return True
+        return False
+
+    def _op_imm(self, words: List[int], rng: random.Random, donors) -> bool:
+        indices = self._decodable_indices(words, need_role="imm")
+        if not indices:
+            return False
+        index = rng.choice(indices)
+        decoded = self.decoder.try_decode(words[index])
+        roles = operand_roles(decoded.spec)
+        values = self._operands(decoded)
+        slot = roles.index("imm")
+        for _ in range(8):
+            kind = rng.randrange(6)
+            base = values[slot]
+            if kind == 0:
+                nudged = base + rng.choice((-1, 1))
+            elif kind == 1:
+                nudged = base + rng.choice((-4, 4))
+            elif kind == 2:
+                nudged = -base
+            elif kind == 3:
+                nudged = 0
+            elif kind == 4:
+                nudged = base ^ (1 << rng.randrange(5))
+            else:
+                nudged = self._random_operand("imm", rng)
+            candidate = list(values)
+            candidate[slot] = nudged
+            word = self._reencode(decoded.spec.name, candidate)
+            if word is not None and word != words[index]:
+                words[index] = word
+                return True
+        return False
+
+    def _op_insert(self, words: List[int], rng: random.Random,
+                   donors) -> bool:
+        word = self.random_instruction(rng)
+        if word is None:
+            return False
+        words.insert(rng.randint(0, len(words)), word)
+        return True
+
+    def _op_delete(self, words: List[int], rng: random.Random,
+                   donors) -> bool:
+        if len(words) <= 1:
+            return False
+        length = min(rng.randint(1, 4), len(words) - 1)
+        start = rng.randint(0, len(words) - length)
+        del words[start:start + length]
+        return True
+
+    def _op_duplicate(self, words: List[int], rng: random.Random,
+                      donors) -> bool:
+        if not words:
+            return False
+        length = min(rng.randint(1, 4), len(words))
+        start = rng.randint(0, len(words) - length)
+        chunk = words[start:start + length]
+        at = rng.randint(0, len(words))
+        words[at:at] = chunk
+        return True
+
+    def _op_splice(self, words: List[int], rng: random.Random,
+                   donors) -> bool:
+        if not donors:
+            return False
+        donor = list(donors[rng.randrange(len(donors))])
+        if not donor:
+            return False
+        length = min(rng.randint(1, 8), len(donor))
+        start = rng.randint(0, len(donor) - length)
+        chunk = donor[start:start + length]
+        at = rng.randint(0, len(words))
+        words[at:at] = chunk
+        return True
+
+    def _op_shuffle(self, words: List[int], rng: random.Random,
+                    donors) -> bool:
+        blocks: List[List[int]] = [[]]
+        for word in words:
+            blocks[-1].append(word)
+            decoded = self.decoder.try_decode(word)
+            if decoded is not None and (decoded.spec.is_branch
+                                        or decoded.spec.is_jump
+                                        or decoded.spec.is_system):
+                blocks.append([])
+        blocks = [block for block in blocks if block]
+        if len(blocks) < 2:
+            return False
+        rng.shuffle(blocks)
+        words[:] = [word for block in blocks for word in block]
+        return True
+
+    # -- entry point -------------------------------------------------------
+
+    def mutate(self, words: Sequence[int], rng: random.Random,
+               donors: Sequence[Sequence[int]] = ()) -> Tuple[int, ...]:
+        """Apply 1–3 random operators and return the mutated word tuple.
+
+        ``donors`` are other corpus entries' word lists (splice sources).
+        The result is always non-empty, within the body-length cap, and
+        composed entirely of encoder-produced or donor-inherited words.
+        """
+        ops = {name: getattr(self, f"_op_{name}") for name, _ in _OPERATORS}
+        names = [name for name, _ in _OPERATORS]
+        weights = [weight for _, weight in _OPERATORS]
+        mutated = list(words)
+        applied = 0
+        rounds = rng.randint(1, 3)
+        for _ in range(rounds * 4):
+            if applied >= rounds:
+                break
+            name = rng.choices(names, weights=weights)[0]
+            if ops[name](mutated, rng, donors):
+                applied += 1
+        if not mutated:
+            fallback = self.random_instruction(rng)
+            mutated = [fallback if fallback is not None else words[0]]
+        if len(mutated) > self.max_body_words:
+            del mutated[self.max_body_words:]
+        return tuple(mutated)

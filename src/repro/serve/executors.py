@@ -16,6 +16,7 @@ Built-in kinds:
                  :meth:`FaultCampaign.run`
 ``coverage``     instruction/register coverage of one program
 ``wcet``         full QTA flow: static bound + co-simulation
+``fuzz``         coverage-guided fuzzing session (``repro fuzz``)
 ================ =====================================================
 
 Third-party code registers new kinds with :func:`register_executor`.
@@ -173,6 +174,49 @@ def run_fault_campaign_job(payload: Dict[str, Any],
         "elapsed_seconds": round(result.elapsed_seconds, 6),
         "campaign": result.to_dict(),
     }
+
+
+@register_executor("fuzz")
+def run_fuzz_job(payload: Dict[str, Any], ctx: JobContext) -> Dict[str, Any]:
+    """Coverage-guided fuzzing session; returns ``FuzzResult.to_dict()``.
+
+    Unlike the other kinds, ``source`` is optional — the seed corpus
+    defaults to the generated testgen suites (``seeds: "suites"``) or a
+    single trivial instruction (``seeds: "trivial"``).  Same ``seed`` ⇒
+    identical ``corpus_signatures``, whatever ``jobs`` is.
+    """
+    from ..fuzz import FuzzConfig, FuzzEngine, suite_seeds, trivial_seed
+
+    isa = _isa_for(payload)
+    config = FuzzConfig(
+        iterations=_int_field(payload, "iterations", 2000, minimum=1),
+        seed=_int_field(payload, "seed", 0),
+        # jobs=1 keeps a service job single-process (the service pool
+        # provides the concurrency); jobs=0 auto-detects CPUs.
+        jobs=_int_field(payload, "jobs", 1, minimum=0),
+        batch_size=_int_field(payload, "batch_size", 32, minimum=1),
+        max_instructions=_int_field(payload, "max_instructions", 5000,
+                                    minimum=1),
+        minimize=bool(payload.get("minimize", True)),
+        lockstep=bool(payload.get("lockstep", False)),
+    )
+    kind = payload.get("seeds", "suites")
+    if kind == "trivial":
+        seeds = trivial_seed(isa)
+    elif kind == "suites":
+        seeds = suite_seeds(isa, seed=config.seed)
+    else:
+        raise ExecutorError(
+            "payload field 'seeds' must be 'suites' or 'trivial'")
+    ctx.check()
+    engine = FuzzEngine(isa, config)
+
+    def on_progress(progress):
+        ctx.check()
+
+    result = engine.run(seeds, on_progress=on_progress,
+                        progress_interval=0.2)
+    return result.to_dict()
 
 
 @register_executor("coverage")

@@ -166,6 +166,43 @@ class TestReportRendering:
         assert report.gpr_coverage == 0.0
 
 
+class TestDegenerateUniverses:
+    """Empty denominators must read as 0.0 %, never ZeroDivisionError."""
+
+    def _degenerate(self):
+        from repro.coverage.report import CoverageReport
+        return CoverageReport(isa_name="degenerate", insn_universe={},
+                              csr_universe=frozenset(), has_fprs=False)
+
+    def test_all_ratios_zero_not_crash(self):
+        report = self._degenerate()
+        assert report.insn_coverage == 0.0
+        assert report.csr_coverage == 0.0
+        assert report.fpr_coverage == 0.0
+        assert report.gpr_coverage == 0.0
+
+    def test_hits_against_empty_universe_still_zero(self):
+        # Zero instructions in the universe but a non-empty hit set (e.g.
+        # a report unioned across mismatched collectors) must not divide
+        # by zero either.
+        report = self._degenerate()
+        report.insn_types = {"phantom"}
+        report.csrs_accessed = {0x300}
+        assert report.insn_coverage == 0.0
+        assert report.csr_coverage == 0.0
+
+    def test_rendering_survives_empty_universe(self):
+        report = self._degenerate()
+        text = report.to_text("degenerate")
+        assert "0.0%" in text
+        assert set(report.summary_row().values()) == {0.0}
+
+    def test_fpr_coverage_without_fprs_is_zero(self):
+        report = empty_report(RV32IM)
+        report.fprs_read = {1}
+        assert report.fpr_coverage == 0.0
+
+
 class TestMachineValidation:
     def test_untraced_machine_rejected(self):
         from repro.vp import Machine, MachineConfig

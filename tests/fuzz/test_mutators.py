@@ -1,0 +1,123 @@
+"""ISA-aware mutator tests: validity, determinism, operator behaviour."""
+
+import random
+
+from repro.fuzz import IsaMutator, MAX_BODY_WORDS
+from repro.isa import Decoder, RV32IMC_ZICSR, encode
+
+
+def seed_words(decoder):
+    return (
+        encode(decoder, "addi", 5, 0, 1),
+        encode(decoder, "add", 6, 5, 5),
+        encode(decoder, "xor", 7, 6, 5),
+        encode(decoder, "beq", 5, 6, 8),
+        encode(decoder, "sub", 8, 7, 6),
+    )
+
+
+class TestValidity:
+    def test_all_mutants_fully_decodable(self):
+        decoder = Decoder(RV32IMC_ZICSR)
+        mutator = IsaMutator(RV32IMC_ZICSR)
+        rng = random.Random(0)
+        words = seed_words(decoder)
+        for _ in range(300):
+            words = mutator.mutate(words, rng, donors=[seed_words(decoder)])
+            assert words, "mutant must be non-empty"
+            for word in words:
+                assert decoder.try_decode(word) is not None, hex(word)
+
+    def test_random_instruction_encodes_validly(self):
+        decoder = Decoder(RV32IMC_ZICSR)
+        mutator = IsaMutator(RV32IMC_ZICSR)
+        rng = random.Random(1)
+        produced = 0
+        for _ in range(100):
+            word = mutator.random_instruction(rng)
+            if word is None:
+                continue
+            produced += 1
+            assert decoder.try_decode(word) is not None
+        assert produced > 90
+
+    def test_never_generates_excluded_mnemonics(self):
+        decoder = Decoder(RV32IMC_ZICSR)
+        mutator = IsaMutator(RV32IMC_ZICSR)
+        rng = random.Random(2)
+        for _ in range(500):
+            word = mutator.random_instruction(rng)
+            if word is None:
+                continue
+            name = decoder.try_decode(word).spec.name
+            assert name not in ("ecall", "ebreak", "c.ebreak", "wfi",
+                                "mret")
+
+    def test_length_cap_enforced(self):
+        decoder = Decoder(RV32IMC_ZICSR)
+        mutator = IsaMutator(RV32IMC_ZICSR, max_body_words=16)
+        rng = random.Random(3)
+        words = seed_words(decoder)
+        donor = seed_words(decoder) * 10
+        for _ in range(200):
+            words = mutator.mutate(words, rng, donors=[donor])
+            assert len(words) <= 16
+
+
+class TestDeterminism:
+    def test_same_rng_seed_same_mutants(self):
+        decoder = Decoder(RV32IMC_ZICSR)
+        words = seed_words(decoder)
+        donors = [seed_words(decoder)]
+
+        def trajectory(seed):
+            mutator = IsaMutator(RV32IMC_ZICSR)
+            rng = random.Random(seed)
+            current = words
+            out = []
+            for _ in range(50):
+                current = mutator.mutate(current, rng, donors=donors)
+                out.append(current)
+            return out
+
+        assert trajectory(7) == trajectory(7)
+        assert trajectory(7) != trajectory(8)
+
+
+class TestOperators:
+    def test_mutation_changes_input_usually(self):
+        decoder = Decoder(RV32IMC_ZICSR)
+        mutator = IsaMutator(RV32IMC_ZICSR)
+        rng = random.Random(4)
+        words = seed_words(decoder)
+        changed = sum(
+            1 for _ in range(100)
+            if mutator.mutate(words, rng, donors=[words]) != words)
+        assert changed > 80
+
+    def test_splice_draws_from_donor(self):
+        decoder = Decoder(RV32IMC_ZICSR)
+        mutator = IsaMutator(RV32IMC_ZICSR)
+        rng = random.Random(5)
+        base = (encode(decoder, "addi", 5, 0, 1),)
+        donor_word = encode(decoder, "mul", 10, 11, 12)
+        seen_donor = False
+        for _ in range(200):
+            mutated = mutator.mutate(base, rng, donors=[(donor_word,) * 4])
+            if donor_word in mutated:
+                seen_donor = True
+                break
+        assert seen_donor
+
+    def test_empty_input_recovers(self):
+        mutator = IsaMutator(RV32IMC_ZICSR)
+        rng = random.Random(6)
+        decoder = Decoder(RV32IMC_ZICSR)
+        word = encode(decoder, "addi", 5, 0, 1)
+        # Repeated delete pressure on a single instruction must never
+        # yield an empty mutant.
+        for _ in range(100):
+            assert mutator.mutate((word,), rng) != ()
+
+    def test_default_cap_is_module_constant(self):
+        assert IsaMutator(RV32IMC_ZICSR).max_body_words == MAX_BODY_WORDS

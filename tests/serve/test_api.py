@@ -42,7 +42,8 @@ class TestEndpoints:
 
     def test_kinds(self, client):
         kinds = client.kinds()
-        assert {"vp_run", "fault_campaign", "coverage", "wcet"} <= set(kinds)
+        assert {"vp_run", "fault_campaign", "coverage", "wcet",
+                "fuzz"} <= set(kinds)
 
     def test_submit_status_result(self, client):
         job = client.submit("vp_run", {"source": EXIT_OK})

@@ -97,3 +97,44 @@ class TestVpRunParity:
         assert result["instructions"] == direct.instructions
         assert result["cycles"] == direct.cycles
         assert result["uart_output"] == machine.uart.output
+
+
+class TestFuzzJobParity:
+    PAYLOAD = {"iterations": 120, "seed": 9, "seeds": "trivial",
+               "max_instructions": 1000}
+
+    def _strip_clock(self, data: dict) -> str:
+        data = dict(data)
+        data.pop("elapsed_seconds")
+        data.pop("execs_per_second")
+        return json.dumps(data, sort_keys=True)
+
+    def test_fuzz_job_matches_direct_engine(self):
+        from repro.fuzz import FuzzConfig, FuzzEngine, trivial_seed
+
+        engine = FuzzEngine(RV32IMC_ZICSR, FuzzConfig(
+            iterations=120, seed=9, max_instructions=1000))
+        direct = engine.run(trivial_seed(RV32IMC_ZICSR))
+        job = execute_job("fuzz", dict(self.PAYLOAD))
+        assert self._strip_clock(job) == self._strip_clock(direct.to_dict())
+
+    def test_fuzz_job_through_service(self):
+        service = BatchService(workers=2, queue_limit=8).start()
+        try:
+            job = service.submit(JobSpec(kind="fuzz",
+                                         payload=dict(self.PAYLOAD)))
+            assert job.wait(120), f"job stuck in {job.state}"
+            assert job.state == "succeeded", job.error
+            result = job.result
+        finally:
+            service.shutdown()
+        assert result["corpus_size"] > 1
+        assert result["coverage_elements"] > 0
+        assert self._strip_clock(result) == \
+            self._strip_clock(execute_job("fuzz", dict(self.PAYLOAD)))
+
+    def test_bad_seeds_kind_rejected(self):
+        from repro.serve.executors import ExecutorError
+
+        with pytest.raises(ExecutorError, match="seeds"):
+            execute_job("fuzz", {"seeds": "nonsense", "iterations": 1})
