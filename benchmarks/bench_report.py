@@ -17,7 +17,11 @@ numbers the performance work is judged by:
   with a worker pool — corpus signatures are asserted identical before
   the parallel number is recorded;
 * ``qta_overhead_factor`` — slowdown when the QTA timing plugin rides
-  along, which must stay a small bounded factor.
+  along, which must stay a small bounded factor;
+* ``telemetry_overhead`` — cost of disabled telemetry and of the idle
+  (default, exec-count-harvesting) profiler on the F1 hot path, each
+  asserted under 2% so observability never silently regresses the
+  interpreter speed work.
 
 Usage::
 
@@ -163,6 +167,71 @@ def measure_qta_overhead(iters: int):
     plain = run(with_qta=False)
     with_plugin = run(with_qta=True)
     return plain / with_plugin
+
+
+#: Observability on the F1 hot path must cost less than this fraction.
+TELEMETRY_OVERHEAD_LIMIT = 0.02
+
+
+def measure_telemetry_overhead(iters: int, repeats: int):
+    """Overhead of observability riding along on the F1 workload.
+
+    Three configurations — no instrumentation, telemetry attached but
+    disabled (the null session), and the default profiler (which
+    harvests ``TranslationBlock.exec_count`` instead of hooking block
+    execution) — measured interleaved, best-of-N each, so drift on the
+    host biases no single configuration.  Both instrumented overheads
+    are asserted under :data:`TELEMETRY_OVERHEAD_LIMIT`.
+
+    ``iters`` is floored so each run takes long enough that the one-off
+    attach cost (plugin registration flushes the block cache) cannot
+    masquerade as per-instruction overhead.
+    """
+    from repro.observe import SamplingProfiler
+    from repro.telemetry import NULL_TELEMETRY
+
+    iters = max(iters, 20_000)
+    program = assemble(WORKLOAD.format(iters=iters), isa=RV32IMC_ZICSR)
+
+    instructions = 0
+
+    def one(setup) -> float:
+        nonlocal instructions
+        machine = Machine(MachineConfig(isa=RV32IMC_ZICSR))
+        machine.load(program)
+        setup(machine)
+        start = time.perf_counter()
+        result = machine.run(max_instructions=50_000_000)
+        elapsed = time.perf_counter() - start
+        assert result.stop_reason == "exit", result.stop_reason
+        instructions = result.instructions
+        return elapsed
+
+    configs = {
+        "plain": lambda machine: None,
+        "telemetry_disabled":
+            lambda machine: setattr(machine, "telemetry", NULL_TELEMETRY),
+        "idle_profiler":
+            lambda machine: machine.add_plugin(SamplingProfiler()),
+    }
+    best = {name: float("inf") for name in configs}
+    for _ in range(max(5, repeats)):
+        for name, setup in configs.items():
+            best[name] = min(best[name], one(setup))
+    overheads = {name: best[name] / best["plain"] - 1.0
+                 for name in configs if name != "plain"}
+    for name, overhead in overheads.items():
+        assert overhead < TELEMETRY_OVERHEAD_LIMIT, (
+            f"{name} costs {overhead:.2%} on the F1 hot path "
+            f"(limit {TELEMETRY_OVERHEAD_LIMIT:.0%})")
+    return {
+        "limit": TELEMETRY_OVERHEAD_LIMIT,
+        "telemetry_disabled_overhead": round(
+            overheads["telemetry_disabled"], 4),
+        "idle_profiler_overhead": round(
+            overheads["idle_profiler"], 4),
+        "plain_mips": round(instructions / best["plain"] / 1e6, 3),
+    }
 
 
 def campaign_faults(campaign: FaultCampaign, mutants: int):
@@ -332,6 +401,8 @@ def build_report(smoke: bool) -> dict:
             "speedup_vs_baseline": round(rate / BASELINE_INSNS_PER_SECOND, 3),
         },
         "qta_overhead_factor": round(measure_qta_overhead(iters), 3),
+        "telemetry_overhead": measure_telemetry_overhead(
+            iters, repeats=3 if smoke else 6),
         "campaign": measure_campaign(mutants, jobs),
         "campaign_checkpoint": measure_checkpoint_campaign(
             mutants=20 if smoke else 60,

@@ -1,0 +1,215 @@
+#!/usr/bin/env python3
+"""End-to-end smoke test for the observability surface.
+
+Starts ``repro serve`` as a real subprocess, submits a short traced
+fault campaign, and asserts that
+
+* ``GET /metrics`` parses as Prometheus text exposition and counts the
+  submitted job,
+* ``GET /v1/events?since=`` tailing is monotonic — every cursor hop
+  yields only new records, timestamps never go backwards, nothing is
+  missed,
+* the per-job trace view covers queue wait and execution and exports to
+  a loadable Chrome trace,
+* ``repro profile`` on the F1 compute workload attributes the hot path
+  to the ``loop`` symbol and writes a collapsed-stack file whose top
+  entry matches.
+
+Used by CI (observe-smoke job) and runnable by hand:
+
+    python examples/observe_smoke.py
+
+Exits 0 on success, non-zero on any mismatch or timeout.  The whole run
+is bounded by HARD_TIMEOUT so a wedged server cannot hang CI.
+"""
+
+import json
+import os
+import subprocess
+import sys
+import tempfile
+import time
+import urllib.error
+
+HARD_TIMEOUT = 180.0          # seconds for the entire smoke run
+PORT = int(os.environ.get("SMOKE_PORT", "18973"))
+MUTANTS = 20
+SEED = 11
+
+CAMPAIGN_WORKLOAD = """
+_start:
+    li t0, 0
+    li t1, 50
+loop:
+    addi t0, t0, 1
+    bne t0, t1, loop
+    li a0, 0
+    li a7, 93
+    ecall
+"""
+
+# The F1 compute loop, small enough for a smoke profile.
+F1_WORKLOAD = """
+_start:
+    li t0, 0
+    li t1, 2000
+    li a0, 0
+loop:
+    add a0, a0, t0
+    xor a1, a0, t0
+    srli a2, a1, 3
+    and a3, a2, t0
+    or a0, a0, a3
+    slli a0, a0, 1
+    srli a0, a0, 1
+    addi t0, t0, 1
+    blt t0, t1, loop
+    li a0, 0
+    li a7, 93
+    ecall
+"""
+
+
+def wait_for_health(client, deadline):
+    while time.monotonic() < deadline:
+        try:
+            if client.health()["status"] == "ok":
+                return True
+        except (urllib.error.URLError, OSError):
+            time.sleep(0.2)
+    return False
+
+
+def check_metrics(client):
+    from repro.telemetry import parse_prometheus
+
+    parsed = parse_prometheus(client.metrics_text())  # raises if malformed
+    submitted = parsed["repro_serve_submitted_total"][()]
+    if submitted < 1:
+        raise SystemExit(f"metrics lost the submitted job: {submitted}")
+    buckets = parsed.get("repro_serve_job_seconds_bucket", {})
+    if not any(dict(labels).get("le") == "+Inf" for labels in buckets):
+        raise SystemExit("job-time histogram is missing its +Inf bucket")
+    print(f"/metrics: {len(parsed)} series, "
+          f"submitted_total={submitted:.0f}")
+
+
+def check_event_tailing(tails):
+    """Cursor hops must be monotonic and loss-free.
+
+    (Record *timestamps* are not globally ordered by design: spans are
+    recorded at completion, and worker events merge in retroactively.)
+    """
+    cursor = 0
+    seen = []
+    for batch in tails:
+        if batch["missed"]:
+            raise SystemExit(f"tail lost {batch['missed']} records")
+        if batch["next"] < cursor + len(batch["events"]):
+            raise SystemExit("tail cursor went backwards")
+        cursor = batch["next"]
+        seen.extend(e["type"] for e in batch["events"])
+    if len(seen) < 3:
+        raise SystemExit(f"expected a stream of events, saw {len(seen)}")
+    if seen.count("job.submitted") != 1:
+        raise SystemExit(
+            "tailing duplicated or lost the job.submitted record: "
+            f"{seen.count('job.submitted')}")
+    print(f"/v1/events: {len(seen)} records over {len(tails)} polls, "
+          "cursor monotonic, no loss")
+
+
+def check_trace(client, job_id):
+    from repro.telemetry import to_chrome_trace
+
+    events = client.job_events(job_id)["events"]
+    types = {e["type"] for e in events}
+    needed = {"job.queue_wait", "job", "campaign.started",
+              "campaign.finished"}
+    if not needed <= types:
+        raise SystemExit(f"trace is missing spans: {sorted(needed - types)}")
+    trace = to_chrome_trace(events)
+    json.dumps(trace)  # must serialize
+    print(f"trace: {len(events)} events, {len(trace)} chrome records")
+
+
+def check_profile(deadline):
+    """``repro profile`` on F1: hot symbol + collapsed export agree."""
+    with tempfile.TemporaryDirectory() as tmp:
+        asm = os.path.join(tmp, "f1.s")
+        folded = os.path.join(tmp, "f1.folded")
+        with open(asm, "w", encoding="utf-8") as handle:
+            handle.write(F1_WORKLOAD)
+        env = dict(os.environ, PYTHONPATH=os.path.join(
+            os.path.dirname(__file__), "..", "src"))
+        proc = subprocess.run(
+            [sys.executable, "-m", "repro", "profile", asm,
+             "--collapsed-out", folded],
+            env=env, capture_output=True, text=True,
+            timeout=max(1.0, deadline - time.monotonic()))
+        if proc.returncode != 0:
+            raise SystemExit(f"repro profile failed: {proc.stderr}")
+        if "loop" not in proc.stdout:
+            raise SystemExit("profile report does not mention the loop")
+        with open(folded, encoding="utf-8") as handle:
+            top = handle.readline().strip()
+    if not top.startswith("loop;"):
+        raise SystemExit(f"hottest collapsed entry is not loop: {top!r}")
+    print(f"profile: top collapsed entry {top.split(' ')[0]}")
+
+
+def main():
+    sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
+    from repro.observe import TraceContext
+    from repro.serve.client import ServiceClient
+
+    deadline = time.monotonic() + HARD_TIMEOUT
+    env = dict(os.environ, PYTHONPATH=os.path.join(
+        os.path.dirname(__file__), "..", "src"))
+    server = subprocess.Popen(
+        [sys.executable, "-m", "repro", "serve",
+         "--port", str(PORT), "--workers", "2"],
+        env=env, stdout=subprocess.DEVNULL, stderr=subprocess.DEVNULL)
+    client = ServiceClient(f"http://127.0.0.1:{PORT}", timeout=10)
+    try:
+        if not wait_for_health(client, deadline):
+            raise SystemExit("server never became healthy")
+
+        tails = [client.events(since=0)]
+        job = client.submit(
+            "fault_campaign",
+            {"source": CAMPAIGN_WORKLOAD, "mutants": MUTANTS, "seed": SEED},
+            trace=TraceContext.mint().to_dict())
+        print(f"submitted traced job {job['id']}")
+
+        state = None
+        while time.monotonic() < deadline:
+            tails.append(client.events(since=tails[-1]["next"]))
+            state = client.status(job["id"])["state"]
+            if state not in ("pending", "running"):
+                break
+            time.sleep(0.3)
+        if state != "succeeded":
+            raise SystemExit(f"job finished in state {state}")
+        tails.append(client.events(since=tails[-1]["next"]))
+
+        check_metrics(client)
+        check_event_tailing(tails)
+        check_trace(client, job["id"])
+
+        client.shutdown(drain=True)
+        server.wait(timeout=max(1.0, deadline - time.monotonic()))
+    finally:
+        if server.poll() is None:
+            server.terminate()
+            try:
+                server.wait(timeout=10)
+            except subprocess.TimeoutExpired:
+                server.kill()
+
+    check_profile(deadline)
+    print("observability smoke test passed")
+
+
+if __name__ == "__main__":
+    main()

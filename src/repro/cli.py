@@ -14,6 +14,8 @@ Commands mirror the ecosystem tools:
 ``stats``   re-render a saved telemetry event log (JSONL)
 ``serve``   run the batch simulation service (HTTP/JSON job API)
 ``submit``  submit a job to a running batch service
+``profile`` guest-level sampling profile of a program on the VP
+``top``     live terminal view of a running batch service
 =========== ===========================================================
 
 All commands take an assembly file (``-`` for stdin) and an optional
@@ -48,6 +50,21 @@ def _isa(args) -> IsaConfig:
     return IsaConfig.from_string(args.isa)
 
 
+def _write_profile(profiler, program, isa, path) -> None:
+    """Save a finished profile: ``.json`` keeps the structured form,
+    anything else gets collapsed-stack lines for flamegraph tools."""
+    profile = profiler.profile(program, isa=isa)
+    if path.endswith(".json"):
+        profile.save_json(path)
+    else:
+        profile.save_collapsed(path)
+    hottest = profile.functions()[:1]
+    where = (f"; hottest: {hottest[0]['function']} "
+             f"({hottest[0]['fraction']:.0%})" if hottest else "")
+    print(f"profile ({profile.total_samples:,} samples) written to "
+          f"{path}{where}", file=sys.stderr)
+
+
 def cmd_run(args) -> int:
     from .telemetry import current_telemetry
     from .vp.machine import Machine, MachineConfig
@@ -59,10 +76,16 @@ def cmd_run(args) -> int:
     machine.load(program)
     if current_telemetry().enabled:
         machine.attach_telemetry()
+    profiler = None
+    if args.profile_out:
+        from .observe import SamplingProfiler
+        profiler = machine.add_plugin(SamplingProfiler())
     tracer = None
     if args.trace:
         tracer = machine.add_plugin(ExecutionTracer(limit=args.trace))
     result = machine.run(max_instructions=args.max_instructions)
+    if profiler is not None:
+        _write_profile(profiler, program, isa, args.profile_out)
     if machine.uart.output:
         print(machine.uart.output, end="")
         if not machine.uart.output.endswith("\n"):
@@ -160,6 +183,17 @@ def cmd_faults(args) -> int:
     if on_progress is not None:
         print(file=sys.stderr)
     print(result.table())
+    if args.profile_out:
+        # Profile the fault-free workload itself (one extra golden-budget
+        # run with the sampler attached) — the hot path mutants hammer.
+        from .observe import SamplingProfiler
+        from .vp.machine import Machine, MachineConfig
+
+        machine = Machine(MachineConfig(isa=isa))
+        machine.load(program)
+        profiler = machine.add_plugin(SamplingProfiler())
+        machine.run(max_instructions=campaign.golden_budget)
+        _write_profile(profiler, program, isa, args.profile_out)
     return 0
 
 
@@ -192,6 +226,17 @@ def cmd_fuzz(args) -> int:
         time_budget=args.time_budget,
     )
     engine = FuzzEngine(isa, config)
+    profiler = None
+    if args.profile_out:
+        # Samples the in-process evaluator machine; with --jobs > 1 the
+        # worker processes' share of executions is not attributed.
+        from .observe import SamplingProfiler
+
+        profiler = engine.evaluator.machine.add_plugin(SamplingProfiler())
+        if args.jobs != 1:
+            print("note: --profile-out samples the in-process evaluator "
+                  "only; use --jobs 1 for complete attribution",
+                  file=sys.stderr)
     if args.seeds == "trivial":
         seeds = trivial_seed(isa)
     else:
@@ -214,7 +259,45 @@ def cmd_fuzz(args) -> int:
         print(result.summary())
         print()
         print(result.triage.table())
+    if profiler is not None:
+        # Fuzz inputs have no symbol table; blocks attribute to hex pcs.
+        _write_profile(profiler, None, isa, args.profile_out)
     return 0
+
+
+def cmd_profile(args) -> int:
+    from .observe import SamplingProfiler
+    from .vp.machine import Machine, MachineConfig
+
+    isa = _isa(args)
+    program = assemble(_read_source(args.source), isa=isa)
+    machine = Machine(MachineConfig(isa=isa))
+    machine.load(program)
+    profiler = machine.add_plugin(
+        SamplingProfiler(interval=args.interval))
+    result = machine.run(max_instructions=args.max_instructions)
+    profile = profiler.profile(program, isa=isa)
+    print(profile.render(limit=args.limit))
+    if args.annotate:
+        print()
+        print(profile.annotated_disasm(limit=args.annotate))
+    if args.collapsed_out:
+        profile.save_collapsed(args.collapsed_out)
+        print(f"collapsed stacks written to {args.collapsed_out} "
+              "(feed to any flamegraph renderer)", file=sys.stderr)
+    if args.json_out:
+        profile.save_json(args.json_out)
+        print(f"profile JSON written to {args.json_out}", file=sys.stderr)
+    print(f"stop: {result.stop_reason}  exit: {result.exit_code}  "
+          f"instructions: {result.instructions}", file=sys.stderr)
+    return 0
+
+
+def cmd_top(args) -> int:
+    from .observe import run_top
+
+    iterations = 1 if args.once else args.frames
+    return run_top(args.url, interval=args.interval, iterations=iterations)
 
 
 def cmd_serve(args) -> int:
@@ -229,7 +312,9 @@ def cmd_serve(args) -> int:
                            quiet=not args.verbose)
     print(f"repro batch service listening on {server.url} "
           f"({service.workers} {service.mode} workers, "
-          f"queue limit {service.queue.limit})", file=sys.stderr)
+          f"queue limit {service.queue.limit}); observability: "
+          f"{server.url}/metrics, /v1/events, /v1/fuzz/frontier "
+          "(watch with `repro top`)", file=sys.stderr)
     server.serve_forever()
     return 0
 
@@ -252,11 +337,21 @@ def cmd_submit(args) -> int:
                        checkpoints=not args.no_checkpoints)
         if args.digest_interval is not None:
             payload["digest_interval"] = args.digest_interval
+    trace_ctx = None
+    if args.trace_out:
+        if not args.wait:
+            print("error: --trace-out requires --wait (the trace is "
+                  "fetched after the job resolves)", file=sys.stderr)
+            return 2
+        from .observe import TraceContext
+
+        trace_ctx = TraceContext.mint()
     client = ServiceClient(args.url)
     try:
         job = client.submit(args.kind, payload, priority=args.priority,
                             timeout_seconds=args.timeout,
-                            max_retries=args.max_retries)
+                            max_retries=args.max_retries,
+                            trace=trace_ctx.to_dict() if trace_ctx else None)
     except BackpressureError as exc:
         print(f"rejected: {exc.message}", file=sys.stderr)
         return 3
@@ -266,6 +361,15 @@ def cmd_submit(args) -> int:
         return 0
     done = client.wait(job["id"], timeout=args.wait_timeout,
                        poll_interval=args.poll_interval)
+    if trace_ctx is not None:
+        from .telemetry import export_chrome_trace
+
+        events = client.job_events(job["id"])["events"]
+        export_chrome_trace(events, args.trace_out)
+        print(f"Chrome trace ({len(events)} events, trace "
+              f"{trace_ctx.trace_id[:8]}…) written to {args.trace_out} "
+              "(load in chrome://tracing or ui.perfetto.dev)",
+              file=sys.stderr)
     print(json.dumps(done, indent=2, sort_keys=True))
     return 0 if done["state"] == "succeeded" else 1
 
@@ -327,11 +431,36 @@ def build_parser() -> argparse.ArgumentParser:
                            default=10_000_000)
         telemetry_flags(p)
 
+    def profile_flag(p):
+        p.add_argument("--profile-out", metavar="FILE",
+                       help="save a guest sampling profile (.json = "
+                            "structured, otherwise collapsed stacks for "
+                            "flamegraph tools)")
+
     p = sub.add_parser("run", help="assemble and run on the VP")
     common(p)
     p.add_argument("--trace", type=int, default=0, metavar="N",
                    help="print the last N executed instructions")
+    profile_flag(p)
     p.set_defaults(func=cmd_run)
+
+    p = sub.add_parser("profile",
+                       help="guest-level sampling profile on the VP")
+    common(p)
+    p.add_argument("--interval", type=int, default=1, metavar="N",
+                   help="sample every N-th block execution (default 1 = "
+                        "exact attribution)")
+    p.add_argument("--limit", type=int, default=10, metavar="N",
+                   help="rows in the function / hot-block tables")
+    p.add_argument("--annotate", type=int, default=0, metavar="N",
+                   nargs="?", const=3,
+                   help="print annotated disassembly of the N hottest "
+                        "blocks (bare flag: 3)")
+    p.add_argument("--collapsed-out", metavar="FILE",
+                   help="save collapsed-stack lines (flamegraph input)")
+    p.add_argument("--json-out", metavar="FILE.json",
+                   help="save the structured profile as JSON")
+    p.set_defaults(func=cmd_profile)
 
     p = sub.add_parser("disasm", help="objdump-style listing")
     common(p, with_budget=False)
@@ -376,6 +505,7 @@ def build_parser() -> argparse.ArgumentParser:
                    help="golden-trace digest spacing in instructions for "
                         "early mutant classification (default: "
                         "golden_instructions/256, floor 64)")
+    profile_flag(p)
     p.set_defaults(func=cmd_faults)
 
     p = sub.add_parser("mutate", help="mutation-test a self-checking binary")
@@ -415,6 +545,7 @@ def build_parser() -> argparse.ArgumentParser:
                         "guarantee for bounded runtime")
     p.add_argument("--json", action="store_true",
                    help="print the full machine-readable result")
+    profile_flag(p)
     telemetry_flags(p)
     p.set_defaults(func=cmd_fuzz)
 
@@ -478,7 +609,23 @@ def build_parser() -> argparse.ArgumentParser:
                    help="poll until the job resolves and print the result")
     p.add_argument("--wait-timeout", type=float, default=600.0)
     p.add_argument("--poll-interval", type=float, default=0.5)
+    p.add_argument("--trace-out", metavar="FILE.json",
+                   help="trace the job end-to-end (submit -> queue -> "
+                        "worker -> VP) and export the merged Chrome "
+                        "trace; requires --wait")
     p.set_defaults(func=cmd_submit, _no_telemetry_flags=True)
+
+    p = sub.add_parser("top",
+                       help="live terminal view of a batch service")
+    p.add_argument("--url", default="http://127.0.0.1:8972",
+                   help="service base URL")
+    p.add_argument("--interval", type=float, default=2.0,
+                   metavar="SECONDS", help="refresh period")
+    p.add_argument("--frames", type=int, default=0, metavar="N",
+                   help="stop after N refreshes (0 = until interrupted)")
+    p.add_argument("--once", action="store_true",
+                   help="print one snapshot and exit")
+    p.set_defaults(func=cmd_top, _no_telemetry_flags=True)
 
     p = sub.add_parser("stats",
                        help="re-render a saved telemetry event log")
@@ -491,9 +638,10 @@ def build_parser() -> argparse.ArgumentParser:
 def main(argv: Optional[List[str]] = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
-    wants_telemetry = (getattr(args, "stats", False)
-                       or getattr(args, "events_out", None)
-                       or getattr(args, "trace_out", None))
+    wants_telemetry = (not getattr(args, "_no_telemetry_flags", False)
+                       and (getattr(args, "stats", False)
+                            or getattr(args, "events_out", None)
+                            or getattr(args, "trace_out", None)))
     if not wants_telemetry:
         try:
             return args.func(args)
@@ -516,7 +664,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         if args.stats:
             print("\n=== telemetry ===")
             print(render_report(session.events.events,
-                                session.metrics.to_dict()))
+                                session.metrics.to_dict(),
+                                log_stats=session.events.stats()))
         try:
             if args.events_out:
                 session.events.save_jsonl(args.events_out)

@@ -186,6 +186,21 @@ class CheckpointEngine:
         this so the next positioning restores instead of trusting state."""
         self._positioned = None
 
+    def _restore_snapshot(self, snapshot, trigger: int) -> None:
+        """Restore one stored snapshot with stats + telemetry accounting.
+
+        Emits a ``checkpoint.restore`` span (free when telemetry is
+        disabled) so traced service jobs show each warm restore as a
+        slice in the exported Chrome trace.
+        """
+        from ..telemetry.session import current_telemetry
+
+        events = current_telemetry().events
+        with events.span("checkpoint.restore", trigger=trigger):
+            pages = self.machine.restore(snapshot)
+        self.stats["pages_copied"] += pages
+        self.stats["restores"] += 1
+
     # -- golden-side machinery -----------------------------------------
 
     def _store(self, checkpoint: Checkpoint) -> None:
@@ -259,17 +274,13 @@ class CheckpointEngine:
         checkpoint = self._checkpoints.get(trigger)
         if checkpoint is not None:
             if self._positioned != trigger:
-                self.stats["pages_copied"] += \
-                    self.machine.restore(checkpoint.snapshot)
-                self.stats["restores"] += 1
+                self._restore_snapshot(checkpoint.snapshot, trigger)
                 self._tracer.count = trigger
                 self._positioned = trigger
             return checkpoint.dirty_cum, 0
         ancestor = self._nearest_at_or_below(trigger)
         if self._positioned != ancestor.trigger:
-            self.stats["pages_copied"] += \
-                self.machine.restore(ancestor.snapshot)
-            self.stats["restores"] += 1
+            self._restore_snapshot(ancestor.snapshot, ancestor.trigger)
             self._tracer.count = ancestor.trigger
         self._dirty_cum_base = ancestor.dirty_cum
         instret_before = self.machine.cpu.csrs.instret
@@ -312,9 +323,7 @@ class CheckpointEngine:
             # whole program (needed for early classification anywhere).
             if self._positioned is None:
                 last = self._checkpoints[self._sorted_triggers[-1]]
-                self.stats["pages_copied"] += \
-                    self.machine.restore(last.snapshot)
-                self.stats["restores"] += 1
+                self._restore_snapshot(last.snapshot, last.trigger)
                 self._tracer.count = last.trigger
                 self._dirty_cum_base = last.dirty_cum
             else:

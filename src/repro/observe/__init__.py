@@ -1,0 +1,34 @@
+"""Live observability for the repro stack.
+
+The pieces that turn the existing telemetry substrate into an
+*observatory* for running work:
+
+* :class:`SamplingProfiler` / :class:`Profile` — a guest-level sampling
+  profiler for the VP (``repro profile``, ``--profile-out``),
+* :class:`TraceContext` — end-to-end trace propagation from
+  ``repro submit`` through the batch service into the VP run,
+* :func:`frontier_from_events` / :func:`render_frontier` — the live fuzz
+  coverage-frontier view behind ``GET /v1/fuzz/frontier``,
+* :func:`fetch_status` / :func:`render_top` / :func:`run_top` — the
+  ``repro top`` terminal dashboard polling a service's ``/metrics`` and
+  streaming-status endpoints.
+"""
+
+from .frontier import frontier_from_events, render_frontier
+from .profiler import Profile, SamplingProfiler
+from .top import (ServiceStatus, fetch_status, quantile_from_buckets,
+                  render_top, run_top)
+from .trace import TraceContext
+
+__all__ = [
+    "SamplingProfiler",
+    "Profile",
+    "TraceContext",
+    "frontier_from_events",
+    "render_frontier",
+    "ServiceStatus",
+    "fetch_status",
+    "render_top",
+    "run_top",
+    "quantile_from_buckets",
+]

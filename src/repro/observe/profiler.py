@@ -1,0 +1,309 @@
+"""Guest-level sampling profiler for the virtual prototype.
+
+A :class:`SamplingProfiler` is a VP plugin driven by ``on_block_exec``:
+every ``interval``-th block execution lands one sample on that
+translation block's start pc.  Because a block's instruction list is
+known at translate time, block samples convert directly into estimated
+retired-instruction attribution — a flat PC/TB profile of the *guest*
+program, the moral equivalent of ``perf`` for code running on the VP.
+
+From the raw samples, :meth:`SamplingProfiler.profile` builds a
+:class:`Profile` against the program image:
+
+* **hot-block ranking** — blocks by estimated instructions,
+* **per-function aggregation** — each block attributed to the nearest
+  preceding symbol in the program's symbol table,
+* **annotated disassembly** — the hot path listed instruction by
+  instruction with sample weight,
+* **collapsed-stack export** — ``function;block_0xPC count`` lines,
+  the folded format every flamegraph renderer ingests.
+
+Exposed as ``repro profile`` and the ``--profile-out`` flag on VP,
+fault-campaign, and fuzz runs.
+"""
+
+from __future__ import annotations
+
+import bisect
+import json
+from typing import Dict, List, Optional, Tuple
+
+from ..vp.plugins import Plugin
+
+__all__ = ["SamplingProfiler", "Profile"]
+
+
+class SamplingProfiler(Plugin):
+    """Counts block executions; every ``interval``-th one is a sample.
+
+    ``interval=1`` (the default) profiles every block execution — exact
+    attribution.  Because the interpreter already maintains
+    ``TranslationBlock.exec_count`` on its hot path, the exact case is
+    implemented by harvesting those counters instead of hooking every
+    block execution, so the default profiler adds no per-block cost at
+    all.  Larger intervals run the countdown sampler in
+    ``on_block_exec``; sample weights are scaled back up by the interval
+    so estimates stay unbiased.
+    """
+
+    name = "profiler"
+
+    def __new__(cls, interval: int = 1):
+        if cls is SamplingProfiler and interval == 1:
+            cls = _ExactProfiler
+        return super().__new__(cls)
+
+    def __init__(self, interval: int = 1) -> None:
+        if interval < 1:
+            raise ValueError(f"interval must be >= 1, got {interval}")
+        self.interval = interval
+        self._countdown = interval
+        #: start_pc -> sample count.
+        self.samples: Dict[int, int] = {}
+        #: start_pc -> (pcs, decoded list) captured at translate time.
+        self._blocks: Dict[int, Tuple[tuple, tuple]] = {}
+
+    # -- hooks ----------------------------------------------------------
+
+    def on_block_translate(self, cpu, block) -> None:
+        self._blocks[block.start_pc] = (tuple(block.pcs),
+                                        tuple(block.insns))
+
+    def on_block_exec(self, cpu, block) -> None:
+        self._countdown -= 1
+        if self._countdown:
+            return
+        self._countdown = self.interval
+        pc = block.start_pc
+        self.samples[pc] = self.samples.get(pc, 0) + 1
+
+    # -- results --------------------------------------------------------
+
+    @property
+    def total_samples(self) -> int:
+        return sum(self.samples.values())
+
+    def reset(self) -> None:
+        self.samples.clear()
+        self._countdown = self.interval
+
+    def profile(self, program=None, isa=None) -> "Profile":
+        """Build the :class:`Profile` for the samples collected so far.
+
+        ``program`` (a :class:`repro.asm.Program`) supplies the symbol
+        table for per-function aggregation; without it, functions fall
+        back to hex block addresses.  ``isa`` enables the annotated
+        disassembly listing.
+        """
+        blocks = []
+        for pc, count in self.samples.items():
+            pcs, insns = self._blocks.get(pc, ((), ()))
+            blocks.append({
+                "start_pc": pc,
+                "samples": count,
+                "block_insns": len(pcs),
+                "est_instructions": count * self.interval * max(len(pcs), 1),
+            })
+        return Profile(blocks=blocks, interval=self.interval,
+                       block_details=self._blocks, program=program, isa=isa)
+
+
+class _ExactProfiler(SamplingProfiler):
+    """The ``interval=1`` specialization.
+
+    ``Machine.add_plugin`` flushes the translation cache on attach, so
+    every block this profiler can observe is retranslated through
+    ``on_block_translate`` — tracking block objects there and folding
+    their ``exec_count`` deltas in on demand (and before a cache flush
+    discards them) counts every execution without registering the
+    per-block ``on_block_exec`` hook.
+    """
+
+    # Deliberately un-override the hook so it is never registered.
+    on_block_exec = Plugin.on_block_exec
+
+    def __init__(self, interval: int = 1) -> None:
+        super().__init__(interval)
+        #: start_pc -> [block, exec_count already folded into samples].
+        self._tracked: Dict[int, list] = {}
+
+    def on_block_translate(self, cpu, block) -> None:
+        super().on_block_translate(cpu, block)
+        stale = self._tracked.get(block.start_pc)
+        if stale is not None:
+            self._harvest(stale)
+        self._tracked[block.start_pc] = [block, block.exec_count]
+
+    def on_tb_flush(self, cpu) -> None:
+        # Flushed blocks never execute again; bank their counts.
+        self._sync()
+        self._tracked.clear()
+
+    def _harvest(self, entry) -> None:
+        block, folded = entry
+        delta = block.exec_count - folded
+        if delta:
+            pc = block.start_pc
+            self.samples[pc] = self.samples.get(pc, 0) + delta
+            entry[1] = block.exec_count
+
+    def _sync(self) -> None:
+        for entry in self._tracked.values():
+            self._harvest(entry)
+
+    @property
+    def total_samples(self) -> int:
+        self._sync()
+        return sum(self.samples.values())
+
+    def reset(self) -> None:
+        super().reset()
+        for entry in self._tracked.values():
+            entry[1] = entry[0].exec_count
+
+    def profile(self, program=None, isa=None) -> "Profile":
+        self._sync()
+        return super().profile(program, isa=isa)
+
+
+def _symbol_index(program) -> Tuple[List[int], List[str]]:
+    if program is None or not getattr(program, "symbols", None):
+        return [], []
+    pairs = sorted((addr, name) for name, addr in program.symbols.items())
+    return [addr for addr, _ in pairs], [name for _, name in pairs]
+
+
+class Profile:
+    """A finished flat profile: ranked blocks, functions, exports."""
+
+    def __init__(self, blocks: List[Dict], interval: int = 1,
+                 block_details: Optional[Dict] = None,
+                 program=None, isa=None) -> None:
+        self.interval = interval
+        self.blocks = sorted(blocks, key=lambda b: (-b["est_instructions"],
+                                                    b["start_pc"]))
+        self._details = block_details or {}
+        self._program = program
+        self._isa = isa
+        self._addrs, self._names = _symbol_index(program)
+
+    # -- attribution ----------------------------------------------------
+
+    def function_of(self, pc: int) -> str:
+        """The nearest preceding symbol, or the hex address."""
+        index = bisect.bisect_right(self._addrs, pc) - 1
+        if index < 0:
+            return f"{pc:#x}"
+        return self._names[index]
+
+    @property
+    def total_samples(self) -> int:
+        return sum(b["samples"] for b in self.blocks)
+
+    @property
+    def total_est_instructions(self) -> int:
+        return sum(b["est_instructions"] for b in self.blocks)
+
+    def hot_blocks(self, limit: int = 10) -> List[Dict]:
+        """The ranking, each entry annotated with its function."""
+        total = self.total_est_instructions or 1
+        ranked = []
+        for block in self.blocks[:limit]:
+            entry = dict(block)
+            entry["function"] = self.function_of(block["start_pc"])
+            entry["fraction"] = block["est_instructions"] / total
+            ranked.append(entry)
+        return ranked
+
+    def functions(self) -> List[Dict]:
+        """Per-function aggregation, sorted hottest first."""
+        table: Dict[str, Dict] = {}
+        for block in self.blocks:
+            name = self.function_of(block["start_pc"])
+            entry = table.setdefault(
+                name, {"function": name, "samples": 0,
+                       "est_instructions": 0, "blocks": 0})
+            entry["samples"] += block["samples"]
+            entry["est_instructions"] += block["est_instructions"]
+            entry["blocks"] += 1
+        total = self.total_est_instructions or 1
+        rows = sorted(table.values(),
+                      key=lambda r: (-r["est_instructions"], r["function"]))
+        for row in rows:
+            row["fraction"] = row["est_instructions"] / total
+        return rows
+
+    # -- renderings -----------------------------------------------------
+
+    def render(self, limit: int = 10) -> str:
+        """The ``repro profile`` report: functions, then hot blocks."""
+        lines = [f"samples: {self.total_samples:,}  (interval "
+                 f"{self.interval}, est. {self.total_est_instructions:,} "
+                 "instructions)"]
+        lines.append("")
+        header = f"{'function':<24} {'est insns':>12} {'share':>7} {'blocks':>7}"
+        lines.append(header)
+        lines.append("-" * len(header))
+        for row in self.functions()[:limit]:
+            lines.append(f"{row['function']:<24} "
+                         f"{row['est_instructions']:>12,} "
+                         f"{row['fraction']:>6.1%} {row['blocks']:>7}")
+        lines.append("")
+        header = (f"{'block':>10} {'function':<20} {'samples':>10} "
+                  f"{'est insns':>12} {'share':>7}")
+        lines.append(header)
+        lines.append("-" * len(header))
+        for block in self.hot_blocks(limit):
+            lines.append(f"{block['start_pc']:>#10x} "
+                         f"{block['function']:<20} {block['samples']:>10,} "
+                         f"{block['est_instructions']:>12,} "
+                         f"{block['fraction']:>6.1%}")
+        return "\n".join(lines)
+
+    def annotated_disasm(self, limit: int = 3) -> str:
+        """The hot path: disassembly of the top blocks, sample-weighted."""
+        if self._isa is None:
+            return "(no ISA configured — annotated listing unavailable)"
+        from ..isa.disasm import disassemble
+
+        sections = []
+        for block in self.hot_blocks(limit):
+            pc = block["start_pc"]
+            pcs, insns = self._details.get(pc, ((), ()))
+            lines = [f"block {pc:#010x} <{block['function']}> — "
+                     f"{block['samples']:,} samples, "
+                     f"{block['fraction']:.1%} of estimated instructions"]
+            for insn_pc, decoded in zip(pcs, insns):
+                lines.append(f"  {insn_pc:08x}:  "
+                             f"{disassemble(decoded, pc=insn_pc)}")
+            sections.append("\n".join(lines))
+        return "\n\n".join(sections) if sections else "(no samples)"
+
+    def collapsed(self) -> str:
+        """Folded-stack lines (``function;block_0xPC weight``), hottest
+        first — feed straight into any flamegraph renderer."""
+        lines = []
+        for block in self.hot_blocks(limit=len(self.blocks)):
+            lines.append(f"{block['function']};block_{block['start_pc']:#x} "
+                         f"{block['est_instructions']}")
+        return "\n".join(lines) + ("\n" if lines else "")
+
+    def save_collapsed(self, path: str) -> None:
+        with open(path, "w", encoding="utf-8") as handle:
+            handle.write(self.collapsed())
+
+    # -- serialization --------------------------------------------------
+
+    def to_dict(self) -> Dict:
+        return {
+            "format": "repro-profile-v1",
+            "interval": self.interval,
+            "total_samples": self.total_samples,
+            "total_est_instructions": self.total_est_instructions,
+            "functions": self.functions(),
+            "blocks": self.hot_blocks(limit=len(self.blocks)),
+        }
+
+    def save_json(self, path: str) -> None:
+        with open(path, "w", encoding="utf-8") as handle:
+            json.dump(self.to_dict(), handle, indent=2, sort_keys=True)

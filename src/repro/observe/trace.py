@@ -1,0 +1,86 @@
+"""End-to-end trace context: one id that follows a job everywhere.
+
+A :class:`TraceContext` is the W3C-trace-context-shaped triple
+``(trace_id, span_id, parent_id)``.  ``repro submit`` mints a root
+context, ships it inside the :class:`~repro.serve.jobs.JobSpec`, and the
+batch service derives child contexts for the queue wait, the worker
+execution, and the VP run phases — including across the spawn-safe
+process pool, where the worker returns its collected events and the
+parent stitches them onto the same ``trace_id``.  The result: one
+Chrome-trace/Perfetto file that shows submit → queue → worker → VP for a
+whole campaign.
+
+Contexts are plain JSON-friendly dicts on the wire and tag event records
+with ``trace_id`` / ``span_id`` / ``parent_id`` fields, which ride into
+Chrome-trace ``args`` untouched.
+"""
+
+from __future__ import annotations
+
+import uuid
+from typing import Dict, Optional
+
+__all__ = ["TraceContext"]
+
+
+def _new_id(bytes_: int) -> str:
+    return uuid.uuid4().hex[: bytes_ * 2]
+
+
+class TraceContext:
+    """An immutable (trace_id, span_id, parent_id) triple."""
+
+    __slots__ = ("trace_id", "span_id", "parent_id")
+
+    def __init__(self, trace_id: str, span_id: str,
+                 parent_id: Optional[str] = None) -> None:
+        if not trace_id or not isinstance(trace_id, str):
+            raise ValueError("trace_id must be a non-empty string")
+        if not span_id or not isinstance(span_id, str):
+            raise ValueError("span_id must be a non-empty string")
+        self.trace_id = trace_id
+        self.span_id = span_id
+        self.parent_id = parent_id
+
+    @classmethod
+    def mint(cls) -> "TraceContext":
+        """A fresh root context (new 16-byte trace id, 8-byte span id)."""
+        return cls(trace_id=_new_id(16), span_id=_new_id(8))
+
+    def child(self) -> "TraceContext":
+        """A new span under this one (same trace, this span as parent)."""
+        return TraceContext(trace_id=self.trace_id, span_id=_new_id(8),
+                            parent_id=self.span_id)
+
+    def fields(self) -> Dict[str, str]:
+        """The event-record fields this context contributes."""
+        fields = {"trace_id": self.trace_id, "span_id": self.span_id}
+        if self.parent_id is not None:
+            fields["parent_id"] = self.parent_id
+        return fields
+
+    def to_dict(self) -> Dict[str, Optional[str]]:
+        return {"trace_id": self.trace_id, "span_id": self.span_id,
+                "parent_id": self.parent_id}
+
+    @classmethod
+    def from_dict(cls, data: Dict) -> "TraceContext":
+        if not isinstance(data, dict):
+            raise ValueError("trace context must be a JSON object")
+        unknown = set(data) - {"trace_id", "span_id", "parent_id"}
+        if unknown:
+            raise ValueError(f"unknown trace fields: {sorted(unknown)}")
+        return cls(trace_id=data.get("trace_id"),
+                   span_id=data.get("span_id"),
+                   parent_id=data.get("parent_id"))
+
+    def __eq__(self, other) -> bool:
+        return (isinstance(other, TraceContext)
+                and self.to_dict() == other.to_dict())
+
+    def __hash__(self) -> int:
+        return hash((self.trace_id, self.span_id, self.parent_id))
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (f"TraceContext(trace={self.trace_id[:8]}…, "
+                f"span={self.span_id}, parent={self.parent_id})")

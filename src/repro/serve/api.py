@@ -5,10 +5,14 @@ Endpoints (all JSON; no third-party dependencies)::
     GET  /v1/health            liveness + queue/worker stats
     GET  /v1/stats             service stats + telemetry metrics snapshot
     GET  /v1/kinds             registered job kinds
+    GET  /metrics              Prometheus text exposition (0.0.4)
+    GET  /v1/events?since=N    incremental event tail (cursor = "next")
+    GET  /v1/fuzz/frontier     live fuzz coverage-frontier snapshot
     POST /v1/jobs              submit a job  -> 202 (429 when queue full)
     GET  /v1/jobs              list job statuses (?state= filter)
     GET  /v1/jobs/<id>         one job's status
     GET  /v1/jobs/<id>/result  the result     -> 409 until resolved
+    GET  /v1/jobs/<id>/events  a traced job's merged event records
     POST /v1/jobs/<id>/cancel  cooperative cancel
     POST /v1/shutdown          graceful shutdown (body: {"drain": bool})
 
@@ -98,10 +102,49 @@ def make_handler(service: BatchService, quiet: bool = True,
             raw = parse_qs(self.path.split("?", 1)[1])
             return {key: values[-1] for key, values in raw.items()}
 
+        def _send_text(self, status: int, text: str,
+                       content_type: str) -> None:
+            blob = text.encode("utf-8")
+            self.send_response(status)
+            self.send_header("Content-Type", content_type)
+            self.send_header("Content-Length", str(len(blob)))
+            self.end_headers()
+            self.wfile.write(blob)
+
         # -- GET --------------------------------------------------------
 
         def do_GET(self) -> None:  # noqa: N802 — http.server API
             route = self._route()
+            if route == ("metrics",):
+                from ..telemetry.prometheus import (CONTENT_TYPE,
+                                                    render_prometheus)
+
+                stats = service.stats()
+                log_stats = stats["events"]
+                extra = {
+                    "repro_serve_queue_depth_live": stats["queue_depth"],
+                    "repro_serve_running_live": stats["running"],
+                    "repro_events_dropped": log_stats["dropped_events"],
+                    "repro_events_overflowed":
+                        1 if log_stats["overflowed"] else 0,
+                    "repro_events_appended": log_stats["total_appended"],
+                }
+                text = render_prometheus(
+                    service.telemetry.metrics.to_dict(), extra_gauges=extra)
+                return self._send_text(200, text, CONTENT_TYPE)
+            if route == ("v1", "events"):
+                query = self._query()
+                try:
+                    since = int(query.get("since", "0"))
+                    tail = service.telemetry.events.tail(since)
+                except ValueError as exc:
+                    return self._error(400, str(exc))
+                return self._send_json(200, tail)
+            if route == ("v1", "fuzz", "frontier"):
+                from ..observe.frontier import frontier_from_events
+
+                events = list(service.telemetry.events)
+                return self._send_json(200, frontier_from_events(events))
             if route == ("v1", "health"):
                 stats = service.stats()
                 status = "ok" if stats["accepting"] else "draining"
@@ -135,6 +178,19 @@ def make_handler(service: BatchService, quiet: bool = True,
                         409, f"job {job.id} is {job.state}; result not "
                         "available yet", {"Retry-After": "1"})
                 return self._send_json(200, job.to_dict(with_result=True))
+            if len(route) == 4 and route[:2] == ("v1", "jobs") \
+                    and route[3] == "events":
+                job = service.get_job(route[2])
+                if job is None:
+                    return self._error(404, f"no such job: {route[2]}")
+                events = sorted(list(job.trace_events),
+                                key=lambda e: e.get("ts_us", 0))
+                return self._send_json(200, {
+                    "id": job.id,
+                    "state": job.state,
+                    "traced": job.spec.trace is not None,
+                    "events": events,
+                })
             return self._error(404, f"unknown endpoint: {self.path}")
 
         # -- POST -------------------------------------------------------

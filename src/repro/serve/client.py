@@ -71,10 +71,36 @@ class ServiceClient:
                 raise BackpressureError(exc.code, message) from None
             raise ServiceError(exc.code, message) from None
 
+    def _request_text(self, path: str) -> str:
+        url = f"{self.base_url}{path}"
+        request = urllib.request.Request(url, method="GET")
+        try:
+            with urllib.request.urlopen(request,
+                                        timeout=self.timeout) as response:
+                return response.read().decode("utf-8")
+        except urllib.error.HTTPError as exc:
+            raise ServiceError(exc.code, str(exc.reason)) from None
+
     # -- API surface ----------------------------------------------------
 
     def health(self) -> Dict[str, Any]:
         return self._request("GET", "/v1/health")
+
+    def metrics_text(self) -> str:
+        """The raw ``GET /metrics`` Prometheus exposition."""
+        return self._request_text("/metrics")
+
+    def events(self, since: int = 0) -> Dict[str, Any]:
+        """One incremental tail; feed ``["next"]`` back as ``since``."""
+        return self._request("GET", f"/v1/events?since={since}")
+
+    def frontier(self) -> Dict[str, Any]:
+        """The live fuzz coverage-frontier snapshot."""
+        return self._request("GET", "/v1/fuzz/frontier")
+
+    def job_events(self, job_id: str) -> Dict[str, Any]:
+        """A traced job's merged event records."""
+        return self._request("GET", f"/v1/jobs/{job_id}/events")
 
     def stats(self) -> Dict[str, Any]:
         return self._request("GET", "/v1/stats")
@@ -86,8 +112,14 @@ class ServiceClient:
                priority: int = 0,
                deadline_seconds: Optional[float] = None,
                timeout_seconds: Optional[float] = None,
-               max_retries: int = 0) -> Dict[str, Any]:
-        """Submit one job; returns its status view (with the ``id``)."""
+               max_retries: int = 0,
+               trace: Optional[Dict[str, Any]] = None) -> Dict[str, Any]:
+        """Submit one job; returns its status view (with the ``id``).
+
+        ``trace`` is a serialized :class:`repro.observe.TraceContext`;
+        the service then collects the job's execution events onto that
+        trace (fetch them with :meth:`job_events`).
+        """
         body: Dict[str, Any] = {"kind": kind, "payload": payload,
                                 "priority": priority,
                                 "max_retries": max_retries}
@@ -95,6 +127,8 @@ class ServiceClient:
             body["deadline_seconds"] = deadline_seconds
         if timeout_seconds is not None:
             body["timeout_seconds"] = timeout_seconds
+        if trace is not None:
+            body["trace"] = trace
         return self._request("POST", "/v1/jobs", body)
 
     def status(self, job_id: str) -> Dict[str, Any]:

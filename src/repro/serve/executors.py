@@ -31,6 +31,7 @@ from .jobs import JobContext, null_context
 __all__ = [
     "ExecutorError",
     "execute_job",
+    "execute_job_traced",
     "job_kinds",
     "register_executor",
 ]
@@ -72,6 +73,46 @@ def execute_job(kind: str, payload: Dict[str, Any],
     return executor(payload, ctx if ctx is not None else null_context())
 
 
+def execute_job_traced(kind: str, payload: Dict[str, Any],
+                       trace: Optional[Dict[str, Any]] = None,
+                       job_id: Optional[str] = None,
+                       ctx: Optional[JobContext] = None) -> Dict[str, Any]:
+    """Execute one job while collecting its telemetry events.
+
+    Runs the executor under a fresh thread-local telemetry session so
+    the job's VP/campaign/fuzz events are captured in isolation, tags
+    every record with the trace context, the job id, and this process's
+    pid, and returns ``{"result", "events", "pid", "origin"}``.
+
+    ``origin`` is the event log's monotonic-clock zero; since
+    ``CLOCK_MONOTONIC`` is system-wide on Linux, a parent process can
+    rebase the events onto its own log by shifting each ``ts_us`` by
+    ``(origin - parent_origin) * 1e6``.  Module-level and JSON-in /
+    JSON-out, so ``pool.apply_async`` can ship it to spawn-started
+    worker processes unchanged.
+    """
+    import os
+
+    from ..telemetry import Telemetry, thread_telemetry_session
+
+    session = Telemetry()
+    with thread_telemetry_session(session):
+        result = execute_job(kind, payload, ctx)
+    tags: Dict[str, Any] = {"pid": os.getpid()}
+    if job_id is not None:
+        tags["job"] = job_id
+    if trace:
+        tags.update({key: value for key, value in trace.items()
+                     if value is not None})
+    events = [{**record, **tags} for record in session.events]
+    return {
+        "result": result,
+        "events": events,
+        "pid": tags["pid"],
+        "origin": session.events.origin,
+    }
+
+
 # ----------------------------------------------------------------------
 # Payload helpers
 # ----------------------------------------------------------------------
@@ -111,15 +152,27 @@ def _int_field(payload: Dict[str, Any], name: str, default: int,
 
 @register_executor("vp_run")
 def run_vp_job(payload: Dict[str, Any], ctx: JobContext) -> Dict[str, Any]:
-    """Assemble and run one program on the VP."""
+    """Assemble and run one program on the VP.
+
+    When an enabled telemetry session is ambient (a ``--stats`` CLI run,
+    or a traced service job collecting events on a worker), the phases
+    show up as ``vp.assemble`` / ``vp.load`` spans and the machine emits
+    its ``run.started`` / ``run.finished`` lifecycle events.
+    """
+    from ..telemetry.session import current_telemetry
     from ..vp.machine import Machine, MachineConfig
 
+    telemetry = current_telemetry()
     isa = _isa_for(payload)
-    program = _program_for(payload, isa)
+    with telemetry.events.span("vp.assemble", isa=isa.name):
+        program = _program_for(payload, isa)
     budget = _int_field(payload, "max_instructions", 10_000_000, minimum=1)
     ctx.check()
     machine = Machine(MachineConfig(isa=isa))
-    machine.load(program)
+    if telemetry.enabled:
+        machine.telemetry = telemetry
+    with telemetry.events.span("vp.load"):
+        machine.load(program)
     result = machine.run(max_instructions=budget)
     return {
         "stop_reason": result.stop_reason,

@@ -79,6 +79,11 @@ class JobSpec:
     ``timeout_seconds``: cooperative run timeout, enforced at executor
     checkpoints.  ``max_retries``: additional attempts granted after an
     executor *error* (timeouts and cancellations are never retried).
+    ``trace``: an optional trace context (the ``to_dict()`` of a
+    :class:`repro.observe.trace.TraceContext`) minted by the submitter;
+    when present, the service collects the job's execution events —
+    including from pool worker processes — tagged onto that trace so one
+    Chrome-trace file shows submit → queue → worker → VP.
     """
 
     kind: str
@@ -87,6 +92,7 @@ class JobSpec:
     deadline_seconds: Optional[float] = None
     timeout_seconds: Optional[float] = None
     max_retries: int = 0
+    trace: Optional[Dict[str, Any]] = None
 
     def validate(self) -> None:
         if not self.kind or not isinstance(self.kind, str):
@@ -99,9 +105,13 @@ class JobSpec:
             value = getattr(self, name)
             if value is not None and value <= 0:
                 raise ValueError(f"{name} must be positive when given")
+        if self.trace is not None:
+            from ..observe.trace import TraceContext
+
+            TraceContext.from_dict(self.trace)  # raises on malformed
 
     def to_dict(self) -> Dict[str, Any]:
-        return {
+        data = {
             "kind": self.kind,
             "payload": self.payload,
             "priority": self.priority,
@@ -109,18 +119,37 @@ class JobSpec:
             "timeout_seconds": self.timeout_seconds,
             "max_retries": self.max_retries,
         }
+        if self.trace is not None:
+            data["trace"] = self.trace
+        return data
 
     @classmethod
     def from_dict(cls, data: Dict[str, Any]) -> "JobSpec":
         known = {name: data[name] for name in
                  ("kind", "payload", "priority", "deadline_seconds",
-                  "timeout_seconds", "max_retries") if name in data}
+                  "timeout_seconds", "max_retries", "trace")
+                 if name in data}
         unknown = set(data) - set(known)
         if unknown:
             raise ValueError(f"unknown job fields: {sorted(unknown)}")
         spec = cls(**known)
         spec.validate()
         return spec
+
+    def to_json(self) -> str:
+        """The wire form (``POST /v1/jobs`` body, pool-process handoff)."""
+        import json
+
+        return json.dumps(self.to_dict(), sort_keys=True)
+
+    @classmethod
+    def from_json(cls, blob: str) -> "JobSpec":
+        import json
+
+        data = json.loads(blob)
+        if not isinstance(data, dict):
+            raise ValueError("job spec JSON must be an object")
+        return cls.from_dict(data)
 
 
 class Job:
@@ -151,6 +180,10 @@ class Job:
         self.result: Optional[Dict[str, Any]] = None
         self.error: Optional[str] = None
         self.worker: Optional[str] = None
+        #: Execution events collected for traced jobs (``spec.trace``),
+        #: merged from the worker thread/process and served on
+        #: ``GET /v1/jobs/<id>/events``.
+        self.trace_events: list = []
 
     # -- derived --------------------------------------------------------
 
@@ -277,6 +310,8 @@ class Job:
                 "error": self.error,
                 "worker": self.worker,
             }
+            if self.spec.trace is not None:
+                view["trace"] = self.spec.trace
             if self.started_at is not None:
                 view["queue_seconds"] = round(
                     self.started_at - self.submitted_at, 6)

@@ -30,7 +30,8 @@ from typing import Any, Dict, List, Optional
 from queue import SimpleQueue
 
 from ..telemetry.session import resolve as _resolve_telemetry
-from .executors import ExecutorError, _EXECUTORS, execute_job
+from .executors import (ExecutorError, _EXECUTORS, execute_job,
+                        execute_job_traced)
 from .jobs import (FINAL_STATES, Job, JobCancelled, JobContext, JobSpec,
                    JobTimeout, STATES, STATE_PENDING, STATE_RUNNING)
 from .queue import AdmissionQueue, QueueClosed, QueueFull
@@ -57,6 +58,13 @@ def _pool_init() -> None:
     """Process-pool initializer — the same spawn-safe seeding as
     :func:`repro.faultsim.parallel._worker_init`."""
     import repro.bmi  # noqa: F401 — register optional ISA modules (Zbb)
+
+
+def _trace_fields(trace: Optional[Dict[str, Any]]) -> Dict[str, Any]:
+    """The non-None entries of a serialized trace context (event tags)."""
+    if not trace:
+        return {}
+    return {key: value for key, value in trace.items() if value is not None}
 
 
 class BatchService:
@@ -230,7 +238,8 @@ class BatchService:
         if self.telemetry.enabled:
             self.telemetry.events.emit("job.submitted", id=job.id,
                                        kind=spec.kind,
-                                       priority=spec.priority)
+                                       priority=spec.priority,
+                                       **_trace_fields(spec.trace))
         return job
 
     def get_job(self, job_id: str) -> Optional[Job]:
@@ -258,6 +267,7 @@ class BatchService:
             "queue_limit": self.queue.limit,
             "running": self._running,
             "jobs": tally,
+            "events": self.telemetry.events.stats(),
         }
 
     # -- scheduler ------------------------------------------------------
@@ -311,13 +321,25 @@ class BatchService:
         ctx = JobContext(job)
         job_timer = self._metrics.timer("job_seconds")
         started = time.monotonic()
-        span = self.telemetry.events.span(
-            "job", id=job.id, kind=job.spec.kind, worker=worker,
+        exec_trace = None
+        if job.spec.trace is not None:
+            from ..observe.trace import TraceContext
+
+            root = TraceContext.from_dict(job.spec.trace)
+            self._emit_queue_span(job, root)
+            exec_trace = root.child()
+        span_fields: Dict[str, Any] = dict(
+            id=job.id, kind=job.spec.kind, worker=worker,
             attempt=job.attempts)
+        if exec_trace is not None:
+            span_fields.update(exec_trace.fields())
+        span = self.telemetry.events.span("job", **span_fields)
         retried = False
         try:
             with span:
-                if self.mode == "process":
+                if exec_trace is not None:
+                    result = self._execute_traced(job, ctx, exec_trace)
+                elif self.mode == "process":
                     result = self._execute_remote(job, ctx)
                 else:
                     result = execute_job(job.spec.kind, job.spec.payload, ctx)
@@ -349,7 +371,21 @@ class BatchService:
         else:
             job.mark_succeeded(result)
         finally:
-            job_timer.observe(time.monotonic() - started)
+            finished = time.monotonic()
+            job_timer.observe(finished - started)
+            if exec_trace is not None:
+                # Mirror the worker span into the job's own trace so
+                # ``GET /v1/jobs/<id>/events`` is self-contained even
+                # after the service ring evicts old records.
+                log = self.telemetry.events
+                job.trace_events.append({
+                    "type": "job",
+                    "ts_us": int((started - log.origin) * 1_000_000),
+                    "dur_us": int((finished - started) * 1_000_000),
+                    "id": job.id, "kind": job.spec.kind, "worker": worker,
+                    "state": job.state, "attempt": job.attempts,
+                    **exec_trace.fields(),
+                })
             with self._lock:
                 self._running -= 1
             self._metrics.gauge("running").set(self._running)
@@ -374,6 +410,73 @@ class BatchService:
                 return handle.get(timeout=0.1)
             except PoolTimeout:
                 ctx.check()
+
+    # -- trace propagation ----------------------------------------------
+
+    def _emit_queue_span(self, job: Job, root) -> None:
+        """Record the already-elapsed queue wait as a complete span.
+
+        ``submitted_at``/``started_at`` and the event log share the
+        monotonic clock, so the span is placed at the true submission
+        time relative to the log's origin.
+        """
+        queue_ctx = root.child()
+        log = self.telemetry.events
+        started_at = job.started_at or job.submitted_at
+        record = {
+            "type": "job.queue_wait",
+            "ts_us": int((job.submitted_at - log.origin) * 1_000_000),
+            "dur_us": int((started_at - job.submitted_at) * 1_000_000),
+            "id": job.id,
+            "kind": job.spec.kind,
+            **queue_ctx.fields(),
+        }
+        log.extend([record])
+        job.trace_events.append(record)
+
+    def _execute_traced(self, job: Job, ctx: JobContext,
+                        exec_trace) -> Dict[str, Any]:
+        """Run one traced job, collecting its events onto the trace.
+
+        Thread mode runs :func:`execute_job_traced` in-process (a
+        thread-local telemetry session isolates the job's events from
+        sibling workers); process mode ships it to the pool and polls,
+        exactly like :meth:`_execute_remote`.  Either way the worker's
+        events come back with their own monotonic origin and are rebased
+        onto this service's event log before merging.
+        """
+        run_ctx = exec_trace.child()
+        if self.mode == "process" and self._pool is not None:
+            from multiprocessing import TimeoutError as PoolTimeout
+
+            handle = self._pool.apply_async(
+                execute_job_traced,
+                (job.spec.kind, job.spec.payload, run_ctx.to_dict(),
+                 job.id))
+            while True:
+                try:
+                    bundle = handle.get(timeout=0.1)
+                    break
+                except PoolTimeout:
+                    ctx.check()
+        else:
+            bundle = execute_job_traced(job.spec.kind, job.spec.payload,
+                                        run_ctx.to_dict(), job.id, ctx)
+        self._merge_worker_events(job, bundle)
+        return bundle["result"]
+
+    def _merge_worker_events(self, job: Job, bundle: Dict[str, Any]) -> None:
+        events = bundle.get("events") or []
+        if not events:
+            return
+        # CLOCK_MONOTONIC is system-wide on Linux, so the worker's log
+        # origin and ours are directly comparable readings.
+        shift_us = int((bundle.get("origin", 0.0)
+                        - self.telemetry.events.origin) * 1_000_000)
+        merged = [{**event, "ts_us": event.get("ts_us", 0) + shift_us}
+                  for event in events]
+        job.trace_events.extend(merged)
+        self.telemetry.events.extend(merged)
 
     def _job_finished(self, job: Job) -> None:
         if not job.finalize_once():

@@ -30,6 +30,7 @@ from .metrics import (
     Timer,
 )
 from .plugin import TelemetryPlugin
+from .prometheus import parse_prometheus, render_prometheus
 from .render import (
     render_campaigns,
     render_event_counts,
@@ -45,6 +46,7 @@ from .session import (
     resolve,
     set_telemetry,
     telemetry_session,
+    thread_telemetry_session,
 )
 
 __all__ = [
@@ -64,13 +66,16 @@ __all__ = [
     "Timer",
     "current_telemetry",
     "export_chrome_trace",
+    "parse_prometheus",
     "render_campaigns",
     "render_event_counts",
     "render_metrics",
+    "render_prometheus",
     "render_report",
     "render_runs",
     "resolve",
     "set_telemetry",
     "telemetry_session",
+    "thread_telemetry_session",
     "to_chrome_trace",
 ]

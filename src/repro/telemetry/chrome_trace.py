@@ -10,17 +10,22 @@ by ``chrome://tracing`` and Perfetto (ui.perfetto.dev).  Mapping:
 
 Tracks: the event type's first dotted component becomes the thread name
 (one lane per subsystem: ``run``, ``campaign``, ``mutant``, ``qta``, ...)
-via trace metadata records.
+via trace metadata records.  Events that carry a ``pid`` field — worker
+events merged back into a service log by the batch service — are placed
+on that process's own row (with a ``process_name`` metadata record per
+distinct pid), so a campaign fanned out over a process pool renders as
+one timeline with a lane per worker instead of interleaving everything
+onto a single synthetic process.
 """
 
 from __future__ import annotations
 
 import json
-from typing import Dict, Iterable, List
+from typing import Dict, Iterable, List, Tuple
 
 __all__ = ["to_chrome_trace", "export_chrome_trace"]
 
-#: Synthetic process id for the whole session (one VP process).
+#: Synthetic process id for the session itself (events without a pid).
 TRACE_PID = 1
 
 _RESERVED = {"type", "ts_us", "dur_us"}
@@ -37,25 +42,38 @@ def _args(event: Dict) -> Dict:
 def to_chrome_trace(events: Iterable[Dict],
                     process_name: str = "repro") -> List[Dict]:
     """Convert event-log records into a list of Chrome trace events."""
-    lanes: Dict[str, int] = {}
-    trace: List[Dict] = [{
-        "name": "process_name",
-        "ph": "M",
-        "pid": TRACE_PID,
-        "tid": 0,
-        "ts": 0,
-        "args": {"name": process_name},
-    }]
+    lanes: Dict[Tuple[int, str], int] = {}
+    pids: Dict[int, str] = {}
+    trace: List[Dict] = []
 
-    def tid_for(lane: str) -> int:
-        tid = lanes.get(lane)
+    def pid_for(event: Dict) -> int:
+        pid = event.get("pid", TRACE_PID)
+        if not isinstance(pid, int):
+            pid = TRACE_PID
+        if pid not in pids:
+            name = (process_name if pid == TRACE_PID
+                    else f"{process_name} worker pid {pid}")
+            pids[pid] = name
+            trace.append({
+                "name": "process_name",
+                "ph": "M",
+                "pid": pid,
+                "tid": 0,
+                "ts": 0,
+                "args": {"name": name},
+            })
+        return pid
+
+    def tid_for(pid: int, lane: str) -> int:
+        key = (pid, lane)
+        tid = lanes.get(key)
         if tid is None:
-            tid = len(lanes) + 1
-            lanes[lane] = tid
+            tid = sum(1 for existing, _ in lanes if existing == pid) + 1
+            lanes[key] = tid
             trace.append({
                 "name": "thread_name",
                 "ph": "M",
-                "pid": TRACE_PID,
+                "pid": pid,
                 "tid": tid,
                 "ts": 0,
                 "args": {"name": lane},
@@ -65,14 +83,15 @@ def to_chrome_trace(events: Iterable[Dict],
     for event in events:
         event_type = event.get("type", "event")
         ts = event.get("ts_us", 0)
-        tid = tid_for(_lane(event_type))
+        pid = pid_for(event)
+        tid = tid_for(pid, _lane(event_type))
         if "dur_us" in event:
             trace.append({
                 "name": event_type,
                 "ph": "X",
                 "ts": ts,
                 "dur": event["dur_us"],
-                "pid": TRACE_PID,
+                "pid": pid,
                 "tid": tid,
                 "args": _args(event),
             })
@@ -81,7 +100,7 @@ def to_chrome_trace(events: Iterable[Dict],
                 "name": event_type,
                 "ph": "C",
                 "ts": ts,
-                "pid": TRACE_PID,
+                "pid": pid,
                 "tid": tid,
                 "args": {"done": event["done"]},
             })
@@ -90,7 +109,7 @@ def to_chrome_trace(events: Iterable[Dict],
                 "name": event_type,
                 "ph": "i",
                 "ts": ts,
-                "pid": TRACE_PID,
+                "pid": pid,
                 "tid": tid,
                 "s": "t",  # thread-scoped instant
                 "args": _args(event),

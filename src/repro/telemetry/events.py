@@ -9,15 +9,29 @@ plus arbitrary type-specific fields.  Duration events (``span``) carry a
 ``dur_us`` field; the Chrome-trace exporter turns those into complete
 ("X") slices.  Logs serialize to JSON Lines so long campaigns can be
 streamed to disk and re-rendered later (``python -m repro stats``).
+
+The log is a **bounded ring**: once ``max_events`` records accumulate, the
+oldest chunk is evicted and counted in ``dropped_events`` (with the
+``overflowed`` flag latched), so silent event loss under long fuzz/serve
+runs is visible in ``repro stats`` and ``/metrics`` instead of silently
+shifting the data.  Every record also has a stable sequence number
+(``total_appended`` counts all appends ever), which is what the service's
+``GET /v1/events?since=`` incremental tailing cursors over.
 """
 
 from __future__ import annotations
 
 import json
+import threading
 import time
 from typing import Callable, Dict, Iterable, Iterator, List, Optional
 
-__all__ = ["EventLog", "NullEventLog", "NULL_EVENT_LOG"]
+__all__ = ["EventLog", "NullEventLog", "NULL_EVENT_LOG",
+           "DEFAULT_MAX_EVENTS"]
+
+#: Default ring capacity.  Generous for interactive runs; long-running
+#: services overflow instead of growing without bound.
+DEFAULT_MAX_EVENTS = 200_000
 
 
 class _Span:
@@ -46,22 +60,47 @@ class _Span:
 
 
 class EventLog:
-    """An append-only in-memory event log with JSONL import/export."""
+    """An append-only in-memory event ring with JSONL import/export."""
 
     enabled = True
 
-    def __init__(self, clock: Callable[[], float] = time.monotonic) -> None:
+    def __init__(self, clock: Callable[[], float] = time.monotonic,
+                 max_events: Optional[int] = DEFAULT_MAX_EVENTS) -> None:
         self._clock = clock
         self._t0 = clock()
         self.events: List[Dict] = []
+        #: Ring capacity (``None``/``0`` = unbounded).
+        self.max_events = max_events or None
+        #: Records evicted from the front of the ring.
+        self.dropped_events = 0
+        #: Latched once the first record was dropped.
+        self.overflowed = False
+        #: All records ever appended (== seq of the next record).
+        self.total_appended = 0
+        self._lock = threading.Lock()
 
     # -- recording -----------------------------------------------------
+
+    @property
+    def origin(self) -> float:
+        """The clock reading ``ts_us`` is measured from (monotonic)."""
+        return self._t0
 
     def _now_us(self) -> int:
         return int((self._clock() - self._t0) * 1_000_000)
 
     def _append(self, record: Dict) -> Dict:
-        self.events.append(record)
+        with self._lock:
+            self.events.append(record)
+            self.total_appended += 1
+            limit = self.max_events
+            if limit is not None and len(self.events) > limit:
+                # Evict ~10% in one slice so appends stay amortized O(1)
+                # (del events[0] per append would be quadratic).
+                chunk = max(1, limit // 10)
+                del self.events[:chunk]
+                self.dropped_events += chunk
+                self.overflowed = True
         return record
 
     def emit(self, event_type: str, **fields) -> Dict:
@@ -72,6 +111,12 @@ class EventLog:
     def span(self, event_type: str, **fields) -> _Span:
         """Context manager: records ``event_type`` with start + duration."""
         return _Span(self, event_type, fields)
+
+    def extend(self, records: Iterable[Dict]) -> None:
+        """Append pre-built records (merged worker events) through the
+        same ring accounting as :meth:`emit`."""
+        for record in records:
+            self._append(record)
 
     # -- querying ------------------------------------------------------
 
@@ -90,6 +135,40 @@ class EventLog:
                 return event
         return None
 
+    def stats(self) -> Dict:
+        """Ring accounting: totals, drops, and the overflow flag."""
+        with self._lock:
+            return {
+                "events": len(self.events),
+                "total_appended": self.total_appended,
+                "dropped_events": self.dropped_events,
+                "overflowed": self.overflowed,
+                "max_events": self.max_events,
+            }
+
+    def tail(self, since: int = 0) -> Dict:
+        """Incremental read: records with sequence number >= ``since``.
+
+        Sequence numbers count every record ever appended (0-based), so a
+        client polling ``tail(cursor)["next"]`` back as the next ``since``
+        sees each record exactly once and can detect loss: ``missed`` is
+        how many requested records were already evicted from the ring.
+        """
+        if since < 0:
+            raise ValueError(f"since must be >= 0, got {since}")
+        with self._lock:
+            first = self.total_appended - len(self.events)
+            missed = max(0, min(first, self.total_appended) - since)
+            start = max(0, since - first)
+            batch = list(self.events[start:])
+            return {
+                "events": batch,
+                "next": self.total_appended,
+                "missed": missed,
+                "dropped_events": self.dropped_events,
+                "overflowed": self.overflowed,
+            }
+
     # -- serialization -------------------------------------------------
 
     def to_jsonl(self) -> str:
@@ -97,7 +176,7 @@ class EventLog:
 
     def save_jsonl(self, path: str) -> None:
         with open(path, "w", encoding="utf-8") as handle:
-            for event in self.events:
+            for event in list(self.events):
                 handle.write(json.dumps(event, sort_keys=True))
                 handle.write("\n")
 
@@ -115,6 +194,7 @@ class EventLog:
         log = cls()
         with open(path, "r", encoding="utf-8") as handle:
             log.events = cls.parse_jsonl(handle)
+        log.total_appended = len(log.events)
         return log
 
 
@@ -136,12 +216,19 @@ class NullEventLog:
 
     enabled = False
     events: List[Dict] = []
+    max_events = None
+    dropped_events = 0
+    overflowed = False
+    total_appended = 0
 
     def emit(self, event_type: str, **fields) -> None:
         return None
 
     def span(self, event_type: str, **fields) -> _NullSpan:
         return _NULL_SPAN
+
+    def extend(self, records: Iterable[Dict]) -> None:
+        return None
 
     def __len__(self) -> int:
         return 0
@@ -154,6 +241,14 @@ class NullEventLog:
 
     def last(self, event_type: str) -> None:
         return None
+
+    def stats(self) -> Dict:
+        return {"events": 0, "total_appended": 0, "dropped_events": 0,
+                "overflowed": False, "max_events": None}
+
+    def tail(self, since: int = 0) -> Dict:
+        return {"events": [], "next": 0, "missed": 0,
+                "dropped_events": 0, "overflowed": False}
 
     def to_jsonl(self) -> str:
         return ""

@@ -126,6 +126,46 @@ class Histogram:
     def mean(self) -> float:
         return self.sum / self.count if self.count else 0.0
 
+    def percentile(self, q: float) -> Optional[float]:
+        """Estimate the ``q``-quantile (``0 < q <= 1``) from bucket counts.
+
+        Linear interpolation inside the bucket holding the target rank —
+        the same estimate Prometheus's ``histogram_quantile`` computes —
+        clamped to the observed ``[min, max]`` so a wide bucket cannot
+        report a value outside what was actually seen.  The overflow
+        bucket interpolates between its lower bound and ``max``.
+        Returns ``None`` on an empty histogram.
+        """
+        if not 0.0 < q <= 1.0:
+            raise ValueError(f"quantile must be in (0, 1], got {q}")
+        if self.count == 0:
+            return None
+        target = q * self.count
+        cumulative = 0
+        lower = self.min if self.min is not None else 0.0
+        bounds = self.buckets + (self.max if self.max is not None else 0.0,)
+        for upper, in_bucket in zip(bounds, self.bucket_counts):
+            if in_bucket:
+                if cumulative + in_bucket >= target:
+                    fraction = (target - cumulative) / in_bucket
+                    estimate = lower + (max(upper, lower) - lower) * fraction
+                    break
+                cumulative += in_bucket
+            lower = max(lower, upper)
+        else:  # pragma: no cover - count>0 guarantees a break
+            estimate = lower
+        if self.min is not None:
+            estimate = max(estimate, self.min)
+        if self.max is not None:
+            estimate = min(estimate, self.max)
+        return estimate
+
+    def percentiles(self) -> dict:
+        """The standard reporting quantiles (``p50``/``p90``/``p99``)."""
+        return {"p50": self.percentile(0.50),
+                "p90": self.percentile(0.90),
+                "p99": self.percentile(0.99)}
+
     def snapshot(self) -> dict:
         return {
             "kind": self.kind,
@@ -134,6 +174,7 @@ class Histogram:
             "min": self.min,
             "max": self.max,
             "mean": self.mean,
+            **self.percentiles(),
             "buckets": {
                 (f"le_{bound:g}" if i < len(self.buckets) else "inf"): n
                 for i, (bound, n) in enumerate(
@@ -344,6 +385,12 @@ class NullHistogram(_NullContext):
 
     def observe(self, value: float) -> None:
         pass
+
+    def percentile(self, q: float) -> None:
+        return None
+
+    def percentiles(self) -> dict:
+        return {"p50": None, "p90": None, "p99": None}
 
     def snapshot(self) -> dict:
         return {"kind": self.kind, "count": 0}

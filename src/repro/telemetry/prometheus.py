@@ -1,0 +1,139 @@
+"""Prometheus text exposition for the metrics registry.
+
+:func:`render_prometheus` turns a :meth:`MetricsRegistry.to_dict`
+snapshot into the text format every Prometheus-compatible scraper
+ingests (version 0.0.4): counters become ``*_total``, histograms and
+timers expose cumulative ``*_bucket{le="..."}`` series plus ``*_sum`` /
+``*_count``, gauges stay plain.  Dotted instrument names are flattened
+to the ``[a-zA-Z0-9_]`` charset (``serve.queue_depth`` →
+``repro_serve_queue_depth``).
+
+:func:`parse_prometheus` is the matching minimal parser — enough for
+``repro top`` and the CI smoke checks to read a scrape back without any
+third-party client library.
+"""
+
+from __future__ import annotations
+
+import math
+import re
+from typing import Dict, List, Optional, Tuple
+
+__all__ = ["render_prometheus", "parse_prometheus", "CONTENT_TYPE"]
+
+#: The scrape Content-Type Prometheus servers advertise.
+CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
+
+_NAME_RE = re.compile(r"[^a-zA-Z0-9_]")
+_PREFIX = "repro_"
+
+
+def _flat(name: str) -> str:
+    flat = _NAME_RE.sub("_", name)
+    if not flat or not (flat[0].isalpha() or flat[0] == "_"):
+        flat = "_" + flat
+    if flat.startswith(_PREFIX):
+        return flat
+    return _PREFIX + flat
+
+
+def _fmt(value) -> str:
+    if value is None:
+        return "NaN"
+    if isinstance(value, float):
+        if math.isinf(value):
+            return "+Inf" if value > 0 else "-Inf"
+        return repr(value)
+    return str(value)
+
+
+def _bucket_bounds(buckets: Dict[str, int]) -> List[Tuple[float, int]]:
+    """Decode snapshot bucket keys (``le_0.001`` / ``inf``) into sorted
+    ``(upper_bound, count)`` pairs."""
+    bounds = []
+    for key, count in buckets.items():
+        if key == "inf":
+            bounds.append((math.inf, count))
+        elif key.startswith("le_"):
+            bounds.append((float(key[3:]), count))
+    bounds.sort(key=lambda pair: pair[0])
+    return bounds
+
+
+def render_prometheus(snapshot: Dict[str, dict],
+                      extra_gauges: Optional[Dict[str, float]] = None
+                      ) -> str:
+    """Render a metrics snapshot as Prometheus text exposition.
+
+    ``extra_gauges`` lets callers append synthetic series (event-log
+    drop counts, uptime) without registering instruments for them.
+    """
+    lines: List[str] = []
+    for name in sorted(snapshot):
+        entry = snapshot[name]
+        kind = entry.get("kind", "gauge")
+        flat = _flat(name)
+        if kind == "counter":
+            lines.append(f"# HELP {flat}_total {name}")
+            lines.append(f"# TYPE {flat}_total counter")
+            lines.append(f"{flat}_total {_fmt(entry.get('value', 0))}")
+        elif kind in ("histogram", "timer"):
+            lines.append(f"# HELP {flat} {name}")
+            lines.append(f"# TYPE {flat} histogram")
+            cumulative = 0
+            for bound, count in _bucket_bounds(entry.get("buckets", {})):
+                cumulative += count
+                le = "+Inf" if math.isinf(bound) else _fmt(bound)
+                lines.append(f'{flat}_bucket{{le="{le}"}} {cumulative}')
+            lines.append(f"{flat}_sum {_fmt(entry.get('sum', 0.0))}")
+            lines.append(f"{flat}_count {_fmt(entry.get('count', 0))}")
+        else:  # gauge (and anything unrecognized degrades to one)
+            lines.append(f"# HELP {flat} {name}")
+            lines.append(f"# TYPE {flat} gauge")
+            lines.append(f"{flat} {_fmt(entry.get('value', 0))}")
+    for name in sorted(extra_gauges or {}):
+        flat = _flat(name)
+        lines.append(f"# HELP {flat} {name}")
+        lines.append(f"# TYPE {flat} gauge")
+        lines.append(f"{flat} {_fmt(extra_gauges[name])}")
+    return "\n".join(lines) + "\n"
+
+
+_SAMPLE_RE = re.compile(
+    r"^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)"
+    r"(?:\{(?P<labels>[^}]*)\})?\s+(?P<value>\S+)\s*$")
+_LABEL_RE = re.compile(r'([a-zA-Z_][a-zA-Z0-9_]*)="((?:[^"\\]|\\.)*)"')
+
+
+def parse_prometheus(text: str) -> Dict[str, Dict[Tuple, float]]:
+    """Parse text exposition into ``{name: {label_items: value}}``.
+
+    Label keys are sorted ``(key, value)`` tuples (``()`` for unlabelled
+    samples).  Raises :class:`ValueError` on a line that is neither a
+    comment nor a well-formed sample — which makes this parser double as
+    the format validator the CI smoke job uses.
+    """
+    series: Dict[str, Dict[Tuple, float]] = {}
+    for lineno, line in enumerate(text.splitlines(), 1):
+        line = line.strip()
+        if not line or line.startswith("#"):
+            continue
+        match = _SAMPLE_RE.match(line)
+        if match is None:
+            raise ValueError(
+                f"line {lineno} is not Prometheus exposition: {line!r}")
+        labels = tuple(sorted(
+            (key, value.replace('\\"', '"'))
+            for key, value in _LABEL_RE.findall(match.group("labels") or "")
+        ))
+        raw = match.group("value")
+        if raw in ("+Inf", "Inf"):
+            value = math.inf
+        elif raw == "-Inf":
+            value = -math.inf
+        elif raw == "NaN":
+            value = math.nan
+        else:
+            value = float(raw)
+        series.setdefault(match.group("name"), {})[labels] = value
+    return series

@@ -29,22 +29,33 @@ def _format_value(value) -> str:
     return str(value)
 
 
+def _format_quantile(value) -> str:
+    return f"{value:.4g}" if isinstance(value, (int, float)) else "-"
+
+
 def render_metrics(snapshot: Dict[str, dict]) -> str:
-    """Table of every instrument in a metrics snapshot."""
+    """Table of every instrument in a metrics snapshot.
+
+    Histograms and timers report estimated percentiles (p50/p90/p99,
+    interpolated from bucket counts) rather than raw bucket dumps.
+    """
     if not snapshot:
         return "(no metrics recorded)"
-    header = f"{'metric':<40} {'kind':<10} {'value':>16}"
+    header = f"{'metric':<40} {'kind':<10} {'value':>40}"
     lines = [header, "-" * len(header)]
     for name in sorted(snapshot):
         entry = snapshot[name]
         kind = entry.get("kind", "?")
         if kind in ("histogram", "timer"):
             value = (f"n={entry.get('count', 0)} "
-                     f"mean={entry.get('mean', 0.0):.6g}")
-            lines.append(f"{name:<40} {kind:<10} {value:>16}")
+                     f"mean={entry.get('mean', 0.0):.6g} "
+                     f"p50={_format_quantile(entry.get('p50'))} "
+                     f"p90={_format_quantile(entry.get('p90'))} "
+                     f"p99={_format_quantile(entry.get('p99'))}")
+            lines.append(f"{name:<40} {kind:<10} {value:>40}")
         else:
             lines.append(f"{name:<40} {kind:<10} "
-                         f"{_format_value(entry.get('value', 0)):>16}")
+                         f"{_format_value(entry.get('value', 0)):>40}")
     return "\n".join(lines)
 
 
@@ -118,8 +129,14 @@ def _latest_metrics_snapshot(events: Iterable[Dict]) -> Dict[str, dict]:
 
 
 def render_report(events: Iterable[Dict],
-                  metrics: Optional[Dict[str, dict]] = None) -> str:
-    """The full ``--stats`` report: runs, campaigns, metrics, event counts."""
+                  metrics: Optional[Dict[str, dict]] = None,
+                  log_stats: Optional[Dict] = None) -> str:
+    """The full ``--stats`` report: runs, campaigns, metrics, event counts.
+
+    ``log_stats`` (an :meth:`EventLog.stats` dict) surfaces ring-buffer
+    overflow: when records were dropped, the report says so instead of
+    letting a truncated event list read as a complete run.
+    """
     events = list(events)
     if metrics is None:
         metrics = _latest_metrics_snapshot(events)
@@ -131,5 +148,11 @@ def render_report(events: Iterable[Dict],
     if campaigns:
         sections.append("--- fault campaigns ---\n" + campaigns)
     sections.append("--- metrics ---\n" + render_metrics(metrics))
-    sections.append("--- events ---\n" + render_event_counts(events))
+    event_section = render_event_counts(events)
+    if log_stats and log_stats.get("overflowed"):
+        event_section += (
+            f"\nWARNING: event ring overflowed — "
+            f"{log_stats.get('dropped_events', 0):,} of "
+            f"{log_stats.get('total_appended', 0):,} events dropped")
+    sections.append("--- events ---\n" + event_section)
     return "\n\n".join(sections)

@@ -13,6 +13,7 @@ registry and event log are allocation-free no-ops, and hot loops gate on
 
 from __future__ import annotations
 
+import threading
 from contextlib import contextmanager
 
 from .events import EventLog, NULL_EVENT_LOG
@@ -25,6 +26,7 @@ __all__ = [
     "current_telemetry",
     "set_telemetry",
     "telemetry_session",
+    "thread_telemetry_session",
     "resolve",
 ]
 
@@ -44,8 +46,15 @@ class Telemetry:
 
         Embedding the snapshot in the event stream makes a saved JSONL log
         self-contained: ``python -m repro stats`` re-renders the metrics
-        table without the original process.
+        table without the original process.  Event-ring overflow is folded
+        in as ``telemetry.events.*`` so dropped records stay visible in
+        ``repro stats`` and ``/metrics`` after the fact.
         """
+        log_stats = self.events.stats()
+        if log_stats.get("dropped_events"):
+            dropped = self.metrics.counter("telemetry.events.dropped")
+            dropped.value = log_stats["dropped_events"]
+            self.metrics.gauge("telemetry.events.overflowed").set(1)
         snap = self.metrics.to_dict()
         self.events.emit("metrics.snapshot", metrics=snap)
         return snap
@@ -67,10 +76,20 @@ NULL_TELEMETRY = NullTelemetry()
 
 _current = NULL_TELEMETRY
 
+#: Per-thread session override (see :func:`thread_telemetry_session`).
+_tls = threading.local()
+
 
 def current_telemetry():
-    """The session installed for this process (default: disabled)."""
-    return _current
+    """The session installed for this thread or process (default: disabled).
+
+    A thread-local override (installed by
+    :func:`thread_telemetry_session`) wins over the process-wide session
+    — that is how the batch service collects one job's events on a
+    worker thread without capturing its siblings' output.
+    """
+    session = getattr(_tls, "session", None)
+    return session if session is not None else _current
 
 
 def set_telemetry(telemetry) -> None:
@@ -81,16 +100,34 @@ def set_telemetry(telemetry) -> None:
 
 def resolve(telemetry):
     """Resolve an optional ``telemetry`` argument to a usable session."""
-    return telemetry if telemetry is not None else _current
+    return telemetry if telemetry is not None else current_telemetry()
 
 
 @contextmanager
 def telemetry_session(telemetry=None):
     """Temporarily install a session (creates an enabled one by default)."""
     session = telemetry if telemetry is not None else Telemetry()
-    previous = current_telemetry()
+    previous = _current
     set_telemetry(session)
     try:
         yield session
     finally:
         set_telemetry(previous)
+
+
+@contextmanager
+def thread_telemetry_session(telemetry=None):
+    """Install a session for the *current thread* only.
+
+    Library code resolving ``None`` through :func:`current_telemetry`
+    sees this session for the duration of the block; other threads keep
+    whatever they had.  The batch service wraps each traced job
+    execution in one of these to collect the job's events in isolation.
+    """
+    session = telemetry if telemetry is not None else Telemetry()
+    previous = getattr(_tls, "session", None)
+    _tls.session = session
+    try:
+        yield session
+    finally:
+        _tls.session = previous

@@ -1,0 +1,83 @@
+"""Coverage-frontier folding and rendering."""
+
+from repro.observe import frontier_from_events, render_frontier
+
+
+def fuzz_session(job, coverage_points, finished=True):
+    events = [{"type": "fuzz.started", "job": job, "isa": "rv32imc_zicsr",
+               "seed": 0, "iterations": 100, "jobs": 1, "ts_us": 0}]
+    for index, cov in enumerate(coverage_points):
+        events.append({"type": "fuzz.coverage", "job": job,
+                       "execs": index + 1, "coverage_elements": cov,
+                       "corpus_size": index + 1, "ts_us": index})
+    if finished:
+        events.append({"type": "fuzz.finished", "job": job,
+                       "iterations": 100,
+                       "coverage_elements": coverage_points[-1],
+                       "corpus_size": len(coverage_points), "findings": 2,
+                       "execs_per_second": 500.0, "ts_us": 999})
+    return events
+
+
+class TestFolding:
+    def test_empty_stream(self):
+        frontier = frontier_from_events([])
+        assert frontier == {"sessions": [], "active": 0}
+
+    def test_ignores_unrelated_events(self):
+        frontier = frontier_from_events([
+            {"type": "job.submitted", "id": "job-1"},
+            {"type": "mutant.classified", "outcome": "masked"},
+        ])
+        assert frontier["sessions"] == []
+
+    def test_single_session_curve(self):
+        frontier = frontier_from_events(fuzz_session("job-1", [3, 5, 9]))
+        assert frontier["active"] == 0
+        (session,) = frontier["sessions"]
+        assert session["finished"]
+        assert [p["coverage_elements"] for p in session["points"]] == \
+            [3, 5, 9]
+        assert session["latest"]["findings"] == 2
+        assert session["started"]["iterations"] == 100
+
+    def test_groups_by_job(self):
+        events = fuzz_session("job-1", [3]) + fuzz_session("job-2", [7])
+        frontier = frontier_from_events(events)
+        assert [s["session"] for s in frontier["sessions"]] == \
+            ["job-1", "job-2"]
+
+    def test_active_counts_unfinished(self):
+        events = fuzz_session("a", [1], finished=False) + \
+            fuzz_session("b", [2])
+        assert frontier_from_events(events)["active"] == 1
+
+    def test_progress_updates_latest(self):
+        events = [{"type": "fuzz.progress", "job": "j", "execs": 42,
+                   "total": 100, "coverage_elements": 7, "corpus_size": 4,
+                   "findings": 1, "execs_per_second": 10.0}]
+        (session,) = frontier_from_events(events)["sessions"]
+        assert session["latest"]["execs"] == 42
+        assert not session["finished"]
+
+    def test_thinning_keeps_last_point(self):
+        coverage = list(range(1, 1001))
+        frontier = frontier_from_events(fuzz_session("j", coverage),
+                                        max_points=50)
+        points = frontier["sessions"][0]["points"]
+        assert len(points) == 50
+        assert points[-1]["coverage_elements"] == 1000
+        elements = [p["coverage_elements"] for p in points]
+        assert elements == sorted(elements)
+
+
+class TestRendering:
+    def test_empty(self):
+        assert "no fuzz sessions" in render_frontier({"sessions": []})
+
+    def test_table(self):
+        frontier = frontier_from_events(fuzz_session("job-9", [3, 5]))
+        text = render_frontier(frontier)
+        assert "job-9" in text
+        assert "finished" in text
+        assert "findings" in text

@@ -1,0 +1,107 @@
+"""The `repro top` building blocks: quantiles, rendering, polling."""
+
+import io
+
+import pytest
+
+from repro.observe import (ServiceStatus, fetch_status,
+                           quantile_from_buckets, render_top)
+from repro.observe import top as top_module
+
+
+def buckets(series):
+    """{le: cumulative} -> the parse_prometheus label-tuple mapping."""
+    return {(("le", le),): count for le, count in series.items()}
+
+
+class TestQuantileFromBuckets:
+    def test_empty(self):
+        assert quantile_from_buckets({}, 0.5) is None
+        assert quantile_from_buckets(buckets({"1": 0, "+Inf": 0}),
+                                     0.5) is None
+
+    def test_interpolates_inside_bucket(self):
+        series = buckets({"1": 0, "2": 10, "+Inf": 10})
+        # All 10 observations sit in (1, 2]; p50 lands mid-bucket.
+        assert quantile_from_buckets(series, 0.5) == pytest.approx(1.5)
+
+    def test_p99_beyond_last_finite_bound(self):
+        series = buckets({"1": 99, "+Inf": 100})
+        # Observations past the last finite bucket clamp to its bound.
+        assert quantile_from_buckets(series, 0.999) == pytest.approx(1.0)
+
+    def test_unordered_input(self):
+        series = buckets({"+Inf": 10, "1": 5, "0.5": 0})
+        assert quantile_from_buckets(series, 0.5) == pytest.approx(1.0)
+
+
+def make_status(**overrides):
+    health = {"status": "ok", "workers": 4, "running": 1, "mode": "thread",
+              "queue_depth": 2, "queue_limit": 64,
+              "jobs": {"pending": 2, "running": 1, "succeeded": 7,
+                       "failed": 0, "cancelled": 0, "timeout": 0}}
+    metrics = {
+        "repro_serve_submitted_total": {(): 10.0},
+        "repro_serve_rejected_total": {(): 1.0},
+        "repro_events_dropped": {(): 0.0},
+        "repro_serve_queue_wait_seconds_bucket":
+            buckets({"0.001": 5, "+Inf": 10}),
+    }
+    frontier = {"sessions": [], "active": 0}
+    events = [{"type": "job.finished", "ts_us": 1_000_000, "id": "job-7"}]
+    fields = dict(health=health, metrics=metrics, frontier=frontier,
+                  events=events)
+    fields.update(overrides)
+    return ServiceStatus(**fields)
+
+
+class TestRenderTop:
+    def test_renders_all_sections(self):
+        text = render_top(make_status(), url="http://x")
+        assert "workers 1/4 busy" in text
+        assert "succeeded:7" in text
+        assert "submitted:10" in text
+        assert "fuzz frontier" in text
+        assert "job.finished" in text
+        assert "job-7" in text
+
+    def test_error_status(self):
+        status = ServiceStatus({}, {}, {}, [], error="conn refused")
+        assert "cannot reach service" in render_top(status)
+
+    def test_missing_metrics_render_as_zero(self):
+        text = render_top(make_status(metrics={}))
+        assert "submitted:0" in text
+
+
+class TestFetchStatus:
+    def test_unreachable_becomes_error_status(self):
+        status = fetch_status("http://127.0.0.1:1", timeout=0.5)
+        assert status.error is not None
+        assert status.events == []
+
+
+class TestRunTop:
+    def test_polls_and_advances_cursor(self, monkeypatch):
+        calls = []
+
+        def fake_fetch(url, since=0, timeout=5.0):
+            calls.append(since)
+            return make_status(events_cursor=since + 3)
+
+        monkeypatch.setattr(top_module, "fetch_status", fake_fetch)
+        out = io.StringIO()
+        code = top_module.run_top("http://x", interval=0, iterations=3,
+                                  out=out, sleep=lambda _: None)
+        assert code == 0
+        assert calls == [0, 3, 6]
+        assert out.getvalue().count("repro top") == 3
+
+    def test_error_exit_code(self, monkeypatch):
+        monkeypatch.setattr(
+            top_module, "fetch_status",
+            lambda url, since=0, timeout=5.0: ServiceStatus(
+                {}, {}, {}, [], since, error="down"))
+        code = top_module.run_top("http://x", interval=0, iterations=1,
+                                  out=io.StringIO(), sleep=lambda _: None)
+        assert code == 1

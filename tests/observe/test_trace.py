@@ -1,0 +1,57 @@
+"""TraceContext: minting, child derivation, wire round-trips."""
+
+import pytest
+
+from repro.observe import TraceContext
+
+
+class TestMint:
+    def test_mint_shapes(self):
+        ctx = TraceContext.mint()
+        assert len(ctx.trace_id) == 32
+        assert len(ctx.span_id) == 16
+        assert ctx.parent_id is None
+
+    def test_mint_is_unique(self):
+        seen = {TraceContext.mint().trace_id for _ in range(50)}
+        assert len(seen) == 50
+
+    def test_child_keeps_trace_links_parent(self):
+        root = TraceContext.mint()
+        child = root.child()
+        assert child.trace_id == root.trace_id
+        assert child.parent_id == root.span_id
+        assert child.span_id != root.span_id
+        grandchild = child.child()
+        assert grandchild.trace_id == root.trace_id
+        assert grandchild.parent_id == child.span_id
+
+
+class TestWireForm:
+    def test_round_trip(self):
+        root = TraceContext.mint().child()
+        again = TraceContext.from_dict(root.to_dict())
+        assert again == root
+        assert hash(again) == hash(root)
+
+    def test_fields_omit_missing_parent(self):
+        root = TraceContext.mint()
+        assert set(root.fields()) == {"trace_id", "span_id"}
+        assert set(root.child().fields()) == {"trace_id", "span_id",
+                                              "parent_id"}
+
+    def test_rejects_unknown_fields(self):
+        data = TraceContext.mint().to_dict()
+        data["bogus"] = 1
+        with pytest.raises(ValueError, match="bogus"):
+            TraceContext.from_dict(data)
+
+    def test_rejects_empty_ids(self):
+        with pytest.raises(ValueError):
+            TraceContext(trace_id="", span_id="abc")
+        with pytest.raises(ValueError):
+            TraceContext(trace_id="abc", span_id=None)
+
+    def test_rejects_non_dict(self):
+        with pytest.raises(ValueError):
+            TraceContext.from_dict(["not", "a", "dict"])

@@ -61,3 +61,56 @@ class TestExport:
             trace = json.load(handle)
         assert isinstance(trace, list)
         assert any(e["ph"] == "X" for e in trace)
+
+
+class TestMultiProcessMerge:
+    """Events merged from process-pool workers carry a ``pid`` field and
+    must land on their own process row in the trace viewer."""
+
+    def merged_events(self):
+        # Parent-side service events (no pid field -> default row) plus
+        # two workers' rebased events, as _merge_worker_events produces.
+        return [
+            {"type": "job.queue_wait", "ts_us": 0, "dur_us": 100,
+             "id": "job-1"},
+            {"type": "job", "ts_us": 100, "dur_us": 900, "id": "job-1"},
+            {"type": "campaign.started", "ts_us": 150, "pid": 4001},
+            {"type": "mutant.classified", "ts_us": 200, "dur_us": 50,
+             "pid": 4001},
+            {"type": "campaign.started", "ts_us": 160, "pid": 4002},
+            {"type": "mutant.classified", "ts_us": 210, "dur_us": 60,
+             "pid": 4002},
+        ]
+
+    def test_distinct_pid_rows(self):
+        trace = to_chrome_trace(self.merged_events())
+        pids = {e["pid"] for e in trace if e["ph"] != "M"}
+        assert len(pids) == 3  # parent + two workers
+
+    def test_worker_process_names(self):
+        trace = to_chrome_trace(self.merged_events())
+        names = {e["pid"]: e["args"]["name"] for e in trace
+                 if e["ph"] == "M" and e["name"] == "process_name"}
+        assert len(names) == 3
+        assert sum("worker pid" in n for n in names.values()) == 2
+        assert "worker pid 4001" in names[4001]
+
+    def test_lanes_are_per_process(self):
+        trace = to_chrome_trace(self.merged_events())
+        # The same subsystem lane in two workers gets independent tids,
+        # so concurrent spans never collapse onto one thread row.
+        mutant_rows = {(e["pid"], e["tid"]) for e in trace
+                       if e.get("name") == "mutant.classified"
+                       and e["ph"] == "X"}
+        assert len(mutant_rows) == 2
+
+    def test_concurrent_spans_survive_round_trip(self, tmp_path):
+        path = tmp_path / "merged.json"
+        export_chrome_trace(self.merged_events(), str(path))
+        trace = json.loads(path.read_text())
+        slices = [e for e in trace if e["ph"] == "X"]
+        assert {e["name"] for e in slices} == \
+            {"job.queue_wait", "job", "mutant.classified"}
+        # The two worker slices overlap in time on different pid rows.
+        workers = [e for e in slices if e["name"] == "mutant.classified"]
+        assert workers[0]["pid"] != workers[1]["pid"]

@@ -1,5 +1,7 @@
 """Event log: typed records, monotonic timestamps, JSONL round-trip."""
 
+import pytest
+
 from repro.telemetry import EventLog, NULL_EVENT_LOG
 
 
@@ -136,3 +138,81 @@ class TestNullEventLog:
         assert NULL_EVENT_LOG.of_type("anything") == []
         assert NULL_EVENT_LOG.last("anything") is None
         assert NULL_EVENT_LOG.to_jsonl() == ""
+
+
+class TestRingBuffer:
+    def test_unbounded_when_max_events_none(self):
+        log = EventLog(max_events=None)
+        for i in range(1000):
+            log.emit("tick", i=i)
+        assert len(log.events) == 1000
+        assert log.dropped_events == 0
+        assert not log.overflowed
+
+    def test_eviction_counts_drops_and_latches_overflow(self):
+        log = EventLog(max_events=100)
+        for i in range(101):
+            log.emit("tick", i=i)
+        # One chunked eviction (~10% of the cap) keeps appends O(1).
+        assert log.dropped_events == 10
+        assert log.overflowed
+        assert len(log.events) == 91
+        assert log.total_appended == 101
+        # The oldest surviving record is the first one not evicted.
+        assert log.events[0]["i"] == 10
+
+    def test_overflow_flag_stays_set(self):
+        log = EventLog(max_events=100)
+        for i in range(101):
+            log.emit("tick")
+        assert log.overflowed
+        log.emit("tick")  # well under the cap again
+        assert log.overflowed
+
+    def test_stats_shape(self):
+        log = EventLog(max_events=100)
+        for _ in range(150):
+            log.emit("tick")
+        stats = log.stats()
+        assert stats["total_appended"] == 150
+        assert stats["events"] == len(log.events)
+        assert stats["dropped_events"] == log.dropped_events
+        assert stats["overflowed"] is True
+        assert stats["max_events"] == 100
+
+    def test_extend_participates_in_accounting(self):
+        log = EventLog(max_events=100)
+        log.extend([{"type": "w", "ts_us": i} for i in range(150)])
+        assert log.total_appended == 150
+        assert log.overflowed
+
+
+class TestTail:
+    def test_cursor_sees_each_record_exactly_once(self):
+        log = EventLog()
+        log.emit("a")
+        log.emit("b")
+        first = log.tail(0)
+        assert [e["type"] for e in first["events"]] == ["a", "b"]
+        assert first["missed"] == 0
+        log.emit("c")
+        second = log.tail(first["next"])
+        assert [e["type"] for e in second["events"]] == ["c"]
+        assert second["next"] == 3
+        assert log.tail(second["next"])["events"] == []
+
+    def test_missed_counts_evicted_records(self):
+        log = EventLog(max_events=100)
+        cursor = log.tail(0)["next"]
+        for i in range(150):
+            log.emit("tick", i=i)
+        batch = log.tail(cursor)
+        # Eviction ran past the cursor: the reader is told how many
+        # requested records are gone rather than silently skipping them.
+        assert batch["missed"] == log.dropped_events > 0
+        assert batch["events"][0]["i"] == log.dropped_events
+        assert batch["overflowed"]
+
+    def test_negative_since_rejected(self):
+        with pytest.raises(ValueError):
+            EventLog().tail(-1)

@@ -122,3 +122,57 @@ class TestNullRegistry:
 
     def test_namespace_returns_self(self):
         assert NULL_REGISTRY.namespace("vp.cpu") is NULL_REGISTRY
+
+
+class TestPercentiles:
+    def histogram(self, values, buckets=(1.0, 10.0, 100.0)):
+        h = Histogram("t", buckets=buckets)
+        for v in values:
+            h.observe(v)
+        return h
+
+    def test_empty_returns_none(self):
+        assert Histogram("t").percentile(0.5) is None
+
+    def test_quantile_range_validated(self):
+        h = self.histogram([1.0])
+        with pytest.raises(ValueError):
+            h.percentile(0.0)
+        with pytest.raises(ValueError):
+            h.percentile(1.5)
+
+    def test_interpolates_within_bucket(self):
+        # 10 observations uniformly filling the (1, 10] bucket.
+        h = self.histogram([2 + 0.8 * i for i in range(10)])
+        p50 = h.percentile(0.5)
+        assert 2.0 <= p50 <= 9.2
+        assert h.percentile(0.1) < p50 < h.percentile(0.9)
+
+    def test_clamped_to_observed_extremes(self):
+        h = self.histogram([5.0, 5.0, 5.0])
+        # Bucket interpolation alone would spread across (1, 10]; the
+        # observed min/max pin it to the true value.
+        assert h.percentile(0.5) == 5.0
+        assert h.percentile(0.99) == 5.0
+
+    def test_p100_is_max(self):
+        h = self.histogram([0.5, 3.0, 250.0])
+        assert h.percentile(1.0) == 250.0
+
+    def test_overflow_bucket_uses_max(self):
+        h = self.histogram([500.0, 900.0])
+        p99 = h.percentile(0.99)
+        assert 100.0 <= p99 <= 900.0
+
+    def test_percentiles_convenience_shape(self):
+        h = self.histogram([1.0, 2.0, 3.0])
+        summary = h.percentiles()
+        assert set(summary) == {"p50", "p90", "p99"}
+        assert summary["p50"] <= summary["p90"] <= summary["p99"]
+
+    def test_snapshot_includes_percentiles(self):
+        h = self.histogram([1.0, 2.0, 3.0])
+        snap = h.snapshot()
+        assert {"p50", "p90", "p99"} <= set(snap)
+        assert snap["p50"] is not None
+        assert snap["p50"] <= snap["p99"]

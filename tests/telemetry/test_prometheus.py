@@ -1,0 +1,90 @@
+"""Prometheus text exposition: rendering and (validating) parsing."""
+
+import pytest
+
+from repro.telemetry import MetricsRegistry, parse_prometheus, \
+    render_prometheus
+from repro.telemetry.prometheus import CONTENT_TYPE
+
+
+def registry_snapshot():
+    registry = MetricsRegistry()
+    registry.counter("serve.submitted").inc(7)
+    registry.gauge("serve.queue_depth").set(3)
+    histogram = registry.histogram("serve.job_seconds",
+                                   buckets=(0.1, 1.0))
+    histogram.observe(0.05)
+    histogram.observe(0.5)
+    histogram.observe(5.0)
+    return registry.to_dict()
+
+
+class TestRender:
+    def test_content_type_is_prometheus_text(self):
+        assert CONTENT_TYPE.startswith("text/plain")
+        assert "0.0.4" in CONTENT_TYPE
+
+    def test_counter_rendering(self):
+        text = render_prometheus(registry_snapshot())
+        assert "# TYPE repro_serve_submitted_total counter" in text
+        assert "repro_serve_submitted_total 7" in text
+
+    def test_gauge_rendering(self):
+        text = render_prometheus(registry_snapshot())
+        assert "# TYPE repro_serve_queue_depth gauge" in text
+        assert "repro_serve_queue_depth 3" in text
+
+    def test_histogram_buckets_are_cumulative(self):
+        parsed = parse_prometheus(render_prometheus(registry_snapshot()))
+        series = parsed["repro_serve_job_seconds_bucket"]
+        by_le = {dict(labels)["le"]: value
+                 for labels, value in series.items()}
+        assert by_le["0.1"] == 1
+        assert by_le["1.0"] == 2
+        assert by_le["+Inf"] == 3
+        assert parsed["repro_serve_job_seconds_count"][()] == 3
+        assert parsed["repro_serve_job_seconds_sum"][()] == \
+            pytest.approx(5.55)
+
+    def test_extra_gauges(self):
+        text = render_prometheus({}, extra_gauges={"repro_up": 1})
+        parsed = parse_prometheus(text)
+        assert parsed["repro_up"][()] == 1.0
+
+    def test_names_are_flattened(self):
+        text = render_prometheus(registry_snapshot())
+        # Dotted registry names become underscore-flattened repro_* ones.
+        for line in text.splitlines():
+            if line and not line.startswith("#"):
+                name = line.split("{")[0].split(" ")[0]
+                assert name.startswith("repro_")
+                assert "." not in name
+
+    def test_extra_gauges_are_not_double_prefixed(self):
+        text = render_prometheus(
+            {}, extra_gauges={"repro_events_dropped": 2})
+        parsed = parse_prometheus(text)
+        assert parsed["repro_events_dropped"][()] == 2.0
+
+
+class TestParse:
+    def test_round_trip(self):
+        snapshot = registry_snapshot()
+        parsed = parse_prometheus(render_prometheus(snapshot))
+        assert parsed["repro_serve_submitted_total"][()] == 7.0
+
+    def test_skips_comments_and_blanks(self):
+        parsed = parse_prometheus("# HELP x y\n\nx 1\n")
+        assert parsed["x"][()] == 1.0
+
+    def test_labels(self):
+        parsed = parse_prometheus('x_bucket{le="0.5"} 2\n')
+        assert parsed["x_bucket"][(("le", "0.5"),)] == 2.0
+
+    def test_malformed_line_raises(self):
+        with pytest.raises(ValueError):
+            parse_prometheus("not a metric line at all!{\n")
+
+    def test_malformed_value_raises(self):
+        with pytest.raises(ValueError):
+            parse_prometheus("x notanumber\n")
