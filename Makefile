@@ -7,7 +7,7 @@
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: test bench bench-report bench-smoke fuzz-smoke examples experiments clean
+.PHONY: test bench bench-report bench-smoke fuzz-smoke jit-smoke examples experiments clean
 
 test:
 	$(PYTHON) -m pytest tests/
@@ -27,6 +27,11 @@ bench-smoke:
 # Bounded fuzzing smoke: coverage growth + triage parse + determinism.
 fuzz-smoke:
 	$(PYTHON) examples/fuzz_smoke.py
+
+# Compiled-tier smoke: JIT engages on F1, results byte-identical to the
+# interpreter, speedup above the floor.
+jit-smoke:
+	$(PYTHON) examples/jit_smoke.py
 
 # Run every example script (each asserts its own expected behaviour).
 examples:

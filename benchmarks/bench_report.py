@@ -6,6 +6,11 @@ numbers the performance work is judged by:
 * ``mips`` — interpreter speed on the F1 compute workload (cache on,
   no plugins), plus the speedup over the recorded pre-specialization
   baseline;
+* ``emulator_compiled`` — the same F1 workload under each execution
+  backend (``interp`` / ``fastpath`` / ``compiled``) with the compiled
+  tier's speedups over both; RunResult parity across backends is
+  asserted first, and the report fails loudly if the compiled backend
+  silently fell back to the interpreter tier;
 * ``campaign`` — fault-campaign throughput (mutants/s) sequential and
   with a worker pool, plus the parallel speedup;
 * ``campaign_checkpoint`` — throughput of a transient-heavy campaign
@@ -144,6 +149,54 @@ def measure_mips(iters: int, repeats: int):
         insns = result.instructions
         best = max(best, result.instructions / elapsed)
     return best, insns
+
+
+def measure_backend_mips(iters: int, repeats: int):
+    """Per-backend speed on F1: interp vs fastpath vs compiled.
+
+    All three runs must produce the same RunResult (stop reason, exit
+    code, instruction and cycle counts) — parity is asserted before any
+    throughput is recorded.  The compiled run additionally must show the
+    JIT actually engaged (blocks compiled, instructions retired in the
+    compiled tier); a silent fall-back to the interpreter would otherwise
+    masquerade as a JIT measurement.
+    """
+    program = assemble(WORKLOAD.format(iters=iters), isa=RV32IMC_ZICSR)
+    entries = {}
+    outcomes = {}
+    for backend in ("interp", "fastpath", "compiled"):
+        best = 0.0
+        stats = None
+        for _ in range(repeats):
+            machine = Machine(MachineConfig(isa=RV32IMC_ZICSR,
+                                            backend=backend))
+            machine.load(program)
+            start = time.perf_counter()
+            result = machine.run(max_instructions=50_000_000)
+            elapsed = time.perf_counter() - start
+            assert result.stop_reason == "exit", result.stop_reason
+            best = max(best, result.instructions / elapsed)
+            stats = machine.jit_stats()
+            outcomes[backend] = (result.stop_reason, result.exit_code,
+                                 result.instructions, result.cycles)
+        entries[backend] = {"mips": round(best / 1e6, 3),
+                            "insns_per_second": round(best, 0)}
+        if backend == "compiled":
+            if not stats or stats["blocks_compiled"] == 0 \
+                    or stats["compiled_instructions"] == 0:
+                raise RuntimeError(
+                    "compiled backend silently fell back to the "
+                    f"interpreter tier on F1 (stats: {stats})")
+            entries[backend]["jit"] = stats
+    if len(set(outcomes.values())) != 1:
+        raise RuntimeError(f"backend results diverged on F1: {outcomes}")
+    entries["compiled_speedup_vs_interp"] = round(
+        entries["compiled"]["insns_per_second"]
+        / entries["interp"]["insns_per_second"], 3)
+    entries["compiled_speedup_vs_fastpath"] = round(
+        entries["compiled"]["insns_per_second"]
+        / entries["fastpath"]["insns_per_second"], 3)
+    return entries
 
 
 def measure_qta_overhead(iters: int):
@@ -400,6 +453,7 @@ def build_report(smoke: bool) -> dict:
             "baseline_insns_per_second": BASELINE_INSNS_PER_SECOND,
             "speedup_vs_baseline": round(rate / BASELINE_INSNS_PER_SECOND, 3),
         },
+        "emulator_compiled": measure_backend_mips(iters, repeats),
         "qta_overhead_factor": round(measure_qta_overhead(iters), 3),
         "telemetry_overhead": measure_telemetry_overhead(
             iters, repeats=3 if smoke else 6),

@@ -1,0 +1,113 @@
+#!/usr/bin/env python3
+"""Bounded end-to-end smoke test for the compiled execution tier.
+
+Runs the F1 compute workload under the ``compiled`` backend and asserts
+the properties CI cares about:
+
+* the JIT actually engaged — blocks were compiled and the bulk of the
+  instructions retired in the compiled tier (a silent fall-back to the
+  interpreter fails the job loudly);
+* the :class:`RunResult` (stop reason, exit code, instruction and cycle
+  counts) and the final architectural state are byte-identical to the
+  ``interp`` backend on the same program;
+* the compiled tier is at least ``MIN_SPEEDUP``x faster than the
+  interpreter backend on this workload (best-of-N each, interleaved) —
+  a deliberately loose floor so host jitter cannot flake the job while
+  a real regression still trips it.
+
+Used by the CI ``jit-smoke`` job and runnable by hand:
+
+    python examples/jit_smoke.py
+
+Exits 0 on success, non-zero on any violated assertion.  The workload
+is instruction-bounded; CI wraps the script in ``timeout`` as well.
+"""
+
+import sys
+import time
+
+ITERS = 20_000        # F1 loop iterations (~200k dynamic instructions)
+REPEATS = 3           # best-of-N per backend
+MIN_SPEEDUP = 2.0     # loose floor; the recorded number is far higher
+
+WORKLOAD = f"""
+_start:
+    li t0, 0
+    li t1, {ITERS}
+    li a0, 0
+loop:
+    add a0, a0, t0
+    xor a1, a0, t0
+    srli a2, a1, 3
+    and a3, a2, t0
+    or a0, a0, a3
+    slli a0, a0, 1
+    srli a0, a0, 1
+    addi t0, t0, 1
+    blt t0, t1, loop
+    li a0, 0
+    li a7, 93
+    ecall
+"""
+
+
+def main() -> int:
+    from repro.asm import assemble
+    from repro.isa import RV32IMC_ZICSR
+    from repro.vp import Machine, MachineConfig
+
+    program = assemble(WORKLOAD, isa=RV32IMC_ZICSR)
+
+    def one(backend):
+        machine = Machine(MachineConfig(isa=RV32IMC_ZICSR, backend=backend))
+        machine.load(program)
+        start = time.perf_counter()
+        result = machine.run(max_instructions=50_000_000)
+        elapsed = time.perf_counter() - start
+        digest = (tuple(machine.cpu.regs.snapshot()), machine.cpu.pc,
+                  machine.cpu.csrs.instret, machine.cpu.csrs.cycle)
+        return result, digest, elapsed, machine.jit_stats()
+
+    best = {}
+    outcome = {}
+    for _ in range(REPEATS):
+        for backend in ("interp", "compiled"):
+            result, digest, elapsed, stats = one(backend)
+            assert result.stop_reason == "exit", result.stop_reason
+            best[backend] = min(best.get(backend, float("inf")), elapsed)
+            outcome[backend] = (result, digest)
+            if backend == "compiled":
+                jit_stats = stats
+
+    # 1. the JIT engaged — no silent interpreter fall-back.
+    assert jit_stats is not None, "compiled backend reported no JIT stats"
+    assert jit_stats["blocks_compiled"] >= 1, jit_stats
+    assert jit_stats["compiled_instructions"] > \
+        jit_stats["interp_instructions"], (
+        f"bulk of instructions retired outside the compiled tier: "
+        f"{jit_stats}")
+    assert jit_stats["compile_failures"] == 0, jit_stats
+
+    # 2. byte-identical results.
+    assert outcome["compiled"] == outcome["interp"], (
+        f"compiled tier diverged from the interpreter:\n"
+        f"  interp:   {outcome['interp']}\n"
+        f"  compiled: {outcome['compiled']}")
+
+    # 3. the speedup floor.
+    speedup = best["interp"] / best["compiled"]
+    insns = outcome["compiled"][0].instructions
+    print(f"jit smoke: {insns:,} instructions  "
+          f"interp {insns / best['interp'] / 1e6:.2f} MIPS  "
+          f"compiled {insns / best['compiled'] / 1e6:.2f} MIPS  "
+          f"speedup {speedup:.2f}x  "
+          f"({jit_stats['blocks_compiled']} blocks compiled)")
+    assert speedup >= MIN_SPEEDUP, (
+        f"compiled tier only {speedup:.2f}x vs interp "
+        f"(floor {MIN_SPEEDUP}x)")
+    print("jit smoke: OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -72,7 +72,8 @@ def cmd_run(args) -> int:
 
     isa = _isa(args)
     program = assemble(_read_source(args.source), isa=isa)
-    machine = Machine(MachineConfig(isa=isa))
+    machine = Machine(MachineConfig(isa=isa, backend=args.backend,
+                                    jit_threshold=args.jit_threshold))
     machine.load(program)
     if current_telemetry().enabled:
         machine.attach_telemetry()
@@ -95,6 +96,15 @@ def cmd_run(args) -> int:
         print(tracer.render(args.trace))
     print(f"stop: {result.stop_reason}  exit: {result.exit_code}  "
           f"instructions: {result.instructions}  cycles: {result.cycles}")
+    jit = machine.jit_stats()
+    if jit is not None:
+        total = jit["compiled_instructions"] + jit["interp_instructions"]
+        share = jit["compiled_instructions"] / total if total else 0.0
+        print(f"jit: {jit['blocks_compiled']} blocks compiled, "
+              f"{share:.1%} of instructions in the compiled tier"
+              + (f", {jit['compile_failures']} compile failures"
+                 if jit["compile_failures"] else ""),
+              file=sys.stderr)
     return result.exit_code or 0
 
 
@@ -164,7 +174,8 @@ def cmd_faults(args) -> int:
     program = assemble(_read_source(args.source), isa=isa)
     campaign = FaultCampaign(program, isa=isa,
                              checkpoints=not args.no_checkpoints,
-                             digest_interval=args.digest_interval)
+                             digest_interval=args.digest_interval,
+                             backend=args.backend)
     golden = campaign.golden()
     print(f"golden: exit {golden.exit_code}, "
           f"{golden.instructions} instructions")
@@ -189,7 +200,8 @@ def cmd_faults(args) -> int:
         from .observe import SamplingProfiler
         from .vp.machine import Machine, MachineConfig
 
-        machine = Machine(MachineConfig(isa=isa))
+        machine = Machine(MachineConfig(isa=isa, backend=args.backend,
+                                        jit_threshold=args.jit_threshold))
         machine.load(program)
         profiler = machine.add_plugin(SamplingProfiler())
         machine.run(max_instructions=campaign.golden_budget)
@@ -224,6 +236,7 @@ def cmd_fuzz(args) -> int:
         minimize=not args.no_minimize,
         lockstep=args.lockstep,
         time_budget=args.time_budget,
+        backend=args.backend,
     )
     engine = FuzzEngine(isa, config)
     profiler = None
@@ -271,7 +284,8 @@ def cmd_profile(args) -> int:
 
     isa = _isa(args)
     program = assemble(_read_source(args.source), isa=isa)
-    machine = Machine(MachineConfig(isa=isa))
+    machine = Machine(MachineConfig(isa=isa, backend=args.backend,
+                                    jit_threshold=args.jit_threshold))
     machine.load(program)
     profiler = machine.add_plugin(
         SamplingProfiler(interval=args.interval))
@@ -290,6 +304,12 @@ def cmd_profile(args) -> int:
         print(f"profile JSON written to {args.json_out}", file=sys.stderr)
     print(f"stop: {result.stop_reason}  exit: {result.exit_code}  "
           f"instructions: {result.instructions}", file=sys.stderr)
+    jit = machine.jit_stats()
+    if jit is not None:
+        print(f"jit: {jit['blocks_compiled']} blocks compiled, "
+              f"{jit['compiled_instructions']:,} compiled-tier / "
+              f"{jit['interp_instructions']:,} interp-tier instructions",
+              file=sys.stderr)
     return 0
 
 
@@ -332,6 +352,8 @@ def cmd_submit(args) -> int:
                    "seeds": args.fuzz_seeds}
     else:
         payload = {"source": _read_source(args.source), "isa": args.isa}
+    if args.kind in ("vp_run", "fault_campaign", "fuzz"):
+        payload["backend"] = args.backend
     if args.kind == "fault_campaign":
         payload.update(mutants=args.mutants, seed=args.seed, jobs=args.jobs,
                        checkpoints=not args.no_checkpoints)
@@ -437,16 +459,27 @@ def build_parser() -> argparse.ArgumentParser:
                             "structured, otherwise collapsed stacks for "
                             "flamegraph tools)")
 
+    def backend_flags(p):
+        p.add_argument("--backend", default="fastpath",
+                       choices=("interp", "fastpath", "compiled"),
+                       help="execution backend (compiled = tiered "
+                            "template JIT; see docs/performance.md)")
+        p.add_argument("--jit-threshold", type=int, default=8, metavar="N",
+                       help="block executions before the compiled backend "
+                            "promotes a block (default: 8)")
+
     p = sub.add_parser("run", help="assemble and run on the VP")
     common(p)
     p.add_argument("--trace", type=int, default=0, metavar="N",
                    help="print the last N executed instructions")
     profile_flag(p)
+    backend_flags(p)
     p.set_defaults(func=cmd_run)
 
     p = sub.add_parser("profile",
                        help="guest-level sampling profile on the VP")
     common(p)
+    backend_flags(p)
     p.add_argument("--interval", type=int, default=1, metavar="N",
                    help="sample every N-th block execution (default 1 = "
                         "exact attribution)")
@@ -506,6 +539,7 @@ def build_parser() -> argparse.ArgumentParser:
                         "early mutant classification (default: "
                         "golden_instructions/256, floor 64)")
     profile_flag(p)
+    backend_flags(p)
     p.set_defaults(func=cmd_faults)
 
     p = sub.add_parser("mutate", help="mutation-test a self-checking binary")
@@ -546,6 +580,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--json", action="store_true",
                    help="print the full machine-readable result")
     profile_flag(p)
+    backend_flags(p)
     telemetry_flags(p)
     p.set_defaults(func=cmd_fuzz)
 
@@ -600,6 +635,9 @@ def build_parser() -> argparse.ArgumentParser:
                    help="fault_campaign: disable checkpoint acceleration")
     p.add_argument("--digest-interval", type=int, default=None, metavar="K",
                    help="fault_campaign: golden digest spacing")
+    p.add_argument("--backend", default="fastpath",
+                   choices=("interp", "fastpath", "compiled"),
+                   help="vp_run/fault_campaign/fuzz: execution backend")
     p.add_argument("--priority", type=int, default=0,
                    help="larger dispatches sooner")
     p.add_argument("--timeout", type=float, default=None, metavar="SECONDS",

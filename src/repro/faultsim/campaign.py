@@ -207,9 +207,14 @@ class FaultCampaign:
         checkpoints: bool = True,
         digest_interval: Optional[int] = None,
         telemetry=None,
+        backend: str = "fastpath",
     ) -> None:
         self.program = program
         self.isa = isa or IsaConfig.from_string(program.isa_name)
+        #: Execution backend for golden and mutant runs alike (see
+        #: :mod:`repro.vp.backends`).  Classifications are backend-
+        #: independent; ``compiled`` buys throughput on long workloads.
+        self.backend = backend
         self.budget_multiplier = budget_multiplier
         self.min_budget = min_budget
         self.golden_budget = golden_budget
@@ -234,7 +239,7 @@ class FaultCampaign:
         self._engine_stats_pushed: Dict[str, int] = {}
 
     def _fresh_machine(self) -> Machine:
-        return Machine(MachineConfig(isa=self.isa))
+        return Machine(MachineConfig(isa=self.isa, backend=self.backend))
 
     def golden(self) -> GoldenRun:
         """Run (and cache) the fault-free reference."""

@@ -66,6 +66,7 @@ class CampaignSpec:
     #: Sorted distinct transient triggers — each worker pre-builds its
     #: checkpoint chain for these in one golden sweep at init.
     checkpoint_triggers: Tuple[int, ...] = ()
+    backend: str = "fastpath"
 
 
 def _spec_for(campaign, faults: Sequence = ()) -> CampaignSpec:
@@ -87,6 +88,7 @@ def _spec_for(campaign, faults: Sequence = ()) -> CampaignSpec:
         checkpoints=campaign.checkpoints,
         digest_interval=campaign.digest_interval,
         checkpoint_triggers=triggers,
+        backend=campaign.backend,
     )
 
 
@@ -106,6 +108,7 @@ def _worker_init(spec: CampaignSpec) -> None:
         reuse_machine=spec.reuse_machine,
         checkpoints=spec.checkpoints,
         digest_interval=spec.digest_interval,
+        backend=spec.backend,
     )
     # Reuse the parent's golden reference: workers never re-run it.
     campaign._golden = spec.golden

@@ -66,6 +66,7 @@ class FuzzConfig:
     minimize_evals: int = 24        # extra executions per minimization
     lockstep: bool = False          # differential oracle on corpus adds
     time_budget: Optional[float] = None  # wall-clock stop (breaks jobs parity)
+    backend: str = "fastpath"       # execution backend for evaluators
 
 
 # ----------------------------------------------------------------------
@@ -119,6 +120,7 @@ class FuzzSpec:
 
     isa_name: str
     max_instructions: int
+    backend: str = "fastpath"
 
 
 _WORKER_EVALUATOR: Optional[ProgramEvaluator] = None
@@ -131,6 +133,7 @@ def _worker_init(spec: FuzzSpec) -> None:
     _WORKER_EVALUATOR = ProgramEvaluator(
         IsaConfig.from_string(spec.isa_name),
         max_instructions=spec.max_instructions,
+        backend=spec.backend,
     )
 
 
@@ -243,7 +246,8 @@ class FuzzEngine:
         self.mutator = IsaMutator(isa,
                                   max_body_words=self.config.max_body_words)
         self.evaluator = ProgramEvaluator(
-            isa, max_instructions=self.config.max_instructions)
+            isa, max_instructions=self.config.max_instructions,
+            backend=self.config.backend)
         self.triage = TriageReport()
         self.rng = random.Random(self.config.seed)
         self.executions = 0       # every VP run (seeds, mutants, trimming)
@@ -290,7 +294,8 @@ class FuzzEngine:
         if self._jobs == 1:
             return
         spec = FuzzSpec(isa_name=self.isa.name,
-                        max_instructions=self.config.max_instructions)
+                        max_instructions=self.config.max_instructions,
+                        backend=self.config.backend)
         try:
             self._pool = _make_pool(self._jobs, spec)
         except (OSError, ImportError, ValueError, RuntimeError) as exc:

@@ -148,11 +148,14 @@ class ProgramEvaluator:
     registers + TB edges) plus the triage classification.
     """
 
-    def __init__(self, isa: IsaConfig, max_instructions: int = 5000) -> None:
+    def __init__(self, isa: IsaConfig, max_instructions: int = 5000,
+                 backend: str = "fastpath") -> None:
         self.isa = isa
         self.max_instructions = max_instructions
+        self.backend = backend
         self.builder = ProgramBuilder(isa)
-        self.machine = Machine(MachineConfig(isa=isa, trace_registers=True))
+        self.machine = Machine(MachineConfig(isa=isa, trace_registers=True,
+                                             backend=backend))
         self._insns = InsnTypePlugin()
         self._edges = TBEdgePlugin()
         self.machine.add_plugin(self._insns)
@@ -202,7 +205,7 @@ class ProgramEvaluator:
         from ..vp.lockstep import run_lockstep
 
         program = self.builder.build(words)
-        primary = Machine(MachineConfig(isa=self.isa))
+        primary = Machine(MachineConfig(isa=self.isa, backend=self.backend))
         secondary = Machine(MachineConfig(
             isa=self.isa, block_cache_enabled=False))
         outcome = run_lockstep(primary, secondary, program,

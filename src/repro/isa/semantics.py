@@ -14,6 +14,13 @@ operation callback) against the CPU protocol defined by
 Semantics follow the RISC-V unprivileged and machine-mode privileged specs;
 corner cases (division by zero, signed-overflow division, x0 hardwiring,
 CSR read/write suppression) are implemented exactly as specified.
+
+This file is the normative reference for the template JIT: the source
+emitters in :mod:`repro.vp.jit.templates` render these exact semantics
+(keyed by the execute function objects below) into specialized per-block
+code.  When changing an execute function listed in that module's
+``EMITTERS``/``BRANCH_CONDS`` tables, update its emitter in the same
+change — ``tests/vp/test_backend_parity.py`` enforces the equivalence.
 """
 
 from __future__ import annotations

@@ -62,6 +62,10 @@ class SamplingProfiler(Plugin):
         self.samples: Dict[int, int] = {}
         #: start_pc -> (pcs, decoded list) captured at translate time.
         self._blocks: Dict[int, Tuple[tuple, tuple]] = {}
+        #: start_pc -> execution tier ("interp" or "compiled"), as last
+        #: observed.  A block can graduate mid-run once the compiled
+        #: backend's hot threshold trips; the final observation wins.
+        self._tiers: Dict[int, str] = {}
 
     # -- hooks ----------------------------------------------------------
 
@@ -76,6 +80,8 @@ class SamplingProfiler(Plugin):
         self._countdown = self.interval
         pc = block.start_pc
         self.samples[pc] = self.samples.get(pc, 0) + 1
+        self._tiers[pc] = ("compiled" if block.compiled is not None
+                           else "interp")
 
     # -- results --------------------------------------------------------
 
@@ -103,6 +109,7 @@ class SamplingProfiler(Plugin):
                 "samples": count,
                 "block_insns": len(pcs),
                 "est_instructions": count * self.interval * max(len(pcs), 1),
+                "tier": self._tiers.get(pc, "interp"),
             })
         return Profile(blocks=blocks, interval=self.interval,
                        block_details=self._blocks, program=program, isa=isa)
@@ -146,6 +153,8 @@ class _ExactProfiler(SamplingProfiler):
             pc = block.start_pc
             self.samples[pc] = self.samples.get(pc, 0) + delta
             entry[1] = block.exec_count
+            self._tiers[pc] = ("compiled" if block.compiled is not None
+                               else "interp")
 
     def _sync(self) -> None:
         for entry in self._tracked.values():
@@ -204,6 +213,18 @@ class Profile:
     def total_est_instructions(self) -> int:
         return sum(b["est_instructions"] for b in self.blocks)
 
+    def tier_totals(self) -> Dict[str, int]:
+        """Estimated instructions per execution tier.
+
+        Blocks recorded before the tier field existed (or fed in from an
+        external source) count as ``interp``.
+        """
+        totals: Dict[str, int] = {}
+        for block in self.blocks:
+            tier = block.get("tier", "interp")
+            totals[tier] = totals.get(tier, 0) + block["est_instructions"]
+        return totals
+
     def hot_blocks(self, limit: int = 10) -> List[Dict]:
         """The ranking, each entry annotated with its function."""
         total = self.total_est_instructions or 1
@@ -240,6 +261,14 @@ class Profile:
         lines = [f"samples: {self.total_samples:,}  (interval "
                  f"{self.interval}, est. {self.total_est_instructions:,} "
                  "instructions)"]
+        totals = self.tier_totals()
+        if totals.get("compiled"):
+            grand = self.total_est_instructions or 1
+            parts = ", ".join(
+                f"{tier} {count:,} ({count / grand:.1%})"
+                for tier, count in sorted(totals.items(),
+                                          key=lambda item: -item[1]))
+            lines.append(f"tiers: {parts}")
         lines.append("")
         header = f"{'function':<24} {'est insns':>12} {'share':>7} {'blocks':>7}"
         lines.append(header)
@@ -250,14 +279,15 @@ class Profile:
                          f"{row['fraction']:>6.1%} {row['blocks']:>7}")
         lines.append("")
         header = (f"{'block':>10} {'function':<20} {'samples':>10} "
-                  f"{'est insns':>12} {'share':>7}")
+                  f"{'est insns':>12} {'share':>7} {'tier':<8}")
         lines.append(header)
         lines.append("-" * len(header))
         for block in self.hot_blocks(limit):
             lines.append(f"{block['start_pc']:>#10x} "
                          f"{block['function']:<20} {block['samples']:>10,} "
                          f"{block['est_instructions']:>12,} "
-                         f"{block['fraction']:>6.1%}")
+                         f"{block['fraction']:>6.1%} "
+                         f"{block.get('tier', 'interp'):<8}")
         return "\n".join(lines)
 
     def annotated_disasm(self, limit: int = 3) -> str:
@@ -300,6 +330,7 @@ class Profile:
             "interval": self.interval,
             "total_samples": self.total_samples,
             "total_est_instructions": self.total_est_instructions,
+            "tiers": self.tier_totals(),
             "functions": self.functions(),
             "blocks": self.hot_blocks(limit=len(self.blocks)),
         }

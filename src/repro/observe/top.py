@@ -147,6 +147,20 @@ def render_top(status: ServiceStatus, url: str = "",
         "    job time p50/p99  "
         f"{_fmt_seconds(quantile_from_buckets(job_buckets, 0.5))}/"
         f"{_fmt_seconds(quantile_from_buckets(job_buckets, 0.99))}")
+    # Present only when a vp_run executed under the compiled backend —
+    # the machine publishes its tier counters as vp.jit.* gauges.
+    if "repro_vp_jit_blocks_compiled" in metrics:
+        compiled = _metric(metrics, "repro_vp_jit_compiled_instructions")
+        interp = _metric(metrics, "repro_vp_jit_interp_instructions")
+        total = compiled + interp
+        share = compiled / total if total else 0.0
+        lines.append(
+            f"jit    blocks:"
+            f"{_metric(metrics, 'repro_vp_jit_blocks_compiled'):.0f}"
+            f"  compiled-tier:{compiled:.0f} ({share:.1%})"
+            f"  interp-tier:{interp:.0f}"
+            f"  failures:"
+            f"{_metric(metrics, 'repro_vp_jit_compile_failures'):.0f}")
     lines.append("")
     lines.append("--- fuzz frontier ---")
     lines.append(render_frontier(status.frontier))

@@ -146,6 +146,16 @@ def _int_field(payload: Dict[str, Any], name: str, default: int,
     return value
 
 
+def _backend_field(payload: Dict[str, Any]) -> str:
+    from ..vp.backends import BACKEND_NAMES
+
+    value = payload.get("backend", "fastpath")
+    if value not in BACKEND_NAMES:
+        raise ExecutorError(
+            f"payload field 'backend' must be one of {BACKEND_NAMES}")
+    return value
+
+
 # ----------------------------------------------------------------------
 # Built-in executors
 # ----------------------------------------------------------------------
@@ -168,13 +178,13 @@ def run_vp_job(payload: Dict[str, Any], ctx: JobContext) -> Dict[str, Any]:
         program = _program_for(payload, isa)
     budget = _int_field(payload, "max_instructions", 10_000_000, minimum=1)
     ctx.check()
-    machine = Machine(MachineConfig(isa=isa))
+    machine = Machine(MachineConfig(isa=isa, backend=_backend_field(payload)))
     if telemetry.enabled:
         machine.telemetry = telemetry
     with telemetry.events.span("vp.load"):
         machine.load(program)
     result = machine.run(max_instructions=budget)
-    return {
+    out = {
         "stop_reason": result.stop_reason,
         "exit_code": result.exit_code,
         "trap_cause": result.trap_cause,
@@ -182,6 +192,10 @@ def run_vp_job(payload: Dict[str, Any], ctx: JobContext) -> Dict[str, Any]:
         "cycles": result.cycles,
         "uart_output": machine.uart.output,
     }
+    jit = machine.jit_stats()
+    if jit is not None:
+        out["jit"] = jit
+    return out
 
 
 @register_executor("fault_campaign")
@@ -203,7 +217,8 @@ def run_fault_campaign_job(payload: Dict[str, Any],
     if digest_interval is not None:
         digest_interval = _int_field(payload, "digest_interval", 0, minimum=1)
     campaign = FaultCampaign(program, isa=isa, checkpoints=checkpoints,
-                             digest_interval=digest_interval)
+                             digest_interval=digest_interval,
+                             backend=_backend_field(payload))
     golden = campaign.golden()
     faults = default_campaign_mutants(
         program, isa=isa, mutants=mutants, seed=seed,
@@ -252,6 +267,7 @@ def run_fuzz_job(payload: Dict[str, Any], ctx: JobContext) -> Dict[str, Any]:
                                     minimum=1),
         minimize=bool(payload.get("minimize", True)),
         lockstep=bool(payload.get("lockstep", False)),
+        backend=_backend_field(payload),
     )
     kind = payload.get("seeds", "suites")
     if kind == "trivial":

@@ -23,8 +23,10 @@ from .machine import (
     STOP_UNHANDLED_TRAP,
     UART_BASE,
 )
+from .backends import BACKEND_NAMES, ExecutionBackend, create_backend
 from .icache import ICache, ICacheConfig
-from .lockstep import LockstepDivergence, LockstepResult, run_lockstep
+from .lockstep import (LockstepDivergence, LockstepResult,
+                       run_backend_lockstep, run_lockstep)
 from .memory import Device, Ram, SystemBus
 from .plugins import HookTable, Plugin
 from .timing import TimingModel, classify
@@ -38,9 +40,13 @@ from .trap import (
 )
 
 __all__ = [
+    "BACKEND_NAMES",
     "BusError",
     "CLINT_BASE",
     "Cpu",
+    "ExecutionBackend",
+    "create_backend",
+    "run_backend_lockstep",
     "DEFAULT_RAM_SIZE",
     "Device",
     "EXIT_BASE",

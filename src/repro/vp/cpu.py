@@ -69,7 +69,8 @@ class TranslationBlock:
     """
 
     __slots__ = ("start_pc", "insns", "pcs", "size", "exec_count",
-                 "ops", "next", "chain_pc", "icache_lines")
+                 "ops", "next", "chain_pc", "icache_lines",
+                 "compiled", "compiled_version")
 
     def __init__(self, start_pc: int, insns: List[Decoded], pcs: List[int]) -> None:
         self.start_pc = start_pc
@@ -90,6 +91,13 @@ class TranslationBlock:
         self.chain_pc: Optional[int] = None
         #: Cache-line numbers the block spans (empty without an icache).
         self.icache_lines: tuple = ()
+        #: Specialized compiled step function (the JIT tier), or ``None``
+        #: while the block is still interpreted.
+        self.compiled: Optional[Callable] = None
+        #: The :class:`~repro.vp.jit.backend.CompiledBackend` specialization
+        #: token ``compiled`` was generated for; a mismatch forces a
+        #: recompile (hook table changed, register file swapped, ...).
+        self.compiled_version: Optional[tuple] = None
 
     def finalize(self, timing, icache=None) -> None:
         """Precompute hot-loop data against ``timing`` (and ``icache``)."""
@@ -196,6 +204,10 @@ class Cpu:
         self.tb_hits = 0
         self.tb_misses = 0
         self.tb_flushes = 0
+        #: The :class:`~repro.vp.backends.ExecutionBackend` driving
+        #: :meth:`run`.  ``None`` lazily becomes the default ``fastpath``
+        #: backend (the historical behaviour) on the first run.
+        self.backend = None
 
     # ------------------------------------------------------------------
     # Configuration hooks used by Machine
@@ -546,46 +558,18 @@ class Cpu:
     def run(self, max_instructions: Optional[int] = None) -> RunResult:
         """Execute until WFI-with-no-event or the instruction budget ends.
 
+        The run loop itself lives in the active
+        :class:`~repro.vp.backends.ExecutionBackend` (``interp``,
+        ``fastpath``, or the JIT's ``compiled`` tier); without an explicit
+        backend the historical ``fastpath`` behaviour is used.
+
         :class:`~repro.vp.trap.MachineExit` and
         :class:`~repro.vp.trap.UnhandledTrap` propagate to the caller
         (:class:`repro.vp.machine.Machine` turns them into results).
         """
-        executed = 0
-        budget = max_instructions if max_instructions is not None else float("inf")
-        zero_steps = 0
-        hooks = self.hooks
-        hook_version = hooks.version
-        step = self._select_step()
-        start_instret = self.csrs.instret
-        try:
-            while executed < budget:
-                if hooks.version != hook_version:  # plugin added/removed mid-run
-                    hook_version = hooks.version
-                    step = self._select_step()
-                retired = step()
-                executed += retired
-                if retired:
-                    zero_steps = 0
-                else:
-                    zero_steps += 1
-                    if zero_steps >= LIVELOCK_LIMIT:
-                        return RunResult(STOP_LIVELOCK, executed,
-                                         self.csrs.cycle,
-                                         trap_cause=self.csrs.raw_read(
-                                             csrdef.MCAUSE),
-                                         trap_pc=self.pc)
-                if self._wfi_pending:
-                    self._wfi_pending = False
-                    skip = self._wfi_wait()
-                    if skip is None:
-                        return RunResult(STOP_WFI, executed, self.csrs.cycle)
-                    if skip:
-                        self.csrs.cycle += skip
-                        self.bus.tick(skip)
-        except StopRun:
-            # The hook stopped mid-block; step_block's finally already
-            # flushed the partial block's accounting to the CSRs, so the
-            # retired count is the instret delta rather than `executed`.
-            return RunResult(STOP_REQUESTED, self.csrs.instret - start_instret,
-                             self.csrs.cycle)
-        return RunResult(STOP_MAX_INSNS, executed, self.csrs.cycle)
+        backend = self.backend
+        if backend is None:
+            from .backends import create_backend
+
+            backend = self.backend = create_backend("fastpath", self)
+        return backend.run(max_instructions)

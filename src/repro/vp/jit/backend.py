@@ -1,0 +1,190 @@
+"""The ``compiled`` execution backend: hot-block tiering over the JIT.
+
+Blocks start life interpreted; once a block's ``exec_count`` crosses the
+tier threshold it is compiled by :class:`~repro.vp.jit.compiler.BlockCompiler`
+and the compiled function is cached on the block together with the
+specialization token it was generated for.  The token captures
+everything the generated code folded in — the hook-table version, the
+register-file shape, and whether block chaining is live — so any change
+recompiles instead of executing stale assumptions.
+
+Fallback rules (documented in ``docs/performance.md``): an instruction
+cache or a disabled translation-block cache turns compilation off
+entirely and every block stays interpreted; a codegen failure blacklists
+just that block.  The tier split is observable through :class:`JitStats`
+(``repro profile``'s tier report and the ``emulator_compiled`` bench
+section read it).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ...isa.registers import RegisterFile
+from ..backends import ExecutionBackend
+from ..trap import MachineExit, Trap
+from .compiler import BlockCompiler, CompileError
+
+__all__ = ["CompiledBackend", "JitStats", "DEFAULT_THRESHOLD"]
+
+#: Executions before a block is promoted to the compiled tier.  Small
+#: enough that a hot loop compiles almost immediately, large enough that
+#: translate-once/run-once code never pays the codegen cost.
+DEFAULT_THRESHOLD = 8
+
+
+class JitStats:
+    """Tier observability counters maintained by :class:`CompiledBackend`."""
+
+    __slots__ = ("blocks_compiled", "compiled_retired", "interp_retired",
+                 "compile_failures")
+
+    def __init__(self) -> None:
+        self.blocks_compiled = 0
+        #: Instructions retired by compiled functions / the interp tier.
+        self.compiled_retired = 0
+        self.interp_retired = 0
+        self.compile_failures = 0
+
+    def as_dict(self) -> dict:
+        return {"blocks_compiled": self.blocks_compiled,
+                "compiled_instructions": self.compiled_retired,
+                "interp_instructions": self.interp_retired,
+                "compile_failures": self.compile_failures}
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"JitStats({self.as_dict()})"
+
+
+class CompiledBackend(ExecutionBackend):
+    """Tiered execution: interpret cold blocks, JIT-compile hot ones."""
+
+    name = "compiled"
+
+    def __init__(self, cpu, threshold: int = DEFAULT_THRESHOLD) -> None:
+        super().__init__(cpu)
+        if threshold < 1:
+            raise ValueError(f"threshold must be >= 1, got {threshold}")
+        self.threshold = threshold
+        self.stats = JitStats()
+        self._token: Optional[tuple] = None
+        self._compiler: Optional[BlockCompiler] = None
+        self._compile_ok = False
+        self._no_compile: set = set()
+
+    # ------------------------------------------------------------------
+
+    def _refresh(self) -> None:
+        """Recompute the specialization token (run start / hook change)."""
+        cpu = self.cpu
+        regs = cpu.regs
+        direct_ok = type(regs) is RegisterFile and not regs.trace
+        # An icache charges per-fetch penalties the generated code does
+        # not model, and a disabled block cache never re-executes the
+        # same TranslationBlock object — both force the interp tier.
+        self._compile_ok = cpu.icache is None and cpu.block_cache_enabled
+        token = (cpu.hooks.version, direct_ok, cpu.block_cache_enabled)
+        if token != self._token:
+            self._token = token
+            self._compiler = BlockCompiler(
+                cpu, chain_enabled=cpu.block_cache_enabled,
+                direct_ok=direct_ok)
+            self._no_compile.clear()
+
+    def _step(self, remaining) -> int:
+        cpu = self.cpu
+        interrupt = cpu._pending_interrupt()
+        if interrupt is not None:
+            cpu._wfi_pending = False
+            cpu._take_trap(interrupt, 0)
+            return 0
+        try:
+            block = cpu._next_block()
+        except Trap as trap:
+            cpu._take_trap(trap.cause, trap.tval)
+            return 0
+        fn = block.compiled
+        if fn is not None and block.compiled_version == self._token:
+            retired = fn(cpu, remaining)
+            self.stats.compiled_retired += retired
+            return retired
+        if (self._compile_ok and block.exec_count + 1 >= self.threshold
+                and block.start_pc not in self._no_compile):
+            fn = self._compile(block)
+            if fn is not None:
+                retired = fn(cpu, remaining)
+                self.stats.compiled_retired += retired
+                return retired
+        retired = self._interpret(block)
+        self.stats.interp_retired += retired
+        return retired
+
+    def _compile(self, block):
+        try:
+            fn = self._compiler.compile(block)
+        except (CompileError, SyntaxError, ValueError):
+            self.stats.compile_failures += 1
+            self._no_compile.add(block.start_pc)
+            return None
+        block.compiled = fn
+        block.compiled_version = self._token
+        self.stats.blocks_compiled += 1
+        return fn
+
+    # ------------------------------------------------------------------
+
+    def _interpret(self, block) -> int:
+        """One interpreted block execution — the warm-up tier.
+
+        A verbatim mirror of :meth:`repro.vp.cpu.Cpu.step_block` after
+        the interrupt poll and block fetch (which :meth:`_step` already
+        performed); kept in lockstep with cpu.py by the backend parity
+        suite.
+        """
+        cpu = self.cpu
+        block.exec_count += 1
+        hooks = cpu.hooks
+        if hooks.block_exec:
+            for hook in hooks.block_exec:
+                hook(cpu, block)
+        insn_hooks = hooks.insn_exec
+        retired = 0
+        cycles = 0
+        if cpu.icache is not None:
+            cycles += cpu.icache.penalty_for_lines(block.icache_lines)
+        pending_trap: Optional[Trap] = None
+        try:
+            for decoded, execute, pc, fallthrough, base_cost, taken_cost \
+                    in block.ops:
+                cpu.pc = pc
+                cpu._current = decoded
+                cpu.next_pc = fallthrough
+                if insn_hooks:
+                    for hook in insn_hooks:
+                        hook(cpu, decoded, pc)
+                try:
+                    execute(cpu, decoded)
+                except Trap as trap:
+                    cycles += base_cost
+                    pending_trap = trap
+                    break
+                except MachineExit:
+                    cycles += base_cost
+                    raise
+                retired += 1
+                next_pc = cpu.next_pc
+                cpu.pc = next_pc
+                if next_pc != fallthrough:
+                    cycles += taken_cost
+                    break
+                cycles += base_cost
+        finally:
+            csrs = cpu.csrs
+            csrs.instret += retired
+            csrs.cycle += cycles
+            cpu.bus.tick(cycles)
+        if pending_trap is not None:
+            cpu._take_trap(pending_trap.cause, pending_trap.tval)
+        elif cpu.block_cache_enabled and block.chain_pc == cpu.pc:
+            cpu._chain_from = block
+        return retired

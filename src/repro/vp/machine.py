@@ -23,6 +23,7 @@ from typing import List, Optional, Tuple
 
 from ..isa import csr as csrdef
 from ..isa.decoder import Decoder, IsaConfig, RV32IMC_ZICSR
+from .backends import create_backend
 from .cpu import Cpu, RunResult, STOP_EXIT, STOP_MAX_INSNS
 from .devices.clint import Clint, WINDOW_SIZE as CLINT_SIZE
 from .devices.exitdev import ExitDevice, WINDOW_SIZE as EXIT_SIZE
@@ -141,6 +142,12 @@ class MachineConfig:
     tb_cache_max_blocks: Optional[int] = 4096
     semihosting: bool = True  # handle exit/write ecalls in the machine
     icache: Optional["ICacheConfig"] = None  # fetch-cache model, off by default
+    #: Execution backend: ``fastpath`` (default), ``interp``, or
+    #: ``compiled`` (the tiered template JIT, see docs/performance.md).
+    backend: str = "fastpath"
+    #: Block executions before the ``compiled`` backend promotes a block
+    #: to its JIT tier.  Ignored by the other backends.
+    jit_threshold: int = 8
 
 
 class Machine:
@@ -177,6 +184,9 @@ class Machine:
             icache=ICache(self.config.icache) if self.config.icache else None,
             max_blocks=self.config.tb_cache_max_blocks,
         )
+        self.cpu.backend = create_backend(
+            self.config.backend, self.cpu,
+            threshold=self.config.jit_threshold)
         self.cpu.set_interrupt_poll(self._poll_interrupts)
         self.cpu.set_wfi_wait(self._wfi_wait)
         self.cpu.csrs._time_source = lambda: self.clint.mtime
@@ -437,7 +447,18 @@ class Machine:
                 instructions=result.instructions,
                 cycles=result.cycles,
             )
+            stats = self.jit_stats()
+            if stats is not None:
+                metrics = telemetry.metrics
+                for key, value in stats.items():
+                    metrics.gauge(f"vp.jit.{key}").set(value)
         return result
+
+    def jit_stats(self) -> Optional[dict]:
+        """Tier counters when running the ``compiled`` backend, else
+        ``None`` — see :class:`repro.vp.jit.JitStats`."""
+        stats = getattr(self.cpu.backend, "stats", None)
+        return stats.as_dict() if stats is not None else None
 
     # ------------------------------------------------------------------
     # Internals
