@@ -7,7 +7,7 @@
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: test bench bench-report bench-smoke fuzz-smoke jit-smoke examples experiments clean
+.PHONY: test bench bench-report bench-smoke fuzz-smoke jit-smoke cluster-smoke examples experiments clean
 
 test:
 	$(PYTHON) -m pytest tests/
@@ -32,6 +32,11 @@ fuzz-smoke:
 # interpreter, speedup above the floor.
 jit-smoke:
 	$(PYTHON) examples/jit_smoke.py
+
+# Cluster-fabric smoke: coordinator + 2 worker nodes, sharded seeded
+# campaign byte-identical to the single-process run, graceful drain.
+cluster-smoke:
+	$(PYTHON) examples/cluster_smoke.py
 
 # Run every example script (each asserts its own expected behaviour).
 examples:

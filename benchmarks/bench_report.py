@@ -21,6 +21,11 @@ numbers the performance work is judged by:
   the coverage the session reached from the trivial seed, sequential and
   with a worker pool — corpus signatures are asserted identical before
   the parallel number is recorded;
+* ``cluster_scaling`` — cluster-fabric throughput (jobs/s) with one vs
+  two ``repro node`` worker subprocesses attached to an in-process
+  coordinator — per-job results are asserted identical across the two
+  cluster shapes before the scaling factor is recorded (``null`` plus a
+  note on single-CPU hosts, where no scaling is observable);
 * ``qta_overhead_factor`` — slowdown when the QTA timing plugin rides
   along, which must stay a small bounded factor;
 * ``telemetry_overhead`` — cost of disabled telemetry and of the idle
@@ -431,6 +436,92 @@ def measure_fuzz_campaign(iterations: int, jobs: int):
     return entry
 
 
+def measure_cluster_scaling(job_count: int, mutants: int):
+    """Cluster jobs/sec with 1 vs 2 worker-node subprocesses.
+
+    Worker nodes are real ``repro node`` subprocesses (each with its own
+    interpreter, so the scaling is not GIL-bound) attached to an
+    in-process coordinator.  Every job is the same seeded campaign, and
+    the per-job results from both cluster shapes must match exactly
+    before the scaling factor is recorded — the fabric's determinism
+    contract, re-checked where throughput is measured.
+    """
+    import os
+    import subprocess
+
+    from repro.cluster import ClusterCoordinator
+    from repro.serve.client import ServiceClient
+
+    payload = {"source": CAMPAIGN_PROGRAM, "mutants": mutants, "seed": 3}
+    src = str(pathlib.Path(__file__).resolve().parent.parent / "src")
+
+    def canon(result):
+        view = json.loads(json.dumps(result))
+        view.pop("elapsed_seconds", None)
+        if isinstance(view.get("campaign"), dict):
+            view["campaign"].pop("elapsed_seconds", None)
+        return json.dumps(view, sort_keys=True)
+
+    def run(node_count: int):
+        coord = ClusterCoordinator(port=0).start()
+        nodes = []
+        try:
+            env = dict(os.environ)
+            env["PYTHONPATH"] = src + (
+                os.pathsep + env["PYTHONPATH"]
+                if env.get("PYTHONPATH") else "")
+            nodes = [subprocess.Popen(
+                [sys.executable, "-m", "repro", "node",
+                 "--coordinator", coord.url,
+                 "--name", f"bench-{i}", "--poll-interval", "0.02"],
+                env=env, stdout=subprocess.DEVNULL,
+                stderr=subprocess.DEVNULL) for i in range(node_count)]
+            deadline = time.monotonic() + 120
+            while len(coord.nodes) < node_count:
+                assert time.monotonic() < deadline, \
+                    "bench worker nodes never attached"
+                time.sleep(0.05)
+            client = ServiceClient(coord.url, timeout=10)
+            start = time.perf_counter()
+            submitted = [client.submit("fault_campaign", dict(payload))
+                         for _ in range(job_count)]
+            results = [client.wait(job["id"], timeout=600)
+                       for job in submitted]
+            elapsed = time.perf_counter() - start
+            for done in results:
+                assert done["state"] == "succeeded", done.get("error")
+            return [canon(done["result"]) for done in results], elapsed
+        finally:
+            for proc in nodes:
+                if proc.poll() is None:
+                    proc.terminate()
+            for proc in nodes:
+                try:
+                    proc.wait(timeout=10)
+                except subprocess.TimeoutExpired:
+                    proc.kill()
+            coord.shutdown(drain=False)
+
+    one_results, one_elapsed = run(1)
+    entry = {
+        "jobs": job_count,
+        "mutants_per_job": mutants,
+        "one_node_jobs_per_second": round(job_count / one_elapsed, 3),
+        "two_node_jobs_per_second": None,
+        "scaling": None,
+    }
+    if multiprocessing.cpu_count() == 1:
+        entry["note"] = ("single-CPU host: two-node measurement skipped "
+                         "(no scaling is observable by construction)")
+        return entry
+    two_results, two_elapsed = run(2)
+    assert two_results == one_results, \
+        "two-node cluster diverged from the one-node results"
+    entry["two_node_jobs_per_second"] = round(job_count / two_elapsed, 3)
+    entry["scaling"] = round(one_elapsed / two_elapsed, 3)
+    return entry
+
+
 def build_report(smoke: bool) -> dict:
     iters = 2_000 if smoke else 20_000
     repeats = 1 if smoke else 3
@@ -463,6 +554,9 @@ def build_report(smoke: bool) -> dict:
             iters=800 if smoke else 4_000),
         "fuzz_campaign": measure_fuzz_campaign(
             iterations=300 if smoke else 3_000, jobs=jobs),
+        "cluster_scaling": measure_cluster_scaling(
+            job_count=4 if smoke else 8,
+            mutants=6 if smoke else 20),
     }
     return report
 

@@ -335,7 +335,112 @@ def cmd_serve(args) -> int:
           f"queue limit {service.queue.limit}); observability: "
           f"{server.url}/metrics, /v1/events, /v1/fuzz/frontier "
           "(watch with `repro top`)", file=sys.stderr)
+    server.install_signal_handlers()
     server.serve_forever()
+    return 0
+
+
+def cmd_coordinator(args) -> int:
+    from .cluster import ClusterCoordinator, TenantQuotas
+
+    default_limit = None
+    limits = {}
+    for spec in args.tenant_quota or []:
+        name, sep, value = spec.partition("=")
+        if sep:
+            limits[name] = int(value)
+        else:
+            default_limit = int(name)
+    quotas = TenantQuotas(default_limit=default_limit, limits=limits)
+    coordinator = ClusterCoordinator(
+        host=args.host, port=args.port, store_path=args.store,
+        queue_limit=args.queue_limit, lease_timeout=args.lease_timeout,
+        node_timeout=args.node_timeout, max_attempts=args.max_attempts,
+        quotas=quotas)
+    coordinator.start()
+    store_note = f", store {args.store}" if args.store else ""
+    print(f"repro cluster coordinator listening on {coordinator.url} "
+          f"(queue limit {args.queue_limit}, lease timeout "
+          f"{args.lease_timeout}s, node timeout {args.node_timeout}s"
+          f"{store_note}); attach nodes with "
+          f"`repro node --coordinator {coordinator.url}`", file=sys.stderr)
+    coordinator.install_signal_handlers()
+    coordinator.serve_forever()
+    return 0
+
+
+def cmd_node(args) -> int:
+    import signal
+
+    from .cluster import WorkerNode
+
+    node = WorkerNode(args.coordinator, name=args.name,
+                      capacity=args.capacity,
+                      poll_interval=args.poll_interval)
+
+    def _drain(signum, frame):  # noqa: ARG001 - signal signature
+        print("draining: finishing current item, then exiting",
+              file=sys.stderr)
+        node.drain()
+
+    signal.signal(signal.SIGTERM, _drain)
+    signal.signal(signal.SIGINT, _drain)
+    print(f"repro worker node attaching to {args.coordinator} "
+          f"(capacity {node.capacity})", file=sys.stderr)
+    node.run()
+    stats = node.stats()
+    print(f"node exiting: executed {stats['executed']} item(s), "
+          f"{stats['failed']} failed", file=sys.stderr)
+    return 0
+
+
+def cmd_cluster_status(args) -> int:
+    from .cluster import CoordinatorClient
+
+    client = CoordinatorClient(args.url)
+    service = client.stats().get("service", {})
+    cluster = service.get("cluster")
+    if cluster is None:
+        print(f"{args.url} is a plain batch service (no cluster section); "
+              "use `repro top` to watch it", file=sys.stderr)
+        return 1
+    work = cluster.get("work", {})
+    print(f"coordinator {args.url}  "
+          f"accepting={service.get('accepting')}  "
+          f"queue={service.get('queue_depth')}/{service.get('queue_limit')}")
+    jobs = service.get("jobs", {})
+    print("jobs   " + "  ".join(
+        f"{state}:{jobs.get(state, 0)}"
+        for state in ("pending", "running", "succeeded", "failed",
+                      "cancelled", "timeout")))
+    print(f"work   pending:{work.get('pending', 0)}  "
+          f"leased:{work.get('leased', 0)}  done:{work.get('done', 0)}  "
+          f"failed:{work.get('failed', 0)}  "
+          f"requeued:{cluster.get('work_requeued', 0)}  "
+          f"nodes_lost:{cluster.get('nodes_lost', 0)}")
+    tenants = cluster.get("tenants") or {}
+    if tenants:
+        print("tenants " + "  ".join(
+            f"{name}:{active}" for name, active in sorted(tenants.items())))
+    nodes = cluster.get("nodes") or []
+    if not nodes:
+        print("nodes  (none attached)")
+        return 0
+    print(f"nodes  ({len(nodes)} attached)")
+    header = (f"  {'id':<10} {'name':<16} {'state':<9} {'cap':>3} "
+              f"{'exec':>6} {'fail':>5} {'hb_age':>7} {'uptime':>8}")
+    print(header)
+    for row in nodes:
+        node_stats = row.get("stats") or {}
+        state = "draining" if row.get("draining") else "live"
+        print(f"  {row.get('id', '?'):<10} "
+              f"{(row.get('name') or '-'):<16} "
+              f"{state:<9} "
+              f"{row.get('capacity', 0):>3} "
+              f"{node_stats.get('executed', 0):>6} "
+              f"{node_stats.get('failed', 0):>5} "
+              f"{row.get('heartbeat_age_seconds', 0):>6.1f}s "
+              f"{node_stats.get('uptime_seconds', 0):>7.1f}s")
     return 0
 
 
@@ -373,7 +478,8 @@ def cmd_submit(args) -> int:
         job = client.submit(args.kind, payload, priority=args.priority,
                             timeout_seconds=args.timeout,
                             max_retries=args.max_retries,
-                            trace=trace_ctx.to_dict() if trace_ctx else None)
+                            trace=trace_ctx.to_dict() if trace_ctx else None,
+                            tenant=args.tenant, shards=args.shards)
     except BackpressureError as exc:
         print(f"rejected: {exc.message}", file=sys.stderr)
         return 3
@@ -611,6 +717,52 @@ def build_parser() -> argparse.ArgumentParser:
     telemetry_flags(p)
     p.set_defaults(func=cmd_serve)
 
+    p = sub.add_parser("coordinator",
+                       help="run the cluster coordinator (distributed "
+                            "simulation fabric)")
+    p.add_argument("--host", default="127.0.0.1")
+    p.add_argument("--port", type=int, default=8973)
+    p.add_argument("--store", metavar="FILE.jsonl", default=None,
+                   help="persistent JSONL job store; jobs survive "
+                        "coordinator restarts")
+    p.add_argument("--queue-limit", type=int, default=64, metavar="N",
+                   help="admission queue capacity (full queue -> HTTP 429)")
+    p.add_argument("--lease-timeout", type=float, default=30.0,
+                   metavar="SECONDS",
+                   help="work lease expiry for non-heartbeating nodes")
+    p.add_argument("--node-timeout", type=float, default=10.0,
+                   metavar="SECONDS",
+                   help="heartbeat silence before a node is declared dead "
+                        "and its leases re-queued")
+    p.add_argument("--max-attempts", type=int, default=3, metavar="N",
+                   help="dispatch attempts per work item before the "
+                        "owning job fails")
+    p.add_argument("--tenant-quota", action="append", metavar="[NAME=]N",
+                   help="active-job quota: NAME=N per tenant, bare N as "
+                        "the default for all tenants (repeatable)")
+    telemetry_flags(p)
+    p.set_defaults(func=cmd_coordinator)
+
+    p = sub.add_parser("node",
+                       help="run a worker node attached to a coordinator")
+    p.add_argument("--coordinator", default="http://127.0.0.1:8973",
+                   help="coordinator base URL")
+    p.add_argument("--name", default=None,
+                   help="node display name (default: auto-assigned)")
+    p.add_argument("--capacity", type=int, default=1, metavar="N",
+                   help="work items leased per pull")
+    p.add_argument("--poll-interval", type=float, default=0.2,
+                   metavar="SECONDS", help="idle lease-poll period")
+    telemetry_flags(p)
+    p.set_defaults(func=cmd_node)
+
+    p = sub.add_parser("cluster-status",
+                       help="one-shot cluster snapshot (nodes, work, "
+                            "quotas)")
+    p.add_argument("--url", default="http://127.0.0.1:8973",
+                   help="coordinator base URL")
+    p.set_defaults(func=cmd_cluster_status, _no_telemetry_flags=True)
+
     p = sub.add_parser("submit",
                        help="submit a job to a running batch service")
     p.add_argument("source", help="assembly file, or - for stdin")
@@ -651,6 +803,11 @@ def build_parser() -> argparse.ArgumentParser:
                    help="trace the job end-to-end (submit -> queue -> "
                         "worker -> VP) and export the merged Chrome "
                         "trace; requires --wait")
+    p.add_argument("--shards", type=int, default=1, metavar="N",
+                   help="cluster coordinator: split a fault_campaign/fuzz "
+                        "job into N shards (results stay byte-identical)")
+    p.add_argument("--tenant", default=None,
+                   help="tenant name for coordinator per-tenant quotas")
     p.set_defaults(func=cmd_submit, _no_telemetry_flags=True)
 
     p = sub.add_parser("top",

@@ -1,0 +1,66 @@
+"""Client for the coordinator — the serve client plus the node protocol.
+
+:class:`CoordinatorClient` extends
+:class:`~repro.serve.client.ServiceClient`, so every client-facing call
+(submit/status/result/stats/metrics) works against a coordinator exactly
+as against ``repro serve`` — including transient-error retry and 429
+``retry_after`` handling — and adds the node-side verbs worker nodes and
+``repro cluster-status`` use.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional
+
+from ..serve.client import ServiceClient
+
+__all__ = ["CoordinatorClient"]
+
+
+class CoordinatorClient(ServiceClient):
+    """One coordinator endpoint, client- and node-facing."""
+
+    # -- node lifecycle -------------------------------------------------
+
+    def register_node(self, name: Optional[str] = None,
+                      capacity: int = 1) -> Dict[str, Any]:
+        """Attach a node; returns ``{"id", "heartbeat_interval", ...}``."""
+        body: Dict[str, Any] = {"capacity": capacity}
+        if name is not None:
+            body["name"] = name
+        return self._request("POST", "/v1/nodes/register", body)
+
+    def node_heartbeat(self, node_id: str,
+                       stats: Optional[Dict[str, Any]] = None
+                       ) -> Dict[str, Any]:
+        """Renew liveness (and the node's leases); 404 ⇒ re-register."""
+        return self._request("POST", f"/v1/nodes/{node_id}/heartbeat",
+                             {"stats": stats or {}})
+
+    def lease(self, node_id: str, max_items: int = 1) -> Dict[str, Any]:
+        """Pull work: ``{"work": [...], "drain": bool}``."""
+        return self._request("POST", f"/v1/nodes/{node_id}/lease",
+                             {"max_items": max_items})
+
+    def complete_work(self, item_id: str,
+                      result: Optional[Dict[str, Any]] = None,
+                      error: Optional[str] = None,
+                      retryable: bool = True) -> Dict[str, Any]:
+        """Report one work item's outcome."""
+        if error is not None:
+            body: Dict[str, Any] = {"error": error, "retryable": retryable}
+        else:
+            body = {"result": result if result is not None else {}}
+        return self._request("POST", f"/v1/work/{item_id}/complete", body)
+
+    def drain_node(self, node_id: str) -> Dict[str, Any]:
+        """Ask one node to stop pulling after its current item."""
+        return self._request("POST", f"/v1/nodes/{node_id}/drain", {})
+
+    # -- cluster inspection ---------------------------------------------
+
+    def nodes(self) -> List[Dict[str, Any]]:
+        return self._request("GET", "/v1/cluster/nodes")["nodes"]
+
+    def cluster_work(self) -> Dict[str, Any]:
+        return self._request("GET", "/v1/cluster/work")

@@ -1,0 +1,106 @@
+"""Deterministic shard planning and order-restoring result merge.
+
+The cluster's trust story rests on one rule: **shard planning is a pure
+function of the job spec, never of the cluster shape**.  A campaign
+submitted with ``shards=4`` produces the same four work items whether
+one node or ten are attached, whether a node dies mid-run or not — so
+the merged result is byte-identical to a single-process run of the same
+spec (pinned by ``tests/cluster/test_parity.py``).
+
+* :func:`plan_shards` maps a :class:`~repro.serve.jobs.JobSpec` to its
+  work items.  Campaigns split into ``fault_campaign_shard`` items over
+  contiguous fault-index ranges (:func:`repro.serve.executors.shard_bounds`);
+  everything else (and ``shards=1``) is a single passthrough item.
+  Fuzz jobs are *dynamically* sharded per batch by the coordinator's
+  fuzz driver and deliberately return a plan marker here.
+* :func:`merge_campaign_shards` restores submission order (shard index)
+  and rebuilds the exact single-process result envelope via the shared
+  :func:`~repro.serve.executors.campaign_result_dict`.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List
+
+from ..serve.jobs import JobSpec
+
+__all__ = [
+    "FUZZ_DRIVER",
+    "SHARDABLE_KINDS",
+    "merge_campaign_shards",
+    "plan_shards",
+    "shard_count_for",
+]
+
+#: Kinds the coordinator may split when ``spec.shards > 1``.
+SHARDABLE_KINDS = ("fault_campaign", "fuzz")
+
+#: Plan marker: the job is driven by the coordinator's fuzz loop, which
+#: shards each evaluation batch dynamically (no static work items).
+FUZZ_DRIVER = "fuzz_driver"
+
+
+def shard_count_for(spec: JobSpec) -> int:
+    """The effective shard count — spec-pure, capped at the work size."""
+    if spec.shards <= 1 or spec.kind not in SHARDABLE_KINDS:
+        return 1
+    if spec.kind == "fault_campaign":
+        mutants = spec.payload.get("mutants", 100)
+        if isinstance(mutants, int) and not isinstance(mutants, bool):
+            return max(1, min(spec.shards, mutants))
+    return spec.shards
+
+
+def plan_shards(spec: JobSpec) -> List[Dict[str, Any]]:
+    """The work items for one job — each ``{"kind", "payload",
+    "shard_index", "shard_count"}``.
+
+    A fuzz job with ``shards > 1`` returns the single :data:`FUZZ_DRIVER`
+    marker instead: its real work items are minted batch-by-batch by the
+    coordinator's :class:`~repro.cluster.fuzzdriver.DistributedFuzzEngine`.
+    """
+    count = shard_count_for(spec)
+    if spec.kind == "fuzz" and count > 1:
+        return [{"kind": FUZZ_DRIVER, "payload": spec.payload,
+                 "shard_index": 0, "shard_count": count}]
+    if count == 1:
+        return [{"kind": spec.kind, "payload": spec.payload,
+                 "shard_index": 0, "shard_count": 1}]
+    return [
+        {"kind": "fault_campaign_shard",
+         "payload": {**spec.payload,
+                     "shard_count": count, "shard_index": index},
+         "shard_index": index,
+         "shard_count": count}
+        for index in range(count)
+    ]
+
+
+def merge_campaign_shards(shard_results: List[Dict[str, Any]]
+                          ) -> Dict[str, Any]:
+    """Rebuild the single-process campaign envelope from shard results.
+
+    Each element is one ``fault_campaign_shard`` executor return value.
+    Results are concatenated in shard-index order — the shard executor
+    ran ``faults[lo:hi]`` of the *same* seeded fault list every shard
+    rebuilt, so index-ordered concatenation reproduces the exact
+    sequential classification list.  The elapsed time is the summed
+    shard compute time (wall-clock, stripped by parity comparisons).
+    """
+    from ..serve.executors import campaign_result_dict
+
+    if not shard_results:
+        raise ValueError("cannot merge zero campaign shards")
+    ordered = sorted(shard_results, key=lambda s: s["shard_index"])
+    indices = [s["shard_index"] for s in ordered]
+    if indices != list(range(ordered[0]["shard_count"])):
+        raise ValueError(f"incomplete shard set: got indices {indices}, "
+                         f"expected 0..{ordered[0]['shard_count'] - 1}")
+    results: List[Dict[str, Any]] = []
+    for shard in ordered:
+        results.extend(shard["results"])
+    golden = ordered[0]["golden"]
+    elapsed = round(sum(s["elapsed_seconds"] for s in ordered), 6)
+    campaign_dict = {"golden": golden, "results": results,
+                     "elapsed_seconds": elapsed}
+    return campaign_result_dict(golden, campaign_dict)

@@ -1,0 +1,144 @@
+"""Append-only JSONL job store — jobs survive coordinator restarts.
+
+Two record types, one per line::
+
+    {"type": "job",      "id": "job-3", "spec": {...}, "submitted_at": ...}
+    {"type": "resolved", "id": "job-3", "state": "succeeded",
+     "result": {...}, "error": null, ...}
+
+On startup :meth:`JobStore.replay` folds the log: jobs with no matching
+``resolved`` record are *unresolved* and get re-queued (their shard plans
+are re-derived from the spec — pure functions, so the re-run is
+byte-identical to what the lost run would have produced); resolved jobs
+are rebuilt as finished :class:`~repro.serve.jobs.Job` objects so their
+results stay fetchable over ``GET /v1/jobs/<id>/result``.  Appends are
+flushed line-at-a-time; a torn final line (crash mid-write) is skipped
+on replay.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+import time
+from typing import Any, Dict, List, Optional, Tuple
+
+__all__ = ["JobStore", "ReplayedJobs"]
+
+
+class ReplayedJobs:
+    """What a log replay recovered."""
+
+    def __init__(self) -> None:
+        #: ``(job_id, spec_dict)`` in submission order, not yet resolved.
+        self.unresolved: List[Tuple[str, Dict[str, Any]]] = []
+        #: ``job_id -> {"spec": ..., "state": ..., "result": ...,
+        #: "error": ...}`` for jobs that already finished.
+        self.resolved: Dict[str, Dict[str, Any]] = {}
+        #: Highest numeric ``job-N`` suffix seen — new IDs start above it.
+        self.max_job_number = 0
+        #: Lines that failed to parse (torn tail writes).
+        self.skipped_lines = 0
+
+
+def _job_number(job_id: str) -> int:
+    if job_id.startswith("job-"):
+        try:
+            return int(job_id[4:])
+        except ValueError:
+            pass
+    return 0
+
+
+class JobStore:
+    """One JSONL file of job submissions and resolutions."""
+
+    def __init__(self, path: str) -> None:
+        self.path = path
+        directory = os.path.dirname(os.path.abspath(path))
+        os.makedirs(directory, exist_ok=True)
+        self._lock = threading.Lock()
+        self._file = open(path, "a", encoding="utf-8")  # noqa: SIM115
+
+    # -- writes ---------------------------------------------------------
+
+    def _append(self, record: Dict[str, Any]) -> None:
+        line = json.dumps(record, sort_keys=True)
+        with self._lock:
+            self._file.write(line + "\n")
+            self._file.flush()
+
+    def append_job(self, job_id: str, spec: Dict[str, Any]) -> None:
+        self._append({"type": "job", "id": job_id, "spec": spec,
+                      "submitted_at": time.time()})
+
+    def append_resolved(self, job_id: str, state: str,
+                        result: Optional[Dict[str, Any]] = None,
+                        error: Optional[str] = None) -> None:
+        self._append({"type": "resolved", "id": job_id, "state": state,
+                      "result": result, "error": error,
+                      "resolved_at": time.time()})
+
+    def close(self) -> None:
+        with self._lock:
+            if not self._file.closed:
+                self._file.close()
+
+    def __enter__(self) -> "JobStore":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
+
+    # -- replay ---------------------------------------------------------
+
+    @staticmethod
+    def replay(path: str) -> ReplayedJobs:
+        """Fold an existing log; missing file ⇒ empty recovery."""
+        recovered = ReplayedJobs()
+        if not os.path.exists(path):
+            return recovered
+        specs: Dict[str, Dict[str, Any]] = {}
+        order: List[str] = []
+        with open(path, "r", encoding="utf-8") as handle:
+            for line in handle:
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    record = json.loads(line)
+                except json.JSONDecodeError:
+                    recovered.skipped_lines += 1
+                    continue
+                kind = record.get("type")
+                job_id = record.get("id")
+                if not isinstance(job_id, str):
+                    recovered.skipped_lines += 1
+                    continue
+                if kind == "job" and isinstance(record.get("spec"), dict):
+                    if job_id not in specs:
+                        order.append(job_id)
+                    specs[job_id] = record["spec"]
+                    recovered.max_job_number = max(
+                        recovered.max_job_number, _job_number(job_id))
+                elif kind == "resolved":
+                    recovered.resolved[job_id] = {
+                        "state": record.get("state", "failed"),
+                        "result": record.get("result"),
+                        "error": record.get("error"),
+                    }
+                else:
+                    recovered.skipped_lines += 1
+        for job_id in order:
+            if job_id in recovered.resolved:
+                recovered.resolved[job_id]["spec"] = specs[job_id]
+            else:
+                recovered.unresolved.append((job_id, specs[job_id]))
+        # Resolutions whose submission record was lost are unfetchable
+        # without a spec — drop them rather than serve half a job.
+        recovered.resolved = {
+            job_id: data for job_id, data in recovered.resolved.items()
+            if "spec" in data
+        }
+        return recovered

@@ -58,6 +58,37 @@ class EvalResult:
     trap_cause: Optional[int]
     instructions: int
 
+    def to_dict(self) -> dict:
+        """JSON-serializable view; :meth:`from_dict` round-trips it.
+
+        The signature frozenset is emitted as a sorted list of
+        ``[tag, value]`` pairs so the wire form is canonical — two equal
+        results serialize byte-identically, which is what lets cluster
+        nodes ship evaluations back over JSON without perturbing the
+        coordinator's corpus trajectory.
+        """
+        return {
+            "signature": sorted([tag, value] for tag, value
+                                in self.signature),
+            "outcome": self.outcome,
+            "stop_reason": self.stop_reason,
+            "exit_code": self.exit_code,
+            "trap_cause": self.trap_cause,
+            "instructions": self.instructions,
+        }
+
+    @staticmethod
+    def from_dict(data: dict) -> "EvalResult":
+        return EvalResult(
+            signature=frozenset((tag, value) for tag, value
+                                in data["signature"]),
+            outcome=data["outcome"],
+            stop_reason=data["stop_reason"],
+            exit_code=data["exit_code"],
+            trap_cause=data["trap_cause"],
+            instructions=data["instructions"],
+        )
+
 
 def _classify(stop_reason: str, exit_code: Optional[int]) -> str:
     if stop_reason == STOP_EXIT:

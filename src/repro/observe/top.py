@@ -161,6 +161,32 @@ def render_top(status: ServiceStatus, url: str = "",
             f"  interp-tier:{interp:.0f}"
             f"  failures:"
             f"{_metric(metrics, 'repro_vp_jit_compile_failures'):.0f}")
+    cluster = health.get("cluster")
+    if cluster:
+        work = cluster.get("work", {})
+        lines.append("")
+        lines.append("--- cluster ---")
+        lines.append(
+            f"work   pending:{work.get('pending', 0)}"
+            f"  leased:{work.get('leased', 0)}"
+            f"  done:{work.get('done', 0)}"
+            f"  failed:{work.get('failed', 0)}"
+            f"  requeued:{cluster.get('work_requeued', 0)}"
+            f"  nodes_lost:{cluster.get('nodes_lost', 0)}")
+        nodes = cluster.get("nodes") or []
+        if not nodes:
+            lines.append("nodes  (none attached)")
+        for row in nodes:
+            node_stats = row.get("stats") or {}
+            busy = "*" if node_stats.get("busy") else " "
+            state = "draining" if row.get("draining") else "live"
+            lines.append(
+                f"  {row.get('id', '?'):<9}{busy}"
+                f"{(row.get('name') or '-'):<16} "
+                f"{state:<9} "
+                f"exec:{node_stats.get('executed', 0):<6} "
+                f"fail:{node_stats.get('failed', 0):<4} "
+                f"hb:{row.get('heartbeat_age_seconds', 0):.1f}s")
     lines.append("")
     lines.append("--- fuzz frontier ---")
     lines.append(render_frontier(status.frontier))

@@ -26,6 +26,7 @@ object, the real work happens on the service's worker pool.
 from __future__ import annotations
 
 import json
+import signal
 import threading
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Optional, Tuple
@@ -260,6 +261,8 @@ class ServiceServer:
                          on_shutdown=lambda: self.httpd.shutdown()))
         self.httpd.daemon_threads = True
         self._thread: Optional[threading.Thread] = None
+        self._close_lock = threading.Lock()
+        self._closed = False
 
     @property
     def host(self) -> str:
@@ -288,8 +291,36 @@ class ServiceServer:
         finally:
             self.close()
 
+    def install_signal_handlers(self) -> None:
+        """SIGTERM and SIGINT both drain gracefully.
+
+        Containerized shutdowns send SIGTERM; without this handler the
+        process dies mid-job and in-flight work is lost.  The handler
+        only asks the HTTP loop to stop — ``serve_forever``'s ``finally``
+        then drains the service and flushes final stats exactly as a
+        ``KeyboardInterrupt`` would.  Must be called from the main
+        thread (a no-op request elsewhere would raise).
+        """
+        def handle(signum, frame):  # pragma: no cover - signal path
+            # shutdown() blocks until serve_forever returns, so hop to a
+            # helper thread; the signal handler itself must not block.
+            threading.Thread(target=self.httpd.shutdown,
+                             daemon=True).start()
+
+        signal.signal(signal.SIGTERM, handle)
+        signal.signal(signal.SIGINT, handle)
+
     def close(self, drain: bool = True) -> None:
-        """Stop accepting requests, then shut the service down."""
+        """Stop accepting requests, then shut the service down.
+
+        Idempotent: signal handlers, ``serve_forever``'s cleanup, and
+        explicit calls may race, and every path after the first is a
+        no-op.
+        """
+        with self._close_lock:
+            if self._closed:
+                return
+            self._closed = True
         self.httpd.shutdown()
         self.httpd.server_close()
         self.service.shutdown(drain=drain)

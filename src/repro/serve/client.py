@@ -9,13 +9,25 @@ Used by ``python -m repro submit`` and by tests; only
     print(done["result"]["counts"])
 
 HTTP error responses become typed exceptions: a 429 raises
-:class:`BackpressureError` (retry later), everything else a
+:class:`BackpressureError` (retry later, honoring ``retry_after`` when
+the server sent a ``Retry-After`` header), everything else a
 :class:`ServiceError` carrying the status code and the server's
 ``error`` message.
+
+Transient socket errors — the server accepting the connection but
+resetting it mid-exchange (``ECONNRESET``/``EPIPE``/an abruptly closed
+keep-alive socket) — are retried with bounded exponential backoff
+instead of surfacing as raw exceptions to ``repro submit --wait``.
+Requests against this service are idempotent or safely repeatable (a
+re-submitted job enqueues once per successful server read; a reset
+before the response means the server may or may not have seen it, the
+same at-least-once contract every HTTP client has), so a handful of
+retries is strictly an availability win.
 """
 
 from __future__ import annotations
 
+import http.client
 import json
 import time
 import urllib.error
@@ -23,6 +35,19 @@ import urllib.request
 from typing import Any, Dict, Optional
 
 __all__ = ["BackpressureError", "ServiceClient", "ServiceError"]
+
+#: Socket-level errors worth retrying: the TCP exchange died mid-flight.
+_TRANSIENT_ERRORS = (ConnectionResetError, BrokenPipeError,
+                     ConnectionAbortedError, http.client.RemoteDisconnected,
+                     http.client.BadStatusLine)
+
+
+def _is_transient(exc: BaseException) -> bool:
+    if isinstance(exc, _TRANSIENT_ERRORS):
+        return True
+    if isinstance(exc, urllib.error.URLError):
+        return isinstance(getattr(exc, "reason", None), _TRANSIENT_ERRORS)
+    return False
 
 
 class ServiceError(Exception):
@@ -35,17 +60,55 @@ class ServiceError(Exception):
 
 
 class BackpressureError(ServiceError):
-    """HTTP 429 — the admission queue is full; retry after a delay."""
+    """HTTP 429 — the admission queue is full; retry after a delay.
+
+    ``retry_after`` is the server's ``Retry-After`` hint in seconds when
+    it sent one, else ``None``.
+    """
+
+    def __init__(self, status: int, message: str,
+                 retry_after: Optional[float] = None) -> None:
+        super().__init__(status, message)
+        self.retry_after = retry_after
+
+
+def _retry_after_from(headers: Any) -> Optional[float]:
+    try:
+        value = headers.get("Retry-After") if headers is not None else None
+        return float(value) if value is not None else None
+    except (TypeError, ValueError):
+        return None
 
 
 class ServiceClient:
     """A small synchronous client for one service endpoint."""
 
-    def __init__(self, base_url: str, timeout: float = 30.0) -> None:
+    def __init__(self, base_url: str, timeout: float = 30.0,
+                 retries: int = 3, retry_base_delay: float = 0.05) -> None:
         self.base_url = base_url.rstrip("/")
         self.timeout = timeout
+        #: Extra attempts after a transient socket error (0 disables).
+        self.retries = retries
+        #: First backoff sleep; doubles per attempt (0.05, 0.1, 0.2, ...).
+        self.retry_base_delay = retry_base_delay
 
     # -- transport ------------------------------------------------------
+
+    def _open(self, request: urllib.request.Request) -> bytes:
+        """One urlopen with transient-error retry; returns the body."""
+        attempt = 0
+        while True:
+            try:
+                with urllib.request.urlopen(
+                        request, timeout=self.timeout) as response:
+                    return response.read()
+            except Exception as exc:
+                if isinstance(exc, urllib.error.HTTPError):
+                    raise
+                if not _is_transient(exc) or attempt >= self.retries:
+                    raise
+                time.sleep(self.retry_base_delay * (2 ** attempt))
+                attempt += 1
 
     def _request(self, method: str, path: str,
                  body: Optional[Dict[str, Any]] = None) -> Dict[str, Any]:
@@ -58,9 +121,7 @@ class ServiceClient:
         request = urllib.request.Request(url, data=data, headers=headers,
                                          method=method)
         try:
-            with urllib.request.urlopen(request,
-                                        timeout=self.timeout) as response:
-                return json.loads(response.read() or b"{}")
+            return json.loads(self._open(request) or b"{}")
         except urllib.error.HTTPError as exc:
             try:
                 message = json.loads(exc.read() or b"{}").get(
@@ -68,16 +129,16 @@ class ServiceClient:
             except (json.JSONDecodeError, ValueError):
                 message = str(exc.reason)
             if exc.code == 429:
-                raise BackpressureError(exc.code, message) from None
+                raise BackpressureError(
+                    exc.code, message,
+                    retry_after=_retry_after_from(exc.headers)) from None
             raise ServiceError(exc.code, message) from None
 
     def _request_text(self, path: str) -> str:
         url = f"{self.base_url}{path}"
         request = urllib.request.Request(url, method="GET")
         try:
-            with urllib.request.urlopen(request,
-                                        timeout=self.timeout) as response:
-                return response.read().decode("utf-8")
+            return self._open(request).decode("utf-8")
         except urllib.error.HTTPError as exc:
             raise ServiceError(exc.code, str(exc.reason)) from None
 
@@ -113,12 +174,16 @@ class ServiceClient:
                deadline_seconds: Optional[float] = None,
                timeout_seconds: Optional[float] = None,
                max_retries: int = 0,
-               trace: Optional[Dict[str, Any]] = None) -> Dict[str, Any]:
+               trace: Optional[Dict[str, Any]] = None,
+               tenant: Optional[str] = None,
+               shards: int = 1) -> Dict[str, Any]:
         """Submit one job; returns its status view (with the ``id``).
 
         ``trace`` is a serialized :class:`repro.observe.TraceContext`;
         the service then collects the job's execution events onto that
-        trace (fetch them with :meth:`job_events`).
+        trace (fetch them with :meth:`job_events`).  ``tenant`` and
+        ``shards`` feed the cluster coordinator's quota and shard
+        planning; a single-process service carries them through.
         """
         body: Dict[str, Any] = {"kind": kind, "payload": payload,
                                 "priority": priority,
@@ -129,6 +194,10 @@ class ServiceClient:
             body["timeout_seconds"] = timeout_seconds
         if trace is not None:
             body["trace"] = trace
+        if tenant is not None:
+            body["tenant"] = tenant
+        if shards != 1:
+            body["shards"] = shards
         return self._request("POST", "/v1/jobs", body)
 
     def status(self, job_id: str) -> Dict[str, Any]:

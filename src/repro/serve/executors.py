@@ -17,14 +17,24 @@ Built-in kinds:
 ``coverage``     instruction/register coverage of one program
 ``wcet``         full QTA flow: static bound + co-simulation
 ``fuzz``         coverage-guided fuzzing session (``repro fuzz``)
+``fault_campaign_shard`` one deterministic slice of a campaign's fault
+                 list (cluster work unit; see :mod:`repro.cluster`)
+``fuzz_eval``    evaluate a batch of fuzz inputs and return their
+                 signatures/classifications (cluster work unit)
 ================ =====================================================
 
-Third-party code registers new kinds with :func:`register_executor`.
+The two ``*_shard``/``*_eval`` kinds are the cluster fabric's work
+units: a coordinator decomposes a campaign or fuzz job into them with a
+plan derived *only* from the job spec, so however many nodes execute
+them the order-restored merge is byte-identical to a single-process
+run.  Third-party code registers new kinds with
+:func:`register_executor`.
 """
 
 from __future__ import annotations
 
-from typing import Any, Callable, Dict, List, Optional
+import threading
+from typing import Any, Callable, Dict, List, Optional, Tuple
 
 from .jobs import JobContext, null_context
 
@@ -198,20 +208,21 @@ def run_vp_job(payload: Dict[str, Any], ctx: JobContext) -> Dict[str, Any]:
     return out
 
 
-@register_executor("fault_campaign")
-def run_fault_campaign_job(payload: Dict[str, Any],
-                           ctx: JobContext) -> Dict[str, Any]:
-    """Coverage-guided fault campaign; the full classified result rides
-    along under ``campaign`` (``CampaignResult.to_dict()``)."""
+def campaign_session_from_payload(payload: Dict[str, Any]):
+    """Build the (campaign, golden, faults) triple a ``fault_campaign``
+    payload describes.
+
+    One shared code path for the whole-campaign executor, the
+    per-shard executor, and the cluster coordinator's merge validation —
+    sharing it is what makes a sharded campaign byte-identical to a
+    single-process one (same program, same deterministic fault list).
+    """
     from ..faultsim import FaultCampaign, default_campaign_mutants
 
     isa = _isa_for(payload)
     program = _program_for(payload, isa)
     mutants = _int_field(payload, "mutants", 100, minimum=1)
     seed = _int_field(payload, "seed", 0)
-    # jobs=1 keeps a service job single-process (the pool provides the
-    # concurrency); jobs=0 auto-detects CPUs, jobs>1 pins a count.
-    jobs = _int_field(payload, "jobs", 1, minimum=0)
     checkpoints = bool(payload.get("checkpoints", True))
     digest_interval = payload.get("digest_interval")
     if digest_interval is not None:
@@ -223,6 +234,57 @@ def run_fault_campaign_job(payload: Dict[str, Any],
     faults = default_campaign_mutants(
         program, isa=isa, mutants=mutants, seed=seed,
         golden_instructions=golden.instructions)
+    return campaign, golden, faults
+
+
+def campaign_result_dict(golden_dict: Dict[str, Any],
+                         campaign_dict: Dict[str, Any]) -> Dict[str, Any]:
+    """The ``fault_campaign`` result envelope from its parts.
+
+    Used by the whole-campaign executor below and by the cluster merge —
+    both must emit the exact same envelope for shard parity to hold."""
+    from ..faultsim import CampaignResult
+
+    result = CampaignResult.from_dict(campaign_dict)
+    return {
+        "golden": {
+            "exit_code": golden_dict["exit_code"],
+            "instructions": golden_dict["instructions"],
+            "cycles": golden_dict["cycles"],
+        },
+        "mutants": result.total,
+        "counts": result.counts,
+        "normal_termination_fraction": result.normal_termination_fraction,
+        "elapsed_seconds": round(campaign_dict["elapsed_seconds"], 6),
+        "campaign": campaign_dict,
+    }
+
+
+def shard_bounds(total: int, shard_count: int, shard_index: int
+                 ) -> "Tuple[int, int]":
+    """The ``[lo, hi)`` slice of ``total`` items shard ``shard_index``
+    of ``shard_count`` owns — contiguous, balanced, and a pure function
+    of its arguments (never of cluster shape or arrival order)."""
+    if shard_count < 1:
+        raise ValueError(f"shard_count must be >= 1, got {shard_count}")
+    if not 0 <= shard_index < shard_count:
+        raise ValueError(f"shard_index {shard_index} out of range for "
+                         f"{shard_count} shards")
+    base, extra = divmod(total, shard_count)
+    lo = shard_index * base + min(shard_index, extra)
+    hi = lo + base + (1 if shard_index < extra else 0)
+    return lo, hi
+
+
+@register_executor("fault_campaign")
+def run_fault_campaign_job(payload: Dict[str, Any],
+                           ctx: JobContext) -> Dict[str, Any]:
+    """Coverage-guided fault campaign; the full classified result rides
+    along under ``campaign`` (``CampaignResult.to_dict()``)."""
+    # jobs=1 keeps a service job single-process (the pool provides the
+    # concurrency); jobs=0 auto-detects CPUs, jobs>1 pins a count.
+    jobs = _int_field(payload, "jobs", 1, minimum=0)
+    campaign, golden, faults = campaign_session_from_payload(payload)
     ctx.check()
 
     def on_progress(progress):
@@ -230,30 +292,60 @@ def run_fault_campaign_job(payload: Dict[str, Any],
 
     result = campaign.run(faults, jobs=jobs, on_progress=on_progress,
                           progress_interval=0.2)
+    from dataclasses import asdict
+
+    return campaign_result_dict(asdict(golden), result.to_dict())
+
+
+@register_executor("fault_campaign_shard")
+def run_fault_campaign_shard(payload: Dict[str, Any],
+                             ctx: JobContext) -> Dict[str, Any]:
+    """One deterministic slice of a fault campaign (cluster work unit).
+
+    The payload is a whole ``fault_campaign`` payload plus
+    ``shard_index`` / ``shard_count``; the node rebuilds the same
+    campaign and the same seeded fault list, then classifies only its
+    ``[lo, hi)`` slice.  Mutant classifications are independent of each
+    other (pinned by the PR 2/4 parity suites), so a coordinator
+    concatenating the shard slices in index order reproduces the
+    single-process ``CampaignResult.results`` byte-for-byte.
+    """
+    from dataclasses import asdict
+
+    shard_count = _int_field(payload, "shard_count", 1, minimum=1)
+    shard_index = _int_field(payload, "shard_index", 0)
+    if shard_index >= shard_count:
+        raise ExecutorError(f"shard_index {shard_index} out of range for "
+                            f"shard_count {shard_count}")
+    campaign, golden, faults = campaign_session_from_payload(payload)
+    lo, hi = shard_bounds(len(faults), shard_count, shard_index)
+    ctx.check()
+
+    def on_progress(progress):
+        ctx.check()
+
+    result = campaign.run(faults[lo:hi], on_progress=on_progress,
+                          progress_interval=0.2)
     return {
-        "golden": {
-            "exit_code": golden.exit_code,
-            "instructions": golden.instructions,
-            "cycles": golden.cycles,
-        },
-        "mutants": result.total,
-        "counts": result.counts,
-        "normal_termination_fraction": result.normal_termination_fraction,
+        "shard_index": shard_index,
+        "shard_count": shard_count,
+        "lo": lo,
+        "hi": hi,
+        "golden": asdict(golden),
+        "results": result.to_dict()["results"],
         "elapsed_seconds": round(result.elapsed_seconds, 6),
-        "campaign": result.to_dict(),
     }
 
 
-@register_executor("fuzz")
-def run_fuzz_job(payload: Dict[str, Any], ctx: JobContext) -> Dict[str, Any]:
-    """Coverage-guided fuzzing session; returns ``FuzzResult.to_dict()``.
+def fuzz_session_from_payload(payload: Dict[str, Any]):
+    """The ``(isa, config, seeds)`` triple a ``fuzz`` payload describes.
 
-    Unlike the other kinds, ``source`` is optional — the seed corpus
-    defaults to the generated testgen suites (``seeds: "suites"``) or a
-    single trivial instruction (``seeds: "trivial"``).  Same ``seed`` ⇒
-    identical ``corpus_signatures``, whatever ``jobs`` is.
+    Shared by the single-process ``fuzz`` executor and the cluster
+    coordinator's distributed fuzz driver, so both fuzz the exact same
+    session — same config, same seed corpus — and byte-identical final
+    corpora follow from the engine's determinism contract.
     """
-    from ..fuzz import FuzzConfig, FuzzEngine, suite_seeds, trivial_seed
+    from ..fuzz import FuzzConfig, suite_seeds, trivial_seed
 
     isa = _isa_for(payload)
     config = FuzzConfig(
@@ -277,6 +369,21 @@ def run_fuzz_job(payload: Dict[str, Any], ctx: JobContext) -> Dict[str, Any]:
     else:
         raise ExecutorError(
             "payload field 'seeds' must be 'suites' or 'trivial'")
+    return isa, config, seeds
+
+
+@register_executor("fuzz")
+def run_fuzz_job(payload: Dict[str, Any], ctx: JobContext) -> Dict[str, Any]:
+    """Coverage-guided fuzzing session; returns ``FuzzResult.to_dict()``.
+
+    Unlike the other kinds, ``source`` is optional — the seed corpus
+    defaults to the generated testgen suites (``seeds: "suites"``) or a
+    single trivial instruction (``seeds: "trivial"``).  Same ``seed`` ⇒
+    identical ``corpus_signatures``, whatever ``jobs`` is.
+    """
+    from ..fuzz import FuzzEngine
+
+    isa, config, seeds = fuzz_session_from_payload(payload)
     ctx.check()
     engine = FuzzEngine(isa, config)
 
@@ -286,6 +393,76 @@ def run_fuzz_job(payload: Dict[str, Any], ctx: JobContext) -> Dict[str, Any]:
     result = engine.run(seeds, on_progress=on_progress,
                         progress_interval=0.2)
     return result.to_dict()
+
+
+#: Per-process cache of fuzz evaluators, keyed on the evaluation spec.
+#: A node serving a stream of ``fuzz_eval`` work items for one session
+#: rebuilds nothing: the evaluator restores its pristine snapshot
+#: between inputs, which is exactly what guarantees batch results are
+#: independent of which node (or which order) evaluated them.  The
+#: machine itself is NOT thread-safe, so each cached evaluator carries a
+#: lock — two worker nodes hosted in one process (tests, `repro node
+#: --capacity`) must serialize on it or their interleaved execution
+#: corrupts both results.
+_FUZZ_EVALUATORS: Dict[Tuple[str, int, str], Any] = {}
+_FUZZ_EVALUATOR_CACHE_MAX = 4
+_FUZZ_EVALUATOR_GUARD = threading.Lock()
+
+
+def _fuzz_evaluator_for(isa_name: str, max_instructions: int, backend: str):
+    from ..fuzz import ProgramEvaluator
+    from ..isa.decoder import IsaConfig
+
+    key = (isa_name, max_instructions, backend)
+    with _FUZZ_EVALUATOR_GUARD:
+        entry = _FUZZ_EVALUATORS.get(key)
+        if entry is None:
+            if len(_FUZZ_EVALUATORS) >= _FUZZ_EVALUATOR_CACHE_MAX:
+                _FUZZ_EVALUATORS.clear()
+            entry = (ProgramEvaluator(
+                IsaConfig.from_string(isa_name),
+                max_instructions=max_instructions, backend=backend),
+                threading.Lock())
+            _FUZZ_EVALUATORS[key] = entry
+    return entry
+
+
+@register_executor("fuzz_eval")
+def run_fuzz_eval(payload: Dict[str, Any], ctx: JobContext) -> Dict[str, Any]:
+    """Evaluate a batch of fuzz inputs (cluster work unit).
+
+    The payload carries plain instruction-word lists; the result carries
+    one serialized :class:`~repro.fuzz.executor.EvalResult` per input,
+    in submission order.  Evaluations are pure and independent, so a
+    coordinator can shard a fuzz batch across nodes and reassemble the
+    results into submission order with no effect on the corpus
+    trajectory.
+    """
+    inputs = payload.get("inputs")
+    if not isinstance(inputs, list) or not inputs or not all(
+            isinstance(words, list) and all(
+                isinstance(word, int) and not isinstance(word, bool)
+                for word in words)
+            for words in inputs):
+        raise ExecutorError("payload field 'inputs' must be a non-empty "
+                            "list of instruction-word lists")
+    isa_name = payload.get("isa", "rv32imc_zicsr")
+    max_instructions = _int_field(payload, "max_instructions", 5000,
+                                  minimum=1)
+    backend = _backend_field(payload)
+    import repro.bmi  # noqa: F401 — register optional ISA modules (Zbb)
+
+    try:
+        evaluator, guard = _fuzz_evaluator_for(isa_name, max_instructions,
+                                               backend)
+    except Exception as exc:
+        raise ExecutorError(f"cannot build evaluator: {exc}") from exc
+    results = []
+    with guard:
+        for words in inputs:
+            ctx.check()
+            results.append(evaluator.evaluate(tuple(words)).to_dict())
+    return {"results": results, "count": len(results)}
 
 
 @register_executor("coverage")

@@ -84,6 +84,13 @@ class JobSpec:
     when present, the service collects the job's execution events —
     including from pool worker processes — tagged onto that trace so one
     Chrome-trace file shows submit → queue → worker → VP.
+    ``tenant``: an accounting label; the cluster coordinator enforces
+    per-tenant quotas on it (a single-process :class:`BatchService`
+    carries it through unchanged).  ``shards``: how many work shards a
+    cluster coordinator may split this job into (campaign / fuzz kinds
+    only; 1 = never shard).  Shard planning is a pure function of the
+    spec, never of the cluster shape, so results are byte-identical to a
+    single-node run whatever executes the shards.
     """
 
     kind: str
@@ -93,6 +100,8 @@ class JobSpec:
     timeout_seconds: Optional[float] = None
     max_retries: int = 0
     trace: Optional[Dict[str, Any]] = None
+    tenant: Optional[str] = None
+    shards: int = 1
 
     def validate(self) -> None:
         if not self.kind or not isinstance(self.kind, str):
@@ -105,6 +114,13 @@ class JobSpec:
             value = getattr(self, name)
             if value is not None and value <= 0:
                 raise ValueError(f"{name} must be positive when given")
+        if self.tenant is not None and (
+                not isinstance(self.tenant, str) or not self.tenant):
+            raise ValueError("tenant must be a non-empty string when given")
+        if not isinstance(self.shards, int) or isinstance(self.shards, bool) \
+                or self.shards < 1:
+            raise ValueError(f"shards must be an integer >= 1, "
+                             f"got {self.shards!r}")
         if self.trace is not None:
             from ..observe.trace import TraceContext
 
@@ -121,13 +137,18 @@ class JobSpec:
         }
         if self.trace is not None:
             data["trace"] = self.trace
+        if self.tenant is not None:
+            data["tenant"] = self.tenant
+        if self.shards != 1:
+            data["shards"] = self.shards
         return data
 
     @classmethod
     def from_dict(cls, data: Dict[str, Any]) -> "JobSpec":
         known = {name: data[name] for name in
                  ("kind", "payload", "priority", "deadline_seconds",
-                  "timeout_seconds", "max_retries", "trace")
+                  "timeout_seconds", "max_retries", "trace", "tenant",
+                  "shards")
                  if name in data}
         unknown = set(data) - set(known)
         if unknown:
@@ -312,6 +333,10 @@ class Job:
             }
             if self.spec.trace is not None:
                 view["trace"] = self.spec.trace
+            if self.spec.tenant is not None:
+                view["tenant"] = self.spec.tenant
+            if self.spec.shards != 1:
+                view["shards"] = self.spec.shards
             if self.started_at is not None:
                 view["queue_seconds"] = round(
                     self.started_at - self.submitted_at, 6)

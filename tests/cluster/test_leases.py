@@ -1,0 +1,181 @@
+"""Lease table and node registry state machines."""
+
+from repro.cluster.leases import LeaseTable, NodeRegistry
+
+
+class FakeClock:
+    def __init__(self, now=100.0):
+        self.now = now
+
+    def __call__(self):
+        return self.now
+
+    def advance(self, dt):
+        self.now += dt
+
+
+def _plan(index=0, count=1):
+    return {"kind": "scratch", "payload": {"n": index},
+            "shard_index": index, "shard_count": count}
+
+
+class TestLeaseLifecycle:
+    def test_add_then_lease_then_complete(self):
+        table = LeaseTable()
+        items = table.add("job-1", [_plan(0, 2), _plan(1, 2)])
+        assert [item.state for item in items] == ["pending", "pending"]
+        leased = table.lease("node-1", max_items=2)
+        assert [item.id for item in leased] == [items[0].id, items[1].id]
+        assert all(item.node == "node-1" for item in leased)
+        done = table.complete(items[0].id, {"ok": True})
+        assert done.state == "done"
+        assert done.result == {"ok": True}
+        assert table.counts() == {"pending": 0, "leased": 1, "done": 1,
+                                  "failed": 0}
+
+    def test_lease_respects_max_items(self):
+        table = LeaseTable()
+        table.add("job-1", [_plan(i, 3) for i in range(3)])
+        assert len(table.lease("node-1", max_items=2)) == 2
+        assert len(table.lease("node-2", max_items=2)) == 1
+        assert table.lease("node-3") == []
+
+    def test_complete_is_first_result_wins(self):
+        table = LeaseTable()
+        (item,) = table.add("job-1", [_plan()])
+        table.lease("node-1")
+        assert table.complete(item.id, {"v": 1}) is not None
+        # A late duplicate (re-dispatched item finishing twice) is ignored.
+        assert table.complete(item.id, {"v": 2}) is None
+        assert table.get(item.id).result == {"v": 1}
+        assert table.completed_total == 1
+
+    def test_complete_unknown_item_is_none(self):
+        assert LeaseTable().complete("work-404", {}) is None
+
+
+class TestFailureAndRetry:
+    def test_retryable_failure_requeues(self):
+        table = LeaseTable(max_attempts=3)
+        (item,) = table.add("job-1", [_plan()])
+        table.lease("node-1")
+        failed = table.fail(item.id, "boom")
+        assert failed.state == "pending"
+        assert table.requeued_total == 1
+        # The item can be leased again (attempt 2).
+        (again,) = table.lease("node-2")
+        assert again.id == item.id
+        assert again.attempts == 2
+
+    def test_attempts_exhausted_fails_item(self):
+        table = LeaseTable(max_attempts=2)
+        (item,) = table.add("job-1", [_plan()])
+        for _ in range(2):
+            table.lease("node-1")
+            table.fail(item.id, "boom")
+        assert table.get(item.id).state == "failed"
+
+    def test_non_retryable_failure_is_final(self):
+        table = LeaseTable(max_attempts=5)
+        (item,) = table.add("job-1", [_plan()])
+        table.lease("node-1")
+        assert table.fail(item.id, "bad payload",
+                          retryable=False).state == "failed"
+
+    def test_release_node_requeues_only_its_leases(self):
+        table = LeaseTable()
+        items = table.add("job-1", [_plan(0, 2), _plan(1, 2)])
+        table.lease("node-1", max_items=1)
+        table.lease("node-2", max_items=1)
+        released = table.release_node("node-1")
+        assert [item.id for item in released] == [items[0].id]
+        assert table.get(items[0].id).state == "pending"
+        assert table.get(items[1].id).state == "leased"
+
+    def test_expire_reclaims_stale_leases(self):
+        clock = FakeClock()
+        table = LeaseTable(clock=clock)
+        (item,) = table.add("job-1", [_plan()])
+        table.lease("node-1")
+        clock.advance(5.0)
+        assert table.expire(lease_timeout=10.0) == []
+        clock.advance(6.0)
+        expired = table.expire(lease_timeout=10.0)
+        assert [e.id for e in expired] == [item.id]
+        assert table.get(item.id).state == "pending"
+
+    def test_renew_on_heartbeat_keeps_lease_alive(self):
+        clock = FakeClock()
+        table = LeaseTable(clock=clock)
+        table.add("job-1", [_plan()])
+        table.lease("node-1")
+        clock.advance(8.0)
+        assert table.renew("node-1") == 1
+        clock.advance(8.0)
+        # 16s since lease, but only 8s since the renewing heartbeat.
+        assert table.expire(lease_timeout=10.0) == []
+
+    def test_drop_job_fails_open_items(self):
+        table = LeaseTable()
+        items = table.add("job-1", [_plan(0, 2), _plan(1, 2)])
+        table.lease("node-1")
+        table.complete(items[0].id, {})
+        assert table.drop_job("job-1") == 1
+        assert table.get(items[1].id).state == "failed"
+        assert table.get(items[0].id).state == "done"  # untouched
+
+
+class TestWait:
+    def test_wait_returns_when_all_resolve(self):
+        table = LeaseTable()
+        items = table.add("job-1", [_plan(0, 2), _plan(1, 2)])
+        table.lease("node-1", max_items=2)
+        table.complete(items[0].id, {})
+        table.complete(items[1].id, {})
+        assert table.wait([item.id for item in items], timeout=1.0)
+
+    def test_wait_times_out(self):
+        table = LeaseTable()
+        (item,) = table.add("job-1", [_plan()])
+        assert not table.wait([item.id], timeout=0.1, poll=0.02)
+
+    def test_wait_aborts(self):
+        table = LeaseTable()
+        (item,) = table.add("job-1", [_plan()])
+        assert not table.wait([item.id], timeout=5.0, poll=0.02,
+                              should_abort=lambda: True)
+
+
+class TestNodeRegistry:
+    def test_register_assigns_ids_and_defaults_name(self):
+        nodes = NodeRegistry()
+        first = nodes.register(name=None, capacity=2)
+        second = nodes.register(name="beta", capacity=1)
+        assert first.id == "node-1"
+        assert second.id == "node-2"
+        assert second.name == "beta"
+        assert len(nodes) == 2
+
+    def test_heartbeat_unknown_node_is_false(self):
+        nodes = NodeRegistry()
+        assert nodes.heartbeat("node-404", {}) is False
+
+    def test_heartbeat_updates_stats(self):
+        nodes = NodeRegistry()
+        info = nodes.register(name="n", capacity=1)
+        assert nodes.heartbeat(info.id, {"executed": 7}) is True
+        (row,) = nodes.rows()
+        assert row["stats"] == {"executed": 7}
+
+    def test_expire_removes_silent_nodes(self):
+        clock = FakeClock()
+        nodes = NodeRegistry(clock=clock)
+        quiet = nodes.register(name="quiet", capacity=1)
+        noisy = nodes.register(name="noisy", capacity=1)
+        clock.advance(9.0)
+        nodes.heartbeat(noisy.id, {})
+        clock.advance(2.0)
+        dead = nodes.expire(node_timeout=10.0)
+        assert [d.id for d in dead] == [quiet.id]
+        assert nodes.lost_total == 1
+        assert [row["id"] for row in nodes.rows()] == [noisy.id]

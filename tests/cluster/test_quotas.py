@@ -1,0 +1,62 @@
+"""Per-tenant active-job quotas."""
+
+import pytest
+
+from repro.cluster.quotas import QuotaExceeded, TenantQuotas
+
+
+class TestQuotas:
+    def test_untenanted_jobs_are_exempt(self):
+        quotas = TenantQuotas(default_limit=1)
+        for _ in range(5):
+            quotas.acquire(None)
+        assert quotas.active() == {}
+
+    def test_limit_enforced_and_released(self):
+        quotas = TenantQuotas(limits={"acme": 2})
+        quotas.acquire("acme")
+        quotas.acquire("acme")
+        with pytest.raises(QuotaExceeded) as excinfo:
+            quotas.acquire("acme")
+        assert excinfo.value.tenant == "acme"
+        assert excinfo.value.limit == 2
+        quotas.release("acme")
+        quotas.acquire("acme")  # back under the limit
+
+    def test_default_limit_applies_to_unlisted_tenants(self):
+        quotas = TenantQuotas(default_limit=1, limits={"vip": 3})
+        quotas.acquire("other")
+        with pytest.raises(QuotaExceeded):
+            quotas.acquire("other")
+        for _ in range(3):
+            quotas.acquire("vip")
+        with pytest.raises(QuotaExceeded):
+            quotas.acquire("vip")
+
+    def test_no_limits_still_accounts(self):
+        quotas = TenantQuotas()
+        quotas.acquire("acme")
+        quotas.acquire("acme")
+        assert quotas.active() == {"acme": 2}
+        quotas.release("acme")
+        quotas.release("acme")
+        assert quotas.active() == {}
+
+    def test_force_admits_over_limit_but_counts(self):
+        quotas = TenantQuotas(limits={"acme": 1})
+        quotas.acquire("acme")
+        quotas.acquire("acme", force=True)  # replay path must not strand
+        assert quotas.active() == {"acme": 2}
+        with pytest.raises(QuotaExceeded):
+            quotas.acquire("acme")
+
+    def test_release_never_goes_negative(self):
+        quotas = TenantQuotas()
+        quotas.release("ghost")
+        assert quotas.active() == {}
+
+    def test_invalid_limits_rejected(self):
+        with pytest.raises(ValueError):
+            TenantQuotas(default_limit=0)
+        with pytest.raises(ValueError):
+            TenantQuotas(limits={"acme": 0})

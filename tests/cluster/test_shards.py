@@ -1,0 +1,126 @@
+"""Shard planning is spec-pure; the merge restores single-process bytes."""
+
+import json
+
+import pytest
+
+from repro.cluster.shards import (FUZZ_DRIVER, merge_campaign_shards,
+                                  plan_shards, shard_count_for)
+from repro.serve.executors import execute_job
+from repro.serve.jobs import JobSpec, null_context
+
+SOURCE = """
+_start:
+    li s0, 8
+    li s1, 0
+loop:
+    add s1, s1, s0
+    addi s0, s0, -1
+    bnez s0, loop
+    li a0, 0
+    li a7, 93
+    ecall
+"""
+
+
+class TestShardCount:
+    def test_unsharded_spec_is_one(self):
+        spec = JobSpec(kind="fault_campaign", payload={"mutants": 10})
+        assert shard_count_for(spec) == 1
+
+    def test_non_shardable_kind_is_one(self):
+        spec = JobSpec(kind="vp_run", payload={})
+        assert shard_count_for(spec) == 1
+
+    def test_campaign_caps_at_mutant_count(self):
+        spec = JobSpec(kind="fault_campaign",
+                       payload={"mutants": 3}, shards=16)
+        assert shard_count_for(spec) == 3
+
+    def test_campaign_honors_requested_shards(self):
+        spec = JobSpec(kind="fault_campaign",
+                       payload={"mutants": 100}, shards=4)
+        assert shard_count_for(spec) == 4
+
+    def test_same_spec_same_count_regardless_of_callers(self):
+        spec = JobSpec(kind="fault_campaign",
+                       payload={"mutants": 50}, shards=5)
+        assert shard_count_for(spec) == shard_count_for(spec) == 5
+
+
+class TestPlanShards:
+    def test_single_shard_is_passthrough(self):
+        spec = JobSpec(kind="vp_run", payload={"source": "x"})
+        plans = plan_shards(spec)
+        assert plans == [{"kind": "vp_run", "payload": {"source": "x"},
+                          "shard_index": 0, "shard_count": 1}]
+
+    def test_campaign_plan_covers_every_index(self):
+        spec = JobSpec(kind="fault_campaign",
+                       payload={"source": "x", "mutants": 10}, shards=4)
+        plans = plan_shards(spec)
+        assert [p["kind"] for p in plans] == ["fault_campaign_shard"] * 4
+        assert [p["shard_index"] for p in plans] == [0, 1, 2, 3]
+        assert all(p["shard_count"] == 4 for p in plans)
+        assert all(p["payload"]["shard_count"] == 4 for p in plans)
+
+    def test_plan_is_deterministic(self):
+        spec = JobSpec(kind="fault_campaign",
+                       payload={"source": "x", "mutants": 8}, shards=3)
+        assert plan_shards(spec) == plan_shards(spec)
+
+    def test_sharded_fuzz_returns_driver_marker(self):
+        spec = JobSpec(kind="fuzz", payload={"iterations": 100}, shards=4)
+        plans = plan_shards(spec)
+        assert len(plans) == 1
+        assert plans[0]["kind"] == FUZZ_DRIVER
+        assert plans[0]["shard_count"] == 4
+
+    def test_unsharded_fuzz_is_passthrough(self):
+        spec = JobSpec(kind="fuzz", payload={"iterations": 100})
+        assert plan_shards(spec)[0]["kind"] == "fuzz"
+
+
+class TestMerge:
+    def _shard_results(self, payload, count):
+        return [
+            execute_job("fault_campaign_shard",
+                        {**payload, "shard_count": count,
+                         "shard_index": index},
+                        null_context())
+            for index in range(count)
+        ]
+
+    def test_merge_is_byte_identical_to_single_process(self):
+        payload = {"source": SOURCE, "mutants": 12, "seed": 5}
+        direct = execute_job("fault_campaign", payload, null_context())
+        merged = merge_campaign_shards(self._shard_results(payload, 3))
+        for view in (direct, merged):
+            view.pop("elapsed_seconds", None)
+            view.get("campaign", {}).pop("elapsed_seconds", None)
+        assert json.dumps(merged, sort_keys=True) \
+            == json.dumps(direct, sort_keys=True)
+
+    def test_merge_out_of_order_shards(self):
+        payload = {"source": SOURCE, "mutants": 9, "seed": 2}
+        shards = self._shard_results(payload, 3)
+        reordered = [shards[2], shards[0], shards[1]]
+        merged = merge_campaign_shards(reordered)
+        assert merged["counts"] == \
+            merge_campaign_shards(shards)["counts"]
+
+    def test_merge_rejects_empty(self):
+        with pytest.raises(ValueError, match="zero"):
+            merge_campaign_shards([])
+
+    def test_merge_rejects_incomplete_shard_set(self):
+        payload = {"source": SOURCE, "mutants": 9, "seed": 2}
+        shards = self._shard_results(payload, 3)
+        with pytest.raises(ValueError, match="incomplete"):
+            merge_campaign_shards(shards[:2])
+
+    def test_merge_rejects_duplicate_indices(self):
+        payload = {"source": SOURCE, "mutants": 6, "seed": 1}
+        shards = self._shard_results(payload, 2)
+        with pytest.raises(ValueError, match="incomplete"):
+            merge_campaign_shards([shards[0], shards[0]])

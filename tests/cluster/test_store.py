@@ -1,0 +1,86 @@
+"""JSONL job store: append, replay, torn-line tolerance."""
+
+import json
+
+from repro.cluster.store import JobStore
+
+
+def _spec(kind="vp_run", **extra):
+    return {"kind": kind, "payload": {"source": "x"}, **extra}
+
+
+class TestReplay:
+    def test_missing_file_is_empty_recovery(self, tmp_path):
+        recovered = JobStore.replay(str(tmp_path / "absent.jsonl"))
+        assert recovered.unresolved == []
+        assert recovered.resolved == {}
+        assert recovered.max_job_number == 0
+
+    def test_round_trip_unresolved_and_resolved(self, tmp_path):
+        path = str(tmp_path / "jobs.jsonl")
+        with JobStore(path) as store:
+            store.append_job("job-1", _spec())
+            store.append_job("job-2", _spec())
+            store.append_resolved("job-1", "succeeded",
+                                  result={"exit_code": 0})
+        recovered = JobStore.replay(path)
+        assert recovered.unresolved == [("job-2", _spec())]
+        assert recovered.resolved["job-1"]["state"] == "succeeded"
+        assert recovered.resolved["job-1"]["result"] == {"exit_code": 0}
+        assert recovered.resolved["job-1"]["spec"] == _spec()
+        assert recovered.max_job_number == 2
+
+    def test_unresolved_preserve_submission_order(self, tmp_path):
+        path = str(tmp_path / "jobs.jsonl")
+        with JobStore(path) as store:
+            for n in (3, 1, 7):
+                store.append_job(f"job-{n}", _spec())
+        recovered = JobStore.replay(path)
+        assert [job_id for job_id, _ in recovered.unresolved] \
+            == ["job-3", "job-1", "job-7"]
+        assert recovered.max_job_number == 7
+
+    def test_torn_final_line_is_skipped(self, tmp_path):
+        path = str(tmp_path / "jobs.jsonl")
+        with JobStore(path) as store:
+            store.append_job("job-1", _spec())
+        with open(path, "a", encoding="utf-8") as handle:
+            handle.write('{"type": "job", "id": "job-2", "spe')  # torn
+        recovered = JobStore.replay(path)
+        assert recovered.skipped_lines == 1
+        assert [job_id for job_id, _ in recovered.unresolved] == ["job-1"]
+
+    def test_resolution_without_spec_is_dropped(self, tmp_path):
+        path = str(tmp_path / "jobs.jsonl")
+        with JobStore(path) as store:
+            store.append_resolved("job-9", "succeeded", result={})
+        recovered = JobStore.replay(path)
+        assert recovered.resolved == {}
+        assert recovered.unresolved == []
+
+    def test_failed_resolution_keeps_error(self, tmp_path):
+        path = str(tmp_path / "jobs.jsonl")
+        with JobStore(path) as store:
+            store.append_job("job-1", _spec())
+            store.append_resolved("job-1", "failed", error="boom")
+        recovered = JobStore.replay(path)
+        assert recovered.resolved["job-1"]["error"] == "boom"
+
+    def test_non_numeric_ids_do_not_break_numbering(self, tmp_path):
+        path = str(tmp_path / "jobs.jsonl")
+        with JobStore(path) as store:
+            store.append_job("custom-id", _spec())
+            store.append_job("job-5", _spec())
+        assert JobStore.replay(path).max_job_number == 5
+
+    def test_appends_are_line_flushed(self, tmp_path):
+        path = str(tmp_path / "jobs.jsonl")
+        store = JobStore(path)
+        try:
+            store.append_job("job-1", _spec())
+            # Visible to a concurrent reader before close (crash safety).
+            with open(path, encoding="utf-8") as handle:
+                record = json.loads(handle.readline())
+            assert record["id"] == "job-1"
+        finally:
+            store.close()

@@ -73,6 +73,38 @@ class TestRenderTop:
         text = render_top(make_status(metrics={}))
         assert "submitted:0" in text
 
+    def test_plain_serve_has_no_cluster_section(self):
+        assert "--- cluster ---" not in render_top(make_status())
+
+    def test_cluster_section_renders_node_rows(self):
+        health = dict(make_status().health)
+        health["mode"] = "cluster"
+        health["cluster"] = {
+            "nodes": [{"id": "node-1", "name": "alpha", "draining": False,
+                       "capacity": 1, "heartbeat_age_seconds": 0.4,
+                       "stats": {"executed": 12, "failed": 1,
+                                 "busy": True}},
+                      {"id": "node-2", "name": "beta", "draining": True,
+                       "capacity": 2, "heartbeat_age_seconds": 1.1,
+                       "stats": {}}],
+            "work": {"pending": 3, "leased": 2, "done": 40, "failed": 0},
+            "work_requeued": 1,
+            "nodes_lost": 1,
+        }
+        text = render_top(make_status(health=health))
+        assert "--- cluster ---" in text
+        assert "pending:3" in text and "requeued:1" in text
+        assert "node-1" in text and "alpha" in text
+        assert "exec:12" in text
+        assert "draining" in text  # node-2's state
+        assert "live" in text      # node-1's state
+
+    def test_cluster_section_with_no_nodes(self):
+        health = dict(make_status().health)
+        health["cluster"] = {"nodes": [], "work": {}}
+        text = render_top(make_status(health=health))
+        assert "(none attached)" in text
+
 
 class TestFetchStatus:
     def test_unreachable_becomes_error_status(self):
