@@ -11,6 +11,11 @@ numbers the performance work is judged by:
   tier's speedups over both; RunResult parity across backends is
   asserted first, and the report fails loudly if the compiled backend
   silently fell back to the interpreter tier;
+* ``emulator_memory`` — the F5 memory-heavy workload (a multi-block
+  load/store loop) under each backend, with per-backend RAM fast-path
+  hit rates, the compiled tier's trace-compilation counters, and its
+  speedup over the recorded pre-fast-path compiled-tier baseline;
+  RunResult *and* dirty-page parity across backends is asserted first;
 * ``campaign`` — fault-campaign throughput (mutants/s) sequential and
   with a worker pool, plus the parallel speedup;
 * ``campaign_checkpoint`` — throughput of a transient-heavy campaign
@@ -88,6 +93,40 @@ loop:
     li a0, 0
     li a7, 93
     ecall
+"""
+
+#: Compiled-tier speed on the F5 memory workload before the RAM fast
+#: path and trace compilation landed (per-access bus dispatch, one
+#: compiled function per block), measured on the reference container.
+#: Machine-dependent, like :data:`BASELINE_INSNS_PER_SECOND`.
+F5_COMPILED_BASELINE_INSNS_PER_SECOND = 1_902_000
+
+# The F5 memory-heavy workload: a load/store loop long enough to split
+# into multiple translation blocks, so the compiled tier must form a
+# cross-block trace to cover it, and dense enough in RAM traffic that
+# the fast-path window dominates the profile.
+_MEMORY_BODY = "\n".join(
+    f"    lw t2, {(k % 8) * 4}(s0)\n"
+    "    add a0, a0, t2\n"
+    "    xor t2, t2, t0\n"
+    f"    sw t2, {(k % 8) * 4}(s0)"
+    for k in range(10))
+
+MEMORY_WORKLOAD = """
+_start:
+    la s0, scratch
+    li t0, 0
+    li t1, {iters}
+    li a0, 0
+loop:
+""" + _MEMORY_BODY + """
+    addi t0, t0, 1
+    blt t0, t1, loop
+    li a0, 0
+    li a7, 93
+    ecall
+.data
+scratch: .word 0, 0, 0, 0, 0, 0, 0, 0
 """
 
 CAMPAIGN_PROGRAM = """
@@ -201,6 +240,62 @@ def measure_backend_mips(iters: int, repeats: int):
     entries["compiled_speedup_vs_fastpath"] = round(
         entries["compiled"]["insns_per_second"]
         / entries["fastpath"]["insns_per_second"], 3)
+    return entries
+
+
+def measure_memory_mips(iters: int, repeats: int):
+    """Per-backend speed on F5: the memory fast path + trace tier.
+
+    Beyond the F1-style RunResult parity, the dirty-page sets must match
+    across backends (the fast path updates them inline) and the compiled
+    run must show both optimizations actually engaged: at least one
+    multi-block trace compiled with instructions retired in it, and a
+    non-zero RAM fast-path hit rate on every backend.
+    """
+    program = assemble(MEMORY_WORKLOAD.format(iters=iters),
+                       isa=RV32IMC_ZICSR)
+    entries = {}
+    outcomes = {}
+    for backend in ("interp", "fastpath", "compiled"):
+        best = 0.0
+        jit = mem = None
+        for _ in range(repeats):
+            machine = Machine(MachineConfig(isa=RV32IMC_ZICSR,
+                                            backend=backend))
+            machine.load(program)
+            start = time.perf_counter()
+            result = machine.run(max_instructions=50_000_000)
+            elapsed = time.perf_counter() - start
+            assert result.stop_reason == "exit", result.stop_reason
+            best = max(best, result.instructions / elapsed)
+            jit = machine.jit_stats()
+            mem = machine.mem_stats()
+            outcomes[backend] = (result.stop_reason, result.exit_code,
+                                 result.instructions, result.cycles,
+                                 tuple(sorted(machine.ram.dirty_pages())))
+        if mem["fastpath_hit_rate"] <= 0:
+            raise RuntimeError(
+                f"RAM fast path never engaged under {backend} on F5 "
+                f"(mem: {mem})")
+        entries[backend] = {"mips": round(best / 1e6, 3),
+                            "insns_per_second": round(best, 0),
+                            "mem": mem}
+        if backend == "compiled":
+            if not jit or jit["traces_compiled"] == 0 \
+                    or jit["trace_instructions"] == 0:
+                raise RuntimeError(
+                    "compiled backend never reached the trace tier on F5 "
+                    f"(stats: {jit})")
+            entries[backend]["jit"] = jit
+    if len(set(outcomes.values())) != 1:
+        raise RuntimeError(f"backend results diverged on F5: {outcomes}")
+    compiled_rate = entries["compiled"]["insns_per_second"]
+    entries["compiled_speedup_vs_interp"] = round(
+        compiled_rate / entries["interp"]["insns_per_second"], 3)
+    entries["compiled_baseline_insns_per_second"] = \
+        F5_COMPILED_BASELINE_INSNS_PER_SECOND
+    entries["compiled_speedup_vs_baseline"] = round(
+        compiled_rate / F5_COMPILED_BASELINE_INSNS_PER_SECOND, 3)
     return entries
 
 
@@ -545,6 +640,8 @@ def build_report(smoke: bool) -> dict:
             "speedup_vs_baseline": round(rate / BASELINE_INSNS_PER_SECOND, 3),
         },
         "emulator_compiled": measure_backend_mips(iters, repeats),
+        "emulator_memory": measure_memory_mips(
+            500 if smoke else 5_000, repeats),
         "qta_overhead_factor": round(measure_qta_overhead(iters), 3),
         "telemetry_overhead": measure_telemetry_overhead(
             iters, repeats=3 if smoke else 6),

@@ -72,8 +72,10 @@ def cmd_run(args) -> int:
 
     isa = _isa(args)
     program = assemble(_read_source(args.source), isa=isa)
-    machine = Machine(MachineConfig(isa=isa, backend=args.backend,
-                                    jit_threshold=args.jit_threshold))
+    machine = Machine(MachineConfig(
+        isa=isa, backend=args.backend,
+        jit_threshold=args.jit_threshold,
+        jit_trace_threshold=args.jit_trace_threshold))
     machine.load(program)
     if current_telemetry().enabled:
         machine.attach_telemetry()
@@ -98,13 +100,26 @@ def cmd_run(args) -> int:
           f"instructions: {result.instructions}  cycles: {result.cycles}")
     jit = machine.jit_stats()
     if jit is not None:
-        total = jit["compiled_instructions"] + jit["interp_instructions"]
-        share = jit["compiled_instructions"] / total if total else 0.0
+        total = (jit["compiled_instructions"] + jit["interp_instructions"]
+                 + jit["trace_instructions"])
+        compiled = jit["compiled_instructions"] + jit["trace_instructions"]
+        share = compiled / total if total else 0.0
         print(f"jit: {jit['blocks_compiled']} blocks compiled, "
-              f"{share:.1%} of instructions in the compiled tier"
+              f"{jit['traces_compiled']} traces, "
+              f"{share:.1%} of instructions in the compiled tiers"
               + (f", {jit['compile_failures']} compile failures"
-                 if jit["compile_failures"] else ""),
+                 if jit["compile_failures"] else "")
+              + (f", {jit['trace_failures']} trace failures"
+                 if jit["trace_failures"] else ""),
               file=sys.stderr)
+    mem = machine.mem_stats()
+    fast = mem["fastpath_loads"] + mem["fastpath_stores"]
+    if fast or mem["fastpath_fallback_loads"] or \
+            mem["fastpath_fallback_stores"]:
+        print(f"mem: fastpath hit rate {mem['fastpath_hit_rate']:.1%} "
+              f"({fast:,} fast, "
+              f"{mem['fastpath_fallback_loads'] + mem['fastpath_fallback_stores']:,}"
+              f" bus)", file=sys.stderr)
     return result.exit_code or 0
 
 
@@ -200,8 +215,10 @@ def cmd_faults(args) -> int:
         from .observe import SamplingProfiler
         from .vp.machine import Machine, MachineConfig
 
-        machine = Machine(MachineConfig(isa=isa, backend=args.backend,
-                                        jit_threshold=args.jit_threshold))
+        machine = Machine(MachineConfig(
+            isa=isa, backend=args.backend,
+            jit_threshold=args.jit_threshold,
+            jit_trace_threshold=args.jit_trace_threshold))
         machine.load(program)
         profiler = machine.add_plugin(SamplingProfiler())
         machine.run(max_instructions=campaign.golden_budget)
@@ -284,8 +301,10 @@ def cmd_profile(args) -> int:
 
     isa = _isa(args)
     program = assemble(_read_source(args.source), isa=isa)
-    machine = Machine(MachineConfig(isa=isa, backend=args.backend,
-                                    jit_threshold=args.jit_threshold))
+    machine = Machine(MachineConfig(
+        isa=isa, backend=args.backend,
+        jit_threshold=args.jit_threshold,
+        jit_trace_threshold=args.jit_trace_threshold))
     machine.load(program)
     profiler = machine.add_plugin(
         SamplingProfiler(interval=args.interval))
@@ -307,6 +326,8 @@ def cmd_profile(args) -> int:
     jit = machine.jit_stats()
     if jit is not None:
         print(f"jit: {jit['blocks_compiled']} blocks compiled, "
+              f"{jit['traces_compiled']} traces, "
+              f"{jit['trace_instructions']:,} trace-tier / "
               f"{jit['compiled_instructions']:,} compiled-tier / "
               f"{jit['interp_instructions']:,} interp-tier instructions",
               file=sys.stderr)
@@ -573,6 +594,11 @@ def build_parser() -> argparse.ArgumentParser:
         p.add_argument("--jit-threshold", type=int, default=8, metavar="N",
                        help="block executions before the compiled backend "
                             "promotes a block (default: 8)")
+        p.add_argument("--jit-trace-threshold", type=int, default=16,
+                       metavar="N",
+                       help="compiled executions with a hot chain edge "
+                            "before a block heads a multi-block trace "
+                            "(default: 16)")
 
     p = sub.add_parser("run", help="assemble and run on the VP")
     common(p)

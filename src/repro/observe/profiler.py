@@ -33,6 +33,20 @@ from ..vp.plugins import Plugin
 __all__ = ["SamplingProfiler", "Profile"]
 
 
+def _tier_of(block) -> str:
+    """Execution-tier label for a block, as last observed.
+
+    Trace heads and members are labelled ``trace`` (their instructions
+    retire inside the multi-block trace function), other compiled
+    blocks ``compiled``, everything else ``interp``.
+    """
+    if block.trace is not None or block.trace_member:
+        return "trace"
+    if block.compiled is not None:
+        return "compiled"
+    return "interp"
+
+
 class SamplingProfiler(Plugin):
     """Counts block executions; every ``interval``-th one is a sample.
 
@@ -62,9 +76,10 @@ class SamplingProfiler(Plugin):
         self.samples: Dict[int, int] = {}
         #: start_pc -> (pcs, decoded list) captured at translate time.
         self._blocks: Dict[int, Tuple[tuple, tuple]] = {}
-        #: start_pc -> execution tier ("interp" or "compiled"), as last
-        #: observed.  A block can graduate mid-run once the compiled
-        #: backend's hot threshold trips; the final observation wins.
+        #: start_pc -> execution tier ("interp" / "compiled" / "trace"),
+        #: as last observed.  A block can graduate mid-run once the
+        #: compiled backend's thresholds trip; the final observation
+        #: wins.
         self._tiers: Dict[int, str] = {}
 
     # -- hooks ----------------------------------------------------------
@@ -80,8 +95,7 @@ class SamplingProfiler(Plugin):
         self._countdown = self.interval
         pc = block.start_pc
         self.samples[pc] = self.samples.get(pc, 0) + 1
-        self._tiers[pc] = ("compiled" if block.compiled is not None
-                           else "interp")
+        self._tiers[pc] = _tier_of(block)
 
     # -- results --------------------------------------------------------
 
@@ -153,8 +167,7 @@ class _ExactProfiler(SamplingProfiler):
             pc = block.start_pc
             self.samples[pc] = self.samples.get(pc, 0) + delta
             entry[1] = block.exec_count
-            self._tiers[pc] = ("compiled" if block.compiled is not None
-                               else "interp")
+            self._tiers[pc] = _tier_of(block)
 
     def _sync(self) -> None:
         for entry in self._tracked.values():

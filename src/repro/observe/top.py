@@ -152,15 +152,28 @@ def render_top(status: ServiceStatus, url: str = "",
     if "repro_vp_jit_blocks_compiled" in metrics:
         compiled = _metric(metrics, "repro_vp_jit_compiled_instructions")
         interp = _metric(metrics, "repro_vp_jit_interp_instructions")
-        total = compiled + interp
-        share = compiled / total if total else 0.0
+        traced = _metric(metrics, "repro_vp_jit_trace_instructions")
+        total = compiled + interp + traced
+        share = (compiled + traced) / total if total else 0.0
         lines.append(
             f"jit    blocks:"
             f"{_metric(metrics, 'repro_vp_jit_blocks_compiled'):.0f}"
-            f"  compiled-tier:{compiled:.0f} ({share:.1%})"
+            f"  traces:"
+            f"{_metric(metrics, 'repro_vp_jit_traces_compiled'):.0f}"
+            f"  trace-tier:{traced:.0f}"
+            f"  compiled-tier:{compiled:.0f} ({share:.1%} compiled)"
             f"  interp-tier:{interp:.0f}"
             f"  failures:"
             f"{_metric(metrics, 'repro_vp_jit_compile_failures'):.0f}")
+    # vp.mem.* gauges: published by every backend once a run executes.
+    if "repro_vp_mem_fastpath_hit_rate" in metrics:
+        fast = (_metric(metrics, "repro_vp_mem_fastpath_loads")
+                + _metric(metrics, "repro_vp_mem_fastpath_stores"))
+        bus = (_metric(metrics, "repro_vp_mem_fastpath_fallback_loads")
+               + _metric(metrics, "repro_vp_mem_fastpath_fallback_stores"))
+        rate = _metric(metrics, "repro_vp_mem_fastpath_hit_rate")
+        lines.append(f"mem    fastpath:{fast:.0f} ({rate:.1%} hit)"
+                     f"  bus:{bus:.0f}")
     cluster = health.get("cluster")
     if cluster:
         work = cluster.get("work", {})

@@ -142,8 +142,8 @@ def create_backend(name: str, cpu: Cpu, **options) -> ExecutionBackend:
     """Instantiate the named backend for ``cpu``.
 
     ``options`` are backend-specific (the compiled tier takes
-    ``threshold=``); the interpreter backends accept and ignore them so
-    one config surface can drive any backend.
+    ``threshold=`` and ``trace_threshold=``); the interpreter backends
+    accept and ignore them so one config surface can drive any backend.
     """
     try:
         factory = _FACTORIES[name]

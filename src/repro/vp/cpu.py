@@ -17,7 +17,8 @@ from ..isa.decoder import Decoder, IllegalInstructionError
 from ..isa.fields import WORD_MASK, sign_extend
 from ..isa.registers import FPRegisterFile, RegisterFile
 from ..isa.spec import Decoded
-from .memory import SystemBus
+from .memory import (PACK_HALF, PACK_WORD, UNPACK_HALF, UNPACK_WORD, Ram,
+                     SystemBus)
 from .plugins import HookTable
 from .timing import TimingModel
 from .trap import BusError, MachineExit, Trap, UnhandledTrap
@@ -70,7 +71,8 @@ class TranslationBlock:
 
     __slots__ = ("start_pc", "insns", "pcs", "size", "exec_count",
                  "ops", "next", "chain_pc", "icache_lines",
-                 "compiled", "compiled_version")
+                 "compiled", "compiled_version",
+                 "trace", "trace_token", "trace_heat", "trace_member")
 
     def __init__(self, start_pc: int, insns: List[Decoded], pcs: List[int]) -> None:
         self.start_pc = start_pc
@@ -98,6 +100,21 @@ class TranslationBlock:
         #: token ``compiled`` was generated for; a mismatch forces a
         #: recompile (hook table changed, register file swapped, ...).
         self.compiled_version: Optional[tuple] = None
+        #: Compiled multi-block trace headed at this block (the superblock
+        #: tier above ``compiled``), or ``None``.  Lives on the head block
+        #: only; a TB flush discards blocks wholesale so stale traces can
+        #: never outlive their members.
+        self.trace: Optional[Callable] = None
+        #: Specialization token ``trace`` was generated for (see
+        #: ``compiled_version``).
+        self.trace_token: Optional[tuple] = None
+        #: Hot-chain-edge counter: executions of this block while already
+        #: compiled and chain-headed.  Crossing the trace threshold
+        #: triggers a trace-formation attempt.
+        self.trace_heat = 0
+        #: True when this block's ops are embedded in some compiled trace
+        #: (profiler tier labelling).
+        self.trace_member = False
 
     def finalize(self, timing, icache=None) -> None:
         """Precompute hot-loop data against ``timing`` (and ``icache``)."""
@@ -197,6 +214,25 @@ class Cpu:
         #: the chain source for the next step's block lookup.
         self._chain_from: Optional[TranslationBlock] = None
         self._current: Optional[Decoded] = None
+        # Softmmu-style RAM fast-path window: direct references to the
+        # first plain Ram region's buffer and dirty set, validated against
+        # ``bus.version`` before every use so device swaps (fault
+        # wrappers) are picked up instantly.  ``_ram_version = -1`` marks
+        # the cache stale; the sentinel base/end make the window check
+        # fail for every 32-bit address until refreshed.
+        self._ram_version = -1
+        self._ram_base = 0x1_0000_0000
+        self._ram_end = 0
+        self._ram: Optional[Ram] = None
+        self._ram_data: Optional[bytearray] = None
+        self._ram_dirty = None
+        self._ram_shift = 0
+        #: Data-access counters: window hits vs bus-dispatch fallbacks
+        #: (fetches are not counted — these describe guest loads/stores).
+        self.mem_fast_loads = 0
+        self.mem_fast_stores = 0
+        self.mem_bus_loads = 0
+        self.mem_bus_stores = 0
         self._wfi_pending = False
         self._wfi_wait: Callable[[], Optional[int]] = lambda: None
         self._interrupt_poll: Callable[[], int] = lambda: 0
@@ -254,13 +290,62 @@ class Cpu:
     # Memory interface used by instruction semantics
     # ------------------------------------------------------------------
 
+    def _refresh_ram_window(self) -> None:
+        """Re-derive the RAM fast-path window from the current bus map.
+
+        Only a *plain* :class:`~repro.vp.memory.Ram` is eligible (exact
+        type check, not ``isinstance``): anything that wraps or overrides
+        ``load``/``store`` — fault wrappers, coverage shims — must keep
+        observing every access through the bus-dispatch path.
+        """
+        self._ram_version = self.bus.version
+        for base, size, device in self.bus.regions:
+            if type(device) is Ram:
+                self._ram = device
+                self._ram_base = base
+                self._ram_end = base + size
+                self._ram_data = device.data
+                self._ram_dirty = device._dirty
+                self._ram_shift = device._page_shift
+                return
+        self._ram = None
+        self._ram_base = 0x1_0000_0000
+        self._ram_end = 0
+        self._ram_data = None
+        self._ram_dirty = None
+        self._ram_shift = 0
+
+    def invalidate_ram_window(self) -> None:
+        """Force a window refresh before the next fast-path access.
+
+        ``bus.version`` already covers device swaps; this is the explicit
+        hook for events the bus cannot see (snapshot restore rebinding
+        machine state, external mutation of the memory map).
+        """
+        self._ram_version = -1
+
     def load(self, addr: int, width: int, signed: bool = False) -> int:
         if addr % width:
             raise Trap(csrdef.CAUSE_MISALIGNED_LOAD, addr)
-        try:
-            value = self.bus.load(addr, width)
-        except BusError:
-            raise Trap(csrdef.CAUSE_LOAD_ACCESS, addr) from None
+        if self._ram_version != self.bus.version:
+            self._refresh_ram_window()
+        base = self._ram_base
+        if base <= addr and addr + width <= self._ram_end:
+            offset = addr - base
+            data = self._ram_data
+            if width == 4:
+                value = UNPACK_WORD(data, offset)[0]
+            elif width == 1:
+                value = data[offset]
+            else:
+                value = UNPACK_HALF(data, offset)[0]
+            self.mem_fast_loads += 1
+        else:
+            try:
+                value = self.bus.load(addr, width)
+            except BusError:
+                raise Trap(csrdef.CAUSE_LOAD_ACCESS, addr) from None
+            self.mem_bus_loads += 1
         if self.hooks.mem_access:
             for hook in self.hooks.mem_access:
                 hook(self, addr, width, value, False)
@@ -274,10 +359,28 @@ class Cpu:
         if self.hooks.mem_access:
             for hook in self.hooks.mem_access:
                 hook(self, addr, width, value, True)
-        try:
-            self.bus.store(addr, width, value)
-        except BusError:
-            raise Trap(csrdef.CAUSE_STORE_ACCESS, addr) from None
+        if self._ram_version != self.bus.version:
+            self._refresh_ram_window()
+        base = self._ram_base
+        if base <= addr and addr + width <= self._ram_end:
+            offset = addr - base
+            data = self._ram_data
+            if width == 4:
+                PACK_WORD(data, offset, value & 0xFFFFFFFF)
+            elif width == 1:
+                data[offset] = value & 0xFF
+            else:
+                PACK_HALF(data, offset, value & 0xFFFF)
+            # Aligned accesses never straddle a page (page size is a power
+            # of two >= 4), so one dirty-set add keeps dirty_pages() exact.
+            self._ram_dirty.add(offset >> self._ram_shift)
+            self.mem_fast_stores += 1
+        else:
+            try:
+                self.bus.store(addr, width, value)
+            except BusError:
+                raise Trap(csrdef.CAUSE_STORE_ACCESS, addr) from None
+            self.mem_bus_stores += 1
 
     # ------------------------------------------------------------------
     # System interface used by instruction semantics

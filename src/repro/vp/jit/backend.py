@@ -8,36 +8,56 @@ everything the generated code folded in — the hook-table version, the
 register-file shape, and whether block chaining is live — so any change
 recompiles instead of executing stale assumptions.
 
+Above the compiled tier sits **trace compilation**: a compiled block
+that keeps re-executing with a statically known successor (a hot chain
+edge, the same ``chain_pc`` mechanism block chaining uses) becomes the
+head of a multi-block trace.  The backend walks the chain through the
+TB cache, collects up to :data:`~repro.vp.jit.compiler.TRACE_MAX_BLOCKS`
+template-covered members, and asks the compiler for one specialized
+function with interior side exits.  Traces live on their head block and
+are keyed on the same specialization token; a TB flush (fence.i, SMC,
+clear-on-full) discards the member blocks wholesale, so stale trace
+code can never run.
+
 Fallback rules (documented in ``docs/performance.md``): an instruction
 cache or a disabled translation-block cache turns compilation off
 entirely and every block stays interpreted; a codegen failure blacklists
-just that block.  The tier split is observable through :class:`JitStats`
-(``repro profile``'s tier report and the ``emulator_compiled`` bench
-section read it).
+just that block (or trace head).  The tier split is observable through
+:class:`JitStats` (``repro profile``'s tier report and the
+``emulator_compiled`` bench section read it).
 """
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import List, Optional
 
+from ...isa import semantics as sem
 from ...isa.registers import RegisterFile
 from ..backends import ExecutionBackend
 from ..trap import MachineExit, Trap
-from .compiler import BlockCompiler, CompileError
+from .compiler import (TRACE_MAX_BLOCKS, BlockCompiler, CompileError)
+from .templates import BRANCH_CONDS, EMITTERS
 
-__all__ = ["CompiledBackend", "JitStats", "DEFAULT_THRESHOLD"]
+__all__ = ["CompiledBackend", "JitStats", "DEFAULT_THRESHOLD",
+           "DEFAULT_TRACE_THRESHOLD"]
 
 #: Executions before a block is promoted to the compiled tier.  Small
 #: enough that a hot loop compiles almost immediately, large enough that
 #: translate-once/run-once code never pays the codegen cost.
 DEFAULT_THRESHOLD = 8
 
+#: Compiled-with-hot-chain-edge executions before a block is promoted to
+#: a trace head.  Counted from the compiled promotion onward, so a block
+#: must prove itself hot twice before the (larger) trace codegen runs.
+DEFAULT_TRACE_THRESHOLD = 16
+
 
 class JitStats:
     """Tier observability counters maintained by :class:`CompiledBackend`."""
 
     __slots__ = ("blocks_compiled", "compiled_retired", "interp_retired",
-                 "compile_failures")
+                 "compile_failures", "traces_compiled", "trace_retired",
+                 "trace_failures")
 
     def __init__(self) -> None:
         self.blocks_compiled = 0
@@ -45,32 +65,68 @@ class JitStats:
         self.compiled_retired = 0
         self.interp_retired = 0
         self.compile_failures = 0
+        #: Multi-block traces built / instructions they retired / chain
+        #: walks that found an uncompilable shape.
+        self.traces_compiled = 0
+        self.trace_retired = 0
+        self.trace_failures = 0
 
     def as_dict(self) -> dict:
         return {"blocks_compiled": self.blocks_compiled,
                 "compiled_instructions": self.compiled_retired,
                 "interp_instructions": self.interp_retired,
-                "compile_failures": self.compile_failures}
+                "compile_failures": self.compile_failures,
+                "traces_compiled": self.traces_compiled,
+                "trace_instructions": self.trace_retired,
+                "trace_failures": self.trace_failures}
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         return f"JitStats({self.as_dict()})"
 
 
+def _interior_ok(block) -> bool:
+    """Whether ``block`` can sit in a trace with a successor after it:
+    every body instruction is template-covered and the block ends in a
+    pure fallthrough or a direct jal (whose link write the trace emits
+    at the member boundary)."""
+    ops = block.ops
+    if block.chain_pc is None:
+        return False
+    if ops[-1][1] is sem.exec_jal:
+        return all(op[1] in EMITTERS for op in ops[:-1])
+    return all(op[1] in EMITTERS for op in ops)
+
+
+def _terminal_ok(block) -> bool:
+    """Whether ``block`` can terminate a trace with a conditional branch."""
+    ops = block.ops
+    return (ops[-1][1] in BRANCH_CONDS
+            and all(op[1] in EMITTERS for op in ops[:-1]))
+
+
 class CompiledBackend(ExecutionBackend):
-    """Tiered execution: interpret cold blocks, JIT-compile hot ones."""
+    """Tiered execution: interpret cold blocks, JIT-compile hot ones,
+    fuse hot chains into traces."""
 
     name = "compiled"
 
-    def __init__(self, cpu, threshold: int = DEFAULT_THRESHOLD) -> None:
+    def __init__(self, cpu, threshold: int = DEFAULT_THRESHOLD,
+                 trace_threshold: int = DEFAULT_TRACE_THRESHOLD) -> None:
         super().__init__(cpu)
         if threshold < 1:
             raise ValueError(f"threshold must be >= 1, got {threshold}")
+        if trace_threshold < 1:
+            raise ValueError(
+                f"trace_threshold must be >= 1, got {trace_threshold}")
         self.threshold = threshold
+        self.trace_threshold = trace_threshold
         self.stats = JitStats()
         self._token: Optional[tuple] = None
         self._compiler: Optional[BlockCompiler] = None
         self._compile_ok = False
+        self._trace_ok = False
         self._no_compile: set = set()
+        self._no_trace: set = set()
 
     # ------------------------------------------------------------------
 
@@ -90,6 +146,11 @@ class CompiledBackend(ExecutionBackend):
                 cpu, chain_enabled=cpu.block_cache_enabled,
                 direct_ok=direct_ok)
             self._no_compile.clear()
+            self._no_trace.clear()
+        # Traces are direct-shape only (no hooks of any kind: interior
+        # side exits cannot replay per-block hook ordering).
+        self._trace_ok = (self._compile_ok and self._compiler.direct
+                          and not self._compiler.hb)
 
     def _step(self, remaining) -> int:
         cpu = self.cpu
@@ -105,6 +166,22 @@ class CompiledBackend(ExecutionBackend):
             return 0
         fn = block.compiled
         if fn is not None and block.compiled_version == self._token:
+            trace = block.trace
+            if trace is not None:
+                if block.trace_token == self._token:
+                    retired = trace(cpu, remaining)
+                    self.stats.trace_retired += retired
+                    return retired
+                block.trace = None  # stale specialization; allow rebuild
+            elif (self._trace_ok and block.chain_pc is not None
+                    and block.start_pc not in self._no_trace):
+                block.trace_heat += 1
+                if block.trace_heat >= self.trace_threshold:
+                    trace = self._compile_trace(block)
+                    if trace is not None:
+                        retired = trace(cpu, remaining)
+                        self.stats.trace_retired += retired
+                        return retired
             retired = fn(cpu, remaining)
             self.stats.compiled_retired += retired
             return retired
@@ -129,6 +206,60 @@ class CompiledBackend(ExecutionBackend):
         block.compiled = fn
         block.compiled_version = self._token
         self.stats.blocks_compiled += 1
+        return fn
+
+    # -- trace formation -----------------------------------------------
+
+    def _trace_members(self, head) -> Optional[List]:
+        """Walk hot chain edges from ``head`` to collect trace members.
+
+        Returns the member list, or ``None`` for a *soft* miss — a
+        successor not yet in the TB cache (the walk retries once it has
+        been translated).  Raises :class:`CompileError` for structurally
+        untraceable shapes, which blacklists the head.
+        """
+        if not _interior_ok(head):
+            raise CompileError("trace head is not interior-shaped")
+        cache = self.cpu._tb_cache
+        members = [head]
+        seen = {head.start_pc}
+        pc = head.chain_pc
+        while len(members) < TRACE_MAX_BLOCKS:
+            nxt = cache.get(pc)
+            if nxt is None:
+                return None  # successor not translated yet; retry later
+            if nxt.start_pc in seen:
+                break  # chain folds back without a branch: stop here
+            if _terminal_ok(nxt):
+                members.append(nxt)
+                return members
+            if not _interior_ok(nxt):
+                break  # jalr/system/untemplated end: trace stops before it
+            members.append(nxt)
+            seen.add(nxt.start_pc)
+            pc = nxt.chain_pc
+        if len(members) < 2:
+            raise CompileError("no traceable successor")
+        return members
+
+    def _compile_trace(self, head):
+        try:
+            members = self._trace_members(head)
+            if members is None:
+                # Not a failure — reset the heat so the edge re-proves
+                # itself once the successor block exists.
+                head.trace_heat = 0
+                return None
+            fn = self._compiler.compile_trace(members)
+        except (CompileError, SyntaxError, ValueError):
+            self.stats.trace_failures += 1
+            self._no_trace.add(head.start_pc)
+            return None
+        head.trace = fn
+        head.trace_token = self._token
+        for member in members:
+            member.trace_member = True
+        self.stats.traces_compiled += 1
         return fn
 
     # ------------------------------------------------------------------

@@ -31,10 +31,15 @@ from typing import List, Optional
 
 from ...isa import semantics as sem
 from ..devices.clint import Clint
+from ..memory import PACK_HALF, PACK_WORD, UNPACK_HALF, UNPACK_WORD
 from ..trap import BusError, MachineExit, Trap
 from .templates import BRANCH_CONDS, CONTROL_EMITTERS, EMITTERS, MASK, Ctx
 
-__all__ = ["BlockCompiler", "CompileError"]
+__all__ = ["BlockCompiler", "CompileError", "TRACE_MAX_BLOCKS"]
+
+#: Maximum member blocks per compiled trace (keeps generated functions
+#: and invalidation blast radius bounded).
+TRACE_MAX_BLOCKS = 8
 
 #: Interrupt-check constants folded into fused-loop source.
 _MIP, _MSTATUS, _MIE, _MSTATUS_MIE = 0x344, 0x300, 0x304, 0x8
@@ -145,6 +150,20 @@ class BlockCompiler:
         #: observe individual accesses or instruction boundaries.
         self.direct = direct_ok and not self.hi and not self.hm
         self.chain_enabled = chain_enabled
+        # Capture the CPU's RAM fast-path window so direct-mode memory
+        # templates can fold the bounds in as constants.  Generated code
+        # re-validates at entry (``_ramok`` binding): the captured buffer
+        # must still be the CPU's current window, otherwise every access
+        # takes the bus-dispatch fallback — so a fault wrapper swapped in
+        # front of RAM mid-campaign is honoured without recompilation.
+        if cpu._ram_version != cpu.bus.version:
+            cpu._refresh_ram_window()
+        self.mem = cpu._ram_data
+        self.dirty = cpu._ram_dirty
+        if self.mem is not None:
+            self.win = (cpu._ram_base, cpu._ram_end, cpu._ram_shift)
+        else:
+            self.win = None
 
     # ------------------------------------------------------------------
 
@@ -165,14 +184,21 @@ class BlockCompiler:
         fn.__jit_source__ = src  # debugging / test introspection
         return fn
 
-    def _namespace(self, block) -> dict:
-        namespace = {
-            "block": block, "Trap": Trap, "MachineExit": MachineExit,
+    def _base_namespace(self) -> dict:
+        return {
+            "Trap": Trap, "MachineExit": MachineExit,
             "BusError": BusError, "_trap_exit": _trap_exit,
             "_exit_flush": _exit_flush, "_batch_safe": _batch_safe,
             "_horizon": _horizon, "HB": self.hb, "HI": self.hi,
+            "_u4": UNPACK_WORD, "_u2": UNPACK_HALF,
+            "_p4": PACK_WORD, "_p2": PACK_HALF,
+            "_MEM": self.mem, "_DIRTY": self.dirty,
             "__builtins__": {"abs": abs},
         }
+
+    def _namespace(self, block) -> dict:
+        namespace = self._base_namespace()
+        namespace["block"] = block
         for i, op in enumerate(block.ops):
             namespace[f"d_{i}"] = op[0]
             namespace[f"x_{i}"] = op[1]
@@ -201,6 +227,17 @@ class BlockCompiler:
                 lines.append("bload = cpu.bus.load")
             if "bstore(" in body_text:
                 lines.append("bstore = cpu.bus.store")
+            if "_ramok" in body_text:
+                # The fast path is armed only while the CPU's current
+                # window buffer is the one this code was specialized
+                # against; a bus mutation (fault wrapper, remap) makes
+                # every access take the bus fallback until recompiled.
+                lines += ["if cpu._ram_version != cpu.bus.version:",
+                          "    cpu._refresh_ram_window()",
+                          "_mem = _MEM",
+                          "_ramok = cpu._ram_data is _MEM"]
+            if "_dirty.add" in body_text:
+                lines.append("_dirty = _DIRTY")
         else:
             if "_rd(" in body_text:
                 lines.append("_rd = cpu.regs.read")
@@ -257,7 +294,7 @@ class BlockCompiler:
         src.add(indent + 1, f"return {i + 1}")
 
     def _emit_direct(self, block) -> str:
-        ctx = Ctx(block, direct=True)
+        ctx = Ctx(block, direct=True, win=self.win)
         ops = block.ops
         n = len(ops)
         last_d, last_exec = ops[-1][0], ops[-1][1]
@@ -325,7 +362,7 @@ class BlockCompiler:
     # -- fused self-loop shape ------------------------------------------
 
     def _emit_fused(self, block) -> str:
-        ctx = Ctx(block, direct=True, fused=True)
+        ctx = Ctx(block, direct=True, fused=True, win=self.win)
         ops = block.ops
         n = len(ops)
         last_d = ops[-1][0]
@@ -441,6 +478,165 @@ class BlockCompiler:
         src.add(2, f"if _mip and (_rr({_MSTATUS:#x}) & {_MSTATUS_MIE:#x}) "
                    f"and (_mip & _rr({_MIE:#x})):")
         self._fused_polling_exit(src, 3, start)
+        return src.text()
+
+    # -- multi-block trace shape ----------------------------------------
+
+    def compile_trace(self, blocks):
+        """Compile a chain of blocks into one specialized trace function.
+
+        ``blocks`` is the member list from the backend's hot-chain walk:
+        every member but the last ends in a pure fallthrough or a direct
+        jal (its link write is emitted at the member boundary); the last
+        member either ends in a conditional branch — rendered as a
+        native loop when it targets the head (the common hot-loop form)
+        or as a pair of exits otherwise — or is itself interior-shaped
+        with a ``chain_pc`` leaving the trace.
+
+        The exact-parity contract of the fused shape is kept at **every**
+        member boundary: retire/cycle accounting and a bus tick for the
+        completed member, then the budget check and the interrupt poll
+        (with the raw-``mip`` shadow write) in the order the
+        interpreter's run loop performs them, exiting with the pc parked
+        on the next member's start so the run loop can take over.
+        """
+        if not self.direct or self.hb:
+            raise CompileError(
+                "trace shape requires direct mode without block hooks")
+        if len(blocks) < 2 or len(blocks) > TRACE_MAX_BLOCKS:
+            raise CompileError(f"unsupported trace length {len(blocks)}")
+        src = self._emit_trace(blocks)
+        namespace = self._trace_namespace(blocks)
+        code = compile(src, f"<jit-trace:{blocks[0].start_pc:#x}>", "exec")
+        exec(code, namespace)
+        fn = namespace["_tb"]
+        fn.__jit_source__ = src
+        return fn
+
+    def _trace_namespace(self, blocks) -> dict:
+        namespace = self._base_namespace()
+        offset = 0
+        for m, block in enumerate(blocks):
+            namespace[f"b_{m}"] = block
+            for i, op in enumerate(block.ops):
+                namespace[f"d_{offset + i}"] = op[0]
+                namespace[f"x_{offset + i}"] = op[1]
+            offset += len(block.ops)
+        return namespace
+
+    def _trace_boundary_exit(self, src: _Src, indent: int, pc: int,
+                             chain_m: Optional[int]) -> None:
+        """Flush accounting (cycles are already ticked), park the pc, and
+        return — planting the chain link exactly when the interpreter
+        would (the exiting member has this pc as its ``chain_pc``)."""
+        src.add(indent, "_c.instret += ret")
+        src.add(indent, "_c.cycle += cyc")
+        src.add(indent, f"cpu.pc = {pc:#x}")
+        src.add(indent, f"cpu.next_pc = {pc:#x}")
+        if chain_m is not None and self.chain_enabled:
+            src.add(indent, f"cpu._chain_from = b_{chain_m}")
+        src.add(indent, "return ret")
+
+    def _emit_trace_body(self, src: _Src, indent: int, ctx: Ctx, m: int,
+                         block) -> None:
+        """One member's body plus its retire/cycle/tick accounting.
+
+        A trailing direct jal is not a template; its link write and
+        taken-cycle cost are rendered here so the member completes
+        exactly as the interpreter's redirect exit would.
+        """
+        ops = block.ops
+        n = len(ops)
+        src.add(indent, f"b_{m}.exec_count += 1")
+        ends_jal = ops[-1][1] is sem.exec_jal
+        body_n = n - 1 if ends_jal else n
+        for i in range(body_n):
+            src.extend(indent, EMITTERS[ops[i][1]](ctx, i))
+        if ends_jal:
+            d = ops[-1][0]
+            src.extend(indent, ctx.w(d.rd, f"{ops[-1][3]:#x}",
+                                     canonical=True))
+            target = (ops[-1][2] + d.imm) & MASK
+            cycles = ctx.prefix[n - 1] + (
+                ops[-1][5] if target != ops[-1][3] else ops[-1][4])
+        else:
+            cycles = ctx.prefix[n]
+        src.add(indent, f"ret += {n}")
+        src.add(indent, f"cyc += {cycles}")
+        src.add(indent, f"_tick({cycles})")
+
+    def _emit_trace_checks(self, src: _Src, indent: int, pc: int,
+                           chain_m: Optional[int]) -> None:
+        """Budget check then interrupt poll, the run loop's boundary
+        order, exiting to ``pc`` (the next member's start)."""
+        src.add(indent, "if ret >= remaining:")
+        self._trace_boundary_exit(src, indent + 1, pc, chain_m)
+        src.add(indent, "_mip = _poll()")
+        src.add(indent, f"_rw({_MIP:#x}, _mip)")
+        src.add(indent, f"if _mip and (_rr({_MSTATUS:#x}) & "
+                        f"{_MSTATUS_MIE:#x}) and (_mip & _rr({_MIE:#x})):")
+        self._trace_boundary_exit(src, indent + 1, pc, chain_m)
+
+    def _emit_trace(self, blocks) -> str:
+        head = blocks[0]
+        ctxs = []
+        offset = 0
+        for block in blocks:
+            ctxs.append(Ctx(block, direct=True, fused=True, base=offset,
+                            win=self.win))
+            offset += len(block.ops)
+        last = blocks[-1]
+        last_ops = last.ops
+        last_exec = last_ops[-1][1]
+        branch_final = last_exec in BRANCH_CONDS
+        looped = False
+        if branch_final:
+            last_d = last_ops[-1][0]
+            target = (last_ops[-1][2] + last_d.imm) & MASK
+            looped = target == head.start_pc
+        indent = 2 if looped else 1
+
+        body = _Src()
+        for m, block in enumerate(blocks[:-1]):
+            self._emit_trace_body(body, indent, ctxs[m], m, block)
+            self._emit_trace_checks(body, indent, block.chain_pc, m)
+        m = len(blocks) - 1
+        if branch_final:
+            ctx = ctxs[m]
+            n = len(last_ops)
+            body.add(indent, f"b_{m}.exec_count += 1")
+            for i in range(n - 1):
+                body.extend(indent, EMITTERS[last_ops[i][1]](ctx, i))
+            cond = BRANCH_CONDS[last_exec](ctx, last_d)
+            last_ft = last_ops[-1][3]
+            base_total = ctx.prefix[n - 1] + last_ops[-1][4]
+            taken_total = ctx.prefix[n - 1] + last_ops[-1][5]
+            taken_cycles = taken_total if target != last_ft else base_total
+            body.add(indent, f"if {cond}:")
+            body.add(indent + 1, f"ret += {n}")
+            body.add(indent + 1, f"cyc += {taken_cycles}")
+            body.add(indent + 1, f"_tick({taken_cycles})")
+            if looped:
+                self._emit_trace_checks(body, indent + 1, head.start_pc,
+                                        None)
+                body.add(indent + 1, "continue")
+            else:
+                self._trace_boundary_exit(body, indent + 1, target, None)
+            body.add(indent, f"ret += {n}")
+            body.add(indent, f"cyc += {base_total}")
+            body.add(indent, f"_tick({base_total})")
+            self._trace_boundary_exit(body, indent, last_ft, None)
+        else:
+            # Straight trace: the final member exits to its chain_pc with
+            # no boundary checks — the run loop polls before the next
+            # step exactly as it would after an interpreted block.
+            self._emit_trace_body(body, indent, ctxs[m], m, blocks[m])
+            self._trace_boundary_exit(body, indent, blocks[m].chain_pc, m)
+
+        src = self._fused_prologue("\n".join(body.lines))
+        if looped:
+            src.add(1, "while True:")
+        src.lines.extend(body.lines)
         return src.text()
 
     # -- method (bookkeeping) shape -------------------------------------

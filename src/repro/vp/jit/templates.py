@@ -55,13 +55,22 @@ class Ctx:
     renderers shared by all memory emitters.
     """
 
-    def __init__(self, block, direct: bool, fused: bool = False) -> None:
+    def __init__(self, block, direct: bool, fused: bool = False,
+                 base: int = 0, win=None) -> None:
         self.block = block
         self.direct = direct
         #: In the fused self-loop shape, accounting is offset by the
         #: running ``ret``/``cyc`` locals and prior iterations have
         #: already ticked the bus.
         self.fused = fused
+        #: Namespace name offset: instruction ``i`` of this block binds
+        #: ``d_{base+i}`` / ``x_{base+i}``.  Non-zero only for trace
+        #: members, whose blocks share one function namespace.
+        self.base = base
+        #: RAM fast-path window ``(base, end, page_shift)`` captured at
+        #: compile time, or ``None`` — direct-mode memory emitters guard
+        #: on it and fall back to bus dispatch outside it.
+        self.win = win
         self.ops = block.ops
         prefix = [0]
         for op in self.ops:
@@ -111,13 +120,13 @@ class Ctx:
         """``return _trap_exit(...)`` with instruction ``i``'s constants."""
         return (f"return _trap_exit(cpu, {cause}, {tval}, {self.ret_at(i)}, "
                 f"{self.cyc_at(i)}, {self.tick_at(i)}, {self.pc_at(i):#x}, "
-                f"{self.ft_at(i):#x}, d_{i})")
+                f"{self.ft_at(i):#x}, d_{self.base + i})")
 
     def exit_flush(self, i: int) -> str:
         """Accounting flush before re-raising ``MachineExit``."""
         return (f"_exit_flush(cpu, {self.ret_at(i)}, {self.cyc_at(i)}, "
                 f"{self.tick_at(i)}, {self.pc_at(i):#x}, {self.ft_at(i):#x}, "
-                f"d_{i})")
+                f"d_{self.base + i})")
 
 
 Emitter = Callable[[Ctx, int], List[str]]
@@ -244,6 +253,36 @@ def emit_remu(ctx: Ctx, i: int) -> List[str]:
 # ---------------------------------------------------------------------------
 # Memory
 # ---------------------------------------------------------------------------
+#
+# Direct-mode loads/stores emit a softmmu-style RAM fast path when the
+# compiler captured a window: a ``base <= addr <= end - width`` guard
+# (alignment already checked) selects a direct struct read/write on the
+# captured buffer — with the page-dirty update inlined on stores so
+# ``Ram.dirty_pages()`` stays exact — and everything else (MMIO, faults,
+# a swapped-out RAM detected via the ``_ramok`` binding) falls back to
+# the full bus dispatch with the interpreter's trap semantics.
+
+def _addr_lines(ctx: Ctx, d) -> List[str]:
+    """Effective-address computation for the fast-path shape.
+
+    With a window, ``_a`` is left *unmasked*: an overflowing or negative
+    ``rs1 + imm`` can never satisfy ``base <= _a < end`` (RAM sits below
+    2**32), so the in-window fast path sees only values where the mask
+    is a no-op, and the bus fallback re-masks before dispatching.
+    ``_a % width`` is mask-invariant too (2**32 is a multiple of every
+    access width), so the misalignment check also works unmasked.
+    """
+    if ctx.win is None:
+        return [f"_a = ({ctx.r(d.rs1)} + {d.imm}) & 0xFFFFFFFF"]
+    if d.imm:
+        return [f"_a = {ctx.r(d.rs1)} + {d.imm}"]
+    return [f"_a = {ctx.r(d.rs1)}"]
+
+
+def _masked_a(ctx: Ctx) -> str:
+    """The architectural (masked) address for trap ``tval`` rendering."""
+    return "_a" if ctx.win is None else "(_a & 0xFFFFFFFF)"
+
 
 def _load_emitter(width: int, signed: bool) -> Emitter:
     sign_bit = 1 << (width * 8 - 1)
@@ -254,23 +293,49 @@ def _load_emitter(width: int, signed: bool) -> Emitter:
             kwargs = ", signed=True" if signed else ""
             addr = f"({ctx.r(d.rs1)} + {d.imm}) & 0xFFFFFFFF"
             return ctx.w(d.rd, f"cpu.load({addr}, {width}{kwargs})")
-        lines = [f"_a = ({ctx.r(d.rs1)} + {d.imm}) & 0xFFFFFFFF"]
+        lines = _addr_lines(ctx, d)
         if width > 1:
             lines += [f"if _a % {width}:",
-                      f"    {ctx.trap_exit(i, csrdef.CAUSE_MISALIGNED_LOAD, '_a')}"]
-        lines += ["try:",
-                  f"    _v = bload(_a, {width})",
-                  "except BusError:",
-                  f"    {ctx.trap_exit(i, csrdef.CAUSE_LOAD_ACCESS, '_a')}",
-                  "except MachineExit:",
-                  f"    {ctx.exit_flush(i)}",
-                  "    raise"]
+                      f"    {ctx.trap_exit(i, csrdef.CAUSE_MISALIGNED_LOAD, _masked_a(ctx))}"]
+        slow = ["try:",
+                f"    _v = bload(_a, {width})",
+                "except BusError:",
+                f"    {ctx.trap_exit(i, csrdef.CAUSE_LOAD_ACCESS, '_a')}",
+                "except MachineExit:",
+                f"    {ctx.exit_flush(i)}",
+                "    raise",
+                "cpu.mem_bus_loads += 1",
+                # The register write below skips its mask (the fast path
+                # is canonical by construction), so the bus path masks
+                # here — device models may return unmasked values, and
+                # the interpreter's regs.write would canonicalize them.
+                "_v &= 0xFFFFFFFF"]
+        if ctx.win is not None:
+            base, end, _shift = ctx.win
+            if width == 4:
+                read = f"_v = _u4(_mem, _a - {base:#x})[0]"
+            elif width == 1:
+                read = f"_v = _mem[_a - {base:#x}]"
+            else:
+                read = f"_v = _u2(_mem, _a - {base:#x})[0]"
+            lines += [f"if _ramok and {base:#x} <= _a < {end - width + 1:#x}:",
+                      f"    {read}",
+                      "    cpu.mem_fast_loads += 1",
+                      "else:",
+                      "    _a &= 0xFFFFFFFF"]
+            lines += ["    " + line for line in slow]
+        else:
+            lines += slow
         if signed:
             value = f"((_v ^ {sign_bit:#x}) - {sign_bit:#x})"
+            canonical = False
         else:
+            # Loads from the window and from the bus (devices mask to
+            # their width) both produce canonical u32 values already.
             value = "_v"
+            canonical = True
         if d.rd:
-            lines += ctx.w(d.rd, value)
+            lines += ctx.w(d.rd, value, canonical=canonical)
         return lines
     return emit
 
@@ -281,17 +346,38 @@ def _store_emitter(width: int) -> Emitter:
         if not ctx.direct:
             addr = f"({ctx.r(d.rs1)} + {d.imm}) & 0xFFFFFFFF"
             return [f"cpu.store({addr}, {width}, {ctx.r(d.rs2)})"]
-        lines = [f"_a = ({ctx.r(d.rs1)} + {d.imm}) & 0xFFFFFFFF"]
+        lines = _addr_lines(ctx, d)
         if width > 1:
             lines += [f"if _a % {width}:",
-                      f"    {ctx.trap_exit(i, csrdef.CAUSE_MISALIGNED_STORE, '_a')}"]
-        lines += ["try:",
-                  f"    bstore(_a, {width}, {ctx.r(d.rs2)})",
-                  "except BusError:",
-                  f"    {ctx.trap_exit(i, csrdef.CAUSE_STORE_ACCESS, '_a')}",
-                  "except MachineExit:",
-                  f"    {ctx.exit_flush(i)}",
-                  "    raise"]
+                      f"    {ctx.trap_exit(i, csrdef.CAUSE_MISALIGNED_STORE, _masked_a(ctx))}"]
+        slow = ["try:",
+                f"    bstore(_a, {width}, {ctx.r(d.rs2)})",
+                "except BusError:",
+                f"    {ctx.trap_exit(i, csrdef.CAUSE_STORE_ACCESS, '_a')}",
+                "except MachineExit:",
+                f"    {ctx.exit_flush(i)}",
+                "    raise",
+                "cpu.mem_bus_stores += 1"]
+        if ctx.win is not None:
+            base, end, shift = ctx.win
+            # Register values are canonical u32, so only sub-word widths
+            # need a store mask.
+            if width == 4:
+                write = f"_p4(_mem, _o, {ctx.r(d.rs2)})"
+            elif width == 1:
+                write = f"_mem[_o] = {ctx.r(d.rs2)} & 0xFF"
+            else:
+                write = f"_p2(_mem, _o, {ctx.r(d.rs2)} & 0xFFFF)"
+            lines += [f"if _ramok and {base:#x} <= _a < {end - width + 1:#x}:",
+                      f"    _o = _a - {base:#x}",
+                      f"    {write}",
+                      f"    _dirty.add(_o >> {shift})",
+                      "    cpu.mem_fast_stores += 1",
+                      "else:",
+                      "    _a &= 0xFFFFFFFF"]
+            lines += ["    " + line for line in slow]
+        else:
+            lines += slow
         return lines
     return emit
 

@@ -148,6 +148,10 @@ class MachineConfig:
     #: Block executions before the ``compiled`` backend promotes a block
     #: to its JIT tier.  Ignored by the other backends.
     jit_threshold: int = 8
+    #: Compiled-with-hot-chain-edge executions before the ``compiled``
+    #: backend fuses a block chain into a multi-block trace.  Ignored by
+    #: the other backends.
+    jit_trace_threshold: int = 16
 
 
 class Machine:
@@ -186,7 +190,8 @@ class Machine:
         )
         self.cpu.backend = create_backend(
             self.config.backend, self.cpu,
-            threshold=self.config.jit_threshold)
+            threshold=self.config.jit_threshold,
+            trace_threshold=self.config.jit_trace_threshold)
         self.cpu.set_interrupt_poll(self._poll_interrupts)
         self.cpu.set_wfi_wait(self._wfi_wait)
         self.cpu.csrs._time_source = lambda: self.clint.mtime
@@ -356,6 +361,9 @@ class Machine:
             # exact for snapshots taken right after load().
             self.cpu.icache.reset()
         self.cpu.flush_translation_cache()
+        # RAM contents changed underneath any cached fast-path window;
+        # force the CPU to re-derive it before the next direct access.
+        self.cpu.invalidate_ram_window()
         return pages_copied
 
     # ------------------------------------------------------------------
@@ -448,10 +456,12 @@ class Machine:
                 cycles=result.cycles,
             )
             stats = self.jit_stats()
+            metrics = telemetry.metrics
             if stats is not None:
-                metrics = telemetry.metrics
                 for key, value in stats.items():
                     metrics.gauge(f"vp.jit.{key}").set(value)
+            for key, value in self.mem_stats().items():
+                metrics.gauge(f"vp.mem.{key}").set(value)
         return result
 
     def jit_stats(self) -> Optional[dict]:
@@ -459,6 +469,22 @@ class Machine:
         ``None`` — see :class:`repro.vp.jit.JitStats`."""
         stats = getattr(self.cpu.backend, "stats", None)
         return stats.as_dict() if stats is not None else None
+
+    def mem_stats(self) -> dict:
+        """RAM fast-path counters (all backends): direct-window hits vs
+        bus-dispatch fallbacks for guest data accesses, plus the derived
+        hit rate.  Published as ``vp.mem.*`` gauges when telemetry is
+        attached."""
+        cpu = self.cpu
+        fast = cpu.mem_fast_loads + cpu.mem_fast_stores
+        total = fast + cpu.mem_bus_loads + cpu.mem_bus_stores
+        return {
+            "fastpath_loads": cpu.mem_fast_loads,
+            "fastpath_stores": cpu.mem_fast_stores,
+            "fastpath_fallback_loads": cpu.mem_bus_loads,
+            "fastpath_fallback_stores": cpu.mem_bus_stores,
+            "fastpath_hit_rate": round(fast / total, 6) if total else 0.0,
+        }
 
     # ------------------------------------------------------------------
     # Internals

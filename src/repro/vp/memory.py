@@ -14,12 +14,22 @@ RAM image per checkpoint.
 
 from __future__ import annotations
 
+import struct
 from bisect import bisect_right
 from typing import Dict, List, Optional, Set, Tuple
 
 from .trap import BusError
 
 _WIDTH_MASKS = {1: 0xFF, 2: 0xFFFF, 4: 0xFFFFFFFF}
+
+#: Bound little-endian (un)packers for the two multi-byte access widths.
+#: Shared by :class:`Ram`, the CPU's RAM fast path, and the JIT memory
+#: templates — one :class:`struct.Struct` call replaces a bytearray
+#: slice plus ``int.from_bytes``/``to_bytes`` on every aligned access.
+UNPACK_WORD = struct.Struct("<I").unpack_from
+UNPACK_HALF = struct.Struct("<H").unpack_from
+PACK_WORD = struct.Struct("<I").pack_into
+PACK_HALF = struct.Struct("<H").pack_into
 
 #: Default dirty-tracking page size in bytes.  Small enough that short
 #: campaign programs dirty a handful of pages, large enough that the
@@ -105,14 +115,21 @@ class Ram(Device):
     def load(self, offset: int, width: int) -> int:
         if offset < 0 or offset + width > self.size:
             raise BusError(offset, f"RAM load beyond size {self.size:#x}")
-        return int.from_bytes(self.data[offset:offset + width], "little")
+        if width == 4:
+            return UNPACK_WORD(self.data, offset)[0]
+        if width == 1:
+            return self.data[offset]
+        return UNPACK_HALF(self.data, offset)[0]
 
     def store(self, offset: int, width: int, value: int) -> None:
         if offset < 0 or offset + width > self.size:
             raise BusError(offset, f"RAM store beyond size {self.size:#x}")
-        self.data[offset:offset + width] = (value & _WIDTH_MASKS[width]).to_bytes(
-            width, "little"
-        )
+        if width == 4:
+            PACK_WORD(self.data, offset, value & 0xFFFFFFFF)
+        elif width == 1:
+            self.data[offset] = value & 0xFF
+        else:
+            PACK_HALF(self.data, offset, value & 0xFFFF)
         shift = self._page_shift
         first = offset >> shift
         self._dirty.add(first)
@@ -136,7 +153,10 @@ class Ram(Device):
         return bytes(self.data[offset:offset + length])
 
     def fill(self, value: int = 0) -> None:
-        self.data = bytearray([value & 0xFF] * self.size)
+        # Mutate in place: the CPU's RAM fast path caches a reference to
+        # ``self.data``, so the buffer object's identity must be stable
+        # for the lifetime of the Ram (only the bus mapping may change it).
+        self.data[:] = bytes([value & 0xFF]) * self.size
         self._dirty.update(range(self.page_count))
 
 
@@ -156,6 +176,11 @@ class SystemBus:
         #: Devices that actually override :meth:`Device.tick` — the bus
         #: skips the no-op base implementations on the per-block tick.
         self._tickable: List[Device] = []
+        #: Topology generation, bumped on every :meth:`attach` /
+        #: :meth:`replace`.  The CPU compares this against the version it
+        #: cached alongside its RAM fast-path window, so swapping a fault
+        #: wrapper in front of RAM instantly disables direct-buffer access.
+        self.version = 0
 
     def _rebuild_tickable(self) -> None:
         self._tickable = [
@@ -176,6 +201,7 @@ class SystemBus:
         self._regions.sort(key=lambda region: region[0])
         self._bases = [region_base for region_base, _size, _dev in self._regions]
         self._rebuild_tickable()
+        self.version += 1
 
     def replace(self, base: int, device: Device) -> Device:
         """Swap the device mapped at exactly ``base``; returns the old one.
@@ -187,6 +213,7 @@ class SystemBus:
             if region_base == base:
                 self._regions[i] = (region_base, size, device)
                 self._rebuild_tickable()
+                self.version += 1
                 return old
         raise ValueError(f"no device mapped at {base:#x}")
 

@@ -144,3 +144,59 @@ class TestExports:
         rebuilt = Profile(blocks=data["blocks"], interval=data["interval"])
         assert rebuilt.total_est_instructions == \
             data["total_est_instructions"]
+
+
+class TestTierAttribution:
+    # 40-op load/store body -> two translation blocks chained by
+    # fallthrough, which the compiled backend fuses into one trace.
+    TRACE_WORKLOAD = """
+    .text
+start:
+    la   s0, scratch
+    li   t0, 0
+    li   t1, 400
+loop:
+""" + "\n".join(
+        f"    lw   t2, {(k % 8) * 4}(s0)\n"
+        "    add  a0, a0, t2\n"
+        "    xor  t2, t2, t0\n"
+        f"    sw   t2, {(k % 8) * 4}(s0)"
+        for k in range(10)) + """
+    addi t0, t0, 1
+    blt  t0, t1, loop
+    li   a0, 0
+    li   a7, 93
+    ecall
+    .data
+scratch: .word 0, 0, 0, 0, 0, 0, 0, 0
+"""
+
+    def _profile_compiled(self):
+        program = assemble(self.TRACE_WORKLOAD, isa=ISA)
+        machine = Machine(MachineConfig(isa=ISA, backend="compiled",
+                                        jit_threshold=2,
+                                        jit_trace_threshold=4))
+        machine.load(program)
+        profiler = machine.add_plugin(SamplingProfiler(interval=1))
+        result = machine.run(max_instructions=1_000_000)
+        assert result.stop_reason == "exit"
+        assert machine.jit_stats()["traces_compiled"] >= 1
+        return profiler.profile(program, isa=ISA)
+
+    def test_trace_members_are_labelled_trace(self):
+        profile = self._profile_compiled()
+        tiers = {b["start_pc"]: b["tier"] for b in profile.blocks}
+        trace_blocks = [pc for pc, tier in tiers.items()
+                        if tier == "trace"]
+        # The fused loop has a head and at least one member, and the
+        # trace tier dominates the retired-instruction estimate.
+        assert len(trace_blocks) >= 2, tiers
+        by_tier = {}
+        for block in profile.blocks:
+            by_tier[block["tier"]] = (by_tier.get(block["tier"], 0)
+                                      + block["est_instructions"])
+        assert by_tier["trace"] > by_tier.get("interp", 0), by_tier
+
+    def test_render_shows_trace_tier_column(self):
+        profile = self._profile_compiled()
+        assert " trace" in profile.render()

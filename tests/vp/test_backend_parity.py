@@ -112,6 +112,79 @@ def test_suite_program_parity(name, program, hooks):
             f"  {backend}: {results[backend]}")
 
 
+#: A memory-heavy loop long enough to split into multiple translation
+#: blocks: the compiled tier must chain them into a cross-block trace,
+#: and every backend routes the traffic through the RAM fast path.
+TRACE_SOURCE = """
+_start:
+    la s0, scratch
+    li t0, 0
+    li t1, 300
+    li a0, 0
+loop:
+""" + "\n".join(
+    f"    lw t2, {(k % 8) * 4}(s0)\n"
+    "    add a0, a0, t2\n"
+    "    xor t2, t2, t0\n"
+    f"    sw t2, {(k % 8) * 4}(s0)"
+    for k in range(10)) + """
+    addi t0, t0, 1
+    blt t0, t1, loop
+    li a0, 0
+    li a7, 93
+    ecall
+.data
+scratch: .word 0, 0, 0, 0, 0, 0, 0, 0
+"""
+
+
+@pytest.mark.parametrize("hooks", [False, True], ids=["nohooks", "hooks"])
+def test_trace_and_fastpath_parity(hooks):
+    """The trace tier and the RAM fast path are architecturally silent.
+
+    Beyond the usual digest, the memory observables must match: the
+    fast-path/bus access counters (the generated code increments them
+    per access, exactly like :meth:`Cpu.load`/:meth:`Cpu.store`) and the
+    dirty-page set (the fast path marks pages inline).
+    """
+    from repro.asm import assemble
+
+    program = assemble(TRACE_SOURCE, isa=RV32IMC_ZICSR)
+    results = {}
+    observables = {}
+    for backend in BACKEND_NAMES:
+        result, digest, hook_counts, machine = run_one(
+            program, backend, hooks=hooks)
+        results[backend] = (result, digest, hook_counts)
+        mem = machine.mem_stats()
+        observables[backend] = (mem,
+                                tuple(sorted(machine.ram.dirty_pages())))
+        assert mem["fastpath_hit_rate"] > 0, (backend, mem)
+        if backend == "compiled" and not hooks:
+            stats = machine.jit_stats()
+            assert stats["traces_compiled"] >= 1, stats
+            assert stats["trace_instructions"] > \
+                stats["compiled_instructions"], stats
+    for backend in ("fastpath", "compiled"):
+        assert results[backend] == results["interp"], backend
+        assert observables[backend] == observables["interp"], backend
+
+
+@pytest.mark.parametrize("pair", [("interp", "compiled"),
+                                  ("fastpath", "compiled")],
+                         ids=lambda p: "-vs-".join(p))
+def test_lockstep_over_trace_program(pair):
+    """Per-instruction lockstep across the multi-block memory loop."""
+    from repro.asm import assemble
+
+    program = assemble(TRACE_SOURCE, isa=RV32IMC_ZICSR)
+    outcome = run_backend_lockstep(program, backends=pair,
+                                   isa=RV32IMC_ZICSR,
+                                   jit_threshold=JIT_THRESHOLD)
+    assert not outcome.diverged
+    assert outcome.instructions > 0
+
+
 def test_compiled_tier_actually_engages():
     """The parity suite must not silently compare interpreter to itself."""
     # A hot loop long enough to clear the threshold many times over.

@@ -279,7 +279,13 @@ def test_compile_failure_blacklists_block():
     backend = machine.cpu.backend
 
     class Broken:
+        direct = True  # _refresh reads the trace-eligibility shape
+        hb = False
+
         def compile(self, block):
+            raise CompileError("forced failure")
+
+        def compile_trace(self, blocks):
             raise CompileError("forced failure")
 
     backend._compiler = Broken()
@@ -378,3 +384,247 @@ def test_budget_split_parity():
         return outcomes
 
     assert run("compiled") == run("fastpath") == run("interp")
+
+
+# ----------------------------------------------------------------------
+# Trace tier
+# ----------------------------------------------------------------------
+
+#: Body long enough (40 ops) that the loop splits into two translation
+#: blocks — the minimal shape that exercises cross-block traces.
+MULTI_BLOCK_LOOP = """
+_start:
+    la s0, scratch
+    li t0, 0
+    li t1, {iters}
+    li a0, 0
+loop:
+""" + "\n".join(
+    f"    lw t2, {(k % 8) * 4}(s0)\n"
+    "    add a0, a0, t2\n"
+    "    xor t2, t2, t0\n"
+    f"    sw t2, {(k % 8) * 4}(s0)"
+    for k in range(10)) + """
+    addi t0, t0, 1
+    blt t0, t1, loop
+    li a0, 0
+    li a7, 93
+    ecall
+.data
+scratch: .word 0, 0, 0, 0, 0, 0, 0, 0
+"""
+
+MULTI_BLOCK_TIMER = """
+_start:
+    la t0, handler
+    csrw mtvec, t0
+    li t0, 0x0200BFF8
+    lw t1, 0(t0)
+    li t2, {delta}
+    add t1, t1, t2
+    li t0, 0x02004000
+    sw t1, 0(t0)
+    sw zero, 4(t0)
+    li t0, 0x80
+    csrw mie, t0
+    la s0, scratch
+    li s2, 1
+    csrsi mstatus, 8
+spin:
+""" + "\n".join(
+    f"    lw s1, {(k % 4) * 4}(s0)\n"
+    "    addi s1, s1, 1\n"
+    f"    sw s1, {(k % 4) * 4}(s0)"
+    for k in range(12)) + """
+    blt zero, s2, spin
+handler:
+    csrr a0, mcause
+    li a7, 93
+    ecall
+.data
+scratch: .word 0, 0, 0, 0
+"""
+
+
+def trace_machine(iters=400, **kwargs):
+    kwargs.setdefault("jit_trace_threshold", 4)
+    machine = compiled_machine(threshold=2, **kwargs)
+    machine.load(assemble(MULTI_BLOCK_LOOP.format(iters=iters),
+                          isa=RV32IMC_ZICSR))
+    return machine
+
+
+def test_trace_forms_over_hot_chain():
+    machine = trace_machine()
+    result = machine.run(max_instructions=1_000_000)
+    assert result.stop_reason == "exit"
+    stats = machine.jit_stats()
+    assert stats["traces_compiled"] == 1
+    assert stats["trace_failures"] == 0
+    # Once formed, the trace carries the loop: it retires more than the
+    # per-block compiled tier and the interp warm-up combined.
+    assert stats["trace_instructions"] > (stats["compiled_instructions"]
+                                          + stats["interp_instructions"])
+    heads = [block for block in machine.cpu._tb_cache.values()
+             if block.trace is not None]
+    assert len(heads) == 1
+    backend = machine.cpu.backend
+    assert heads[0].trace_token == backend._token
+    members = [block for block in machine.cpu._tb_cache.values()
+               if block.trace_member]
+    assert len(members) >= 2
+
+
+def test_trace_source_attached_for_introspection():
+    machine = trace_machine()
+    machine.run(max_instructions=1_000_000)
+    head = next(block for block in machine.cpu._tb_cache.values()
+                if block.trace is not None)
+    source = head.trace.__jit_source__
+    # The code object's filename carries the head address, so tracebacks
+    # through trace code are attributable, like per-block functions.
+    assert head.trace.__code__.co_filename == \
+        f"<jit-trace:{head.start_pc:#x}>"
+    # The loop-shaped trace re-enters its own head without leaving the
+    # function, and its memory ops carry the inline fast-path guards.
+    assert "while True:" in source
+    assert "_ramok" in source and "_dirty.add" in source
+
+
+def test_trace_threshold_gates_formation():
+    machine = trace_machine(jit_trace_threshold=10**9)
+    result = machine.run(max_instructions=1_000_000)
+    assert result.stop_reason == "exit"
+    stats = machine.jit_stats()
+    assert stats["traces_compiled"] == 0
+    assert stats["trace_instructions"] == 0
+
+
+def test_trace_threshold_validated():
+    with pytest.raises(ValueError):
+        CompiledBackend(Machine(MachineConfig(isa=RV32IMC_ZICSR)).cpu,
+                        trace_threshold=0)
+
+
+def test_self_loop_blocks_do_not_trace():
+    """A single-block self-loop is already optimal as a batched fused
+    loop — branch-terminated blocks have no static chain edge, so the
+    trace walk never considers them and nothing is charged as a
+    failure."""
+    machine, result = run_asm(HOT_LOOP, backend="compiled",
+                              jit_threshold=1, jit_trace_threshold=1)
+    assert result.stop_reason == "exit"
+    stats = machine.jit_stats()
+    assert stats["traces_compiled"] == 0
+    assert stats["trace_failures"] == 0
+
+
+#: The 32-op head chains into a block whose body holds an untemplated
+#: CSR read: structurally untraceable, so the walk must blacklist the
+#: head instead of re-walking the chain every execution.
+UNTRACEABLE_CHAIN = """
+_start:
+    li t0, 0
+    li t1, 200
+    li a0, 0
+loop:
+""" + "\n".join("    add a0, a0, t0\n    xor a1, a1, a0"
+                for _ in range(16)) + """
+    csrr t3, mscratch
+    add a0, a0, t3
+    addi t0, t0, 1
+    blt t0, t1, loop
+    li a0, 0
+    li a7, 93
+    ecall
+"""
+
+
+def test_untraceable_chain_blacklists_head():
+    machine = compiled_machine(threshold=2, jit_trace_threshold=4)
+    machine.load(assemble(UNTRACEABLE_CHAIN, isa=RV32IMC_ZICSR))
+    result = machine.run(max_instructions=1_000_000)
+    assert result.stop_reason == "exit"
+    stats = machine.jit_stats()
+    assert stats["traces_compiled"] == 0
+    # Exactly one failed walk, then the head is blacklisted for good.
+    assert stats["trace_failures"] == 1
+    assert machine.cpu.backend._no_trace
+
+
+def test_hook_attach_prevents_tracing():
+    """Instruction hooks force the method shape; traces (whose interior
+    exits cannot replay per-block hook ordering) must not form."""
+    machine = trace_machine()
+
+    from repro.vp import Plugin
+
+    class P(Plugin):
+        name = "insn-counter"
+
+        def on_insn_exec(self, cpu, decoded, pc):
+            pass
+
+    machine.add_plugin(P())
+    result = machine.run(max_instructions=1_000_000)
+    assert result.stop_reason == "exit"
+    assert machine.jit_stats()["traces_compiled"] == 0
+
+
+def test_trace_budget_split_parity():
+    """Budget exhaustion exits a trace at a member boundary — the same
+    block-granular overshoot the interpreter's run loop has."""
+    splits = (7, 93, 1000, 900, 17, 50_000)
+
+    def run(backend):
+        kwargs = {"backend": backend}
+        if backend == "compiled":
+            kwargs["jit_threshold"] = 2
+            kwargs["jit_trace_threshold"] = 4
+        machine = Machine(MachineConfig(isa=RV32IMC_ZICSR, **kwargs))
+        machine.load(assemble(MULTI_BLOCK_LOOP.format(iters=400),
+                              isa=RV32IMC_ZICSR))
+        outcomes = []
+        for budget in splits:
+            result = machine.run(max_instructions=budget)
+            outcomes.append((result.stop_reason, result.instructions,
+                             result.cycles, machine.cpu.pc))
+        return outcomes, machine.jit_stats()
+
+    compiled, stats = run("compiled")
+    assert stats["traces_compiled"] >= 1
+    assert compiled == run("interp")[0] == run("fastpath")[0]
+
+
+@pytest.mark.parametrize("delta", [40, 173, 1009, 5003])
+def test_timer_interrupt_lands_identically_in_trace(delta):
+    """The trace polls interrupts at member boundaries, exactly where
+    the interpreter's run loop polls between blocks."""
+    def run(backend):
+        kwargs = {"backend": backend, "max_instructions": 200_000}
+        if backend == "compiled":
+            kwargs["jit_threshold"] = 2
+            kwargs["jit_trace_threshold"] = 4
+        machine, result = run_asm(MULTI_BLOCK_TIMER.format(delta=delta),
+                                  **kwargs)
+        return (result.stop_reason, result.exit_code, result.instructions,
+                result.cycles, machine.cpu.regs.snapshot(),
+                machine.cpu.csrs.read(0x342),   # mcause
+                machine.cpu.csrs.read(0x341))   # mepc
+
+    compiled = run("compiled")
+    assert compiled == run("interp")
+    assert compiled[5] == 0x80000007  # machine timer interrupt
+
+
+def test_flush_discards_trace_state():
+    machine = trace_machine()
+    first = machine.run(max_instructions=5_000)
+    assert first.stop_reason == "max_insns"
+    assert machine.jit_stats()["traces_compiled"] == 1
+    machine.cpu.flush_translation_cache()
+    assert not machine.cpu._tb_cache
+    # The program re-translates, re-compiles, and re-traces.
+    result = machine.run(max_instructions=1_000_000)
+    assert result.stop_reason == "exit"
+    assert machine.jit_stats()["traces_compiled"] == 2
