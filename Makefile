@@ -7,7 +7,7 @@
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: test bench bench-report bench-smoke fuzz-smoke jit-smoke cluster-smoke examples experiments clean
+.PHONY: test bench bench-report bench-smoke fuzz-smoke jit-smoke cluster-smoke verify-smoke examples experiments clean
 
 test:
 	$(PYTHON) -m pytest tests/
@@ -37,6 +37,12 @@ jit-smoke:
 # campaign byte-identical to the single-process run, graceful drain.
 cluster-smoke:
 	$(PYTHON) examples/cluster_smoke.py
+
+# Differential verification smoke: clean interp~compiled matrix over a
+# seeded corpus, then a seeded-bug canary must be caught, lockstep-
+# pinpointed, and minimized.
+verify-smoke:
+	$(PYTHON) examples/verify_smoke.py
 
 # Run every example script (each asserts its own expected behaviour).
 examples:

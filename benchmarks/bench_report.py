@@ -31,6 +31,10 @@ numbers the performance work is judged by:
   coordinator — per-job results are asserted identical across the two
   cluster shapes before the scaling factor is recorded (``null`` plus a
   note on single-CPU hosts, where no scaling is observable);
+* ``differential_matrix`` — differential-verification throughput
+  (programs/sec per configuration pair) over a seeded torture corpus,
+  with per-pair escalation counts that must all be zero — the report
+  fails loudly if any configuration pair disagrees on this host;
 * ``qta_overhead_factor`` — slowdown when the QTA timing plugin rides
   along, which must stay a small bounded factor;
 * ``telemetry_overhead`` — cost of disabled telemetry and of the idle
@@ -617,6 +621,42 @@ def measure_cluster_scaling(job_count: int, mutants: int):
     return entry
 
 
+def measure_differential_matrix(programs: int, smoke: bool):
+    """Differential-verification throughput: programs/sec per pair.
+
+    Runs one seeded campaign per matrix pair over a torture corpus and
+    records comparison throughput plus the escalation count — which must
+    be zero: a bench host measuring a diverging emulator is reporting
+    the speed of broken code, so any divergence fails the report loudly.
+    """
+    from repro.verify import DiffCampaign, VerifyCampaignConfig
+
+    pair_specs = ["interp:fastpath", "interp:compiled",
+                  "fastpath:compiled", "fastpath:nocache"]
+    if not smoke:
+        pair_specs += ["compiled:compiled+traces", "fastpath:ckpt-resume"]
+    corpus = f"torture:{programs}"
+    entry = {"corpus": corpus, "programs": programs, "pairs": {}}
+    total_escalations = 0
+    for spec in pair_specs:
+        campaign = DiffCampaign(RV32IMC_ZICSR, VerifyCampaignConfig(
+            corpus=corpus, matrix=spec, seed=0))
+        result = campaign.run()
+        total_escalations += result.divergences
+        entry["pairs"][spec] = {
+            "programs_per_second": round(
+                programs / result.elapsed_seconds, 2)
+            if result.elapsed_seconds else None,
+            "escalations": result.divergences,
+        }
+    entry["total_escalations"] = total_escalations
+    if total_escalations:
+        raise RuntimeError(
+            f"differential matrix found {total_escalations} divergence(s) "
+            f"on this host: {entry}")
+    return entry
+
+
 def build_report(smoke: bool) -> dict:
     iters = 2_000 if smoke else 20_000
     repeats = 1 if smoke else 3
@@ -654,6 +694,8 @@ def build_report(smoke: bool) -> dict:
         "cluster_scaling": measure_cluster_scaling(
             job_count=4 if smoke else 8,
             mutants=6 if smoke else 20),
+        "differential_matrix": measure_differential_matrix(
+            programs=6 if smoke else 30, smoke=smoke),
     }
     return report
 

@@ -295,6 +295,43 @@ def cmd_fuzz(args) -> int:
     return 0
 
 
+def cmd_verify(args) -> int:
+    import json
+
+    from .telemetry import current_telemetry
+    from .verify import DiffCampaign, VerifyCampaignConfig
+
+    isa = _isa(args)
+    config = VerifyCampaignConfig(
+        corpus=args.corpus,
+        matrix=args.matrix,
+        seed=args.seed,
+        max_instructions=args.max_instructions,
+        repeats=args.repeats,
+        checkpoint_split=args.checkpoint_split,
+        minimize_evals=args.minimize_evals,
+        jobs=args.jobs,
+    )
+    campaign = DiffCampaign(isa, config)
+    total = len(campaign.corpus())
+    on_progress = None
+    if current_telemetry().enabled:
+        pairs = len(campaign.matrix.pairs)
+
+        def on_progress(done):
+            print(f"\r  {done}/{total} programs x {pairs} pairs ",
+                  end="", file=sys.stderr, flush=True)
+    result = campaign.run(on_progress=on_progress)
+    if on_progress is not None:
+        print(file=sys.stderr)
+    if args.json:
+        print(json.dumps(result.to_dict(), indent=2, sort_keys=True))
+    else:
+        print(result.table())
+    # Non-zero on any divergence so campaigns gate CI directly.
+    return 0 if result.divergences == 0 else 1
+
+
 def cmd_profile(args) -> int:
     from .observe import SamplingProfiler
     from .vp.machine import Machine, MachineConfig
@@ -469,13 +506,28 @@ def cmd_submit(args) -> int:
     import json
 
     from .serve.client import BackpressureError, ServiceClient
+    from .serve.executors import job_kinds
 
+    # Fail fast client-side: the kind registry the service dispatches
+    # from is importable here, so an unknown kind never costs an HTTP
+    # round-trip (the server still validates for non-CLI clients).
+    valid_kinds = job_kinds()
+    if args.kind not in valid_kinds:
+        print(f"error: unknown job kind {args.kind!r}; valid kinds: "
+              f"{', '.join(valid_kinds)}", file=sys.stderr)
+        return 2
     if args.kind == "fuzz":
         # Fuzz jobs need no source program: the seed corpus is generated
         # service-side from the testgen suites (or a trivial seed).
         payload = {"isa": args.isa, "iterations": args.iterations,
                    "seed": args.seed, "jobs": args.jobs,
                    "seeds": args.fuzz_seeds}
+    elif args.kind == "verify":
+        # Verify jobs likewise carry no source: the corpus spec names
+        # the programs, rebuilt service-side deterministically.
+        payload = {"isa": args.isa, "corpus": args.corpus,
+                   "matrix": args.matrix, "seed": args.seed,
+                   "jobs": args.jobs}
     else:
         payload = {"source": _read_source(args.source), "isa": args.isa}
     if args.kind in ("vp_run", "fault_campaign", "fuzz"):
@@ -716,6 +768,44 @@ def build_parser() -> argparse.ArgumentParser:
     telemetry_flags(p)
     p.set_defaults(func=cmd_fuzz)
 
+    p = sub.add_parser("verify",
+                       help="differential verification campaign "
+                            "(corpus x configuration matrix)")
+    p.add_argument("--isa", default="rv32imc_zicsr",
+                   help="ISA configuration (default: rv32imc_zicsr)")
+    p.add_argument("--corpus", default="suites",
+                   help="program corpus: 'suites' (the three testgen "
+                        "suites), 'torture:N', 'fuzz:N' (mutated suite "
+                        "seeds), or 'file:PATH' (JSONL word lists)")
+    p.add_argument("--matrix", default="backends",
+                   help="comma-separated axes (backends, cache, icache, "
+                        "traces, checkpoint) and/or explicit 'a:b' "
+                        "configuration pairs, e.g. interp:compiled "
+                        "(default: backends)")
+    p.add_argument("--seed", type=int, default=0,
+                   help="corpus PRNG seed; the same seed always builds "
+                        "the same corpus")
+    p.add_argument("--max-instructions", type=int, default=20_000,
+                   help="per-run instruction budget (default: 20000)")
+    p.add_argument("--repeats", type=int, default=4, metavar="N",
+                   help="repeat-loop iterations wrapped around each "
+                        "program so JIT tiers engage (default: 4)")
+    p.add_argument("--checkpoint-split", type=int, default=200,
+                   metavar="N",
+                   help="checkpoint axis: snapshot/restore point in "
+                        "instructions (default: 200)")
+    p.add_argument("--minimize-evals", type=int, default=24, metavar="N",
+                   help="lockstep re-runs budgeted per divergence "
+                        "minimization (default: 24)")
+    p.add_argument("--jobs", type=int, default=1, metavar="N",
+                   help="worker processes over program ranges (1 = "
+                        "in-process, 0 = auto-detect CPUs; results are "
+                        "identical regardless of job count)")
+    p.add_argument("--json", action="store_true",
+                   help="print the full machine-readable report")
+    telemetry_flags(p)
+    p.set_defaults(func=cmd_verify)
+
     p = sub.add_parser("gen", help="emit generated test programs")
     p.add_argument("kind", choices=("torture", "structured", "arch", "unit"))
     p.add_argument("--isa", default="rv32imc_zicsr")
@@ -795,9 +885,15 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--url", default="http://127.0.0.1:8972",
                    help="service base URL")
     p.add_argument("--kind", default="vp_run",
-                   choices=("vp_run", "fault_campaign", "coverage", "wcet",
-                            "fuzz"))
+                   help="job kind (vp_run, fault_campaign, coverage, "
+                        "wcet, fuzz, verify, ...); unknown kinds fail "
+                        "fast with the registry listing")
     p.add_argument("--isa", default="rv32imc_zicsr")
+    p.add_argument("--corpus", default="suites",
+                   help="verify: program corpus spec (source arg is "
+                        "ignored; pass -)")
+    p.add_argument("--matrix", default="backends",
+                   help="verify: configuration matrix spec")
     p.add_argument("--mutants", type=int, default=100,
                    help="fault_campaign: mutant count")
     p.add_argument("--seed", type=int, default=0)
@@ -830,8 +926,9 @@ def build_parser() -> argparse.ArgumentParser:
                         "worker -> VP) and export the merged Chrome "
                         "trace; requires --wait")
     p.add_argument("--shards", type=int, default=1, metavar="N",
-                   help="cluster coordinator: split a fault_campaign/fuzz "
-                        "job into N shards (results stay byte-identical)")
+                   help="cluster coordinator: split a fault_campaign/"
+                        "fuzz/verify job into N shards (results stay "
+                        "byte-identical)")
     p.add_argument("--tenant", default=None,
                    help="tenant name for coordinator per-tenant quotas")
     p.set_defaults(func=cmd_submit, _no_telemetry_flags=True)

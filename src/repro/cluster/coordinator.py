@@ -459,7 +459,7 @@ class ClusterCoordinator:
 
     def _maybe_finalize(self, job_id: str) -> None:
         """Resolve a statically-sharded job once all its items landed."""
-        from .shards import merge_campaign_shards
+        from .shards import merge_job_shards
 
         job = self.jobs.get(job_id)
         with self._lock:
@@ -479,8 +479,8 @@ class ClusterCoordinator:
         if len(items) == 1 and items[0].kind == job.spec.kind:
             job.mark_succeeded(items[0].result)
         else:
-            job.mark_succeeded(merge_campaign_shards(
-                [item.result for item in items]))
+            job.mark_succeeded(merge_job_shards(
+                job.spec.kind, [item.result for item in items]))
         self._job_finished(job)
 
     def _job_finished(self, job: Job) -> None:

@@ -8,14 +8,18 @@ the merged result is byte-identical to a single-process run of the same
 spec (pinned by ``tests/cluster/test_parity.py``).
 
 * :func:`plan_shards` maps a :class:`~repro.serve.jobs.JobSpec` to its
-  work items.  Campaigns split into ``fault_campaign_shard`` items over
-  contiguous fault-index ranges (:func:`repro.serve.executors.shard_bounds`);
-  everything else (and ``shards=1``) is a single passthrough item.
-  Fuzz jobs are *dynamically* sharded per batch by the coordinator's
-  fuzz driver and deliberately return a plan marker here.
-* :func:`merge_campaign_shards` restores submission order (shard index)
-  and rebuilds the exact single-process result envelope via the shared
-  :func:`~repro.serve.executors.campaign_result_dict`.
+  work items.  Fault campaigns split into ``fault_campaign_shard``
+  items over contiguous fault-index ranges and verify campaigns into
+  ``verify_shard`` items over contiguous program ranges (both via
+  :func:`repro.serve.executors.shard_bounds`); everything else (and
+  ``shards=1``) is a single passthrough item.  Fuzz jobs are
+  *dynamically* sharded per batch by the coordinator's fuzz driver and
+  deliberately return a plan marker here.
+* :func:`merge_job_shards` restores submission order (shard index) and
+  rebuilds the exact single-process result envelope via the same shared
+  builders the passthrough executors use
+  (:func:`~repro.serve.executors.campaign_result_dict`,
+  :func:`~repro.verify.verify_report_dict`).
 """
 
 from __future__ import annotations
@@ -28,12 +32,18 @@ __all__ = [
     "FUZZ_DRIVER",
     "SHARDABLE_KINDS",
     "merge_campaign_shards",
+    "merge_job_shards",
+    "merge_verify_shards",
     "plan_shards",
     "shard_count_for",
 ]
 
 #: Kinds the coordinator may split when ``spec.shards > 1``.
-SHARDABLE_KINDS = ("fault_campaign", "fuzz")
+SHARDABLE_KINDS = ("fault_campaign", "fuzz", "verify")
+
+#: Statically sharded kind -> its per-shard work-item kind.
+_SHARD_KINDS = {"fault_campaign": "fault_campaign_shard",
+                "verify": "verify_shard"}
 
 #: Plan marker: the job is driven by the coordinator's fuzz loop, which
 #: shards each evaluation batch dynamically (no static work items).
@@ -48,6 +58,17 @@ def shard_count_for(spec: JobSpec) -> int:
         mutants = spec.payload.get("mutants", 100)
         if isinstance(mutants, int) and not isinstance(mutants, bool):
             return max(1, min(spec.shards, mutants))
+    if spec.kind == "verify":
+        from ..verify import corpus_size_hint
+
+        corpus = spec.payload.get("corpus", "suites")
+        try:
+            hint = corpus_size_hint(corpus) if isinstance(corpus, str) \
+                else None
+        except ValueError:
+            hint = None  # bad spec surfaces as ExecutorError at execution
+        if hint is not None:
+            return max(1, min(spec.shards, hint))
     return spec.shards
 
 
@@ -67,7 +88,7 @@ def plan_shards(spec: JobSpec) -> List[Dict[str, Any]]:
         return [{"kind": spec.kind, "payload": spec.payload,
                  "shard_index": 0, "shard_count": 1}]
     return [
-        {"kind": "fault_campaign_shard",
+        {"kind": _SHARD_KINDS[spec.kind],
          "payload": {**spec.payload,
                      "shard_count": count, "shard_index": index},
          "shard_index": index,
@@ -89,13 +110,7 @@ def merge_campaign_shards(shard_results: List[Dict[str, Any]]
     """
     from ..serve.executors import campaign_result_dict
 
-    if not shard_results:
-        raise ValueError("cannot merge zero campaign shards")
-    ordered = sorted(shard_results, key=lambda s: s["shard_index"])
-    indices = [s["shard_index"] for s in ordered]
-    if indices != list(range(ordered[0]["shard_count"])):
-        raise ValueError(f"incomplete shard set: got indices {indices}, "
-                         f"expected 0..{ordered[0]['shard_count'] - 1}")
+    ordered = _ordered_shards(shard_results, "campaign")
     results: List[Dict[str, Any]] = []
     for shard in ordered:
         results.extend(shard["results"])
@@ -104,3 +119,56 @@ def merge_campaign_shards(shard_results: List[Dict[str, Any]]
     campaign_dict = {"golden": golden, "results": results,
                      "elapsed_seconds": elapsed}
     return campaign_result_dict(golden, campaign_dict)
+
+
+def merge_verify_shards(shard_results: List[Dict[str, Any]]
+                        ) -> Dict[str, Any]:
+    """Rebuild the single-process verify report from shard results.
+
+    Each element is one ``verify_shard`` executor return value.  Every
+    shard rebuilt the identical seeded corpus and matrix (the ``meta``
+    dicts agree, including the corpus digest), so concatenating the
+    escalation lists in shard-index order — contiguous program ranges —
+    and re-running the shared report builder reproduces the exact
+    single-process report.  Elapsed time is the summed shard compute
+    time (wall-clock, stripped by parity comparisons).
+    """
+    from ..verify import verify_report_dict
+
+    ordered = _ordered_shards(shard_results, "verify")
+    meta = ordered[0]["meta"]
+    for shard in ordered[1:]:
+        if shard["meta"] != meta:
+            raise ValueError(
+                f"verify shard {shard['shard_index']} disagrees on the "
+                f"campaign meta (corpus digest "
+                f"{shard['meta'].get('corpus_digest')} vs "
+                f"{meta.get('corpus_digest')})")
+    escalations: List[Dict[str, Any]] = []
+    for shard in ordered:
+        escalations.extend(shard["escalations"])
+    elapsed = round(sum(s["elapsed_seconds"] for s in ordered), 6)
+    return verify_report_dict(meta, escalations, elapsed)
+
+
+def merge_job_shards(kind: str,
+                     shard_results: List[Dict[str, Any]]) -> Dict[str, Any]:
+    """Merge shard results for a job of ``kind`` (the coordinator's
+    single dispatch point for every statically sharded kind)."""
+    if kind == "fault_campaign":
+        return merge_campaign_shards(shard_results)
+    if kind == "verify":
+        return merge_verify_shards(shard_results)
+    raise ValueError(f"job kind {kind!r} has no shard merge")
+
+
+def _ordered_shards(shard_results: List[Dict[str, Any]],
+                    what: str) -> List[Dict[str, Any]]:
+    if not shard_results:
+        raise ValueError(f"cannot merge zero {what} shards")
+    ordered = sorted(shard_results, key=lambda s: s["shard_index"])
+    indices = [s["shard_index"] for s in ordered]
+    if indices != list(range(ordered[0]["shard_count"])):
+        raise ValueError(f"incomplete shard set: got indices {indices}, "
+                         f"expected 0..{ordered[0]['shard_count'] - 1}")
+    return ordered

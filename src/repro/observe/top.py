@@ -174,6 +174,22 @@ def render_top(status: ServiceStatus, url: str = "",
         rate = _metric(metrics, "repro_vp_mem_fastpath_hit_rate")
         lines.append(f"mem    fastpath:{fast:.0f} ({rate:.1%} hit)"
                      f"  bus:{bus:.0f}")
+    # verify.* counters: published once a verify job has compared
+    # anything on this service (or a worker that reported through it).
+    if "repro_verify_comparisons_total" in metrics:
+        lines.append("")
+        lines.append("--- verify ---")
+        lines.append(
+            f"progs:"
+            f"{_metric(metrics, 'repro_verify_programs_total'):.0f}"
+            f"  comparisons:"
+            f"{_metric(metrics, 'repro_verify_comparisons_total'):.0f}"
+            f"  divergences:"
+            f"{_metric(metrics, 'repro_verify_divergences_total'):.0f}"
+            f"  escalations:"
+            f"{_metric(metrics, 'repro_verify_escalations_total'):.0f}"
+            f"  findings:"
+            f"{_metric(metrics, 'repro_verify_findings'):.0f}")
     cluster = health.get("cluster")
     if cluster:
         work = cluster.get("work", {})

@@ -17,13 +17,17 @@ Built-in kinds:
 ``coverage``     instruction/register coverage of one program
 ``wcet``         full QTA flow: static bound + co-simulation
 ``fuzz``         coverage-guided fuzzing session (``repro fuzz``)
+``verify``       differential verification campaign (``repro verify``):
+                 corpus x configuration matrix with lockstep escalation
 ``fault_campaign_shard`` one deterministic slice of a campaign's fault
                  list (cluster work unit; see :mod:`repro.cluster`)
 ``fuzz_eval``    evaluate a batch of fuzz inputs and return their
                  signatures/classifications (cluster work unit)
+``verify_shard`` one contiguous program range of a verify campaign
+                 (cluster work unit)
 ================ =====================================================
 
-The two ``*_shard``/``*_eval`` kinds are the cluster fabric's work
+The ``*_shard``/``*_eval`` kinds are the cluster fabric's work
 units: a coordinator decomposes a campaign or fuzz job into them with a
 plan derived *only* from the job spec, so however many nodes execute
 them the order-restored merge is byte-identical to a single-process
@@ -463,6 +467,100 @@ def run_fuzz_eval(payload: Dict[str, Any], ctx: JobContext) -> Dict[str, Any]:
             ctx.check()
             results.append(evaluator.evaluate(tuple(words)).to_dict())
     return {"results": results, "count": len(results)}
+
+
+def verify_session_from_payload(payload: Dict[str, Any]):
+    """The :class:`~repro.verify.DiffCampaign` a ``verify`` payload
+    describes.
+
+    Shared by the whole-campaign executor, the per-shard executor, and
+    the cluster merge's validation — campaigns are pure functions of
+    ``(isa, config)``, so one shared construction path is what makes the
+    sharded report byte-identical to a single-process run.
+    """
+    from ..verify import DiffCampaign, VerifyCampaignConfig
+
+    isa = _isa_for(payload)
+    corpus = payload.get("corpus", "suites")
+    matrix = payload.get("matrix", "backends")
+    for name, value in (("corpus", corpus), ("matrix", matrix)):
+        if not isinstance(value, str) or not value.strip():
+            raise ExecutorError(
+                f"payload field {name!r} must be a non-empty string")
+    config = VerifyCampaignConfig(
+        corpus=corpus,
+        matrix=matrix,
+        seed=_int_field(payload, "seed", 0),
+        max_instructions=_int_field(payload, "max_instructions", 20_000,
+                                    minimum=1),
+        repeats=_int_field(payload, "repeats", 4, minimum=1),
+        checkpoint_split=_int_field(payload, "checkpoint_split", 200,
+                                    minimum=1),
+        minimize_evals=_int_field(payload, "minimize_evals", 24),
+        # jobs=1 keeps a service job single-process (the pool provides
+        # the concurrency); jobs=0 auto-detects CPUs.
+        jobs=_int_field(payload, "jobs", 1, minimum=0),
+    )
+    try:
+        campaign = DiffCampaign(isa, config)
+        campaign.corpus()  # surface bad corpus specs as bad requests
+    except (ValueError, OSError) as exc:
+        raise ExecutorError(str(exc)) from exc
+    return campaign
+
+
+@register_executor("verify")
+def run_verify_job(payload: Dict[str, Any], ctx: JobContext) -> Dict[str, Any]:
+    """Differential verification campaign; returns the canonical report
+    (:func:`repro.verify.verify_report_dict`).  Like ``fuzz``, no
+    ``source`` — the corpus spec names the programs."""
+    campaign = verify_session_from_payload(payload)
+    ctx.check()
+
+    def on_progress(done):
+        ctx.check()
+
+    return campaign.run(on_progress=on_progress,
+                        progress_interval=0.2).to_dict()
+
+
+@register_executor("verify_shard")
+def run_verify_shard(payload: Dict[str, Any],
+                     ctx: JobContext) -> Dict[str, Any]:
+    """One contiguous program range of a verify campaign (cluster work
+    unit).
+
+    The payload is a whole ``verify`` payload plus ``shard_index`` /
+    ``shard_count``; the node rebuilds the same seeded corpus and
+    matrix, then verifies only its ``[lo, hi)`` programs.  Per-program
+    comparisons are independent, so concatenating shard escalation lists
+    in index order reproduces the single-process campaign exactly.
+    """
+    import time
+
+    shard_count = _int_field(payload, "shard_count", 1, minimum=1)
+    shard_index = _int_field(payload, "shard_index", 0)
+    if shard_index >= shard_count:
+        raise ExecutorError(f"shard_index {shard_index} out of range for "
+                            f"shard_count {shard_count}")
+    campaign = verify_session_from_payload(payload)
+    lo, hi = shard_bounds(len(campaign.corpus()), shard_count, shard_index)
+    ctx.check()
+    started = time.perf_counter()
+
+    def on_progress(done):
+        ctx.check()
+
+    escalations = campaign.run_range(lo, hi, on_progress=on_progress)
+    return {
+        "shard_index": shard_index,
+        "shard_count": shard_count,
+        "lo": lo,
+        "hi": hi,
+        "meta": campaign.meta(),
+        "escalations": escalations,
+        "elapsed_seconds": round(time.perf_counter() - started, 6),
+    }
 
 
 @register_executor("coverage")

@@ -1,0 +1,41 @@
+"""Differential verification campaigns (V&V-in-the-loop).
+
+Runs deterministic program corpora under a matrix of machine
+configurations — execution backends, caches, JIT trace fusion,
+checkpoint-restore — comparing full architectural state per program and
+escalating every divergence to a lockstep-pinpointed, signature-
+preserving minimized repro.  See ``docs/verification.md``.
+"""
+
+from .campaign import (DiffCampaign, RepeatBuilder, VerifyCampaignConfig,
+                       VerifyResult, build_corpus, corpus_size_hint)
+from .digest import StateDigest, capture_state, compare_digests
+from .escalate import EscalationRecord, divergence_signature, \
+    escalate_divergence
+from .matrix import (AXES, CONFIGS, ConfigPair, VerifyConfig, VerifyMatrix,
+                     parse_matrix)
+from .report import corpus_digest, render_verify, verify_report_dict
+
+__all__ = [
+    "AXES",
+    "CONFIGS",
+    "ConfigPair",
+    "DiffCampaign",
+    "EscalationRecord",
+    "RepeatBuilder",
+    "StateDigest",
+    "VerifyCampaignConfig",
+    "VerifyConfig",
+    "VerifyMatrix",
+    "VerifyResult",
+    "build_corpus",
+    "capture_state",
+    "compare_digests",
+    "corpus_digest",
+    "corpus_size_hint",
+    "divergence_signature",
+    "escalate_divergence",
+    "parse_matrix",
+    "render_verify",
+    "verify_report_dict",
+]

@@ -1,0 +1,202 @@
+"""Escalation: digest divergence -> lockstep pinpoint -> minimized repro.
+
+When a campaign finds two configurations disagreeing on the golden
+digest of a program, the pair is automatically re-run under
+per-instruction lockstep (:mod:`repro.vp.lockstep`) to pinpoint the
+*first* diverging instruction — its index, pc, disassembly, and the
+register delta.  The witness program is then minimized greedily while a
+**divergence signature** is preserved, so the shrunk repro provably
+still triggers the same class of bug:
+
+* lockstep-confirmed divergence: ``kind : differing-registers : culprit
+  mnemonic`` (e.g. ``registers:x10:add``);
+* digest-only divergence (state lockstep does not step-compare, e.g.
+  CSRs or device state): ``digest:`` plus the sorted set of differing
+  digest fields.
+
+Signatures are also the deduplication key: campaigns funnel escalations
+through the fuzz :class:`~repro.fuzz.triage.TriageReport`, collapsing
+every program that trips the same signature into one finding with a
+single minimized repro.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from ..fuzz.executor import ProgramBuilder
+from ..vp.lockstep import LockstepDivergence, run_lockstep
+from ..vp.machine import Machine
+from .matrix import ConfigPair
+
+__all__ = ["EscalationRecord", "divergence_signature", "escalate_divergence"]
+
+DigestFn = Callable[[Sequence[int]], List[str]]
+
+
+@dataclass
+class EscalationRecord:
+    """One digest divergence, lockstep-pinpointed and minimized."""
+
+    program_index: int
+    program: str
+    pair: str
+    kind: str                     # lockstep kind, or "digest-only"
+    signature: str                # dedup / minimization-preservation key
+    detail: str
+    instruction_index: Optional[int]
+    pc: Optional[int]
+    disasm: Optional[str]
+    reg_delta: Tuple[Tuple[int, int, int], ...]
+    digest_mismatch: List[str]
+    lockstep_clean: bool
+    words: Tuple[int, ...]        # minimized witness program
+    minimized_from: int           # original word count
+    minimize_evals_used: int
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "program_index": self.program_index,
+            "program": self.program,
+            "pair": self.pair,
+            "kind": self.kind,
+            "signature": self.signature,
+            "detail": self.detail,
+            "instruction_index": self.instruction_index,
+            "pc": self.pc,
+            "disasm": self.disasm,
+            "reg_delta": [list(entry) for entry in self.reg_delta],
+            "digest_mismatch": list(self.digest_mismatch),
+            "lockstep_clean": self.lockstep_clean,
+            "words": [int(word) for word in self.words],
+            "code_hex": ProgramBuilder.encode_words(self.words).hex(),
+            "minimized_from": self.minimized_from,
+            "minimize_evals_used": self.minimize_evals_used,
+        }
+
+
+def divergence_signature(divergence: LockstepDivergence) -> str:
+    """The class of a lockstep divergence, independent of register
+    *values* and instruction index: kind, differing register names, and
+    the culprit mnemonic."""
+    parts = [divergence.kind]
+    if divergence.reg_delta:
+        parts.append(",".join(
+            f"x{index}" for index, _a, _b in divergence.reg_delta))
+    if divergence.disasm:
+        parts.append(divergence.disasm.split()[0])
+    return ":".join(parts)
+
+
+def _digest_signature(mismatches: Sequence[str]) -> str:
+    fields = sorted({entry.split(":", 1)[0] for entry in mismatches})
+    return "digest:" + ",".join(fields)
+
+
+def _run_pair_lockstep(isa, builder, pair: ConfigPair,
+                       words: Sequence[int], max_instructions: int):
+    """Fresh machines (lockstep mutates plugin state), one lockstep run."""
+    primary = Machine(pair.a.machine_config(isa))
+    secondary = Machine(pair.b.machine_config(isa))
+    return run_lockstep(primary, secondary, builder.build(words),
+                        max_instructions=max_instructions,
+                        raise_on_divergence=False)
+
+
+def _minimize(words: Sequence[int],
+              predicate: Callable[[Tuple[int, ...]], bool],
+              budget: int) -> Tuple[Tuple[int, ...], int]:
+    """Greedy chunked trim (the fuzz engine's shape): drop spans while
+    ``predicate`` (signature preserved) holds, within ``budget`` evals."""
+    best = list(words)
+    evals = 0
+    chunk = max(1, len(best) // 2)
+    while evals < budget:
+        index = 0
+        shrunk = False
+        while index < len(best) and evals < budget:
+            if len(best) <= 1:
+                break
+            candidate = best[:index] + best[index + chunk:]
+            if not candidate:
+                index += chunk
+                continue
+            evals += 1
+            if predicate(tuple(candidate)):
+                best = candidate
+                shrunk = True
+            else:
+                index += chunk
+        if chunk == 1 and not shrunk:
+            break
+        chunk = max(1, chunk // 2)
+    return tuple(best), evals
+
+
+def escalate_divergence(isa, builder, pair: ConfigPair,
+                        program_index: int, program_name: str,
+                        words: Sequence[int],
+                        digest_mismatch: Sequence[str],
+                        digest_fn: Optional[DigestFn] = None,
+                        max_instructions: int = 20_000,
+                        minimize_evals: int = 24) -> EscalationRecord:
+    """Escalate one digest divergence into a pinpointed, minimized repro.
+
+    ``digest_fn(words) -> mismatches`` re-checks a candidate under the
+    campaign's own (restored, reused) machines; it is the minimization
+    oracle for digest-only divergences, where lockstep sees nothing.
+    """
+    words = tuple(words)
+    result = _run_pair_lockstep(isa, builder, pair, words,
+                                max_instructions)
+    if result.diverged and result.divergence is not None:
+        divergence = result.divergence
+        kind = divergence.kind
+        signature = divergence_signature(divergence)
+
+        def preserved(candidate: Tuple[int, ...]) -> bool:
+            rerun = _run_pair_lockstep(isa, builder, pair, candidate,
+                                       max_instructions)
+            return (rerun.diverged and rerun.divergence is not None
+                    and divergence_signature(rerun.divergence)
+                    == signature)
+
+        minimized, evals = _minimize(words, preserved, minimize_evals)
+        # Re-derive the pinpoint on the minimized witness so index / pc /
+        # disasm in the report describe the repro being shipped.
+        final = _run_pair_lockstep(isa, builder, pair, minimized,
+                                   max_instructions)
+        if final.diverged and final.divergence is not None:
+            divergence = final.divergence
+        return EscalationRecord(
+            program_index=program_index, program=program_name,
+            pair=pair.name, kind=kind, signature=signature,
+            detail=divergence.detail,
+            instruction_index=divergence.index, pc=divergence.pc,
+            disasm=divergence.disasm,
+            reg_delta=tuple(divergence.reg_delta),
+            digest_mismatch=list(digest_mismatch),
+            lockstep_clean=False, words=minimized,
+            minimized_from=len(words), minimize_evals_used=evals)
+
+    # Lockstep-clean: the disagreement lives in state lockstep does not
+    # step-compare (CSRs, memory, devices, timing).  Minimize against the
+    # digest signature instead, when the campaign gave us the oracle.
+    signature = _digest_signature(digest_mismatch)
+    minimized, evals = words, 0
+    if digest_fn is not None:
+
+        def digest_preserved(candidate: Tuple[int, ...]) -> bool:
+            return _digest_signature(digest_fn(candidate)) == signature
+
+        minimized, evals = _minimize(words, digest_preserved,
+                                     minimize_evals)
+    return EscalationRecord(
+        program_index=program_index, program=program_name,
+        pair=pair.name, kind="digest-only", signature=signature,
+        detail="; ".join(digest_mismatch),
+        instruction_index=None, pc=None, disasm=None, reg_delta=(),
+        digest_mismatch=list(digest_mismatch), lockstep_clean=True,
+        words=minimized, minimized_from=len(words),
+        minimize_evals_used=evals)

@@ -157,6 +157,25 @@ class TestNodeDeathParity:
             coord.shutdown(drain=False)
 
 
+class TestVerifyParity:
+    PAYLOAD = {"corpus": "torture:4", "matrix": "interp:fastpath",
+               "seed": 3, "max_instructions": 2000}
+
+    def test_sharded_verify_matches_single_process(self, coordinator):
+        direct = execute_job("verify", dict(self.PAYLOAD), null_context())
+        nodes = _attach(coordinator, 2)
+        try:
+            client = CoordinatorClient(coordinator.url, timeout=10)
+            done = client.submit_and_wait("verify", dict(self.PAYLOAD),
+                                          shards=4, timeout=300)
+            assert done["state"] == "succeeded"
+            assert canon_campaign(done["result"]) == \
+                canon_campaign(direct)
+            assert sum(node.executed for node in nodes) == 4
+        finally:
+            _stop_all(nodes)
+
+
 class TestFuzzParity:
     PAYLOAD = {
         "iterations": 1000,

@@ -218,3 +218,92 @@ class TestDeltaSnapshots:
         assert result.stop_reason == direct_result.stop_reason
         assert result.instructions == direct_result.instructions
         assert device_state(machine) == device_state(direct)
+
+
+# Long enough that a checkpoint at SPLIT lands mid-loop, and hot enough
+# (40 iterations) that the compiled backend's JIT tier actually engages.
+LOOPED = """
+_start:
+    li t2, 40
+    li t0, 0
+loop:
+    addi t0, t0, 3
+    slli t1, t0, 1
+    xor t1, t1, t0
+    addi t2, t2, -1
+    bnez t2, loop
+    li t3, 0x10000000      # UART: observable device side effect
+    sw t1, 0(t3)
+    li a0, 0
+""" + EXIT
+
+
+class TestDigestDeterminism:
+    """A checkpoint/restore/resume cycle must be invisible to the
+    verification subsystem's golden digest — the determinism contract
+    the differential matrix's ``checkpoint`` axis rests on — on every
+    execution backend."""
+
+    BUDGET = 5_000
+    SPLIT = 40
+
+    def straight_digest(self, backend):
+        from repro.verify import capture_state
+
+        machine = self._machine(backend)
+        machine.load(assemble(LOOPED, isa=RV32IMC_ZICSR))
+        result = machine.run(max_instructions=self.BUDGET)
+        return capture_state(machine, result, machine.ram.dirty_pages())
+
+    def _machine(self, backend):
+        kwargs = {"isa": RV32IMC_ZICSR, "backend": backend}
+        if backend == "compiled":
+            kwargs["jit_threshold"] = 1   # promote immediately
+        return Machine(MachineConfig(**kwargs))
+
+    def resumed_digest(self, backend):
+        from repro.verify import capture_state
+        from repro.vp.cpu import STOP_MAX_INSNS
+
+        # Snapshot the pristine machine *before* loading so the load
+        # image itself counts toward the cumulative written-page set —
+        # the same order ConfigRunner uses between corpus programs.
+        machine = self._machine(backend)
+        base = machine.snapshot()
+        machine.load(assemble(LOOPED, isa=RV32IMC_ZICSR))
+        result = machine.run(max_instructions=self.SPLIT)
+        pages = set(machine.ram.dirty_pages())
+        if result.stop_reason == STOP_MAX_INSNS:
+            snap = machine.snapshot(parent=base)
+            machine.run(max_instructions=self.BUDGET, resume=True)
+            pages |= machine.ram.dirty_pages()
+            machine.restore(snap)
+            result = machine.run(max_instructions=self.BUDGET, resume=True)
+            pages |= machine.ram.dirty_pages()
+        return capture_state(machine, result, pages)
+
+    def assert_backend_deterministic(self, backend):
+        from repro.verify import compare_digests
+
+        straight = self.straight_digest(backend)
+        resumed = self.resumed_digest(backend)
+        assert compare_digests(straight, resumed) == []
+        assert straight.hexdigest() == resumed.hexdigest()
+
+    def test_interp_checkpoint_resume_digest_identical(self):
+        self.assert_backend_deterministic("interp")
+
+    def test_fastpath_checkpoint_resume_digest_identical(self):
+        self.assert_backend_deterministic("fastpath")
+
+    def test_compiled_checkpoint_resume_digest_identical(self):
+        self.assert_backend_deterministic("compiled")
+
+    def test_backends_agree_on_straight_digest(self):
+        from repro.verify import compare_digests
+
+        interp = self.straight_digest("interp")
+        fastpath = self.straight_digest("fastpath")
+        compiled = self.straight_digest("compiled")
+        assert compare_digests(interp, fastpath) == []
+        assert compare_digests(interp, compiled) == []
